@@ -1,0 +1,126 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! closed-form vs sampled modularity expectations, random-walk vs uniform
+//! baselines, and the full 13-function suite vs the paper's four.
+
+use circlekit::experiments::{circles_vs_random, ModularityMode};
+use circlekit::sampling::{size_matched_random_walk_sets, uniform_set};
+use circlekit::scoring::{Scorer, ScoringFunction};
+use circlekit_bench::{gplus, BENCH_SCALE, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_modularity_modes(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let mut group = c.benchmark_group("ablation_modularity");
+    group.sample_size(10);
+    group.bench_function("closed_form", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(circles_vs_random(&ds, ModularityMode::ClosedForm, &mut rng))
+        })
+    });
+    group.bench_function("sampled_viger_latapy", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(circles_vs_random(
+                &ds,
+                ModularityMode::Sampled { samples: 2, quality: 1.0 },
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let sizes = ds.group_sizes();
+    let mut group = c.benchmark_group("ablation_baseline");
+    group.sample_size(10);
+    group.bench_function("random_walk_sets", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(size_matched_random_walk_sets(&ds.graph, &sizes, &mut rng))
+        })
+    });
+    group.bench_function("uniform_sets", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            let sets: Vec<_> = sizes
+                .iter()
+                .map(|&s| uniform_set(&ds.graph, s, &mut rng))
+                .collect();
+            black_box(sets)
+        })
+    });
+    group.finish();
+}
+
+fn bench_function_suites(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let mut group = c.benchmark_group("ablation_suite");
+    group.sample_size(10);
+    group.bench_function("paper_four_functions", |b| {
+        b.iter(|| {
+            let mut scorer = Scorer::new(&ds.graph);
+            black_box(scorer.score_table(&ScoringFunction::PAPER, &ds.groups))
+        })
+    });
+    group.bench_function("full_thirteen_functions", |b| {
+        b.iter(|| {
+            let mut scorer = Scorer::new(&ds.graph);
+            black_box(scorer.score_table(&ScoringFunction::ALL, &ds.groups))
+        })
+    });
+    group.finish();
+}
+
+fn bench_detection(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let mut group = c.benchmark_group("ablation_detection");
+    group.sample_size(10);
+    group.bench_function("louvain", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(circlekit::detect::louvain(&ds.graph, &mut rng))
+        })
+    });
+    group.bench_function("label_propagation", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(circlekit::detect::label_propagation(&ds.graph, 20, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_parallel_scoring(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let mut group = c.benchmark_group("ablation_parallel");
+    group.sample_size(10);
+    group.bench_function("score_table_sequential", |b| {
+        b.iter(|| {
+            let mut scorer = Scorer::new(&ds.graph);
+            black_box(scorer.score_table(&ScoringFunction::ALL, &ds.groups))
+        })
+    });
+    group.bench_function("score_table_parallel_4", |b| {
+        b.iter(|| {
+            let scorer = Scorer::new(&ds.graph);
+            black_box(scorer.score_table_parallel(&ScoringFunction::ALL, &ds.groups, 4))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modularity_modes,
+    bench_baselines,
+    bench_function_suites,
+    bench_detection,
+    bench_parallel_scoring
+);
+criterion_main!(benches);

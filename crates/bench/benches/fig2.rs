@@ -1,0 +1,19 @@
+//! Figure 2: ego-network membership counts and overlap fraction.
+
+use circlekit::experiments::ego_overlap_report;
+use circlekit_bench::{gplus, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig2(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("ego_overlap_report", |b| {
+        b.iter(|| black_box(ego_overlap_report(black_box(&ds))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

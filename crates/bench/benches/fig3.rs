@@ -1,0 +1,23 @@
+//! Figure 3: in-degree distribution fitting (log-normal vs power law).
+
+use circlekit::experiments::in_degree_fit;
+use circlekit_bench::{gplus, magno, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let ego = gplus(BENCH_SCALE);
+    let bfs = magno(0.0002);
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("in_degree_fit_ego_crawl", |b| {
+        b.iter(|| black_box(in_degree_fit(black_box(&ego))))
+    });
+    group.bench_function("in_degree_fit_bfs_crawl", |b| {
+        b.iter(|| black_box(in_degree_fit(black_box(&bfs))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

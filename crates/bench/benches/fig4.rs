@@ -1,0 +1,19 @@
+//! Figure 4: clustering-coefficient CDF.
+
+use circlekit::experiments::clustering_report;
+use circlekit_bench::{gplus, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig4(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("clustering_report", |b| {
+        b.iter(|| black_box(clustering_report(black_box(&ds))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 5: circles vs size-matched random-walk sets under the four
+//! scoring functions.
+
+use circlekit::experiments::{circles_vs_random, ModularityMode};
+use circlekit_bench::{gplus, BENCH_SCALE, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_fig5(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("circles_vs_random_closed_form", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(circles_vs_random(
+                black_box(&ds),
+                ModularityMode::ClosedForm,
+                &mut rng,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 6: the four scoring functions across circle-type and
+//! community-type data sets.
+
+use circlekit::experiments::compare_datasets;
+use circlekit_bench::{gplus, livejournal, orkut, twitter, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig6(c: &mut Criterion) {
+    let datasets = [
+        gplus(BENCH_SCALE),
+        twitter(BENCH_SCALE),
+        livejournal(0.001),
+        orkut(0.001),
+    ];
+    let refs: Vec<_> = datasets.iter().collect();
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("compare_four_datasets", |b| {
+        b.iter(|| black_box(compare_datasets(black_box(&refs))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

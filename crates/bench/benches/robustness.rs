@@ -1,0 +1,23 @@
+//! §IV-B robustness check: directed vs undirected scoring deviation.
+
+use circlekit::experiments::directed_vs_undirected;
+use circlekit_bench::{gplus, twitter, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_robustness(c: &mut Criterion) {
+    let gp = gplus(BENCH_SCALE);
+    let tw = twitter(BENCH_SCALE);
+    let mut group = c.benchmark_group("robustness");
+    group.sample_size(10);
+    group.bench_function("directed_vs_undirected_gplus", |b| {
+        b.iter(|| black_box(directed_vs_undirected(black_box(&gp))))
+    });
+    group.bench_function("directed_vs_undirected_twitter", |b| {
+        b.iter(|| black_box(directed_vs_undirected(black_box(&tw))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_robustness);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Micro-benches of the substrate crates: graph construction, scoring
+//! statistics, null-model randomisation, and heavy-tail fitting.
+
+use circlekit::graph::Graph;
+use circlekit::nullmodel::{randomize, randomize_connected};
+use circlekit::scoring::Scorer;
+use circlekit::statfit::analyze_tail;
+use circlekit_bench::{gplus, BENCH_SCALE, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let edges: Vec<(u32, u32)> = ds.graph.edges().collect();
+    let mut group = c.benchmark_group("substrate_graph");
+    group.sample_size(10);
+    group.bench_function("csr_build_from_edges", |b| {
+        b.iter(|| black_box(Graph::from_edges(true, edges.iter().copied())))
+    });
+    group.bench_function("to_undirected", |b| {
+        b.iter(|| black_box(ds.graph.to_undirected()))
+    });
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let mut group = c.benchmark_group("substrate_scoring");
+    group.sample_size(10);
+    group.bench_function("set_stats_all_circles", |b| {
+        b.iter(|| {
+            let mut scorer = Scorer::new(&ds.graph);
+            let stats: Vec<_> = ds.groups.iter().map(|g| scorer.stats(g)).collect();
+            black_box(stats)
+        })
+    });
+    group.finish();
+}
+
+fn bench_nullmodel(c: &mut Criterion) {
+    let ds = gplus(0.002);
+    let mut group = c.benchmark_group("substrate_nullmodel");
+    group.sample_size(10);
+    group.bench_function("edge_swaps_q1", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(randomize(&ds.graph, 1.0, &mut rng))
+        })
+    });
+    group.bench_function("edge_swaps_connected_q1", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(randomize_connected(&ds.graph, 1.0, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+fn bench_statfit(c: &mut Criterion) {
+    let ds = gplus(BENCH_SCALE);
+    let degrees: Vec<f64> = (0..ds.graph.node_count() as u32)
+        .map(|v| ds.graph.in_degree(v) as f64)
+        .filter(|&d| d >= 1.0)
+        .collect();
+    let mut group = c.benchmark_group("substrate_statfit");
+    group.sample_size(10);
+    group.bench_function("csn_analyze_tail", |b| {
+        b.iter(|| black_box(analyze_tail(black_box(&degrees))))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_scoring,
+    bench_nullmodel,
+    bench_statfit
+);
+criterion_main!(benches);

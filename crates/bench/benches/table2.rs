@@ -1,0 +1,32 @@
+//! Table II: statistical comparison of the ego-crawl (McAuley–Leskovec)
+//! and BFS-crawl (Magno et al.) data sets.
+
+use circlekit::experiments::characterize;
+use circlekit_bench::{gplus, magno, BENCH_SCALE, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let ego_crawl = gplus(BENCH_SCALE);
+    let bfs_crawl = magno(0.0002);
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("characterize_ego_crawl", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(characterize(black_box(&ego_crawl), 8, &mut rng))
+        })
+    });
+    group.bench_function("characterize_bfs_crawl", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(characterize(black_box(&bfs_crawl), 8, &mut rng))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

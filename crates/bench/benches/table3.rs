@@ -1,0 +1,43 @@
+//! Table III: data-set summary rows (including generation cost, which
+//! dominates the pipeline at paper scale).
+
+use circlekit::experiments::summarize_datasets;
+use circlekit::synth::presets;
+use circlekit_bench::{gplus, livejournal, orkut, twitter, BENCH_SCALE, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+
+    group.bench_function("generate_google_plus", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(presets::google_plus().scaled(BENCH_SCALE).generate(&mut rng))
+        })
+    });
+    group.bench_function("generate_livejournal", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(SEED);
+            black_box(presets::livejournal().scaled(0.001).generate(&mut rng))
+        })
+    });
+
+    let datasets = [
+        gplus(BENCH_SCALE),
+        twitter(BENCH_SCALE),
+        livejournal(0.001),
+        orkut(0.001),
+    ];
+    let refs: Vec<_> = datasets.iter().collect();
+    group.bench_function("summarize_four_datasets", |b| {
+        b.iter(|| black_box(summarize_datasets(black_box(&refs))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

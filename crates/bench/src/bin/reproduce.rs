@@ -1,0 +1,335 @@
+//! Regenerates every table and figure of the paper on seeded synthetic
+//! data.
+//!
+//! ```text
+//! reproduce [EXPERIMENT] [--scale F] [--seed N] [--json]
+//!
+//! EXPERIMENT: all (default) | table2 | table3 | fig1 | fig2 | fig3 | fig4 |
+//!             fig5 | fig6 | robustness | categorize | correlations | egoview | detect | sharing
+//! --scale F   data-set scale relative to the paper's corpora (default 0.02)
+//! --seed N    RNG seed (default 2014)
+//! --json      additionally emit machine-readable JSON rows
+//! --sampled   use sampled (Viger-Latapy) modularity expectations in fig5
+//! ```
+
+use circlekit::categorize::{categorize_circles, CircleCategory};
+use circlekit::experiments::{
+    characterize, circles_vs_random, clustering_report, compare_datasets, degree_fit,
+    directed_vs_undirected, ego_overlap_report, summarize_datasets, ModularityMode,
+};
+use circlekit::metrics::DegreeKind;
+use circlekit::render;
+use circlekit::synth::{presets, SynthDataset};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+struct Options {
+    experiment: String,
+    scale: f64,
+    seed: u64,
+    json: bool,
+    sampled_modularity: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        experiment: "all".into(),
+        scale: 0.02,
+        seed: 2014,
+        json: false,
+        sampled_modularity: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = args.next().ok_or("--scale needs a value")?;
+                opts.scale = v.parse().map_err(|_| format!("bad scale {v:?}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--json" => opts.json = true,
+            "--sampled" => opts.sampled_modularity = true,
+            "--help" | "-h" => {
+                return Err("usage: reproduce [EXPERIMENT] [--scale F] [--seed N] [--json]".into())
+            }
+            other if !other.starts_with('-') => opts.experiment = other.to_string(),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let run = |name: &str| opts.experiment == "all" || opts.experiment == name;
+    let mut matched = false;
+
+    // Shared fixtures (generated lazily so single-figure runs stay fast).
+    let mut gplus: Option<SynthDataset> = None;
+    let gplus_ds = |seed: u64, scale: f64| -> SynthDataset {
+        presets::google_plus()
+            .scaled(scale)
+            .generate(&mut SmallRng::seed_from_u64(seed))
+    };
+    let ensure_gplus = |gplus: &mut Option<SynthDataset>| {
+        if gplus.is_none() {
+            *gplus = Some(gplus_ds(opts.seed, opts.scale));
+        }
+    };
+
+    if run("table2") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let ego = gplus.as_ref().expect("fixture");
+        let bfs = presets::magno()
+            .scaled(opts.scale * 0.01)
+            .generate(&mut SmallRng::seed_from_u64(opts.seed + 4));
+        let mut rng = SmallRng::seed_from_u64(opts.seed);
+        let rows = vec![
+            characterize(&bfs, 24, &mut rng),
+            characterize(ego, 24, &mut rng),
+        ];
+        println!("== Table II: crawl comparison (BFS crawl vs ego crawl) ==");
+        print!("{}", render::render_table2(&rows));
+        if opts.json {
+            for r in &rows {
+                println!(
+                    "{}",
+                    serde_json::json!({
+                        "experiment": "table2", "dataset": r.name,
+                        "vertices": r.vertices, "edges": r.edges,
+                        "diameter": r.diameter, "asp": r.average_shortest_path,
+                        "in_family": r.in_degree_family.map(|m| m.to_string()),
+                        "out_family": r.out_degree_family.map(|m| m.to_string()),
+                        "avg_in": r.average_in_degree, "avg_out": r.average_out_degree,
+                    })
+                );
+            }
+        }
+        println!();
+    }
+
+    if run("table3") || run("fig6") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let gp = gplus.as_ref().expect("fixture");
+        let tw = presets::twitter()
+            .scaled(opts.scale)
+            .generate(&mut SmallRng::seed_from_u64(opts.seed + 1));
+        let lj = presets::livejournal()
+            .scaled(opts.scale * 0.25)
+            .generate(&mut SmallRng::seed_from_u64(opts.seed + 2));
+        let ok = presets::orkut()
+            .scaled(opts.scale * 0.25)
+            .generate(&mut SmallRng::seed_from_u64(opts.seed + 3));
+        let all = [gp, &tw, &lj, &ok];
+
+        if run("table3") {
+            println!("== Table III: evaluated data sets ==");
+            print!("{}", render::render_table3(&summarize_datasets(&all)));
+            println!();
+        }
+        if run("fig6") {
+            println!("== Figure 6: circles vs communities across data sets ==");
+            let scores = compare_datasets(&all);
+            print!("{}", render::render_fig6(&scores));
+            if opts.json {
+                for ds in &scores {
+                    for (f, _, s) in &ds.per_function {
+                        println!(
+                            "{}",
+                            serde_json::json!({
+                                "experiment": "fig6", "dataset": ds.name,
+                                "function": f.name(), "mean": s.mean,
+                                "median": s.median, "max": s.max,
+                            })
+                        );
+                    }
+                }
+            }
+            println!();
+        }
+    }
+
+    if run("fig1") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let m = circlekit::experiments::ego_overlap_matrix(gplus.as_ref().expect("fixture"));
+        println!("== Figure 1 (quantified): ego-network overlap structure ==");
+        print!("{}", circlekit::render::render_fig1(&m));
+        println!();
+    }
+
+    if run("fig2") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let stats = ego_overlap_report(gplus.as_ref().expect("fixture"));
+        println!("== Figure 2: ego-network membership counts ==");
+        print!("{}", render::render_fig2(&stats));
+        if opts.json {
+            println!(
+                "{}",
+                serde_json::json!({
+                    "experiment": "fig2",
+                    "overlap_fraction": stats.overlap_fraction,
+                    "series": stats.membership_series(),
+                })
+            );
+        }
+        println!();
+    }
+
+    if run("fig3") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        println!("== Figure 3: in-degree distribution of the ego crawl ==");
+        match degree_fit(gplus.as_ref().expect("fixture"), DegreeKind::In) {
+            Ok(report) => {
+                print!("{}", render::render_fig3(&report));
+                if opts.json {
+                    println!(
+                        "{}",
+                        serde_json::json!({
+                            "experiment": "fig3",
+                            "family": report.family().to_string(),
+                            "alpha": report.fit.scanned.alpha,
+                            "lognormal_mu": report.fit.log_normal.mu,
+                            "lognormal_sigma": report.fit.log_normal.sigma,
+                        })
+                    );
+                }
+            }
+            Err(e) => println!("degree fit failed: {e}"),
+        }
+        println!();
+    }
+
+    if run("fig4") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let report = clustering_report(gplus.as_ref().expect("fixture"));
+        println!("== Figure 4: clustering-coefficient CDF ==");
+        print!("{}", render::render_fig4(&report));
+        println!();
+    }
+
+    if run("fig5") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let mut rng = SmallRng::seed_from_u64(opts.seed);
+        let mode = if opts.sampled_modularity {
+            // The paper's procedure: Viger-Latapy sampled null graphs.
+            ModularityMode::Sampled { samples: 5, quality: 2.0 }
+        } else {
+            ModularityMode::ClosedForm
+        };
+        let result = circles_vs_random(gplus.as_ref().expect("fixture"), mode, &mut rng);
+        println!(
+            "== Figure 5: circles vs random-walk sets (modularity: {}) ==",
+            if opts.sampled_modularity { "sampled null model" } else { "closed form" }
+        );
+        print!("{}", render::render_fig5(&result, 11));
+        if opts.json {
+            for pair in &result.per_function {
+                println!(
+                    "{}",
+                    serde_json::json!({
+                        "experiment": "fig5", "function": pair.function.name(),
+                        "circle_mean": pair.circles.mean,
+                        "random_mean": pair.random.mean,
+                        "ks_separation": pair.ks_separation,
+                    })
+                );
+            }
+        }
+        println!();
+    }
+
+    if run("robustness") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        println!("== Robustness: directed vs undirected scoring (SIV-B) ==");
+        print!(
+            "{}",
+            render::render_robustness(&directed_vs_undirected(gplus.as_ref().expect("fixture")))
+        );
+        println!();
+    }
+
+    if run("categorize") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let cats = categorize_circles(gplus.as_ref().expect("fixture"));
+        let community = cats
+            .iter()
+            .filter(|c| c.category == CircleCategory::CommunityLike)
+            .count();
+        println!("== Extension: Fang-style circle categorisation ==");
+        println!(
+            "circles: {}   community-like: {}   celebrity-like: {}",
+            cats.len(),
+            community,
+            cats.len() - community
+        );
+        println!();
+    }
+
+    if run("sharing") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let mut rng = SmallRng::seed_from_u64(opts.seed);
+        let r = circlekit::experiments::circle_sharing_densification(
+            gplus.as_ref().expect("fixture"),
+            0.3,
+            &mut rng,
+        );
+        println!("== Extension: Fang circle-sharing densification ==");
+        print!("{}", circlekit::render::render_sharing(&r));
+        println!();
+    }
+
+    if run("detect") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let mut rng = SmallRng::seed_from_u64(opts.seed);
+        let results =
+            circlekit::experiments::detection_comparison(gplus.as_ref().expect("fixture"), &mut rng);
+        println!("== Extension: detected groups vs labelled circles ==");
+        print!("{}", circlekit::render::render_detection(&results));
+        println!();
+    }
+
+    if run("egoview") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let cmp = circlekit::experiments::ego_view_comparison(gplus.as_ref().expect("fixture"));
+        println!("== Extension: global vs ego-centred circle scoring ==");
+        print!("{}", circlekit::render::render_ego_view(&cmp));
+        println!();
+    }
+
+    if run("correlations") {
+        matched = true;
+        ensure_gplus(&mut gplus);
+        let corr = circlekit::experiments::function_correlations(gplus.as_ref().expect("fixture"));
+        println!("== Extension: Yang-Leskovec 13-function correlations ==");
+        print!("{}", circlekit::render::render_correlations(&corr));
+        println!();
+    }
+
+    if !matched {
+        eprintln!("unknown experiment {:?}", opts.experiment);
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,65 @@
+//! Shared fixtures for the `circlekit` benchmark harness.
+//!
+//! Every bench regenerates one of the paper's tables/figures on seeded
+//! synthetic data; this module centralises the scales and seeds so the
+//! benches and the `reproduce` binary agree.
+
+use circlekit::synth::{presets, SynthDataset};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Seed used across the harness (the paper's publication year).
+pub const SEED: u64 = 2014;
+
+/// Scale used by the Criterion benches (small: benches measure harness
+/// cost, the `reproduce` binary produces the figures at a larger scale).
+pub const BENCH_SCALE: f64 = 0.004;
+
+/// Scale used by the `reproduce` binary by default.
+pub const REPRODUCE_SCALE: f64 = 0.02;
+
+/// Generates the Google+ fixture at the given scale.
+pub fn gplus(scale: f64) -> SynthDataset {
+    presets::google_plus()
+        .scaled(scale)
+        .generate(&mut SmallRng::seed_from_u64(SEED))
+}
+
+/// Generates the Twitter fixture at the given scale.
+pub fn twitter(scale: f64) -> SynthDataset {
+    presets::twitter()
+        .scaled(scale)
+        .generate(&mut SmallRng::seed_from_u64(SEED + 1))
+}
+
+/// Generates the LiveJournal fixture at the given scale.
+pub fn livejournal(scale: f64) -> SynthDataset {
+    presets::livejournal()
+        .scaled(scale)
+        .generate(&mut SmallRng::seed_from_u64(SEED + 2))
+}
+
+/// Generates the Orkut fixture at the given scale.
+pub fn orkut(scale: f64) -> SynthDataset {
+    presets::orkut()
+        .scaled(scale)
+        .generate(&mut SmallRng::seed_from_u64(SEED + 3))
+}
+
+/// Generates the Magno-style BFS-crawl fixture at the given scale.
+pub fn magno(scale: f64) -> SynthDataset {
+    presets::magno()
+        .scaled(scale)
+        .generate(&mut SmallRng::seed_from_u64(SEED + 4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(gplus(0.003).graph, gplus(0.003).graph);
+        assert_eq!(twitter(0.003).graph, twitter(0.003).graph);
+    }
+}

@@ -1,0 +1,387 @@
+//! Subcommand implementations, factored for testability: every command
+//! returns its output as a `String`.
+
+use circlekit::detect::detect_circles;
+use circlekit::experiments::characterize;
+use circlekit::graph::{parse_edge_list, parse_groups, write_edge_list, write_groups, Graph};
+use circlekit::metrics::{DegreeKind, DegreeStats};
+use circlekit::scoring::{Scorer, ScoringFunction};
+use circlekit::statfit::analyze_tail;
+use circlekit::stats::Summary;
+use circlekit::synth::{presets, GroupKind, SynthDataset};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::fs;
+
+/// Parses and runs a command line (without the program name).
+pub fn dispatch(args: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(usage());
+    };
+    match cmd.as_str() {
+        "generate" => generate(rest),
+        "score" => score(rest),
+        "characterize" => characterize_cmd(rest),
+        "fit-degrees" => fit_degrees(rest),
+        "detect" => detect(rest),
+        "--help" | "-h" | "help" => Ok(usage()),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  \
+     circlekit generate <google+|twitter|livejournal|orkut|magno> [--scale F] [--seed N] --edges FILE [--groups FILE]\n  \
+     circlekit score        --edges FILE --groups FILE [--undirected] [--all]\n  \
+     circlekit characterize --edges FILE [--undirected] [--sources N]\n  \
+     circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]\n  \
+     circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n"
+        .to_string()
+}
+
+/// Tiny flag parser: returns positional args and looks up `--key value` /
+/// `--switch` entries.
+struct Flags<'a> {
+    positional: Vec<&'a str>,
+    pairs: Vec<(&'a str, Option<&'a str>)>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String], switches: &[&str]) -> Result<Flags<'a>, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut it = args.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if switches.contains(&name) {
+                    pairs.push((name, None));
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("--{name} needs a value"))?;
+                    pairs.push((name, Some(value.as_str())));
+                }
+            } else {
+                positional.push(arg.as_str());
+            }
+        }
+        Ok(Flags { positional, pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == name)
+            .and_then(|(_, v)| *v)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.pairs.iter().any(|(k, _)| *k == name)
+    }
+
+    fn required(&self, name: &str) -> Result<&str, String> {
+        self.get(name).ok_or_else(|| format!("missing --{name}"))
+    }
+
+    fn parse_value<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("bad value for --{name}: {v:?}")),
+        }
+    }
+}
+
+fn load_graph(flags: &Flags<'_>) -> Result<Graph, String> {
+    let path = flags.required("edges")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let edges = parse_edge_list(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok(Graph::from_edges(!flags.has("undirected"), edges))
+}
+
+fn generate(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &[])?;
+    let preset = flags
+        .positional
+        .first()
+        .ok_or("generate needs a preset name")?;
+    let scale: f64 = flags.parse_value("scale", 0.01)?;
+    let seed: u64 = flags.parse_value("seed", 2014)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dataset: SynthDataset = match *preset {
+        "google+" | "gplus" => presets::google_plus().scaled(scale).generate(&mut rng),
+        "twitter" => presets::twitter().scaled(scale).generate(&mut rng),
+        "livejournal" => presets::livejournal().scaled(scale).generate(&mut rng),
+        "orkut" => presets::orkut().scaled(scale).generate(&mut rng),
+        "magno" => presets::magno().scaled(scale).generate(&mut rng),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+
+    let edges_path = flags.required("edges")?;
+    let mut buf = Vec::new();
+    write_edge_list(&dataset.graph, &mut buf).map_err(|e| e.to_string())?;
+    fs::write(edges_path, buf).map_err(|e| format!("writing {edges_path}: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", dataset.summary());
+    let _ = writeln!(out, "wrote edges to {edges_path}");
+    if let Some(groups_path) = flags.get("groups") {
+        let mut buf = Vec::new();
+        write_groups(&dataset.groups, &mut buf).map_err(|e| e.to_string())?;
+        fs::write(groups_path, buf).map_err(|e| format!("writing {groups_path}: {e}"))?;
+        let _ = writeln!(out, "wrote {} groups to {groups_path}", dataset.groups.len());
+    } else if dataset.kind == GroupKind::Circles {
+        let _ = writeln!(out, "hint: pass --groups FILE to export the circles too");
+    }
+    Ok(out)
+}
+
+fn score(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &["undirected", "all"])?;
+    let graph = load_graph(&flags)?;
+    let groups_path = flags.required("groups")?;
+    let text = fs::read_to_string(groups_path).map_err(|e| format!("reading {groups_path}: {e}"))?;
+    let groups = parse_groups(&text).map_err(|e| format!("{groups_path}: {e}"))?;
+    if let Some(bad) = groups
+        .iter()
+        .flat_map(|g| g.iter())
+        .find(|&v| v as usize >= graph.node_count())
+    {
+        return Err(format!(
+            "group member {bad} exceeds graph node count {}",
+            graph.node_count()
+        ));
+    }
+
+    let functions: &[ScoringFunction] = if flags.has("all") {
+        &ScoringFunction::ALL
+    } else {
+        &ScoringFunction::PAPER
+    };
+    let scorer = Scorer::new(&graph);
+    let table = scorer.score_table_parallel(functions, &groups, num_threads());
+
+    let mut out = String::new();
+    let _ = write!(out, "{:>6} {:>6}", "group", "size");
+    for f in functions {
+        let _ = write!(out, " {:>14}", f.name());
+    }
+    let _ = writeln!(out);
+    for (i, group) in groups.iter().enumerate() {
+        let _ = write!(out, "{:>6} {:>6}", i, group.len());
+        for v in table.row(i) {
+            let _ = write!(out, " {:>14.6}", v);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    for f in functions {
+        let col = table.column(*f).expect("function scored");
+        let _ = writeln!(out, "{:<16} {}", f.name(), Summary::from_slice(&col));
+    }
+    Ok(out)
+}
+
+fn characterize_cmd(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &["undirected"])?;
+    let graph = load_graph(&flags)?;
+    let sources: usize = flags.parse_value("sources", 32)?;
+    let seed: u64 = flags.parse_value("seed", 2014)?;
+    let dataset = SynthDataset {
+        name: flags.required("edges")?.to_string(),
+        graph,
+        groups: Vec::new(),
+        egos: Vec::new(),
+        ego_owners: Vec::new(),
+        kind: GroupKind::Communities,
+    };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let row = characterize(&dataset, sources, &mut rng);
+    Ok(circlekit::render::render_table2(&[row]))
+}
+
+fn fit_degrees(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &["undirected"])?;
+    let graph = load_graph(&flags)?;
+    let kind = match flags.get("kind").unwrap_or("in") {
+        "in" => DegreeKind::In,
+        "out" => DegreeKind::Out,
+        "total" => DegreeKind::Total,
+        other => return Err(format!("bad --kind {other:?} (in|out|total)")),
+    };
+    let stats = DegreeStats::new(&graph, kind);
+    let report = analyze_tail(&stats.positive_as_f64()).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "degrees analysed: {} (mean {:.2})", report.tail_len, stats.average());
+    let _ = writeln!(
+        out,
+        "best family: {}   ks: pl={:.4} ln={:.4} exp={:.4}",
+        report.best, report.ks[0], report.ks[1], report.ks[2]
+    );
+    let _ = writeln!(
+        out,
+        "tail power law: alpha={:.3} x_min={} (ks {:.4}, n={})",
+        report.scanned.alpha, report.scanned.x_min, report.scanned.ks, report.scanned.tail_len
+    );
+    let _ = writeln!(
+        out,
+        "log-normal: mu={:.3} sigma={:.3}   exponential: lambda={:.4}",
+        report.log_normal.mu, report.log_normal.sigma, report.exponential.lambda
+    );
+    Ok(out)
+}
+
+fn detect(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &["undirected"])?;
+    let graph = load_graph(&flags)?;
+    let ego: u32 = flags
+        .required("ego")?
+        .parse()
+        .map_err(|_| "bad --ego value".to_string())?;
+    if ego as usize >= graph.node_count() {
+        return Err(format!(
+            "ego {ego} exceeds graph node count {}",
+            graph.node_count()
+        ));
+    }
+    let min_size: usize = flags.parse_value("min-size", 3)?;
+    let seed: u64 = flags.parse_value("seed", 2014)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let circles = detect_circles(&graph, ego, min_size, &mut rng);
+    let mut buf = Vec::new();
+    write_groups(&circles, &mut buf).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "detected {} circles (>= {min_size} members) in the ego network of {ego}\n",
+        circles.len()
+    );
+    out.push_str(std::str::from_utf8(&buf).expect("ascii output"));
+    Ok(out)
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("circlekit-cli-tests");
+        fs::create_dir_all(&dir).expect("create temp dir");
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_and_empty() {
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&args(&["frobnicate"])).is_err());
+        assert!(dispatch(&args(&["help"])).unwrap().contains("usage"));
+    }
+
+    #[test]
+    fn generate_then_score_roundtrip() {
+        let edges = tmp("gp.edges");
+        let groups = tmp("gp.circles");
+        let out = dispatch(&args(&[
+            "generate", "google+", "--scale", "0.003", "--seed", "7",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        assert!(out.contains("wrote edges"));
+        assert!(out.contains("groups"));
+
+        let out = dispatch(&args(&["score", "--edges", &edges, "--groups", &groups]))
+            .expect("score succeeds");
+        assert!(out.contains("average-degree"));
+        assert!(out.contains("conductance"));
+        // One row per group plus headers/summaries.
+        assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn score_all_uses_thirteen_functions() {
+        let edges = tmp("tw.edges");
+        let groups = tmp("tw.circles");
+        dispatch(&args(&[
+            "generate", "twitter", "--scale", "0.005", "--seed", "8",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        let out = dispatch(&args(&[
+            "score", "--edges", &edges, "--groups", &groups, "--all",
+        ]))
+        .expect("score succeeds");
+        assert!(out.contains("flake-odf"));
+        assert!(out.contains("tpr"));
+    }
+
+    #[test]
+    fn characterize_file() {
+        let edges = tmp("ch.edges");
+        fs::write(&edges, "0 1\n1 2\n2 0\n2 3\n").unwrap();
+        let out = dispatch(&args(&["characterize", "--edges", &edges, "--undirected"]))
+            .expect("characterize succeeds");
+        assert!(out.contains("diameter"));
+        assert!(out.contains('4')); // 4 vertices
+    }
+
+    #[test]
+    fn fit_degrees_runs_on_generated_graph() {
+        let edges = tmp("fit.edges");
+        dispatch(&args(&[
+            "generate", "google+", "--scale", "0.003", "--seed", "9", "--edges", &edges,
+        ]))
+        .expect("generate succeeds");
+        let out = dispatch(&args(&["fit-degrees", "--edges", &edges, "--kind", "in"]))
+            .expect("fit succeeds");
+        assert!(out.contains("best family"));
+        assert!(out.contains("alpha="));
+    }
+
+    #[test]
+    fn detect_finds_planted_cliques() {
+        let edges = tmp("det.edges");
+        // Owner 0 -> two 4-cliques of alters.
+        let mut text = String::new();
+        for v in 1..=8 {
+            text.push_str(&format!("0 {v}\n"));
+        }
+        for base in [1, 5] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    text.push_str(&format!("{} {}\n", base + i, base + j));
+                }
+            }
+        }
+        fs::write(&edges, text).unwrap();
+        let out = dispatch(&args(&["detect", "--edges", &edges, "--ego", "0"]))
+            .expect("detect succeeds");
+        assert!(out.contains("detected 2 circles"), "{out}");
+    }
+
+    #[test]
+    fn score_rejects_out_of_range_groups() {
+        let edges = tmp("oor.edges");
+        let groups = tmp("oor.circles");
+        fs::write(&edges, "0 1\n").unwrap();
+        fs::write(&groups, "0 99\n").unwrap();
+        let err = dispatch(&args(&["score", "--edges", &edges, "--groups", &groups]))
+            .unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn missing_flags_are_reported() {
+        assert!(dispatch(&args(&["score", "--edges", "nope"])).is_err());
+        assert!(dispatch(&args(&["generate", "google+"])).is_err());
+        assert!(dispatch(&args(&["detect", "--edges", "nope"])).is_err());
+    }
+}

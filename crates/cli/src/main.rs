@@ -1,0 +1,31 @@
+//! `circlekit` — command-line front end for the reproduction library.
+//!
+//! ```text
+//! circlekit generate <google+|twitter|livejournal|orkut|magno>
+//!                    [--scale F] [--seed N] --edges FILE [--groups FILE]
+//! circlekit score        --edges FILE --groups FILE [--undirected] [--all]
+//! circlekit characterize --edges FILE [--undirected] [--sources N]
+//! circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]
+//! circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]
+//! ```
+//!
+//! Edge files are SNAP-style whitespace edge lists; group files are
+//! SNAP-style circle/community lines (`label<TAB>id id …`).
+
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

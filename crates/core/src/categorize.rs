@@ -1,0 +1,280 @@
+//! Fang et al. circle categorisation (the paper's explanation for the
+//! long tails of Figure 5).
+//!
+//! Fang, Fabrikant & LeFevre found that shared circles fall into two
+//! clusters: **community-like** circles (high internal density, high
+//! reciprocity) and **celebrity-like** circles (sparse, low reciprocity,
+//! but very popular members). This module reproduces that clustering with
+//! a small 2-means over the three features they name.
+
+use circlekit_graph::VertexSet;
+use circlekit_scoring::Scorer;
+use circlekit_synth::SynthDataset;
+
+/// Fang et al.'s two categories of shared circles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CircleCategory {
+    /// Dense, reciprocated — an actual community shared as a circle.
+    CommunityLike,
+    /// Sparse and unreciprocated but with very popular members.
+    CelebrityLike,
+}
+
+impl std::fmt::Display for CircleCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CircleCategory::CommunityLike => "community-like",
+            CircleCategory::CelebrityLike => "celebrity-like",
+        })
+    }
+}
+
+/// A categorised circle with its feature vector.
+#[derive(Clone, Debug)]
+pub struct CategorizedCircle {
+    /// Index into the data set's `groups`.
+    pub index: usize,
+    /// Assigned category.
+    pub category: CircleCategory,
+    /// Internal edge density (realised / possible).
+    pub density: f64,
+    /// Reciprocity among internal edges (1.0 for undirected graphs).
+    pub reciprocity: f64,
+    /// Mean graph-wide in-degree of the members (the "popularity" axis).
+    pub mean_in_degree: f64,
+}
+
+/// Categorises every circle of the data set by 2-means clustering on
+/// `(density, reciprocity, log in-degree)`, assigning the denser centroid
+/// the community-like label.
+///
+/// Returns one entry per group, in group order. Data sets with fewer than
+/// two groups get every circle labelled community-like.
+pub fn categorize_circles(dataset: &SynthDataset) -> Vec<CategorizedCircle> {
+    let mut scorer = Scorer::new(&dataset.graph);
+    let features: Vec<[f64; 3]> = dataset
+        .groups
+        .iter()
+        .map(|set| {
+            let stats = scorer.stats(set);
+            let density = if stats.possible_internal_edges() == 0 {
+                0.0
+            } else {
+                stats.m_c as f64 / stats.possible_internal_edges() as f64
+            };
+            [
+                density,
+                internal_reciprocity(dataset, set),
+                mean_in_degree(dataset, set).ln_1p(),
+            ]
+        })
+        .collect();
+
+    let assignments = two_means(&features);
+
+    dataset
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(index, set)| CategorizedCircle {
+            index,
+            category: assignments[index],
+            density: features[index][0],
+            reciprocity: features[index][1],
+            mean_in_degree: mean_in_degree(dataset, set),
+        })
+        .collect()
+}
+
+/// Fraction of internal edges that are reciprocated (1.0 for undirected
+/// graphs or edgeless sets).
+fn internal_reciprocity(dataset: &SynthDataset, set: &VertexSet) -> f64 {
+    if !dataset.graph.is_directed() {
+        return 1.0;
+    }
+    let mut internal = 0usize;
+    let mut mutual = 0usize;
+    for u in set.iter() {
+        for &v in dataset.graph.out_neighbors(u) {
+            if set.contains(v) {
+                internal += 1;
+                if dataset.graph.has_edge(v, u) {
+                    mutual += 1;
+                }
+            }
+        }
+    }
+    if internal == 0 {
+        1.0
+    } else {
+        mutual as f64 / internal as f64
+    }
+}
+
+fn mean_in_degree(dataset: &SynthDataset, set: &VertexSet) -> f64 {
+    if set.is_empty() {
+        return 0.0;
+    }
+    let total: usize = set.iter().map(|v| dataset.graph.in_degree(v)).sum();
+    total as f64 / set.len() as f64
+}
+
+/// Tiny deterministic 2-means on standardised features; the cluster whose
+/// centroid has the higher density coordinate is community-like.
+fn two_means(features: &[[f64; 3]]) -> Vec<CircleCategory> {
+    let n = features.len();
+    if n < 2 {
+        return vec![CircleCategory::CommunityLike; n];
+    }
+    // Standardise each coordinate.
+    let mut std_features = vec![[0.0f64; 3]; n];
+    for dim in 0..3 {
+        let vals: Vec<f64> = features.iter().map(|f| f[dim]).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
+        let sd = var.sqrt().max(1e-12);
+        for (i, v) in vals.iter().enumerate() {
+            std_features[i][dim] = (v - mean) / sd;
+        }
+    }
+    // Deterministic init: min- and max-density points.
+    let lo = (0..n)
+        .min_by(|&a, &b| std_features[a][0].partial_cmp(&std_features[b][0]).expect("finite"))
+        .expect("non-empty");
+    let hi = (0..n)
+        .max_by(|&a, &b| std_features[a][0].partial_cmp(&std_features[b][0]).expect("finite"))
+        .expect("non-empty");
+    let mut centroids = [std_features[lo], std_features[hi]];
+    let mut assign = vec![0usize; n];
+    for _ in 0..32 {
+        let mut changed = false;
+        for (i, f) in std_features.iter().enumerate() {
+            let d0 = dist2(f, &centroids[0]);
+            let d1 = dist2(f, &centroids[1]);
+            let a = usize::from(d1 < d0);
+            if assign[i] != a {
+                assign[i] = a;
+                changed = true;
+            }
+        }
+        for c in 0..2 {
+            let members: Vec<&[f64; 3]> = std_features
+                .iter()
+                .zip(&assign)
+                .filter(|&(_, &a)| a == c)
+                .map(|(f, _)| f)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            for dim in 0..3 {
+                centroids[c][dim] =
+                    members.iter().map(|f| f[dim]).sum::<f64>() / members.len() as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // The cluster with the higher (standardised) density centroid is the
+    // community-like one.
+    let community_cluster = usize::from(centroids[1][0] > centroids[0][0]);
+    assign
+        .into_iter()
+        .map(|a| {
+            if a == community_cluster {
+                CircleCategory::CommunityLike
+            } else {
+                CircleCategory::CelebrityLike
+            }
+        })
+        .collect()
+}
+
+fn dist2(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    (0..3).map(|i| (a[i] - b[i]).powi(2)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_graph::{Graph, GraphBuilder};
+    use circlekit_synth::{GroupKind, SynthDataset};
+
+    /// A data set with one dense reciprocated circle and one star-shaped
+    /// "celebrity" circle.
+    fn fang_fixture() -> SynthDataset {
+        let mut b = GraphBuilder::directed();
+        // Dense mutual clique on 0..4.
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        // Celebrity 4: everyone (5..25) follows, no edges back or among
+        // followers; the circle groups followers with the celebrity.
+        for f in 5..25u32 {
+            b.add_edge(f, 4);
+        }
+        let graph = b.build();
+        SynthDataset {
+            name: "fang".into(),
+            graph,
+            groups: vec![
+                (0u32..4).collect(),
+                VertexSet::from_vec((4u32..12).collect()),
+            ],
+            egos: vec![],
+            ego_owners: vec![],
+            kind: GroupKind::Circles,
+        }
+    }
+
+    #[test]
+    fn dense_reciprocated_circle_is_community_like() {
+        let ds = fang_fixture();
+        let cats = categorize_circles(&ds);
+        assert_eq!(cats.len(), 2);
+        assert_eq!(cats[0].category, CircleCategory::CommunityLike);
+        assert_eq!(cats[1].category, CircleCategory::CelebrityLike);
+        assert!(cats[0].density > cats[1].density);
+        assert!(cats[0].reciprocity > cats[1].reciprocity);
+        assert!(cats[1].mean_in_degree > 0.0);
+    }
+
+    #[test]
+    fn single_group_defaults_to_community_like() {
+        let ds = SynthDataset {
+            name: "one".into(),
+            graph: Graph::from_edges(true, [(0u32, 1u32), (1, 0)]),
+            groups: vec![(0u32..2).collect()],
+            egos: vec![],
+            ego_owners: vec![],
+            kind: GroupKind::Circles,
+        };
+        let cats = categorize_circles(&ds);
+        assert_eq!(cats[0].category, CircleCategory::CommunityLike);
+    }
+
+    #[test]
+    fn undirected_reciprocity_is_one() {
+        let ds = SynthDataset {
+            name: "und".into(),
+            graph: Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 0), (3, 4)]),
+            groups: vec![(0u32..3).collect(), VertexSet::from_vec(vec![3, 4])],
+            egos: vec![],
+            ego_owners: vec![],
+            kind: GroupKind::Communities,
+        };
+        let cats = categorize_circles(&ds);
+        assert!(cats.iter().all(|c| c.reciprocity == 1.0));
+    }
+
+    #[test]
+    fn category_display() {
+        assert_eq!(CircleCategory::CommunityLike.to_string(), "community-like");
+        assert_eq!(CircleCategory::CelebrityLike.to_string(), "celebrity-like");
+    }
+}

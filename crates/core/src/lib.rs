@@ -1,0 +1,60 @@
+//! `circlekit` — a reproduction of *"Are Circles Communities? A
+//! Comparative Analysis of Selective Sharing in Google+"* (Brauer &
+//! Schmidt, ICDCS 2014).
+//!
+//! The paper asks whether Google+ *circles* — owner-curated contact groups
+//! — are structurally the same thing as classical *communities*
+//! (member-joined interest groups à la LiveJournal/Orkut). Its method is
+//! to score both kinds of groups with four community scoring functions and
+//! compare the score CDFs, against size-matched random baselines (its
+//! Figure 5) and across data sets (its Figure 6).
+//!
+//! This crate is the facade: it re-exports the subsystem crates and
+//! provides the end-to-end experiment drivers in [`experiments`], one per
+//! table/figure of the paper.
+//!
+//! ```
+//! use circlekit::experiments::{circles_vs_random, ModularityMode};
+//! use circlekit::synth::presets;
+//! use rand::{rngs::SmallRng, SeedableRng};
+//!
+//! let mut rng = SmallRng::seed_from_u64(2014);
+//! let dataset = presets::google_plus().scaled(0.004).generate(&mut rng);
+//! let fig5 = circles_vs_random(&dataset, ModularityMode::ClosedForm, &mut rng);
+//! // Circles are pronounced structures: internally denser than random
+//! // walks of the same size.
+//! let avg_deg = &fig5.per_function[0];
+//! assert!(avg_deg.circles.mean > avg_deg.random.mean);
+//! ```
+//!
+//! # Crate map
+//!
+//! | Module | Backing crate | Role |
+//! |---|---|---|
+//! | [`graph`] | `circlekit-graph` | CSR graphs, vertex sets |
+//! | [`metrics`] | `circlekit-metrics` | degrees, clustering, paths, egos |
+//! | [`scoring`] | `circlekit-scoring` | the 13 scoring functions |
+//! | [`nullmodel`] | `circlekit-nullmodel` | degree-preserving random graphs |
+//! | [`statfit`] | `circlekit-statfit` | CSN heavy-tail fitting |
+//! | [`stats`] | `circlekit-stats` | ECDFs, KS, summaries |
+//! | [`sampling`] | `circlekit-sampling` | random-walk baselines, crawls |
+//! | [`synth`] | `circlekit-synth` | synthetic corpora |
+//! | [`detect`] | `circlekit-detect` | LPA / circle-detection baselines |
+//! | [`experiments`] | this crate | one driver per table/figure |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use circlekit_detect as detect;
+pub use circlekit_graph as graph;
+pub use circlekit_metrics as metrics;
+pub use circlekit_nullmodel as nullmodel;
+pub use circlekit_sampling as sampling;
+pub use circlekit_scoring as scoring;
+pub use circlekit_statfit as statfit;
+pub use circlekit_stats as stats;
+pub use circlekit_synth as synth;
+
+pub mod categorize;
+pub mod experiments;
+pub mod render;

@@ -1,0 +1,379 @@
+//! Plain-text rendering of experiment reports, in the shape of the
+//! paper's tables and figure series.
+
+use crate::experiments::{
+    CharacterizationRow, CirclesVsRandom, ClusteringReport, DatasetScores, DegreeFitReport,
+    RobustnessReport,
+};
+use circlekit_metrics::EgoStats;
+use circlekit_stats::Ecdf;
+use circlekit_synth::DatasetSummary;
+use std::fmt::Write as _;
+
+/// Renders Table II-style characterisation rows.
+pub fn render_table2(rows: &[CharacterizationRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>12} {:>9} {:>7} {:>12} {:>12} {:>8} {:>8}",
+        "dataset", "vertices", "edges", "diameter", "asp", "in-dist", "out-dist", "avg-in", "avg-out"
+    );
+    for r in rows {
+        let fam = |f: &Option<circlekit_statfit::ModelKind>| {
+            f.map(|m| m.to_string()).unwrap_or_else(|| "-".into())
+        };
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>12} {:>9} {:>7.2} {:>12} {:>12} {:>8.1} {:>8.1}",
+            r.name,
+            r.vertices,
+            r.edges,
+            r.diameter,
+            r.average_shortest_path,
+            fam(&r.in_degree_family),
+            fam(&r.out_degree_family),
+            r.average_in_degree,
+            r.average_out_degree,
+        );
+    }
+    out
+}
+
+/// Renders Table III-style data-set summary rows.
+pub fn render_table3(rows: &[DatasetSummary]) -> String {
+    rows.iter().map(|r| format!("{r}\n")).collect()
+}
+
+/// Renders the Figure 1 quantification: the ego-overlap matrix summary.
+pub fn render_fig1(m: &crate::experiments::EgoOverlapMatrix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ego networks: {}   overlapping pairs: {} ({:.1}% of pairs)",
+        m.ego_count,
+        m.overlapping_pairs,
+        100.0 * m.pair_overlap_fraction()
+    );
+    // Bridge-width distribution over overlapping pairs.
+    let mut widths: Vec<f64> = Vec::new();
+    for i in 0..m.ego_count {
+        for j in (i + 1)..m.ego_count {
+            if m.shared[i][j] > 0 {
+                widths.push(m.shared[i][j] as f64);
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "bridge vertices per overlapping pair: {}",
+        circlekit_stats::Summary::from_slice(&widths)
+    );
+    out
+}
+
+/// Renders the Figure 2 membership series (`membership -> vertex count`).
+pub fn render_fig2(stats: &EgoStats) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ego networks: {}   overlap fraction: {:.1}%   covered vertices: {}",
+        stats.ego_count,
+        100.0 * stats.overlap_fraction,
+        stats.covered_vertices()
+    );
+    let _ = writeln!(out, "{:>12} {:>12}", "memberships", "vertices");
+    for (k, c) in stats.membership_series() {
+        let _ = writeln!(out, "{k:>12} {c:>12}");
+    }
+    out
+}
+
+/// Renders the Figure 3 fit verdict and the log-binned series.
+pub fn render_fig3(report: &DegreeFitReport) -> String {
+    let mut out = String::new();
+    let f = &report.fit;
+    let _ = writeln!(
+        out,
+        "best family: {}   (ks pl={:.4} ln={:.4} exp={:.4})",
+        f.best, f.ks[0], f.ks[1], f.ks[2]
+    );
+    let _ = writeln!(
+        out,
+        "scanned power law: alpha={:.3} x_min={} ks={:.4} tail={}",
+        f.scanned.alpha, f.scanned.x_min, f.scanned.ks, f.scanned.tail_len
+    );
+    let _ = writeln!(
+        out,
+        "log-normal fit: mu={:.3} sigma={:.3}   llr(pl vs ln)={:+.1} p={:.3}",
+        f.log_normal.mu, f.log_normal.sigma, f.pl_vs_ln.log_likelihood_ratio, f.pl_vs_ln.p_value
+    );
+    let _ = writeln!(out, "{:>12} {:>14}", "degree", "density");
+    for (x, d) in &report.log_binned {
+        let _ = writeln!(out, "{x:>12.1} {d:>14.6}");
+    }
+    out
+}
+
+/// Renders the Figure 4 clustering-coefficient CDF.
+pub fn render_fig4(report: &ClusteringReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "average clustering coefficient: {:.4}", report.mean);
+    let _ = writeln!(out, "{:>8} {:>8}", "cc", "cdf");
+    for (x, f) in report.cdf.iter().step_by(10) {
+        let _ = writeln!(out, "{x:>8.3} {f:>8.3}");
+    }
+    out
+}
+
+/// Renders the Figure 5 comparison: one block per scoring function with
+/// the circle and random CDF series.
+pub fn render_fig5(result: &CirclesVsRandom, cdf_points: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset: {}", result.dataset);
+    for pair in &result.per_function {
+        let _ = writeln!(
+            out,
+            "\n[{}] circles: {}\n{:<9} random:  {}   ks-separation={:.3}",
+            pair.function, pair.circles, "", pair.random, pair.ks_separation
+        );
+        let circles = Ecdf::new(pair.circle_scores.clone()).sampled(cdf_points);
+        let random = Ecdf::new(pair.random_scores.clone()).sampled(cdf_points);
+        let _ = writeln!(out, "{:>12} {:>8} | {:>12} {:>8}", "x(circle)", "cdf", "x(random)", "cdf");
+        for i in 0..cdf_points {
+            let c = circles.get(i);
+            let r = random.get(i);
+            let _ = writeln!(
+                out,
+                "{:>12} {:>8} | {:>12} {:>8}",
+                c.map(|p| format!("{:.4}", p.0)).unwrap_or_default(),
+                c.map(|p| format!("{:.3}", p.1)).unwrap_or_default(),
+                r.map(|p| format!("{:.4}", p.0)).unwrap_or_default(),
+                r.map(|p| format!("{:.3}", p.1)).unwrap_or_default(),
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\nratio-cut below random median: {:.1}%   modularity significant: {:.1}%",
+        100.0 * result.ratio_cut_below_random_median,
+        100.0 * result.modularity_significant_fraction
+    );
+    out
+}
+
+/// Renders the Figure 6 cross-data-set comparison as per-function summary
+/// rows.
+pub fn render_fig6(scores: &[DatasetScores]) -> String {
+    let mut out = String::new();
+    if scores.is_empty() {
+        return out;
+    }
+    for (idx, (function, _, _)) in scores[0].per_function.iter().enumerate() {
+        let _ = writeln!(out, "\n[{function}]");
+        let _ = writeln!(
+            out,
+            "{:<13} {:>11} {:>11} {:>11} {:>11} {:>11}",
+            "dataset", "mean", "median", "q25", "q75", "max"
+        );
+        for ds in scores {
+            let (_, _, s) = &ds.per_function[idx];
+            let _ = writeln!(
+                out,
+                "{:<13} {:>11.4} {:>11.4} {:>11.4} {:>11.4} {:>11.4}",
+                ds.name, s.mean, s.median, s.q25, s.q75, s.max
+            );
+        }
+    }
+    out
+}
+
+/// Renders the circle-sharing densification report.
+pub fn render_sharing(r: &crate::experiments::SharingDensification) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dataset: {}   join probability: {}   edges added: {}",
+        r.dataset, r.join_probability, r.added_edges
+    );
+    let _ = writeln!(
+        out,
+        "internal density: {:.4} -> {:.4} (median {:.4} -> {:.4})",
+        r.density_before.mean, r.density_after.mean, r.density_before.median, r.density_after.median
+    );
+    let _ = writeln!(
+        out,
+        "conductance:      {:.4} -> {:.4} (median {:.4} -> {:.4})",
+        r.conductance_before.mean,
+        r.conductance_after.mean,
+        r.conductance_before.median,
+        r.conductance_after.median
+    );
+    out
+}
+
+/// Renders the detection-extension comparison.
+pub fn render_detection(results: &[crate::experiments::DetectionComparison]) -> String {
+    let mut out = String::new();
+    for r in results {
+        let _ = writeln!(
+            out,
+            "method {:<18} detected groups: {:<5} nmi vs labels: {:.3}",
+            r.method, r.detected, r.nmi
+        );
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>14} {:>14}",
+            "function", "labelled mean", "detected mean"
+        );
+        for (f, labelled, detected) in &r.per_function {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>14.4} {:>14.4}",
+                f.name(),
+                labelled.mean,
+                detected.mean
+            );
+        }
+    }
+    out
+}
+
+/// Renders the ego-view comparison: per-function global vs ego-scoped
+/// score summaries.
+pub fn render_ego_view(cmp: &crate::experiments::EgoViewComparison) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "dataset: {}   circles attributed to a host ego network: {}",
+        cmp.dataset, cmp.attributed
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>14} {:>14} {:>14} {:>14}",
+        "function", "global mean", "ego mean", "global median", "ego median"
+    );
+    for (f, global, ego) in &cmp.per_function {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>14.4} {:>14.4} {:>14.4} {:>14.4}",
+            f.name(),
+            global.mean,
+            ego.mean,
+            global.median,
+            ego.median
+        );
+    }
+    out
+}
+
+/// Renders the 13-function correlation matrix with the category grouping
+/// summary.
+pub fn render_correlations(corr: &crate::experiments::FunctionCorrelations) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<18}", "");
+    for f in &corr.functions {
+        let _ = write!(out, "{:>7}", shorten(f.name()));
+    }
+    let _ = writeln!(out);
+    for (i, f) in corr.functions.iter().enumerate() {
+        let _ = write!(out, "{:<18}", f.name());
+        for j in 0..corr.functions.len() {
+            match corr.matrix[i][j] {
+                Some(r) => {
+                    let _ = write!(out, "{r:>7.2}");
+                }
+                None => {
+                    let _ = write!(out, "{:>7}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let (within, across) = corr.within_vs_across();
+    let _ = writeln!(
+        out,
+        "mean |r| within categories: {within:.3}   across categories: {across:.3}"
+    );
+    out
+}
+
+fn shorten(name: &str) -> String {
+    name.chars().take(6).collect()
+}
+
+/// Renders the robustness (directed vs undirected) report.
+pub fn render_robustness(report: &RobustnessReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset: {}", report.dataset);
+    for (f, dev) in &report.per_function {
+        let _ = writeln!(out, "{f:<16} mean relative deviation {:.2}%", 100.0 * dev);
+    }
+    let _ = writeln!(
+        out,
+        "overall (scale-invariant functions): {:.2}%",
+        100.0 * report.overall
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{
+        characterize, circles_vs_random, clustering_report, compare_datasets, ego_overlap_report,
+        in_degree_fit, summarize_datasets, ModularityMode,
+    };
+    use circlekit_synth::presets;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_renderers_produce_nonempty_output() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let ds = presets::google_plus().scaled(0.003).generate(&mut rng);
+
+        let row = characterize(&ds, 8, &mut rng);
+        assert!(render_table2(&[row]).contains("dataset"));
+
+        let rows = summarize_datasets(&[&ds]);
+        assert!(render_table3(&rows).contains("google+"));
+
+        let ego = ego_overlap_report(&ds);
+        assert!(render_fig2(&ego).contains("overlap"));
+
+        if let Ok(fit) = in_degree_fit(&ds) {
+            assert!(render_fig3(&fit).contains("best family"));
+        }
+
+        let cc = clustering_report(&ds);
+        assert!(render_fig4(&cc).contains("clustering"));
+
+        let fig5 = circles_vs_random(&ds, ModularityMode::ClosedForm, &mut rng);
+        let text = render_fig5(&fig5, 5);
+        assert!(text.contains("average-degree"));
+        assert!(text.contains("modularity"));
+
+        let fig6 = compare_datasets(&[&ds]);
+        assert!(render_fig6(&fig6).contains("conductance"));
+
+        let rob = crate::experiments::directed_vs_undirected(&ds);
+        assert!(render_robustness(&rob).contains("deviation"));
+
+        let m = crate::experiments::ego_overlap_matrix(&ds);
+        assert!(render_fig1(&m).contains("overlapping pairs"));
+
+        let ev = crate::experiments::ego_view_comparison(&ds);
+        assert!(render_ego_view(&ev).contains("ego mean"));
+
+        let corr = crate::experiments::function_correlations(&ds);
+        let text = render_correlations(&corr);
+        assert!(text.contains("within categories"));
+        assert!(text.contains("modularity"));
+
+        let det = crate::experiments::detection_comparison(&ds, &mut rng);
+        assert!(render_detection(&det).contains("nmi"));
+
+        let sh = crate::experiments::circle_sharing_densification(&ds, 0.2, &mut rng);
+        assert!(render_sharing(&sh).contains("edges added"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Girvan–Newman divisive community detection — the algorithm from the
+//! paper's reference [23] (Newman & Girvan 2004), which also supplies the
+//! Modularity null model.
+
+use circlekit_graph::{connected_components, Direction, Graph, GraphBuilder, VertexSet};
+use circlekit_metrics::edge_betweenness;
+
+/// Girvan–Newman: repeatedly remove the highest-edge-betweenness edge and
+/// split on the emerging connected components, until at least
+/// `target_communities` components exist (or no edges remain). The
+/// classic divisive benchmark against which modularity methods were
+/// developed.
+///
+/// Recomputes betweenness after every removal (`O(n·m)` each), so this is
+/// meant for graphs up to a few thousand edges — the regime of individual
+/// ego networks.
+///
+/// Returns the components as communities, largest first.
+pub fn girvan_newman(graph: &Graph, target_communities: usize) -> Vec<VertexSet> {
+    let und = graph.to_undirected();
+    let n = und.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut edges: Vec<(u32, u32)> = und.edges().collect();
+    let mut current = und.clone();
+    loop {
+        let cc = connected_components(&current);
+        if cc.component_count() >= target_communities || edges.is_empty() {
+            let mut out: Vec<VertexSet> = (0..cc.component_count() as u32)
+                .map(|id| cc.members(id))
+                .collect();
+            out.sort_by_key(|g| std::cmp::Reverse((g.len(), g.as_slice().first().copied())));
+            return out;
+        }
+        // Remove the highest-betweenness edge.
+        let eb = edge_betweenness(&current, Direction::Both);
+        let (&worst, _) = eb
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite centralities"))
+            .expect("graph still has edges");
+        edges.retain(|&e| e != worst);
+        let mut b = GraphBuilder::undirected();
+        b.reserve_nodes(n);
+        b.add_edges(edges.iter().copied());
+        current = b.build();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(base: u32, k: u32) -> Vec<(u32, u32)> {
+        let mut edges = Vec::new();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                edges.push((base + i, base + j));
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn splits_two_cliques_at_the_bridge() {
+        let mut edges = clique(0, 5);
+        edges.extend(clique(5, 5));
+        edges.push((0, 5));
+        let g = Graph::from_edges(false, edges);
+        let communities = girvan_newman(&g, 2);
+        assert_eq!(communities.len(), 2);
+        assert_eq!(communities[0].len(), 5);
+        assert_eq!(communities[1].len(), 5);
+        // The split is exactly at the bridge.
+        assert!(communities.iter().any(|c| c.contains(0) && !c.contains(5)));
+    }
+
+    #[test]
+    fn splits_three_cliques() {
+        let mut edges = clique(0, 4);
+        edges.extend(clique(4, 4));
+        edges.extend(clique(8, 4));
+        edges.push((0, 4));
+        edges.push((4, 8));
+        let g = Graph::from_edges(false, edges);
+        let communities = girvan_newman(&g, 3);
+        assert_eq!(communities.len(), 3);
+        assert!(communities.iter().all(|c| c.len() == 4));
+    }
+
+    #[test]
+    fn target_one_returns_whole_components() {
+        let g = Graph::from_edges(false, clique(0, 4));
+        let communities = girvan_newman(&g, 1);
+        assert_eq!(communities.len(), 1);
+        assert_eq!(communities[0].len(), 4);
+    }
+
+    #[test]
+    fn disconnected_input_needs_no_removals() {
+        let mut edges = clique(0, 3);
+        edges.extend(clique(3, 3));
+        let g = Graph::from_edges(false, edges);
+        let communities = girvan_newman(&g, 2);
+        assert_eq!(communities.len(), 2);
+    }
+
+    #[test]
+    fn unreachable_target_stops_at_edgeless_graph() {
+        let g = Graph::from_edges(false, [(0u32, 1u32)]);
+        let communities = girvan_newman(&g, 10);
+        assert_eq!(communities.len(), 2); // singletons after the only removal
+    }
+
+    #[test]
+    fn directed_input_uses_undirected_view() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 0), (1, 2)]);
+        let communities = girvan_newman(&g, 2);
+        assert_eq!(communities.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::undirected().build();
+        assert!(girvan_newman(&g, 2).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_louvain_on_planted_structure() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut edges = clique(0, 6);
+        edges.extend(clique(6, 6));
+        edges.push((1, 7));
+        let g = Graph::from_edges(false, edges);
+        let gn = girvan_newman(&g, 2);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let lv = crate::louvain(&g, &mut rng);
+        let nmi = crate::normalized_mutual_information(&gn, &lv, g.node_count());
+        assert!(nmi > 0.99, "nmi = {nmi}");
+    }
+}

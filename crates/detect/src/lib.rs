@@ -1,0 +1,238 @@
+//! Detection baselines.
+//!
+//! The paper only *scores* given groups, but two of its reference points
+//! are detection systems: McAuley–Leskovec's automatic circle discovery in
+//! ego networks, and the community-detection literature behind the scoring
+//! functions. This crate provides light-weight baselines used in the
+//! extension experiments ("do *detected* communities score like circles or
+//! like classical communities?"):
+//!
+//! * [`label_propagation`] — asynchronous label propagation over the
+//!   undirected view,
+//! * [`detect_circles`] — LPA applied inside one ego network, the
+//!   McAuley–Leskovec-style clustering baseline,
+//! * [`k_core`] — the maximal subgraph of minimum degree `k`,
+//! * [`louvain`] — Louvain modularity optimisation, with
+//!   [`modularity_of_partition`] and [`normalized_mutual_information`]
+//!   for evaluating detected partitions against planted ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod girvan_newman;
+mod louvain;
+
+pub use girvan_newman::girvan_newman;
+pub use louvain::{louvain, modularity_of_partition, normalized_mutual_information};
+
+use circlekit_graph::{Direction, Graph, NodeId, VertexSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Asynchronous label propagation (Raghavan et al.): every node adopts the
+/// most frequent label among its neighbours (ties broken at random) until
+/// labels stabilise or `max_sweeps` is reached.
+///
+/// Orientation is ignored. Returns the detected communities, largest
+/// first; isolated vertices come back as singletons.
+pub fn label_propagation<R: Rng + ?Sized>(
+    graph: &Graph,
+    max_sweeps: usize,
+    rng: &mut R,
+) -> Vec<VertexSet> {
+    let n = graph.node_count();
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    for _ in 0..max_sweeps {
+        order.shuffle(rng);
+        let mut changed = false;
+        for &v in &order {
+            let mut freq: HashMap<u32, usize> = HashMap::new();
+            for w in graph.neighbors(v, Direction::Both) {
+                *freq.entry(labels[w as usize]).or_insert(0) += 1;
+            }
+            if freq.is_empty() {
+                continue;
+            }
+            let best_count = *freq.values().max().expect("non-empty");
+            let mut winners: Vec<u32> = freq
+                .into_iter()
+                .filter(|&(_, c)| c == best_count)
+                .map(|(l, _)| l)
+                .collect();
+            winners.sort_unstable(); // determinism before the random tie-break
+            let new = *winners.choose(rng).expect("non-empty winners");
+            if labels[v as usize] != new {
+                labels[v as usize] = new;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    group_by_label(&labels)
+}
+
+/// Groups nodes by label, returning communities sorted largest-first.
+fn group_by_label(labels: &[u32]) -> Vec<VertexSet> {
+    let mut groups: HashMap<u32, Vec<NodeId>> = HashMap::new();
+    for (v, &l) in labels.iter().enumerate() {
+        groups.entry(l).or_default().push(v as NodeId);
+    }
+    let mut out: Vec<VertexSet> = groups.into_values().map(VertexSet::from_vec).collect();
+    out.sort_by_key(|g| std::cmp::Reverse((g.len(), g.as_slice().first().copied())));
+    out
+}
+
+/// Detects circles in the ego network of `owner` by clustering the ego
+/// network *minus the owner* with label propagation (the owner links to
+/// every alter and would otherwise glue all clusters together) — the
+/// McAuley–Leskovec problem statement with an LPA solver.
+///
+/// Returns detected circles of at least `min_size` members, largest first,
+/// as vertex sets in the parent graph's id space.
+///
+/// # Panics
+///
+/// Panics if `owner >= node_count()`.
+pub fn detect_circles<R: Rng + ?Sized>(
+    graph: &Graph,
+    owner: NodeId,
+    min_size: usize,
+    rng: &mut R,
+) -> Vec<VertexSet> {
+    let mut ego = graph.ego_network(owner);
+    ego.remove(owner);
+    let sub = graph.subgraph(&ego).expect("ego members are valid ids");
+    let clusters = label_propagation(sub.graph(), 20, rng);
+    clusters
+        .into_iter()
+        .filter(|c| c.len() >= min_size)
+        .map(|c| c.iter().map(|local| sub.to_parent(local)).collect())
+        .collect()
+}
+
+/// The `k`-core: the maximal vertex set in which every member has at least
+/// `k` neighbours (undirected view) inside the set. Returns an empty set
+/// when no such subgraph exists.
+pub fn k_core(graph: &Graph, k: usize) -> VertexSet {
+    let n = graph.node_count();
+    let mut degree: Vec<usize> = (0..n as NodeId)
+        .map(|v| graph.neighbors(v, Direction::Both).count())
+        .collect();
+    let mut removed = vec![false; n];
+    let mut stack: Vec<NodeId> = (0..n as NodeId)
+        .filter(|&v| degree[v as usize] < k)
+        .collect();
+    while let Some(v) = stack.pop() {
+        if removed[v as usize] {
+            continue;
+        }
+        removed[v as usize] = true;
+        for w in graph.neighbors(v, Direction::Both) {
+            if !removed[w as usize] {
+                degree[w as usize] -= 1;
+                if degree[w as usize] < k {
+                    stack.push(w);
+                }
+            }
+        }
+    }
+    (0..n as NodeId).filter(|&v| !removed[v as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Two 5-cliques joined by a single bridge edge.
+    fn two_cliques() -> Graph {
+        let mut edges = Vec::new();
+        for base in [0u32, 5] {
+            for i in 0..5 {
+                for j in (i + 1)..5 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.push((4, 5));
+        Graph::from_edges(false, edges)
+    }
+
+    #[test]
+    fn lpa_splits_two_cliques() {
+        let g = two_cliques();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let communities = label_propagation(&g, 50, &mut rng);
+        // LPA should find exactly the two cliques (occasionally one blob;
+        // the seed is chosen so it splits).
+        assert_eq!(communities.len(), 2, "{communities:?}");
+        assert_eq!(communities[0].len(), 5);
+        assert_eq!(communities[1].len(), 5);
+    }
+
+    #[test]
+    fn lpa_partitions_all_nodes() {
+        let g = two_cliques();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let communities = label_propagation(&g, 50, &mut rng);
+        let total: usize = communities.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn lpa_isolated_nodes_are_singletons() {
+        let mut b = circlekit_graph::GraphBuilder::undirected();
+        b.add_edge(0, 1).reserve_nodes(4);
+        let g = b.build();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let communities = label_propagation(&g, 10, &mut rng);
+        assert_eq!(communities.len(), 3); // {0,1}, {2}, {3}
+    }
+
+    #[test]
+    fn detect_circles_in_planted_ego() {
+        // Owner 0 points at two 4-cliques of alters.
+        let mut edges: Vec<(u32, u32)> = (1u32..=8).map(|v| (0, v)).collect();
+        for base in [1u32, 5] {
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        let g = Graph::from_edges(true, edges);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let circles = detect_circles(&g, 0, 2, &mut rng);
+        assert_eq!(circles.len(), 2, "{circles:?}");
+        assert!(circles.iter().all(|c| c.len() == 4));
+        assert!(circles.iter().all(|c| !c.contains(0)));
+    }
+
+    #[test]
+    fn k_core_of_clique_plus_tail() {
+        let mut edges = vec![(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        edges.push((3, 4));
+        edges.push((4, 5));
+        let g = Graph::from_edges(false, edges);
+        assert_eq!(k_core(&g, 3).as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(k_core(&g, 1).len(), 6);
+        assert!(k_core(&g, 4).is_empty());
+    }
+
+    #[test]
+    fn k_core_zero_is_everything() {
+        let g = two_cliques();
+        assert_eq!(k_core(&g, 0).len(), g.node_count());
+    }
+
+    #[test]
+    fn k_core_directed_uses_total_neighbourhood() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0)]);
+        assert_eq!(k_core(&g, 2).len(), 3);
+    }
+}

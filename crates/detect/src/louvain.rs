@@ -1,0 +1,409 @@
+//! Louvain modularity optimisation and partition-comparison metrics.
+
+use circlekit_graph::{Direction, Graph, NodeId, VertexSet};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Newman–Girvan modularity of a disjoint partition:
+/// `Q = Σ_c (m_c / m - (d_c / 2m)²)` on the undirected view.
+///
+/// Nodes missing from every part are treated as singletons. Returns `0.0`
+/// for an edgeless graph.
+///
+/// ```
+/// use circlekit_detect::modularity_of_partition;
+/// use circlekit_graph::{Graph, VertexSet};
+/// // Two triangles joined by one edge, split at the bridge.
+/// let g = Graph::from_edges(false, [
+///     (0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3),
+/// ]);
+/// let parts = vec![
+///     VertexSet::from_vec(vec![0, 1, 2]),
+///     VertexSet::from_vec(vec![3, 4, 5]),
+/// ];
+/// let q = modularity_of_partition(&g, &parts);
+/// assert!(q > 0.3, "q = {q}");
+/// ```
+pub fn modularity_of_partition(graph: &Graph, parts: &[VertexSet]) -> f64 {
+    let und;
+    let g = if graph.is_directed() {
+        und = graph.to_undirected();
+        &und
+    } else {
+        graph
+    };
+    let m = g.edge_count() as f64;
+    if m == 0.0 {
+        return 0.0;
+    }
+    // Node -> community label (singletons for uncovered nodes).
+    let mut label = vec![u32::MAX; g.node_count()];
+    for (c, part) in parts.iter().enumerate() {
+        for v in part.iter() {
+            label[v as usize] = c as u32;
+        }
+    }
+    let mut next = parts.len() as u32;
+    for l in label.iter_mut() {
+        if *l == u32::MAX {
+            *l = next;
+            next += 1;
+        }
+    }
+    let communities = next as usize;
+    let mut internal = vec![0usize; communities];
+    let mut degree = vec![0usize; communities];
+    for v in 0..g.node_count() as NodeId {
+        degree[label[v as usize] as usize] += g.degree(v);
+    }
+    for (u, v) in g.edges() {
+        if label[u as usize] == label[v as usize] {
+            internal[label[u as usize] as usize] += 1;
+        }
+    }
+    (0..communities)
+        .map(|c| internal[c] as f64 / m - (degree[c] as f64 / (2.0 * m)).powi(2))
+        .sum()
+}
+
+/// Louvain community detection (Blondel et al. 2008): greedy local moving
+/// plus graph aggregation, repeated until modularity stops improving.
+///
+/// Operates on the undirected view; returns the detected communities,
+/// largest first. Deterministic given the RNG (node visiting order is
+/// shuffled per sweep).
+pub fn louvain<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Vec<VertexSet> {
+    let und;
+    let g = if graph.is_directed() {
+        und = graph.to_undirected();
+        &und
+    } else {
+        graph
+    };
+    let n = g.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Weighted multigraph state: adjacency (neighbour, weight), self-loop
+    // weights, and the mapping super-node -> original nodes.
+    let mut adjacency: Vec<Vec<(u32, f64)>> = (0..n as NodeId)
+        .map(|v| {
+            g.neighbors(v, Direction::Both)
+                .map(|w| (w, 1.0))
+                .collect()
+        })
+        .collect();
+    let mut self_loops: Vec<f64> = vec![0.0; n];
+    let mut members: Vec<Vec<NodeId>> = (0..n as NodeId).map(|v| vec![v]).collect();
+    let total_weight = g.edge_count() as f64; // m (undirected)
+    if total_weight == 0.0 {
+        return members.into_iter().map(VertexSet::from_vec).collect();
+    }
+
+    for _level in 0..32 {
+        let count = adjacency.len();
+        // Node strengths: weighted degree + 2 * self-loop.
+        let strength: Vec<f64> = (0..count)
+            .map(|v| adjacency[v].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self_loops[v])
+            .collect();
+        let mut community: Vec<u32> = (0..count as u32).collect();
+        let mut community_strength = strength.clone();
+
+        // Local moving until a full sweep makes no move.
+        let mut order: Vec<usize> = (0..count).collect();
+        let mut moved_any = false;
+        for _sweep in 0..64 {
+            order.shuffle(rng);
+            let mut moved = false;
+            for &v in &order {
+                let current = community[v];
+                // Weight from v to each adjacent community.
+                let mut to_comm: std::collections::HashMap<u32, f64> =
+                    std::collections::HashMap::new();
+                for &(w, weight) in &adjacency[v] {
+                    to_comm
+                        .entry(community[w as usize])
+                        .and_modify(|x| *x += weight)
+                        .or_insert(weight);
+                }
+                community_strength[current as usize] -= strength[v];
+                let k_v = strength[v];
+                let two_m = 2.0 * total_weight;
+                // Gain of joining community c: k_{v,c}/m - Σ_c k_v / 2m².
+                let gain = |c: u32| {
+                    let k_vc = to_comm.get(&c).copied().unwrap_or(0.0);
+                    k_vc / total_weight
+                        - community_strength[c as usize] * k_v / (two_m * total_weight)
+                };
+                let mut best = current;
+                let mut best_gain = gain(current);
+                for &c in to_comm.keys() {
+                    let g = gain(c);
+                    if g > best_gain + 1e-12 {
+                        best = c;
+                        best_gain = g;
+                    }
+                }
+                community[v] = best;
+                community_strength[best as usize] += strength[v];
+                if best != current {
+                    moved = true;
+                    moved_any = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+        if !moved_any {
+            break;
+        }
+
+        // Compact community labels.
+        let mut relabel: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for &c in &community {
+            let next = relabel.len() as u32;
+            relabel.entry(c).or_insert(next);
+        }
+        let new_count = relabel.len();
+        if new_count == count {
+            break; // no aggregation possible
+        }
+
+        // Aggregate: new adjacency/self-loops/membership.
+        let mut new_members: Vec<Vec<NodeId>> = vec![Vec::new(); new_count];
+        let mut new_self: Vec<f64> = vec![0.0; new_count];
+        let mut edge_weights: std::collections::HashMap<(u32, u32), f64> =
+            std::collections::HashMap::new();
+        for v in 0..count {
+            let cv = relabel[&community[v]];
+            new_members[cv as usize].append(&mut members[v]);
+            new_self[cv as usize] += self_loops[v];
+            for &(w, weight) in &adjacency[v] {
+                let cw = relabel[&community[w as usize]];
+                if cv == cw {
+                    // Each internal edge visited from both endpoints.
+                    new_self[cv as usize] += weight / 2.0;
+                } else {
+                    let key = (cv.min(cw), cv.max(cw));
+                    *edge_weights.entry(key).or_insert(0.0) += weight / 2.0;
+                }
+            }
+        }
+        let mut new_adj: Vec<Vec<(u32, f64)>> = vec![Vec::new(); new_count];
+        for (&(a, b), &w) in &edge_weights {
+            new_adj[a as usize].push((b, w));
+            new_adj[b as usize].push((a, w));
+        }
+        adjacency = new_adj;
+        self_loops = new_self;
+        members = new_members;
+        if new_count == 1 {
+            break;
+        }
+    }
+
+    let mut out: Vec<VertexSet> = members
+        .into_iter()
+        .filter(|m| !m.is_empty())
+        .map(VertexSet::from_vec)
+        .collect();
+    out.sort_by_key(|g| std::cmp::Reverse((g.len(), g.as_slice().first().copied())));
+    out
+}
+
+/// Normalized mutual information between two disjoint partitions of
+/// `0..n`: `2 I(A; B) / (H(A) + H(B))`.
+///
+/// Nodes missing from a partition are treated as singletons. Returns `1.0`
+/// for identical partitions and `0.0` when either partition carries no
+/// information (a single block) or `n == 0`.
+pub fn normalized_mutual_information(a: &[VertexSet], b: &[VertexSet], n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    let label = |parts: &[VertexSet]| -> Vec<u32> {
+        let mut l = vec![u32::MAX; n];
+        for (c, part) in parts.iter().enumerate() {
+            for v in part.iter() {
+                if (v as usize) < n {
+                    l[v as usize] = c as u32;
+                }
+            }
+        }
+        let mut next = parts.len() as u32;
+        for x in l.iter_mut() {
+            if *x == u32::MAX {
+                *x = next;
+                next += 1;
+            }
+        }
+        l
+    };
+    let la = label(a);
+    let lb = label(b);
+    let ka = 1 + *la.iter().max().expect("n > 0") as usize;
+    let kb = 1 + *lb.iter().max().expect("n > 0") as usize;
+    let mut joint = vec![0u32; ka * kb];
+    let mut ca = vec![0u32; ka];
+    let mut cb = vec![0u32; kb];
+    for i in 0..n {
+        joint[la[i] as usize * kb + lb[i] as usize] += 1;
+        ca[la[i] as usize] += 1;
+        cb[lb[i] as usize] += 1;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for i in 0..ka {
+        for j in 0..kb {
+            let nij = joint[i * kb + j] as f64;
+            if nij > 0.0 {
+                mi += (nij / nf) * ((nij * nf) / (ca[i] as f64 * cb[j] as f64)).ln();
+            }
+        }
+    }
+    let entropy = |counts: &[u32]| -> f64 {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / nf;
+                -p * p.ln()
+            })
+            .sum()
+    };
+    let (ha, hb) = (entropy(&ca), entropy(&cb));
+    if ha + hb == 0.0 {
+        return if ka == kb { 1.0 } else { 0.0 };
+    }
+    (2.0 * mi / (ha + hb)).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn two_cliques(bridges: usize) -> Graph {
+        let mut edges = Vec::new();
+        for base in [0u32, 6] {
+            for i in 0..6 {
+                for j in (i + 1)..6 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        for k in 0..bridges as u32 {
+            edges.push((k, 6 + k));
+        }
+        Graph::from_edges(false, edges)
+    }
+
+    #[test]
+    fn louvain_splits_two_cliques() {
+        let g = two_cliques(1);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let communities = louvain(&g, &mut rng);
+        assert_eq!(communities.len(), 2, "{communities:?}");
+        assert_eq!(communities[0].len(), 6);
+        assert_eq!(communities[1].len(), 6);
+    }
+
+    #[test]
+    fn louvain_partitions_all_nodes() {
+        let g = two_cliques(2);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let communities = louvain(&g, &mut rng);
+        let total: usize = communities.iter().map(|c| c.len()).sum();
+        assert_eq!(total, g.node_count());
+        // Disjointness.
+        for i in 0..communities.len() {
+            for j in (i + 1)..communities.len() {
+                assert!(!communities[i].overlaps(&communities[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn louvain_modularity_beats_trivial_partitions() {
+        let g = two_cliques(1);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let communities = louvain(&g, &mut rng);
+        let q = modularity_of_partition(&g, &communities);
+        let whole = vec![(0u32..12).collect::<VertexSet>()];
+        let singletons: Vec<VertexSet> =
+            (0u32..12).map(|v| VertexSet::from_vec(vec![v])).collect();
+        assert!(q > modularity_of_partition(&g, &whole));
+        assert!(q > modularity_of_partition(&g, &singletons));
+        assert!(q > 0.3, "q = {q}");
+    }
+
+    #[test]
+    fn modularity_of_whole_graph_is_zero() {
+        let g = two_cliques(1);
+        let whole = vec![(0u32..12).collect::<VertexSet>()];
+        assert!(modularity_of_partition(&g, &whole).abs() < 1e-12);
+    }
+
+    #[test]
+    fn louvain_on_edgeless_graph_gives_singletons() {
+        let mut b = circlekit_graph::GraphBuilder::undirected();
+        b.reserve_nodes(5);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let communities = louvain(&b.build(), &mut rng);
+        assert_eq!(communities.len(), 5);
+    }
+
+    #[test]
+    fn nmi_identity_and_independence() {
+        let a = vec![
+            VertexSet::from_vec(vec![0, 1, 2]),
+            VertexSet::from_vec(vec![3, 4, 5]),
+        ];
+        assert!((normalized_mutual_information(&a, &a, 6) - 1.0).abs() < 1e-12);
+        // A partition vs the whole set: no shared information.
+        let whole = vec![(0u32..6).collect::<VertexSet>()];
+        assert_eq!(normalized_mutual_information(&a, &whole, 6), 0.0);
+    }
+
+    #[test]
+    fn nmi_is_symmetric_and_bounded() {
+        let a = vec![
+            VertexSet::from_vec(vec![0, 1, 2, 3]),
+            VertexSet::from_vec(vec![4, 5]),
+        ];
+        let b = vec![
+            VertexSet::from_vec(vec![0, 1]),
+            VertexSet::from_vec(vec![2, 3, 4, 5]),
+        ];
+        let ab = normalized_mutual_information(&a, &b, 6);
+        let ba = normalized_mutual_information(&b, &a, 6);
+        assert!((ab - ba).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&ab));
+        assert!(ab > 0.0 && ab < 1.0);
+    }
+
+    #[test]
+    fn louvain_recovers_planted_partition_with_high_nmi() {
+        // Four planted 8-cliques with sparse noise between them.
+        let mut edges = Vec::new();
+        let mut truth = Vec::new();
+        for c in 0..4u32 {
+            let base = c * 8;
+            truth.push((base..base + 8).collect::<VertexSet>());
+            for i in 0..8 {
+                for j in (i + 1)..8 {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+        edges.extend([(0u32, 8u32), (8, 16), (16, 24), (24, 0)]);
+        let g = Graph::from_edges(false, edges);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let detected = louvain(&g, &mut rng);
+        let nmi = normalized_mutual_information(&detected, &truth, 32);
+        assert!(nmi > 0.9, "nmi = {nmi}, detected = {detected:?}");
+    }
+}

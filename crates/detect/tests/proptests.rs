@@ -1,0 +1,109 @@
+//! Property tests for the detection baselines: outputs must always be
+//! valid partitions/covers of the input graph.
+
+use circlekit_detect::{
+    girvan_newman, k_core, label_propagation, louvain, modularity_of_partition,
+    normalized_mutual_information,
+};
+use circlekit_graph::{Graph, GraphBuilder, VertexSet};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const MAX_NODE: u32 = 20;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0..MAX_NODE, 0..MAX_NODE), 0..80).prop_map(|edges| {
+        let mut b = GraphBuilder::undirected();
+        b.add_edges(edges).reserve_nodes(MAX_NODE as usize);
+        b.build()
+    })
+}
+
+fn is_partition(parts: &[VertexSet], n: usize) -> bool {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    if total != n {
+        return false;
+    }
+    let union = parts.iter().fold(VertexSet::new(), |acc, p| acc.union(p));
+    union.len() == n
+}
+
+proptest! {
+    #[test]
+    fn louvain_outputs_partition(g in arbitrary_graph(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let parts = louvain(&g, &mut rng);
+        prop_assert!(is_partition(&parts, g.node_count()));
+        // Louvain's result never has worse modularity than all-singletons.
+        let singletons: Vec<VertexSet> = (0..g.node_count() as u32)
+            .map(|v| VertexSet::from_vec(vec![v]))
+            .collect();
+        prop_assert!(
+            modularity_of_partition(&g, &parts)
+                >= modularity_of_partition(&g, &singletons) - 1e-9
+        );
+    }
+
+    #[test]
+    fn lpa_outputs_partition(g in arbitrary_graph(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let parts = label_propagation(&g, 15, &mut rng);
+        prop_assert!(is_partition(&parts, g.node_count()));
+    }
+
+    #[test]
+    fn girvan_newman_outputs_partition(g in arbitrary_graph(), target in 1usize..5) {
+        let parts = girvan_newman(&g, target);
+        if g.node_count() > 0 {
+            prop_assert!(is_partition(&parts, g.node_count()));
+            // GN either reaches the target or ran out of edges trying.
+            prop_assert!(
+                parts.len() >= target.min(g.node_count())
+                    || parts
+                        .iter()
+                        .all(|p| g.subgraph(p).unwrap().graph().edge_count() == 0)
+                    || parts.len() >= circlekit_graph::connected_components(&g).component_count()
+            );
+        } else {
+            prop_assert!(parts.is_empty());
+        }
+    }
+
+    #[test]
+    fn k_core_members_have_internal_degree_k(g in arbitrary_graph(), k in 0usize..5) {
+        let core = k_core(&g, k);
+        let sub = g.subgraph(&core).unwrap();
+        for v in 0..sub.graph().node_count() as u32 {
+            prop_assert!(sub.graph().degree(v) >= k);
+        }
+        // Maximality-lite: the (k+1)-core is contained in the k-core.
+        let tighter = k_core(&g, k + 1);
+        prop_assert_eq!(tighter.intersection(&core).len(), tighter.len());
+    }
+
+    #[test]
+    fn nmi_bounds_and_identity(g in arbitrary_graph(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a = louvain(&g, &mut rng);
+        let b = label_propagation(&g, 15, &mut rng);
+        let n = g.node_count();
+        if n == 0 {
+            return Ok(());
+        }
+        let nmi = normalized_mutual_information(&a, &b, n);
+        prop_assert!((0.0..=1.0).contains(&nmi));
+        prop_assert!((normalized_mutual_information(&a, &a, n) - 1.0).abs() < 1e-9
+            // A single-block partition carries no information; NMI(a, a)
+            // is defined as 1 there via the equal-block-count convention.
+            || a.len() <= 1);
+    }
+
+    #[test]
+    fn modularity_is_bounded(g in arbitrary_graph(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let parts = louvain(&g, &mut rng);
+        let q = modularity_of_partition(&g, &parts);
+        prop_assert!((-1.0..=1.0).contains(&q), "q = {q}");
+    }
+}

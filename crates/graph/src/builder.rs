@@ -1,0 +1,190 @@
+//! Incremental construction of [`Graph`] values.
+
+use crate::csr::Csr;
+use crate::{Graph, NodeId};
+
+/// Builder for [`Graph`]; collects edges and finalises a CSR representation.
+///
+/// Duplicate edges are collapsed and self-loops dropped by default. The node
+/// count is inferred from the largest endpoint, and can be raised with
+/// [`GraphBuilder::reserve_nodes`] to include trailing isolated nodes.
+///
+/// ```
+/// use circlekit_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::undirected();
+/// b.add_edge(0, 1).add_edge(1, 2);
+/// b.reserve_nodes(5); // nodes 3 and 4 exist but are isolated
+/// let g = b.build();
+/// assert_eq!(g.node_count(), 5);
+/// assert_eq!(g.edge_count(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    directed: bool,
+    keep_self_loops: bool,
+    min_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a directed graph.
+    pub fn directed() -> GraphBuilder {
+        GraphBuilder::new(true)
+    }
+
+    /// Creates a builder for an undirected graph.
+    pub fn undirected() -> GraphBuilder {
+        GraphBuilder::new(false)
+    }
+
+    fn new(directed: bool) -> GraphBuilder {
+        GraphBuilder {
+            directed,
+            keep_self_loops: false,
+            min_nodes: 0,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds the edge `u -> v` (or `{u, v}` when undirected).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut GraphBuilder {
+        self.edges.push((u, v));
+        self
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn add_edges<I>(&mut self, edges: I) -> &mut GraphBuilder
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        self.edges.extend(edges);
+        self
+    }
+
+    /// Ensures the built graph has at least `n` nodes, even if the trailing
+    /// ones are isolated.
+    pub fn reserve_nodes(&mut self, n: usize) -> &mut GraphBuilder {
+        self.min_nodes = self.min_nodes.max(n);
+        self
+    }
+
+    /// Keeps self-loops instead of dropping them (the default drops them, as
+    /// social-graph relations are irreflexive).
+    pub fn keep_self_loops(&mut self, keep: bool) -> &mut GraphBuilder {
+        self.keep_self_loops = keep;
+        self
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn pending_edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalises the graph.
+    pub fn build(&self) -> Graph {
+        let mut edges: Vec<(NodeId, NodeId)> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(u, v)| self.keep_self_loops || u != v)
+            .map(|(u, v)| {
+                if !self.directed && u > v {
+                    (v, u)
+                } else {
+                    (u, v)
+                }
+            })
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+
+        let max_node = edges
+            .iter()
+            .map(|&(u, v)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let n = max_node.max(self.min_nodes);
+        let m = edges.len();
+
+        if self.directed {
+            let out = Csr::from_edges(n, &edges);
+            let reversed: Vec<(NodeId, NodeId)> = edges.iter().map(|&(u, v)| (v, u)).collect();
+            let inn = Csr::from_edges(n, &reversed);
+            Graph::from_parts(true, out, Some(inn), m)
+        } else {
+            let mut sym = Vec::with_capacity(edges.len() * 2);
+            for &(u, v) in &edges {
+                sym.push((u, v));
+                if u != v {
+                    sym.push((v, u));
+                }
+            }
+            let out = Csr::from_edges(n, &sym);
+            Graph::from_parts(false, out, None, m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_dedups_and_normalises_undirected() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(3, 1).add_edge(1, 3).add_edge(3, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.node_count(), 4);
+        assert!(g.has_edge(1, 3));
+        assert!(g.has_edge(3, 1));
+    }
+
+    #[test]
+    fn builder_keeps_directed_orientation() {
+        let mut b = GraphBuilder::directed();
+        b.add_edge(3, 1).add_edge(1, 3);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(3, 1));
+        assert!(g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn self_loops_dropped_unless_kept() {
+        let mut b = GraphBuilder::directed();
+        b.add_edge(0, 0).add_edge(0, 1);
+        assert_eq!(b.build().edge_count(), 1);
+
+        let mut b = GraphBuilder::directed();
+        b.keep_self_loops(true).add_edge(0, 0).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn reserve_nodes_adds_isolated_nodes() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(0, 1).reserve_nodes(10);
+        let g = b.build();
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.degree(9), 0);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::directed().build();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn add_edges_bulk() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edges([(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(b.pending_edge_count(), 3);
+        assert_eq!(b.build().edge_count(), 3);
+    }
+}

@@ -1,0 +1,169 @@
+//! Connected components (weak components for directed graphs).
+
+use crate::{Direction, Graph, NodeId, VertexSet};
+
+/// Component labelling of a graph.
+///
+/// Produced by [`connected_components`]; for directed graphs the components
+/// are *weakly* connected (edge orientation ignored), which matches the
+/// paper's treatment of the joint ego-network graph as "a large connected
+/// component".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl ComponentLabels {
+    /// Component id of node `v`, in `0..component_count()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()` of the labelled graph.
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.count
+    }
+
+    /// All component labels, indexed by node.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Sizes of each component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The members of component `id`.
+    pub fn members(&self, id: u32) -> VertexSet {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == id)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// Id of the largest component (ties broken by lowest id); `None` for an
+    /// empty graph.
+    pub fn largest(&self) -> Option<u32> {
+        self.sizes()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(id, &s)| (s, std::cmp::Reverse(id)))
+            .map(|(id, _)| id as u32)
+    }
+}
+
+/// Labels the (weakly) connected components of `graph` via repeated BFS.
+///
+/// ```
+/// use circlekit_graph::{connected_components, Graph};
+/// let g = Graph::from_edges(false, [(0u32, 1u32), (2, 3)]);
+/// let cc = connected_components(&g);
+/// assert_eq!(cc.component_count(), 2);
+/// assert_eq!(cc.label(0), cc.label(1));
+/// assert_ne!(cc.label(0), cc.label(2));
+/// ```
+pub fn connected_components(graph: &Graph) -> ComponentLabels {
+    let n = graph.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n as NodeId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = count;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for v in graph.neighbors(u, Direction::Both) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    ComponentLabels {
+        labels,
+        count: count as usize,
+    }
+}
+
+/// Convenience: the vertex set of the largest (weakly) connected component.
+///
+/// Returns an empty set for an empty graph.
+pub fn largest_component(graph: &Graph) -> VertexSet {
+    let cc = connected_components(graph);
+    match cc.largest() {
+        Some(id) => cc.members(id),
+        None => VertexSet::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.component_count(), 1);
+        assert_eq!(cc.sizes(), vec![3]);
+    }
+
+    #[test]
+    fn directed_components_are_weak() {
+        // 0 -> 1, 2 -> 1: weakly one component despite no directed path 0->2.
+        let g = Graph::from_edges(true, [(0u32, 1u32), (2, 1)]);
+        let cc = connected_components(&g);
+        assert_eq!(cc.component_count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_form_singletons() {
+        let mut b = crate::GraphBuilder::undirected();
+        b.add_edge(0, 1).reserve_nodes(4);
+        let cc = connected_components(&b.build());
+        assert_eq!(cc.component_count(), 3);
+        assert_eq!(cc.sizes().iter().sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn largest_component_members() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (5, 6)]);
+        let big = largest_component(&g);
+        assert_eq!(big.as_slice(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn members_partition_nodes() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (2, 3), (4, 5)]);
+        let cc = connected_components(&g);
+        let total: usize = (0..cc.component_count() as u32)
+            .map(|id| cc.members(id).len())
+            .sum();
+        assert_eq!(total, g.node_count());
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let g = crate::GraphBuilder::undirected().build();
+        let cc = connected_components(&g);
+        assert_eq!(cc.component_count(), 0);
+        assert_eq!(cc.largest(), None);
+        assert!(largest_component(&g).is_empty());
+    }
+}

@@ -1,0 +1,216 @@
+//! Graph conversions: directedness changes and induced subgraphs.
+
+use crate::{Graph, GraphBuilder, NodeId, VertexSet};
+
+/// An induced subgraph together with the mapping back to the parent graph.
+///
+/// Produced by [`Graph::subgraph`]. Local node `i` of
+/// [`Subgraph::graph`] corresponds to parent node `Subgraph::nodes()[i]`.
+#[derive(Clone, Debug)]
+pub struct Subgraph {
+    graph: Graph,
+    nodes: Vec<NodeId>,
+}
+
+impl Subgraph {
+    /// The induced subgraph, with dense local ids `0..nodes().len()`.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Consumes the subgraph, returning the graph and the local→parent map.
+    pub fn into_parts(self) -> (Graph, Vec<NodeId>) {
+        (self.graph, self.nodes)
+    }
+
+    /// Parent-graph node ids, indexed by local id (sorted ascending).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Maps a local id back to the parent graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local` is out of range.
+    pub fn to_parent(&self, local: NodeId) -> NodeId {
+        self.nodes[local as usize]
+    }
+
+    /// Maps a parent-graph id to the local id, if the node is included.
+    pub fn to_local(&self, parent: NodeId) -> Option<NodeId> {
+        self.nodes.binary_search(&parent).ok().map(|i| i as NodeId)
+    }
+}
+
+impl Graph {
+    /// Collapses a directed graph to an undirected one: every arc (in either
+    /// orientation) yields one undirected edge, so reciprocated pairs merge.
+    ///
+    /// This is the transformation behind the paper's §IV-B robustness check
+    /// ("bidirectional edges combined to one", ≈ 2.38 % score deviation).
+    /// Calling it on an undirected graph returns a clone.
+    ///
+    /// ```
+    /// use circlekit_graph::Graph;
+    /// let g = Graph::from_edges(true, [(0u32, 1u32), (1, 0), (1, 2)]);
+    /// let u = g.to_undirected();
+    /// assert!(!u.is_directed());
+    /// assert_eq!(u.edge_count(), 2); // {0,1} and {1,2}
+    /// ```
+    pub fn to_undirected(&self) -> Graph {
+        if !self.is_directed() {
+            return self.clone();
+        }
+        let mut b = GraphBuilder::undirected();
+        b.reserve_nodes(self.node_count());
+        b.add_edges(self.edges());
+        b.build()
+    }
+
+    /// Expands an undirected graph to a directed one with a reciprocal arc
+    /// pair per edge. Calling it on a directed graph returns a clone.
+    pub fn to_bidirected(&self) -> Graph {
+        if self.is_directed() {
+            return self.clone();
+        }
+        let mut b = GraphBuilder::directed();
+        b.reserve_nodes(self.node_count());
+        for (u, v) in self.edges() {
+            b.add_edge(u, v);
+            b.add_edge(v, u);
+        }
+        b.build()
+    }
+
+    /// Extracts the subgraph induced by `set`, relabelling nodes to dense
+    /// local ids.
+    ///
+    /// Directedness is preserved. Members of `set` outside
+    /// `0..node_count()` are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`](crate::GraphError) if `set`
+    /// contains an id `>= node_count()`.
+    pub fn subgraph(&self, set: &VertexSet) -> Result<Subgraph, crate::GraphError> {
+        if let Some(&max) = set.as_slice().last() {
+            if max as usize >= self.node_count() {
+                return Err(crate::GraphError::NodeOutOfRange {
+                    node: max,
+                    node_count: self.node_count(),
+                });
+            }
+        }
+        let nodes: Vec<NodeId> = set.as_slice().to_vec();
+        let mut b = if self.is_directed() {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        };
+        b.reserve_nodes(nodes.len());
+        for (local_u, &u) in nodes.iter().enumerate() {
+            for v in self.out_neighbors(u) {
+                if let Ok(local_v) = nodes.binary_search(v) {
+                    // For undirected graphs each edge appears in both
+                    // adjacency lists; the builder dedups the double add.
+                    b.add_edge(local_u as NodeId, local_v as NodeId);
+                }
+            }
+        }
+        Ok(Subgraph { graph: b.build(), nodes })
+    }
+
+    /// The ego network of `owner`: the owner, its (out-)neighbours, and —
+    /// per the paper's definition — "all vertices he is connected to and all
+    /// edges between these vertices".
+    ///
+    /// For directed graphs the ego's alters are its **out**-neighbours
+    /// ("in your circles"), matching how the McAuley–Leskovec data set was
+    /// crawled. Returns the member set including the owner.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owner >= node_count()`.
+    pub fn ego_network(&self, owner: NodeId) -> VertexSet {
+        let mut members: Vec<NodeId> = self.out_neighbors(owner).to_vec();
+        members.push(owner);
+        VertexSet::from_vec(members)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_undirected_merges_reciprocal_arcs() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 0), (2, 1)]);
+        let u = g.to_undirected();
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.has_edge(1, 2));
+    }
+
+    #[test]
+    fn to_bidirected_doubles_edges() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2)]);
+        let d = g.to_bidirected();
+        assert!(d.is_directed());
+        assert_eq!(d.edge_count(), 4);
+        assert!(d.has_edge(1, 0));
+        assert!(d.has_edge(0, 1));
+    }
+
+    #[test]
+    fn roundtrip_preserves_node_count() {
+        let g = Graph::from_edges(true, [(0u32, 5u32)]);
+        assert_eq!(g.to_undirected().node_count(), 6);
+        assert_eq!(g.to_undirected().to_bidirected().node_count(), 6);
+    }
+
+    #[test]
+    fn subgraph_relabels_and_keeps_internal_edges() {
+        // Square 0-1-2-3 plus chord 1-3.
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (1, 3)]);
+        let set = VertexSet::from_vec(vec![1, 2, 3]);
+        let sub = g.subgraph(&set).unwrap();
+        assert_eq!(sub.graph().node_count(), 3);
+        assert_eq!(sub.graph().edge_count(), 3); // 1-2, 2-3, 1-3
+        assert_eq!(sub.to_parent(0), 1);
+        assert_eq!(sub.to_local(3), Some(2));
+        assert_eq!(sub.to_local(0), None);
+    }
+
+    #[test]
+    fn subgraph_directed_preserves_orientation() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0)]);
+        let set = VertexSet::from_vec(vec![0, 1]);
+        let sub = g.subgraph(&set).unwrap();
+        assert!(sub.graph().is_directed());
+        assert_eq!(sub.graph().edge_count(), 1);
+        assert!(sub.graph().has_edge(0, 1));
+        assert!(!sub.graph().has_edge(1, 0));
+    }
+
+    #[test]
+    fn subgraph_rejects_out_of_range() {
+        let g = Graph::from_edges(false, [(0u32, 1u32)]);
+        let set = VertexSet::from_vec(vec![0, 9]);
+        assert!(g.subgraph(&set).is_err());
+    }
+
+    #[test]
+    fn subgraph_of_empty_set() {
+        let g = Graph::from_edges(false, [(0u32, 1u32)]);
+        let sub = g.subgraph(&VertexSet::new()).unwrap();
+        assert_eq!(sub.graph().node_count(), 0);
+    }
+
+    #[test]
+    fn ego_network_includes_owner_and_alters() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (0, 2), (3, 0)]);
+        let ego = g.ego_network(0);
+        // Out-neighbours only: 1, 2 — not the in-neighbour 3.
+        assert_eq!(ego.as_slice(), &[0, 1, 2]);
+    }
+}

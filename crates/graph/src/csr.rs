@@ -1,0 +1,137 @@
+//! Internal compressed-sparse-row adjacency storage.
+
+use crate::NodeId;
+
+/// Compressed sparse row adjacency: `offsets.len() == n + 1`, and the
+/// neighbours of node `v` are `targets[offsets[v]..offsets[v + 1]]`, sorted
+/// ascending and free of duplicates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR structure over `n` nodes from an edge list.
+    ///
+    /// `edges` need not be sorted; duplicates are collapsed. Every endpoint
+    /// must be `< n`.
+    pub(crate) fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Csr {
+        let mut degree = vec![0usize; n];
+        for &(u, _) in edges {
+            degree[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; edges.len()];
+        for &(u, v) in edges {
+            let slot = cursor[u as usize];
+            targets[slot] = v;
+            cursor[u as usize] += 1;
+        }
+        // Sort and dedup each adjacency list in place.
+        let mut deduped_targets = Vec::with_capacity(targets.len());
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0);
+        for v in 0..n {
+            let (start, end) = (offsets[v], offsets[v + 1]);
+            let list = &mut targets[start..end];
+            list.sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            for &t in list.iter() {
+                if prev != Some(t) {
+                    deduped_targets.push(t);
+                    prev = Some(t);
+                }
+            }
+            new_offsets.push(deduped_targets.len());
+        }
+        Csr {
+            offsets: new_offsets,
+            targets: deduped_targets,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[cfg(test)]
+    pub(crate) fn arc_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted neighbour slice of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    #[inline]
+    pub(crate) fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    #[inline]
+    pub(crate) fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    #[inline]
+    pub(crate) fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_edges(0, &[]);
+        assert_eq!(csr.node_count(), 0);
+        assert_eq!(csr.arc_count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_lists() {
+        let csr = Csr::from_edges(4, &[(0, 1)]);
+        assert_eq!(csr.neighbors(0), &[1]);
+        assert!(csr.neighbors(1).is_empty());
+        assert!(csr.neighbors(2).is_empty());
+        assert!(csr.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn neighbors_sorted_and_deduped() {
+        let csr = Csr::from_edges(5, &[(0, 4), (0, 2), (0, 4), (0, 1), (3, 0)]);
+        assert_eq!(csr.neighbors(0), &[1, 2, 4]);
+        assert_eq!(csr.neighbors(3), &[0]);
+        assert_eq!(csr.arc_count(), 4);
+    }
+
+    #[test]
+    fn contains_uses_sorted_order() {
+        let csr = Csr::from_edges(3, &[(0, 2), (0, 1), (1, 2)]);
+        assert!(csr.contains(0, 1));
+        assert!(csr.contains(0, 2));
+        assert!(!csr.contains(2, 0));
+    }
+
+    #[test]
+    fn degree_matches_list_len() {
+        let csr = Csr::from_edges(3, &[(0, 1), (0, 2), (2, 1)]);
+        assert_eq!(csr.degree(0), 2);
+        assert_eq!(csr.degree(1), 0);
+        assert_eq!(csr.degree(2), 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types for the graph substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by graph construction and conversion operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node identifier was outside `0..node_count()`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The graph's node count.
+        node_count: usize,
+    },
+    /// The operation requires a directed graph.
+    RequiresDirected,
+    /// The operation requires an undirected graph.
+    RequiresUndirected,
+    /// An edge list failed to parse.
+    Parse(ParseEdgeListError),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::RequiresDirected => write!(f, "operation requires a directed graph"),
+            GraphError::RequiresUndirected => write!(f, "operation requires an undirected graph"),
+            GraphError::Parse(e) => write!(f, "edge list parse error: {e}"),
+        }
+    }
+}
+
+impl Error for GraphError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GraphError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseEdgeListError> for GraphError {
+    fn from(e: ParseEdgeListError) -> Self {
+        GraphError::Parse(e)
+    }
+}
+
+/// Error returned when parsing a textual edge list fails.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseEdgeListError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub reason: ParseEdgeListReason,
+}
+
+/// The specific reason an edge-list line failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseEdgeListReason {
+    /// The line did not contain exactly two fields.
+    WrongFieldCount(usize),
+    /// A field was not a valid `u32`.
+    InvalidNodeId(String),
+}
+
+impl fmt::Display for ParseEdgeListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.reason {
+            ParseEdgeListReason::WrongFieldCount(n) => {
+                write!(f, "line {}: expected 2 fields, found {n}", self.line)
+            }
+            ParseEdgeListReason::InvalidNodeId(s) => {
+                write!(f, "line {}: invalid node id {s:?}", self.line)
+            }
+        }
+    }
+}
+
+impl Error for ParseEdgeListError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, node_count: 3 };
+        assert_eq!(e.to_string(), "node 7 out of range for graph with 3 nodes");
+        let p = ParseEdgeListError {
+            line: 2,
+            reason: ParseEdgeListReason::WrongFieldCount(3),
+        };
+        assert_eq!(p.to_string(), "line 2: expected 2 fields, found 3");
+    }
+
+    #[test]
+    fn error_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+        assert_send_sync::<ParseEdgeListError>();
+    }
+
+    #[test]
+    fn parse_error_converts_into_graph_error() {
+        let p = ParseEdgeListError {
+            line: 1,
+            reason: ParseEdgeListReason::InvalidNodeId("x".into()),
+        };
+        let g: GraphError = p.clone().into();
+        assert_eq!(g, GraphError::Parse(p));
+    }
+}

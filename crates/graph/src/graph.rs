@@ -1,0 +1,426 @@
+//! The [`Graph`] type: CSR-backed directed or undirected graph.
+
+use crate::csr::Csr;
+use crate::NodeId;
+
+/// Which adjacency to follow when traversing a directed graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow out-edges (`v -> w`).
+    #[default]
+    Out,
+    /// Follow in-edges (`w -> v`).
+    In,
+    /// Follow edges in either orientation (treat the graph as undirected).
+    Both,
+}
+
+/// A compressed-sparse-row graph over dense `u32` node ids.
+///
+/// Construct one with [`GraphBuilder`](crate::GraphBuilder) or
+/// [`Graph::from_edges`]. Adjacency lists are sorted and duplicate-free;
+/// self-loops are removed at build time unless explicitly kept.
+///
+/// # Edge counting
+///
+/// [`Graph::edge_count`] returns the number of *arcs* for a directed graph
+/// and the number of *undirected edges* for an undirected graph. This is the
+/// convention the paper's scoring functions use: a fully connected directed
+/// set of `k` vertices has `k(k-1)` edges, twice the undirected count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Graph {
+    directed: bool,
+    /// Out-adjacency (or the symmetric adjacency for undirected graphs).
+    out: Csr,
+    /// In-adjacency; populated only for directed graphs.
+    inn: Option<Csr>,
+    /// Edge count: arcs (directed) or undirected edges (undirected).
+    m: usize,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(directed: bool, out: Csr, inn: Option<Csr>, m: usize) -> Graph {
+        debug_assert_eq!(directed, inn.is_some());
+        Graph { directed, out, inn, m }
+    }
+
+    /// Builds a graph directly from an edge iterator.
+    ///
+    /// Node count is inferred as `max id + 1`. Duplicate edges are collapsed
+    /// and self-loops dropped. For a full set of options use
+    /// [`GraphBuilder`](crate::GraphBuilder).
+    ///
+    /// ```
+    /// use circlekit_graph::Graph;
+    /// let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2)]);
+    /// assert_eq!(g.node_count(), 3);
+    /// assert_eq!(g.edge_count(), 2);
+    /// ```
+    pub fn from_edges<I>(directed: bool, edges: I) -> Graph
+    where
+        I: IntoIterator<Item = (NodeId, NodeId)>,
+    {
+        let mut b = if directed {
+            crate::GraphBuilder::directed()
+        } else {
+            crate::GraphBuilder::undirected()
+        };
+        for (u, v) in edges {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Whether edges carry direction.
+    #[inline]
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.out.node_count()
+    }
+
+    /// Number of edges `m`: arcs for directed graphs, undirected edges
+    /// otherwise.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.m
+    }
+
+    /// Out-neighbours of `v` (all neighbours for an undirected graph),
+    /// sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.out.neighbors(v)
+    }
+
+    /// In-neighbours of `v` (all neighbours for an undirected graph),
+    /// sorted ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        match &self.inn {
+            Some(inn) => inn.neighbors(v),
+            None => self.out.neighbors(v),
+        }
+    }
+
+    /// Neighbours of `v` in the requested [`Direction`].
+    ///
+    /// For [`Direction::Both`] on a directed graph this merges out- and
+    /// in-neighbours (deduplicated); prefer [`Graph::out_neighbors`] /
+    /// [`Graph::in_neighbors`] in hot loops, which return borrowed slices.
+    pub fn neighbors(&self, v: NodeId, dir: Direction) -> Neighbors<'_> {
+        match (dir, self.directed) {
+            (Direction::Out, _) => Neighbors::Slice(self.out_neighbors(v).iter()),
+            (Direction::In, _) => Neighbors::Slice(self.in_neighbors(v).iter()),
+            (Direction::Both, false) => Neighbors::Slice(self.out_neighbors(v).iter()),
+            (Direction::Both, true) => Neighbors::Merged {
+                a: self.out_neighbors(v),
+                b: self.in_neighbors(v),
+                i: 0,
+                j: 0,
+            },
+        }
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out.degree(v)
+    }
+
+    /// In-degree of `v` (equal to [`Graph::out_degree`] on undirected
+    /// graphs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        match &self.inn {
+            Some(inn) => inn.degree(v),
+            None => self.out.degree(v),
+        }
+    }
+
+    /// Total degree `d(v)`: adjacency size for undirected graphs, in-degree
+    /// plus out-degree for directed graphs (the paper's Table I convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        if self.directed {
+            self.out_degree(v) + self.in_degree(v)
+        } else {
+            self.out_degree(v)
+        }
+    }
+
+    /// Whether the edge `u -> v` exists (for undirected graphs, whether
+    /// `{u, v}` exists). `O(log d(u))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= node_count()`.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out.contains(u, v)
+    }
+
+    /// Iterates over all edges: every arc `(u, v)` for a directed graph, and
+    /// every undirected edge once with `u <= v` for an undirected graph.
+    ///
+    /// ```
+    /// use circlekit_graph::Graph;
+    /// let g = Graph::from_edges(false, [(1u32, 0u32), (1, 2)]);
+    /// let edges: Vec<_> = g.edges().collect();
+    /// assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    /// ```
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            graph: self,
+            node: 0,
+            idx: 0,
+        }
+    }
+
+    /// Fraction of directed arcs that are reciprocated (`u -> v` and
+    /// `v -> u` both present). Returns `1.0` for undirected graphs and for
+    /// directed graphs with no arcs.
+    pub fn reciprocity(&self) -> f64 {
+        if !self.directed || self.m == 0 {
+            return 1.0;
+        }
+        let mut reciprocated = 0usize;
+        for (u, v) in self.edges() {
+            if self.has_edge(v, u) {
+                reciprocated += 1;
+            }
+        }
+        reciprocated as f64 / self.m as f64
+    }
+
+    /// Sum of `degree(v)` over all nodes. For undirected graphs this is
+    /// `2m`; for directed graphs `2m` as well (each arc contributes one
+    /// out- and one in-degree).
+    pub fn total_degree(&self) -> usize {
+        2 * self.m
+    }
+}
+
+/// Iterator over the neighbours of a node; see [`Graph::neighbors`].
+#[derive(Clone, Debug)]
+pub enum Neighbors<'a> {
+    /// Borrowed slice iteration (single adjacency list).
+    Slice(std::slice::Iter<'a, NodeId>),
+    /// Sorted merge of out- and in-adjacency with deduplication.
+    Merged {
+        /// Out-adjacency list.
+        a: &'a [NodeId],
+        /// In-adjacency list.
+        b: &'a [NodeId],
+        /// Cursor into `a`.
+        i: usize,
+        /// Cursor into `b`.
+        j: usize,
+    },
+}
+
+impl Iterator for Neighbors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        match self {
+            Neighbors::Slice(it) => it.next().copied(),
+            Neighbors::Merged { a, b, i, j } => {
+                let x = a.get(*i).copied();
+                let y = b.get(*j).copied();
+                match (x, y) {
+                    (None, None) => None,
+                    (Some(u), None) => {
+                        *i += 1;
+                        Some(u)
+                    }
+                    (None, Some(v)) => {
+                        *j += 1;
+                        Some(v)
+                    }
+                    (Some(u), Some(v)) => {
+                        if u < v {
+                            *i += 1;
+                            Some(u)
+                        } else if v < u {
+                            *j += 1;
+                            Some(v)
+                        } else {
+                            *i += 1;
+                            *j += 1;
+                            Some(u)
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Iterator over the edges of a [`Graph`]; see [`Graph::edges`].
+#[derive(Clone, Debug)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    node: NodeId,
+    idx: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        let n = self.graph.node_count() as NodeId;
+        while self.node < n {
+            let list = self.graph.out.neighbors(self.node);
+            while self.idx < list.len() {
+                let v = list[self.idx];
+                self.idx += 1;
+                if self.graph.directed || self.node <= v {
+                    return Some((self.node, v));
+                }
+            }
+            self.node += 1;
+            self.idx = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_directed() -> Graph {
+        Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0)])
+    }
+
+    fn triangle_undirected() -> Graph {
+        Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn directed_counts() {
+        let g = triangle_directed();
+        assert!(g.is_directed());
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.total_degree(), 6);
+    }
+
+    #[test]
+    fn undirected_counts() {
+        let g = triangle_undirected();
+        assert!(!g.is_directed());
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.total_degree(), 6);
+    }
+
+    #[test]
+    fn undirected_adjacency_is_symmetric() {
+        let g = triangle_undirected();
+        for (u, v) in [(0u32, 1u32), (1, 2), (0, 2)] {
+            assert!(g.has_edge(u, v));
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn directed_adjacency_is_asymmetric() {
+        let g = triangle_directed();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+    }
+
+    #[test]
+    fn edges_iterator_directed_yields_all_arcs() {
+        let g = triangle_directed();
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn edges_iterator_undirected_yields_each_edge_once() {
+        let g = triangle_undirected();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        for (u, v) in edges {
+            assert!(u <= v);
+        }
+    }
+
+    #[test]
+    fn reciprocity_full_cycle_is_zero() {
+        let g = triangle_directed();
+        assert_eq!(g.reciprocity(), 0.0);
+    }
+
+    #[test]
+    fn reciprocity_mutual_pair() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 0), (1, 2)]);
+        let r = g.reciprocity();
+        assert!((r - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reciprocity_undirected_is_one() {
+        assert_eq!(triangle_undirected().reciprocity(), 1.0);
+    }
+
+    #[test]
+    fn neighbors_both_merges_directed_adjacency() {
+        let g = Graph::from_edges(true, [(0u32, 2u32), (1, 0), (0, 1)]);
+        let both: Vec<_> = g.neighbors(0, Direction::Both).collect();
+        assert_eq!(both, vec![1, 2]);
+    }
+
+    #[test]
+    fn neighbors_direction_out_and_in() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (2, 0)]);
+        let out: Vec<_> = g.neighbors(0, Direction::Out).collect();
+        let inn: Vec<_> = g.neighbors(0, Direction::In).collect();
+        assert_eq!(out, vec![1]);
+        assert_eq!(inn, vec![2]);
+    }
+
+    #[test]
+    fn self_loops_removed_by_default() {
+        let g = Graph::from_edges(true, [(0u32, 0u32), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_collapsed() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 0), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,116 @@
+//! SNAP-compatible group/circle file I/O.
+//!
+//! The McAuley–Leskovec ego-network data sets store circles as one line
+//! per circle: an optional textual label followed by whitespace-separated
+//! member ids (`circle3\t17\t42\t108`). The Yang–Leskovec community files
+//! (`com-*.top5000.cmty.txt`) are the same without labels. This module
+//! reads and writes both.
+
+use crate::error::{ParseEdgeListError, ParseEdgeListReason};
+use crate::{NodeId, VertexSet};
+use std::io::{self, Write};
+
+/// Parses a SNAP-style groups file: one group per line, whitespace
+/// separated, with an optional non-numeric leading label per line; blank
+/// lines and `#` comments are skipped. Empty groups are dropped.
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] (with the 1-based line number) when a
+/// non-leading field is not a valid node id.
+///
+/// ```
+/// use circlekit_graph::parse_groups;
+/// let groups = parse_groups("circle0\t1 2 3\n4 5\n")?;
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].as_slice(), &[1, 2, 3]);
+/// assert_eq!(groups[1].as_slice(), &[4, 5]);
+/// # Ok::<(), circlekit_graph::ParseEdgeListError>(())
+/// ```
+pub fn parse_groups(text: &str) -> Result<Vec<VertexSet>, ParseEdgeListError> {
+    let mut groups = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut members: Vec<NodeId> = Vec::new();
+        for (pos, field) in line.split_whitespace().enumerate() {
+            match field.parse::<NodeId>() {
+                Ok(v) => members.push(v),
+                Err(_) if pos == 0 => {} // leading label, e.g. "circle3"
+                Err(_) => {
+                    return Err(ParseEdgeListError {
+                        line: idx + 1,
+                        reason: ParseEdgeListReason::InvalidNodeId(field.to_string()),
+                    })
+                }
+            }
+        }
+        if !members.is_empty() {
+            groups.push(VertexSet::from_vec(members));
+        }
+    }
+    Ok(groups)
+}
+
+/// Writes groups in SNAP style: `label<TAB>id id id ...`, one per line,
+/// labelled `circle0`, `circle1`, …
+///
+/// # Errors
+///
+/// Returns any [`io::Error`] from the underlying writer.
+pub fn write_groups<W: Write>(groups: &[VertexSet], mut writer: W) -> io::Result<()> {
+    for (i, group) in groups.iter().enumerate() {
+        write!(writer, "circle{i}")?;
+        for v in group.iter() {
+            write!(writer, "\t{v}")?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_labelled_and_unlabelled_lines() {
+        let groups = parse_groups("circle0\t5\t3\t5\n1 2\n# comment\n\n").unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].as_slice(), &[3, 5]); // sorted, deduped
+        assert_eq!(groups[1].as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn parse_rejects_mid_line_garbage() {
+        let err = parse_groups("1 2 x 3\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("invalid node id"));
+    }
+
+    #[test]
+    fn label_only_lines_are_dropped() {
+        let groups = parse_groups("emptycircle\n1 2\n").unwrap();
+        assert_eq!(groups.len(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let groups = vec![
+            VertexSet::from_vec(vec![1, 2, 3]),
+            VertexSet::from_vec(vec![7]),
+        ];
+        let mut buf = Vec::new();
+        write_groups(&groups, &mut buf).unwrap();
+        let parsed = parse_groups(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, groups);
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        assert!(parse_groups("").unwrap().is_empty());
+        assert!(parse_groups("# only a comment\n").unwrap().is_empty());
+    }
+}

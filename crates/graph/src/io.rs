@@ -1,0 +1,147 @@
+//! Plain-text edge-list I/O (SNAP-compatible format).
+//!
+//! Lines are `u<sep>v` with whitespace separators; `#`-prefixed lines are
+//! comments. This is the format of the SNAP data sets the paper uses.
+
+use crate::error::{ParseEdgeListError, ParseEdgeListReason};
+use crate::{Graph, NodeId};
+use std::io::{self, BufReader, Read, Write};
+
+/// Parses a whitespace-separated edge list from a string.
+///
+/// Blank lines and lines starting with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] on a malformed line, reporting its 1-based
+/// line number.
+///
+/// ```
+/// use circlekit_graph::parse_edge_list;
+/// let edges = parse_edge_list("# a comment\n0 1\n1\t2\n")?;
+/// assert_eq!(edges, vec![(0, 1), (1, 2)]);
+/// # Ok::<(), circlekit_graph::ParseEdgeListError>(())
+/// ```
+pub fn parse_edge_list(text: &str) -> Result<Vec<(NodeId, NodeId)>, ParseEdgeListError> {
+    let mut edges = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 2 {
+            return Err(ParseEdgeListError {
+                line: idx + 1,
+                reason: ParseEdgeListReason::WrongFieldCount(fields.len()),
+            });
+        }
+        let parse = |s: &str| {
+            s.parse::<NodeId>().map_err(|_| ParseEdgeListError {
+                line: idx + 1,
+                reason: ParseEdgeListReason::InvalidNodeId(s.to_string()),
+            })
+        };
+        edges.push((parse(fields[0])?, parse(fields[1])?));
+    }
+    Ok(edges)
+}
+
+/// Reads an edge list from any [`Read`] implementation (a `&mut` reference
+/// works too).
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] on read failure; parse failures are wrapped as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Vec<(NodeId, NodeId)>> {
+    let mut text = String::new();
+    BufReader::new(reader).read_to_string(&mut text)?;
+    parse_edge_list(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Writes a graph's edges as a plain-text edge list (one `u v` pair per
+/// line, preceded by a `#` header with counts).
+///
+/// # Errors
+///
+/// Returns any [`io::Error`] from the underlying writer.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# {} nodes={} edges={}",
+        if graph.is_directed() { "directed" } else { "undirected" },
+        graph.node_count(),
+        graph.edge_count()
+    )?;
+    for (u, v) in graph.edges() {
+        writeln!(writer, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+impl Graph {
+    /// Parses a graph from an edge-list string; see [`parse_edge_list`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseEdgeListError`] on a malformed line.
+    pub fn from_edge_list_str(directed: bool, text: &str) -> Result<Graph, ParseEdgeListError> {
+        Ok(Graph::from_edges(directed, parse_edge_list(text)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_edge_list() {
+        let edges = parse_edge_list("0 1\n2 3\n").unwrap();
+        assert_eq!(edges, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let edges = parse_edge_list("# header\n\n0 1\n   \n# foot\n").unwrap();
+        assert_eq!(edges, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn parse_accepts_tabs_and_runs_of_spaces() {
+        let edges = parse_edge_list("0\t1\n2   3\n").unwrap();
+        assert_eq!(edges, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse_edge_list("0 1\n0 1 2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_edge_list("0 x\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("invalid node id"));
+    }
+
+    #[test]
+    fn roundtrip_write_then_parse() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = Graph::from_edge_list_str(true, std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn read_edge_list_from_reader() {
+        let data = b"0 1\n1 2\n" as &[u8];
+        let edges = read_edge_list(data).unwrap();
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn read_edge_list_surfaces_parse_error_as_invalid_data() {
+        let data = b"bogus\n" as &[u8];
+        let err = read_edge_list(data).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,241 @@
+//! Strongly connected components (iterative Tarjan).
+
+use crate::{Graph, NodeId, VertexSet};
+
+/// Strongly-connected-component labelling of a directed graph.
+///
+/// Produced by [`strongly_connected_components`]. Component ids are
+/// assigned in reverse topological order of the condensation (a Tarjan
+/// property): if component `a` reaches component `b`, then
+/// `label(a) > label(b)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SccLabels {
+    labels: Vec<u32>,
+    count: usize,
+}
+
+impl SccLabels {
+    /// Component id of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// Number of strongly connected components.
+    pub fn component_count(&self) -> usize {
+        self.count
+    }
+
+    /// All labels, indexed by node.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Sizes of each component, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of component `id`.
+    pub fn members(&self, id: u32) -> VertexSet {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == id)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// The largest component's members (ties broken by lowest id); empty
+    /// for an empty graph.
+    pub fn largest(&self) -> VertexSet {
+        match self
+            .sizes()
+            .iter()
+            .enumerate()
+            .max_by_key(|&(id, &s)| (s, std::cmp::Reverse(id)))
+        {
+            Some((id, _)) => self.members(id as u32),
+            None => VertexSet::new(),
+        }
+    }
+}
+
+/// Computes the strongly connected components of a directed graph with an
+/// iterative Tarjan algorithm (no recursion, safe for deep graphs).
+///
+/// On an undirected graph every edge is traversed in both orientations, so
+/// the result coincides with
+/// [`connected_components`](crate::connected_components).
+///
+/// ```
+/// use circlekit_graph::{strongly_connected_components, Graph};
+/// // 0 -> 1 -> 2 -> 0 is a cycle; 3 hangs off it.
+/// let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0), (1, 3)]);
+/// let scc = strongly_connected_components(&g);
+/// assert_eq!(scc.component_count(), 2);
+/// assert_eq!(scc.label(0), scc.label(1));
+/// assert_ne!(scc.label(0), scc.label(3));
+/// ```
+pub fn strongly_connected_components(graph: &Graph) -> SccLabels {
+    let n = graph.node_count();
+    const UNSET: u32 = u32::MAX;
+    let mut index = vec![UNSET; n]; // discovery index
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut labels = vec![UNSET; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    // Explicit DFS frames: (node, next child position).
+    let mut frames: Vec<(NodeId, usize)> = Vec::new();
+    for root in 0..n as NodeId {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            let vi = v as usize;
+            if *child == 0 {
+                index[vi] = next_index;
+                lowlink[vi] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[vi] = true;
+            }
+            let neighbors = graph.out_neighbors(v);
+            let mut descended = false;
+            while *child < neighbors.len() {
+                let w = neighbors[*child];
+                *child += 1;
+                let wi = w as usize;
+                if index[wi] == UNSET {
+                    frames.push((w, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v finished: pop a component if v is a root.
+            if lowlink[vi] == index[vi] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    labels[w as usize] = count;
+                    if w == v {
+                        break;
+                    }
+                }
+                count += 1;
+            }
+            frames.pop();
+            if let Some(&mut (parent, _)) = frames.last_mut() {
+                let pi = parent as usize;
+                lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+            }
+        }
+    }
+    SccLabels {
+        labels,
+        count: count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = Graph::from_edges(true, (0..5u32).map(|i| (i, (i + 1) % 5)));
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count(), 1);
+        assert_eq!(scc.largest().len(), 5);
+    }
+
+    #[test]
+    fn dag_is_all_singletons() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (0, 2), (1, 3), (2, 3)]);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count(), 4);
+        assert!(scc.sizes().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn reverse_topological_label_order() {
+        // a -> b (two singleton components): sink gets the smaller label.
+        let g = Graph::from_edges(true, [(0u32, 1u32)]);
+        let scc = strongly_connected_components(&g);
+        assert!(scc.label(0) > scc.label(1));
+    }
+
+    #[test]
+    fn two_cycles_with_bridge() {
+        let g = Graph::from_edges(
+            true,
+            [(0u32, 1u32), (1, 0), (1, 2), (2, 3), (3, 2)],
+        );
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count(), 2);
+        assert_eq!(scc.label(0), scc.label(1));
+        assert_eq!(scc.label(2), scc.label(3));
+        assert!(scc.label(0) > scc.label(2)); // {0,1} reaches {2,3}
+        let mut sizes = scc.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![2, 2]);
+    }
+
+    #[test]
+    fn undirected_matches_weak_components() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (4, 5)]);
+        let scc = strongly_connected_components(&g);
+        let weak = crate::connected_components(&g);
+        assert_eq!(scc.component_count(), weak.component_count());
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                assert_eq!(
+                    scc.label(u) == scc.label(v),
+                    weak.label(u) == weak.label(v)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow() {
+        // 100k-node directed path: recursion would blow the stack.
+        let n = 100_000u32;
+        let g = Graph::from_edges(true, (0..n - 1).map(|i| (i, i + 1)));
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count(), n as usize);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let mut b = GraphBuilder::directed();
+        b.add_edge(0, 1).reserve_nodes(4);
+        let scc = strongly_connected_components(&b.build());
+        assert_eq!(scc.component_count(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::directed().build();
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.component_count(), 0);
+        assert!(scc.largest().is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Serde support for [`Graph`]: serialised as directedness, node count,
+//! and the canonical edge list, rebuilt through the validating builder on
+//! deserialisation.
+
+#![cfg(feature = "serde")]
+
+use crate::{Graph, GraphBuilder, NodeId};
+use serde::de::{Deserialize, Deserializer};
+use serde::ser::{Serialize, SerializeStruct, Serializer};
+
+impl Serialize for Graph {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut s = serializer.serialize_struct("Graph", 3)?;
+        s.serialize_field("directed", &self.is_directed())?;
+        s.serialize_field("node_count", &self.node_count())?;
+        let edges: Vec<(NodeId, NodeId)> = self.edges().collect();
+        s.serialize_field("edges", &edges)?;
+        s.end()
+    }
+}
+
+#[derive(serde::Deserialize)]
+struct GraphRepr {
+    directed: bool,
+    node_count: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl<'de> Deserialize<'de> for Graph {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Graph, D::Error> {
+        let repr = GraphRepr::deserialize(deserializer)?;
+        if let Some(&(u, v)) = repr
+            .edges
+            .iter()
+            .find(|&&(u, v)| u as usize >= repr.node_count || v as usize >= repr.node_count)
+        {
+            return Err(serde::de::Error::custom(format!(
+                "edge ({u}, {v}) exceeds node count {}",
+                repr.node_count
+            )));
+        }
+        let mut b = if repr.directed {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        };
+        b.reserve_nodes(repr.node_count);
+        b.add_edges(repr.edges);
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Graph, GraphBuilder};
+
+    #[test]
+    fn roundtrip_directed() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0)]);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn roundtrip_undirected_with_isolated_nodes() {
+        let mut b = GraphBuilder::undirected();
+        b.add_edge(0, 1).reserve_nodes(5);
+        let g = b.build();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(g, back);
+        assert_eq!(back.node_count(), 5);
+    }
+
+    #[test]
+    fn deserialization_rejects_out_of_range_edges() {
+        let bad = r#"{"directed": false, "node_count": 2, "edges": [[0, 7]]}"#;
+        let err = serde_json::from_str::<Graph>(bad).unwrap_err();
+        assert!(err.to_string().contains("exceeds node count"), "{err}");
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let g = Graph::from_edges(false, [(1u32, 0u32)]);
+        let json = serde_json::to_string(&g).unwrap();
+        assert_eq!(
+            json,
+            r#"{"directed":false,"node_count":2,"edges":[[0,1]]}"#
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Breadth-first traversal primitives.
+
+use crate::{Direction, Graph, NodeId};
+use std::collections::VecDeque;
+
+/// Distance value marking an unreachable node in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Single-source BFS distances from `src`, following `dir`.
+///
+/// Returns a vector of length `node_count()` with hop counts, or
+/// [`UNREACHABLE`] for nodes not reachable from `src`.
+///
+/// # Panics
+///
+/// Panics if `src >= node_count()`.
+///
+/// ```
+/// use circlekit_graph::{bfs_distances, Direction, Graph, UNREACHABLE};
+/// let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2)]);
+/// let d = bfs_distances(&g, 0, Direction::Out);
+/// assert_eq!(d, vec![0, 1, 2]);
+/// let d = bfs_distances(&g, 2, Direction::Out);
+/// assert_eq!(d, vec![UNREACHABLE, UNREACHABLE, 0]);
+/// ```
+pub fn bfs_distances(graph: &Graph, src: NodeId, dir: Direction) -> Vec<u32> {
+    assert!(
+        (src as usize) < graph.node_count(),
+        "source node {src} out of range"
+    );
+    let mut dist = vec![UNREACHABLE; graph.node_count()];
+    dist[src as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for v in graph.neighbors(u, dir) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The set of nodes reachable from `src` (including `src`), following `dir`.
+pub fn bfs_reachable(graph: &Graph, src: NodeId, dir: Direction) -> crate::VertexSet {
+    let dist = bfs_distances(graph, src, dir);
+    dist.iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != UNREACHABLE)
+        .map(|(v, _)| v as NodeId)
+        .collect()
+}
+
+/// Eccentricity of `src`: the maximum finite BFS distance from `src`.
+///
+/// Returns `None` if `src` reaches no other node.
+pub fn eccentricity(graph: &Graph, src: NodeId, dir: Direction) -> Option<u32> {
+    let dist = bfs_distances(graph, src, dir);
+    dist.into_iter()
+        .filter(|&d| d != UNREACHABLE && d > 0)
+        .max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::from_edges(false, (0u32..4).map(|i| (i, i + 1)))
+    }
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path5();
+        let d = bfs_distances(&g, 0, Direction::Both);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d = bfs_distances(&g, 2, Direction::Both);
+        assert_eq!(d, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn directed_in_direction_reverses_reachability() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2)]);
+        let d = bfs_distances(&g, 2, Direction::In);
+        assert_eq!(d, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn both_direction_ignores_orientation() {
+        let g = Graph::from_edges(true, [(1u32, 0u32), (1, 2)]);
+        let d = bfs_distances(&g, 0, Direction::Both);
+        assert_eq!(d, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reachable_set_excludes_disconnected() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (2, 3)]);
+        let r = bfs_reachable(&g, 0, Direction::Both);
+        assert_eq!(r.as_slice(), &[0, 1]);
+    }
+
+    #[test]
+    fn eccentricity_of_path_endpoint() {
+        let g = path5();
+        assert_eq!(eccentricity(&g, 0, Direction::Both), Some(4));
+        assert_eq!(eccentricity(&g, 2, Direction::Both), Some(2));
+    }
+
+    #[test]
+    fn eccentricity_isolated_is_none() {
+        let g = Graph::from_edges(false, [(0u32, 1u32)]);
+        let mut b = crate::GraphBuilder::undirected();
+        b.add_edge(0, 1).reserve_nodes(3);
+        let g2 = b.build();
+        assert_eq!(eccentricity(&g, 0, Direction::Both), Some(1));
+        assert_eq!(eccentricity(&g2, 2, Direction::Both), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bfs_panics_on_bad_source() {
+        bfs_distances(&path5(), 99, Direction::Both);
+    }
+}

@@ -1,0 +1,290 @@
+//! [`VertexSet`]: the representation of circles, communities, and sampled
+//! vertex sets.
+
+use crate::NodeId;
+use std::fmt;
+
+/// A sorted, duplicate-free set of node ids.
+///
+/// This is the universal currency of the scoring pipeline: circles,
+/// ground-truth communities, and random baseline sets are all `VertexSet`s.
+/// Membership queries are `O(log n)` binary searches; set algebra runs in
+/// linear time over sorted slices.
+///
+/// ```
+/// use circlekit_graph::VertexSet;
+///
+/// let a: VertexSet = [3u32, 1, 2, 3].into_iter().collect();
+/// assert_eq!(a.as_slice(), &[1, 2, 3]);
+/// assert!(a.contains(2));
+///
+/// let b = VertexSet::from_iter([2u32, 4]);
+/// assert_eq!(a.intersection(&b).as_slice(), &[2]);
+/// assert_eq!(a.union(&b).len(), 4);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VertexSet {
+    nodes: Vec<NodeId>,
+}
+
+impl VertexSet {
+    /// Creates an empty set.
+    pub fn new() -> VertexSet {
+        VertexSet::default()
+    }
+
+    /// Creates a set from a vector that is already sorted ascending and
+    /// duplicate-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with `debug_assert`) in debug builds if the invariant is
+    /// violated; in release builds the invariant is trusted.
+    pub fn from_sorted_unique(nodes: Vec<NodeId>) -> VertexSet {
+        debug_assert!(nodes.windows(2).all(|w| w[0] < w[1]), "input not sorted/unique");
+        VertexSet { nodes }
+    }
+
+    /// Creates a set from an arbitrary vector, sorting and deduplicating.
+    pub fn from_vec(mut nodes: Vec<NodeId>) -> VertexSet {
+        nodes.sort_unstable();
+        nodes.dedup();
+        VertexSet { nodes }
+    }
+
+    /// Number of member vertices (the paper's `n_C`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Membership test, `O(log n)`.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.nodes.binary_search(&v).is_ok()
+    }
+
+    /// Inserts `v`; returns `true` if it was newly added.
+    pub fn insert(&mut self, v: NodeId) -> bool {
+        match self.nodes.binary_search(&v) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.nodes.insert(pos, v);
+                true
+            }
+        }
+    }
+
+    /// Removes `v`; returns `true` if it was present.
+    pub fn remove(&mut self, v: NodeId) -> bool {
+        match self.nodes.binary_search(&v) {
+            Ok(pos) => {
+                self.nodes.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Borrowed sorted slice of the members.
+    #[inline]
+    pub fn as_slice(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, NodeId>> {
+        self.nodes.iter().copied()
+    }
+
+    /// Consumes the set, returning the sorted member vector.
+    pub fn into_vec(self) -> Vec<NodeId> {
+        self.nodes
+    }
+
+    /// Sorted-merge union with `other`.
+    pub fn union(&self, other: &VertexSet) -> VertexSet {
+        let (a, b) = (&self.nodes, &other.nodes);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        VertexSet { nodes: out }
+    }
+
+    /// Sorted-merge intersection with `other`.
+    pub fn intersection(&self, other: &VertexSet) -> VertexSet {
+        let (a, b) = (&self.nodes, &other.nodes);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        VertexSet { nodes: out }
+    }
+
+    /// Members of `self` not in `other`.
+    pub fn difference(&self, other: &VertexSet) -> VertexSet {
+        let nodes = self.iter().filter(|&v| !other.contains(v)).collect();
+        VertexSet { nodes }
+    }
+
+    /// Jaccard similarity `|A ∩ B| / |A ∪ B|`; `0.0` when both sets are
+    /// empty.
+    pub fn jaccard(&self, other: &VertexSet) -> f64 {
+        let inter = self.intersection(other).len();
+        let uni = self.len() + other.len() - inter;
+        if uni == 0 {
+            0.0
+        } else {
+            inter as f64 / uni as f64
+        }
+    }
+
+    /// Whether the two sets share at least one vertex (the paper's
+    /// ego-network *overlap* relation), without allocating.
+    pub fn overlaps(&self, other: &VertexSet) -> bool {
+        let (a, b) = (&self.nodes, &other.nodes);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Debug for VertexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.nodes.iter()).finish()
+    }
+}
+
+impl FromIterator<NodeId> for VertexSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> VertexSet {
+        VertexSet::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl Extend<NodeId> for VertexSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        self.nodes.extend(iter);
+        self.nodes.sort_unstable();
+        self.nodes.dedup();
+    }
+}
+
+impl<'a> IntoIterator for &'a VertexSet {
+    type Item = NodeId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, NodeId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for VertexSet {
+    type Item = NodeId;
+    type IntoIter = std::vec::IntoIter<NodeId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.nodes.into_iter()
+    }
+}
+
+impl From<Vec<NodeId>> for VertexSet {
+    fn from(nodes: Vec<NodeId>) -> VertexSet {
+        VertexSet::from_vec(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_sorts_and_dedups() {
+        let s = VertexSet::from_vec(vec![5, 1, 3, 1, 5]);
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_order() {
+        let mut s = VertexSet::from_vec(vec![1, 3]);
+        assert!(s.insert(2));
+        assert!(!s.insert(2));
+        assert_eq!(s.as_slice(), &[1, 2, 3]);
+        assert!(s.remove(1));
+        assert!(!s.remove(1));
+        assert_eq!(s.as_slice(), &[2, 3]);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = VertexSet::from_vec(vec![1, 2, 3]);
+        let b = VertexSet::from_vec(vec![2, 3, 4]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(a.intersection(&b).as_slice(), &[2, 3]);
+        assert_eq!(a.difference(&b).as_slice(), &[1]);
+        assert_eq!(b.difference(&a).as_slice(), &[4]);
+    }
+
+    #[test]
+    fn jaccard_bounds() {
+        let a = VertexSet::from_vec(vec![1, 2]);
+        let b = VertexSet::from_vec(vec![1, 2]);
+        let c = VertexSet::from_vec(vec![3]);
+        assert_eq!(a.jaccard(&b), 1.0);
+        assert_eq!(a.jaccard(&c), 0.0);
+        assert_eq!(VertexSet::new().jaccard(&VertexSet::new()), 0.0);
+    }
+
+    #[test]
+    fn overlaps_matches_nonempty_intersection() {
+        let a = VertexSet::from_vec(vec![1, 5, 9]);
+        let b = VertexSet::from_vec(vec![2, 5]);
+        let c = VertexSet::from_vec(vec![0, 4]);
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", VertexSet::new()), "{}");
+    }
+}

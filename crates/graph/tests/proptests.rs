@@ -1,0 +1,208 @@
+//! Property-based tests for the graph substrate invariants.
+
+use circlekit_graph::{
+    bfs_distances, connected_components, strongly_connected_components, Direction, Graph,
+    GraphBuilder, VertexSet, UNREACHABLE,
+};
+use proptest::prelude::*;
+
+const MAX_NODE: u32 = 40;
+
+fn edge_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..MAX_NODE, 0..MAX_NODE), 0..120)
+}
+
+proptest! {
+    #[test]
+    fn undirected_adjacency_is_symmetric(edges in edge_strategy()) {
+        let g = Graph::from_edges(false, edges);
+        for u in 0..g.node_count() as u32 {
+            for &v in g.out_neighbors(u) {
+                prop_assert!(g.has_edge(v, u), "edge {u}-{v} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn degree_sums_equal_twice_edges(edges in edge_strategy(), directed in any::<bool>()) {
+        let g = Graph::from_edges(directed, edges);
+        let total: usize = (0..g.node_count() as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+        prop_assert_eq!(total, g.total_degree());
+    }
+
+    #[test]
+    fn edges_iterator_count_matches_edge_count(edges in edge_strategy(), directed in any::<bool>()) {
+        let g = Graph::from_edges(directed, edges);
+        prop_assert_eq!(g.edges().count(), g.edge_count());
+    }
+
+    #[test]
+    fn adjacency_lists_sorted_unique(edges in edge_strategy(), directed in any::<bool>()) {
+        let g = Graph::from_edges(directed, edges);
+        for v in 0..g.node_count() as u32 {
+            let list = g.out_neighbors(v);
+            prop_assert!(list.windows(2).all(|w| w[0] < w[1]));
+            let list = g.in_neighbors(v);
+            prop_assert!(list.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn in_out_degree_totals_agree(edges in edge_strategy()) {
+        let g = Graph::from_edges(true, edges);
+        let out: usize = (0..g.node_count() as u32).map(|v| g.out_degree(v)).sum();
+        let inn: usize = (0..g.node_count() as u32).map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out, inn);
+        prop_assert_eq!(out, g.edge_count());
+    }
+
+    #[test]
+    fn to_undirected_then_bidirected_is_supergraph_of_undirected_view(edges in edge_strategy()) {
+        let g = Graph::from_edges(true, edges);
+        let u = g.to_undirected();
+        // Every original arc must survive as an undirected edge.
+        for (a, b) in g.edges() {
+            prop_assert!(u.has_edge(a, b));
+        }
+        // And the bidirected expansion restores both orientations.
+        let d = u.to_bidirected();
+        prop_assert_eq!(d.edge_count(), 2 * u.edge_count());
+    }
+
+    #[test]
+    fn components_partition_and_are_bfs_consistent(edges in edge_strategy()) {
+        let g = Graph::from_edges(false, edges);
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let cc = connected_components(&g);
+        prop_assert_eq!(cc.sizes().iter().sum::<usize>(), g.node_count());
+        // BFS from node 0 reaches exactly the nodes sharing its label.
+        let dist = bfs_distances(&g, 0, Direction::Both);
+        for v in 0..g.node_count() as u32 {
+            let same = cc.label(v) == cc.label(0);
+            prop_assert_eq!(same, dist[v as usize] != UNREACHABLE);
+        }
+    }
+
+    #[test]
+    fn subgraph_edge_endpoints_stay_inside(edges in edge_strategy(), picks in prop::collection::vec(0..MAX_NODE, 0..20)) {
+        let mut b = GraphBuilder::undirected();
+        b.add_edges(edges).reserve_nodes(MAX_NODE as usize);
+        let g = b.build();
+        let set = VertexSet::from_vec(picks);
+        let sub = g.subgraph(&set).unwrap();
+        prop_assert_eq!(sub.graph().node_count(), set.len());
+        for (u, v) in sub.graph().edges() {
+            let (pu, pv) = (sub.to_parent(u), sub.to_parent(v));
+            prop_assert!(set.contains(pu) && set.contains(pv));
+            prop_assert!(g.has_edge(pu, pv));
+        }
+    }
+
+    #[test]
+    fn subgraph_preserves_internal_edge_count(edges in edge_strategy(), picks in prop::collection::vec(0..MAX_NODE, 0..20)) {
+        let mut b = GraphBuilder::undirected();
+        b.add_edges(edges).reserve_nodes(MAX_NODE as usize);
+        let g = b.build();
+        let set = VertexSet::from_vec(picks);
+        // Count internal edges in the parent graph directly.
+        let internal = g
+            .edges()
+            .filter(|&(u, v)| set.contains(u) && set.contains(v))
+            .count();
+        let sub = g.subgraph(&set).unwrap();
+        prop_assert_eq!(sub.graph().edge_count(), internal);
+    }
+
+    #[test]
+    fn vertex_set_algebra_laws(a in prop::collection::vec(0..MAX_NODE, 0..30), b in prop::collection::vec(0..MAX_NODE, 0..30)) {
+        let a = VertexSet::from_vec(a);
+        let b = VertexSet::from_vec(b);
+        let union = a.union(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(union.len() + inter.len(), a.len() + b.len());
+        prop_assert_eq!(a.overlaps(&b), !inter.is_empty());
+        // Difference + intersection reassembles the original.
+        let diff = a.difference(&b);
+        prop_assert_eq!(diff.union(&inter), a.clone());
+        // Jaccard is within [0, 1] and symmetric.
+        let j = a.jaccard(&b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert_eq!(j, b.jaccard(&a));
+    }
+
+    #[test]
+    fn bfs_distances_are_metric_steps(edges in edge_strategy()) {
+        let g = Graph::from_edges(false, edges);
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let dist = bfs_distances(&g, 0, Direction::Both);
+        // Adjacent nodes differ by at most one hop.
+        for (u, v) in g.edges() {
+            let (du, dv) = (dist[u as usize], dist[v as usize]);
+            if du != UNREACHABLE && dv != UNREACHABLE {
+                prop_assert!(du.abs_diff(dv) <= 1);
+            } else {
+                prop_assert_eq!(du, dv); // both unreachable
+            }
+        }
+    }
+
+    #[test]
+    fn reciprocity_in_unit_interval(edges in edge_strategy()) {
+        let g = Graph::from_edges(true, edges);
+        let r = g.reciprocity();
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn scc_refines_weak_components(edges in edge_strategy()) {
+        let g = Graph::from_edges(true, edges);
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let scc = strongly_connected_components(&g);
+        let weak = connected_components(&g);
+        // Nodes in the same SCC are necessarily weakly connected.
+        for u in 0..g.node_count() as u32 {
+            for v in 0..g.node_count() as u32 {
+                if scc.label(u) == scc.label(v) {
+                    prop_assert_eq!(weak.label(u), weak.label(v));
+                }
+            }
+        }
+        prop_assert!(scc.component_count() >= weak.component_count());
+        prop_assert_eq!(scc.sizes().iter().sum::<usize>(), g.node_count());
+    }
+
+    #[test]
+    fn scc_members_are_mutually_reachable(edges in edge_strategy()) {
+        let g = Graph::from_edges(true, edges);
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let scc = strongly_connected_components(&g);
+        // Spot check: within each component, node A reaches node B via
+        // out-edges (verify for the first component pair found).
+        for u in 0..g.node_count() as u32 {
+            let dist = bfs_distances(&g, u, Direction::Out);
+            for v in 0..g.node_count() as u32 {
+                if scc.label(u) == scc.label(v) {
+                    prop_assert!(dist[v as usize] != UNREACHABLE,
+                        "{u} cannot reach same-SCC node {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_graph(edges in edge_strategy(), directed in any::<bool>()) {
+        let g = Graph::from_edges(directed, edges);
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(g, back);
+    }
+}

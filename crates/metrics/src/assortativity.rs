@@ -1,0 +1,119 @@
+//! Degree assortativity (Newman's degree-correlation coefficient).
+
+use circlekit_graph::Graph;
+
+/// Pearson correlation of the total degrees at the two endpoints of every
+/// edge (Newman 2002). Positive values mean high-degree vertices attach to
+/// each other (typical for social graphs); negative values indicate
+/// hub-and-spoke mixing (typical for technological graphs and — relevant
+/// here — for celebrity-dominated circles).
+///
+/// For directed graphs each arc contributes one (source-degree,
+/// target-degree) pair; for undirected graphs each edge contributes both
+/// orientations, making the measure symmetric. Returns `None` for graphs
+/// with no edges or with constant degrees (the correlation is undefined).
+///
+/// ```
+/// use circlekit_graph::Graph;
+/// use circlekit_metrics::degree_assortativity;
+/// // A star is maximally disassortative.
+/// let star = Graph::from_edges(false, (1..6u32).map(|v| (0, v)));
+/// assert!(degree_assortativity(&star).unwrap() < -0.99);
+/// ```
+pub fn degree_assortativity(graph: &Graph) -> Option<f64> {
+    let mut xs: Vec<f64> = Vec::with_capacity(graph.edge_count() * 2);
+    let mut ys: Vec<f64> = Vec::with_capacity(graph.edge_count() * 2);
+    for (u, v) in graph.edges() {
+        let (du, dv) = (graph.degree(u) as f64, graph.degree(v) as f64);
+        xs.push(du);
+        ys.push(dv);
+        if !graph.is_directed() {
+            xs.push(dv);
+            ys.push(du);
+        }
+    }
+    pearson(&xs, &ys)
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regular_graph_is_undefined() {
+        // Every degree equal: correlation undefined.
+        let ring = Graph::from_edges(false, (0..6u32).map(|i| (i, (i + 1) % 6)));
+        assert_eq!(degree_assortativity(&ring), None);
+    }
+
+    #[test]
+    fn star_is_disassortative() {
+        let star = Graph::from_edges(false, (1..8u32).map(|v| (0, v)));
+        let r = degree_assortativity(&star).unwrap();
+        assert!(r < -0.99, "r = {r}");
+    }
+
+    #[test]
+    fn degree_homophily_is_assortative() {
+        // A 5-clique (degrees 4) next to a disjoint path (degrees <= 2):
+        // every edge connects vertices of similar degree.
+        let mut edges = Vec::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        edges.extend((5..14u32).map(|i| (i, i + 1)));
+        let g = Graph::from_edges(false, edges);
+        let r = degree_assortativity(&g).unwrap();
+        assert!(r > 0.5, "r = {r}");
+    }
+
+    #[test]
+    fn empty_graph_is_none() {
+        let g = circlekit_graph::GraphBuilder::undirected().build();
+        assert_eq!(degree_assortativity(&g), None);
+    }
+
+    #[test]
+    fn directed_uses_arc_orientation() {
+        // Hub fan-out: source always high degree, targets low.
+        let g = Graph::from_edges(true, (1..6u32).map(|v| (0, v)));
+        let r = degree_assortativity(&g);
+        // All pairs are (5, 1): zero variance in each coordinate -> None.
+        assert_eq!(r, None);
+        // Adding one peer-to-peer arc introduces variance.
+        let g = Graph::from_edges(true, (1..6u32).map(|v| (0, v)).chain([(1, 2)]));
+        assert!(degree_assortativity(&g).unwrap() < 0.0);
+    }
+
+    #[test]
+    fn assortativity_in_minus_one_one() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        if let Some(r) = degree_assortativity(&g) {
+            assert!((-1.0..=1.0).contains(&r));
+        }
+    }
+}

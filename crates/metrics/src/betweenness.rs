@@ -1,0 +1,205 @@
+//! Betweenness centrality (Brandes' algorithm).
+
+use circlekit_graph::{Direction, Graph, NodeId};
+
+/// Node betweenness centrality via Brandes' accumulation, treating the
+/// graph as unweighted and (for directed graphs) following the given
+/// direction for path counting.
+///
+/// Returns one value per node: the number of shortest paths through it,
+/// summed over all ordered source–target pairs (no normalisation, so
+/// values are comparable within one graph).
+pub fn betweenness(graph: &Graph, dir: Direction) -> Vec<f64> {
+    let n = graph.node_count();
+    let mut centrality = vec![0.0f64; n];
+    let mut sigma = vec![0.0f64; n]; // shortest-path counts
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut predecessors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+
+    for s in 0..n as NodeId {
+        // Reset per-source state.
+        for v in 0..n {
+            sigma[v] = 0.0;
+            dist[v] = -1;
+            delta[v] = 0.0;
+            predecessors[v].clear();
+        }
+        stack.clear();
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            let dv = dist[v as usize];
+            for w in graph.neighbors(v, dir) {
+                let wi = w as usize;
+                if dist[wi] < 0 {
+                    dist[wi] = dv + 1;
+                    queue.push_back(w);
+                }
+                if dist[wi] == dv + 1 {
+                    sigma[wi] += sigma[v as usize];
+                    predecessors[wi].push(v);
+                }
+            }
+        }
+        // Dependency accumulation in reverse BFS order.
+        while let Some(w) = stack.pop() {
+            let wi = w as usize;
+            let coeff = (1.0 + delta[wi]) / sigma[wi];
+            for &v in &predecessors[wi] {
+                delta[v as usize] += sigma[v as usize] * coeff;
+            }
+            if w != s {
+                centrality[wi] += delta[wi];
+            }
+        }
+    }
+    // Undirected graphs count each pair twice.
+    if !graph.is_directed() {
+        for c in centrality.iter_mut() {
+            *c /= 2.0;
+        }
+    }
+    centrality
+}
+
+/// Edge betweenness centrality: like [`betweenness`] but accumulated on
+/// edges. Returns a map from the graph's canonical edge representation
+/// (as yielded by [`Graph::edges`]) to its centrality.
+pub fn edge_betweenness(
+    graph: &Graph,
+    dir: Direction,
+) -> std::collections::HashMap<(NodeId, NodeId), f64> {
+    let n = graph.node_count();
+    let mut centrality: std::collections::HashMap<(NodeId, NodeId), f64> =
+        graph.edges().map(|e| (e, 0.0)).collect();
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut predecessors: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+    let mut stack: Vec<NodeId> = Vec::with_capacity(n);
+    let mut queue = std::collections::VecDeque::new();
+
+    let canonical = |u: NodeId, v: NodeId| {
+        if graph.is_directed() || u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    };
+
+    for s in 0..n as NodeId {
+        for v in 0..n {
+            sigma[v] = 0.0;
+            dist[v] = -1;
+            delta[v] = 0.0;
+            predecessors[v].clear();
+        }
+        stack.clear();
+        sigma[s as usize] = 1.0;
+        dist[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            let dv = dist[v as usize];
+            for w in graph.neighbors(v, dir) {
+                let wi = w as usize;
+                if dist[wi] < 0 {
+                    dist[wi] = dv + 1;
+                    queue.push_back(w);
+                }
+                if dist[wi] == dv + 1 {
+                    sigma[wi] += sigma[v as usize];
+                    predecessors[wi].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            let wi = w as usize;
+            let coeff = (1.0 + delta[wi]) / sigma[wi];
+            for &v in &predecessors[wi] {
+                let contribution = sigma[v as usize] * coeff;
+                delta[v as usize] += contribution;
+                if let Some(slot) = centrality.get_mut(&canonical(v, w)) {
+                    *slot += contribution;
+                }
+            }
+        }
+    }
+    if !graph.is_directed() {
+        for c in centrality.values_mut() {
+            *c /= 2.0;
+        }
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_center_has_max_betweenness() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]);
+        let b = betweenness(&g, Direction::Both);
+        // P5: exact values 0, 3, 4, 3, 0.
+        assert_eq!(b, vec![0.0, 3.0, 4.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn star_hub_carries_all_paths() {
+        let g = Graph::from_edges(false, (1..6u32).map(|v| (0, v)));
+        let b = betweenness(&g, Direction::Both);
+        // Hub: C(5,2) = 10 pairs pass through.
+        assert_eq!(b[0], 10.0);
+        for v in 1..6 {
+            assert_eq!(b[v], 0.0);
+        }
+    }
+
+    #[test]
+    fn cycle_is_symmetric() {
+        let g = Graph::from_edges(false, (0..6u32).map(|i| (i, (i + 1) % 6)));
+        let b = betweenness(&g, Direction::Both);
+        for &x in &b {
+            assert!((x - b[0]).abs() < 1e-9);
+        }
+        assert!(b[0] > 0.0);
+    }
+
+    #[test]
+    fn bridge_edge_has_max_edge_betweenness() {
+        // Two triangles joined by the bridge (2, 3).
+        let g = Graph::from_edges(
+            false,
+            [(0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        );
+        let eb = edge_betweenness(&g, Direction::Both);
+        let bridge = eb[&(2, 3)];
+        for (&e, &c) in &eb {
+            if e != (2, 3) {
+                assert!(bridge > c, "bridge {bridge} vs {e:?} {c}");
+            }
+        }
+        // Bridge carries all 3x3 cross pairs.
+        assert_eq!(bridge, 9.0);
+    }
+
+    #[test]
+    fn directed_betweenness_follows_arcs() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2)]);
+        let b = betweenness(&g, Direction::Out);
+        assert_eq!(b, vec![0.0, 1.0, 0.0]); // only 0 -> 2 passes through 1
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = circlekit_graph::GraphBuilder::undirected().build();
+        assert!(betweenness(&g, Direction::Both).is_empty());
+        assert!(edge_betweenness(&g, Direction::Both).is_empty());
+    }
+}

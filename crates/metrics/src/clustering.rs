@@ -1,0 +1,180 @@
+//! Triangle counting and clustering coefficients (§IV-A.2 of the paper).
+
+use circlekit_graph::{Graph, NodeId};
+use std::borrow::Cow;
+
+/// Returns the graph's undirected view: a borrowed reference when already
+/// undirected, otherwise a collapsed copy. Clustering is a triangle property
+/// and the paper's comparison values (Magno et al., Gong et al.) are
+/// computed on the symmetrised graph.
+fn undirected_view(graph: &Graph) -> Cow<'_, Graph> {
+    if graph.is_directed() {
+        Cow::Owned(graph.to_undirected())
+    } else {
+        Cow::Borrowed(graph)
+    }
+}
+
+/// Size of the sorted intersection of two ascending slices.
+fn sorted_intersection_len(a: &[NodeId], b: &[NodeId]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Number of triangles each node participates in (undirected view).
+pub fn triangles_per_node(graph: &Graph) -> Vec<u64> {
+    let g = undirected_view(graph);
+    let n = g.node_count();
+    let mut tri = vec![0u64; n];
+    for v in 0..n as NodeId {
+        let nv = g.out_neighbors(v);
+        let mut t = 0u64;
+        for &u in nv {
+            // Each triangle {v, u, w} is counted once per neighbour u of v
+            // with w in N(v) ∩ N(u); dividing by 2 corrects the double count.
+            t += sorted_intersection_len(nv, g.out_neighbors(u)) as u64;
+        }
+        tri[v as usize] = t / 2;
+    }
+    tri
+}
+
+/// Total number of distinct triangles in the graph (undirected view).
+pub fn triangle_count(graph: &Graph) -> u64 {
+    triangles_per_node(graph).iter().sum::<u64>() / 3
+}
+
+/// Local clustering coefficient of every node: triangles through `v`
+/// divided by `k(k-1)/2` possible, `0.0` for degree `< 2` (undirected view).
+///
+/// ```
+/// use circlekit_graph::Graph;
+/// use circlekit_metrics::clustering_coefficients;
+/// let square = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 3), (3, 0)]);
+/// assert_eq!(clustering_coefficients(&square), vec![0.0; 4]);
+/// ```
+pub fn clustering_coefficients(graph: &Graph) -> Vec<f64> {
+    let g = undirected_view(graph);
+    let tri = {
+        // Recompute on the view to avoid symmetrising twice.
+        let n = g.node_count();
+        let mut tri = vec![0u64; n];
+        for v in 0..n as NodeId {
+            let nv = g.out_neighbors(v);
+            let mut t = 0u64;
+            for &u in nv {
+                t += sorted_intersection_len(nv, g.out_neighbors(u)) as u64;
+            }
+            tri[v as usize] = t / 2;
+        }
+        tri
+    };
+    (0..g.node_count() as NodeId)
+        .map(|v| {
+            let k = g.out_neighbors(v).len() as u64;
+            if k < 2 {
+                0.0
+            } else {
+                2.0 * tri[v as usize] as f64 / (k * (k - 1)) as f64
+            }
+        })
+        .collect()
+}
+
+/// Mean local clustering coefficient over all nodes of degree ≥ 2 (nodes
+/// that cannot close a triangle are excluded, following common practice;
+/// the paper reports an average of 0.4901 for its Google+ data set).
+///
+/// Returns `0.0` if no node has degree ≥ 2.
+pub fn average_clustering(graph: &Graph) -> f64 {
+    let g = undirected_view(graph);
+    let cc = clustering_coefficients(&g);
+    let eligible: Vec<f64> = (0..g.node_count() as NodeId)
+        .filter(|&v| g.out_neighbors(v).len() >= 2)
+        .map(|v| cc[v as usize])
+        .collect();
+    if eligible.is_empty() {
+        0.0
+    } else {
+        eligible.iter().sum::<f64>() / eligible.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(k: u32) -> Graph {
+        let mut edges = Vec::new();
+        for u in 0..k {
+            for v in (u + 1)..k {
+                edges.push((u, v));
+            }
+        }
+        Graph::from_edges(false, edges)
+    }
+
+    #[test]
+    fn clique_triangles_and_cc() {
+        let g = clique(5);
+        assert_eq!(triangle_count(&g), 10); // C(5,3)
+        assert_eq!(clustering_coefficients(&g), vec![1.0; 5]);
+        assert_eq!(average_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn tree_has_no_triangles() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (0, 2), (0, 3)]);
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(average_clustering(&g), 0.0);
+    }
+
+    #[test]
+    fn triangle_with_pendant() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(triangle_count(&g), 1);
+        let cc = clustering_coefficients(&g);
+        assert_eq!(cc[0], 1.0);
+        assert_eq!(cc[1], 1.0);
+        // Node 2 has 3 neighbours, 1 linked pair of them: 2*1/(3*2) = 1/3.
+        assert!((cc[2] - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cc[3], 0.0);
+        // Average over nodes with degree >= 2 (0, 1, 2).
+        assert!((average_clustering(&g) - (1.0 + 1.0 + 1.0 / 3.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn directed_clustering_uses_undirected_view() {
+        // Directed cycle 0->1->2->0 forms one undirected triangle.
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0)]);
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(average_clustering(&g), 1.0);
+    }
+
+    #[test]
+    fn reciprocal_arcs_do_not_double_count() {
+        let g = Graph::from_edges(
+            true,
+            [(0u32, 1u32), (1, 0), (1, 2), (2, 1), (2, 0), (0, 2)],
+        );
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn triangles_per_node_sums_to_three_per_triangle() {
+        let g = clique(4); // 4 triangles, each node in 3
+        assert_eq!(triangles_per_node(&g), vec![3, 3, 3, 3]);
+        assert_eq!(triangle_count(&g), 4);
+    }
+}

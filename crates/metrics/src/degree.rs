@@ -1,0 +1,161 @@
+//! Degree sequences and distributions.
+
+use circlekit_graph::Graph;
+use circlekit_stats::Summary;
+
+/// Which degree to extract from a graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum DegreeKind {
+    /// In-degree (equals total adjacency for undirected graphs).
+    In,
+    /// Out-degree (equals total adjacency for undirected graphs).
+    Out,
+    /// Total degree `d(v)` (in + out for directed graphs).
+    #[default]
+    Total,
+}
+
+impl DegreeKind {
+    /// The degree of node `v` under this kind.
+    pub fn of(self, graph: &Graph, v: u32) -> usize {
+        match self {
+            DegreeKind::In => graph.in_degree(v),
+            DegreeKind::Out => graph.out_degree(v),
+            DegreeKind::Total => graph.degree(v),
+        }
+    }
+}
+
+/// Degree sequence plus its summary statistics.
+///
+/// Backs the paper's Table II rows "average degree (in)" / "(out)" and the
+/// Figure 3 in-degree distribution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    kind: DegreeKind,
+    degrees: Vec<u64>,
+    summary: Summary,
+}
+
+impl DegreeStats {
+    /// Extracts the degree sequence of `kind` from `graph`.
+    ///
+    /// ```
+    /// use circlekit_graph::Graph;
+    /// use circlekit_metrics::{DegreeKind, DegreeStats};
+    /// let g = Graph::from_edges(true, [(0u32, 1u32), (2, 1)]);
+    /// let s = DegreeStats::new(&g, DegreeKind::In);
+    /// assert_eq!(s.degrees(), &[0, 2, 0]);
+    /// ```
+    pub fn new(graph: &Graph, kind: DegreeKind) -> DegreeStats {
+        let degrees: Vec<u64> = (0..graph.node_count() as u32)
+            .map(|v| kind.of(graph, v) as u64)
+            .collect();
+        let as_f64: Vec<f64> = degrees.iter().map(|&d| d as f64).collect();
+        DegreeStats {
+            kind,
+            degrees,
+            summary: Summary::from_slice(&as_f64),
+        }
+    }
+
+    /// The degree kind this sequence was extracted with.
+    pub fn kind(&self) -> DegreeKind {
+        self.kind
+    }
+
+    /// Per-node degrees, indexed by node id.
+    pub fn degrees(&self) -> &[u64] {
+        &self.degrees
+    }
+
+    /// Mean degree (the paper's "average degree" rows).
+    pub fn average(&self) -> f64 {
+        self.summary.mean
+    }
+
+    /// Largest degree.
+    pub fn max(&self) -> u64 {
+        self.summary.max as u64
+    }
+
+    /// Full summary statistics.
+    pub fn summary(&self) -> Summary {
+        self.summary
+    }
+
+    /// The positive degrees as `f64`, the form the distribution-fitting
+    /// pipeline (`circlekit-statfit`) consumes; zero degrees are excluded
+    /// because heavy-tail models are defined on `x >= 1`.
+    pub fn positive_as_f64(&self) -> Vec<f64> {
+        self.degrees
+            .iter()
+            .filter(|&&d| d > 0)
+            .map(|&d| d as f64)
+            .collect()
+    }
+}
+
+/// Histogram of degree frequencies: `counts[d]` is the number of nodes with
+/// degree `d`.
+pub fn degree_counts(graph: &Graph, kind: DegreeKind) -> Vec<u64> {
+    let stats = DegreeStats::new(graph, kind);
+    let max = stats.max() as usize;
+    let mut counts = vec![0u64; max + 1];
+    for &d in stats.degrees() {
+        counts[d as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_graph::Graph;
+
+    fn star() -> Graph {
+        // Node 0 points at 1..=4.
+        Graph::from_edges(true, (1u32..=4).map(|i| (0, i)))
+    }
+
+    #[test]
+    fn in_out_total_kinds_differ_on_directed() {
+        let g = star();
+        let out = DegreeStats::new(&g, DegreeKind::Out);
+        let inn = DegreeStats::new(&g, DegreeKind::In);
+        let tot = DegreeStats::new(&g, DegreeKind::Total);
+        assert_eq!(out.degrees(), &[4, 0, 0, 0, 0]);
+        assert_eq!(inn.degrees(), &[0, 1, 1, 1, 1]);
+        assert_eq!(tot.degrees(), &[4, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn kinds_agree_on_undirected() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2)]);
+        let out = DegreeStats::new(&g, DegreeKind::Out);
+        let inn = DegreeStats::new(&g, DegreeKind::In);
+        assert_eq!(out.degrees(), inn.degrees());
+        assert_eq!(out.degrees(), &[1, 2, 1]);
+    }
+
+    #[test]
+    fn average_degree_matches_handshake() {
+        let g = star();
+        let tot = DegreeStats::new(&g, DegreeKind::Total);
+        assert!((tot.average() - 2.0 * 4.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degree_counts_tally() {
+        let g = star();
+        let counts = degree_counts(&g, DegreeKind::Total);
+        assert_eq!(counts, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn positive_filter_drops_zeros() {
+        let g = star();
+        let inn = DegreeStats::new(&g, DegreeKind::In);
+        assert_eq!(inn.positive_as_f64(), vec![1.0; 4]);
+    }
+}

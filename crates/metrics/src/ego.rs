@@ -1,0 +1,137 @@
+//! Ego-network membership and overlap statistics (Figures 1–2 of the
+//! paper, and the "93.5 % of the ego-networks overlap" finding).
+
+use circlekit_graph::VertexSet;
+
+/// Aggregate statistics over a collection of ego networks.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct EgoStats {
+    /// Number of ego networks.
+    pub ego_count: usize,
+    /// Fraction of ego networks sharing at least one vertex with another
+    /// ego network (the paper reports 93.5 %).
+    pub overlap_fraction: f64,
+    /// Histogram: `membership_histogram[k]` is the number of vertices that
+    /// appear in exactly `k` ego networks (`k >= 1`); index 0 is unused.
+    pub membership_histogram: Vec<u64>,
+}
+
+impl EgoStats {
+    /// Computes all ego statistics in one pass.
+    pub fn new(egos: &[VertexSet]) -> EgoStats {
+        let counts = ego_membership_counts(egos);
+        let max = counts.values().copied().max().unwrap_or(0) as usize;
+        let mut histogram = vec![0u64; max + 1];
+        for &c in counts.values() {
+            histogram[c as usize] += 1;
+        }
+        EgoStats {
+            ego_count: egos.len(),
+            overlap_fraction: ego_overlap_fraction(egos),
+            membership_histogram: histogram,
+        }
+    }
+
+    /// Number of distinct vertices covered by any ego network.
+    pub fn covered_vertices(&self) -> u64 {
+        self.membership_histogram.iter().skip(1).sum()
+    }
+
+    /// `(membership_count, vertex_count)` pairs for non-empty histogram
+    /// entries — the series plotted in the paper's Figure 2.
+    pub fn membership_series(&self) -> Vec<(u32, u64)> {
+        self.membership_histogram
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|&(_, &c)| c > 0)
+            .map(|(k, &c)| (k as u32, c))
+            .collect()
+    }
+}
+
+/// For every vertex appearing in at least one ego network, the number of
+/// ego networks containing it.
+pub fn ego_membership_counts(egos: &[VertexSet]) -> std::collections::HashMap<u32, u32> {
+    let mut counts = std::collections::HashMap::new();
+    for ego in egos {
+        for v in ego.iter() {
+            *counts.entry(v).or_insert(0u32) += 1;
+        }
+    }
+    counts
+}
+
+/// Fraction of ego networks that share at least one vertex with some other
+/// ego network. Returns `0.0` for fewer than two ego networks.
+///
+/// Computed via membership counts in `O(total membership)` rather than by
+/// pairwise intersection.
+pub fn ego_overlap_fraction(egos: &[VertexSet]) -> f64 {
+    if egos.len() < 2 {
+        return 0.0;
+    }
+    let counts = ego_membership_counts(egos);
+    let overlapping = egos
+        .iter()
+        .filter(|ego| ego.iter().any(|v| counts[&v] > 1))
+        .count();
+    overlapping as f64 / egos.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> VertexSet {
+        VertexSet::from_vec(v.to_vec())
+    }
+
+    #[test]
+    fn membership_counts_tally_appearances() {
+        let egos = vec![set(&[0, 1, 2]), set(&[2, 3]), set(&[2, 3, 4])];
+        let counts = ego_membership_counts(&egos);
+        assert_eq!(counts[&2], 3);
+        assert_eq!(counts[&3], 2);
+        assert_eq!(counts[&0], 1);
+        assert!(!counts.contains_key(&9));
+    }
+
+    #[test]
+    fn overlap_fraction_all_overlapping() {
+        let egos = vec![set(&[0, 1]), set(&[1, 2]), set(&[2, 0])];
+        assert_eq!(ego_overlap_fraction(&egos), 1.0);
+    }
+
+    #[test]
+    fn overlap_fraction_partial() {
+        let egos = vec![set(&[0, 1]), set(&[1, 2]), set(&[7, 8]), set(&[9])];
+        assert_eq!(ego_overlap_fraction(&egos), 0.5);
+    }
+
+    #[test]
+    fn overlap_fraction_degenerate() {
+        assert_eq!(ego_overlap_fraction(&[]), 0.0);
+        assert_eq!(ego_overlap_fraction(&[set(&[1, 2])]), 0.0);
+    }
+
+    #[test]
+    fn ego_stats_histogram() {
+        let egos = vec![set(&[0, 1, 2]), set(&[2, 3])];
+        let stats = EgoStats::new(&egos);
+        assert_eq!(stats.ego_count, 2);
+        // Vertices 0,1,3 in one ego; vertex 2 in two.
+        assert_eq!(stats.membership_histogram, vec![0, 3, 1]);
+        assert_eq!(stats.covered_vertices(), 4);
+        assert_eq!(stats.membership_series(), vec![(1, 3), (2, 1)]);
+    }
+
+    #[test]
+    fn empty_ego_collection() {
+        let stats = EgoStats::new(&[]);
+        assert_eq!(stats.ego_count, 0);
+        assert_eq!(stats.covered_vertices(), 0);
+        assert!(stats.membership_series().is_empty());
+    }
+}

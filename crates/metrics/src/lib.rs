@@ -1,0 +1,41 @@
+//! Structural metrics for social graphs.
+//!
+//! Implements the data-set characterisation of §IV of *"Are Circles
+//! Communities?"*: degree distributions (§IV-A.1), clustering coefficients
+//! (§IV-A.2), node separation — diameter and average shortest path —
+//! (§IV-A.3), and the ego-network membership/overlap statistics behind
+//! Figures 1–2.
+//!
+//! ```
+//! use circlekit_graph::Graph;
+//! use circlekit_metrics::{average_clustering, clustering_coefficients};
+//!
+//! // A triangle with a pendant vertex.
+//! let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
+//! let cc = clustering_coefficients(&g);
+//! assert_eq!(cc[0], 1.0); // both of 0's neighbours are linked
+//! assert_eq!(cc[3], 0.0); // degree-1 vertices have no triangles
+//! assert!(average_clustering(&g) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assortativity;
+mod betweenness;
+mod clustering;
+mod degree;
+mod ego;
+mod pagerank;
+mod paths;
+
+pub use assortativity::degree_assortativity;
+pub use betweenness::{betweenness, edge_betweenness};
+pub use clustering::{average_clustering, clustering_coefficients, triangle_count, triangles_per_node};
+pub use degree::{degree_counts, DegreeKind, DegreeStats};
+pub use ego::{ego_membership_counts, ego_overlap_fraction, EgoStats};
+pub use pagerank::pagerank;
+pub use paths::{
+    average_shortest_path, average_shortest_path_sampled, diameter_double_sweep, diameter_exact,
+    effective_diameter, PathStats,
+};

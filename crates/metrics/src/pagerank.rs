@@ -1,0 +1,139 @@
+//! PageRank centrality.
+
+use circlekit_graph::{Graph, NodeId};
+
+/// Power-iteration PageRank with damping factor `damping` (conventionally
+/// 0.85), run until the L1 change drops below `tolerance` or `max_iters`
+/// sweeps elapse.
+///
+/// Dangling nodes (no out-edges) redistribute their mass uniformly, so
+/// the result is a proper probability vector (sums to 1). For undirected
+/// graphs every edge acts as a reciprocal arc pair. Returns an empty
+/// vector for an empty graph.
+///
+/// # Panics
+///
+/// Panics if `damping` is outside `[0, 1)`.
+///
+/// ```
+/// use circlekit_graph::Graph;
+/// use circlekit_metrics::pagerank;
+/// // Everyone links to the celebrity node 0.
+/// let g = Graph::from_edges(true, (1..6u32).map(|v| (v, 0)));
+/// let pr = pagerank(&g, 0.85, 1e-12, 100);
+/// assert!(pr[0] > pr[1] * 3.0);
+/// ```
+pub fn pagerank(graph: &Graph, damping: f64, tolerance: f64, max_iters: usize) -> Vec<f64> {
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nf = n as f64;
+    let mut rank = vec![1.0 / nf; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iters {
+        // Teleport + dangling mass.
+        let dangling: f64 = (0..n as NodeId)
+            .filter(|&v| graph.out_degree(v) == 0)
+            .map(|v| rank[v as usize])
+            .sum();
+        let base = (1.0 - damping) / nf + damping * dangling / nf;
+        next.iter_mut().for_each(|x| *x = base);
+        for v in 0..n as NodeId {
+            let out = graph.out_degree(v);
+            if out > 0 {
+                let share = damping * rank[v as usize] / out as f64;
+                for &w in graph.out_neighbors(v) {
+                    next[w as usize] += share;
+                }
+            }
+        }
+        let delta: f64 = rank
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        std::mem::swap(&mut rank, &mut next);
+        if delta < tolerance {
+            break;
+        }
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_graph::GraphBuilder;
+
+    fn assert_prob_vector(pr: &[f64]) {
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn uniform_on_symmetric_cycle() {
+        let g = Graph::from_edges(true, (0..6u32).map(|i| (i, (i + 1) % 6)));
+        let pr = pagerank(&g, 0.85, 1e-12, 200);
+        assert_prob_vector(&pr);
+        for &x in &pr {
+            assert!((x - 1.0 / 6.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn celebrity_outranks_followers() {
+        let g = Graph::from_edges(true, (1..10u32).map(|v| (v, 0)));
+        let pr = pagerank(&g, 0.85, 1e-12, 200);
+        assert_prob_vector(&pr);
+        assert!(pr[0] > 0.4, "celebrity rank {}", pr[0]);
+        for v in 1..10 {
+            assert!(pr[0] > 5.0 * pr[v]);
+        }
+    }
+
+    #[test]
+    fn dangling_mass_is_conserved() {
+        // 0 -> 1, 1 has no out-edges: without dangling handling the mass
+        // would leak every iteration.
+        let g = Graph::from_edges(true, [(0u32, 1u32)]);
+        let pr = pagerank(&g, 0.85, 1e-12, 200);
+        assert_prob_vector(&pr);
+        assert!(pr[1] > pr[0]);
+    }
+
+    #[test]
+    fn undirected_ranks_by_degree() {
+        // A star: the hub should lead, leaves tie.
+        let g = Graph::from_edges(false, (1..6u32).map(|v| (0, v)));
+        let pr = pagerank(&g, 0.85, 1e-12, 200);
+        assert_prob_vector(&pr);
+        assert!(pr[0] > pr[1]);
+        for v in 2..6 {
+            assert!((pr[v] - pr[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_damping_is_uniform() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2)]);
+        let pr = pagerank(&g, 0.0, 1e-12, 50);
+        for &x in &pr {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_graph_returns_empty() {
+        let g = GraphBuilder::directed().build();
+        assert!(pagerank(&g, 0.85, 1e-9, 10).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_damping_one() {
+        let g = Graph::from_edges(true, [(0u32, 1u32)]);
+        pagerank(&g, 1.0, 1e-9, 10);
+    }
+}

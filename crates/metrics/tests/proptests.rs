@@ -1,0 +1,102 @@
+//! Property tests for the structural metrics.
+
+use circlekit_graph::{Direction, Graph, GraphBuilder, VertexSet};
+use circlekit_metrics::{
+    average_clustering, clustering_coefficients, diameter_double_sweep, diameter_exact,
+    ego_membership_counts, ego_overlap_fraction, triangle_count, triangles_per_node, DegreeKind,
+    DegreeStats,
+};
+use proptest::prelude::*;
+
+const MAX_NODE: u32 = 24;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (
+        prop::collection::vec((0..MAX_NODE, 0..MAX_NODE), 0..120),
+        any::<bool>(),
+    )
+        .prop_map(|(edges, directed)| {
+            let mut b = if directed {
+                GraphBuilder::directed()
+            } else {
+                GraphBuilder::undirected()
+            };
+            b.add_edges(edges).reserve_nodes(MAX_NODE as usize);
+            b.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn clustering_coefficients_in_unit_interval(g in arbitrary_graph()) {
+        for (v, cc) in clustering_coefficients(&g).into_iter().enumerate() {
+            prop_assert!((0.0..=1.0).contains(&cc), "node {v}: {cc}");
+        }
+        let avg = average_clustering(&g);
+        prop_assert!((0.0..=1.0).contains(&avg));
+    }
+
+    #[test]
+    fn triangle_bookkeeping_consistent(g in arbitrary_graph()) {
+        let per_node = triangles_per_node(&g);
+        let total: u64 = per_node.iter().sum();
+        prop_assert_eq!(total % 3, 0, "each triangle counted thrice");
+        prop_assert_eq!(total / 3, triangle_count(&g));
+    }
+
+    #[test]
+    fn degree_stats_sum_matches_edge_count(g in arbitrary_graph()) {
+        let inn = DegreeStats::new(&g, DegreeKind::In);
+        let out = DegreeStats::new(&g, DegreeKind::Out);
+        let sum_in: u64 = inn.degrees().iter().sum();
+        let sum_out: u64 = out.degrees().iter().sum();
+        prop_assert_eq!(sum_in, sum_out);
+        if g.is_directed() {
+            prop_assert_eq!(sum_in as usize, g.edge_count());
+        } else {
+            prop_assert_eq!(sum_in as usize, 2 * g.edge_count());
+        }
+    }
+
+    #[test]
+    fn double_sweep_never_exceeds_exact_diameter(g in arbitrary_graph()) {
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let exact = diameter_exact(&g, Direction::Both).diameter;
+        let sweep = diameter_double_sweep(&g, 0, Direction::Both);
+        prop_assert!(sweep <= exact, "sweep {sweep} > exact {exact}");
+    }
+
+    #[test]
+    fn exact_diameter_bounds_asp(g in arbitrary_graph()) {
+        let stats = diameter_exact(&g, Direction::Both);
+        if stats.pairs > 0 {
+            prop_assert!(stats.average >= 1.0);
+            prop_assert!(stats.average <= stats.diameter as f64);
+        } else {
+            prop_assert_eq!(stats.average, 0.0);
+        }
+    }
+
+    #[test]
+    fn ego_overlap_fraction_in_unit_interval(sets in prop::collection::vec(prop::collection::vec(0u32..60, 0..12), 0..10)) {
+        let egos: Vec<VertexSet> = sets.into_iter().map(VertexSet::from_vec).collect();
+        let f = ego_overlap_fraction(&egos);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Membership counts cover exactly the union of the egos.
+        let counts = ego_membership_counts(&egos);
+        let union = egos.iter().fold(VertexSet::new(), |acc, e| acc.union(e));
+        prop_assert_eq!(counts.len(), union.len());
+        // Each vertex's count is bounded by the number of egos.
+        prop_assert!(counts.values().all(|&c| c as usize <= egos.len()));
+    }
+
+    #[test]
+    fn clustering_invariant_under_bidirection(edges in prop::collection::vec((0..MAX_NODE, 0..MAX_NODE), 0..80)) {
+        let und = Graph::from_edges(false, edges);
+        let bid = und.to_bidirected();
+        prop_assert_eq!(clustering_coefficients(&und), clustering_coefficients(&bid));
+        prop_assert_eq!(triangle_count(&und), triangle_count(&bid));
+    }
+}

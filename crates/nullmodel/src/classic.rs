@@ -1,0 +1,193 @@
+//! Classic reference generators: Watts–Strogatz small worlds and
+//! Barabási–Albert preferential attachment.
+//!
+//! §IV of the paper leans on both literatures — Milgram's small-world
+//! observation for the node-separation analysis, and the power-law
+//! claims of Magno et al. for the degree analysis. These models provide
+//! controlled graphs with exactly those properties, used in tests and
+//! ablation benches to validate the metric and fitting substrates.
+
+use circlekit_graph::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Watts–Strogatz small-world graph: a ring lattice over `n` nodes where
+/// each node connects to its `k/2` nearest neighbours on each side, with
+/// every edge rewired to a random target with probability `beta`.
+///
+/// `beta = 0` is the pure lattice (high clustering, long paths);
+/// `beta = 1` approaches a random graph (low clustering, short paths);
+/// small `beta` gives the small-world regime the paper's §IV-A.3
+/// references.
+///
+/// # Panics
+///
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    assert!(k % 2 == 0, "k must be even");
+    assert!(k < n, "k must be below n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut b = GraphBuilder::undirected();
+    b.reserve_nodes(n);
+    if n == 0 || k == 0 {
+        return b.build();
+    }
+    for v in 0..n {
+        for offset in 1..=(k / 2) {
+            let mut u = v as NodeId;
+            let mut w = ((v + offset) % n) as NodeId;
+            if rng.gen::<f64>() < beta {
+                // Rewire the far endpoint to a uniform random target.
+                w = rng.gen_range(0..n) as NodeId;
+                if w == u {
+                    std::mem::swap(&mut u, &mut w);
+                    w = rng.gen_range(0..n) as NodeId;
+                }
+            }
+            if u != w {
+                b.add_edge(u, w);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Barabási–Albert preferential attachment: starts from a small seed
+/// clique of `m + 1` nodes, then attaches each new node to `m` existing
+/// nodes chosen proportionally to their current degree. The resulting
+/// degree distribution is a power law with exponent ≈ 3.
+///
+/// # Panics
+///
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m > 0, "m must be positive");
+    assert!(n > m, "n must exceed m");
+    let mut b = GraphBuilder::undirected();
+    b.reserve_nodes(n);
+    // Degree-proportional sampling via the repeated-endpoints trick: every
+    // edge endpoint appears once in `endpoints`, so a uniform draw from it
+    // is a draw proportional to degree.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * m * n);
+    // Seed: a clique on m + 1 nodes.
+    for u in 0..=(m as NodeId) {
+        for v in (u + 1)..=(m as NodeId) {
+            b.add_edge(u, v);
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let v = v as NodeId;
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            let target = endpoints[rng.gen_range(0..endpoints.len())];
+            if target != v && !chosen.contains(&target) {
+                chosen.push(target);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            b.add_edge(v, t);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_graph::connected_components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ws_lattice_at_beta_zero() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let g = watts_strogatz(20, 4, 0.0, &mut rng);
+        assert_eq!(g.edge_count(), 40); // n * k / 2
+        for v in 0..20u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(connected_components(&g).component_count(), 1);
+    }
+
+    #[test]
+    fn ws_rewiring_preserves_edge_budget_roughly() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = watts_strogatz(100, 6, 0.3, &mut rng);
+        // Rewiring can collide (duplicates dropped), but the budget stays
+        // close to n*k/2 = 300.
+        assert!(g.edge_count() > 280, "{}", g.edge_count());
+        assert!(g.edge_count() <= 300);
+    }
+
+    #[test]
+    fn ws_small_world_regime() {
+        use circlekit_metrics::{average_clustering, average_shortest_path_sampled};
+        use circlekit_graph::Direction;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let lattice = watts_strogatz(300, 10, 0.0, &mut rng);
+        let small_world = watts_strogatz(300, 10, 0.1, &mut rng);
+        // Rewiring a few edges slashes path lengths...
+        let asp_lat =
+            average_shortest_path_sampled(&lattice, Direction::Both, 30, &mut rng).average;
+        let asp_sw =
+            average_shortest_path_sampled(&small_world, Direction::Both, 30, &mut rng).average;
+        assert!(asp_sw < 0.6 * asp_lat, "{asp_sw} vs {asp_lat}");
+        // ...while clustering stays high.
+        let cc_sw = average_clustering(&small_world);
+        assert!(cc_sw > 0.3, "clustering {cc_sw}");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be even")]
+    fn ws_rejects_odd_k() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        watts_strogatz(10, 3, 0.1, &mut rng);
+    }
+
+    #[test]
+    fn ba_node_and_edge_counts() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = barabasi_albert(200, 3, &mut rng);
+        assert_eq!(g.node_count(), 200);
+        // Seed clique C(4,2)=6 edges + ~3 per additional node.
+        let expected = 6 + 3 * (200 - 4);
+        assert!(g.edge_count() as i64 >= expected as i64 - 20);
+        assert!(g.edge_count() <= expected);
+        assert_eq!(connected_components(&g).component_count(), 1);
+    }
+
+    #[test]
+    fn ba_has_heavy_tail() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let g = barabasi_albert(2_000, 2, &mut rng);
+        let max_degree = (0..2_000u32).map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.edge_count() as f64 / 2_000.0;
+        assert!(
+            max_degree as f64 > 8.0 * avg,
+            "max {max_degree} vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn ba_degree_distribution_is_power_law_per_csn() {
+        // Cross-validation with the statfit crate: preferential attachment
+        // must be judged power-law, not log-normal/exponential.
+        use circlekit_statfit::{analyze_tail, ModelKind};
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = barabasi_albert(8_000, 2, &mut rng);
+        let degrees: Vec<f64> = (0..8_000u32).map(|v| g.degree(v) as f64).collect();
+        let report = analyze_tail(&degrees).expect("fit succeeds");
+        assert_eq!(report.best, ModelKind::PowerLaw, "ks={:?}", report.ks);
+        // BA's theoretical exponent is 3; the scan should land nearby.
+        assert!(
+            (2.2..4.2).contains(&report.scanned.alpha),
+            "alpha {}",
+            report.scanned.alpha
+        );
+    }
+}

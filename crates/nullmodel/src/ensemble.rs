@@ -1,0 +1,178 @@
+//! Sampled null-model ensembles for Modularity expectations.
+
+use crate::{randomize, randomize_connected};
+use circlekit_graph::{Graph, VertexSet};
+use rand::Rng;
+
+/// An ensemble of degree-preserving random graphs sampled from a base
+/// graph, used to estimate the Modularity expectation `E(m_C)` the way the
+/// paper does (Viger–Latapy sampling) instead of via the Chung–Lu closed
+/// form.
+///
+/// ```
+/// use circlekit_graph::{Graph, VertexSet};
+/// use circlekit_nullmodel::NullModelEnsemble;
+/// use rand::{rngs::SmallRng, SeedableRng};
+///
+/// let g = Graph::from_edges(false, (0..20u32).map(|i| (i, (i + 1) % 20)));
+/// let mut rng = SmallRng::seed_from_u64(3);
+/// let ensemble = NullModelEnsemble::sample(&g, 5, 3.0, false, &mut rng);
+/// let set: VertexSet = (0u32..5).collect();
+/// let e = ensemble.expected_internal_edges(&set);
+/// assert!(e >= 0.0 && e <= 4.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NullModelEnsemble {
+    samples: Vec<Graph>,
+}
+
+impl NullModelEnsemble {
+    /// Samples `count` degree-preserving random graphs by `quality * m`
+    /// double edge swaps each. When `connected` is set, the
+    /// connectivity-preserving Viger–Latapy chain is used.
+    pub fn sample<R: Rng + ?Sized>(
+        base: &Graph,
+        count: usize,
+        quality: f64,
+        connected: bool,
+        rng: &mut R,
+    ) -> NullModelEnsemble {
+        let samples = (0..count)
+            .map(|_| {
+                if connected {
+                    randomize_connected(base, quality, rng)
+                } else {
+                    randomize(base, quality, rng)
+                }
+            })
+            .collect();
+        NullModelEnsemble { samples }
+    }
+
+    /// Wraps pre-sampled graphs into an ensemble.
+    pub fn from_samples(samples: Vec<Graph>) -> NullModelEnsemble {
+        NullModelEnsemble { samples }
+    }
+
+    /// The sampled graphs.
+    pub fn samples(&self) -> &[Graph] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the ensemble is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean internal edge count of `set` across the ensemble — the sampled
+    /// `E(m_C)` plugged into the paper's eq. (4) via
+    /// [`ScoringFunction::modularity_with_expectation`].
+    ///
+    /// Returns `0.0` for an empty ensemble.
+    ///
+    /// [`ScoringFunction::modularity_with_expectation`]:
+    ///     https://docs.rs/circlekit-scoring
+    pub fn expected_internal_edges(&self, set: &VertexSet) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self
+            .samples
+            .iter()
+            .map(|g| internal_edges(g, set))
+            .sum();
+        total as f64 / self.samples.len() as f64
+    }
+}
+
+/// Counts edges of `graph` with both endpoints in `set` (arcs for directed
+/// graphs).
+pub(crate) fn internal_edges(graph: &Graph, set: &VertexSet) -> usize {
+    let mut arcs = 0usize;
+    for v in set.iter() {
+        for &w in graph.out_neighbors(v) {
+            if set.contains(w) {
+                arcs += 1;
+            }
+        }
+    }
+    if graph.is_directed() {
+        arcs
+    } else {
+        arcs / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn ring(n: u32) -> Graph {
+        Graph::from_edges(false, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn internal_edges_counts_both_conventions() {
+        let und = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
+        let set: VertexSet = (0u32..3).collect();
+        assert_eq!(internal_edges(&und, &set), 3);
+        let dir = und.to_bidirected();
+        assert_eq!(internal_edges(&dir, &set), 6);
+    }
+
+    #[test]
+    fn ensemble_preserves_sample_count() {
+        let g = ring(12);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let e = NullModelEnsemble::sample(&g, 4, 2.0, false, &mut rng);
+        assert_eq!(e.len(), 4);
+        assert!(!e.is_empty());
+        for s in e.samples() {
+            assert_eq!(s.edge_count(), g.edge_count());
+        }
+    }
+
+    #[test]
+    fn expectation_of_full_set_is_m() {
+        let g = ring(10);
+        let mut rng = SmallRng::seed_from_u64(10);
+        let e = NullModelEnsemble::sample(&g, 3, 2.0, false, &mut rng);
+        let full: VertexSet = (0u32..10).collect();
+        assert_eq!(e.expected_internal_edges(&full), g.edge_count() as f64);
+    }
+
+    #[test]
+    fn empty_ensemble_returns_zero() {
+        let e = NullModelEnsemble::from_samples(vec![]);
+        assert_eq!(e.expected_internal_edges(&VertexSet::new()), 0.0);
+    }
+
+    #[test]
+    fn dense_set_expectation_below_observed_for_planted_clique() {
+        // A 5-clique dangling off a long path: the null model scatters the
+        // clique's edges, so E(m_C) must fall well below the observed 10.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                edges.push((u, v));
+            }
+        }
+        edges.extend((4..40u32).map(|i| (i, i + 1)));
+        let g = Graph::from_edges(false, edges);
+        let clique: VertexSet = (0u32..5).collect();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let e = NullModelEnsemble::sample(&g, 5, 4.0, false, &mut rng);
+        let expectation = e.expected_internal_edges(&clique);
+        assert!(
+            expectation < 8.0,
+            "expected internal edges {expectation} suspiciously close to clique"
+        );
+    }
+}

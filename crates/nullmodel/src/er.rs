@@ -1,0 +1,87 @@
+//! Erdős–Rényi baseline.
+
+use circlekit_graph::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Samples a G(n, m) Erdős–Rényi graph: exactly `m` distinct edges chosen
+/// uniformly among all possible (non-loop) pairs.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible edges for the given `n`
+/// and directedness.
+pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, m: usize, directed: bool, rng: &mut R) -> Graph {
+    let possible = if directed {
+        n.saturating_mul(n.saturating_sub(1))
+    } else {
+        n.saturating_mul(n.saturating_sub(1)) / 2
+    };
+    assert!(m <= possible, "requested {m} edges but only {possible} possible");
+    let mut b = if directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    b.reserve_nodes(n);
+    let mut chosen = std::collections::HashSet::with_capacity(m * 2);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n) as NodeId;
+        let v = rng.gen_range(0..n) as NodeId;
+        if u == v {
+            continue;
+        }
+        let key = if directed || u < v { (u, v) } else { (v, u) };
+        chosen.insert(key);
+    }
+    b.add_edges(chosen.iter().copied());
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_exact_edge_count() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = erdos_renyi(50, 100, false, &mut rng);
+        assert_eq!(g.node_count(), 50);
+        assert_eq!(g.edge_count(), 100);
+        assert!(!g.is_directed());
+    }
+
+    #[test]
+    fn er_directed() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = erdos_renyi(20, 80, true, &mut rng);
+        assert!(g.is_directed());
+        assert_eq!(g.edge_count(), 80);
+    }
+
+    #[test]
+    fn er_complete_graph() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let g = erdos_renyi(5, 10, false, &mut rng);
+        assert_eq!(g.edge_count(), 10);
+        for u in 0..5u32 {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn er_rejects_overfull() {
+        let mut rng = SmallRng::seed_from_u64(14);
+        erdos_renyi(3, 4, false, &mut rng);
+    }
+
+    #[test]
+    fn er_empty() {
+        let mut rng = SmallRng::seed_from_u64(15);
+        let g = erdos_renyi(10, 0, false, &mut rng);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.node_count(), 10);
+    }
+}

@@ -1,0 +1,161 @@
+//! Graphical degree sequences and their deterministic realisation.
+
+use circlekit_graph::{Graph, GraphBuilder};
+use std::error::Error;
+use std::fmt;
+
+/// Error: the degree sequence cannot be realised by a simple undirected
+/// graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NonGraphicalError {
+    /// Sum of the sequence (odd sums are never graphical).
+    pub degree_sum: u64,
+}
+
+impl fmt::Display for NonGraphicalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "degree sequence with sum {} is not graphical",
+            self.degree_sum
+        )
+    }
+}
+
+impl Error for NonGraphicalError {}
+
+/// Erdős–Gallai test: whether `degrees` can be realised by a simple
+/// undirected graph.
+///
+/// ```
+/// use circlekit_nullmodel::is_graphical;
+/// assert!(is_graphical(&[2, 2, 2]));        // a triangle
+/// assert!(!is_graphical(&[3, 1]));          // degree exceeds n - 1
+/// assert!(!is_graphical(&[1, 1, 1]));       // odd sum
+/// ```
+pub fn is_graphical(degrees: &[usize]) -> bool {
+    let n = degrees.len();
+    let sum: u64 = degrees.iter().map(|&d| d as u64).sum();
+    if sum % 2 != 0 {
+        return false;
+    }
+    if degrees.iter().any(|&d| d >= n.max(1)) {
+        return n == 0 || degrees.iter().all(|&d| d == 0);
+    }
+    let mut sorted: Vec<u64> = degrees.iter().map(|&d| d as u64).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    // Erdős–Gallai: for each k, sum of k largest <= k(k-1) + sum of min(d_i, k).
+    let mut prefix = 0u64;
+    for k in 1..=n {
+        prefix += sorted[k - 1];
+        let rhs: u64 = (k as u64) * (k as u64 - 1)
+            + sorted[k..].iter().map(|&d| d.min(k as u64)).sum::<u64>();
+        if prefix > rhs {
+            return false;
+        }
+    }
+    true
+}
+
+/// Realises a graphical degree sequence as a simple undirected graph via the
+/// Havel–Hakimi construction (highest-degree-first linking).
+///
+/// The result is deterministic and tends to be highly assortative; pass it
+/// through [`randomize`](crate::randomize) or
+/// [`randomize_connected`](crate::randomize_connected) to sample the
+/// uniform-ish null model the paper uses.
+///
+/// # Errors
+///
+/// Returns [`NonGraphicalError`] if the sequence fails the Erdős–Gallai
+/// condition.
+pub fn havel_hakimi(degrees: &[usize]) -> Result<Graph, NonGraphicalError> {
+    if !is_graphical(degrees) {
+        return Err(NonGraphicalError {
+            degree_sum: degrees.iter().map(|&d| d as u64).sum(),
+        });
+    }
+    let n = degrees.len();
+    let mut remaining: Vec<(usize, u32)> = degrees
+        .iter()
+        .enumerate()
+        .map(|(v, &d)| (d, v as u32))
+        .collect();
+    let mut builder = GraphBuilder::undirected();
+    builder.reserve_nodes(n);
+    while !remaining.is_empty() {
+        remaining.sort_unstable_by(|a, b| b.cmp(a));
+        let (d, v) = remaining[0];
+        if d == 0 {
+            break;
+        }
+        // Link v to the d next-highest-degree vertices.
+        remaining[0].0 = 0;
+        for slot in remaining.iter_mut().skip(1).take(d) {
+            debug_assert!(slot.0 > 0, "Havel-Hakimi invariant violated");
+            slot.0 -= 1;
+            builder.add_edge(v, slot.1);
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_gallai_basics() {
+        assert!(is_graphical(&[]));
+        assert!(is_graphical(&[0, 0]));
+        assert!(is_graphical(&[1, 1]));
+        assert!(is_graphical(&[2, 2, 2]));
+        assert!(is_graphical(&[3, 3, 3, 3]));
+        assert!(is_graphical(&[2, 2, 1, 1]));
+        assert!(!is_graphical(&[1]));
+        assert!(!is_graphical(&[1, 1, 1]));
+        assert!(!is_graphical(&[3, 1]));
+        // Classic non-graphical even-sum case: {4, 4, 4, 1, 1, 2}? sum=16
+        assert!(!is_graphical(&[5, 5, 1, 1, 1, 1])); // EG fails at k=2
+    }
+
+    #[test]
+    fn havel_hakimi_realises_sequence() {
+        let degrees = [3usize, 3, 2, 2, 2, 2];
+        let g = havel_hakimi(&degrees).unwrap();
+        for (v, &d) in degrees.iter().enumerate() {
+            assert_eq!(g.degree(v as u32), d, "node {v}");
+        }
+        assert_eq!(g.edge_count(), 7);
+    }
+
+    #[test]
+    fn havel_hakimi_regular_graph() {
+        let g = havel_hakimi(&[2; 5]).unwrap();
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn havel_hakimi_rejects_non_graphical() {
+        let err = havel_hakimi(&[3, 1]).unwrap_err();
+        assert_eq!(err.degree_sum, 4);
+        assert!(err.to_string().contains("not graphical"));
+    }
+
+    #[test]
+    fn havel_hakimi_empty_and_zero() {
+        assert_eq!(havel_hakimi(&[]).unwrap().node_count(), 0);
+        let g = havel_hakimi(&[0, 0, 0]).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn havel_hakimi_star() {
+        let g = havel_hakimi(&[4, 1, 1, 1, 1]).unwrap();
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Double-edge-swap randomisation (degree-preserving Markov chain).
+
+use circlekit_graph::{largest_component, Graph, GraphBuilder, NodeId};
+use rand::Rng;
+use std::collections::HashSet;
+
+fn edge_key(directed: bool, u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+    if directed || u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+/// Mutable edge-list state for the swap chain.
+struct SwapState {
+    directed: bool,
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    present: HashSet<(NodeId, NodeId)>,
+}
+
+impl SwapState {
+    fn from_graph(graph: &Graph) -> SwapState {
+        let edges: Vec<(NodeId, NodeId)> = graph.edges().collect();
+        let present = edges
+            .iter()
+            .map(|&(u, v)| edge_key(graph.is_directed(), u, v))
+            .collect();
+        SwapState {
+            directed: graph.is_directed(),
+            n: graph.node_count(),
+            edges,
+            present,
+        }
+    }
+
+    /// Attempts one double edge swap; returns whether it was applied.
+    ///
+    /// Undirected: `{a,b}, {c,d}` → `{a,d}, {c,b}` (with random edge
+    /// orientation, making the chain ergodic over simple graphs).
+    /// Directed: `a→b, c→d` → `a→d, c→b` (preserving in/out degrees).
+    fn try_swap<R: Rng + ?Sized>(&mut self, rng: &mut R) -> bool {
+        let m = self.edges.len();
+        if m < 2 {
+            return false;
+        }
+        let i = rng.gen_range(0..m);
+        let j = rng.gen_range(0..m);
+        if i == j {
+            return false;
+        }
+        let (a, b) = self.edges[i];
+        let (mut c, mut d) = self.edges[j];
+        if !self.directed && rng.gen::<bool>() {
+            // Undirected edges have no orientation: flip one to explore the
+            // full swap neighbourhood.
+            std::mem::swap(&mut c, &mut d);
+        }
+        // Proposed replacements: (a, d) and (c, b).
+        if a == d || c == b {
+            return false;
+        }
+        let k1 = edge_key(self.directed, a, d);
+        let k2 = edge_key(self.directed, c, b);
+        if k1 == k2 || self.present.contains(&k1) || self.present.contains(&k2) {
+            return false;
+        }
+        let old1 = edge_key(self.directed, a, b);
+        let old2 = edge_key(self.directed, c, d);
+        self.present.remove(&old1);
+        self.present.remove(&old2);
+        self.present.insert(k1);
+        self.present.insert(k2);
+        self.edges[i] = (a, d);
+        self.edges[j] = (c, b);
+        true
+    }
+
+    fn to_graph(&self) -> Graph {
+        let mut b = if self.directed {
+            GraphBuilder::directed()
+        } else {
+            GraphBuilder::undirected()
+        };
+        b.reserve_nodes(self.n);
+        b.add_edges(self.edges.iter().copied());
+        b.build()
+    }
+
+    fn is_connected_spanning(&self) -> bool {
+        let g = self.to_graph();
+        // Connected over the non-isolated vertex set: isolated vertices in
+        // the input stay isolated under degree-preserving swaps, so we only
+        // require the edge-covered part to stay in one piece.
+        let covered = (0..g.node_count() as NodeId)
+            .filter(|&v| g.degree(v) > 0)
+            .count();
+        largest_component(&g).len() >= covered.max(1)
+            || (covered == 0 && g.node_count() > 0)
+            || g.node_count() == 0
+    }
+}
+
+/// Randomises a graph by `quality * m` accepted double edge swaps,
+/// preserving the degree sequence exactly (in/out degrees for directed
+/// graphs). `quality` ≈ 4 is the conventional mixing budget.
+///
+/// The attempt budget is capped at `20 * quality * m`, so the call always
+/// terminates even on graphs with few legal swaps (stars, cliques).
+pub fn randomize<R: Rng + ?Sized>(graph: &Graph, quality: f64, rng: &mut R) -> Graph {
+    let mut state = SwapState::from_graph(graph);
+    let target = (quality * graph.edge_count() as f64).ceil() as u64;
+    let max_attempts = target.saturating_mul(20).max(64);
+    let mut accepted = 0u64;
+    let mut attempts = 0u64;
+    while accepted < target && attempts < max_attempts {
+        if state.try_swap(rng) {
+            accepted += 1;
+        }
+        attempts += 1;
+    }
+    state.to_graph()
+}
+
+/// The Viger–Latapy variant: like [`randomize`], but the result is
+/// guaranteed to keep the edge-covered part of the graph connected whenever
+/// the input's was. Swaps are applied in batches; a batch that disconnects
+/// the graph is rolled back and retried with smaller batches.
+pub fn randomize_connected<R: Rng + ?Sized>(graph: &Graph, quality: f64, rng: &mut R) -> Graph {
+    let mut state = SwapState::from_graph(graph);
+    if !state.is_connected_spanning() {
+        // Input already disconnected: fall back to unconstrained swapping.
+        drop(state);
+        return randomize(graph, quality, rng);
+    }
+    let m = graph.edge_count();
+    let target = (quality * m as f64).ceil() as u64;
+    let mut accepted = 0u64;
+    let mut attempts = 0u64;
+    let max_attempts = target.saturating_mul(40).max(128);
+    let mut batch = (m / 10).max(1);
+    while accepted < target && attempts < max_attempts {
+        // Snapshot, apply up to `batch` accepted swaps, verify, else revert.
+        let snapshot = state.edges.clone();
+        let snapshot_present = state.present.clone();
+        let mut batch_accepted = 0u64;
+        let mut batch_attempts = 0u64;
+        while batch_accepted < batch as u64 && batch_attempts < 10 * batch as u64 {
+            if state.try_swap(rng) {
+                batch_accepted += 1;
+            }
+            batch_attempts += 1;
+        }
+        attempts += batch_attempts.max(1);
+        if state.is_connected_spanning() {
+            accepted += batch_accepted;
+            // Successful batch: allow the window to grow back.
+            batch = (batch * 2).min((m / 10).max(1));
+        } else {
+            state.edges = snapshot;
+            state.present = snapshot_present;
+            // Smaller batches localise the disconnecting swap.
+            batch = (batch / 2).max(1);
+        }
+    }
+    state.to_graph()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_graph::connected_components;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn degree_sequence(g: &Graph) -> (Vec<usize>, Vec<usize>) {
+        let n = g.node_count() as NodeId;
+        (
+            (0..n).map(|v| g.out_degree(v)).collect(),
+            (0..n).map(|v| g.in_degree(v)).collect(),
+        )
+    }
+
+    fn ring(n: u32) -> Graph {
+        Graph::from_edges(false, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    #[test]
+    fn randomize_preserves_undirected_degrees() {
+        let g = Graph::from_edges(
+            false,
+            [(0u32, 1u32), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)],
+        );
+        let mut rng = SmallRng::seed_from_u64(42);
+        let r = randomize(&g, 4.0, &mut rng);
+        assert_eq!(degree_sequence(&g), degree_sequence(&r));
+        assert_eq!(g.edge_count(), r.edge_count());
+    }
+
+    #[test]
+    fn randomize_preserves_directed_in_out_degrees() {
+        let g = Graph::from_edges(
+            true,
+            [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2), (2, 1), (3, 1)],
+        );
+        let mut rng = SmallRng::seed_from_u64(43);
+        let r = randomize(&g, 4.0, &mut rng);
+        assert!(r.is_directed());
+        assert_eq!(degree_sequence(&g), degree_sequence(&r));
+    }
+
+    #[test]
+    fn randomize_actually_changes_large_graphs() {
+        let g = ring(50);
+        let mut rng = SmallRng::seed_from_u64(44);
+        let r = randomize(&g, 4.0, &mut rng);
+        assert_ne!(g, r, "50-ring should be shuffled");
+    }
+
+    #[test]
+    fn randomize_terminates_on_swapless_graphs() {
+        // A triangle admits no legal double swap; must terminate unchanged.
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 0)]);
+        let mut rng = SmallRng::seed_from_u64(45);
+        let r = randomize(&g, 4.0, &mut rng);
+        assert_eq!(g, r);
+    }
+
+    #[test]
+    fn randomize_connected_keeps_connectivity() {
+        let g = ring(40);
+        let mut rng = SmallRng::seed_from_u64(46);
+        for _ in 0..3 {
+            let r = randomize_connected(&g, 3.0, &mut rng);
+            assert_eq!(degree_sequence(&g), degree_sequence(&r));
+            assert_eq!(connected_components(&r).component_count(), 1);
+        }
+    }
+
+    #[test]
+    fn randomize_plain_may_or_may_not_disconnect_but_connected_never() {
+        // Denser test graph: ring + chords.
+        let mut edges: Vec<(u32, u32)> = (0..30u32).map(|i| (i, (i + 1) % 30)).collect();
+        edges.extend((0..15u32).map(|i| (i, i + 15)));
+        let g = Graph::from_edges(false, edges);
+        let mut rng = SmallRng::seed_from_u64(47);
+        let r = randomize_connected(&g, 4.0, &mut rng);
+        assert_eq!(connected_components(&r).component_count(), 1);
+        assert_ne!(g, r);
+    }
+
+    #[test]
+    fn randomize_connected_with_isolated_nodes() {
+        // Isolated vertices must stay isolated and not break the
+        // connectivity accounting.
+        let mut b = circlekit_graph::GraphBuilder::undirected();
+        b.add_edges((0..10u32).map(|i| (i, (i + 1) % 10)));
+        b.reserve_nodes(12);
+        let g = b.build();
+        let mut rng = SmallRng::seed_from_u64(48);
+        let r = randomize_connected(&g, 2.0, &mut rng);
+        assert_eq!(r.degree(10), 0);
+        assert_eq!(r.degree(11), 0);
+        assert_eq!(degree_sequence(&g), degree_sequence(&r));
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the null-model generators.
+
+use circlekit_graph::{connected_components, Graph, GraphBuilder};
+use circlekit_nullmodel::{
+    configuration_model, erdos_renyi, havel_hakimi, is_graphical, randomize, randomize_connected,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const MAX_NODE: u32 = 24;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (
+        prop::collection::vec((0..MAX_NODE, 0..MAX_NODE), 1..120),
+        any::<bool>(),
+    )
+        .prop_map(|(edges, directed)| {
+            let mut b = if directed {
+                GraphBuilder::directed()
+            } else {
+                GraphBuilder::undirected()
+            };
+            b.add_edges(edges).reserve_nodes(MAX_NODE as usize);
+            b.build()
+        })
+}
+
+fn degrees(g: &Graph) -> (Vec<usize>, Vec<usize>) {
+    let n = g.node_count() as u32;
+    (
+        (0..n).map(|v| g.out_degree(v)).collect(),
+        (0..n).map(|v| g.in_degree(v)).collect(),
+    )
+}
+
+proptest! {
+    #[test]
+    fn randomize_preserves_degree_sequences(g in arbitrary_graph(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let r = randomize(&g, 3.0, &mut rng);
+        prop_assert_eq!(g.is_directed(), r.is_directed());
+        prop_assert_eq!(degrees(&g), degrees(&r));
+        prop_assert_eq!(g.edge_count(), r.edge_count());
+    }
+
+    #[test]
+    fn randomize_connected_preserves_degrees_and_connectivity(g in arbitrary_graph(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let before = connected_components(&g).component_count();
+        let r = randomize_connected(&g, 2.0, &mut rng);
+        prop_assert_eq!(degrees(&g), degrees(&r));
+        if before == 1 {
+            prop_assert_eq!(connected_components(&r).component_count(), 1);
+        }
+    }
+
+    #[test]
+    fn havel_hakimi_agrees_with_erdos_gallai(mut degs in prop::collection::vec(0usize..10, 0..20)) {
+        // Clamp degrees below n to keep the interesting branch exercised.
+        let n = degs.len();
+        for d in &mut degs {
+            *d = (*d).min(n.saturating_sub(1));
+        }
+        let graphical = is_graphical(&degs);
+        let realised = havel_hakimi(&degs);
+        prop_assert_eq!(graphical, realised.is_ok());
+        if let Ok(g) = realised {
+            for (v, &d) in degs.iter().enumerate() {
+                prop_assert_eq!(g.degree(v as u32), d);
+            }
+        }
+    }
+
+    #[test]
+    fn any_realised_graph_has_graphical_sequence(g in arbitrary_graph()) {
+        // The degree sequence of an actual simple graph is always graphical.
+        let und = g.to_undirected();
+        let seq: Vec<usize> = (0..und.node_count() as u32).map(|v| und.degree(v)).collect();
+        prop_assert!(is_graphical(&seq));
+    }
+
+    #[test]
+    fn configuration_model_never_exceeds_target_degrees(degs in prop::collection::vec(0usize..6, 1..30), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = configuration_model(&degs, &mut rng);
+        prop_assert_eq!(g.node_count(), degs.len());
+        for (v, &d) in degs.iter().enumerate() {
+            prop_assert!(g.degree(v as u32) <= d);
+        }
+    }
+
+    #[test]
+    fn erdos_renyi_hits_exact_edge_count(n in 2usize..30, frac in 0.0f64..1.0, directed in any::<bool>(), seed in any::<u64>()) {
+        let possible = if directed { n * (n - 1) } else { n * (n - 1) / 2 };
+        let m = (frac * possible as f64) as usize;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, m, directed, &mut rng);
+        prop_assert_eq!(g.edge_count(), m);
+        prop_assert_eq!(g.node_count(), n);
+    }
+}

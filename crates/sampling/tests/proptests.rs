@@ -1,0 +1,103 @@
+//! Property tests for the samplers: exact sizes, valid ids, and
+//! graph-structure adherence for any input graph.
+
+use circlekit_graph::{Graph, GraphBuilder};
+use circlekit_sampling::{
+    bfs_crawl, ego_crawl, forest_fire_set, random_walk_set, size_matched_random_walk_sets,
+    uniform_set,
+};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const MAX_NODE: u32 = 30;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (
+        prop::collection::vec((0..MAX_NODE, 0..MAX_NODE), 0..120),
+        any::<bool>(),
+    )
+        .prop_map(|(edges, directed)| {
+            let mut b = if directed {
+                GraphBuilder::directed()
+            } else {
+                GraphBuilder::undirected()
+            };
+            b.add_edges(edges).reserve_nodes(MAX_NODE as usize);
+            b.build()
+        })
+}
+
+proptest! {
+    #[test]
+    fn all_samplers_produce_exact_clamped_sizes(
+        g in arbitrary_graph(),
+        size in 0usize..40,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let expect = size.min(g.node_count());
+        prop_assert_eq!(random_walk_set(&g, size, &mut rng).len(), expect);
+        prop_assert_eq!(uniform_set(&g, size, &mut rng).len(), expect);
+        prop_assert_eq!(forest_fire_set(&g, size, 0.6, &mut rng).len(), expect);
+    }
+
+    #[test]
+    fn sampled_ids_are_valid(g in arbitrary_graph(), size in 1usize..20, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = g.node_count() as u32;
+        for set in [
+            random_walk_set(&g, size, &mut rng),
+            uniform_set(&g, size, &mut rng),
+            forest_fire_set(&g, size, 0.4, &mut rng),
+        ] {
+            prop_assert!(set.iter().all(|v| v < n));
+        }
+    }
+
+    #[test]
+    fn bfs_crawl_is_connected_per_construction(g in arbitrary_graph(), limit in 1usize..25, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let start = (rng.next_u32() % MAX_NODE).min(g.node_count() as u32 - 1);
+        use rand::RngCore;
+        let set = bfs_crawl(&g, start, limit);
+        prop_assert!(set.contains(start));
+        prop_assert!(set.len() <= limit);
+        // Every crawled vertex is reachable from start within the crawl's
+        // undirected view of the full graph.
+        let reach = circlekit_graph::bfs_reachable(&g, start, circlekit_graph::Direction::Both);
+        prop_assert_eq!(set.intersection(&reach).len(), set.len());
+    }
+
+    #[test]
+    fn ego_crawl_covers_owner_neighbourhoods(g in arbitrary_graph(), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        use rand::RngCore;
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let owners: Vec<u32> = (0..3)
+            .map(|_| rng.next_u32() % g.node_count() as u32)
+            .collect();
+        let set = ego_crawl(&g, &owners);
+        for &o in &owners {
+            prop_assert!(set.contains(o));
+            for &w in g.out_neighbors(o) {
+                prop_assert!(set.contains(w));
+            }
+        }
+    }
+
+    #[test]
+    fn size_matched_sets_respect_each_size(g in arbitrary_graph(), sizes in prop::collection::vec(0usize..15, 0..8), seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if g.node_count() == 0 {
+            return Ok(());
+        }
+        let sets = size_matched_random_walk_sets(&g, &sizes, &mut rng);
+        prop_assert_eq!(sets.len(), sizes.len());
+        for (set, &s) in sets.iter().zip(&sizes) {
+            prop_assert_eq!(set.len(), s.min(g.node_count()));
+        }
+    }
+}

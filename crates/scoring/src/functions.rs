@@ -1,0 +1,339 @@
+//! The scoring-function catalogue.
+
+use crate::SetStats;
+use std::fmt;
+
+/// The Yang–Leskovec taxonomy of community scoring functions, which the
+/// paper uses to pick one representative function per group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Category {
+    /// Functions of the internal edge structure only.
+    Internal,
+    /// Functions of the boundary only.
+    External,
+    /// Functions combining internal and external connectivity.
+    Combined,
+    /// Functions comparing against a network null model.
+    ModelBased,
+}
+
+/// A community scoring function `f(C)`.
+///
+/// [`ScoringFunction::PAPER`] lists the four functions evaluated in the
+/// paper (equations 1–4); [`ScoringFunction::ALL`] is the complete
+/// 13-function Yang–Leskovec suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[non_exhaustive]
+pub enum ScoringFunction {
+    /// `m_C / possible`: fraction of realised internal edges.
+    InternalDensity,
+    /// `m_C`: raw internal edge count.
+    EdgesInside,
+    /// Eq. (1): `2 m_C / n_C` — the paper's internal-connectivity choice.
+    AverageDegree,
+    /// Fraction Over Median Degree: members whose internal degree exceeds
+    /// the graph's median degree.
+    Fomd,
+    /// Triangle Participation Ratio: members in an internal triangle.
+    Tpr,
+    /// `c_C / n_C`: boundary edges per member.
+    Expansion,
+    /// Eq. (2): `c_C / (n_C (n - n_C))` — the paper's "Ratio Cut".
+    RatioCut,
+    /// Eq. (3): `c_C / (2 m_C + c_C)` — the paper's combined choice.
+    Conductance,
+    /// `c_C/(2 m_C + c_C) + c_C/(2 (m - m_C) + c_C)`.
+    NormalizedCut,
+    /// Maximum over members of the out-fraction of their edges.
+    MaxOdf,
+    /// Mean over members of the out-fraction of their edges.
+    AvgOdf,
+    /// Fraction of members with more external than internal edges.
+    FlakeOdf,
+    /// Eq. (4): `(m_C - E(m_C)) / (2m)` with a degree-preserving null
+    /// model (closed-form expectation; see
+    /// [`ScoringFunction::modularity_with_expectation`] for the sampled
+    /// variant).
+    Modularity,
+}
+
+impl ScoringFunction {
+    /// All thirteen scoring functions, in taxonomy order.
+    pub const ALL: [ScoringFunction; 13] = [
+        ScoringFunction::InternalDensity,
+        ScoringFunction::EdgesInside,
+        ScoringFunction::AverageDegree,
+        ScoringFunction::Fomd,
+        ScoringFunction::Tpr,
+        ScoringFunction::Expansion,
+        ScoringFunction::RatioCut,
+        ScoringFunction::Conductance,
+        ScoringFunction::NormalizedCut,
+        ScoringFunction::MaxOdf,
+        ScoringFunction::AvgOdf,
+        ScoringFunction::FlakeOdf,
+        ScoringFunction::Modularity,
+    ];
+
+    /// The four functions the paper evaluates (equations 1–4), one per
+    /// [`Category`].
+    pub const PAPER: [ScoringFunction; 4] = [
+        ScoringFunction::AverageDegree,
+        ScoringFunction::RatioCut,
+        ScoringFunction::Conductance,
+        ScoringFunction::Modularity,
+    ];
+
+    /// The taxonomy group of this function.
+    pub fn category(self) -> Category {
+        use ScoringFunction::*;
+        match self {
+            InternalDensity | EdgesInside | AverageDegree | Fomd | Tpr => Category::Internal,
+            Expansion | RatioCut => Category::External,
+            Conductance | NormalizedCut | MaxOdf | AvgOdf | FlakeOdf => Category::Combined,
+            Modularity => Category::ModelBased,
+        }
+    }
+
+    /// A stable human-readable name (used in table/figure output).
+    pub fn name(self) -> &'static str {
+        use ScoringFunction::*;
+        match self {
+            InternalDensity => "internal-density",
+            EdgesInside => "edges-inside",
+            AverageDegree => "average-degree",
+            Fomd => "fomd",
+            Tpr => "tpr",
+            Expansion => "expansion",
+            RatioCut => "ratio-cut",
+            Conductance => "conductance",
+            NormalizedCut => "normalized-cut",
+            MaxOdf => "max-odf",
+            AvgOdf => "avg-odf",
+            FlakeOdf => "flake-odf",
+            Modularity => "modularity",
+        }
+    }
+
+    /// Whether *low* values indicate a well-pronounced community (true for
+    /// every external/combined function except the raw internal ones).
+    pub fn lower_is_better(self) -> bool {
+        use ScoringFunction::*;
+        matches!(
+            self,
+            Expansion | RatioCut | Conductance | NormalizedCut | MaxOdf | AvgOdf | FlakeOdf
+        )
+    }
+
+    /// Evaluates the function on precomputed [`SetStats`].
+    ///
+    /// Degenerate sets score `0.0` where the definition would divide by
+    /// zero (e.g. an empty set, or conductance of a set with no edges at
+    /// all).
+    pub fn score(self, s: &SetStats) -> f64 {
+        use ScoringFunction::*;
+        let n_c = s.n_c as f64;
+        let m_c = s.m_c as f64;
+        let c_c = s.c_c as f64;
+        match self {
+            InternalDensity => {
+                let possible = s.possible_internal_edges();
+                ratio(m_c, possible as f64)
+            }
+            EdgesInside => m_c,
+            AverageDegree => ratio(2.0 * m_c, n_c),
+            Fomd => ratio(s.above_median_internal as f64, n_c),
+            Tpr => ratio(s.in_internal_triangle as f64, n_c),
+            Expansion => ratio(c_c, n_c),
+            RatioCut => ratio(c_c, n_c * (s.n as f64 - n_c)),
+            Conductance => ratio(c_c, 2.0 * m_c + c_c),
+            NormalizedCut => {
+                let rest = 2.0 * (s.m as f64 - m_c) + c_c;
+                ratio(c_c, 2.0 * m_c + c_c) + ratio(c_c, rest)
+            }
+            MaxOdf => s.max_odf,
+            AvgOdf => s.avg_odf,
+            FlakeOdf => s.flake_odf,
+            Modularity => {
+                Self::modularity_with_expectation(s, s.expected_internal_edges())
+            }
+        }
+    }
+
+    /// Modularity (eq. 4) with an explicit null-model expectation
+    /// `E(m_C)`, e.g. one measured on sampled Viger–Latapy random graphs
+    /// (see `circlekit-nullmodel`). Returns `0.0` for an edgeless graph.
+    pub fn modularity_with_expectation(s: &SetStats, expected_mc: f64) -> f64 {
+        if s.m == 0 {
+            return 0.0;
+        }
+        (s.m_c as f64 - expected_mc) / (2.0 * s.m as f64)
+    }
+}
+
+/// `a / b`, defined as `0.0` when `b == 0`.
+fn ratio(a: f64, b: f64) -> f64 {
+    if b == 0.0 {
+        0.0
+    } else {
+        a / b
+    }
+}
+
+impl fmt::Display for ScoringFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Category::Internal => "internal",
+            Category::External => "external",
+            Category::Combined => "combined",
+            Category::ModelBased => "model-based",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scorer;
+    use circlekit_graph::{Graph, VertexSet};
+
+    /// 4-clique {0..3} + tail 3-4, 4-5: n=6, m=8.
+    fn fixture() -> (Graph, VertexSet) {
+        let g = Graph::from_edges(
+            false,
+            [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        );
+        (g, (0u32..4).collect())
+    }
+
+    fn stats() -> SetStats {
+        let (g, set) = fixture();
+        let mut scorer = Scorer::new(&g);
+        scorer.stats(&set)
+    }
+
+    #[test]
+    fn paper_equation_1_average_degree() {
+        assert_eq!(ScoringFunction::AverageDegree.score(&stats()), 3.0);
+    }
+
+    #[test]
+    fn paper_equation_2_ratio_cut() {
+        // c_C=1, n_C=4, n=6: 1 / (4*2) = 0.125
+        assert!((ScoringFunction::RatioCut.score(&stats()) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_equation_3_conductance() {
+        // 1 / (12 + 1)
+        assert!((ScoringFunction::Conductance.score(&stats()) - 1.0 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_equation_4_modularity_closed_form() {
+        // (m_C - E) / 2m with E = 169/32, m_C = 6, m = 8.
+        let expected = (6.0 - 169.0 / 32.0) / 16.0;
+        assert!((ScoringFunction::Modularity.score(&stats()) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn modularity_with_sampled_expectation() {
+        let s = stats();
+        let v = ScoringFunction::modularity_with_expectation(&s, 6.0);
+        assert_eq!(v, 0.0); // observed equals expectation
+        assert!(ScoringFunction::modularity_with_expectation(&s, 2.0) > 0.0);
+    }
+
+    #[test]
+    fn internal_density_of_clique_is_one() {
+        assert_eq!(ScoringFunction::InternalDensity.score(&stats()), 1.0);
+    }
+
+    #[test]
+    fn edges_inside_counts_mc() {
+        assert_eq!(ScoringFunction::EdgesInside.score(&stats()), 6.0);
+    }
+
+    #[test]
+    fn tpr_of_clique_is_one() {
+        assert_eq!(ScoringFunction::Tpr.score(&stats()), 1.0);
+    }
+
+    #[test]
+    fn expansion_counts_boundary_per_member() {
+        assert_eq!(ScoringFunction::Expansion.score(&stats()), 0.25);
+    }
+
+    #[test]
+    fn normalized_cut_adds_complement_term() {
+        // c=1, 2m_C+c=13, 2(m-m_C)+c = 5: 1/13 + 1/5.
+        let v = ScoringFunction::NormalizedCut.score(&stats());
+        assert!((v - (1.0 / 13.0 + 0.2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn odf_functions_delegate_to_stats() {
+        let s = stats();
+        assert_eq!(ScoringFunction::MaxOdf.score(&s), s.max_odf);
+        assert_eq!(ScoringFunction::AvgOdf.score(&s), s.avg_odf);
+        assert_eq!(ScoringFunction::FlakeOdf.score(&s), s.flake_odf);
+    }
+
+    #[test]
+    fn categories_partition_all_functions() {
+        let mut counts = std::collections::HashMap::new();
+        for f in ScoringFunction::ALL {
+            *counts.entry(f.category()).or_insert(0) += 1;
+        }
+        assert_eq!(counts[&Category::Internal], 5);
+        assert_eq!(counts[&Category::External], 2);
+        assert_eq!(counts[&Category::Combined], 5);
+        assert_eq!(counts[&Category::ModelBased], 1);
+    }
+
+    #[test]
+    fn paper_selection_covers_each_category_once() {
+        let cats: Vec<Category> = ScoringFunction::PAPER.iter().map(|f| f.category()).collect();
+        assert_eq!(
+            cats,
+            vec![
+                Category::Internal,
+                Category::External,
+                Category::Combined,
+                Category::ModelBased
+            ]
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ScoringFunction::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 13);
+    }
+
+    #[test]
+    fn degenerate_sets_score_zero_not_nan() {
+        let (g, _) = fixture();
+        let mut scorer = Scorer::new(&g);
+        let empty = scorer.stats(&VertexSet::new());
+        for f in ScoringFunction::ALL {
+            let v = f.score(&empty);
+            assert!(v.is_finite(), "{f} produced a non-finite score on empty set");
+        }
+        // Full-graph set: Ratio Cut denominator n_C(n - n_C) is zero.
+        let full: VertexSet = (0u32..6).collect();
+        let s = scorer.stats(&full);
+        assert_eq!(ScoringFunction::RatioCut.score(&s), 0.0);
+    }
+}

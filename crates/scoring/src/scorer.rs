@@ -1,0 +1,303 @@
+//! Batch scoring of many vertex sets against one graph.
+
+use crate::set_stats::median_degree;
+use crate::{ScoringFunction, SetStats};
+use circlekit_graph::{Graph, VertexSet};
+
+/// Scores vertex sets against a fixed graph, amortising graph-level
+/// precomputation (currently the median degree needed by FOMD).
+///
+/// ```
+/// use circlekit_graph::{Graph, VertexSet};
+/// use circlekit_scoring::{Scorer, ScoringFunction};
+///
+/// let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 0), (2, 3)]);
+/// let mut scorer = Scorer::new(&g);
+/// let triangle: VertexSet = (0u32..3).collect();
+/// assert_eq!(scorer.score(ScoringFunction::AverageDegree, &triangle), 2.0);
+/// ```
+#[derive(Debug)]
+pub struct Scorer<'g> {
+    graph: &'g Graph,
+    median_degree: f64,
+}
+
+impl<'g> Scorer<'g> {
+    /// Creates a scorer for `graph`, computing the graph-level inputs once.
+    pub fn new(graph: &'g Graph) -> Scorer<'g> {
+        Scorer {
+            graph,
+            median_degree: median_degree(graph),
+        }
+    }
+
+    /// The graph this scorer evaluates against.
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    /// The graph-wide median total degree (FOMD's threshold).
+    pub fn median_degree(&self) -> f64 {
+        self.median_degree
+    }
+
+    /// Computes the full [`SetStats`] for one set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` contains an id `>= graph.node_count()`.
+    pub fn stats(&mut self, set: &VertexSet) -> SetStats {
+        SetStats::compute(self.graph, set, self.median_degree)
+    }
+
+    /// Evaluates one scoring function on one set.
+    pub fn score(&mut self, function: ScoringFunction, set: &VertexSet) -> f64 {
+        function.score(&self.stats(set))
+    }
+
+    /// Evaluates one function over many sets, returning scores in input
+    /// order — one column of the paper's Figures 5–6.
+    pub fn score_sets(&mut self, function: ScoringFunction, sets: &[VertexSet]) -> Vec<f64> {
+        sets.iter().map(|s| self.score(function, s)).collect()
+    }
+
+    /// Evaluates many functions over many sets in one pass per set.
+    pub fn score_table(&mut self, functions: &[ScoringFunction], sets: &[VertexSet]) -> ScoreTable {
+        let mut rows = Vec::with_capacity(sets.len());
+        for set in sets {
+            let stats = self.stats(set);
+            rows.push(functions.iter().map(|f| f.score(&stats)).collect());
+        }
+        ScoreTable {
+            functions: functions.to_vec(),
+            rows,
+        }
+    }
+
+    /// Like [`Scorer::score_table`], but fans the sets out over `threads`
+    /// worker threads. Set statistics are independent per set, so the
+    /// result is identical to the sequential table; use this for corpora
+    /// with thousands of large groups (the paper's top-5000 community
+    /// lists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn score_table_parallel(
+        &self,
+        functions: &[ScoringFunction],
+        sets: &[VertexSet],
+        threads: usize,
+    ) -> ScoreTable {
+        assert!(threads > 0, "need at least one thread");
+        let graph = self.graph;
+        let median = self.median_degree;
+        let chunk = sets.len().div_ceil(threads).max(1);
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(sets.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = sets
+                .chunks(chunk)
+                .map(|chunk_sets| {
+                    scope.spawn(move || {
+                        chunk_sets
+                            .iter()
+                            .map(|set| {
+                                let stats = SetStats::compute(graph, set, median);
+                                functions.iter().map(|f| f.score(&stats)).collect::<Vec<f64>>()
+                            })
+                            .collect::<Vec<Vec<f64>>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                rows.extend(h.join().expect("scoring worker panicked"));
+            }
+        });
+        ScoreTable {
+            functions: functions.to_vec(),
+            rows,
+        }
+    }
+}
+
+/// Scores of a collection of sets under a collection of functions.
+///
+/// Row `i` holds the scores of set `i`; column `j` corresponds to
+/// `functions()[j]`.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScoreTable {
+    functions: Vec<ScoringFunction>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl ScoreTable {
+    /// The scored functions, in column order.
+    pub fn functions(&self) -> &[ScoringFunction] {
+        &self.functions
+    }
+
+    /// Number of scored sets.
+    pub fn set_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The score row of set `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= set_count()`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.rows[i]
+    }
+
+    /// The scores of one function across all sets (a CDF-ready column).
+    ///
+    /// Returns `None` if the function was not scored.
+    pub fn column(&self, function: ScoringFunction) -> Option<Vec<f64>> {
+        let idx = self.functions.iter().position(|&f| f == function)?;
+        Some(self.rows.iter().map(|r| r[idx]).collect())
+    }
+
+    /// Pearson correlation between two functions' columns across the scored
+    /// sets — the statistic behind the Yang–Leskovec grouping the paper
+    /// builds on. Returns `None` if either function is missing or fewer
+    /// than two sets were scored, or if a column is constant.
+    pub fn correlation(&self, a: ScoringFunction, b: ScoringFunction) -> Option<f64> {
+        circlekit_stats::pearson(&self.column(a)?, &self.column(b)?)
+    }
+
+    /// Spearman rank correlation between two functions' columns — robust
+    /// to the heavy-tailed score distributions circles produce. Same
+    /// `None` conditions as [`ScoreTable::correlation`].
+    pub fn rank_correlation(&self, a: ScoringFunction, b: ScoringFunction) -> Option<f64> {
+        circlekit_stats::spearman(&self.column(a)?, &self.column(b)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Graph {
+        Graph::from_edges(
+            false,
+            [(0u32, 1u32), (0, 2), (1, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn score_sets_orders_match_input() {
+        let g = fixture();
+        let mut scorer = Scorer::new(&g);
+        let sets = vec![
+            (0u32..3).collect::<VertexSet>(),
+            (3u32..6).collect::<VertexSet>(),
+        ];
+        let scores = scorer.score_sets(ScoringFunction::EdgesInside, &sets);
+        assert_eq!(scores, vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn table_rows_and_columns_agree() {
+        let g = fixture();
+        let mut scorer = Scorer::new(&g);
+        let sets = vec![
+            (0u32..3).collect::<VertexSet>(),
+            VertexSet::from_vec(vec![2, 3]),
+        ];
+        let table = scorer.score_table(&ScoringFunction::PAPER, &sets);
+        assert_eq!(table.set_count(), 2);
+        assert_eq!(table.functions().len(), 4);
+        let col = table.column(ScoringFunction::AverageDegree).unwrap();
+        assert_eq!(col[0], table.row(0)[0]);
+        assert_eq!(col[1], table.row(1)[0]);
+        assert!(table.column(ScoringFunction::MaxOdf).is_none());
+    }
+
+    #[test]
+    fn correlation_of_function_with_itself_is_one() {
+        let g = fixture();
+        let mut scorer = Scorer::new(&g);
+        let sets: Vec<VertexSet> = vec![
+            (0u32..3).collect(),
+            (3u32..6).collect(),
+            VertexSet::from_vec(vec![1, 2, 3]),
+            VertexSet::from_vec(vec![0, 5]),
+        ];
+        let table = scorer.score_table(&ScoringFunction::ALL, &sets);
+        let r = table
+            .correlation(ScoringFunction::Conductance, ScoringFunction::Conductance)
+            .unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlation_none_on_constant_column() {
+        let g = fixture();
+        let mut scorer = Scorer::new(&g);
+        // Two sets with identical structure: EdgesInside is constant.
+        let sets: Vec<VertexSet> = vec![(0u32..3).collect(), (3u32..6).collect()];
+        let table = scorer.score_table(&ScoringFunction::ALL, &sets);
+        assert_eq!(
+            table.correlation(ScoringFunction::EdgesInside, ScoringFunction::Conductance),
+            None
+        );
+    }
+
+    #[test]
+    fn rank_correlation_agrees_in_sign_with_pearson() {
+        let g = fixture();
+        let mut scorer = Scorer::new(&g);
+        let sets: Vec<VertexSet> = vec![
+            (0u32..3).collect(),
+            (3u32..6).collect(),
+            VertexSet::from_vec(vec![1, 2, 3]),
+            VertexSet::from_vec(vec![0, 5]),
+            VertexSet::from_vec(vec![0, 1]),
+        ];
+        let table = scorer.score_table(&ScoringFunction::ALL, &sets);
+        let p = table
+            .correlation(ScoringFunction::Conductance, ScoringFunction::AvgOdf)
+            .unwrap();
+        let s = table
+            .rank_correlation(ScoringFunction::Conductance, ScoringFunction::AvgOdf)
+            .unwrap();
+        assert_eq!(p.signum(), s.signum());
+        assert!((-1.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn parallel_table_matches_sequential() {
+        let g = fixture();
+        let sets: Vec<VertexSet> = vec![
+            (0u32..3).collect(),
+            (3u32..6).collect(),
+            VertexSet::from_vec(vec![1, 2, 3]),
+            VertexSet::from_vec(vec![0, 5]),
+            VertexSet::new(),
+        ];
+        let mut scorer = Scorer::new(&g);
+        let sequential = scorer.score_table(&ScoringFunction::ALL, &sets);
+        for threads in [1, 2, 3, 8] {
+            let parallel = scorer.score_table_parallel(&ScoringFunction::ALL, &sets, threads);
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn parallel_table_rejects_zero_threads() {
+        let g = fixture();
+        let scorer = Scorer::new(&g);
+        scorer.score_table_parallel(&ScoringFunction::PAPER, &[], 0);
+    }
+
+    #[test]
+    fn median_degree_exposed() {
+        let g = fixture();
+        let scorer = Scorer::new(&g);
+        assert!(scorer.median_degree() > 0.0);
+        assert_eq!(scorer.graph().node_count(), 6);
+    }
+}

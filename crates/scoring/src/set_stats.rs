@@ -1,0 +1,320 @@
+//! [`SetStats`]: the sufficient statistics of a vertex set within a graph.
+
+use circlekit_graph::{Graph, NodeId, VertexSet};
+use circlekit_metrics::triangles_per_node;
+
+/// The quantities of the paper's Table I (and the extra ones needed by the
+/// full Yang–Leskovec suite), computed for one vertex set `C` in a graph
+/// `G(V, E)`.
+///
+/// Edge-count conventions follow the host graph: for directed graphs
+/// `m`, `m_c` and `c_c` count *arcs* (a reciprocated pair counts twice);
+/// for undirected graphs they count undirected edges. The paper's §IV-B
+/// robustness check quantifies the impact of this convention (≈ 2.38 %).
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct SetStats {
+    /// `n`: vertices in the graph.
+    pub n: usize,
+    /// `m`: edges in the graph.
+    pub m: usize,
+    /// Whether the host graph is directed.
+    pub directed: bool,
+    /// `n_C`: vertices in the set.
+    pub n_c: usize,
+    /// `m_C`: edges with both endpoints in the set.
+    pub m_c: usize,
+    /// `c_C`: edges crossing the set boundary (either orientation).
+    pub c_c: usize,
+    /// Sum of out-degrees `d_out(v)` over members (equals the total-degree
+    /// sum for undirected graphs).
+    pub out_degree_sum: usize,
+    /// Sum of in-degrees `d_in(v)` over members (equals the total-degree
+    /// sum for undirected graphs).
+    pub in_degree_sum: usize,
+    /// Members whose *internal* degree exceeds the graph-wide median total
+    /// degree (numerator of FOMD).
+    pub above_median_internal: usize,
+    /// Members participating in at least one triangle inside the set
+    /// (numerator of TPR).
+    pub in_internal_triangle: usize,
+    /// Maximum over members of the fraction of a member's edges leaving the
+    /// set (Max-ODF).
+    pub max_odf: f64,
+    /// Mean over members of the fraction of edges leaving the set
+    /// (Avg-ODF).
+    pub avg_odf: f64,
+    /// Fraction of members with more edges leaving the set than staying
+    /// inside (Flake-ODF).
+    pub flake_odf: f64,
+}
+
+impl SetStats {
+    /// Computes the statistics of `set` within `graph`.
+    ///
+    /// `median_degree` must be the median of `graph.degree(v)` over all
+    /// nodes — precompute it once per graph (or use
+    /// [`Scorer`](crate::Scorer), which does so for you).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` contains a node id `>= graph.node_count()`.
+    pub fn compute(graph: &Graph, set: &VertexSet, median_degree: f64) -> SetStats {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let directed = graph.is_directed();
+        let n_c = set.len();
+
+        // Single pass over member adjacency: internal/external edge tallies
+        // and per-member ODF statistics.
+        let mut internal_arcs = 0usize; // internal adjacency entries seen
+        let mut boundary = 0usize;
+        let mut out_degree_sum = 0usize;
+        let mut in_degree_sum = 0usize;
+        let mut above_median_internal = 0usize;
+        let mut max_odf: f64 = 0.0;
+        let mut odf_sum = 0.0;
+        let mut flake_count = 0usize;
+
+        for v in set.iter() {
+            let mut internal_v = 0usize; // internal adjacency entries at v
+            let mut external_v = 0usize;
+            for &w in graph.out_neighbors(v) {
+                if set.contains(w) {
+                    internal_v += 1;
+                } else {
+                    external_v += 1;
+                }
+            }
+            if directed {
+                for &w in graph.in_neighbors(v) {
+                    if set.contains(w) {
+                        internal_v += 1;
+                    } else {
+                        external_v += 1;
+                    }
+                }
+            }
+            out_degree_sum += graph.out_degree(v);
+            in_degree_sum += graph.in_degree(v);
+
+            let d = internal_v + external_v; // == graph.degree(v)
+            if d > 0 {
+                let odf = external_v as f64 / d as f64;
+                max_odf = max_odf.max(odf);
+                odf_sum += odf;
+            }
+            if external_v > internal_v {
+                flake_count += 1;
+            }
+            if internal_v as f64 > median_degree {
+                above_median_internal += 1;
+            }
+            internal_arcs += internal_v;
+            boundary += external_v;
+        }
+
+        // Every internal arc is visited twice: for an undirected graph once
+        // from each endpoint; for a directed graph once as an out-arc of its
+        // source and once as an in-arc of its target.
+        debug_assert_eq!(internal_arcs % 2, 0);
+        let m_c = internal_arcs / 2;
+
+        // Boundary arcs are visited once for undirected graphs, but twice
+        // for directed graphs... no: an external arc (v -> w), v in C,
+        // w outside, is seen only at v (w is not iterated). Each boundary
+        // arc has exactly one endpoint in C and is counted exactly once.
+        let c_c = boundary;
+
+        // TPR: triangles inside the induced subgraph.
+        let in_internal_triangle = if n_c >= 3 {
+            let sub = graph
+                .subgraph(set)
+                .expect("set members are valid node ids");
+            triangles_per_node(sub.graph())
+                .iter()
+                .filter(|&&t| t > 0)
+                .count()
+        } else {
+            0
+        };
+
+        SetStats {
+            n,
+            m,
+            directed,
+            n_c,
+            m_c,
+            c_c,
+            out_degree_sum,
+            in_degree_sum,
+            above_median_internal,
+            in_internal_triangle,
+            max_odf,
+            avg_odf: if n_c == 0 { 0.0 } else { odf_sum / n_c as f64 },
+            flake_odf: if n_c == 0 { 0.0 } else { flake_count as f64 / n_c as f64 },
+        }
+    }
+
+    /// Total degree of the members: `2 m_C + c_C`.
+    pub fn total_degree(&self) -> usize {
+        2 * self.m_c + self.c_c
+    }
+
+    /// Maximum possible number of internal edges: `n_C (n_C - 1)` for
+    /// directed graphs, half that for undirected ones.
+    pub fn possible_internal_edges(&self) -> usize {
+        let pairs = self.n_c.saturating_mul(self.n_c.saturating_sub(1));
+        if self.directed {
+            pairs
+        } else {
+            pairs / 2
+        }
+    }
+
+    /// The null-model expectation `E(m_C)` under a degree-preserving random
+    /// graph (Chung–Lu closed form):
+    /// `(Σ d(v))² / 4m` for undirected graphs and
+    /// `(Σ d_out)(Σ d_in) / m` for directed ones.
+    ///
+    /// The paper instead *samples* the Viger–Latapy null model; use
+    /// `circlekit-nullmodel` for the sampled variant and this closed form as
+    /// the fast approximation (they are compared in the ablation benches).
+    pub fn expected_internal_edges(&self) -> f64 {
+        if self.m == 0 {
+            return 0.0;
+        }
+        if self.directed {
+            (self.out_degree_sum as f64) * (self.in_degree_sum as f64) / self.m as f64
+        } else {
+            let d = self.total_degree() as f64;
+            d * d / (4.0 * self.m as f64)
+        }
+    }
+}
+
+/// Convenience: median of the total-degree sequence of a graph, the
+/// graph-level input FOMD needs.
+pub(crate) fn median_degree(graph: &Graph) -> f64 {
+    let mut degrees: Vec<usize> = (0..graph.node_count() as NodeId)
+        .map(|v| graph.degree(v))
+        .collect();
+    if degrees.is_empty() {
+        return 0.0;
+    }
+    degrees.sort_unstable();
+    let n = degrees.len();
+    if n % 2 == 1 {
+        degrees[n / 2] as f64
+    } else {
+        (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-clique {0,1,2,3} with a tail 3-4-5.
+    fn clique_with_tail() -> (Graph, VertexSet) {
+        let g = Graph::from_edges(
+            false,
+            [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        );
+        ((g), (0u32..4).collect())
+    }
+
+    #[test]
+    fn undirected_counts() {
+        let (g, set) = clique_with_tail();
+        let s = SetStats::compute(&g, &set, median_degree(&g));
+        assert_eq!(s.n, 6);
+        assert_eq!(s.m, 8);
+        assert_eq!(s.n_c, 4);
+        assert_eq!(s.m_c, 6);
+        assert_eq!(s.c_c, 1);
+        assert_eq!(s.total_degree(), 13);
+        assert_eq!(s.possible_internal_edges(), 6);
+    }
+
+    #[test]
+    fn directed_counts() {
+        // Directed triangle plus an outgoing and an incoming boundary arc.
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0), (0, 3), (4, 1)]);
+        let set: VertexSet = (0u32..3).collect();
+        let s = SetStats::compute(&g, &set, median_degree(&g));
+        assert_eq!(s.m_c, 3);
+        assert_eq!(s.c_c, 2);
+        assert_eq!(s.out_degree_sum, 4); // 0:2, 1:1, 2:1
+        assert_eq!(s.in_degree_sum, 4); // 0:1, 1:2, 2:1
+    }
+
+    #[test]
+    fn odf_statistics() {
+        let (g, set) = clique_with_tail();
+        let s = SetStats::compute(&g, &set, median_degree(&g));
+        // Only node 3 has an external edge: odf 1/4.
+        assert!((s.max_odf - 0.25).abs() < 1e-12);
+        assert!((s.avg_odf - 0.25 / 4.0).abs() < 1e-12);
+        assert_eq!(s.flake_odf, 0.0);
+    }
+
+    #[test]
+    fn flake_counts_majority_external_members() {
+        // Node 1 inside the set {0,1} has 1 internal, 2 external edges.
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (1, 3)]);
+        let set = VertexSet::from_vec(vec![0, 1]);
+        let s = SetStats::compute(&g, &set, median_degree(&g));
+        assert_eq!(s.flake_odf, 0.5);
+    }
+
+    #[test]
+    fn tpr_counts_triangle_members() {
+        let (g, set) = clique_with_tail();
+        let s = SetStats::compute(&g, &set, median_degree(&g));
+        assert_eq!(s.in_internal_triangle, 4);
+
+        // A path-only set has no internal triangles.
+        let path_set = VertexSet::from_vec(vec![3, 4, 5]);
+        let s = SetStats::compute(&g, &path_set, median_degree(&g));
+        assert_eq!(s.in_internal_triangle, 0);
+    }
+
+    #[test]
+    fn fomd_counts_above_median_internal_degree() {
+        let (g, set) = clique_with_tail();
+        // Degrees: 3,3,3,4,2,1 -> median 3. Internal degrees in the clique
+        // are all 3, which is not *strictly* above the median.
+        let s = SetStats::compute(&g, &set, median_degree(&g));
+        assert_eq!(s.above_median_internal, 0);
+        // With a lower median every clique member clears the bar.
+        let s = SetStats::compute(&g, &set, 1.0);
+        assert_eq!(s.above_median_internal, 4);
+    }
+
+    #[test]
+    fn expected_internal_edges_closed_form() {
+        let (g, set) = clique_with_tail();
+        let s = SetStats::compute(&g, &set, median_degree(&g));
+        // (2*6+1)^2 / (4*8) = 169/32
+        assert!((s.expected_internal_edges() - 169.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_is_all_zeroes() {
+        let (g, _) = clique_with_tail();
+        let s = SetStats::compute(&g, &VertexSet::new(), median_degree(&g));
+        assert_eq!(s.n_c, 0);
+        assert_eq!(s.m_c, 0);
+        assert_eq!(s.c_c, 0);
+        assert_eq!(s.avg_odf, 0.0);
+    }
+
+    #[test]
+    fn median_degree_even_and_odd() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2)]);
+        assert_eq!(median_degree(&g), 1.0); // degrees 1,2,1 -> median 1
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 3)]);
+        assert_eq!(median_degree(&g), 1.5); // degrees 1,2,2,1
+    }
+}

@@ -1,0 +1,160 @@
+//! Property tests for scoring invariants.
+
+use circlekit_graph::{Graph, GraphBuilder, VertexSet};
+use circlekit_scoring::{Scorer, ScoringFunction};
+use proptest::prelude::*;
+
+const MAX_NODE: u32 = 30;
+
+fn graph_and_set() -> impl Strategy<Value = (Vec<(u32, u32)>, Vec<u32>, bool)> {
+    (
+        prop::collection::vec((0..MAX_NODE, 0..MAX_NODE), 1..150),
+        prop::collection::vec(0..MAX_NODE, 0..20),
+        any::<bool>(),
+    )
+}
+
+fn build(edges: Vec<(u32, u32)>, directed: bool) -> Graph {
+    let mut b = if directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    b.add_edges(edges).reserve_nodes(MAX_NODE as usize);
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn bounded_scores_stay_in_unit_interval((edges, picks, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&set);
+        for f in [
+            ScoringFunction::InternalDensity,
+            ScoringFunction::Fomd,
+            ScoringFunction::Tpr,
+            ScoringFunction::Conductance,
+            ScoringFunction::MaxOdf,
+            ScoringFunction::AvgOdf,
+            ScoringFunction::FlakeOdf,
+        ] {
+            let v = f.score(&stats);
+            prop_assert!((0.0..=1.0).contains(&v), "{f} = {v} outside [0,1]");
+        }
+    }
+
+    #[test]
+    fn nonnegative_scores((edges, picks, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&set);
+        for f in [
+            ScoringFunction::EdgesInside,
+            ScoringFunction::AverageDegree,
+            ScoringFunction::Expansion,
+            ScoringFunction::RatioCut,
+            ScoringFunction::NormalizedCut,
+        ] {
+            prop_assert!(f.score(&stats) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn all_scores_finite((edges, picks, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&set);
+        for f in ScoringFunction::ALL {
+            prop_assert!(f.score(&stats).is_finite(), "{f} not finite");
+        }
+    }
+
+    #[test]
+    fn mc_matches_induced_subgraph((edges, picks, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&set);
+        let sub = g.subgraph(&set).unwrap();
+        prop_assert_eq!(stats.m_c, sub.graph().edge_count());
+    }
+
+    #[test]
+    fn degree_accounting_consistent((edges, picks, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&set);
+        // Sum of member degrees = 2 m_C + c_C, for both edge conventions.
+        let degree_sum: usize = set.iter().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, stats.total_degree());
+        prop_assert_eq!(stats.out_degree_sum + stats.in_degree_sum,
+            if directed { degree_sum } else { 2 * degree_sum });
+    }
+
+    #[test]
+    fn boundary_vanishes_on_full_graph((edges, _, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        let full: VertexSet = (0..g.node_count() as u32).collect();
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&full);
+        prop_assert_eq!(stats.c_c, 0);
+        prop_assert_eq!(stats.m_c, g.edge_count());
+        prop_assert_eq!(ScoringFunction::Conductance.score(&stats), 0.0);
+    }
+
+    #[test]
+    fn conductance_complement_symmetry((edges, picks, _) in graph_and_set()) {
+        // For undirected graphs, C and V\C share the same boundary.
+        let g = build(edges, false);
+        let set = VertexSet::from_vec(picks);
+        let complement: VertexSet = (0..g.node_count() as u32)
+            .filter(|&v| !set.contains(v))
+            .collect();
+        let mut scorer = Scorer::new(&g);
+        let a = scorer.stats(&set);
+        let b = scorer.stats(&complement);
+        prop_assert_eq!(a.c_c, b.c_c);
+        prop_assert_eq!(a.m_c + b.m_c + a.c_c, g.edge_count());
+    }
+
+    #[test]
+    fn modularity_of_full_graph_matches_null_deficit((edges, _, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        prop_assume!(g.edge_count() > 0);
+        let full: VertexSet = (0..g.node_count() as u32).collect();
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&full);
+        // For the full vertex set the closed-form expectation equals m
+        // exactly (undirected: (2m)^2/4m = m; directed: m·m/m = m), so
+        // modularity is 0.
+        let v = ScoringFunction::Modularity.score(&stats);
+        prop_assert!(v.abs() < 1e-9, "modularity of full graph = {v}");
+    }
+
+    #[test]
+    fn directed_vs_bidirected_scores_agree_on_symmetric_graphs((edges, picks, _) in graph_and_set()) {
+        // An undirected graph and its bidirected expansion must produce
+        // identical values for the paper's four functions: every count
+        // doubles consistently.
+        let g = build(edges, false);
+        let d = g.to_bidirected();
+        let set = VertexSet::from_vec(picks);
+        let mut su = Scorer::new(&g);
+        let mut sd = Scorer::new(&d);
+        let a = su.stats(&set);
+        let b = sd.stats(&set);
+        prop_assert_eq!(2 * a.m_c, b.m_c);
+        prop_assert_eq!(2 * a.c_c, b.c_c);
+        let cu = ScoringFunction::Conductance.score(&a);
+        let cd = ScoringFunction::Conductance.score(&b);
+        prop_assert!((cu - cd).abs() < 1e-12);
+        let ru = ScoringFunction::RatioCut.score(&a);
+        let rd = ScoringFunction::RatioCut.score(&b);
+        prop_assert!((rd - 2.0 * ru).abs() < 1e-12);
+    }
+}

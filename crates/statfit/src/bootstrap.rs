@@ -1,0 +1,163 @@
+//! Parametric bootstrap goodness-of-fit (CSN §4.1).
+//!
+//! The KS distance of a *fitted* model is biased low (the fit adapts to
+//! the sample), so its raw value cannot be read as a significance level.
+//! CSN's remedy: generate many synthetic samples from the fitted model,
+//! refit each, and compare KS distances. The p-value is the fraction of
+//! synthetic samples fitting *worse* than the data; `p < 0.1` rejects the
+//! model family.
+
+use crate::discrete::DiscretePowerLaw;
+use crate::models::{FitError, TailModel};
+use circlekit_stats::ks_statistic_discrete;
+use rand::Rng;
+
+/// Result of the bootstrap goodness-of-fit test for a discrete power law.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct GoodnessOfFit {
+    /// The observed KS distance of the fit on the data.
+    pub observed_ks: f64,
+    /// Fraction of synthetic re-fitted samples whose KS is at least the
+    /// observed one. Values below ~0.1 reject the power-law hypothesis.
+    pub p_value: f64,
+    /// Number of bootstrap replicates drawn.
+    pub replicates: usize,
+}
+
+impl GoodnessOfFit {
+    /// Whether the model family is plausible at the CSN threshold
+    /// (`p >= 0.1`).
+    pub fn plausible(&self) -> bool {
+        self.p_value >= 0.1
+    }
+}
+
+/// Samples one value from a discrete power law by inverting its CDF
+/// (doubling search then binary search).
+pub fn sample_discrete_power_law<R: Rng + ?Sized>(
+    model: &DiscretePowerLaw,
+    rng: &mut R,
+) -> u64 {
+    let u: f64 = rng.gen();
+    let mut lo = model.x_min;
+    let mut hi = model.x_min.saturating_mul(2) + 1;
+    let mut guard = 0;
+    while model.cdf(hi as f64) < u && guard < 60 {
+        hi = hi.saturating_mul(2);
+        guard += 1;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if model.cdf(mid as f64) < u {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Runs the CSN parametric bootstrap for a fitted discrete power law on
+/// its tail data (every element `>= model.x_min`).
+///
+/// # Errors
+///
+/// Propagates [`FitError`] if the tail is degenerate. Replicates whose
+/// refit fails are skipped (they count as neither better nor worse).
+pub fn bootstrap_power_law_gof<R: Rng + ?Sized>(
+    model: &DiscretePowerLaw,
+    tail: &[f64],
+    replicates: usize,
+    rng: &mut R,
+) -> Result<GoodnessOfFit, FitError> {
+    if tail.len() < 2 {
+        return Err(FitError::TooFewObservations(tail.len()));
+    }
+    let observed_ks = ks_statistic_discrete(tail, |x| model.cdf(x));
+    let mut worse = 0usize;
+    let mut counted = 0usize;
+    for _ in 0..replicates {
+        let synthetic: Vec<f64> = (0..tail.len())
+            .map(|_| sample_discrete_power_law(model, rng) as f64)
+            .collect();
+        let Ok(refit) = DiscretePowerLaw::fit(&synthetic, model.x_min) else {
+            continue;
+        };
+        let ks = ks_statistic_discrete(&synthetic, |x| refit.cdf(x));
+        counted += 1;
+        if ks >= observed_ks {
+            worse += 1;
+        }
+    }
+    Ok(GoodnessOfFit {
+        observed_ks,
+        p_value: if counted == 0 {
+            0.0
+        } else {
+            worse as f64 / counted as f64
+        },
+        replicates: counted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampler_respects_support_and_tail() {
+        let model = DiscretePowerLaw { alpha: 2.5, x_min: 3 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let sample: Vec<u64> = (0..5_000)
+            .map(|_| sample_discrete_power_law(&model, &mut rng))
+            .collect();
+        assert!(sample.iter().all(|&x| x >= 3));
+        // Empirical mass at x_min should approximate the model pmf.
+        let p3 = sample.iter().filter(|&&x| x == 3).count() as f64 / 5_000.0;
+        let model_p3 = model.log_pdf(3.0).exp();
+        assert!((p3 - model_p3).abs() < 0.03, "{p3} vs {model_p3}");
+        // Tail exists.
+        assert!(sample.iter().any(|&x| x > 30));
+    }
+
+    #[test]
+    fn true_power_law_is_plausible() {
+        let model = DiscretePowerLaw { alpha: 2.3, x_min: 1 };
+        let mut rng = SmallRng::seed_from_u64(2);
+        let data: Vec<f64> = (0..2_000)
+            .map(|_| sample_discrete_power_law(&model, &mut rng) as f64)
+            .collect();
+        let fitted = DiscretePowerLaw::fit(&data, 1).unwrap();
+        let gof = bootstrap_power_law_gof(&fitted, &data, 60, &mut rng).unwrap();
+        assert!(gof.plausible(), "p = {}", gof.p_value);
+        assert!(gof.replicates > 50);
+    }
+
+    #[test]
+    fn geometric_data_is_rejected() {
+        // A light-tailed geometric sample should fail the power-law GOF.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let data: Vec<f64> = (0..2_000)
+            .map(|_| {
+                let mut x = 1u64;
+                while rng.gen::<f64>() < 0.65 && x < 60 {
+                    x += 1;
+                }
+                x as f64
+            })
+            .collect();
+        let fitted = DiscretePowerLaw::fit(&data, 1).unwrap();
+        let gof = bootstrap_power_law_gof(&fitted, &data, 60, &mut rng).unwrap();
+        assert!(!gof.plausible(), "p = {}", gof.p_value);
+    }
+
+    #[test]
+    fn tiny_tail_errors() {
+        let model = DiscretePowerLaw { alpha: 2.0, x_min: 1 };
+        let mut rng = SmallRng::seed_from_u64(4);
+        assert!(bootstrap_power_law_gof(&model, &[1.0], 10, &mut rng).is_err());
+    }
+}

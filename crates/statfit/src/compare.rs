@@ -1,0 +1,146 @@
+//! Vuong-normalised log-likelihood-ratio model comparison (CSN §5).
+
+use crate::models::TailModel;
+use crate::special::normal_cdf;
+
+/// Result of comparing two tail models on the same data window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LlrComparison {
+    /// `Σ (ln p_a(x_i) - ln p_b(x_i))`: positive favours model A.
+    pub log_likelihood_ratio: f64,
+    /// Vuong-normalised statistic `R / (σ √n)`.
+    pub z: f64,
+    /// Two-sided p-value for "the models are equally good"; small values
+    /// make the sign of `log_likelihood_ratio` significant.
+    pub p_value: f64,
+    /// Number of tail observations compared.
+    pub n: usize,
+}
+
+impl LlrComparison {
+    /// Whether model A is significantly better at the given level.
+    pub fn favors_a(&self, significance: f64) -> bool {
+        self.log_likelihood_ratio > 0.0 && self.p_value < significance
+    }
+
+    /// Whether model B is significantly better at the given level.
+    pub fn favors_b(&self, significance: f64) -> bool {
+        self.log_likelihood_ratio < 0.0 && self.p_value < significance
+    }
+}
+
+/// Compares two fitted tail models on `tail` (all values must be `>=` both
+/// models' cutoffs; pass the tail the scan selected).
+///
+/// Returns a zero-signal comparison (`z = 0`, `p = 1`) for degenerate
+/// inputs (empty tail or identical pointwise likelihoods).
+pub fn compare_models<A: TailModel + ?Sized, B: TailModel + ?Sized>(
+    a: &A,
+    b: &B,
+    tail: &[f64],
+) -> LlrComparison {
+    let n = tail.len();
+    if n == 0 {
+        return LlrComparison {
+            log_likelihood_ratio: 0.0,
+            z: 0.0,
+            p_value: 1.0,
+            n: 0,
+        };
+    }
+    let diffs: Vec<f64> = tail
+        .iter()
+        .map(|&x| a.log_pdf(x) - b.log_pdf(x))
+        .collect();
+    let r: f64 = diffs.iter().sum();
+    let mean = r / n as f64;
+    let var = diffs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64;
+    if var <= 0.0 {
+        return LlrComparison {
+            log_likelihood_ratio: r,
+            z: 0.0,
+            p_value: 1.0,
+            n,
+        };
+    }
+    let z = r / (var.sqrt() * (n as f64).sqrt());
+    let p_value = 2.0 * (1.0 - normal_cdf(z.abs()));
+    LlrComparison {
+        log_likelihood_ratio: r,
+        z,
+        p_value: p_value.clamp(0.0, 1.0),
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{ExponentialModel, PowerLawModel};
+
+    fn power_law_sample(alpha: f64, x_min: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                x_min * (1.0 - u).powf(-1.0 / (alpha - 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn power_law_data_favours_power_law_over_exponential() {
+        let data = power_law_sample(2.2, 1.0, 5_000);
+        let pl = PowerLawModel::fit(&data, 1.0, false).unwrap();
+        let ex = ExponentialModel::fit(&data, 1.0).unwrap();
+        let cmp = compare_models(&pl, &ex, &data);
+        assert!(cmp.favors_a(0.05), "llr={} p={}", cmp.log_likelihood_ratio, cmp.p_value);
+        assert!(!cmp.favors_b(0.05));
+    }
+
+    #[test]
+    fn exponential_data_favours_exponential() {
+        let n = 5_000;
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                1.0 - (1.0 - u).ln() / 1.5
+            })
+            .collect();
+        let pl = PowerLawModel::fit(&data, 1.0, false).unwrap();
+        let ex = ExponentialModel::fit(&data, 1.0).unwrap();
+        let cmp = compare_models(&pl, &ex, &data);
+        assert!(cmp.favors_b(0.05), "llr={} p={}", cmp.log_likelihood_ratio, cmp.p_value);
+    }
+
+    #[test]
+    fn identical_models_are_indistinguishable() {
+        let data = power_law_sample(2.0, 1.0, 100);
+        let pl = PowerLawModel { alpha: 2.0, x_min: 1.0 };
+        let cmp = compare_models(&pl, &pl, &data);
+        assert_eq!(cmp.log_likelihood_ratio, 0.0);
+        assert_eq!(cmp.p_value, 1.0);
+        assert!(!cmp.favors_a(0.05) && !cmp.favors_b(0.05));
+    }
+
+    #[test]
+    fn empty_tail_yields_null_result() {
+        let pl = PowerLawModel { alpha: 2.0, x_min: 1.0 };
+        let ex = ExponentialModel { lambda: 1.0, x_min: 1.0 };
+        let cmp = compare_models(&pl, &ex, &[]);
+        assert_eq!(cmp.n, 0);
+        assert_eq!(cmp.p_value, 1.0);
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric() {
+        let data = power_law_sample(2.5, 1.0, 500);
+        let pl = PowerLawModel::fit(&data, 1.0, false).unwrap();
+        let ex = ExponentialModel::fit(&data, 1.0).unwrap();
+        let ab = compare_models(&pl, &ex, &data);
+        let ba = compare_models(&ex, &pl, &data);
+        assert!((ab.log_likelihood_ratio + ba.log_likelihood_ratio).abs() < 1e-9);
+        assert!((ab.z + ba.z).abs() < 1e-9);
+        assert!((ab.p_value - ba.p_value).abs() < 1e-12);
+    }
+}

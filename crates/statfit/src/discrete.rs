@@ -1,0 +1,391 @@
+//! Discrete tail models for integer-valued data (degree sequences).
+//!
+//! Clauset–Shalizi–Newman treat degree data as genuinely discrete: the
+//! power law uses the Hurwitz zeta normalisation and the alternatives are
+//! the continuous densities *discretised* onto integer bins. These models
+//! avoid the large spurious KS distances that continuous CDFs incur at the
+//! integer mass points (e.g. at `x = 1`, where social-graph degree
+//! sequences concentrate).
+
+use crate::models::{FitError, TailModel};
+use crate::special::normal_cdf;
+
+/// Hurwitz zeta `ζ(s, q) = Σ_{k≥0} (q + k)^{-s}` for `s > 1`, `q > 0`,
+/// via Euler–Maclaurin summation (relative error well below `1e-10` for
+/// the parameter ranges used in fitting).
+pub fn hurwitz_zeta(s: f64, q: f64) -> f64 {
+    debug_assert!(s > 1.0 && q > 0.0);
+    const N: usize = 24;
+    let mut sum = 0.0;
+    for k in 0..N {
+        sum += (q + k as f64).powf(-s);
+    }
+    let qn = q + N as f64;
+    sum += qn.powf(1.0 - s) / (s - 1.0);
+    sum += 0.5 * qn.powf(-s);
+    sum += s * qn.powf(-s - 1.0) / 12.0;
+    sum -= s * (s + 1.0) * (s + 2.0) * qn.powf(-s - 3.0) / 720.0;
+    sum
+}
+
+/// Discrete power law `p(x) = x^{-α} / ζ(α, x_min)` on integers
+/// `x ≥ x_min`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiscretePowerLaw {
+    /// Scaling exponent `α > 1`.
+    pub alpha: f64,
+    /// Integer tail cutoff (`≥ 1`).
+    pub x_min: u64,
+}
+
+impl DiscretePowerLaw {
+    /// Exact discrete MLE: maximises
+    /// `ℓ(α) = -α Σ ln x_i - n ln ζ(α, x_min)` by golden-section search
+    /// over `α ∈ (1.01, 8)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::TooFewObservations`] for tails shorter than 2, or
+    /// [`FitError::DegenerateTail`] when every value equals `x_min = 1`
+    /// has no finite optimum... in practice when `Σ ln x = 0`.
+    pub fn fit(tail: &[f64], x_min: u64) -> Result<DiscretePowerLaw, FitError> {
+        if tail.len() < 2 {
+            return Err(FitError::TooFewObservations(tail.len()));
+        }
+        let n = tail.len() as f64;
+        let log_sum: f64 = tail.iter().map(|&x| x.ln()).sum();
+        if log_sum <= (x_min as f64).ln() * n {
+            return Err(FitError::DegenerateTail);
+        }
+        let ll = |alpha: f64| -alpha * log_sum - n * hurwitz_zeta(alpha, x_min as f64).ln();
+        let alpha = golden_max(ll, 1.01, 8.0);
+        Ok(DiscretePowerLaw { alpha, x_min })
+    }
+}
+
+impl TailModel for DiscretePowerLaw {
+    fn x_min(&self) -> f64 {
+        self.x_min as f64
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        -self.alpha * x.ln() - hurwitz_zeta(self.alpha, self.x_min as f64).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min as f64 {
+            return 0.0;
+        }
+        let z_min = hurwitz_zeta(self.alpha, self.x_min as f64);
+        let z_tail = hurwitz_zeta(self.alpha, x.floor() + 1.0);
+        (1.0 - z_tail / z_min).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "power-law (discrete)"
+    }
+}
+
+/// Log-normal discretised onto integer bins:
+/// `p(x) ∝ Φ(z(x + ½)) - Φ(z(x - ½))`, normalised on `x ≥ x_min`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiscreteLogNormal {
+    /// Location of `ln X`.
+    pub mu: f64,
+    /// Scale of `ln X`.
+    pub sigma: f64,
+    /// Integer tail cutoff (`≥ 1`).
+    pub x_min: u64,
+}
+
+impl DiscreteLogNormal {
+    /// Fits by coordinate-wise golden-section ascent on the discretised,
+    /// truncated likelihood, seeded with the naive `ln x` moments.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::TooFewObservations`] / [`FitError::DegenerateTail`].
+    pub fn fit(tail: &[f64], x_min: u64) -> Result<DiscreteLogNormal, FitError> {
+        if tail.len() < 2 {
+            return Err(FitError::TooFewObservations(tail.len()));
+        }
+        let logs: Vec<f64> = tail.iter().map(|&x| x.ln()).collect();
+        let n = logs.len() as f64;
+        let mean = logs.iter().sum::<f64>() / n;
+        let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / n;
+        if var <= 1e-12 {
+            return Err(FitError::DegenerateTail);
+        }
+        let mut mu = mean;
+        let mut sigma = var.sqrt();
+        let ll = |mu: f64, sigma: f64| {
+            let model = DiscreteLogNormal { mu, sigma, x_min };
+            tail.iter().map(|&x| model.log_pdf(x)).sum::<f64>()
+        };
+        for _ in 0..4 {
+            mu = golden_max(|m| ll(m, sigma), mu - 4.0 * sigma, mu + 4.0 * sigma);
+            sigma = golden_max(|s| ll(mu, s), (sigma * 0.1).max(1e-3), sigma * 6.0);
+        }
+        Ok(DiscreteLogNormal { mu, sigma, x_min })
+    }
+
+    fn phi(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            normal_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn tail_mass(&self) -> f64 {
+        (1.0 - self.phi(self.x_min as f64 - 0.5)).max(1e-300)
+    }
+}
+
+impl TailModel for DiscreteLogNormal {
+    fn x_min(&self) -> f64 {
+        self.x_min as f64
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        let p = (self.phi(x + 0.5) - self.phi(x - 0.5)).max(1e-300);
+        p.ln() - self.tail_mass().ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min as f64 {
+            return 0.0;
+        }
+        let lo = self.phi(self.x_min as f64 - 0.5);
+        ((self.phi(x.floor() + 0.5) - lo) / self.tail_mass()).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "log-normal (discrete)"
+    }
+}
+
+/// Geometric-style discretised exponential:
+/// `p(x) ∝ e^{-λ(x-½)} - e^{-λ(x+½)}`, normalised on `x ≥ x_min`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct DiscreteExponential {
+    /// Rate `λ > 0`.
+    pub lambda: f64,
+    /// Integer tail cutoff (`≥ 1`).
+    pub x_min: u64,
+}
+
+impl DiscreteExponential {
+    /// Fits λ by golden-section on the discretised likelihood (which has a
+    /// closed geometric form: the MLE solves
+    /// `e^{-λ} = 1 - 1/(mean - x_min + 1)` — we optimise numerically for
+    /// symmetry with the other fits).
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::TooFewObservations`] / [`FitError::DegenerateTail`].
+    pub fn fit(tail: &[f64], x_min: u64) -> Result<DiscreteExponential, FitError> {
+        if tail.len() < 2 {
+            return Err(FitError::TooFewObservations(tail.len()));
+        }
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        if mean <= x_min as f64 {
+            return Err(FitError::DegenerateTail);
+        }
+        let ll = |lambda: f64| {
+            let model = DiscreteExponential { lambda, x_min };
+            tail.iter().map(|&x| model.log_pdf(x)).sum::<f64>()
+        };
+        let lambda = golden_max(ll, 1e-6, 10.0);
+        Ok(DiscreteExponential { lambda, x_min })
+    }
+
+    fn tail_mass(&self) -> f64 {
+        // P(X >= x_min) for the continuous exponential on [x_min - ½, ∞)
+        // is 1 by construction of the normalisation below.
+        1.0
+    }
+}
+
+impl TailModel for DiscreteExponential {
+    fn x_min(&self) -> f64 {
+        self.x_min as f64
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        // Normalised over integers >= x_min: geometric with support shift.
+        let shift = x - self.x_min as f64;
+        let p = (1.0 - (-self.lambda).exp()).max(1e-300);
+        (p.ln() - self.lambda * shift) - self.tail_mass().ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min as f64 {
+            return 0.0;
+        }
+        let k = (x.floor() - self.x_min as f64) + 1.0;
+        (1.0 - (-self.lambda * k).exp()).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential (discrete)"
+    }
+}
+
+/// Golden-section maximisation on `[lo, hi]` (shared with the continuous
+/// fits; duplicated privately to keep the modules decoupled).
+fn golden_max<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64) -> f64 {
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo.min(hi), lo.max(hi));
+    let mut c = b - PHI * (b - a);
+    let mut d = a + PHI * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..70 {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic discrete power-law sample via inverse CDF on the true
+    /// zeta-normalised distribution.
+    fn discrete_power_law_sample(alpha: f64, x_min: u64, n: usize) -> Vec<f64> {
+        let model = DiscretePowerLaw { alpha, x_min };
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                // Invert the CDF by doubling + binary search.
+                let mut lo = x_min;
+                let mut hi = x_min * 2 + 1;
+                while model.cdf(hi as f64) < u {
+                    hi *= 2;
+                    if hi > 1 << 40 {
+                        break;
+                    }
+                }
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if model.cdf(mid as f64) < u {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn hurwitz_zeta_reference_values() {
+        // ζ(2, 1) = π²/6.
+        let z = hurwitz_zeta(2.0, 1.0);
+        assert!((z - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-9, "{z}");
+        // ζ(2, 2) = π²/6 - 1.
+        let z = hurwitz_zeta(2.0, 2.0);
+        assert!((z - (std::f64::consts::PI.powi(2) / 6.0 - 1.0)).abs() < 1e-9);
+        // ζ(3, 1) = Apéry's constant.
+        let z = hurwitz_zeta(3.0, 1.0);
+        assert!((z - 1.2020569031595943).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discrete_power_law_pmf_sums_to_one() {
+        let m = DiscretePowerLaw { alpha: 2.5, x_min: 1 };
+        let total: f64 = (1..200_000).map(|x| m.log_pdf(x as f64).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-3, "pmf sum {total}");
+    }
+
+    #[test]
+    fn discrete_power_law_cdf_matches_pmf_partial_sums() {
+        let m = DiscretePowerLaw { alpha: 2.0, x_min: 2 };
+        let mut acc = 0.0;
+        for x in 2..50u64 {
+            acc += m.log_pdf(x as f64).exp();
+            assert!((m.cdf(x as f64) - acc).abs() < 1e-6, "x={x}");
+        }
+    }
+
+    #[test]
+    fn discrete_power_law_mle_recovers_alpha() {
+        let data = discrete_power_law_sample(2.5, 1, 10_000);
+        let fit = DiscretePowerLaw::fit(&data, 1).unwrap();
+        assert!((fit.alpha - 2.5).abs() < 0.05, "alpha={}", fit.alpha);
+    }
+
+    #[test]
+    fn discrete_lognormal_pmf_sums_to_one() {
+        let m = DiscreteLogNormal { mu: 2.0, sigma: 0.8, x_min: 1 };
+        let total: f64 = (1..100_000).map(|x| m.log_pdf(x as f64).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-3, "pmf sum {total}");
+    }
+
+    #[test]
+    fn discrete_exponential_pmf_sums_to_one() {
+        let m = DiscreteExponential { lambda: 0.4, x_min: 3 };
+        let total: f64 = (3..1000).map(|x| m.log_pdf(x as f64).exp()).sum();
+        assert!((total - 1.0).abs() < 1e-9, "pmf sum {total}");
+    }
+
+    #[test]
+    fn discrete_exponential_mle_recovers_lambda() {
+        // Geometric sample with lambda = 0.3, x_min = 1.
+        let m = DiscreteExponential { lambda: 0.3, x_min: 1 };
+        let n = 20_000;
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                let mut x = 1u64;
+                while m.cdf(x as f64) < u && x < 1000 {
+                    x += 1;
+                }
+                x as f64
+            })
+            .collect();
+        let fit = DiscreteExponential::fit(&data, 1).unwrap();
+        assert!((fit.lambda - 0.3).abs() < 0.02, "lambda={}", fit.lambda);
+    }
+
+    #[test]
+    fn all_discrete_cdfs_monotone_bounded() {
+        let pl = DiscretePowerLaw { alpha: 2.1, x_min: 1 };
+        let ln = DiscreteLogNormal { mu: 1.5, sigma: 1.0, x_min: 1 };
+        let ex = DiscreteExponential { lambda: 0.2, x_min: 1 };
+        let models: [&dyn TailModel; 3] = [&pl, &ln, &ex];
+        for m in models {
+            let mut prev = -1.0;
+            for x in 1..500u64 {
+                let f = m.cdf(x as f64);
+                assert!((0.0..=1.0).contains(&f), "{}", m.name());
+                assert!(f >= prev, "{} not monotone at {x}", m.name());
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn fit_errors_on_degenerate_input() {
+        assert!(DiscretePowerLaw::fit(&[5.0], 1).is_err());
+        assert!(DiscretePowerLaw::fit(&[1.0, 1.0, 1.0], 1).is_err());
+        assert!(DiscreteLogNormal::fit(&[4.0, 4.0], 1).is_err());
+        assert!(DiscreteExponential::fit(&[1.0, 1.0], 1).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! Heavy-tail distribution fitting following Clauset, Shalizi & Newman
+//! (*"Power-law distributions in empirical data"*, SIAM Review 2009).
+//!
+//! §IV-A.1 of *"Are Circles Communities?"* stresses that "determining a
+//! power-law distribution by simply comparing plots is insufficient" and
+//! follows the CSN method instead: fit candidate models by maximum
+//! likelihood, select the power-law cutoff `x_min` by KS minimisation, and
+//! pick between models with a (Vuong-normalised) log-likelihood-ratio test.
+//! The paper's finding — Google+ ego-crawl in-degrees are **log-normal**,
+//! not power-law — is exactly the output of [`analyze_tail`].
+//!
+//! ```
+//! use circlekit_statfit::{analyze_tail, ModelKind};
+//!
+//! // A geometric-ish light-tailed sample is *not* a power law.
+//! let data: Vec<f64> = (0..2000).map(|i| 1.0 + (i % 13) as f64).collect();
+//! let report = analyze_tail(&data).unwrap();
+//! assert!(report.power_law.alpha > 1.0);
+//! assert!(matches!(
+//!     report.best,
+//!     ModelKind::Exponential | ModelKind::LogNormal | ModelKind::PowerLaw
+//! ));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod compare;
+mod discrete;
+mod models;
+mod report;
+mod special;
+mod xmin;
+
+pub use bootstrap::{bootstrap_power_law_gof, sample_discrete_power_law, GoodnessOfFit};
+pub use compare::{compare_models, LlrComparison};
+pub use discrete::{hurwitz_zeta, DiscreteExponential, DiscreteLogNormal, DiscretePowerLaw};
+pub use models::{ExponentialModel, FitError, LogNormalModel, PowerLawModel, TailModel};
+pub use report::{analyze_tail, ModelKind, TailFitReport};
+pub use special::{normal_cdf, standard_erf};
+pub use xmin::{fit_power_law, ScannedPowerLaw};

@@ -1,0 +1,377 @@
+//! The candidate tail models: power law, log-normal, exponential.
+//!
+//! All models are *tail-conditional*: they describe the distribution of
+//! `X` given `X >= x_min`, which is how the CSN comparison framework pits
+//! alternatives against the fitted power law on the same data window.
+
+use crate::special::normal_cdf;
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a model cannot be fitted to the supplied tail.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FitError {
+    /// Fewer tail observations than the minimum required (2).
+    TooFewObservations(usize),
+    /// The tail is degenerate (e.g. all values equal) and the model's MLE
+    /// is undefined.
+    DegenerateTail,
+    /// Input contained no usable (finite, `>= 1`) values.
+    NoPositiveData,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewObservations(n) => {
+                write!(f, "tail has only {n} observations, need at least 2")
+            }
+            FitError::DegenerateTail => write!(f, "tail is degenerate, mle undefined"),
+            FitError::NoPositiveData => write!(f, "no finite observations >= 1 in input"),
+        }
+    }
+}
+
+impl Error for FitError {}
+
+/// A fitted tail-conditional model: density and CDF for `x >= x_min`.
+pub trait TailModel {
+    /// Lower cutoff of the modelled tail.
+    fn x_min(&self) -> f64;
+    /// Natural log of the (conditional) density at `x` (`x >= x_min`).
+    fn log_pdf(&self, x: f64) -> f64;
+    /// Conditional CDF `P(X <= x | X >= x_min)`.
+    fn cdf(&self, x: f64) -> f64;
+    /// Short model name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Continuous power law `p(x) ∝ x^{-α}` on `x >= x_min`.
+///
+/// Fitted with the CSN discrete-data approximation
+/// `α = 1 + n / Σ ln(x_i / (x_min - ½))` when `discrete` is set, otherwise
+/// the exact continuous MLE with denominator `x_min`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PowerLawModel {
+    /// Scaling exponent `α`.
+    pub alpha: f64,
+    /// Tail cutoff.
+    pub x_min: f64,
+}
+
+impl PowerLawModel {
+    /// MLE fit on `tail` (every element must be `>= x_min`).
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::TooFewObservations`] for tails shorter than 2, or
+    /// [`FitError::DegenerateTail`] when all values equal `x_min` in
+    /// continuous mode (the likelihood diverges).
+    pub fn fit(tail: &[f64], x_min: f64, discrete: bool) -> Result<PowerLawModel, FitError> {
+        if tail.len() < 2 {
+            return Err(FitError::TooFewObservations(tail.len()));
+        }
+        let denom = if discrete { (x_min - 0.5).max(f64::MIN_POSITIVE) } else { x_min };
+        let log_sum: f64 = tail.iter().map(|&x| (x / denom).ln()).sum();
+        if log_sum <= 0.0 {
+            return Err(FitError::DegenerateTail);
+        }
+        Ok(PowerLawModel {
+            alpha: 1.0 + tail.len() as f64 / log_sum,
+            x_min,
+        })
+    }
+}
+
+impl TailModel for PowerLawModel {
+    fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        // p(x) = ((α-1)/x_min) (x/x_min)^{-α}
+        ((self.alpha - 1.0) / self.x_min).ln() - self.alpha * (x / self.x_min).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            0.0
+        } else {
+            1.0 - (x / self.x_min).powf(1.0 - self.alpha)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "power-law"
+    }
+}
+
+/// Log-normal tail model, truncated at `x_min`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LogNormalModel {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X`.
+    pub sigma: f64,
+    /// Tail cutoff.
+    pub x_min: f64,
+}
+
+impl LogNormalModel {
+    /// Fits a truncated log-normal by coordinate-wise golden-section ascent
+    /// on the truncated likelihood, seeded with the untruncated MLE.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::TooFewObservations`] or [`FitError::DegenerateTail`]
+    /// when `ln x` has zero variance.
+    pub fn fit(tail: &[f64], x_min: f64) -> Result<LogNormalModel, FitError> {
+        if tail.len() < 2 {
+            return Err(FitError::TooFewObservations(tail.len()));
+        }
+        let logs: Vec<f64> = tail.iter().map(|&x| x.ln()).collect();
+        let n = logs.len() as f64;
+        let mean = logs.iter().sum::<f64>() / n;
+        let var = logs.iter().map(|l| (l - mean).powi(2)).sum::<f64>() / n;
+        if var <= 0.0 {
+            return Err(FitError::DegenerateTail);
+        }
+        let mut mu = mean;
+        let mut sigma = var.sqrt();
+
+        let ll = |mu: f64, sigma: f64| -> f64 {
+            let model = LogNormalModel { mu, sigma, x_min };
+            tail.iter().map(|&x| model.log_pdf(x)).sum::<f64>()
+        };
+        // Coordinate ascent: three rounds of golden-section per parameter.
+        for _ in 0..3 {
+            mu = golden_max(|m| ll(m, sigma), mu - 3.0 * sigma, mu + 3.0 * sigma);
+            sigma = golden_max(|s| ll(mu, s), sigma * 0.2, sigma * 5.0);
+        }
+        Ok(LogNormalModel { mu, sigma, x_min })
+    }
+
+    fn tail_mass(&self) -> f64 {
+        // P(X >= x_min) under the untruncated log-normal.
+        1.0 - normal_cdf((self.x_min.ln() - self.mu) / self.sigma)
+    }
+}
+
+impl TailModel for LogNormalModel {
+    fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        let z = (x.ln() - self.mu) / self.sigma;
+        let base = -(x.ln()) - (self.sigma * (2.0 * std::f64::consts::PI).sqrt()).ln()
+            - 0.5 * z * z;
+        base - self.tail_mass().max(1e-300).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            return 0.0;
+        }
+        let lo = normal_cdf((self.x_min.ln() - self.mu) / self.sigma);
+        let hi = normal_cdf((x.ln() - self.mu) / self.sigma);
+        let mass = (1.0 - lo).max(1e-300);
+        ((hi - lo) / mass).clamp(0.0, 1.0)
+    }
+
+    fn name(&self) -> &'static str {
+        "log-normal"
+    }
+}
+
+/// Shifted exponential tail model: `p(x) = λ e^{-λ(x - x_min)}`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ExponentialModel {
+    /// Rate parameter `λ`.
+    pub lambda: f64,
+    /// Tail cutoff.
+    pub x_min: f64,
+}
+
+impl ExponentialModel {
+    /// Exact MLE: `λ = 1 / (mean(x) - x_min)`.
+    ///
+    /// # Errors
+    ///
+    /// [`FitError::TooFewObservations`] or [`FitError::DegenerateTail`]
+    /// when every value equals `x_min`.
+    pub fn fit(tail: &[f64], x_min: f64) -> Result<ExponentialModel, FitError> {
+        if tail.len() < 2 {
+            return Err(FitError::TooFewObservations(tail.len()));
+        }
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        if mean <= x_min {
+            return Err(FitError::DegenerateTail);
+        }
+        Ok(ExponentialModel {
+            lambda: 1.0 / (mean - x_min),
+            x_min,
+        })
+    }
+}
+
+impl TailModel for ExponentialModel {
+    fn x_min(&self) -> f64 {
+        self.x_min
+    }
+
+    fn log_pdf(&self, x: f64) -> f64 {
+        self.lambda.ln() - self.lambda * (x - self.x_min)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x < self.x_min {
+            0.0
+        } else {
+            1.0 - (-self.lambda * (x - self.x_min)).exp()
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+/// Golden-section maximisation of a unimodal-ish function on `[lo, hi]`.
+fn golden_max<F: Fn(f64) -> f64>(f: F, lo: f64, hi: f64) -> f64 {
+    const PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo.min(hi), lo.max(hi));
+    let mut c = b - PHI * (b - a);
+    let mut d = a + PHI * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..60 {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    0.5 * (a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn power_law_sample(alpha: f64, x_min: f64, n: usize) -> Vec<f64> {
+        // Inverse-CDF sampling with deterministic stratified uniforms.
+        (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                x_min * (1.0 - u).powf(-1.0 / (alpha - 1.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn power_law_mle_recovers_alpha() {
+        let data = power_law_sample(2.5, 1.0, 20_000);
+        let fit = PowerLawModel::fit(&data, 1.0, false).unwrap();
+        assert!((fit.alpha - 2.5).abs() < 0.05, "alpha = {}", fit.alpha);
+    }
+
+    #[test]
+    fn power_law_cdf_endpoints() {
+        let m = PowerLawModel { alpha: 2.5, x_min: 2.0 };
+        assert_eq!(m.cdf(1.0), 0.0);
+        assert_eq!(m.cdf(2.0), 0.0);
+        assert!(m.cdf(1e9) > 0.999);
+    }
+
+    #[test]
+    fn power_law_fit_errors() {
+        assert!(matches!(
+            PowerLawModel::fit(&[2.0], 1.0, false),
+            Err(FitError::TooFewObservations(1))
+        ));
+        assert!(matches!(
+            PowerLawModel::fit(&[1.0, 1.0], 1.0, false),
+            Err(FitError::DegenerateTail)
+        ));
+    }
+
+    #[test]
+    fn exponential_mle_recovers_lambda() {
+        // Stratified exponential sample with lambda = 0.5, x_min = 3.
+        let n = 10_000;
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                3.0 - (1.0 - u).ln() / 0.5
+            })
+            .collect();
+        let fit = ExponentialModel::fit(&data, 3.0).unwrap();
+        assert!((fit.lambda - 0.5).abs() < 0.01, "lambda = {}", fit.lambda);
+    }
+
+    #[test]
+    fn lognormal_fit_recovers_parameters_when_untruncated() {
+        // x_min below virtually all mass -> truncation is a no-op.
+        let n = 5_000;
+        let data: Vec<f64> = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                // Inverse normal via binary search on our own normal_cdf.
+                let mut lo = -8.0;
+                let mut hi = 8.0;
+                for _ in 0..60 {
+                    let mid = 0.5 * (lo + hi);
+                    if normal_cdf(mid) < u {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                (2.0 + 0.7 * 0.5 * (lo + hi)).exp()
+            })
+            .collect();
+        let fit = LogNormalModel::fit(&data, 0.5).unwrap();
+        assert!((fit.mu - 2.0).abs() < 0.1, "mu = {}", fit.mu);
+        assert!((fit.sigma - 0.7).abs() < 0.1, "sigma = {}", fit.sigma);
+    }
+
+    #[test]
+    fn all_cdfs_monotone() {
+        let pl = PowerLawModel { alpha: 2.0, x_min: 1.0 };
+        let ln = LogNormalModel { mu: 1.0, sigma: 0.8, x_min: 1.0 };
+        let ex = ExponentialModel { lambda: 0.3, x_min: 1.0 };
+        let models: [&dyn TailModel; 3] = [&pl, &ln, &ex];
+        for m in models {
+            let mut prev = -1.0;
+            for i in 1..200 {
+                let f = m.cdf(i as f64);
+                assert!((0.0..=1.0).contains(&f), "{} cdf out of range", m.name());
+                assert!(f >= prev, "{} cdf not monotone", m.name());
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn golden_max_finds_parabola_peak() {
+        let x = golden_max(|x| -(x - 3.7) * (x - 3.7), -10.0, 10.0);
+        assert!((x - 3.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fit_error_display() {
+        assert!(FitError::NoPositiveData.to_string().contains("no finite"));
+    }
+}

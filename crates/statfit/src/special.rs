@@ -1,0 +1,51 @@
+//! Special functions needed by the fitting pipeline.
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26), absolute
+/// error below `1.5e-7` — ample for KS distances and p-values.
+pub fn standard_erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + standard_erf(z / std::f64::consts::SQRT_2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from tables.
+        assert!((standard_erf(0.0)).abs() < 1e-7);
+        assert!((standard_erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((standard_erf(2.0) - 0.9953222650).abs() < 1e-6);
+        assert!((standard_erf(-1.0) + 0.8427007929).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.0) - 0.8413447461).abs() < 1e-6);
+        assert!((normal_cdf(-1.0) - 0.1586552539).abs() < 1e-6);
+        assert!((normal_cdf(1.959964) - 0.975).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_monotone_and_bounded() {
+        let mut prev = 0.0;
+        for i in -60..=60 {
+            let f = normal_cdf(i as f64 / 10.0);
+            assert!((0.0..=1.0).contains(&f));
+            assert!(f >= prev - 1e-12);
+            prev = f;
+        }
+    }
+}

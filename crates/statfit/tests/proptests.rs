@@ -1,0 +1,88 @@
+//! Property tests for the fitting pipeline: model laws must hold for any
+//! valid parameters, and the pipeline must never panic on messy data.
+
+use circlekit_statfit::{
+    analyze_tail, fit_power_law, hurwitz_zeta, DiscreteExponential, DiscreteLogNormal,
+    DiscretePowerLaw, ExponentialModel, LogNormalModel, PowerLawModel, TailModel,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hurwitz_zeta_is_positive_and_decreasing_in_q(s in 1.1f64..6.0, q in 1.0f64..50.0) {
+        let z1 = hurwitz_zeta(s, q);
+        let z2 = hurwitz_zeta(s, q + 1.0);
+        prop_assert!(z1.is_finite() && z1 > 0.0);
+        // ζ(s, q) = q^-s + ζ(s, q+1), exactly.
+        prop_assert!((z1 - (q.powf(-s) + z2)).abs() < 1e-9 * z1);
+    }
+
+    #[test]
+    fn discrete_power_law_cdf_laws(alpha in 1.2f64..5.0, x_min in 1u64..20) {
+        let m = DiscretePowerLaw { alpha, x_min };
+        let mut prev = 0.0;
+        for x in x_min..x_min + 200 {
+            let f = m.cdf(x as f64);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev - 1e-12);
+            // CDF increments match the pmf.
+            let pmf = m.log_pdf(x as f64).exp();
+            prop_assert!((f - prev - pmf).abs() < 1e-6, "x={x}: {f} {prev} {pmf}");
+            prev = f;
+        }
+        prop_assert_eq!(m.cdf((x_min - 1) as f64), 0.0);
+    }
+
+    #[test]
+    fn discrete_lognormal_and_exponential_cdfs_monotone(
+        mu in -1.0f64..4.0,
+        sigma in 0.2f64..2.0,
+        lambda in 0.05f64..3.0,
+        x_min in 1u64..10,
+    ) {
+        let ln = DiscreteLogNormal { mu, sigma, x_min };
+        let ex = DiscreteExponential { lambda, x_min };
+        for m in [&ln as &dyn TailModel, &ex as &dyn TailModel] {
+            let mut prev = -1.0;
+            for x in x_min..x_min + 100 {
+                let f = m.cdf(x as f64);
+                prop_assert!((0.0..=1.0).contains(&f), "{}", m.name());
+                prop_assert!(f >= prev - 1e-12);
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn continuous_models_integrate_consistently(alpha in 1.3f64..4.0, x_min in 1.0f64..10.0) {
+        let pl = PowerLawModel { alpha, x_min };
+        // CDF at x_min is 0, converges to 1.
+        prop_assert!(pl.cdf(x_min).abs() < 1e-12);
+        prop_assert!(pl.cdf(x_min * 1e9) > 0.99);
+        let ex = ExponentialModel { lambda: alpha, x_min };
+        prop_assert!(ex.cdf(x_min).abs() < 1e-12);
+        let ln = LogNormalModel { mu: 1.0, sigma: 1.0, x_min };
+        prop_assert!(ln.cdf(x_min - 0.1) == 0.0);
+    }
+
+    #[test]
+    fn analyze_tail_never_panics_on_messy_data(data in prop::collection::vec(-5.0f64..5_000.0, 0..300)) {
+        // Any outcome (Ok or Err) is fine; panics and non-finite outputs
+        // are not.
+        if let Ok(report) = analyze_tail(&data) {
+            prop_assert!(report.ks.iter().all(|k| k.is_finite()));
+            prop_assert!(report.power_law.alpha.is_finite());
+            prop_assert!(report.log_normal.sigma > 0.0);
+            prop_assert!(report.exponential.lambda > 0.0);
+        }
+    }
+
+    #[test]
+    fn scan_ks_is_bounded(data in prop::collection::vec(1.0f64..1_000.0, 10..200)) {
+        if let Ok(fit) = fit_power_law(&data, true) {
+            prop_assert!((0.0..=1.0).contains(&fit.ks));
+            prop_assert!(fit.alpha > 1.0);
+            prop_assert!(fit.tail_len >= 2);
+        }
+    }
+}

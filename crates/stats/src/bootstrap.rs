@@ -1,0 +1,141 @@
+//! Nonparametric bootstrap confidence intervals.
+
+use rand::Rng;
+
+/// A bootstrap percentile confidence interval for a sample statistic.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ConfidenceInterval {
+    /// The statistic evaluated on the original sample.
+    pub point: f64,
+    /// Lower percentile bound.
+    pub lower: f64,
+    /// Upper percentile bound.
+    pub upper: f64,
+    /// Confidence level (e.g. `0.95`).
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether the interval contains `value`.
+    pub fn contains(&self, value: f64) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+
+    /// Interval width.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// Resamples `sample` with replacement `replicates` times, evaluates
+/// `statistic` on each replicate, and takes the `(1 ± level)/2`
+/// percentiles.
+///
+/// # Panics
+///
+/// Panics if the sample is empty, `replicates == 0`, or `level` is not in
+/// `(0, 1)`.
+pub fn bootstrap_ci<R, F>(
+    sample: &[f64],
+    statistic: F,
+    replicates: usize,
+    level: f64,
+    rng: &mut R,
+) -> ConfidenceInterval
+where
+    R: Rng + ?Sized,
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(!sample.is_empty(), "bootstrap of empty sample");
+    assert!(replicates > 0, "need at least one replicate");
+    assert!((0.0..1.0).contains(&level) && level > 0.0, "level in (0, 1)");
+    let point = statistic(sample);
+    let mut stats: Vec<f64> = Vec::with_capacity(replicates);
+    let mut scratch = vec![0.0f64; sample.len()];
+    for _ in 0..replicates {
+        for slot in scratch.iter_mut() {
+            *slot = sample[rng.gen_range(0..sample.len())];
+        }
+        stats.push(statistic(&scratch));
+    }
+    let ecdf = crate::Ecdf::new(stats);
+    let alpha = (1.0 - level) / 2.0;
+    ConfidenceInterval {
+        point,
+        lower: ecdf.quantile(alpha),
+        upper: ecdf.quantile(1.0 - alpha),
+        level,
+    }
+}
+
+/// Convenience: bootstrap CI for the mean.
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    sample: &[f64],
+    replicates: usize,
+    level: f64,
+    rng: &mut R,
+) -> ConfidenceInterval {
+    bootstrap_ci(sample, crate::mean, replicates, level, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_ci_brackets_true_mean() {
+        // Sample from a known uniform grid with mean 5.0.
+        let sample: Vec<f64> = (0..500).map(|i| (i % 11) as f64).collect();
+        let true_mean = sample.iter().sum::<f64>() / sample.len() as f64;
+        let mut rng = SmallRng::seed_from_u64(1);
+        let ci = bootstrap_mean_ci(&sample, 400, 0.95, &mut rng);
+        assert!(ci.contains(true_mean), "{ci:?}");
+        assert!((ci.point - true_mean).abs() < 1e-12);
+        assert!(ci.width() < 1.0, "suspiciously wide: {ci:?}");
+    }
+
+    #[test]
+    fn ci_narrows_with_sample_size() {
+        let small: Vec<f64> = (0..30).map(|i| (i % 7) as f64).collect();
+        let large: Vec<f64> = (0..3_000).map(|i| (i % 7) as f64).collect();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let ci_small = bootstrap_mean_ci(&small, 300, 0.95, &mut rng);
+        let ci_large = bootstrap_mean_ci(&large, 300, 0.95, &mut rng);
+        assert!(ci_large.width() < ci_small.width());
+    }
+
+    #[test]
+    fn custom_statistic_median() {
+        let sample: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let ci = bootstrap_ci(
+            &sample,
+            |s| crate::Ecdf::new(s.to_vec()).quantile(0.5),
+            200,
+            0.9,
+            &mut rng,
+        );
+        assert_eq!(ci.point, 50.0);
+        assert!(ci.lower <= 50.0 && 50.0 <= ci.upper);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        bootstrap_mean_ci(&[], 10, 0.9, &mut rng);
+    }
+
+    #[test]
+    fn degenerate_sample_has_zero_width() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let ci = bootstrap_mean_ci(&[2.0, 2.0, 2.0], 50, 0.95, &mut rng);
+        assert_eq!(ci.lower, 2.0);
+        assert_eq!(ci.upper, 2.0);
+    }
+}

@@ -1,0 +1,184 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over a sample of `f64` values.
+///
+/// Non-finite input values (NaN, ±∞) are dropped at construction, so every
+/// query operates on a totally ordered sample.
+///
+/// ```
+/// use circlekit_stats::Ecdf;
+/// let e = Ecdf::new(vec![1.0, 2.0, 2.0, 5.0]);
+/// assert_eq!(e.len(), 4);
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(2.0), 0.75);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample, dropping non-finite values.
+    pub fn new(mut values: Vec<f64>) -> Ecdf {
+        values.retain(|v| v.is_finite());
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Ecdf { sorted: values }
+    }
+
+    /// Number of (finite) sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: the fraction of sample values `<= x`. Returns `0.0` on an
+    /// empty sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]`, using the nearest-rank method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty sample");
+        assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0, 1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Smallest sample value; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Largest sample value; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The sorted sample underlying the ECDF.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// The CDF as `(x, F(x))` step points — one per distinct sample value —
+    /// ready for plotting (the format of the paper's Figures 4–6).
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut points = Vec::new();
+        let mut i = 0;
+        while i < self.sorted.len() {
+            let x = self.sorted[i];
+            let mut j = i + 1;
+            while j < self.sorted.len() && self.sorted[j] == x {
+                j += 1;
+            }
+            points.push((x, j as f64 / n));
+            i = j;
+        }
+        points
+    }
+
+    /// Samples `F` at `count` evenly spaced points over `[min, max]`,
+    /// yielding a fixed-size series suitable for tabular figure output.
+    ///
+    /// Returns an empty vector for an empty sample or `count == 0`.
+    pub fn sampled(&self, count: usize) -> Vec<(f64, f64)> {
+        let (Some(lo), Some(hi)) = (self.min(), self.max()) else {
+            return Vec::new();
+        };
+        if count == 0 {
+            return Vec::new();
+        }
+        if count == 1 || lo == hi {
+            return vec![(hi, self.eval(hi))];
+        }
+        (0..count)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (count - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<f64> for Ecdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Ecdf {
+        Ecdf::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_right_continuous_step() {
+        let e = Ecdf::new(vec![1.0, 3.0]);
+        assert_eq!(e.eval(0.999), 0.0);
+        assert_eq!(e.eval(1.0), 0.5);
+        assert_eq!(e.eval(2.9), 0.5);
+        assert_eq!(e.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn non_finite_values_dropped() {
+        let e = Ecdf::new(vec![f64::NAN, 1.0, f64::INFINITY, 2.0]);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.max(), Some(2.0));
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.0), 10.0);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(0.75), 30.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_of_empty_panics() {
+        Ecdf::new(vec![]).quantile(0.5);
+    }
+
+    #[test]
+    fn steps_collapse_duplicates() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        assert_eq!(e.steps(), vec![(1.0, 2.0 / 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn sampled_series_has_requested_len_and_monotone() {
+        let e = Ecdf::new(vec![0.0, 1.0, 2.0, 5.0, 9.0]);
+        let s = e.sampled(11);
+        assert_eq!(s.len(), 11);
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(s.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn sampled_degenerate_cases() {
+        assert!(Ecdf::new(vec![]).sampled(5).is_empty());
+        let constant = Ecdf::new(vec![2.0, 2.0]);
+        assert_eq!(constant.sampled(5), vec![(2.0, 1.0)]);
+    }
+}

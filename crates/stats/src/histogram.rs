@@ -1,0 +1,251 @@
+//! Linear and logarithmic histograms.
+
+/// A fixed-width linear histogram over `[lo, hi)`.
+///
+/// Values outside the range are counted in saturating edge bins (below → bin
+/// 0, at-or-above `hi` → last bin), so no observation is silently lost.
+///
+/// ```
+/// use circlekit_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 1.0, 4);
+/// for v in [0.1, 0.3, 0.3, 0.9] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.counts(), &[1, 2, 0, 1]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, `lo >= hi`, or the bounds are non-finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid bounds");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Records one observation; non-finite values are ignored.
+    pub fn add(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        let idx = ((value - self.lo) / w).floor();
+        let idx = if idx < 0.0 {
+            0
+        } else {
+            (idx as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn centers(&self) -> Vec<(f64, u64)> {
+        let bins = self.counts.len();
+        let w = (self.hi - self.lo) / bins as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+
+    /// `(bin_center, density)` pairs normalised so densities sum to one.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        let total = self.total().max(1) as f64;
+        self.centers()
+            .into_iter()
+            .map(|(x, c)| (x, c as f64 / total))
+            .collect()
+    }
+}
+
+/// A logarithmically binned histogram over positive integers, the standard
+/// presentation for heavy-tailed degree distributions (the paper's Figures
+/// 2–3 are log / log-log plots).
+///
+/// Bin `i` covers `[base^i, base^(i+1))`.
+#[derive(Clone, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LogHistogram {
+    base: f64,
+    counts: Vec<u64>,
+    zeros: u64,
+}
+
+impl LogHistogram {
+    /// Creates a log-binned histogram with the given base (> 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base <= 1.0` or `base` is not finite.
+    pub fn new(base: f64) -> LogHistogram {
+        assert!(base.is_finite() && base > 1.0, "log base must exceed 1");
+        LogHistogram {
+            base,
+            counts: Vec::new(),
+            zeros: 0,
+        }
+    }
+
+    /// Records one non-negative integer observation (zeros are tallied
+    /// separately, since they have no logarithm).
+    pub fn add(&mut self, value: u64) {
+        if value == 0 {
+            self.zeros += 1;
+            return;
+        }
+        let idx = (value as f64).log(self.base).floor() as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+    }
+
+    /// Number of zero-valued observations.
+    pub fn zero_count(&self) -> u64 {
+        self.zeros
+    }
+
+    /// Total observations including zeros.
+    pub fn total(&self) -> u64 {
+        self.zeros + self.counts.iter().sum::<u64>()
+    }
+
+    /// `(bin_lower_bound, count)` pairs for non-empty bins.
+    pub fn bins(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (self.base.powi(i as i32), c))
+            .collect()
+    }
+
+    /// `(bin_geometric_center, density per unit)` pairs: counts divided by
+    /// bin width, the normalisation used for log-log degree plots.
+    pub fn densities(&self) -> Vec<(f64, f64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = self.base.powi(i as i32);
+                let hi = self.base.powi(i as i32 + 1);
+                let center = (lo * hi).sqrt();
+                (center, c as f64 / (hi - lo))
+            })
+            .collect()
+    }
+}
+
+impl FromIterator<u64> for LogHistogram {
+    /// Collects with the conventional base 2.
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> LogHistogram {
+        let mut h = LogHistogram::new(2.0);
+        for v in iter {
+            h.add(v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_bins_values() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for v in [0.0, 1.9, 2.0, 9.9] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn linear_histogram_saturates_out_of_range() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-5.0);
+        h.add(42.0);
+        assert_eq!(h.counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn linear_histogram_ignores_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn normalized_sums_to_one() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for v in [0.1, 0.2, 0.6, 0.8] {
+            h.add(v);
+        }
+        let total: f64 = h.normalized().iter().map(|&(_, d)| d).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_histogram_base2_bins() {
+        let h: LogHistogram = [1u64, 2, 3, 4, 7, 8].into_iter().collect();
+        // bins: [1,2): {1}, [2,4): {2,3}, [4,8): {4,7}, [8,16): {8}
+        assert_eq!(h.bins(), vec![(1.0, 1), (2.0, 2), (4.0, 2), (8.0, 1)]);
+    }
+
+    #[test]
+    fn log_histogram_counts_zeros_separately() {
+        let mut h = LogHistogram::new(10.0);
+        h.add(0);
+        h.add(0);
+        h.add(5);
+        assert_eq!(h.zero_count(), 2);
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.bins(), vec![(1.0, 1)]);
+    }
+
+    #[test]
+    fn log_histogram_densities_divide_by_width() {
+        let mut h = LogHistogram::new(2.0);
+        h.add(4);
+        h.add(5);
+        let d = h.densities();
+        assert_eq!(d.len(), 1);
+        let (center, density) = d[0];
+        assert!((center - (4.0f64 * 8.0).sqrt()).abs() < 1e-12);
+        assert!((density - 2.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

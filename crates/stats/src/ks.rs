@@ -1,0 +1,144 @@
+//! Kolmogorov–Smirnov distances.
+
+use crate::Ecdf;
+
+/// One-sample KS statistic: `sup_x |F_n(x) - F(x)|` between the empirical
+/// CDF of `sample` and a model CDF.
+///
+/// The supremum over a step function is attained at a sample point, checked
+/// from both sides of each step. Returns `0.0` for an empty sample.
+///
+/// ```
+/// use circlekit_stats::ks_statistic;
+/// // Uniform[0,1] sample vs its own CDF: small distance.
+/// let sample: Vec<f64> = (1..=100).map(|i| i as f64 / 101.0).collect();
+/// let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0));
+/// assert!(d < 0.05);
+/// ```
+pub fn ks_statistic<F: Fn(f64) -> f64>(sample: &[f64], model_cdf: F) -> f64 {
+    let ecdf = Ecdf::new(sample.to_vec());
+    let sorted = ecdf.sorted_values();
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sup: f64 = 0.0;
+    let mut below = 0usize; // number of samples strictly below current x
+    let mut i = 0usize;
+    while i < n {
+        let x = sorted[i];
+        let mut j = i;
+        while j < n && sorted[j] == x {
+            j += 1;
+        }
+        let f = model_cdf(x);
+        let emp_before = below as f64 / n as f64;
+        let emp_at = j as f64 / n as f64;
+        sup = sup.max((emp_before - f).abs()).max((emp_at - f).abs());
+        below = j;
+        i = j;
+    }
+    sup
+}
+
+/// One-sample KS statistic for **discrete** models: compares the empirical
+/// CDF with the model CDF only *at* the observed atoms (right limits).
+///
+/// The two-sided continuous check in [`ks_statistic`] would charge the full
+/// probability mass of each atom as error against a discrete model, which
+/// is wrong — both CDFs jump at the same points.
+pub fn ks_statistic_discrete<F: Fn(f64) -> f64>(sample: &[f64], model_cdf: F) -> f64 {
+    let ecdf = Ecdf::new(sample.to_vec());
+    let sorted = ecdf.sorted_values();
+    let n = sorted.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sup: f64 = 0.0;
+    let mut i = 0usize;
+    while i < n {
+        let x = sorted[i];
+        let mut j = i;
+        while j < n && sorted[j] == x {
+            j += 1;
+        }
+        let emp_at = j as f64 / n as f64;
+        sup = sup.max((emp_at - model_cdf(x)).abs());
+        i = j;
+    }
+    sup
+}
+
+/// Two-sample KS statistic: `sup_x |F_a(x) - F_b(x)|`.
+///
+/// Returns `1.0` when exactly one sample is empty (maximal disagreement) and
+/// `0.0` when both are empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> f64 {
+    let ea = Ecdf::new(a.to_vec());
+    let eb = Ecdf::new(b.to_vec());
+    match (ea.is_empty(), eb.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let mut sup: f64 = 0.0;
+    for &x in ea.sorted_values().iter().chain(eb.sorted_values()) {
+        sup = sup.max((ea.eval(x) - eb.eval(x)).abs());
+    }
+    sup
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let a = vec![1.0, 2.0, 3.0];
+        assert_eq!(ks_two_sample(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = vec![1.0, 2.0];
+        let b = vec![10.0, 20.0];
+        assert_eq!(ks_two_sample(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_sample_conventions() {
+        assert_eq!(ks_two_sample(&[], &[]), 0.0);
+        assert_eq!(ks_two_sample(&[1.0], &[]), 1.0);
+    }
+
+    #[test]
+    fn two_sample_is_symmetric() {
+        let a = vec![1.0, 3.0, 5.0];
+        let b = vec![2.0, 3.0, 8.0, 9.0];
+        assert_eq!(ks_two_sample(&a, &b), ks_two_sample(&b, &a));
+    }
+
+    #[test]
+    fn one_sample_against_degenerate_model() {
+        // Model puts all mass below the sample: distance -> 1 at the top.
+        let sample = vec![1.0, 2.0];
+        let d = ks_statistic(&sample, |_| 1.0);
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn one_sample_exact_small_case() {
+        // Sample {0.5}, model uniform[0,1]: |F_n - F| max is 0.5 at x=0.5
+        // (checking both sides of the step: |0 - 0.5| and |1 - 0.5|).
+        let d = ks_statistic(&[0.5], |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_handles_ties() {
+        // Sample {0.5, 0.5} vs continuous uniform[0,1]: the step at 0.5 goes
+        // 0 -> 1, so the distance is |1 - 0.5| = |0 - 0.5| = 0.5.
+        let d = ks_statistic(&[0.5, 0.5], |x| x.clamp(0.0, 1.0));
+        assert!((d - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,181 @@
+//! Empirical-distribution toolkit for the `circlekit` workspace.
+//!
+//! Every figure in *"Are Circles Communities?"* is a CDF or a log-binned
+//! distribution plot; this crate provides the shared machinery:
+//!
+//! * [`Ecdf`] — empirical cumulative distribution functions (Figures 4–6),
+//! * [`Histogram`] / [`LogHistogram`] — linear and logarithmic binning
+//!   (Figures 2–3),
+//! * [`Summary`] — five-number-plus-moments summaries used in the tables,
+//! * [`ks_two_sample`] / [`ks_statistic`] — Kolmogorov–Smirnov distances
+//!   used both for distribution fitting and for comparing score CDFs.
+//!
+//! ```
+//! use circlekit_stats::{Ecdf, Summary};
+//!
+//! let scores = vec![0.2, 0.9, 0.4, 0.4, 1.0];
+//! let ecdf = Ecdf::new(scores.clone());
+//! assert_eq!(ecdf.eval(0.4), 0.6);     // 3 of 5 values <= 0.4
+//! assert_eq!(ecdf.quantile(0.5), 0.4); // median
+//!
+//! let s = Summary::from_slice(&scores);
+//! assert!((s.mean - 0.58).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bootstrap;
+mod ecdf;
+mod histogram;
+mod ks;
+mod summary;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, ConfidenceInterval};
+pub use ecdf::Ecdf;
+pub use histogram::{Histogram, LogHistogram};
+pub use ks::{ks_statistic, ks_statistic_discrete, ks_two_sample};
+pub use summary::Summary;
+
+/// Relative deviation `|a - b| / max(|a|, |b|)`, or `0.0` when both are zero.
+///
+/// Used for the paper's §IV-B directed-vs-undirected robustness figure
+/// ("minimal deviation of about 2.38 %").
+pub fn relative_deviation(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / denom
+    }
+}
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Pearson correlation of two equal-length samples; `None` when either is
+/// constant or shorter than 2.
+///
+/// # Panics
+///
+/// Panics if the samples have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "samples must have equal length");
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Spearman rank correlation: the Pearson correlation of the
+/// (tie-averaged) ranks — the robust companion Yang–Leskovec use
+/// alongside Pearson for grouping scoring functions. `None` when either
+/// sample is constant or shorter than 2.
+///
+/// # Panics
+///
+/// Panics if the samples have different lengths.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "samples must have equal length");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Tie-averaged ranks (1-based) of a sample.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut out = vec![0.0f64; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j < order.len() && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Average rank for the tie run [i, j).
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod correlation_tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_line() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), None);
+        assert_eq!(pearson(&[1.0], &[2.0]), None);
+    }
+
+    #[test]
+    fn spearman_is_invariant_to_monotone_transform() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x.exp()).collect();
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+        // Pearson is not 1 for the same data.
+        assert!(pearson(&xs, &ys).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.5, 2.5, 4.0];
+        assert!((spearman(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_deviation_basics() {
+        assert_eq!(relative_deviation(0.0, 0.0), 0.0);
+        assert!((relative_deviation(1.0, 0.9) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_deviation(2.0, 1.0), 0.5);
+        assert_eq!(relative_deviation(-1.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+}

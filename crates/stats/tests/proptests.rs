@@ -1,0 +1,86 @@
+//! Property tests for the distribution toolkit.
+
+use circlekit_stats::{ks_two_sample, Ecdf, Histogram, LogHistogram, Summary};
+use proptest::prelude::*;
+
+fn finite_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(sample in finite_sample(), probes in prop::collection::vec(-1e6f64..1e6, 1..50)) {
+        let e = Ecdf::new(sample);
+        let mut sorted_probes = probes;
+        sorted_probes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for x in sorted_probes {
+            let f = e.eval(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= prev);
+            prev = f;
+        }
+        prop_assert_eq!(e.eval(f64::MAX), 1.0);
+    }
+
+    #[test]
+    fn ecdf_quantile_inverts_eval(sample in finite_sample(), q in 0.0f64..=1.0) {
+        let e = Ecdf::new(sample);
+        let x = e.quantile(q);
+        // At least a q-fraction of the sample is <= quantile(q).
+        prop_assert!(e.eval(x) + 1e-12 >= q);
+    }
+
+    #[test]
+    fn ks_two_sample_in_unit_interval(a in finite_sample(), b in finite_sample()) {
+        let d = ks_two_sample(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert!((d - ks_two_sample(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_is_zero(a in finite_sample()) {
+        prop_assert_eq!(ks_two_sample(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn summary_orderings_hold(sample in finite_sample()) {
+        let s = Summary::from_slice(&sample);
+        prop_assert!(s.min <= s.q25);
+        prop_assert!(s.q25 <= s.median);
+        prop_assert!(s.median <= s.q75);
+        prop_assert!(s.q75 <= s.max);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+
+    #[test]
+    fn histogram_conserves_observations(sample in finite_sample()) {
+        let mut h = Histogram::new(-1e6, 1e6, 32);
+        for &v in &sample {
+            h.add(v);
+        }
+        prop_assert_eq!(h.total() as usize, sample.len());
+    }
+
+    #[test]
+    fn log_histogram_conserves_observations(sample in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut h = LogHistogram::new(2.0);
+        for &v in &sample {
+            h.add(v);
+        }
+        prop_assert_eq!(h.total() as usize, sample.len());
+        // Bin lower bounds are powers of the base, strictly increasing.
+        let bins = h.bins();
+        prop_assert!(bins.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn ecdf_steps_end_at_one(sample in finite_sample()) {
+        let e = Ecdf::new(sample);
+        let steps = e.steps();
+        prop_assert!(!steps.is_empty());
+        prop_assert!((steps.last().unwrap().1 - 1.0).abs() < 1e-12);
+        prop_assert!(steps.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+    }
+}

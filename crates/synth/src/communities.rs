@@ -1,0 +1,189 @@
+//! Planted-community (Affiliation-Graph-Model-style) generator — the
+//! synthetic stand-in for the LiveJournal/Orkut ground-truth-community
+//! corpora.
+
+use crate::dataset::{GroupKind, SynthDataset};
+use circlekit_graph::{GraphBuilder, NodeId, VertexSet};
+use rand::Rng;
+
+/// Configuration of the community-graph generator.
+///
+/// Communities follow the Yang–Leskovec picture: member-joined groups with
+/// high internal density embedded in a sparse background, so external
+/// connectivity per group is low — the "rather closed groups with few
+/// relations to the outside" the paper contrasts circles against.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityGraphConfig {
+    /// Data-set name.
+    pub name: String,
+    /// Number of vertices.
+    pub vertices: usize,
+    /// Number of planted communities.
+    pub community_count: usize,
+    /// Smallest community size.
+    pub size_min: usize,
+    /// Largest community size.
+    pub size_max: usize,
+    /// Power-law exponent of the community-size distribution.
+    pub size_exponent: f64,
+    /// Target average *internal* degree of community members.
+    pub internal_avg_degree: f64,
+    /// Target average degree contributed by the background graph.
+    pub background_avg_degree: f64,
+}
+
+impl CommunityGraphConfig {
+    /// Scales the configuration: vertices and community count scale
+    /// linearly, the size cap with `√factor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> CommunityGraphConfig {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.vertices = ((self.vertices as f64 * factor) as usize).max(500);
+        self.community_count = ((self.community_count as f64 * factor) as usize).max(20);
+        let root = factor.sqrt();
+        self.size_max = ((self.size_max as f64 * root) as usize)
+            .clamp(self.size_min + 4, self.vertices / 4);
+        self
+    }
+
+    /// Generates the data set (undirected).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> SynthDataset {
+        let n = self.vertices;
+        let mut builder = GraphBuilder::undirected();
+        builder.reserve_nodes(n);
+
+        // Background: sparse uniform noise.
+        let background_edges = (self.background_avg_degree * n as f64 / 2.0) as usize;
+        for _ in 0..background_edges {
+            let u = rng.gen_range(0..n) as NodeId;
+            let v = rng.gen_range(0..n) as NodeId;
+            if u != v {
+                builder.add_edge(u, v);
+            }
+        }
+
+        // Planted communities with power-law sizes.
+        let mut groups = Vec::with_capacity(self.community_count);
+        for _ in 0..self.community_count {
+            let size = power_law_size(self.size_min, self.size_max, self.size_exponent, rng);
+            let mut members = Vec::with_capacity(size);
+            let mut seen = std::collections::HashSet::with_capacity(size * 2);
+            while members.len() < size {
+                let v = rng.gen_range(0..n) as NodeId;
+                if seen.insert(v) {
+                    members.push(v);
+                }
+            }
+            let internal_edges =
+                ((self.internal_avg_degree * size as f64 / 2.0) as usize)
+                    .min(size * (size - 1) * 2 / 5);
+            for _ in 0..internal_edges {
+                let u = members[rng.gen_range(0..size)];
+                let v = members[rng.gen_range(0..size)];
+                if u != v {
+                    builder.add_edge(u, v);
+                }
+            }
+            groups.push(VertexSet::from_vec(members));
+        }
+
+        SynthDataset {
+            name: self.name.clone(),
+            graph: builder.build(),
+            groups,
+            egos: Vec::new(),
+            ego_owners: Vec::new(),
+            kind: GroupKind::Communities,
+        }
+    }
+}
+
+/// Samples a community size from a truncated power law via inverse CDF.
+fn power_law_size<R: Rng + ?Sized>(min: usize, max: usize, exponent: f64, rng: &mut R) -> usize {
+    let (a, b) = (min as f64, max as f64);
+    if min >= max {
+        return min;
+    }
+    let g = 1.0 - exponent;
+    let u = rng.gen::<f64>();
+    let x = (a.powf(g) + u * (b.powf(g) - a.powf(g))).powf(1.0 / g);
+    (x as usize).clamp(min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> CommunityGraphConfig {
+        crate::presets::livejournal().scaled(0.001)
+    }
+
+    #[test]
+    fn generates_undirected_graph_with_groups() {
+        let mut rng = SmallRng::seed_from_u64(20);
+        let cfg = tiny();
+        let ds = cfg.generate(&mut rng);
+        assert!(!ds.graph.is_directed());
+        assert_eq!(ds.kind, GroupKind::Communities);
+        assert_eq!(ds.groups.len(), cfg.community_count);
+        assert!(ds.egos.is_empty());
+    }
+
+    #[test]
+    fn community_sizes_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let cfg = tiny();
+        let ds = cfg.generate(&mut rng);
+        for g in &ds.groups {
+            assert!(g.len() >= cfg.size_min.min(cfg.size_max));
+            assert!(g.len() <= cfg.size_max);
+        }
+    }
+
+    #[test]
+    fn communities_are_denser_than_background() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let cfg = tiny();
+        let ds = cfg.generate(&mut rng);
+        // Average internal degree across communities should beat the
+        // graph-wide average degree contributed by background noise alone.
+        let mut internal_deg = 0.0;
+        let mut count = 0usize;
+        for g in ds.groups.iter().take(30) {
+            let sub = ds.graph.subgraph(g).unwrap();
+            internal_deg += 2.0 * sub.graph().edge_count() as f64 / g.len() as f64;
+            count += 1;
+        }
+        internal_deg /= count as f64;
+        assert!(
+            internal_deg > cfg.internal_avg_degree * 0.4,
+            "internal degree {internal_deg} too low"
+        );
+    }
+
+    #[test]
+    fn power_law_size_bounds_and_bias() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let sizes: Vec<usize> = (0..2_000)
+            .map(|_| power_law_size(10, 1000, 2.2, &mut rng))
+            .collect();
+        assert!(sizes.iter().all(|&s| (10..=1000).contains(&s)));
+        let small = sizes.iter().filter(|&&s| s < 50).count();
+        assert!(small > 1_200, "sizes should be bottom-heavy: {small}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = tiny();
+        let a = cfg.generate(&mut SmallRng::seed_from_u64(5));
+        let b = cfg.generate(&mut SmallRng::seed_from_u64(5));
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.groups, b.groups);
+    }
+}

@@ -1,0 +1,129 @@
+//! Power-law BFS-crawl generator — the synthetic stand-in for the Magno
+//! et al. Google+ crawl (Table II's comparison column).
+
+use crate::dataset::{GroupKind, SynthDataset};
+use crate::degrees::{balance_sums, zipf_degrees};
+use circlekit_graph::NodeId;
+use circlekit_nullmodel::directed_configuration_model;
+use rand::Rng;
+
+/// Configuration of the BFS-crawled power-law graph generator.
+///
+/// The underlying population is a directed configuration model with Zipf
+/// in/out degrees (the distribution family Magno et al. report); the
+/// emitted data set is the breadth-first crawl of that population, which
+/// is how their corpus was collected. BFS crawls yield sparse,
+/// wide-diameter samples — the opposite bias of the ego crawl, which is
+/// precisely the Table II contrast.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BfsCrawlConfig {
+    /// Data-set name.
+    pub name: String,
+    /// Population size before crawling.
+    pub vertices: usize,
+    /// Zipf exponent of the in/out degree distributions.
+    pub degree_exponent: f64,
+    /// Cap on any single degree, as a fraction of `vertices`.
+    pub max_degree_fraction: f64,
+    /// Fraction of the population the BFS crawl collects (1.0 = all).
+    pub crawl_fraction: f64,
+}
+
+impl BfsCrawlConfig {
+    /// Scales the population size linearly (minimum 2000 vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn scaled(mut self, factor: f64) -> BfsCrawlConfig {
+        assert!(factor > 0.0, "scale factor must be positive");
+        self.vertices = ((self.vertices as f64 * factor) as usize).max(2_000);
+        self
+    }
+
+    /// Generates the crawled data set (directed; no labelled groups — this
+    /// corpus only participates in the Table II statistics).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> SynthDataset {
+        let n = self.vertices;
+        // Cap degrees at the configured fraction, but never below n/20:
+        // small scaled-down runs still need room for a heavy tail.
+        let max_degree = ((n as f64 * self.max_degree_fraction) as u64)
+            .max((n / 20) as u64)
+            .max(4);
+        let mut out_deg = zipf_degrees(n, self.degree_exponent, max_degree, rng);
+        let mut in_deg = zipf_degrees(n, self.degree_exponent, max_degree, rng);
+        balance_sums(&mut out_deg, &mut in_deg, rng);
+        let population = directed_configuration_model(&out_deg, &in_deg, rng);
+
+        let graph = if self.crawl_fraction >= 1.0 {
+            population
+        } else {
+            // Crawl from the highest-total-degree vertex, like a crawler
+            // seeded on a prominent account.
+            let seed = (0..population.node_count() as NodeId)
+                .max_by_key(|&v| population.degree(v))
+                .unwrap_or(0);
+            let limit =
+                ((population.node_count() as f64 * self.crawl_fraction) as usize).max(10);
+            let crawled = circlekit_sampling::bfs_crawl(&population, seed, limit);
+            population
+                .subgraph(&crawled)
+                .expect("crawl yields valid node ids")
+                .into_parts()
+                .0
+        };
+
+        SynthDataset {
+            name: self.name.clone(),
+            graph,
+            groups: Vec::new(),
+            egos: Vec::new(),
+            ego_owners: Vec::new(),
+            kind: GroupKind::Communities,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> BfsCrawlConfig {
+        crate::presets::magno().scaled(0.0002)
+    }
+
+    #[test]
+    fn generates_directed_powerlawish_graph() {
+        let mut rng = SmallRng::seed_from_u64(30);
+        let ds = tiny().generate(&mut rng);
+        assert!(ds.graph.is_directed());
+        assert!(ds.groups.is_empty());
+        assert!(ds.graph.edge_count() > 0);
+        // Heavy tail: the maximum degree dwarfs the average.
+        let n = ds.graph.node_count() as u32;
+        let max_deg = (0..n).map(|v| ds.graph.degree(v)).max().unwrap();
+        let avg = 2.0 * ds.graph.edge_count() as f64 / n as f64;
+        assert!(max_deg as f64 > 5.0 * avg, "max {max_deg} vs avg {avg}");
+    }
+
+    #[test]
+    fn partial_crawl_shrinks_graph() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut cfg = tiny();
+        cfg.crawl_fraction = 0.3;
+        let ds = cfg.generate(&mut rng);
+        assert!(ds.graph.node_count() <= (cfg.vertices as f64 * 0.35) as usize);
+        assert!(ds.graph.node_count() > 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = tiny();
+        let a = cfg.generate(&mut SmallRng::seed_from_u64(3));
+        let b = cfg.generate(&mut SmallRng::seed_from_u64(3));
+        assert_eq!(a.graph, b.graph);
+    }
+}

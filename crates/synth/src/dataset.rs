@@ -1,0 +1,124 @@
+//! The common output type of all generators.
+
+use circlekit_graph::{Graph, VertexSet};
+
+/// Whether a data set's groups are owner-curated circles or member-joined
+/// communities — the distinction §III of the paper is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GroupKind {
+    /// Owner-curated selective-sharing groups (Google+ circles, Twitter
+    /// lists).
+    Circles,
+    /// Member-initiated interest groups (LiveJournal, Orkut).
+    Communities,
+}
+
+impl std::fmt::Display for GroupKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            GroupKind::Circles => "circles",
+            GroupKind::Communities => "communities",
+        })
+    }
+}
+
+/// A generated data set: the social graph, its labelled groups, and (for
+/// ego-crawled data) the ego networks the crawl collected.
+#[derive(Clone, Debug)]
+pub struct SynthDataset {
+    /// Human-readable data-set name (e.g. `"google+"`).
+    pub name: String,
+    /// The social graph.
+    pub graph: Graph,
+    /// The labelled groups: circles or communities.
+    pub groups: Vec<VertexSet>,
+    /// Ego networks (one per crawled owner); empty for non-ego data sets.
+    pub egos: Vec<VertexSet>,
+    /// Owner vertex of each ego network, parallel to [`egos`](Self::egos).
+    pub ego_owners: Vec<u32>,
+    /// Circle vs community semantics.
+    pub kind: GroupKind,
+}
+
+impl SynthDataset {
+    /// Summary row for the paper's Table III.
+    pub fn summary(&self) -> DatasetSummary {
+        DatasetSummary {
+            name: self.name.clone(),
+            vertices: self.graph.node_count(),
+            edges: self.graph.edge_count(),
+            directed: self.graph.is_directed(),
+            kind: self.kind,
+            group_count: self.groups.len(),
+        }
+    }
+
+    /// The sizes of the groups, in group order (used to build size-matched
+    /// random baselines).
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(|g| g.len()).collect()
+    }
+}
+
+/// One row of the paper's Table III.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatasetSummary {
+    /// Data-set name.
+    pub name: String,
+    /// Vertex count.
+    pub vertices: usize,
+    /// Edge count (arcs if directed).
+    pub edges: usize,
+    /// Edge type.
+    pub directed: bool,
+    /// Group semantics.
+    pub kind: GroupKind,
+    /// Number of labelled groups.
+    pub group_count: usize,
+}
+
+impl std::fmt::Display for DatasetSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<12} |V|={:>9} |E|={:>11} type={:<10} structure={:<11} groups={}",
+            self.name,
+            self.vertices,
+            self.edges,
+            if self.directed { "directed" } else { "undirected" },
+            self.kind,
+            self.group_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_graph::Graph;
+
+    #[test]
+    fn summary_reflects_dataset() {
+        let ds = SynthDataset {
+            name: "toy".into(),
+            graph: Graph::from_edges(true, [(0u32, 1u32), (1, 2)]),
+            groups: vec![VertexSet::from_vec(vec![0, 1])],
+            egos: vec![],
+            ego_owners: vec![],
+            kind: GroupKind::Circles,
+        };
+        let s = ds.summary();
+        assert_eq!(s.vertices, 3);
+        assert_eq!(s.edges, 2);
+        assert!(s.directed);
+        assert_eq!(s.group_count, 1);
+        assert_eq!(ds.group_sizes(), vec![2]);
+        assert!(s.to_string().contains("circles"));
+    }
+
+    #[test]
+    fn group_kind_display() {
+        assert_eq!(GroupKind::Circles.to_string(), "circles");
+        assert_eq!(GroupKind::Communities.to_string(), "communities");
+    }
+}

@@ -1,0 +1,127 @@
+//! Degree-sequence samplers for the generators.
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Zipf};
+
+/// Samples `n` integer degrees from a Zipf (discrete power-law) law with
+/// the given exponent, capped at `max` (caps keep configuration-model
+/// erasure losses small).
+///
+/// # Panics
+///
+/// Panics if `exponent <= 1.0` or `max == 0`.
+pub fn zipf_degrees<R: Rng + ?Sized>(n: usize, exponent: f64, max: u64, rng: &mut R) -> Vec<usize> {
+    assert!(exponent > 1.0, "zipf exponent must exceed 1");
+    assert!(max > 0, "max degree must be positive");
+    let dist = Zipf::new(max, exponent).expect("valid zipf parameters");
+    (0..n).map(|_| dist.sample(rng) as usize).collect()
+}
+
+/// Samples `n` integer degrees from a log-normal law (rounded, clamped to
+/// `[1, max]`) — the in-degree family the paper finds in the Google+
+/// ego-crawl data.
+///
+/// # Panics
+///
+/// Panics if `sigma <= 0` or `max == 0`.
+pub fn lognormal_degrees<R: Rng + ?Sized>(
+    n: usize,
+    mu: f64,
+    sigma: f64,
+    max: u64,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    assert!(max > 0, "max degree must be positive");
+    let dist = LogNormal::new(mu, sigma).expect("valid log-normal parameters");
+    (0..n)
+        .map(|_| (dist.sample(rng).round() as u64).clamp(1, max) as usize)
+        .collect()
+}
+
+/// Adjusts two degree sequences so their sums match (required by the
+/// directed configuration model): the longer-sum sequence has random
+/// positive entries decremented until the sums agree.
+pub(crate) fn balance_sums<R: Rng + ?Sized>(
+    out_degrees: &mut [usize],
+    in_degrees: &mut [usize],
+    rng: &mut R,
+) {
+    loop {
+        let so: usize = out_degrees.iter().sum();
+        let si: usize = in_degrees.iter().sum();
+        if so == si {
+            return;
+        }
+        let (seq, excess) = if so > si {
+            (&mut *out_degrees, so - si)
+        } else {
+            (&mut *in_degrees, si - so)
+        };
+        // Decrement up to `excess` random positive entries per pass.
+        let mut remaining = excess;
+        let len = seq.len();
+        while remaining > 0 {
+            let idx = rng.gen_range(0..len);
+            if seq[idx] > 1 {
+                seq[idx] -= 1;
+                remaining -= 1;
+            } else if seq.iter().all(|&d| d <= 1) {
+                // Cannot decrement below 1 everywhere; drop to 0 instead.
+                if seq[idx] == 1 {
+                    seq[idx] = 0;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_degrees_in_range() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let d = zipf_degrees(5_000, 2.2, 1_000, &mut rng);
+        assert_eq!(d.len(), 5_000);
+        assert!(d.iter().all(|&x| (1..=1_000).contains(&x)));
+        // Heavy tail: some degree above 50 should appear.
+        assert!(d.iter().any(|&x| x > 50));
+        // But the bulk is small.
+        let ones = d.iter().filter(|&&x| x <= 2).count();
+        assert!(ones > 2_000);
+    }
+
+    #[test]
+    fn lognormal_degrees_have_positive_floor() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let d = lognormal_degrees(5_000, 2.0, 1.0, 10_000, &mut rng);
+        assert!(d.iter().all(|&x| x >= 1));
+        let mean = d.iter().sum::<usize>() as f64 / d.len() as f64;
+        // E[lognormal(2,1)] = exp(2.5) ≈ 12.2.
+        assert!((mean - 12.2).abs() < 2.0, "mean={mean}");
+    }
+
+    #[test]
+    fn balance_sums_equalises() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut a = vec![5usize, 5, 5, 5];
+        let mut b = vec![3usize, 3, 3, 3];
+        balance_sums(&mut a, &mut b, &mut rng);
+        assert_eq!(a.iter().sum::<usize>(), b.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn balance_sums_noop_when_equal() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut a = vec![2usize, 2];
+        let mut b = vec![1usize, 3];
+        balance_sums(&mut a, &mut b, &mut rng);
+        assert_eq!(a, vec![2, 2]);
+        assert_eq!(b, vec![1, 3]);
+    }
+}

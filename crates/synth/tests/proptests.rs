@@ -1,0 +1,89 @@
+//! Property tests for the data-set generators: structural invariants must
+//! hold for any scale and seed.
+
+use circlekit_graph::connected_components;
+use circlekit_synth::{presets, GroupKind};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    // Generators are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn ego_circle_generator_invariants(seed in any::<u64>(), scale in 0.002f64..0.006) {
+        let cfg = presets::google_plus().scaled(scale);
+        let ds = cfg.generate(&mut SmallRng::seed_from_u64(seed));
+        prop_assert!(ds.graph.is_directed());
+        prop_assert_eq!(ds.kind, GroupKind::Circles);
+        prop_assert_eq!(ds.egos.len(), cfg.ego_count);
+        prop_assert_eq!(ds.egos.len(), ds.ego_owners.len());
+
+        // Every circle fits inside one ego network and has sane size.
+        for circle in &ds.groups {
+            prop_assert!(circle.len() >= 2);
+            prop_assert!(circle.len() <= cfg.circle_size_max);
+            prop_assert!(
+                ds.egos.iter().any(|ego| circle.intersection(ego).len() == circle.len())
+            );
+        }
+
+        // Owners link to all their alters; ego sets contain their owner.
+        for (i, ego) in ds.egos.iter().enumerate() {
+            let owner = ds.ego_owners[i];
+            prop_assert!(ego.contains(owner));
+            for v in ego.iter().filter(|&v| v != owner) {
+                prop_assert!(ds.graph.has_edge(owner, v));
+            }
+        }
+
+        // No node id exceeds the graph.
+        let n = ds.graph.node_count() as u32;
+        for group in ds.groups.iter().chain(&ds.egos) {
+            prop_assert!(group.iter().all(|v| v < n));
+        }
+    }
+
+    #[test]
+    fn community_generator_invariants(seed in any::<u64>(), scale in 0.0005f64..0.002) {
+        let cfg = presets::livejournal().scaled(scale);
+        let ds = cfg.generate(&mut SmallRng::seed_from_u64(seed));
+        prop_assert!(!ds.graph.is_directed());
+        prop_assert_eq!(ds.kind, GroupKind::Communities);
+        prop_assert_eq!(ds.groups.len(), cfg.community_count);
+        prop_assert!(ds.egos.is_empty());
+        let n = ds.graph.node_count() as u32;
+        for g in &ds.groups {
+            prop_assert!(g.len() >= cfg.size_min.min(cfg.size_max));
+            prop_assert!(g.len() <= cfg.size_max);
+            prop_assert!(g.iter().all(|v| v < n));
+        }
+    }
+
+    #[test]
+    fn crawl_generator_invariants(seed in any::<u64>()) {
+        let cfg = presets::magno().scaled(0.0001);
+        let ds = cfg.generate(&mut SmallRng::seed_from_u64(seed));
+        prop_assert!(ds.graph.is_directed());
+        prop_assert!(ds.graph.node_count() >= 2_000);
+        prop_assert!(ds.groups.is_empty());
+    }
+
+    #[test]
+    fn ego_crawl_joint_graph_is_dominated_by_one_component(seed in any::<u64>()) {
+        // The paper: joining all ego networks forms "a large connected
+        // component". Owners' ego networks overlap heavily, so the bulk of
+        // the graph must sit in one weak component.
+        let ds = presets::google_plus()
+            .scaled(0.004)
+            .generate(&mut SmallRng::seed_from_u64(seed));
+        let cc = connected_components(&ds.graph);
+        let largest = cc.sizes().into_iter().max().unwrap_or(0);
+        prop_assert!(
+            largest as f64 > 0.9 * ds.graph.node_count() as f64,
+            "largest component {largest} of {}",
+            ds.graph.node_count()
+        );
+    }
+}

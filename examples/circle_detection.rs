@@ -1,0 +1,61 @@
+//! Extension experiment: detect circles automatically in ego networks
+//! (the McAuley–Leskovec problem, solved with a label-propagation
+//! baseline) and ask the paper's question about them — do *detected*
+//! circles score like the labelled ones?
+//!
+//! ```sh
+//! cargo run --release --example circle_detection
+//! ```
+
+use circlekit::detect::detect_circles;
+use circlekit::scoring::{Scorer, ScoringFunction};
+use circlekit::stats::Summary;
+use circlekit::synth::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2014);
+    let dataset = presets::google_plus().scaled(0.008).generate(&mut rng);
+    println!(
+        "{}: {} vertices, {} labelled circles, {} ego networks",
+        dataset.name,
+        dataset.graph.node_count(),
+        dataset.groups.len(),
+        dataset.egos.len()
+    );
+
+    // Detect circles in every ego network.
+    let mut detected = Vec::new();
+    for &owner in &dataset.ego_owners {
+        detected.extend(detect_circles(&dataset.graph, owner, 5, &mut rng));
+    }
+    println!("detected {} circles (>= 5 members) via label propagation", detected.len());
+
+    // Best-Jaccard match of each detected circle against the labels.
+    let jaccards: Vec<f64> = detected
+        .iter()
+        .map(|d| {
+            dataset
+                .groups
+                .iter()
+                .map(|g| d.jaccard(g))
+                .fold(0.0f64, f64::max)
+        })
+        .collect();
+    println!("best-match Jaccard: {}", Summary::from_slice(&jaccards));
+
+    // Score both collections with the paper's functions.
+    let mut scorer = Scorer::new(&dataset.graph);
+    println!("\n{:<16} {:>12} {:>12}", "function", "labelled", "detected");
+    for f in ScoringFunction::PAPER {
+        let labelled = Summary::from_slice(&scorer.score_sets(f, &dataset.groups));
+        let found = Summary::from_slice(&scorer.score_sets(f, &detected));
+        println!("{:<16} {:>12.4} {:>12.4}", f.name(), labelled.mean, found.mean);
+    }
+    println!(
+        "\nInterpretation: detected clusters sit inside the same dense ego\n\
+         networks, so they inherit the circles' signature — dense inside,\n\
+         heavily connected outward (conductance near 1)."
+    );
+}

@@ -1,0 +1,67 @@
+//! Crawl-bias study: the Table II story generalised. The same population
+//! looks wildly different depending on how you sample it — ego crawls
+//! produce dense, tight graphs; BFS produces wide, sparse ones; forest
+//! fires sit in between.
+//!
+//! ```sh
+//! cargo run --release --example crawl_bias
+//! ```
+
+use circlekit::graph::Direction;
+use circlekit::metrics::{average_clustering, average_shortest_path_sampled, DegreeKind, DegreeStats};
+use circlekit::sampling::{bfs_crawl, ego_crawl, forest_fire_set, random_walk_set};
+use circlekit::synth::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(2014);
+    // Population: a Magno-shaped power-law graph.
+    let population = presets::magno().scaled(0.0006).generate(&mut rng).graph;
+    let n = population.node_count();
+    println!("population: {} vertices, {} edges\n", n, population.edge_count());
+
+    let target = n / 5;
+    let hub = (0..n as u32).max_by_key(|&v| population.degree(v)).expect("non-empty");
+
+    let bfs = bfs_crawl(&population, hub, target);
+    let fire = forest_fire_set(&population, target, 0.7, &mut rng);
+    let walk = random_walk_set(&population, target, &mut rng);
+    let owners: Vec<u32> = (0..n as u32)
+        .filter(|&v| population.out_degree(v) > 20)
+        .take(12)
+        .collect();
+    let ego = ego_crawl(&population, &owners);
+
+    println!(
+        "{:<14} {:>8} {:>10} {:>12} {:>8}",
+        "crawl", "nodes", "avg-deg", "clustering", "asp"
+    );
+    for (name, set) in [
+        ("bfs", &bfs),
+        ("forest-fire", &fire),
+        ("random-walk", &walk),
+        ("ego-crawl", &ego),
+    ] {
+        let sub = population.subgraph(set).expect("valid crawl");
+        let g = sub.graph();
+        let deg = DegreeStats::new(g, DegreeKind::Total).average();
+        let cc = average_clustering(g);
+        let asp = average_shortest_path_sampled(g, Direction::Both, 20, &mut rng).average;
+        println!(
+            "{:<14} {:>8} {:>10.2} {:>12.4} {:>8.2}",
+            name,
+            g.node_count(),
+            deg,
+            cc,
+            asp
+        );
+    }
+    println!(
+        "\nThe ego crawl is the most locally clustered sample (it collects\n\
+         whole neighbourhoods), while frontier crawls spread thin - the\n\
+         sampling bias behind the McAuley-vs-Magno contrast in Table II.\n\
+         On the paper's real Google+ population the effect is amplified by\n\
+         the ego networks' density (see `reproduce table2`)."
+    );
+}

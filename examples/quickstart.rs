@@ -1,0 +1,60 @@
+//! Quickstart: build a small social graph, define a circle, and score it
+//! with the paper's four community scoring functions.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use circlekit::graph::{GraphBuilder, VertexSet};
+use circlekit::scoring::{Scorer, ScoringFunction};
+
+fn main() {
+    // A toy directed social graph: a tight clique of friends (0-3), a
+    // couple of acquaintances (4, 5), and a celebrity (6) everyone follows.
+    let mut b = GraphBuilder::directed();
+    for u in 0..4u32 {
+        for v in 0..4u32 {
+            if u != v {
+                b.add_edge(u, v);
+            }
+        }
+    }
+    b.add_edge(0, 4).add_edge(4, 0); // a mutual acquaintance
+    b.add_edge(1, 5);
+    for v in 0..6u32 {
+        b.add_edge(v, 6); // everyone follows the celebrity
+    }
+    let graph = b.build();
+    println!(
+        "graph: {} vertices, {} directed edges",
+        graph.node_count(),
+        graph.edge_count()
+    );
+
+    // The owner's "friends" circle: the clique.
+    let friends: VertexSet = (0u32..4).collect();
+    // A "following" circle: acquaintances plus the celebrity.
+    let following = VertexSet::from_vec(vec![4, 5, 6]);
+
+    let mut scorer = Scorer::new(&graph);
+    for (name, circle) in [("friends", &friends), ("following", &following)] {
+        println!("\ncircle {name:?} ({} members):", circle.len());
+        let stats = scorer.stats(circle);
+        println!("  n_C={} m_C={} c_C={}", stats.n_c, stats.m_c, stats.c_c);
+        for f in ScoringFunction::PAPER {
+            println!("  {:<16} {:>8.4}", f.name(), f.score(&stats));
+        }
+    }
+
+    // The full 13-function Yang-Leskovec suite is available too.
+    let stats = scorer.stats(&friends);
+    println!("\nfull suite on \"friends\":");
+    for f in ScoringFunction::ALL {
+        println!(
+            "  [{:<11}] {:<16} {:>8.4}",
+            f.category().to_string(),
+            f.name(),
+            f.score(&stats)
+        );
+    }
+}

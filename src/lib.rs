@@ -1,0 +1,8 @@
+//! Umbrella crate for the `circlekit` reproduction workspace.
+//!
+//! This crate exists to host the workspace-wide integration tests (in
+//! `tests/`) and the runnable examples (in `examples/`). The actual library
+//! code lives in the `crates/` members; start with the [`circlekit`] facade
+//! crate.
+
+pub use circlekit;

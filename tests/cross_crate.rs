@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: the substrates must agree with each
+//! other where their semantics overlap.
+
+use circlekit::graph::{Graph, VertexSet};
+use circlekit::metrics::{average_clustering, triangle_count};
+use circlekit::nullmodel::{erdos_renyi, havel_hakimi, randomize, NullModelEnsemble};
+use circlekit::sampling::{random_walk_set, uniform_set};
+use circlekit::scoring::{Scorer, ScoringFunction};
+use circlekit::stats::Summary;
+use circlekit::synth::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The closed-form modularity expectation and the sampled (edge-swap)
+/// expectation must agree on average over random sets.
+#[test]
+fn closed_form_and_sampled_null_expectations_agree() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let g = erdos_renyi(300, 1500, false, &mut rng);
+    let ensemble = NullModelEnsemble::sample(&g, 8, 3.0, false, &mut rng);
+    let mut scorer = Scorer::new(&g);
+    let mut closed = Vec::new();
+    let mut sampled = Vec::new();
+    for _ in 0..20 {
+        let set = uniform_set(&g, 30, &mut rng);
+        let stats = scorer.stats(&set);
+        closed.push(stats.expected_internal_edges());
+        sampled.push(ensemble.expected_internal_edges(&set));
+    }
+    let c = Summary::from_slice(&closed).mean;
+    let s = Summary::from_slice(&sampled).mean;
+    assert!(
+        (c - s).abs() / c.max(s) < 0.25,
+        "closed-form {c} vs sampled {s} diverge"
+    );
+}
+
+/// Degree-preserving randomisation must kill the planted community
+/// structure: a dense circle's internal edges drop towards the null
+/// expectation.
+#[test]
+fn randomization_destroys_circle_density() {
+    let mut rng = SmallRng::seed_from_u64(78);
+    let ds = presets::google_plus().scaled(0.004).generate(&mut rng);
+    let circle = ds
+        .groups
+        .iter()
+        .max_by_key(|g| g.len())
+        .expect("has circles")
+        .clone();
+    let mut scorer = Scorer::new(&ds.graph);
+    let before = scorer.stats(&circle).m_c;
+    let shuffled = randomize(&ds.graph, 3.0, &mut rng);
+    let mut scorer_r = Scorer::new(&shuffled);
+    let after = scorer_r.stats(&circle).m_c;
+    assert!(
+        (after as f64) < 0.6 * before as f64,
+        "shuffling kept {after}/{before} internal edges"
+    );
+}
+
+/// Havel–Hakimi realisations of a synthetic graph's degree sequence carry
+/// the same degree sequence (undirected round trip through nullmodel).
+#[test]
+fn havel_hakimi_roundtrip_on_synth_degrees() {
+    let mut rng = SmallRng::seed_from_u64(79);
+    let ds = presets::livejournal().scaled(0.0005).generate(&mut rng);
+    let und = ds.graph.to_undirected();
+    let degrees: Vec<usize> = (0..und.node_count() as u32).map(|v| und.degree(v)).collect();
+    let realised = havel_hakimi(&degrees).expect("real degree sequences are graphical");
+    for (v, &d) in degrees.iter().enumerate() {
+        assert_eq!(realised.degree(v as u32), d);
+    }
+}
+
+/// Random-walk sets follow the graph structure: on a sparse graph they
+/// contain more internal edges than uniform sets of the same size.
+#[test]
+fn random_walks_are_more_connected_than_uniform_sets() {
+    let mut rng = SmallRng::seed_from_u64(80);
+    let g = erdos_renyi(2_000, 6_000, false, &mut rng);
+    let mut walk_edges = 0usize;
+    let mut uniform_edges = 0usize;
+    for _ in 0..20 {
+        let w = random_walk_set(&g, 40, &mut rng);
+        let u = uniform_set(&g, 40, &mut rng);
+        walk_edges += g.subgraph(&w).unwrap().graph().edge_count();
+        uniform_edges += g.subgraph(&u).unwrap().graph().edge_count();
+    }
+    assert!(
+        walk_edges > 2 * uniform_edges,
+        "walks {walk_edges} vs uniform {uniform_edges}"
+    );
+}
+
+/// Scoring must see exactly the triangles the metrics crate counts: a TPR
+/// of 1 on a triangle-rich clique, 0 on a star.
+#[test]
+fn scoring_and_metrics_agree_on_triangles() {
+    let clique = Graph::from_edges(
+        false,
+        (0..5u32).flat_map(|u| ((u + 1)..5).map(move |v| (u, v))),
+    );
+    assert_eq!(triangle_count(&clique), 10);
+    assert_eq!(average_clustering(&clique), 1.0);
+    let mut scorer = Scorer::new(&clique);
+    let all: VertexSet = (0u32..5).collect();
+    assert_eq!(ScoringFunction::Tpr.score(&scorer.stats(&all)), 1.0);
+
+    let star = Graph::from_edges(false, (1..6u32).map(|v| (0, v)));
+    assert_eq!(triangle_count(&star), 0);
+    let mut scorer = Scorer::new(&star);
+    let all: VertexSet = (0u32..6).collect();
+    assert_eq!(ScoringFunction::Tpr.score(&scorer.stats(&all)), 0.0);
+}
+
+/// The directed/undirected conversion commutes with scoring the way the
+/// robustness experiment assumes: conductance is invariant under
+/// bidirection.
+#[test]
+fn conductance_invariant_under_bidirection() {
+    let mut rng = SmallRng::seed_from_u64(81);
+    let und = erdos_renyi(200, 800, false, &mut rng);
+    let dir = und.to_bidirected();
+    let mut s_u = Scorer::new(&und);
+    let mut s_d = Scorer::new(&dir);
+    for _ in 0..10 {
+        let set = uniform_set(&und, 25, &mut rng);
+        let a = ScoringFunction::Conductance.score(&s_u.stats(&set));
+        let b = ScoringFunction::Conductance.score(&s_d.stats(&set));
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+}

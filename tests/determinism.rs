@@ -1,0 +1,92 @@
+//! Determinism guarantees: every generator and experiment must produce
+//! byte-identical results under a fixed seed — the property that makes
+//! EXPERIMENTS.md reproducible.
+
+use circlekit::experiments::{
+    characterize, circle_sharing_densification, circles_vs_random, compare_datasets,
+    detection_comparison, ego_view_comparison, function_correlations, ModularityMode,
+};
+use circlekit::synth::{presets, SynthDataset};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn dataset(seed: u64) -> SynthDataset {
+    presets::google_plus()
+        .scaled(0.004)
+        .generate(&mut SmallRng::seed_from_u64(seed))
+}
+
+#[test]
+fn generators_are_deterministic_and_seed_sensitive() {
+    let a = dataset(1);
+    let b = dataset(1);
+    let c = dataset(2);
+    assert_eq!(a.graph, b.graph);
+    assert_eq!(a.groups, b.groups);
+    assert_eq!(a.egos, b.egos);
+    assert_ne!(a.graph, c.graph, "different seeds must differ");
+}
+
+#[test]
+fn fig5_experiment_is_deterministic() {
+    let ds = dataset(3);
+    let run = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        circles_vs_random(&ds, ModularityMode::ClosedForm, &mut rng)
+    };
+    let (x, y) = (run(7), run(7));
+    for (a, b) in x.per_function.iter().zip(&y.per_function) {
+        assert_eq!(a.circle_scores, b.circle_scores);
+        assert_eq!(a.random_scores, b.random_scores);
+    }
+    assert_eq!(
+        x.modularity_significant_fraction,
+        y.modularity_significant_fraction
+    );
+}
+
+#[test]
+fn sampled_modularity_is_deterministic_under_seed() {
+    let ds = dataset(4);
+    let run = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        circles_vs_random(
+            &ds,
+            ModularityMode::Sampled { samples: 2, quality: 1.0 },
+            &mut rng,
+        )
+    };
+    let (x, y) = (run(9), run(9));
+    assert_eq!(
+        x.per_function[3].circle_scores,
+        y.per_function[3].circle_scores
+    );
+}
+
+#[test]
+fn deterministic_experiments_match_exactly() {
+    let ds = dataset(5);
+    // Experiments that take no RNG must be pure functions of the data set.
+    let a = format!("{:?}", compare_datasets(&[&ds]));
+    let b = format!("{:?}", compare_datasets(&[&ds]));
+    assert_eq!(a, b);
+    let a = format!("{:?}", ego_view_comparison(&ds));
+    let b = format!("{:?}", ego_view_comparison(&ds));
+    assert_eq!(a, b);
+    let a = format!("{:?}", function_correlations(&ds));
+    let b = format!("{:?}", function_correlations(&ds));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn seeded_experiments_match_exactly() {
+    let ds = dataset(6);
+    let run_all = |seed: u64| {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t2 = format!("{:?}", characterize(&ds, 8, &mut rng));
+        let det = format!("{:?}", detection_comparison(&ds, &mut rng));
+        let sh = format!("{:?}", circle_sharing_densification(&ds, 0.3, &mut rng));
+        (t2, det, sh)
+    };
+    assert_eq!(run_all(11), run_all(11));
+}

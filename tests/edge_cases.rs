@@ -1,0 +1,192 @@
+//! Edge-case and failure-injection tests across crates: degenerate
+//! graphs, pathological sets, and malformed inputs must fail loudly or
+//! produce well-defined values — never NaN, never a wrong silent answer.
+
+use circlekit::detect::{detect_circles, k_core, label_propagation, louvain};
+use circlekit::experiments::{
+    circles_vs_random, clustering_report, directed_vs_undirected, score_groups, ModularityMode,
+};
+use circlekit::graph::{
+    connected_components, parse_edge_list, parse_groups, Graph, GraphBuilder, VertexSet,
+};
+use circlekit::metrics::{average_clustering, degree_assortativity, DegreeKind, DegreeStats};
+use circlekit::nullmodel::{havel_hakimi, randomize, randomize_connected};
+use circlekit::sampling::{random_walk_set, uniform_set};
+use circlekit::scoring::{Scorer, ScoringFunction};
+use circlekit::statfit::analyze_tail;
+use circlekit::synth::{GroupKind, SynthDataset};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn empty_graph() -> Graph {
+    GraphBuilder::undirected().build()
+}
+
+fn isolated(n: usize, directed: bool) -> Graph {
+    let mut b = if directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    b.reserve_nodes(n);
+    b.build()
+}
+
+#[test]
+fn scoring_on_empty_and_edgeless_graphs_is_finite() {
+    for g in [empty_graph(), isolated(5, false), isolated(5, true)] {
+        let mut scorer = Scorer::new(&g);
+        let full: VertexSet = (0..g.node_count() as u32).collect();
+        for set in [VertexSet::new(), full] {
+            let stats = scorer.stats(&set);
+            for f in ScoringFunction::ALL {
+                let v = f.score(&stats);
+                assert!(v.is_finite(), "{f} on degenerate graph: {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_on_degenerate_graphs() {
+    for g in [empty_graph(), isolated(4, false)] {
+        assert_eq!(average_clustering(&g), 0.0);
+        assert_eq!(degree_assortativity(&g), None);
+        let stats = DegreeStats::new(&g, DegreeKind::Total);
+        assert!(stats.positive_as_f64().is_empty());
+    }
+    assert_eq!(connected_components(&empty_graph()).component_count(), 0);
+}
+
+#[test]
+fn detection_on_degenerate_graphs() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    assert!(louvain(&empty_graph(), &mut rng).is_empty());
+    assert_eq!(label_propagation(&isolated(3, false), 5, &mut rng).len(), 3);
+    assert!(k_core(&empty_graph(), 1).is_empty());
+    // Ego with no alters yields no circles.
+    let single = Graph::from_edges(true, [(0u32, 1u32)]);
+    let circles = detect_circles(&single, 1, 1, &mut rng);
+    assert!(circles.is_empty(), "{circles:?}");
+}
+
+#[test]
+fn sampling_degenerate_sizes() {
+    let g = isolated(6, false);
+    let mut rng = SmallRng::seed_from_u64(2);
+    assert!(random_walk_set(&g, 0, &mut rng).is_empty());
+    assert_eq!(random_walk_set(&g, 6, &mut rng).len(), 6);
+    assert_eq!(uniform_set(&g, 100, &mut rng).len(), 6);
+}
+
+#[test]
+fn nullmodel_degenerate_inputs() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    // Empty and single-edge graphs survive randomisation untouched.
+    let g = empty_graph();
+    assert_eq!(randomize(&g, 4.0, &mut rng), g);
+    let one = Graph::from_edges(false, [(0u32, 1u32)]);
+    assert_eq!(randomize(&one, 4.0, &mut rng).edge_count(), 1);
+    assert_eq!(randomize_connected(&one, 4.0, &mut rng).edge_count(), 1);
+    // Havel-Hakimi on all-zero sequences.
+    assert_eq!(havel_hakimi(&[0; 7]).unwrap().edge_count(), 0);
+}
+
+#[test]
+fn statfit_rejects_degenerate_sequences() {
+    assert!(analyze_tail(&[]).is_err());
+    assert!(analyze_tail(&[5.0]).is_err());
+    assert!(analyze_tail(&[3.0, 3.0, 3.0, 3.0]).is_err());
+    // All-sub-1 values are filtered to nothing.
+    assert!(analyze_tail(&[0.1, 0.5, 0.9]).is_err());
+}
+
+#[test]
+fn parsers_reject_malformed_but_accept_messy_whitespace() {
+    assert!(parse_edge_list("0 1 2\n").is_err());
+    assert!(parse_edge_list("a b\n").is_err());
+    assert_eq!(parse_edge_list("  0\t\t1  \n\n").unwrap(), vec![(0, 1)]);
+    assert!(parse_groups("1 2 huh\n").is_err());
+    assert!(parse_groups("onlylabel\n").unwrap().is_empty());
+}
+
+#[test]
+fn experiments_survive_dataset_without_groups() {
+    // A dataset with no labelled groups: experiment drivers must not
+    // panic, they report empty/zero results.
+    let ds = SynthDataset {
+        name: "groupless".into(),
+        graph: Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0)]),
+        groups: Vec::new(),
+        egos: Vec::new(),
+        ego_owners: Vec::new(),
+        kind: GroupKind::Circles,
+    };
+    let mut rng = SmallRng::seed_from_u64(4);
+    let fig5 = circles_vs_random(&ds, ModularityMode::ClosedForm, &mut rng);
+    assert!(fig5.per_function.iter().all(|p| p.circle_scores.is_empty()));
+    assert_eq!(fig5.ratio_cut_below_random_median, 0.0);
+    let scores = score_groups(&ds);
+    assert!(scores.per_function.iter().all(|(_, s, _)| s.is_empty()));
+    let rob = directed_vs_undirected(&ds);
+    assert_eq!(rob.per_function.len(), 4);
+    let cc = clustering_report(&ds);
+    assert!((0.0..=1.0).contains(&cc.mean));
+}
+
+#[test]
+fn experiments_survive_single_vertex_groups() {
+    let ds = SynthDataset {
+        name: "singletons".into(),
+        graph: Graph::from_edges(false, [(0u32, 1u32), (1, 2)]),
+        groups: vec![
+            VertexSet::from_vec(vec![0]),
+            VertexSet::from_vec(vec![1]),
+            VertexSet::from_vec(vec![2]),
+        ],
+        egos: Vec::new(),
+        ego_owners: Vec::new(),
+        kind: GroupKind::Communities,
+    };
+    let scores = score_groups(&ds);
+    for (f, col, _) in &scores.per_function {
+        assert!(
+            col.iter().all(|v| v.is_finite()),
+            "{f} produced non-finite scores on singleton groups"
+        );
+    }
+}
+
+#[test]
+fn self_loop_heavy_input_is_sanitised() {
+    let mut b = GraphBuilder::directed();
+    for v in 0..5u32 {
+        b.add_edge(v, v);
+    }
+    b.add_edge(0, 1);
+    let g = b.build();
+    assert_eq!(g.edge_count(), 1);
+    let mut scorer = Scorer::new(&g);
+    let all: VertexSet = (0u32..2).collect();
+    assert_eq!(scorer.stats(&all).m_c, 1);
+}
+
+#[test]
+fn vertex_set_extreme_ids() {
+    let set = VertexSet::from_vec(vec![u32::MAX, 0, u32::MAX - 1]);
+    assert_eq!(set.len(), 3);
+    assert!(set.contains(u32::MAX));
+    let other = VertexSet::from_vec(vec![u32::MAX]);
+    assert!(set.overlaps(&other));
+    assert_eq!(set.intersection(&other).len(), 1);
+}
+
+#[test]
+fn random_walk_on_star_restarts_instead_of_hanging() {
+    // A directed star with no outgoing edges from leaves: the walk must
+    // restart rather than loop forever.
+    let g = Graph::from_edges(true, (1..20u32).map(|v| (0, v)));
+    let mut rng = SmallRng::seed_from_u64(5);
+    let set = random_walk_set(&g, 15, &mut rng);
+    assert_eq!(set.len(), 15);
+}

@@ -1,0 +1,224 @@
+//! End-to-end assertions that the reproduction recovers the *shape* of
+//! every headline result in the paper, on seeded synthetic corpora.
+
+use circlekit::experiments::{
+    characterize, circles_vs_random, clustering_report, compare_datasets, degree_fit,
+    directed_vs_undirected, ego_overlap_report, summarize_datasets, ModularityMode,
+};
+use circlekit::metrics::DegreeKind;
+use circlekit::scoring::ScoringFunction;
+use circlekit::statfit::ModelKind;
+use circlekit::synth::{presets, GroupKind, SynthDataset};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn gplus() -> SynthDataset {
+    presets::google_plus()
+        .scaled(0.008)
+        .generate(&mut SmallRng::seed_from_u64(2014))
+}
+
+/// Larger fixture for the Figure 5 separation statistics, which need a
+/// few hundred circle members per group to stabilise.
+fn gplus_large() -> SynthDataset {
+    presets::google_plus()
+        .scaled(0.02)
+        .generate(&mut SmallRng::seed_from_u64(2014))
+}
+
+fn twitter() -> SynthDataset {
+    presets::twitter()
+        .scaled(0.008)
+        .generate(&mut SmallRng::seed_from_u64(2015))
+}
+
+fn livejournal() -> SynthDataset {
+    presets::livejournal()
+        .scaled(0.002)
+        .generate(&mut SmallRng::seed_from_u64(2016))
+}
+
+fn orkut() -> SynthDataset {
+    presets::orkut()
+        .scaled(0.002)
+        .generate(&mut SmallRng::seed_from_u64(2017))
+}
+
+/// §IV-A.1 / Figure 3: the ego-crawl in-degree is log-normal, not
+/// power-law, under the CSN method.
+#[test]
+fn fig3_ego_crawl_in_degree_is_lognormal() {
+    let ds = gplus();
+    let report = degree_fit(&ds, DegreeKind::In).expect("fit succeeds");
+    assert_eq!(report.family(), ModelKind::LogNormal, "ks={:?}", report.fit.ks);
+}
+
+/// Table II: a BFS crawl of a power-law population keeps its power-law
+/// verdict — the contrast column of the table.
+#[test]
+fn table2_bfs_crawl_in_degree_is_powerlaw() {
+    let ds = presets::magno()
+        .scaled(0.0003)
+        .generate(&mut SmallRng::seed_from_u64(2018));
+    let report = degree_fit(&ds, DegreeKind::In).expect("fit succeeds");
+    assert_eq!(report.family(), ModelKind::PowerLaw, "ks={:?}", report.fit.ks);
+}
+
+/// Table II: the ego crawl is smaller, denser and shorter-pathed than the
+/// BFS crawl.
+#[test]
+fn table2_ego_crawl_denser_and_tighter_than_bfs_crawl() {
+    let ego = gplus();
+    let bfs = presets::magno()
+        .scaled(0.0003)
+        .generate(&mut SmallRng::seed_from_u64(2018));
+    let mut rng = SmallRng::seed_from_u64(1);
+    let ego_row = characterize(&ego, 16, &mut rng);
+    let bfs_row = characterize(&bfs, 16, &mut rng);
+    assert!(
+        ego_row.average_in_degree > 2.0 * bfs_row.average_in_degree,
+        "ego {} vs bfs {}",
+        ego_row.average_in_degree,
+        bfs_row.average_in_degree
+    );
+    assert!(ego_row.average_shortest_path < bfs_row.average_shortest_path);
+    assert!(ego_row.diameter <= bfs_row.diameter);
+}
+
+/// Figure 2: almost all ego networks overlap (the paper reports 93.5 %),
+/// and membership counts are heavy-tailed.
+#[test]
+fn fig2_ego_networks_overlap_with_heavy_tailed_membership() {
+    let stats = ego_overlap_report(&gplus());
+    assert!(stats.overlap_fraction > 0.85, "{}", stats.overlap_fraction);
+    let series = stats.membership_series();
+    let (first_k, first_count) = series.first().copied().expect("non-empty");
+    assert_eq!(first_k, 1);
+    // Most vertices are in exactly one ego network...
+    assert!(first_count as f64 / stats.covered_vertices() as f64 > 0.5);
+    // ...but a tail of multi-ego vertices exists.
+    assert!(series.iter().any(|&(k, _)| k >= 3));
+}
+
+/// Figure 4: the clustering coefficient has a smooth unimodal CDF with a
+/// mid-range mean (the paper reports 0.4901).
+#[test]
+fn fig4_clustering_coefficient_is_midrange() {
+    let report = clustering_report(&gplus());
+    assert!(
+        (0.15..0.75).contains(&report.mean),
+        "mean clustering {}",
+        report.mean
+    );
+    // CDF spans a real distribution rather than a point mass.
+    assert!(report.summary.std_dev > 0.05);
+}
+
+/// Figure 5: all four functions separate circles from size-matched
+/// random-walk sets.
+#[test]
+fn fig5_all_four_functions_separate_circles_from_random_sets() {
+    let ds = gplus_large();
+    let mut rng = SmallRng::seed_from_u64(5);
+    let result = circles_vs_random(&ds, ModularityMode::ClosedForm, &mut rng);
+    for pair in &result.per_function {
+        assert!(
+            pair.ks_separation > 0.3,
+            "{} separation only {}",
+            pair.function,
+            pair.ks_separation
+        );
+    }
+    // Circles score higher on internal connectivity...
+    assert!(result.per_function[0].circles.mean > result.per_function[0].random.mean);
+    // ...lower on conductance (circles are denser than flat random walks)...
+    assert!(result.per_function[2].circles.mean < result.per_function[2].random.mean);
+    // ...and clearly above the null model.
+    assert!(result.per_function[3].circles.mean > result.per_function[3].random.mean);
+}
+
+/// §V-A text: more than half of the circles deviate significantly from
+/// the null model; most circles cut less than the random baseline.
+#[test]
+fn fig5_headline_fractions() {
+    let ds = gplus_large();
+    let mut rng = SmallRng::seed_from_u64(6);
+    let result = circles_vs_random(&ds, ModularityMode::ClosedForm, &mut rng);
+    assert!(
+        result.modularity_significant_fraction > 0.5,
+        "only {:.0}% significant",
+        100.0 * result.modularity_significant_fraction
+    );
+    assert!(
+        result.ratio_cut_below_random_median > 0.5,
+        "only {:.0}% below random median",
+        100.0 * result.ratio_cut_below_random_median
+    );
+}
+
+/// Figure 6: the four-corpus comparison recovers the paper's ordering —
+/// circles similar to communities internally, far leakier externally.
+#[test]
+fn fig6_circles_leak_communities_do_not() {
+    let gp = gplus();
+    let tw = twitter();
+    let lj = livejournal();
+    let ok = orkut();
+    let scores = compare_datasets(&[&gp, &tw, &lj, &ok]);
+
+    let mean = |i: usize, f: ScoringFunction| scores[i].summary(f).expect("scored").mean;
+
+    // Ratio cut: both circle corpora above both community corpora.
+    for circle_idx in [0, 1] {
+        for community_idx in [2, 3] {
+            assert!(
+                mean(circle_idx, ScoringFunction::RatioCut)
+                    > mean(community_idx, ScoringFunction::RatioCut),
+                "ratio cut ordering violated: {} vs {}",
+                scores[circle_idx].name,
+                scores[community_idx].name
+            );
+        }
+    }
+    // Conductance: circles near 1, LiveJournal communities well below.
+    assert!(mean(0, ScoringFunction::Conductance) > 0.8);
+    assert!(mean(1, ScoringFunction::Conductance) > 0.8);
+    assert!(mean(2, ScoringFunction::Conductance) < mean(0, ScoringFunction::Conductance));
+    // Average degree: same order of magnitude everywhere (the paper finds
+    // "no significant difference in the shape").
+    let ad: Vec<f64> = (0..4)
+        .map(|i| mean(i, ScoringFunction::AverageDegree))
+        .collect();
+    let (lo, hi) = (
+        ad.iter().cloned().fold(f64::INFINITY, f64::min),
+        ad.iter().cloned().fold(0.0, f64::max),
+    );
+    assert!(hi / lo < 30.0, "average-degree spread too wide: {ad:?}");
+}
+
+/// Table III: the summaries carry the right structure labels.
+#[test]
+fn table3_kind_labels() {
+    let gp = gplus();
+    let lj = livejournal();
+    let rows = summarize_datasets(&[&gp, &lj]);
+    assert_eq!(rows[0].kind, GroupKind::Circles);
+    assert!(rows[0].directed);
+    assert_eq!(rows[1].kind, GroupKind::Communities);
+    assert!(!rows[1].directed);
+}
+
+/// §IV-B: collapsing directions changes the scale-invariant scores only
+/// mildly (the paper reports ≈ 2.38 %).
+#[test]
+fn robustness_direction_collapse_is_mild() {
+    for ds in [gplus(), twitter()] {
+        let report = directed_vs_undirected(&ds);
+        assert!(
+            report.overall < 0.30,
+            "{}: deviation {:.1}%",
+            report.dataset,
+            100.0 * report.overall
+        );
+    }
+}
