@@ -1,0 +1,42 @@
+//! Serial vs parallel batch scoring on a ≥1k-set corpus.
+//!
+//! The batch mirrors the paper's workload shape — thousands of
+//! size-matched vertex sets scored against one graph (Figures 5–6) — and
+//! compares the sequential `Scorer` against `ParallelScorer` at 1, 2, 4
+//! and 8 worker threads. On a single-core host the parallel variants pay
+//! only their spawn overhead; the speedup materialises with the core
+//! count.
+
+use circlekit::sampling::size_matched_random_walk_sets_seeded;
+use circlekit::scoring::{ParallelScorer, Scorer, ScoringFunction};
+use circlekit::synth::presets;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_parallel_scoring(c: &mut Criterion) {
+    let dataset = presets::google_plus()
+        .scaled(0.01)
+        .generate(&mut SmallRng::seed_from_u64(2014));
+    let graph = &dataset.graph;
+    // 1024 size-matched sets: the Figure 5 baseline at paper-like scale.
+    let sizes: Vec<usize> = (0..1024).map(|i| 4 + i % 28).collect();
+    let sets = size_matched_random_walk_sets_seeded(graph, &sizes, 7);
+
+    let mut group = c.benchmark_group("score_table_1024_sets");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        let mut scorer = Scorer::new(graph);
+        b.iter(|| black_box(scorer.score_table(&ScoringFunction::PAPER, black_box(&sets))));
+    });
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(&format!("parallel_{threads}_threads"), |b| {
+            let scorer = ParallelScorer::with_threads(graph, threads);
+            b.iter(|| black_box(scorer.score_table(&ScoringFunction::PAPER, black_box(&sets))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_scoring);
+criterion_main!(benches);

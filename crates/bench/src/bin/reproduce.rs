@@ -2,7 +2,7 @@
 //! data.
 //!
 //! ```text
-//! reproduce [EXPERIMENT] [--scale F] [--seed N] [--json]
+//! reproduce [EXPERIMENT] [--scale F] [--seed N] [--json] [--threads N]
 //!
 //! EXPERIMENT: all (default) | table2 | table3 | fig1 | fig2 | fig3 | fig4 |
 //!             fig5 | fig6 | robustness | categorize | correlations | egoview | detect | sharing
@@ -10,12 +10,16 @@
 //! --seed N    RNG seed (default 2014)
 //! --json      additionally emit machine-readable JSON rows
 //! --sampled   use sampled (Viger-Latapy) modularity expectations in fig5
+//! --threads N score fig5/fig6 on N worker threads (seeded per-set RNG
+//!             streams keep the output identical for every N; fig5 then
+//!             always uses closed-form modularity)
 //! ```
 
 use circlekit::categorize::{categorize_circles, CircleCategory};
 use circlekit::experiments::{
-    characterize, circles_vs_random, clustering_report, compare_datasets, degree_fit,
-    directed_vs_undirected, ego_overlap_report, summarize_datasets, ModularityMode,
+    characterize, circles_vs_random, circles_vs_random_parallel, clustering_report,
+    compare_datasets, compare_datasets_parallel, degree_fit, directed_vs_undirected,
+    ego_overlap_report, summarize_datasets, ModularityMode,
 };
 use circlekit::metrics::DegreeKind;
 use circlekit::render;
@@ -30,6 +34,7 @@ struct Options {
     seed: u64,
     json: bool,
     sampled_modularity: bool,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -39,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
         seed: 2014,
         json: false,
         sampled_modularity: false,
+        threads: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -53,8 +59,19 @@ fn parse_args() -> Result<Options, String> {
             }
             "--json" => opts.json = true,
             "--sampled" => opts.sampled_modularity = true,
+            "--threads" => {
+                let v = args.next().ok_or("--threads needs a value")?;
+                let t: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
+                if t == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
+                opts.threads = Some(t);
+            }
             "--help" | "-h" => {
-                return Err("usage: reproduce [EXPERIMENT] [--scale F] [--seed N] [--json]".into())
+                return Err(
+                    "usage: reproduce [EXPERIMENT] [--scale F] [--seed N] [--json] [--threads N]"
+                        .into(),
+                )
             }
             other if !other.starts_with('-') => opts.experiment = other.to_string(),
             other => return Err(format!("unknown flag {other:?}")),
@@ -141,7 +158,10 @@ fn main() -> ExitCode {
         }
         if run("fig6") {
             println!("== Figure 6: circles vs communities across data sets ==");
-            let scores = compare_datasets(&all);
+            let scores = match opts.threads {
+                Some(t) => compare_datasets_parallel(&all, t),
+                None => compare_datasets(&all),
+            };
             print!("{}", render::render_fig6(&scores));
             if opts.json {
                 for ds in &scores {
@@ -226,17 +246,33 @@ fn main() -> ExitCode {
     if run("fig5") {
         matched = true;
         ensure_gplus(&mut gplus);
-        let mut rng = SmallRng::seed_from_u64(opts.seed);
-        let mode = if opts.sampled_modularity {
-            // The paper's procedure: Viger-Latapy sampled null graphs.
-            ModularityMode::Sampled { samples: 5, quality: 2.0 }
-        } else {
-            ModularityMode::ClosedForm
+        let result = match opts.threads {
+            Some(t) => {
+                if opts.sampled_modularity {
+                    eprintln!(
+                        "note: --threads uses closed-form modularity; ignoring --sampled"
+                    );
+                }
+                circles_vs_random_parallel(gplus.as_ref().expect("fixture"), opts.seed, t)
+            }
+            None => {
+                let mut rng = SmallRng::seed_from_u64(opts.seed);
+                let mode = if opts.sampled_modularity {
+                    // The paper's procedure: Viger-Latapy sampled null graphs.
+                    ModularityMode::Sampled { samples: 5, quality: 2.0 }
+                } else {
+                    ModularityMode::ClosedForm
+                };
+                circles_vs_random(gplus.as_ref().expect("fixture"), mode, &mut rng)
+            }
         };
-        let result = circles_vs_random(gplus.as_ref().expect("fixture"), mode, &mut rng);
         println!(
             "== Figure 5: circles vs random-walk sets (modularity: {}) ==",
-            if opts.sampled_modularity { "sampled null model" } else { "closed form" }
+            if opts.sampled_modularity && opts.threads.is_none() {
+                "sampled null model"
+            } else {
+                "closed form"
+            }
         );
         print!("{}", render::render_fig5(&result, 11));
         if opts.json {

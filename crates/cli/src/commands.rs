@@ -33,7 +33,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
 fn usage() -> String {
     "usage:\n  \
      circlekit generate <google+|twitter|livejournal|orkut|magno> [--scale F] [--seed N] --edges FILE [--groups FILE]\n  \
-     circlekit score        --edges FILE --groups FILE [--undirected] [--all]\n  \
+     circlekit score        --edges FILE --groups FILE [--undirected] [--all] [--threads N]\n  \
      circlekit characterize --edges FILE [--undirected] [--sources N]\n  \
      circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]\n  \
      circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n"
@@ -159,8 +159,12 @@ fn score(args: &[String]) -> Result<String, String> {
     } else {
         &ScoringFunction::PAPER
     };
+    let threads: usize = flags.parse_value("threads", num_threads())?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
     let scorer = Scorer::new(&graph);
-    let table = scorer.score_table_parallel(functions, &groups, num_threads());
+    let table = scorer.score_table_parallel(functions, &groups, threads);
 
     let mut out = String::new();
     let _ = write!(out, "{:>6} {:>6}", "group", "size");
@@ -304,6 +308,31 @@ mod tests {
         assert!(out.contains("conductance"));
         // One row per group plus headers/summaries.
         assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn score_threads_flag_changes_nothing_but_accepts_values() {
+        let edges = tmp("thr.edges");
+        let groups = tmp("thr.circles");
+        dispatch(&args(&[
+            "generate", "google+", "--scale", "0.003", "--seed", "7",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        let base = dispatch(&args(&["score", "--edges", &edges, "--groups", &groups]))
+            .expect("score succeeds");
+        for t in ["1", "2", "7"] {
+            let out = dispatch(&args(&[
+                "score", "--edges", &edges, "--groups", &groups, "--threads", t,
+            ]))
+            .expect("score succeeds");
+            assert_eq!(base, out, "--threads {t}");
+        }
+        let err = dispatch(&args(&[
+            "score", "--edges", &edges, "--groups", &groups, "--threads", "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
     }
 
     #[test]

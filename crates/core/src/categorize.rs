@@ -157,7 +157,7 @@ fn two_means(features: &[[f64; 3]]) -> Vec<CircleCategory> {
                 changed = true;
             }
         }
-        for c in 0..2 {
+        for (c, centroid) in centroids.iter_mut().enumerate() {
             let members: Vec<&[f64; 3]> = std_features
                 .iter()
                 .zip(&assign)
@@ -167,9 +167,8 @@ fn two_means(features: &[[f64; 3]]) -> Vec<CircleCategory> {
             if members.is_empty() {
                 continue;
             }
-            for dim in 0..3 {
-                centroids[c][dim] =
-                    members.iter().map(|f| f[dim]).sum::<f64>() / members.len() as f64;
+            for (dim, slot) in centroid.iter_mut().enumerate() {
+                *slot = members.iter().map(|f| f[dim]).sum::<f64>() / members.len() as f64;
             }
         }
         if !changed {

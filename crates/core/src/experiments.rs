@@ -24,8 +24,8 @@ use circlekit_metrics::{
     diameter_double_sweep, DegreeKind, DegreeStats, EgoStats,
 };
 use circlekit_nullmodel::NullModelEnsemble;
-use circlekit_sampling::size_matched_random_walk_sets;
-use circlekit_scoring::{Scorer, ScoringFunction};
+use circlekit_sampling::{size_matched_random_walk_sets, size_matched_random_walk_sets_parallel};
+use circlekit_scoring::{ParallelScorer, ScoreTable, Scorer, ScoringFunction};
 use circlekit_statfit::{analyze_tail, FitError, ModelKind, TailFitReport};
 use circlekit_stats::{ks_two_sample, relative_deviation, Ecdf, LogHistogram, Summary};
 use circlekit_synth::{DatasetSummary, GroupKind, SynthDataset};
@@ -128,7 +128,59 @@ pub fn circles_vs_random<R: Rng + ?Sized>(
     };
     let circle_rows = score_sets(&mut scorer, &dataset.groups);
     let random_rows = score_sets(&mut scorer, &random_sets);
+    assemble_circles_vs_random(dataset.name.clone(), &circle_rows, &random_rows)
+}
 
+/// Runs the Figure 5 experiment on worker threads, with closed-form
+/// modularity.
+///
+/// The random baseline is drawn with
+/// [`size_matched_random_walk_sets_parallel`], whose per-walk RNG streams
+/// depend only on `root_seed` and the walk index, and both batches are
+/// scored by [`ParallelScorer`] — so the result is a pure function of
+/// `(dataset, root_seed)`, identical for every `threads` value.
+///
+/// Unlike [`circles_vs_random`], this path does not support the sampled
+/// (Viger–Latapy) modularity null model: ensemble sampling is a
+/// sequential RNG consumer.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn circles_vs_random_parallel(
+    dataset: &SynthDataset,
+    root_seed: u64,
+    threads: usize,
+) -> CirclesVsRandom {
+    let sizes = dataset.group_sizes();
+    let random_sets =
+        size_matched_random_walk_sets_parallel(&dataset.graph, &sizes, root_seed, threads);
+    let scorer = ParallelScorer::with_threads(&dataset.graph, threads);
+    let circle_table = scorer.score_table(&ScoringFunction::PAPER, &dataset.groups);
+    let random_table = scorer.score_table(&ScoringFunction::PAPER, &random_sets);
+    let rows_of = |table: &ScoreTable| -> Vec<[f64; 4]> {
+        (0..table.set_count())
+            .map(|i| {
+                let row = table.row(i);
+                [row[0], row[1], row[2], row[3]]
+            })
+            .collect()
+    };
+    assemble_circles_vs_random(
+        dataset.name.clone(),
+        &rows_of(&circle_table),
+        &rows_of(&random_table),
+    )
+}
+
+/// Builds the [`CirclesVsRandom`] report from per-set score rows (in
+/// [`ScoringFunction::PAPER`] order) — shared by the sequential and
+/// parallel Figure 5 paths.
+fn assemble_circles_vs_random(
+    dataset: String,
+    circle_rows: &[[f64; 4]],
+    random_rows: &[[f64; 4]],
+) -> CirclesVsRandom {
     let mut per_function = Vec::with_capacity(4);
     for (i, &function) in ScoringFunction::PAPER.iter().enumerate() {
         let circle_scores: Vec<f64> = circle_rows.iter().map(|r| r[i]).collect();
@@ -159,7 +211,7 @@ pub fn circles_vs_random<R: Rng + ?Sized>(
     };
 
     CirclesVsRandom {
-        dataset: dataset.name.clone(),
+        dataset,
         per_function,
         ratio_cut_below_random_median,
         modularity_significant_fraction,
@@ -224,10 +276,48 @@ pub fn score_groups(dataset: &SynthDataset) -> DatasetScores {
     }
 }
 
+/// Like [`score_groups`], but evaluates the groups on `threads` worker
+/// threads. Scoring is deterministic, so the result equals the sequential
+/// one exactly.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn score_groups_parallel(dataset: &SynthDataset, threads: usize) -> DatasetScores {
+    let scorer = ParallelScorer::with_threads(&dataset.graph, threads);
+    let table = scorer.score_table(&ScoringFunction::PAPER, &dataset.groups);
+    let per_function = ScoringFunction::PAPER
+        .iter()
+        .map(|&f| {
+            let scores = table.column(f).expect("function was scored");
+            let summary = Summary::from_slice(&scores);
+            (f, scores, summary)
+        })
+        .collect();
+    DatasetScores {
+        name: dataset.name.clone(),
+        kind: dataset.kind,
+        per_function,
+    }
+}
+
 /// The Figure 6 experiment: the paper's four functions across several data
 /// sets (two circle-type, two community-type in the paper).
 pub fn compare_datasets(datasets: &[&SynthDataset]) -> Vec<DatasetScores> {
     datasets.iter().map(|ds| score_groups(ds)).collect()
+}
+
+/// [`compare_datasets`] with each data set's groups scored on `threads`
+/// worker threads; bit-identical to the sequential variant.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn compare_datasets_parallel(datasets: &[&SynthDataset], threads: usize) -> Vec<DatasetScores> {
+    datasets
+        .iter()
+        .map(|ds| score_groups_parallel(ds, threads))
+        .collect()
 }
 
 /// Table III: summary rows of the evaluated data sets.
@@ -266,6 +356,8 @@ impl EgoOverlapMatrix {
 }
 
 /// Computes the pairwise ego-overlap structure of Figure 1.
+// Index loops express the symmetric fill more clearly than iterators here.
+#[allow(clippy::needless_range_loop)]
 pub fn ego_overlap_matrix(dataset: &SynthDataset) -> EgoOverlapMatrix {
     let k = dataset.egos.len();
     let mut shared = vec![vec![0u32; k]; k];
@@ -805,6 +897,36 @@ mod tests {
             relative_deviation(a, b) < 0.5,
             "closed {a} vs sampled {b} modularity diverge"
         );
+    }
+
+    #[test]
+    fn fig5_parallel_is_thread_count_invariant() {
+        let ds = tiny_gplus();
+        let reference = circles_vs_random_parallel(&ds, 17, 1);
+        for threads in [2usize, 3, 8] {
+            let got = circles_vs_random_parallel(&ds, 17, threads);
+            assert_eq!(
+                format!("{reference:?}"),
+                format!("{got:?}"),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig6_parallel_matches_sequential() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let gp = tiny_gplus();
+        let lj = presets::livejournal().scaled(0.001).generate(&mut rng);
+        let sequential = compare_datasets(&[&gp, &lj]);
+        for threads in [1usize, 2, 7] {
+            let parallel = compare_datasets_parallel(&[&gp, &lj], threads);
+            assert_eq!(
+                format!("{sequential:?}"),
+                format!("{parallel:?}"),
+                "threads={threads}"
+            );
+        }
     }
 
     #[test]

@@ -118,9 +118,12 @@ pub fn louvain<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Vec<VertexSet> {
             let mut moved = false;
             for &v in &order {
                 let current = community[v];
-                // Weight from v to each adjacent community.
-                let mut to_comm: std::collections::HashMap<u32, f64> =
-                    std::collections::HashMap::new();
+                // Weight from v to each adjacent community. BTreeMap, not
+                // HashMap: the best-gain scan below iterates the keys, and
+                // per-instance hash seeds would make tie-breaking (and thus
+                // the whole run) nondeterministic under a fixed RNG.
+                let mut to_comm: std::collections::BTreeMap<u32, f64> =
+                    std::collections::BTreeMap::new();
                 for &(w, weight) in &adjacency[v] {
                     to_comm
                         .entry(community[w as usize])
@@ -174,8 +177,10 @@ pub fn louvain<R: Rng + ?Sized>(graph: &Graph, rng: &mut R) -> Vec<VertexSet> {
         // Aggregate: new adjacency/self-loops/membership.
         let mut new_members: Vec<Vec<NodeId>> = vec![Vec::new(); new_count];
         let mut new_self: Vec<f64> = vec![0.0; new_count];
-        let mut edge_weights: std::collections::HashMap<(u32, u32), f64> =
-            std::collections::HashMap::new();
+        // BTreeMap so the aggregated adjacency lists come out in sorted
+        // order; their order feeds the next level's float accumulation.
+        let mut edge_weights: std::collections::BTreeMap<(u32, u32), f64> =
+            std::collections::BTreeMap::new();
         for v in 0..count {
             let cv = relabel[&community[v]];
             new_members[cv as usize].append(&mut members[v]);

@@ -156,8 +156,8 @@ mod tests {
         let b = betweenness(&g, Direction::Both);
         // Hub: C(5,2) = 10 pairs pass through.
         assert_eq!(b[0], 10.0);
-        for v in 1..6 {
-            assert_eq!(b[v], 0.0);
+        for &x in &b[1..6] {
+            assert_eq!(x, 0.0);
         }
     }
 

@@ -23,7 +23,7 @@ use rand::Rng;
 ///
 /// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
 pub fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
-    assert!(k % 2 == 0, "k must be even");
+    assert!(k.is_multiple_of(2), "k must be even");
     assert!(k < n, "k must be below n");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut b = GraphBuilder::undirected();

@@ -16,7 +16,7 @@ use rand::Rng;
 pub fn configuration_model<R: Rng + ?Sized>(degrees: &[usize], rng: &mut R) -> Graph {
     let mut stubs: Vec<NodeId> = Vec::with_capacity(degrees.iter().sum());
     for (v, &d) in degrees.iter().enumerate() {
-        stubs.extend(std::iter::repeat(v as NodeId).take(d));
+        stubs.extend(std::iter::repeat_n(v as NodeId, d));
     }
     stubs.shuffle(rng);
     let mut b = GraphBuilder::undirected();
@@ -52,8 +52,8 @@ pub fn directed_configuration_model<R: Rng + ?Sized>(
     let mut out_stubs: Vec<NodeId> = Vec::new();
     let mut in_stubs: Vec<NodeId> = Vec::new();
     for (v, (&od, &id)) in out_degrees.iter().zip(in_degrees).enumerate() {
-        out_stubs.extend(std::iter::repeat(v as NodeId).take(od));
-        in_stubs.extend(std::iter::repeat(v as NodeId).take(id));
+        out_stubs.extend(std::iter::repeat_n(v as NodeId, od));
+        in_stubs.extend(std::iter::repeat_n(v as NodeId, id));
     }
     out_stubs.shuffle(rng);
     in_stubs.shuffle(rng);

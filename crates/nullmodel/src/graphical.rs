@@ -36,7 +36,7 @@ impl Error for NonGraphicalError {}
 pub fn is_graphical(degrees: &[usize]) -> bool {
     let n = degrees.len();
     let sum: u64 = degrees.iter().map(|&d| d as u64).sum();
-    if sum % 2 != 0 {
+    if !sum.is_multiple_of(2) {
         return false;
     }
     if degrees.iter().any(|&d| d >= n.max(1)) {

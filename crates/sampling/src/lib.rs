@@ -24,7 +24,7 @@
 
 use circlekit_graph::{Direction, Graph, NodeId, VertexSet};
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// Samples a vertex set of exactly `size` vertices by random walking
@@ -224,6 +224,90 @@ pub fn size_matched_random_walk_sets<R: Rng + ?Sized>(
         .collect()
 }
 
+/// Derives the RNG seed of walk `index` from `root_seed` (a SplitMix64
+/// finalizer over the pair). Each walk gets its own stream, so the sample
+/// for a given `(root_seed, index)` does not depend on which thread — or
+/// how many threads — produced it.
+fn stream_seed(root_seed: u64, index: u64) -> u64 {
+    let mut z = root_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Like [`size_matched_random_walk_sets`], but each walk draws from its
+/// own RNG stream derived from `root_seed` and the walk's index. This is
+/// the sequential reference for
+/// [`size_matched_random_walk_sets_parallel`], which produces identical
+/// output for every thread count.
+pub fn size_matched_random_walk_sets_seeded(
+    graph: &Graph,
+    sizes: &[usize],
+    root_seed: u64,
+) -> Vec<VertexSet> {
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(stream_seed(root_seed, i as u64));
+            random_walk_set(graph, s, &mut rng)
+        })
+        .collect()
+}
+
+/// Samples the size-matched random-walk baseline on `threads` scoped
+/// worker threads, one independent chunk of walks per worker.
+///
+/// Per-walk RNG streams are keyed by `(root_seed, walk index)` alone, so
+/// the output is identical to [`size_matched_random_walk_sets_seeded`]
+/// regardless of `threads` — parallelism changes wall-clock time, never
+/// the sample.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or if the graph is empty and some size is
+/// positive.
+pub fn size_matched_random_walk_sets_parallel(
+    graph: &Graph,
+    sizes: &[usize],
+    root_seed: u64,
+    threads: usize,
+) -> Vec<VertexSet> {
+    assert!(threads > 0, "need at least one thread");
+    if sizes.is_empty() {
+        return Vec::new();
+    }
+    let chunk_size = sizes.len().div_ceil(threads).max(1);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = sizes
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(chunk_index, chunk)| {
+                scope.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(offset, &s)| {
+                            let index = (chunk_index * chunk_size + offset) as u64;
+                            let mut rng = rand::rngs::SmallRng::seed_from_u64(stream_seed(
+                                root_seed, index,
+                            ));
+                            random_walk_set(graph, s, &mut rng)
+                        })
+                        .collect::<Vec<VertexSet>>()
+                })
+            })
+            .collect();
+        // Joining in spawn order restores input order.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sampling worker panicked"))
+            .collect()
+    })
+    .expect("sampling scope panicked")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,6 +460,53 @@ mod tests {
         assert_eq!(sets.len(), 3);
         for (set, &s) in sets.iter().zip(&sizes) {
             assert_eq!(set.len(), s);
+        }
+    }
+
+    #[test]
+    fn seeded_sets_are_reproducible_and_size_matched() {
+        let g = ring(60);
+        let sizes = [3usize, 10, 25, 0, 60];
+        let a = size_matched_random_walk_sets_seeded(&g, &sizes, 99);
+        let b = size_matched_random_walk_sets_seeded(&g, &sizes, 99);
+        assert_eq!(a, b);
+        for (set, &s) in a.iter().zip(&sizes) {
+            assert_eq!(set.len(), s.min(60));
+        }
+        // A different root seed gives a different sample.
+        let c = size_matched_random_walk_sets_seeded(&g, &sizes, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_sets_invariant_to_thread_count() {
+        let g = ring(80);
+        let sizes: Vec<usize> = (0..37).map(|i| 1 + i % 12).collect();
+        let reference = size_matched_random_walk_sets_seeded(&g, &sizes, 7);
+        for threads in [1usize, 2, 3, 8, 64] {
+            let got = size_matched_random_walk_sets_parallel(&g, &sizes, 7, threads);
+            assert_eq!(reference, got, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sets_empty_batch() {
+        let g = ring(10);
+        assert!(size_matched_random_walk_sets_parallel(&g, &[], 1, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn parallel_sets_reject_zero_threads() {
+        let g = ring(10);
+        size_matched_random_walk_sets_parallel(&g, &[3], 1, 0);
+    }
+
+    #[test]
+    fn stream_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen.insert(stream_seed(2014, i)), "collision at index {i}");
         }
     }
 }

@@ -40,10 +40,12 @@
 
 mod functions;
 mod goodness;
+mod parallel;
 mod scorer;
 mod set_stats;
 
 pub use functions::{Category, ScoringFunction};
 pub use goodness::{goodness, Goodness};
+pub use parallel::{default_threads, ParallelScorer};
 pub use scorer::{ScoreTable, Scorer};
 pub use set_stats::SetStats;

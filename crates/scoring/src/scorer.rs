@@ -1,7 +1,7 @@
 //! Batch scoring of many vertex sets against one graph.
 
 use crate::set_stats::median_degree;
-use crate::{ScoringFunction, SetStats};
+use crate::{ParallelScorer, ScoringFunction, SetStats};
 use circlekit_graph::{Graph, VertexSet};
 
 /// Scores vertex sets against a fixed graph, amortising graph-level
@@ -75,10 +75,10 @@ impl<'g> Scorer<'g> {
     }
 
     /// Like [`Scorer::score_table`], but fans the sets out over `threads`
-    /// worker threads. Set statistics are independent per set, so the
-    /// result is identical to the sequential table; use this for corpora
-    /// with thousands of large groups (the paper's top-5000 community
-    /// lists).
+    /// worker threads by delegating to [`ParallelScorer`]. Set statistics
+    /// are independent per set, so the result is identical to the
+    /// sequential table; use this for corpora with thousands of large
+    /// groups (the paper's top-5000 community lists).
     ///
     /// # Panics
     ///
@@ -89,34 +89,8 @@ impl<'g> Scorer<'g> {
         sets: &[VertexSet],
         threads: usize,
     ) -> ScoreTable {
-        assert!(threads > 0, "need at least one thread");
-        let graph = self.graph;
-        let median = self.median_degree;
-        let chunk = sets.len().div_ceil(threads).max(1);
-        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(sets.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = sets
-                .chunks(chunk)
-                .map(|chunk_sets| {
-                    scope.spawn(move || {
-                        chunk_sets
-                            .iter()
-                            .map(|set| {
-                                let stats = SetStats::compute(graph, set, median);
-                                functions.iter().map(|f| f.score(&stats)).collect::<Vec<f64>>()
-                            })
-                            .collect::<Vec<Vec<f64>>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                rows.extend(h.join().expect("scoring worker panicked"));
-            }
-        });
-        ScoreTable {
-            functions: functions.to_vec(),
-            rows,
-        }
+        ParallelScorer::with_precomputed(self.graph, self.median_degree, threads)
+            .score_table(functions, sets)
     }
 }
 
@@ -132,6 +106,11 @@ pub struct ScoreTable {
 }
 
 impl ScoreTable {
+    /// Assembles a table from its columns' functions and per-set rows.
+    pub(crate) fn from_parts(functions: Vec<ScoringFunction>, rows: Vec<Vec<f64>>) -> ScoreTable {
+        ScoreTable { functions, rows }
+    }
+
     /// The scored functions, in column order.
     pub fn functions(&self) -> &[ScoringFunction] {
         &self.functions

@@ -1,7 +1,7 @@
 //! Property tests for scoring invariants.
 
 use circlekit_graph::{Graph, GraphBuilder, VertexSet};
-use circlekit_scoring::{Scorer, ScoringFunction};
+use circlekit_scoring::{ParallelScorer, Scorer, ScoringFunction};
 use proptest::prelude::*;
 
 const MAX_NODE: u32 = 30;
@@ -134,6 +134,74 @@ proptest! {
         // modularity is 0.
         let v = ScoringFunction::Modularity.score(&stats);
         prop_assert!(v.abs() < 1e-9, "modularity of full graph = {v}");
+    }
+
+    #[test]
+    fn edge_partition_counts_each_edge_once((edges, picks, directed) in graph_and_set()) {
+        // Every edge is internal to C, internal to V\C, or crosses the
+        // boundary — and c_C counts each crossing edge exactly once, for
+        // both edge conventions.
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let complement: VertexSet = (0..g.node_count() as u32)
+            .filter(|&v| !set.contains(v))
+            .collect();
+        let mut scorer = Scorer::new(&g);
+        let a = scorer.stats(&set);
+        let b = scorer.stats(&complement);
+        prop_assert_eq!(a.c_c, b.c_c);
+        prop_assert_eq!(a.m_c + b.m_c + a.c_c, g.edge_count());
+    }
+
+    #[test]
+    fn internal_edges_bounded_by_graph_edges((edges, picks, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&set);
+        prop_assert!(stats.m_c <= stats.m);
+        prop_assert!(stats.m_c <= stats.possible_internal_edges().max(stats.m_c));
+        prop_assert_eq!(stats.m, g.edge_count());
+    }
+
+    #[test]
+    fn odf_ordering_and_bounds((edges, picks, directed) in graph_and_set()) {
+        // Each member's out-degree fraction lies in [0, 1], so the mean
+        // cannot exceed the max.
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&set);
+        prop_assert!(stats.avg_odf >= 0.0);
+        prop_assert!(stats.avg_odf <= stats.max_odf + 1e-12,
+            "avg_odf {} > max_odf {}", stats.avg_odf, stats.max_odf);
+        prop_assert!(stats.max_odf <= 1.0);
+        prop_assert!((0.0..=1.0).contains(&stats.flake_odf));
+    }
+
+    #[test]
+    fn fomd_and_tpr_numerators_bounded_by_members((edges, picks, directed) in graph_and_set()) {
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let mut scorer = Scorer::new(&g);
+        let stats = scorer.stats(&set);
+        prop_assert!(stats.above_median_internal <= stats.n_c);
+        prop_assert!(stats.in_internal_triangle <= stats.n_c);
+        prop_assert_eq!(stats.n_c, set.len());
+    }
+
+    #[test]
+    fn parallel_scorer_equals_serial(
+        (edges, _, directed) in graph_and_set(),
+        sets in prop::collection::vec(prop::collection::vec(0..MAX_NODE, 0..10), 0..12),
+        threads in 1usize..6,
+    ) {
+        let g = build(edges, directed);
+        let sets: Vec<VertexSet> = sets.into_iter().map(VertexSet::from_vec).collect();
+        let mut serial = Scorer::new(&g);
+        let expected = serial.score_table(&ScoringFunction::ALL, &sets);
+        let parallel = ParallelScorer::with_threads(&g, threads);
+        prop_assert_eq!(expected, parallel.score_table(&ScoringFunction::ALL, &sets));
     }
 
     #[test]

@@ -111,7 +111,13 @@ impl Ecdf {
         }
         (0..count)
             .map(|i| {
-                let x = lo + (hi - lo) * i as f64 / (count - 1) as f64;
+                // Pin the endpoint: `lo + (hi - lo)` can round below `hi`,
+                // which would leave the sampled CDF short of 1.0.
+                let x = if i == count - 1 {
+                    hi
+                } else {
+                    lo + (hi - lo) * i as f64 / (count - 1) as f64
+                };
                 (x, self.eval(x))
             })
             .collect()

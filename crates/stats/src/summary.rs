@@ -67,8 +67,11 @@ impl Summary {
         }
     }
 
+}
+
+impl FromIterator<f64> for Summary {
     /// Summarises an iterator of values.
-    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Summary {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Summary {
         let values: Vec<f64> = iter.into_iter().collect();
         Summary::from_slice(&values)
     }

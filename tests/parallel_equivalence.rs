@@ -1,0 +1,218 @@
+//! Serial-equivalence harness for the parallel batch-scoring engine.
+//!
+//! Parallelism must never change results: every parallel entry point is
+//! required to produce output *bit-identical* to its sequential
+//! counterpart at any thread count. These tests pin that contract at
+//! every layer — raw scoring, score tables, random-walk sampling, and
+//! the Figure 5/6 experiment drivers.
+
+use circlekit::experiments::{
+    circles_vs_random_parallel, compare_datasets, compare_datasets_parallel,
+};
+use circlekit::synth::presets;
+use circlekit_graph::{Graph, VertexSet};
+use circlekit_sampling::{
+    size_matched_random_walk_sets_parallel, size_matched_random_walk_sets_seeded,
+};
+use circlekit_scoring::{ParallelScorer, Scorer, ScoringFunction};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 7];
+
+/// A graph with heterogeneous structure: two triangles bridged by a path,
+/// plus an isolated vertex.
+fn fixture_graph() -> Graph {
+    let mut b = circlekit_graph::GraphBuilder::undirected();
+    b.add_edges([
+        (0u32, 1u32),
+        (0, 2),
+        (1, 2),
+        (3, 4),
+        (4, 5),
+        (3, 5),
+        (2, 6),
+        (6, 3),
+    ]);
+    b.reserve_nodes(8); // vertex 7 is isolated
+    b.build()
+}
+
+fn fixture_batch(g: &Graph) -> Vec<VertexSet> {
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut sets: Vec<VertexSet> = vec![
+        (0u32..3).collect(),
+        (3u32..6).collect(),
+        VertexSet::from_vec(vec![2, 6, 3]),
+        VertexSet::from_vec(vec![7]),
+        (0u32..g.node_count() as u32).collect(),
+    ];
+    // Pad with random-walk sets so chunks are non-trivial at 7 threads.
+    let sizes: Vec<usize> = (0..20).map(|i| 1 + i % 6).collect();
+    sets.extend(
+        sizes
+            .iter()
+            .map(|&s| circlekit_sampling::random_walk_set(g, s, &mut rng)),
+    );
+    sets
+}
+
+#[test]
+fn score_sets_bit_identical_for_all_paper_functions() {
+    let g = fixture_graph();
+    let sets = fixture_batch(&g);
+    let mut serial = Scorer::new(&g);
+    for function in ScoringFunction::PAPER {
+        let expected = serial.score_sets(function, &sets);
+        for threads in THREAD_COUNTS {
+            let parallel = ParallelScorer::with_threads(&g, threads);
+            let got = parallel.score_sets(function, &sets);
+            // Exact bit equality, not approximate: the parallel path must
+            // evaluate the very same float operations per set.
+            let expected_bits: Vec<u64> = expected.iter().map(|x| x.to_bits()).collect();
+            let got_bits: Vec<u64> = got.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(expected_bits, got_bits, "{function} at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn score_table_bit_identical_across_thread_counts() {
+    let g = fixture_graph();
+    let sets = fixture_batch(&g);
+    let mut serial = Scorer::new(&g);
+    let expected = serial.score_table(&ScoringFunction::ALL, &sets);
+    for threads in THREAD_COUNTS {
+        let parallel = ParallelScorer::with_threads(&g, threads);
+        assert_eq!(
+            expected,
+            parallel.score_table(&ScoringFunction::ALL, &sets),
+            "threads={threads}"
+        );
+        assert_eq!(
+            expected,
+            serial.score_table_parallel(&ScoringFunction::ALL, &sets, threads),
+            "delegated threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn stats_batch_matches_serial_stats() {
+    let g = fixture_graph();
+    let sets = fixture_batch(&g);
+    let mut serial = Scorer::new(&g);
+    let expected: Vec<_> = sets.iter().map(|s| serial.stats(s)).collect();
+    for threads in THREAD_COUNTS {
+        let parallel = ParallelScorer::with_threads(&g, threads);
+        assert_eq!(expected, parallel.stats_batch(&sets), "threads={threads}");
+    }
+}
+
+#[test]
+fn random_walk_sampling_invariant_to_thread_count() {
+    let g = fixture_graph();
+    let sizes: Vec<usize> = (0..33).map(|i| i % 8).collect();
+    for root_seed in [0u64, 7, u64::MAX] {
+        let reference = size_matched_random_walk_sets_seeded(&g, &sizes, root_seed);
+        for threads in THREAD_COUNTS {
+            let got = size_matched_random_walk_sets_parallel(&g, &sizes, root_seed, threads);
+            assert_eq!(reference, got, "seed={root_seed} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn empty_batch_both_paths() {
+    let g = fixture_graph();
+    let mut serial = Scorer::new(&g);
+    let empty: [VertexSet; 0] = [];
+    assert!(serial
+        .score_sets(ScoringFunction::Conductance, &empty)
+        .is_empty());
+    for threads in THREAD_COUNTS {
+        let parallel = ParallelScorer::with_threads(&g, threads);
+        assert!(parallel
+            .score_sets(ScoringFunction::Conductance, &empty)
+            .is_empty());
+        assert_eq!(
+            parallel.score_table(&ScoringFunction::PAPER, &empty).set_count(),
+            0
+        );
+        assert!(size_matched_random_walk_sets_parallel(&g, &[], 1, threads).is_empty());
+    }
+}
+
+#[test]
+fn singleton_sets_both_paths() {
+    let g = fixture_graph();
+    // One singleton per vertex, including the isolated vertex 7.
+    let sets: Vec<VertexSet> = (0..g.node_count() as u32)
+        .map(|v| VertexSet::from_vec(vec![v]))
+        .collect();
+    let mut serial = Scorer::new(&g);
+    let expected = serial.score_table(&ScoringFunction::ALL, &sets);
+    for threads in THREAD_COUNTS {
+        let parallel = ParallelScorer::with_threads(&g, threads);
+        assert_eq!(
+            expected,
+            parallel.score_table(&ScoringFunction::ALL, &sets),
+            "threads={threads}"
+        );
+    }
+    // Sanity: a singleton has no internal edges anywhere in the table.
+    assert_eq!(
+        expected.column(ScoringFunction::EdgesInside).unwrap(),
+        vec![0.0; sets.len()]
+    );
+}
+
+#[test]
+fn whole_vertex_set_both_paths() {
+    let g = fixture_graph();
+    let whole: VertexSet = (0..g.node_count() as u32).collect();
+    let sets = vec![whole];
+    let mut serial = Scorer::new(&g);
+    let expected = serial.score_table(&ScoringFunction::ALL, &sets);
+    for threads in THREAD_COUNTS {
+        let parallel = ParallelScorer::with_threads(&g, threads);
+        let got = parallel.score_table(&ScoringFunction::ALL, &sets);
+        assert_eq!(expected, got, "threads={threads}");
+    }
+    // The whole vertex set has an empty boundary.
+    assert_eq!(expected.column(ScoringFunction::Conductance).unwrap()[0], 0.0);
+    assert_eq!(expected.column(ScoringFunction::Expansion).unwrap()[0], 0.0);
+}
+
+#[test]
+fn fig5_pipeline_thread_count_invariant_on_synth_data() {
+    let dataset = presets::google_plus()
+        .scaled(0.004)
+        .generate(&mut SmallRng::seed_from_u64(2014));
+    let reference = circles_vs_random_parallel(&dataset, 11, 1);
+    for threads in [2usize, 7] {
+        let got = circles_vs_random_parallel(&dataset, 11, threads);
+        // Debug formatting captures every float exactly enough: `{:?}`
+        // prints the shortest representation that round-trips.
+        assert_eq!(format!("{reference:?}"), format!("{got:?}"), "threads={threads}");
+    }
+}
+
+#[test]
+fn fig6_pipeline_matches_sequential_on_synth_data() {
+    let gp = presets::google_plus()
+        .scaled(0.004)
+        .generate(&mut SmallRng::seed_from_u64(2014));
+    let lj = presets::livejournal()
+        .scaled(0.001)
+        .generate(&mut SmallRng::seed_from_u64(2015));
+    let sequential = compare_datasets(&[&gp, &lj]);
+    for threads in THREAD_COUNTS {
+        let parallel = compare_datasets_parallel(&[&gp, &lj], threads);
+        assert_eq!(
+            format!("{sequential:?}"),
+            format!("{parallel:?}"),
+            "threads={threads}"
+        );
+    }
+}

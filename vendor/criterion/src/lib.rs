@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the `Criterion` / `benchmark_group` / `bench_function` /
+//! `Bencher::iter` API the workspace's benches use, backed by a simple
+//! wall-clock measurement loop: a short warmup estimates per-iteration
+//! cost, then `sample_size` samples are timed and min/median/mean are
+//! printed. No statistical analysis, plots, or baseline comparison.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 100;
+const WARMUP_TARGET: Duration = Duration::from_millis(300);
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// The benchmark harness entry point.
+#[derive(Debug)]
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warmup: run until the target warmup time passes, doubling the
+        // iteration count, to estimate per-iteration cost.
+        let mut iters = 1u64;
+        let per_iter = loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            routine(&mut b);
+            if b.elapsed >= WARMUP_TARGET || iters >= 1 << 20 {
+                break b.elapsed.as_secs_f64() / iters as f64;
+            }
+            iters = iters.saturating_mul(2);
+        };
+
+        // Pick an iteration count per sample aiming at SAMPLE_TARGET.
+        let sample_iters = if per_iter > 0.0 {
+            ((SAMPLE_TARGET.as_secs_f64() / per_iter).ceil() as u64).max(1)
+        } else {
+            1
+        };
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+            routine(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{}/{:<24} time: [min {} median {} mean {}] ({} samples x {} iters)",
+            self.name,
+            id,
+            format_seconds(min),
+            format_seconds(median),
+            format_seconds(mean),
+            samples.len(),
+            sample_iters,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn format_seconds(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Declares a function running the given benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; this harness
+            // has no options, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(format_seconds(2.5), "2.500 s");
+        assert_eq!(format_seconds(0.0025), "2.500 ms");
+        assert_eq!(format_seconds(2.5e-6), "2.500 us");
+        assert_eq!(format_seconds(2.5e-9), "2.5 ns");
+    }
+}

@@ -1,0 +1,110 @@
+//! Offline stand-in for the `crossbeam` crate: the scoped-thread API,
+//! implemented on top of `std::thread::scope` (stable since 1.63).
+
+pub use crate::thread::scope;
+
+pub mod thread {
+    //! Scoped threads mirroring `crossbeam::thread`.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A handle to a scope in which borrowed-data threads can be spawned.
+    ///
+    /// Copyable so closures can re-spawn from within workers, like
+    /// crossbeam's `&Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope again
+        /// so it can spawn further threads, matching crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(scope)),
+            }
+        }
+    }
+
+    /// Owned handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the caller.
+    ///
+    /// Returns `Ok(result)` if the closure completed, or `Err(payload)`
+    /// if it (not a spawned thread that was joined and handled)
+    /// panicked. Panics from unjoined spawned threads propagate as with
+    /// `std::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = [1u64, 2, 3, 4];
+            let total = super::scope(|s| {
+                let mid = data.len() / 2;
+                let (left, right) = data.split_at(mid);
+                let h1 = s.spawn(move |_| left.iter().sum::<u64>());
+                let h2 = s.spawn(move |_| right.iter().sum::<u64>());
+                h1.join().unwrap() + h2.join().unwrap()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn panics_surface_as_err() {
+            let result = super::scope(|s| {
+                let h = s.spawn(|_| panic!("worker died"));
+                // Propagate like callers that unwrap joins do.
+                if h.join().is_err() {
+                    panic!("worker died");
+                }
+            });
+            assert!(result.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let n = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 7u32).join().unwrap())
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(n, 7);
+        }
+    }
+}

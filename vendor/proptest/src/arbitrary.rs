@@ -1,0 +1,33 @@
+//! `any::<T>()` — the "whole domain of `T`" strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::distributions::{Distribution, Standard};
+use rand::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Strategy generating uniformly over all of `T` (floats: `[0, 1)`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Any<T>(PhantomData<T>);
+
+/// Creates the [`Any`] strategy for `T`.
+pub fn any<T>() -> Any<T>
+where
+    T: Debug,
+    Standard: Distribution<T>,
+{
+    Any(PhantomData)
+}
+
+impl<T> Strategy for Any<T>
+where
+    T: Debug,
+    Standard: Distribution<T>,
+{
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy/`proptest!` API subset the workspace's
+//! property tests use: range and `any::<T>()` strategies, tuples,
+//! `prop::collection::vec`, `.prop_map`, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, and `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//!
+//! Differences from real proptest: cases are generated from a fixed
+//! seeded [`test_runner::TestRng`] (fully deterministic run-to-run) and
+//! there is **no shrinking** — a failure reports the raw generated
+//! inputs instead of a minimized counterexample.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+use std::fmt::Debug;
+
+#[doc(hidden)]
+pub fn __run_proptest<S: strategy::Strategy>(
+    config: test_runner::Config,
+    name: &str,
+    strategy: S,
+    mut run: impl FnMut(S::Value) -> Result<(), test_runner::TestCaseError>,
+) {
+    use rand::SeedableRng;
+
+    let mut executed = 0u32;
+    let mut attempts = 0u64;
+    let mut rejected = 0u64;
+    while executed < config.cases {
+        if rejected > 16 * u64::from(config.cases) + 1024 {
+            panic!(
+                "proptest `{name}`: gave up after {rejected} rejected cases \
+                 ({executed}/{} executed)",
+                config.cases
+            );
+        }
+        // One independent, deterministic stream per attempt.
+        let mut rng =
+            test_runner::TestRng::seed_from_u64(0xC1C1_E007_0000_0000u64 ^ attempts);
+        attempts += 1;
+        let values = strategy.new_value(&mut rng);
+        let rendered = render_inputs(&values);
+        match run(values) {
+            Ok(()) => executed += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => rejected += 1,
+            Err(test_runner::TestCaseError::Fail(msg)) => panic!(
+                "proptest `{name}` failed at case {executed}: {msg}\n\
+                 inputs: {rendered}\n\
+                 (vendored proptest: no shrinking; inputs shown verbatim)"
+            ),
+        }
+    }
+}
+
+fn render_inputs<T: Debug>(values: &T) -> String {
+    let full = format!("{values:?}");
+    if full.len() > 4096 {
+        format!("{}… ({} chars total)", &full[..4096], full.len())
+    } else {
+        full
+    }
+}
+
+/// Defines deterministic property tests over strategy-generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!($crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            $crate::__run_proptest(
+                $cfg,
+                stringify!($name),
+                ($($strat,)+),
+                |values| {
+                    let ($($arg,)+) = values;
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// Asserts a condition, failing the current case (not the process) so
+/// the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?} == {:?}`: {}",
+            left,
+            right,
+            ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts inequality, reporting both values on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?} != {:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not counted as a
+/// failure) when a generated input does not meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(
+                    ::std::string::String::from(stringify!($cond)),
+                ),
+            );
+        }
+    };
+}

@@ -1,0 +1,47 @@
+//! Runner configuration and per-case outcomes.
+
+/// The RNG driving input generation — deterministic per (test, case).
+pub type TestRng = rand::rngs::SmallRng;
+
+/// Runner configuration. Only `cases` is supported.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of (non-rejected) cases to execute per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Real proptest defaults to 256; match it so property coverage
+        // is comparable.
+        Config { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The property did not hold; the message explains how.
+    Fail(String),
+    /// The input did not satisfy a `prop_assume!` precondition.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure outcome.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Creates a rejection outcome.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}

@@ -1,0 +1,240 @@
+//! Distributions and uniform range sampling.
+
+use crate::Rng;
+use crate::RngCore;
+use core::ops::{Range, RangeInclusive};
+
+/// A distribution of values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one sample using `rng`.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution for a type: uniform over all values for
+/// integers and `bool`, uniform over `[0, 1)` for floats.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty => $next:ident),* $(,)?) => {
+        $(impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.$next() as $t
+            }
+        })*
+    };
+}
+
+standard_int!(
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+);
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    /// Uniform in `[0, 1)` with the full 53 bits of mantissa precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    /// Uniform in `[0, 1)` with 24 bits of mantissa precision.
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+    /// Samples uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Draws a `u64` uniformly from `[0, bound]` using power-of-two masked
+/// rejection — unbiased and cheap for the small bounds graph code uses.
+#[inline]
+fn uniform_u64_inclusive<R: RngCore + ?Sized>(bound: u64, rng: &mut R) -> u64 {
+    if bound == u64::MAX {
+        return rng.next_u64();
+    }
+    let mask = u64::MAX >> (bound | 1).leading_zeros();
+    loop {
+        let v = rng.next_u64() & mask;
+        if v <= bound {
+            return v;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty as $wide:ty),* $(,)?) => {
+        $(impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64 - 1;
+                let offset = uniform_u64_inclusive(span, rng);
+                ((low as $wide).wrapping_add(offset as $wide)) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                let offset = uniform_u64_inclusive(span, rng);
+                ((low as $wide).wrapping_add(offset as $wide)) as $t
+            }
+        })*
+    };
+}
+
+uniform_int!(
+    u8 as u64,
+    u16 as u64,
+    u32 as u64,
+    u64 as u64,
+    usize as u64,
+    i8 as i64,
+    i16 as i64,
+    i32 as i64,
+    i64 as i64,
+    isize as i64,
+);
+
+macro_rules! uniform_float {
+    ($($t:ty),* $(,)?) => {
+        $(impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let f: $t = Standard.sample(rng);
+                let v = low + f * (high - low);
+                // Guard against rounding up to the open bound.
+                if v < high { v } else { <$t>::max(low, high - (high - low) * <$t>::EPSILON) }
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let f: $t = Standard.sample(rng);
+                low + f * (high - low)
+            }
+        })*
+    };
+}
+
+uniform_float!(f32, f64);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+/// Explicit uniform distribution over a range, mirroring
+/// `rand::distributions::Uniform`.
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+    inclusive: bool,
+}
+
+impl<T: SampleUniform + Copy> Uniform<T> {
+    /// Uniform over `[low, high)`.
+    pub fn new(low: T, high: T) -> Self {
+        Uniform { low, high, inclusive: false }
+    }
+
+    /// Uniform over `[low, high]`.
+    pub fn new_inclusive(low: T, high: T) -> Self {
+        Uniform { low, high, inclusive: true }
+    }
+}
+
+impl<T: SampleUniform + Copy> Distribution<T> for Uniform<T> {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T {
+        if self.inclusive {
+            T::sample_inclusive(self.low, self.high, rng)
+        } else {
+            T::sample_half_open(self.low, self.high, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn int_ranges_hit_every_value() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "not all of 0..5 sampled: {seen:?}");
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..500 {
+            match rng.gen_range(3u32..=4) {
+                3 => lo = true,
+                4 => hi = true,
+                other => panic!("out of range: {other}"),
+            }
+        }
+        assert!(lo && hi);
+    }
+
+    #[test]
+    fn degenerate_inclusive_range() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        assert_eq!(rng.gen_range(7u64..=7), 7);
+    }
+}

@@ -1,0 +1,123 @@
+//! Sequence-related randomness: shuffling and choosing from slices.
+
+use crate::Rng;
+
+/// Extension methods on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Returns one uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns an iterator over `amount` distinct elements chosen
+    /// uniformly without replacement (fewer if the slice is shorter).
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> SliceChooseIter<'_, T> {
+        let amount = amount.min(self.len());
+        // Partial Fisher–Yates over an index buffer: the first `amount`
+        // positions end up holding a uniform sample without replacement.
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        SliceChooseIter { slice: self, indices, next: 0 }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// Iterator returned by [`SliceRandom::choose_multiple`].
+#[derive(Debug)]
+pub struct SliceChooseIter<'a, T> {
+    slice: &'a [T],
+    indices: Vec<usize>,
+    next: usize,
+}
+
+impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        let idx = *self.indices.get(self.next)?;
+        self.next += 1;
+        Some(&self.slice[idx])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.indices.len() - self.next;
+        (rem, Some(rem))
+    }
+}
+
+impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_empty_is_none() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_capped() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let v: Vec<u32> = (0..10).collect();
+        let picked: Vec<u32> = v.choose_multiple(&mut rng, 4).copied().collect();
+        assert_eq!(picked.len(), 4);
+        let mut uniq = picked.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 4, "duplicates in sample: {picked:?}");
+
+        let over: Vec<u32> = v.choose_multiple(&mut rng, 99).copied().collect();
+        assert_eq!(over.len(), 10);
+    }
+}

@@ -1,0 +1,141 @@
+//! Offline stand-in for the `rand_distr` crate: just the two
+//! distributions the synth crate samples degree sequences from.
+
+pub use rand::distributions::Distribution;
+use rand::Rng;
+use std::fmt;
+
+/// Error constructing a distribution from invalid parameters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Error(&'static str);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Log-normal distribution: `exp(mu + sigma * Z)` with `Z` standard
+/// normal (sampled via Box–Muller).
+#[derive(Clone, Copy, Debug)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the mean and standard
+    /// deviation of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if !mu.is_finite() || !sigma.is_finite() || sigma < 0.0 {
+            return Err(Error("LogNormal requires finite mu and sigma >= 0"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; reject u1 == 0 so ln is finite.
+        let z = loop {
+            let u1: f64 = rng.gen();
+            let u2: f64 = rng.gen();
+            if u1 > 0.0 {
+                break (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+            }
+        };
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Zipf distribution over `{1, ..., n}` with exponent `s`: probability
+/// of `k` proportional to `k^-s`. Sampled by binary search over a
+/// precomputed cumulative table — fine for the `n <= 10_000` the synth
+/// generators use.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `{1, ..., n}` with exponent `s`.
+    pub fn new(n: u64, s: f64) -> Result<Self, Error> {
+        if n == 0 {
+            return Err(Error("Zipf requires n >= 1"));
+        }
+        if !s.is_finite() || s < 0.0 {
+            return Err(Error("Zipf requires finite exponent >= 0"));
+        }
+        let mut cumulative = Vec::with_capacity(n as usize);
+        let mut total = 0.0f64;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Ok(Zipf { cumulative })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen();
+        let idx = self.cumulative.partition_point(|&c| c < u);
+        (idx.min(self.cumulative.len() - 1) + 1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let dist = LogNormal::new(0.0, 0.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(31);
+        let mut log_sum = 0.0;
+        for _ in 0..4000 {
+            let v = dist.sample(&mut rng);
+            assert!(v > 0.0);
+            log_sum += v.ln();
+        }
+        let mean = log_sum / 4000.0;
+        assert!(mean.abs() < 0.1, "log-mean far from mu: {mean}");
+    }
+
+    #[test]
+    fn lognormal_rejects_bad_params() {
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn zipf_range_and_monotone_mass() {
+        let dist = Zipf::new(100, 1.5).unwrap();
+        let mut rng = SmallRng::seed_from_u64(32);
+        let mut count_one = 0usize;
+        let mut count_ten = 0usize;
+        for _ in 0..4000 {
+            let v = dist.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&v) && v.fract() == 0.0);
+            if v == 1.0 {
+                count_one += 1;
+            } else if v == 10.0 {
+                count_ten += 1;
+            }
+        }
+        assert!(count_one > count_ten, "rank 1 should dominate rank 10");
+    }
+
+    #[test]
+    fn zipf_rejects_bad_params() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+}

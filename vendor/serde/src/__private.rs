@@ -1,0 +1,38 @@
+//! Helpers invoked by `serde_derive`-generated code. Not public API.
+
+use crate::de::{DeserializeOwned, Error};
+use crate::value::{Value, ValueError};
+
+/// Unwraps a `Value::Map`, reporting the target type on mismatch.
+pub fn expect_map(value: Value, ty: &str) -> Result<Vec<(String, Value)>, ValueError> {
+    match value {
+        Value::Map(entries) => Ok(entries),
+        other => Err(ValueError::custom(format!(
+            "expected map for struct {ty}, found {other:?}"
+        ))),
+    }
+}
+
+/// Unwraps a `Value::Str` naming a unit enum variant.
+pub fn expect_variant(value: Value, ty: &str) -> Result<String, ValueError> {
+    match value {
+        Value::Str(name) => Ok(name),
+        other => Err(ValueError::custom(format!(
+            "expected string variant for enum {ty}, found {other:?}"
+        ))),
+    }
+}
+
+/// Removes and deserializes one named field from a struct map.
+pub fn take_field<T: DeserializeOwned>(
+    entries: &mut Vec<(String, Value)>,
+    ty: &str,
+    name: &str,
+) -> Result<T, ValueError> {
+    let idx = entries
+        .iter()
+        .position(|(key, _)| key == name)
+        .ok_or_else(|| ValueError::custom(format!("missing field `{name}` in struct {ty}")))?;
+    let (_, value) = entries.remove(idx);
+    T::deserialize(value)
+}

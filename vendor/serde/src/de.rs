@@ -1,0 +1,178 @@
+//! Deserialization traits and impls for std types.
+
+use crate::value::{Value, ValueError};
+use std::fmt::Display;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Creates an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can be deserialized.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source of serialized data. Everything funnels through one
+/// self-describing [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Produces the full value tree.
+    fn deserialize_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+impl<'de> Deserializer<'de> for Value {
+    type Error = ValueError;
+
+    fn deserialize_value(self) -> Result<Value, ValueError> {
+        Ok(self)
+    }
+}
+
+fn type_name(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) | Value::UInt(_) => "integer",
+        Value::Float(_) => "float",
+        Value::Str(_) => "string",
+        Value::Seq(_) => "sequence",
+        Value::Map(_) => "map",
+    }
+}
+
+fn unexpected<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("expected {expected}, found {}", type_name(got)))
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(unexpected("bool", &other)),
+        }
+    }
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {
+        $(impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let value = deserializer.deserialize_value()?;
+                let out = match &value {
+                    Value::UInt(u) => <$t>::try_from(*u).ok(),
+                    Value::Int(i) => <$t>::try_from(*i).ok(),
+                    _ => None,
+                };
+                out.ok_or_else(|| unexpected(stringify!($t), &value))
+            }
+        })*
+    };
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Float(x) => Ok(x),
+            Value::UInt(u) => Ok(u as f64),
+            Value::Int(i) => Ok(i as f64),
+            // serde_json writes non-finite floats as null; accept the
+            // round trip.
+            Value::Null => Ok(f64::NAN),
+            other => Err(unexpected("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|x| x as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(unexpected("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some).map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_value()? {
+            Value::Seq(items) => items
+                .into_iter()
+                .map(|item| T::deserialize(item).map_err(D::Error::custom))
+                .collect(),
+            other => Err(unexpected("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: DeserializeOwned, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let items: Vec<T> = Vec::deserialize(deserializer)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| D::Error::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal; $($idx:tt $t:ident),+))*) => {
+        $(impl<'de, $($t: DeserializeOwned),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                let value = deserializer.deserialize_value()?;
+                match value {
+                    Value::Seq(items) if items.len() == $len => {
+                        let mut iter = items.into_iter();
+                        Ok(($(
+                            {
+                                let _ = $idx;
+                                $t::deserialize(iter.next().expect("length checked"))
+                                    .map_err(De::Error::custom)?
+                            },
+                        )+))
+                    }
+                    Value::Seq(items) => Err(De::Error::custom(format!(
+                        "expected tuple of length {}, found sequence of length {}",
+                        $len,
+                        items.len()
+                    ))),
+                    other => Err(unexpected("sequence", &other)),
+                }
+            }
+        })*
+    };
+}
+
+deserialize_tuple! {
+    (1; 0 T0)
+    (2; 0 T0, 1 T1)
+    (3; 0 T0, 1 T1, 2 T2)
+    (4; 0 T0, 1 T1, 2 T2, 3 T3)
+    (5; 0 T0, 1 T1, 2 T2, 3 T3, 4 T4)
+    (6; 0 T0, 1 T1, 2 T2, 3 T3, 4 T4, 5 T5)
+}

@@ -1,0 +1,27 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no network access, so the workspace vendors a
+//! minimal serialization framework exposing the serde API subset
+//! circlekit uses: the [`Serialize`]/[`Deserialize`] traits, manual
+//! `serialize_struct` support, `de::Error::custom`, and (behind the
+//! `derive` feature) derive macros for named-field structs and
+//! unit-variant enums.
+//!
+//! Unlike real serde's visitor architecture, everything funnels through
+//! an order-preserving [`value::Value`] tree; `serde_json` renders and
+//! parses that tree. This keeps the wire format identical to what
+//! crates.io serde_json would produce for the types in this workspace
+//! (maps keep field order; unit enum variants are plain strings).
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::Deserialize;
+pub use ser::Serialize;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,213 @@
+//! Serialization traits and impls for std types.
+
+use crate::value::{to_value, Value};
+use std::fmt::Display;
+
+/// Errors produced while serializing.
+pub trait Error: Sized + std::fmt::Debug + Display {
+    /// Creates an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A type that can be serialized.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for serialized data.
+///
+/// Unlike real serde's many-method trait, everything funnels through
+/// [`Serializer::serialize_value`]; `serialize_struct` is provided on
+/// top of it so manual impls written against the real serde API (build
+/// a struct serializer, push fields, `end()`) still compile.
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a fully-built [`Value`].
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    /// Begins serializing a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<StructSerializer<Self>, Self::Error> {
+        Ok(StructSerializer {
+            ser: self,
+            fields: Vec::with_capacity(len),
+        })
+    }
+}
+
+/// Field-pushing interface returned by [`Serializer::serialize_struct`].
+pub trait SerializeStruct {
+    /// Output produced by [`SerializeStruct::end`].
+    type Ok;
+    /// Error type.
+    type Error: Error;
+
+    /// Serializes one named field.
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error>;
+
+    /// Finishes the struct.
+    fn end(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// The concrete struct serializer: accumulates fields in declaration
+/// order, then emits one ordered `Value::Map`.
+pub struct StructSerializer<S: Serializer> {
+    ser: S,
+    fields: Vec<(String, Value)>,
+}
+
+impl<S: Serializer> SerializeStruct for StructSerializer<S> {
+    type Ok = S::Ok;
+    type Error = S::Error;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Self::Error> {
+        let v = to_value(value).map_err(Self::Error::custom)?;
+        self.fields.push((key.to_string(), v));
+        Ok(())
+    }
+
+    fn end(self) -> Result<Self::Ok, Self::Error> {
+        self.ser.serialize_value(Value::Map(self.fields))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Bool(*self))
+    }
+}
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.serialize_value(Value::UInt(*self as u64))
+            }
+        })*
+    };
+}
+
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let v = *self as i64;
+                // Match serde_json: non-negative integers print unsigned.
+                let value = if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) };
+                serializer.serialize_value(value)
+            }
+        })*
+    };
+}
+
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Float(*self as f64))
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.to_string()))
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(Value::Str(self.clone()))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(inner) => inner.serialize(serializer),
+            None => serializer.serialize_value(Value::Null),
+        }
+    }
+}
+
+fn serialize_seq<'a, S, T, I>(serializer: S, items: I) -> Result<S::Ok, S::Error>
+where
+    S: Serializer,
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut seq = Vec::new();
+    for item in items {
+        seq.push(to_value(item).map_err(S::Error::custom)?);
+    }
+    serializer.serialize_value(Value::Seq(seq))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_seq(serializer, self)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_seq(serializer, self)
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_seq(serializer, self)
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($idx:tt $t:ident),+))*) => {
+        $(impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let seq = vec![
+                    $(to_value(&self.$idx).map_err(S::Error::custom)?),+
+                ];
+                serializer.serialize_value(Value::Seq(seq))
+            }
+        })*
+    };
+}
+
+serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}

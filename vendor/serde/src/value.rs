@@ -1,0 +1,151 @@
+//! The self-describing tree every (de)serialization funnels through.
+
+use crate::ser::{Serialize, Serializer};
+use std::fmt;
+
+/// A dynamically-typed serialized value.
+///
+/// `Map` is a `Vec` rather than a hash map so struct field order is
+/// preserved end-to-end — the JSON layer depends on that for stable
+/// output.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a `None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (negative values land here).
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An order-preserving string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl fmt::Display for Value {
+    /// Renders the value as compact JSON (no whitespace). Non-finite
+    /// floats render as `null`, matching serde_json's lossy behaviour.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` keeps a trailing `.0` on integral floats,
+                    // matching serde_json ("1.0", not "1").
+                    write!(f, "{x:?}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Value::Str(s) => write_json_string(f, s),
+            Value::Seq(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Map(entries) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_json_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// The error type used by [`Value`]-level (de)serialization.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValueError(String);
+
+impl ValueError {
+    /// Creates an error from a message.
+    pub fn msg(message: impl Into<String>) -> Self {
+        ValueError(message.into())
+    }
+}
+
+impl fmt::Display for ValueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ValueError {}
+
+impl crate::ser::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+impl crate::de::Error for ValueError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        ValueError(msg.to_string())
+    }
+}
+
+/// A [`Serializer`] whose output is the [`Value`] tree itself.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = ValueError;
+
+    fn serialize_value(self, value: Value) -> Result<Value, ValueError> {
+        Ok(value)
+    }
+}
+
+/// Serializes any [`Serialize`] type into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, ValueError> {
+    value.serialize(ValueSerializer)
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.clone())
+    }
+}
+
+impl<'de> crate::de::Deserialize<'de> for Value {
+    fn deserialize<D: crate::de::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_value()
+    }
+}

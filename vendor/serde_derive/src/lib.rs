@@ -1,0 +1,276 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! two shapes this workspace uses — structs with named fields and enums
+//! with only unit variants — without depending on `syn`/`quote` (the
+//! container cannot fetch them). The input item is parsed with a small
+//! hand-rolled token walker; anything outside the supported shapes
+//! (generics, tuple structs, data-carrying variants) panics with a
+//! clear message at compile time.
+//!
+//! Generated code targets the vendored `serde` crate's Value-funnel
+//! API: structs serialize through `serialize_struct` field pushes and
+//! deserialize via `serde::__private::take_field`; unit enum variants
+//! serialize as their name string, matching real serde's externally
+//! tagged representation for unit variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+enum Body {
+    /// Named struct fields, in declaration order.
+    Struct(Vec<String>),
+    /// Unit enum variants, in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\n");
+    out.push_str(&format!("impl ::serde::ser::Serialize for {} {{\n", item.name));
+    out.push_str(
+        "    fn serialize<S: ::serde::ser::Serializer>(&self, serializer: S) \
+         -> ::core::result::Result<S::Ok, S::Error> {\n",
+    );
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(&format!(
+                "        let mut state = ::serde::ser::Serializer::serialize_struct(\
+                 serializer, \"{}\", {})?;\n",
+                item.name,
+                fields.len()
+            ));
+            for field in fields {
+                out.push_str(&format!(
+                    "        ::serde::ser::SerializeStruct::serialize_field(\
+                     &mut state, \"{field}\", &self.{field})?;\n"
+                ));
+            }
+            out.push_str("        ::serde::ser::SerializeStruct::end(state)\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("        let variant: &str = match self {\n");
+            for variant in variants {
+                out.push_str(&format!(
+                    "            {}::{variant} => \"{variant}\",\n",
+                    item.name
+                ));
+            }
+            out.push_str("        };\n");
+            out.push_str(
+                "        ::serde::ser::Serializer::serialize_value(serializer, \
+                 ::serde::value::Value::Str(::std::string::String::from(variant)))\n",
+            );
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse().expect("derived Serialize impl should parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let mut out = String::new();
+    out.push_str("#[automatically_derived]\n");
+    out.push_str(&format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {} {{\n",
+        item.name
+    ));
+    out.push_str(
+        "    fn deserialize<D: ::serde::de::Deserializer<'de>>(deserializer: D) \
+         -> ::core::result::Result<Self, D::Error> {\n",
+    );
+    out.push_str(
+        "        let value = ::serde::de::Deserializer::deserialize_value(deserializer)?;\n",
+    );
+    // `::serde::de::Error::custom(e)` appears only inside `return
+    // Err(...)` so the trait's `Self` is pinned to `D::Error` by the
+    // function signature (a bare `map_err(Error::custom)` would leave
+    // it for `From`-based inference to guess).
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(&format!(
+                "        let mut entries = match ::serde::__private::expect_map(value, \"{}\") {{\n\
+                 \x20           ::core::result::Result::Ok(entries) => entries,\n\
+                 \x20           ::core::result::Result::Err(e) => \
+                 return ::core::result::Result::Err(::serde::de::Error::custom(e)),\n\
+                 \x20       }};\n",
+                item.name
+            ));
+            out.push_str(&format!(
+                "        ::core::result::Result::Ok({} {{\n",
+                item.name
+            ));
+            for field in fields {
+                out.push_str(&format!(
+                    "            {field}: match ::serde::__private::take_field(\
+                     &mut entries, \"{}\", \"{field}\") {{\n\
+                     \x20               ::core::result::Result::Ok(v) => v,\n\
+                     \x20               ::core::result::Result::Err(e) => \
+                     return ::core::result::Result::Err(::serde::de::Error::custom(e)),\n\
+                     \x20           }},\n",
+                    item.name
+                ));
+            }
+            out.push_str("        })\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str(&format!(
+                "        let variant = match ::serde::__private::expect_variant(value, \"{}\") {{\n\
+                 \x20           ::core::result::Result::Ok(v) => v,\n\
+                 \x20           ::core::result::Result::Err(e) => \
+                 return ::core::result::Result::Err(::serde::de::Error::custom(e)),\n\
+                 \x20       }};\n",
+                item.name
+            ));
+            out.push_str("        match variant.as_str() {\n");
+            for variant in variants {
+                out.push_str(&format!(
+                    "            \"{variant}\" => ::core::result::Result::Ok(\
+                     {}::{variant}),\n",
+                    item.name
+                ));
+            }
+            out.push_str(&format!(
+                "            other => ::core::result::Result::Err(\
+                 ::serde::de::Error::custom(::std::format!(\
+                 \"unknown {} variant `{{}}`\", other))),\n",
+                item.name
+            ));
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out.parse().expect("derived Deserialize impl should parse")
+}
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_item(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens);
+    skip_visibility(&mut tokens);
+    let keyword = expect_ident(&mut tokens, "`struct` or `enum`");
+    let name = expect_ident(&mut tokens, "item name");
+    if matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic type `{name}` is not supported");
+    }
+    let body_group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        other => panic!(
+            "serde derive (vendored): `{name}` must have a braced body \
+             (tuple/unit items unsupported), found {other:?}"
+        ),
+    };
+    let body = match keyword.as_str() {
+        "struct" => Body::Struct(parse_named_fields(body_group.stream(), &name)),
+        "enum" => Body::Enum(parse_unit_variants(body_group.stream(), &name)),
+        other => panic!("serde derive (vendored): unsupported item kind `{other}`"),
+    };
+    Input { name, body }
+}
+
+/// Skips any number of outer attributes (`#[...]`), including the
+/// `#[doc = "..."]` forms doc comments lower to.
+fn skip_attributes(tokens: &mut Tokens) {
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde derive (vendored): malformed attribute, found {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, etc.
+fn skip_visibility(tokens: &mut Tokens) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn expect_ident(tokens: &mut Tokens, what: &str) -> String {
+    match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde derive (vendored): expected {what}, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream, item: &str) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut tokens);
+        let field = expect_ident(&mut tokens, "field name");
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde derive (vendored): struct `{item}` must use named fields, \
+                 found {other:?} after `{field}`"
+            ),
+        }
+        // Consume the type: everything up to a comma at angle-bracket
+        // depth zero. Commas inside (), [] and {} are invisible here
+        // because groups arrive as single trees.
+        let mut depth = 0usize;
+        for tt in tokens.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth = depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(field);
+    }
+    if fields.is_empty() {
+        panic!("serde derive (vendored): struct `{item}` has no fields");
+    }
+    fields
+}
+
+fn parse_unit_variants(stream: TokenStream, item: &str) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        let variant = expect_ident(&mut tokens, "variant name");
+        match tokens.next() {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(variant),
+            other => panic!(
+                "serde derive (vendored): enum `{item}` may only contain unit \
+                 variants; `{variant}` is followed by {other:?}"
+            ),
+        }
+    }
+    if variants.is_empty() {
+        panic!("serde derive (vendored): enum `{item}` has no variants");
+    }
+    variants
+}

@@ -1,0 +1,185 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Renders and parses the vendored `serde`'s [`Value`] tree as JSON.
+//! Output is compact (no whitespace) with struct field order preserved,
+//! matching what crates.io serde_json produces for the types in this
+//! workspace.
+
+mod parse;
+
+pub use serde::value::Value;
+
+use serde::de::DeserializeOwned;
+use serde::ser::Serialize;
+use std::fmt;
+
+/// Error serializing or deserializing JSON.
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(message: impl Into<String>) -> Self {
+        Error(message.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes a value into its [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    serde::value::to_value(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(to_value(value)?.to_string())
+}
+
+/// Deserializes a value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(input: &str) -> Result<T, Error> {
+    let value = parse::parse(input)?;
+    T::deserialize(value).map_err(|e| Error(e.to_string()))
+}
+
+/// Builds a [`Value`] from JSON-ish syntax. Supports `null`, flat
+/// `{ "key": expr, ... }` objects, `[expr, ...]` arrays, and bare
+/// expressions; object values are arbitrary `Serialize` expressions
+/// (nest further objects via a nested `json!` call).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Map(::std::vec![
+            $((
+                ::std::string::String::from($key),
+                $crate::to_value(&$value).expect("json! value serialization"),
+            )),*
+        ])
+    };
+    ([ $($value:expr),* $(,)? ]) => {
+        $crate::Value::Seq(::std::vec![
+            $($crate::to_value(&$value).expect("json! value serialization")),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other).expect("json! value serialization")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    struct Report {
+        name: String,
+        count: usize,
+        ratio: f64,
+        flags: Vec<bool>,
+        pair: (u32, u32),
+        ks: [f64; 3],
+        kind: Kind,
+        note: Option<String>,
+    }
+
+    #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+    enum Kind {
+        Alpha,
+        Beta,
+    }
+
+    fn sample() -> Report {
+        Report {
+            name: "run".to_string(),
+            count: 3,
+            ratio: 0.5,
+            flags: vec![true, false],
+            pair: (1, 2),
+            ks: [0.1, 0.2, 0.3],
+            kind: Kind::Beta,
+            note: None,
+        }
+    }
+
+    #[test]
+    fn derived_struct_round_trips() {
+        let report = sample();
+        let json = to_string(&report).unwrap();
+        let back: Report = from_str(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn output_is_compact_and_ordered() {
+        let json = to_string(&sample()).unwrap();
+        assert_eq!(
+            json,
+            r#"{"name":"run","count":3,"ratio":0.5,"flags":[true,false],"pair":[1,2],"ks":[0.1,0.2,0.3],"kind":"Beta","note":null}"#
+        );
+    }
+
+    #[test]
+    fn parses_whitespace_and_escapes() {
+        let v: Value = from_str(" { \"a\" : [ 1 , -2.5 ] , \"b\\n\" : \"x\\u0041\" } ").unwrap();
+        assert_eq!(
+            v,
+            Value::Map(vec![
+                (
+                    "a".to_string(),
+                    Value::Seq(vec![Value::UInt(1), Value::Float(-2.5)])
+                ),
+                ("b\n".to_string(), Value::Str("xA".to_string())),
+            ])
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+
+    #[test]
+    fn missing_field_error_mentions_the_field() {
+        let err = from_str::<Report>("{\"name\":\"x\"}").unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn json_macro_builds_flat_objects() {
+        let v = json!({ "experiment": "fig5", "mean": 1.25, "n": 4usize, "none": Option::<String>::None });
+        assert_eq!(
+            v.to_string(),
+            r#"{"experiment":"fig5","mean":1.25,"n":4,"none":null}"#
+        );
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!([1u32, 2u32]).to_string(), "[1,2]");
+    }
+
+    #[test]
+    fn float_formatting_matches_serde_json() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&0.1f64).unwrap(), "0.1");
+    }
+}

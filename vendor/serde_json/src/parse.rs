@@ -1,0 +1,252 @@
+//! Recursive-descent JSON parser producing a [`Value`] tree.
+
+use crate::Error;
+use serde::value::Value;
+
+pub(crate) fn parse(input: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, Error> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::msg("unexpected end of JSON input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        let got = self.bump()?;
+        if got != b {
+            return Err(Error::msg(format!(
+                "expected `{}` at byte {}, found `{}`",
+                b as char,
+                self.pos - 1,
+                got as char
+            )));
+        }
+        Ok(())
+    }
+
+    fn keyword(&mut self, word: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(Error::msg(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self
+            .peek()
+            .ok_or_else(|| Error::msg("unexpected end of JSON input"))?
+        {
+            b'n' => self.keyword("null", Value::Null),
+            b't' => self.keyword("true", Value::Bool(true)),
+            b'f' => self.keyword("false", Value::Bool(false)),
+            b'"' => self.string().map(Value::Str),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            other => Err(Error::msg(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(Value::Seq(items)),
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `]` at byte {}, found `{}`",
+                        self.pos - 1,
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(Value::Map(entries)),
+                other => {
+                    return Err(Error::msg(format!(
+                        "expected `,` or `}}` at byte {}, found `{}`",
+                        self.pos - 1,
+                        other as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let first = self.hex4()?;
+                        let code = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: require the paired low one.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let second = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&second) {
+                                return Err(Error::msg("unpaired surrogate in string"));
+                            }
+                            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                        } else {
+                            first
+                        };
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| Error::msg("invalid unicode escape"))?,
+                        );
+                    }
+                    other => {
+                        return Err(Error::msg(format!(
+                            "invalid escape `\\{}`",
+                            other as char
+                        )))
+                    }
+                },
+                b if b < 0x20 => return Err(Error::msg("control character in string")),
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    // Multi-byte UTF-8: re-decode from the source slice.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error::msg("truncated UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(chunk)
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.bump()?;
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::msg("invalid hex digit in \\u escape"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+}
