@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT] [--scale F] [--seed N] [--json] [--threads N]
+//!           [--checkpoint FILE | --resume FILE] [--deadline SECS]
 //!
 //! EXPERIMENT: all (default) | table2 | table3 | fig1 | fig2 | fig3 | fig4 |
 //!             fig5 | fig6 | robustness | categorize | correlations | egoview | detect | sharing
@@ -13,20 +14,39 @@
 //! --threads N score fig5/fig6 on N worker threads (seeded per-set RNG
 //!             streams keep the output identical for every N; fig5 then
 //!             always uses closed-form modularity)
+//! --checkpoint FILE  score fig5/fig6 through a sidecar checkpoint: every
+//!             completed chunk of scores is flushed to FILE, and a later
+//!             run with the same seed skips the cached chunks bit-identically
+//! --resume FILE      like --checkpoint but requires FILE to exist (guards
+//!             against resuming from a mistyped path)
+//! --deadline SECS    soft deadline for fig5/fig6 scoring; an interrupted
+//!             run exits with status 75 and, when checkpointed, can be
+//!             resumed with --resume FILE
+//!
+//! Checkpointed runs print exactly the same stdout as plain runs with the
+//! same --threads value; resume/interruption notes go to stderr.
 //! ```
 
 use circlekit::categorize::{categorize_circles, CircleCategory};
+use circlekit::checkpoint::{CheckpointStore, RunError};
 use circlekit::experiments::{
-    characterize, circles_vs_random, circles_vs_random_parallel, clustering_report,
-    compare_datasets, compare_datasets_parallel, degree_fit, directed_vs_undirected,
-    ego_overlap_report, summarize_datasets, ModularityMode,
+    characterize, circles_vs_random, circles_vs_random_checkpointed, circles_vs_random_parallel,
+    clustering_report, compare_datasets, compare_datasets_checkpointed, compare_datasets_parallel,
+    degree_fit, directed_vs_undirected, ego_overlap_report, summarize_datasets, ModularityMode,
 };
+use circlekit::graph::RunControl;
 use circlekit::metrics::DegreeKind;
 use circlekit::render;
 use circlekit::synth::{presets, SynthDataset};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// BSD `EX_TEMPFAIL`: the conventional "try again later" exit status,
+/// used here for interrupted-but-resumable runs.
+const EX_TEMPFAIL: u8 = 75;
 
 struct Options {
     experiment: String,
@@ -35,6 +55,9 @@ struct Options {
     json: bool,
     sampled_modularity: bool,
     threads: Option<usize>,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    deadline: Option<f64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +68,9 @@ fn parse_args() -> Result<Options, String> {
         json: false,
         sampled_modularity: false,
         threads: None,
+        checkpoint: None,
+        resume: false,
+        deadline: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,9 +93,27 @@ fn parse_args() -> Result<Options, String> {
                 }
                 opts.threads = Some(t);
             }
+            "--checkpoint" => {
+                let v = args.next().ok_or("--checkpoint needs a file path")?;
+                opts.checkpoint = Some(PathBuf::from(v));
+            }
+            "--resume" => {
+                let v = args.next().ok_or("--resume needs a file path")?;
+                opts.checkpoint = Some(PathBuf::from(v));
+                opts.resume = true;
+            }
+            "--deadline" => {
+                let v = args.next().ok_or("--deadline needs a value in seconds")?;
+                let secs: f64 = v.parse().map_err(|_| format!("bad deadline {v:?}"))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(format!("bad deadline {v:?}"));
+                }
+                opts.deadline = Some(secs);
+            }
             "--help" | "-h" => {
                 return Err(
-                    "usage: reproduce [EXPERIMENT] [--scale F] [--seed N] [--json] [--threads N]"
+                    "usage: reproduce [EXPERIMENT] [--scale F] [--seed N] [--json] [--threads N]\n\
+                     \x20                [--checkpoint FILE | --resume FILE] [--deadline SECS]"
                         .into(),
                 )
             }
@@ -90,6 +134,46 @@ fn main() -> ExitCode {
     };
     let run = |name: &str| opts.experiment == "all" || opts.experiment == name;
     let mut matched = false;
+
+    // Run control + checkpointing apply to the chunked scoring experiments
+    // (fig5, fig6); everything else is quick enough to just rerun.
+    let checkpointed = opts.checkpoint.is_some() || opts.deadline.is_some();
+    let control = match opts.deadline {
+        Some(secs) => RunControl::new().with_deadline(Duration::from_secs_f64(secs)),
+        None => RunControl::new(),
+    };
+    let mut store: Option<CheckpointStore> = if checkpointed {
+        if !(run("fig5") || run("fig6")) {
+            eprintln!("note: --checkpoint/--resume/--deadline only affect fig5 and fig6");
+        }
+        match &opts.checkpoint {
+            Some(path) => {
+                if opts.resume && !path.exists() {
+                    eprintln!("error: --resume {}: no such checkpoint", path.display());
+                    return ExitCode::FAILURE;
+                }
+                match CheckpointStore::at_path(path, opts.seed) {
+                    Ok(s) => {
+                        if !s.is_empty() {
+                            eprintln!(
+                                "note: resuming from {} ({} cached chunks)",
+                                path.display(),
+                                s.len()
+                            );
+                        }
+                        Some(s)
+                    }
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            None => Some(CheckpointStore::in_memory(opts.seed)),
+        }
+    } else {
+        None
+    };
 
     // Shared fixtures (generated lazily so single-figure runs stay fast).
     let mut gplus: Option<SynthDataset> = None;
@@ -157,11 +241,23 @@ fn main() -> ExitCode {
             println!();
         }
         if run("fig6") {
-            println!("== Figure 6: circles vs communities across data sets ==");
-            let scores = match opts.threads {
-                Some(t) => compare_datasets_parallel(&all, t),
-                None => compare_datasets(&all),
+            let scores = if let Some(store) = store.as_mut() {
+                match compare_datasets_checkpointed(
+                    &all,
+                    opts.threads.unwrap_or(1),
+                    &control,
+                    store,
+                ) {
+                    Ok(s) => s,
+                    Err(e) => return run_failed(e, opts.checkpoint.as_deref()),
+                }
+            } else {
+                match opts.threads {
+                    Some(t) => compare_datasets_parallel(&all, t),
+                    None => compare_datasets(&all),
+                }
             };
+            println!("== Figure 6: circles vs communities across data sets ==");
             print!("{}", render::render_fig6(&scores));
             if opts.json {
                 for ds in &scores {
@@ -246,33 +342,49 @@ fn main() -> ExitCode {
     if run("fig5") {
         matched = true;
         ensure_gplus(&mut gplus);
-        let result = match opts.threads {
-            Some(t) => {
-                if opts.sampled_modularity {
-                    eprintln!(
-                        "note: --threads uses closed-form modularity; ignoring --sampled"
-                    );
-                }
-                circles_vs_random_parallel(gplus.as_ref().expect("fixture"), opts.seed, t)
+        let ds = gplus.as_ref().expect("fixture");
+        let sampled = opts.sampled_modularity && opts.threads.is_none() && store.is_none();
+        let result = if let Some(store) = store.as_mut() {
+            if opts.sampled_modularity {
+                eprintln!(
+                    "note: checkpointed runs use closed-form modularity; ignoring --sampled"
+                );
             }
-            None => {
-                let mut rng = SmallRng::seed_from_u64(opts.seed);
-                let mode = if opts.sampled_modularity {
-                    // The paper's procedure: Viger-Latapy sampled null graphs.
-                    ModularityMode::Sampled { samples: 5, quality: 2.0 }
-                } else {
-                    ModularityMode::ClosedForm
-                };
-                circles_vs_random(gplus.as_ref().expect("fixture"), mode, &mut rng)
+            match circles_vs_random_checkpointed(
+                ds,
+                opts.seed,
+                opts.threads.unwrap_or(1),
+                &control,
+                store,
+            ) {
+                Ok(r) => r,
+                Err(e) => return run_failed(e, opts.checkpoint.as_deref()),
+            }
+        } else {
+            match opts.threads {
+                Some(t) => {
+                    if opts.sampled_modularity {
+                        eprintln!(
+                            "note: --threads uses closed-form modularity; ignoring --sampled"
+                        );
+                    }
+                    circles_vs_random_parallel(ds, opts.seed, t)
+                }
+                None => {
+                    let mut rng = SmallRng::seed_from_u64(opts.seed);
+                    let mode = if opts.sampled_modularity {
+                        // The paper's procedure: Viger-Latapy sampled null graphs.
+                        ModularityMode::Sampled { samples: 5, quality: 2.0 }
+                    } else {
+                        ModularityMode::ClosedForm
+                    };
+                    circles_vs_random(ds, mode, &mut rng)
+                }
             }
         };
         println!(
             "== Figure 5: circles vs random-walk sets (modularity: {}) ==",
-            if opts.sampled_modularity && opts.threads.is_none() {
-                "sampled null model"
-            } else {
-                "closed form"
-            }
+            if sampled { "sampled null model" } else { "closed form" }
         );
         print!("{}", render::render_fig5(&result, 11));
         if opts.json {
@@ -368,4 +480,29 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Maps a scoring-run failure to an exit status: interruptions are
+/// resumable (`EX_TEMPFAIL`), everything else is a plain failure.
+fn run_failed(err: RunError, checkpoint: Option<&Path>) -> ExitCode {
+    match err {
+        RunError::Interrupted(why) => {
+            match checkpoint {
+                // Nothing may have been flushed yet (e.g. a deadline that
+                // fires before the first chunk) — only advertise --resume
+                // once the sidecar actually exists.
+                Some(path) if path.exists() => eprintln!(
+                    "interrupted: {why}; completed chunks are saved — rerun with \
+                     --resume {} to continue",
+                    path.display()
+                ),
+                _ => eprintln!("interrupted: {why}"),
+            }
+            ExitCode::from(EX_TEMPFAIL)
+        }
+        other => {
+            eprintln!("error: {other}");
+            ExitCode::FAILURE
+        }
+    }
 }

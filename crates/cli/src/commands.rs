@@ -3,7 +3,10 @@
 
 use circlekit::detect::detect_circles;
 use circlekit::experiments::characterize;
-use circlekit::graph::{parse_edge_list, parse_groups, write_edge_list, write_groups, Graph};
+use circlekit::graph::{
+    parse_edge_list_with_policy, parse_groups_with_policy, write_edge_list, write_groups, Graph,
+    IngestPolicy,
+};
 use circlekit::metrics::{DegreeKind, DegreeStats};
 use circlekit::scoring::{Scorer, ScoringFunction};
 use circlekit::statfit::analyze_tail;
@@ -36,8 +39,28 @@ fn usage() -> String {
      circlekit score        --edges FILE --groups FILE [--undirected] [--all] [--threads N]\n  \
      circlekit characterize --edges FILE [--undirected] [--sources N]\n  \
      circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]\n  \
-     circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n"
+     circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n\
+     \n\
+     every command that reads files accepts --on-error fail|skip|report:\n  \
+     fail (default) aborts on the first malformed line, skip drops bad\n  \
+     lines silently, report drops them and prints an ingest summary\n"
         .to_string()
+}
+
+/// How file-reading commands treat malformed input, from `--on-error`.
+struct Ingest {
+    policy: IngestPolicy,
+    /// `--on-error report`: print the [`circlekit::graph::IngestReport`].
+    verbose: bool,
+}
+
+impl Ingest {
+    fn from_flags(flags: &Flags<'_>) -> Result<Ingest, String> {
+        let value = flags.get("on-error").unwrap_or("fail");
+        let policy = IngestPolicy::from_cli(value)
+            .ok_or_else(|| format!("bad --on-error {value:?} (fail|skip|report)"))?;
+        Ok(Ingest { policy, verbose: value == "report" })
+    }
 }
 
 /// Tiny flag parser: returns positional args and looks up `--key value` /
@@ -93,10 +116,17 @@ impl<'a> Flags<'a> {
     }
 }
 
-fn load_graph(flags: &Flags<'_>) -> Result<Graph, String> {
+/// Loads `--edges` under the `--on-error` policy. In report mode the
+/// ingest summary is appended to `notes` (which callers prepend to their
+/// own output).
+fn load_graph(flags: &Flags<'_>, ingest: &Ingest, notes: &mut String) -> Result<Graph, String> {
     let path = flags.required("edges")?;
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let edges = parse_edge_list(&text).map_err(|e| format!("{path}: {e}"))?;
+    let (edges, report) =
+        parse_edge_list_with_policy(&text, ingest.policy).map_err(|e| format!("{path}: {e}"))?;
+    if ingest.verbose {
+        let _ = write!(notes, "{path}: {report}");
+    }
     Ok(Graph::from_edges(!flags.has("undirected"), edges))
 }
 
@@ -139,19 +169,16 @@ fn generate(args: &[String]) -> Result<String, String> {
 
 fn score(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["undirected", "all"])?;
-    let graph = load_graph(&flags)?;
+    let ingest = Ingest::from_flags(&flags)?;
+    let mut notes = String::new();
+    let graph = load_graph(&flags, &ingest, &mut notes)?;
     let groups_path = flags.required("groups")?;
     let text = fs::read_to_string(groups_path).map_err(|e| format!("reading {groups_path}: {e}"))?;
-    let groups = parse_groups(&text).map_err(|e| format!("{groups_path}: {e}"))?;
-    if let Some(bad) = groups
-        .iter()
-        .flat_map(|g| g.iter())
-        .find(|&v| v as usize >= graph.node_count())
-    {
-        return Err(format!(
-            "group member {bad} exceeds graph node count {}",
-            graph.node_count()
-        ));
+    let (groups, report) =
+        parse_groups_with_policy(&text, Some(graph.node_count()), ingest.policy)
+            .map_err(|e| format!("{groups_path}: {e}"))?;
+    if ingest.verbose {
+        let _ = write!(notes, "{groups_path}: {report}");
     }
 
     let functions: &[ScoringFunction] = if flags.has("all") {
@@ -166,7 +193,7 @@ fn score(args: &[String]) -> Result<String, String> {
     let scorer = Scorer::new(&graph);
     let table = scorer.score_table_parallel(functions, &groups, threads);
 
-    let mut out = String::new();
+    let mut out = notes;
     let _ = write!(out, "{:>6} {:>6}", "group", "size");
     for f in functions {
         let _ = write!(out, " {:>14}", f.name());
@@ -189,7 +216,9 @@ fn score(args: &[String]) -> Result<String, String> {
 
 fn characterize_cmd(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["undirected"])?;
-    let graph = load_graph(&flags)?;
+    let ingest = Ingest::from_flags(&flags)?;
+    let mut notes = String::new();
+    let graph = load_graph(&flags, &ingest, &mut notes)?;
     let sources: usize = flags.parse_value("sources", 32)?;
     let seed: u64 = flags.parse_value("seed", 2014)?;
     let dataset = SynthDataset {
@@ -202,12 +231,15 @@ fn characterize_cmd(args: &[String]) -> Result<String, String> {
     };
     let mut rng = SmallRng::seed_from_u64(seed);
     let row = characterize(&dataset, sources, &mut rng);
-    Ok(circlekit::render::render_table2(&[row]))
+    notes.push_str(&circlekit::render::render_table2(&[row]));
+    Ok(notes)
 }
 
 fn fit_degrees(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["undirected"])?;
-    let graph = load_graph(&flags)?;
+    let ingest = Ingest::from_flags(&flags)?;
+    let mut notes = String::new();
+    let graph = load_graph(&flags, &ingest, &mut notes)?;
     let kind = match flags.get("kind").unwrap_or("in") {
         "in" => DegreeKind::In,
         "out" => DegreeKind::Out,
@@ -216,7 +248,7 @@ fn fit_degrees(args: &[String]) -> Result<String, String> {
     };
     let stats = DegreeStats::new(&graph, kind);
     let report = analyze_tail(&stats.positive_as_f64()).map_err(|e| e.to_string())?;
-    let mut out = String::new();
+    let mut out = notes;
     let _ = writeln!(out, "degrees analysed: {} (mean {:.2})", report.tail_len, stats.average());
     let _ = writeln!(
         out,
@@ -238,7 +270,9 @@ fn fit_degrees(args: &[String]) -> Result<String, String> {
 
 fn detect(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["undirected"])?;
-    let graph = load_graph(&flags)?;
+    let ingest = Ingest::from_flags(&flags)?;
+    let mut notes = String::new();
+    let graph = load_graph(&flags, &ingest, &mut notes)?;
     let ego: u32 = flags
         .required("ego")?
         .parse()
@@ -255,8 +289,10 @@ fn detect(args: &[String]) -> Result<String, String> {
     let circles = detect_circles(&graph, ego, min_size, &mut rng);
     let mut buf = Vec::new();
     write_groups(&circles, &mut buf).map_err(|e| e.to_string())?;
-    let mut out = format!(
-        "detected {} circles (>= {min_size} members) in the ego network of {ego}\n",
+    let mut out = notes;
+    let _ = writeln!(
+        out,
+        "detected {} circles (>= {min_size} members) in the ego network of {ego}",
         circles.len()
     );
     out.push_str(std::str::from_utf8(&buf).expect("ascii output"));
@@ -404,7 +440,54 @@ mod tests {
         fs::write(&groups, "0 99\n").unwrap();
         let err = dispatch(&args(&["score", "--edges", &edges, "--groups", &groups]))
             .unwrap_err();
-        assert!(err.contains("exceeds"), "{err}");
+        assert!(err.contains("out of range"), "{err}");
+        // The default fail-fast policy names the offending line.
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn score_on_error_skip_drops_bad_lines() {
+        let edges = tmp("skip.edges");
+        let groups = tmp("skip.circles");
+        fs::write(&edges, "0 1\n1 2\nmangled line here extra\n2 0\n").unwrap();
+        fs::write(&groups, "c0\t0 1 99\nc1\t1 2\n").unwrap();
+        // Fail-fast rejects the edge file outright...
+        let err = dispatch(&args(&["score", "--edges", &edges, "--groups", &groups]))
+            .unwrap_err();
+        assert!(err.contains("line 3"), "{err}");
+        // ...lenient ingestion scores what survives.
+        let out = dispatch(&args(&[
+            "score", "--edges", &edges, "--groups", &groups, "--on-error", "skip",
+        ]))
+        .expect("lenient score succeeds");
+        assert!(!out.contains("ingest:"), "skip mode stays quiet:\n{out}");
+        assert!(out.contains("conductance"), "{out}");
+    }
+
+    #[test]
+    fn score_on_error_report_prints_ingest_summaries() {
+        let edges = tmp("rep.edges");
+        let groups = tmp("rep.circles");
+        fs::write(&edges, "0 1\n1 2\n0 1\nbogus\n").unwrap();
+        fs::write(&groups, "c0\t0 1 99\n").unwrap();
+        let out = dispatch(&args(&[
+            "score", "--edges", &edges, "--groups", &groups, "--on-error", "report",
+        ]))
+        .expect("report score succeeds");
+        assert!(out.contains("1 duplicate edges"), "{out}");
+        assert!(out.contains("1 members dropped"), "{out}");
+        assert!(out.contains("skipped line 4"), "{out}");
+    }
+
+    #[test]
+    fn bad_on_error_value_is_rejected() {
+        let edges = tmp("bad.edges");
+        fs::write(&edges, "0 1\n").unwrap();
+        let err = dispatch(&args(&[
+            "characterize", "--edges", &edges, "--on-error", "explode",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--on-error"), "{err}");
     }
 
     #[test]

@@ -11,6 +11,11 @@
 //!
 //! Edge files are SNAP-style whitespace edge lists; group files are
 //! SNAP-style circle/community lines (`label<TAB>id id …`).
+//!
+//! Every file-reading command accepts `--on-error fail|skip|report`:
+//! `fail` (the default) aborts on the first malformed line, `skip` drops
+//! malformed lines and out-of-range group members silently, and `report`
+//! does the same but prints an ingest summary first.
 
 mod commands;
 

@@ -1,0 +1,334 @@
+//! Checkpoint–resume for experiment runs.
+//!
+//! Scoring the paper's Figure 5/6 batches at Orkut scale takes long
+//! enough that a crash or an operator kill must not discard hours of
+//! finished work. A [`CheckpointStore`] records completed score chunks
+//! under stable string keys (`{experiment}/{dataset}/{collection}/paper/{chunk}`)
+//! and persists them to a JSON sidecar file after every chunk; a resumed
+//! run loads the sidecar, skips every finished chunk, and recomputes only
+//! the rest.
+//!
+//! Scores are stored as `u64` bit patterns ([`f64::to_bits`]), not as
+//! decimal floats, so the round-trip through the sidecar is bit-exact —
+//! a resumed run's final tables are *identical* to an uninterrupted
+//! run's, which `tests/fault_injection.rs` and the CI kill/resume smoke
+//! step verify. Chunk granularity is fixed ([`CHECKPOINT_CHUNK`]) and
+//! independent of the worker-thread count, so a run checkpointed with 8
+//! threads can resume with 1 and vice versa.
+
+use circlekit_graph::Interrupted;
+use circlekit_scoring::BatchReport;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Number of sets per checkpoint chunk. Fixed — never derived from the
+/// thread count — so checkpoint keys are stable across hardware.
+pub const CHECKPOINT_CHUNK: usize = 64;
+
+/// Version tag of the sidecar format; bumped on layout changes.
+const CHECKPOINT_VERSION: u64 = 1;
+
+/// Why a controlled or checkpointed experiment run did not complete.
+#[derive(Debug)]
+pub enum RunError {
+    /// The run was cancelled or hit its soft deadline; completed chunks
+    /// are already in the checkpoint store.
+    Interrupted(Interrupted),
+    /// Scoring finished but some sets failed (panicked twice or carried
+    /// out-of-range members); the report names them.
+    Batch(BatchReport),
+    /// Reading or writing the checkpoint sidecar failed.
+    Io(std::io::Error),
+    /// The sidecar file exists but does not parse as a checkpoint.
+    Corrupt(String),
+    /// The sidecar was written by a run with a different root seed, so
+    /// its cached scores describe different random sets.
+    SeedMismatch {
+        /// Seed recorded in the sidecar.
+        checkpoint: u64,
+        /// Seed of the run trying to resume.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Interrupted(why) => write!(f, "run interrupted: {why}"),
+            RunError::Batch(report) => write!(f, "batch incomplete: {report}"),
+            RunError::Io(e) => write!(f, "checkpoint i/o failed: {e}"),
+            RunError::Corrupt(why) => write!(f, "checkpoint file corrupt: {why}"),
+            RunError::SeedMismatch { checkpoint, requested } => write!(
+                f,
+                "checkpoint was written with root seed {checkpoint}, \
+                 but this run uses {requested}; delete the file or rerun with --seed {checkpoint}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Io(e) => Some(e),
+            RunError::Interrupted(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<Interrupted> for RunError {
+    fn from(why: Interrupted) -> RunError {
+        RunError::Interrupted(why)
+    }
+}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> RunError {
+        RunError::Io(e)
+    }
+}
+
+/// One persisted chunk: its key and the chunk's scores as `f64` bit
+/// patterns, row-major (`set-major, function-minor`).
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct CheckpointEntry {
+    key: String,
+    bits: Vec<u64>,
+}
+
+/// The sidecar file layout.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+struct CheckpointFile {
+    version: u64,
+    root_seed: u64,
+    entries: Vec<CheckpointEntry>,
+}
+
+/// Store of completed score chunks, optionally persisted to a sidecar
+/// file after every insertion via [`CheckpointStore::flush`].
+#[derive(Debug)]
+pub struct CheckpointStore {
+    path: Option<PathBuf>,
+    root_seed: u64,
+    entries: BTreeMap<String, Vec<u64>>,
+    dirty: bool,
+}
+
+impl CheckpointStore {
+    /// A store that lives only in memory — checkpoint bookkeeping without
+    /// a sidecar file (useful in tests and for pure cancellation runs).
+    pub fn in_memory(root_seed: u64) -> CheckpointStore {
+        CheckpointStore { path: None, root_seed, entries: BTreeMap::new(), dirty: false }
+    }
+
+    /// Opens (or creates) a sidecar-backed store. If `path` exists its
+    /// entries are loaded, making a subsequent run a resume.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Io`] on read failure, [`RunError::Corrupt`] if the file
+    /// is not a valid checkpoint, and [`RunError::SeedMismatch`] if it was
+    /// written under a different `root_seed`.
+    pub fn at_path(path: impl Into<PathBuf>, root_seed: u64) -> Result<CheckpointStore, RunError> {
+        let path = path.into();
+        let mut store = CheckpointStore {
+            path: Some(path.clone()),
+            root_seed,
+            entries: BTreeMap::new(),
+            dirty: false,
+        };
+        if path.exists() {
+            let text = std::fs::read_to_string(&path)?;
+            let file: CheckpointFile = serde_json::from_str(&text)
+                .map_err(|e| RunError::Corrupt(format!("{}: {e:?}", path.display())))?;
+            if file.version != CHECKPOINT_VERSION {
+                return Err(RunError::Corrupt(format!(
+                    "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
+                    file.version
+                )));
+            }
+            if file.root_seed != root_seed {
+                return Err(RunError::SeedMismatch {
+                    checkpoint: file.root_seed,
+                    requested: root_seed,
+                });
+            }
+            for entry in file.entries {
+                store.entries.insert(entry.key, entry.bits);
+            }
+        }
+        Ok(store)
+    }
+
+    /// The root seed this store's cached scores were computed under.
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    /// The sidecar path, if this store persists to disk.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of cached chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no chunk has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a chunk is cached under `key`.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// The cached scores under `key`, decoded from their bit patterns.
+    pub fn get_scores(&self, key: &str) -> Option<Vec<f64>> {
+        self.entries
+            .get(key)
+            .map(|bits| bits.iter().map(|&b| f64::from_bits(b)).collect())
+    }
+
+    /// Caches `scores` under `key`, replacing any previous entry. Call
+    /// [`CheckpointStore::flush`] afterwards to persist.
+    pub fn put_scores(&mut self, key: &str, scores: &[f64]) {
+        self.entries
+            .insert(key.to_string(), scores.iter().map(|s| s.to_bits()).collect());
+        self.dirty = true;
+    }
+
+    /// Writes the store to its sidecar atomically (temp file + rename).
+    /// No-op for in-memory stores or when nothing changed since the last
+    /// flush.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Io`] on write failure and [`RunError::Corrupt`]
+    /// if serialisation fails (which would indicate a bug, not bad input).
+    pub fn flush(&mut self) -> Result<(), RunError> {
+        let Some(path) = &self.path else { return Ok(()) };
+        if !self.dirty {
+            return Ok(());
+        }
+        let file = CheckpointFile {
+            version: CHECKPOINT_VERSION,
+            root_seed: self.root_seed,
+            entries: self
+                .entries
+                .iter()
+                .map(|(key, bits)| CheckpointEntry { key: key.clone(), bits: bits.clone() })
+                .collect(),
+        };
+        let text = serde_json::to_string(&file)
+            .map_err(|e| RunError::Corrupt(format!("serialising checkpoint: {e:?}")))?;
+        let tmp = path.with_extension("ckpt.tmp");
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, path)?;
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+/// Builds the stable key of one score chunk.
+pub(crate) fn chunk_key(
+    experiment: &str,
+    dataset: &str,
+    collection: &str,
+    chunk_index: usize,
+) -> String {
+    format!("{experiment}/{dataset}/{collection}/paper/{chunk_index}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scores_roundtrip_bit_exactly() {
+        let mut store = CheckpointStore::in_memory(7);
+        let scores = [1.5, -0.0, f64::NAN, f64::INFINITY, 1.0 / 3.0, f64::MIN_POSITIVE];
+        store.put_scores("fig6/a/groups/paper/0", &scores);
+        let back = store.get_scores("fig6/a/groups/paper/0").unwrap();
+        assert_eq!(back.len(), scores.len());
+        for (a, b) in scores.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(store.contains("fig6/a/groups/paper/0"));
+        assert!(!store.contains("fig6/a/groups/paper/1"));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn sidecar_roundtrip_preserves_entries() {
+        let dir = std::env::temp_dir().join("circlekit-ckpt-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = CheckpointStore::at_path(&path, 42).unwrap();
+        assert!(store.is_empty());
+        store.put_scores("k/0", &[0.25, f64::NAN]);
+        store.put_scores("k/1", &[-1.0]);
+        store.flush().unwrap();
+
+        let resumed = CheckpointStore::at_path(&path, 42).unwrap();
+        assert_eq!(resumed.len(), 2);
+        let back = resumed.get_scores("k/0").unwrap();
+        assert_eq!(back[0], 0.25);
+        assert!(back[1].is_nan());
+        assert_eq!(resumed.get_scores("k/1").unwrap(), vec![-1.0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn seed_mismatch_is_refused() {
+        let dir = std::env::temp_dir().join("circlekit-ckpt-test-seed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        let _ = std::fs::remove_file(&path);
+
+        let mut store = CheckpointStore::at_path(&path, 1).unwrap();
+        store.put_scores("k/0", &[1.0]);
+        store.flush().unwrap();
+
+        match CheckpointStore::at_path(&path, 2) {
+            Err(RunError::SeedMismatch { checkpoint: 1, requested: 2 }) => {}
+            other => panic!("expected seed mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_reported() {
+        let dir = std::env::temp_dir().join("circlekit-ckpt-test-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        std::fs::write(&path, "not json at all").unwrap();
+        match CheckpointStore::at_path(&path, 1) {
+            Err(RunError::Corrupt(_)) => {}
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_without_changes_is_a_noop() {
+        let mut store = CheckpointStore::in_memory(0);
+        store.flush().unwrap(); // in-memory: always fine
+        store.put_scores("k", &[1.0]);
+        store.flush().unwrap();
+    }
+
+    #[test]
+    fn run_error_displays() {
+        let e = RunError::SeedMismatch { checkpoint: 5, requested: 6 };
+        assert!(e.to_string().contains("root seed 5"));
+        let e = RunError::Interrupted(Interrupted::DeadlineExceeded);
+        assert!(e.to_string().contains("soft deadline"));
+    }
+}

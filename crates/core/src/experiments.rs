@@ -18,13 +18,17 @@
 //! paper cites in SV-B).
 //! | [`directed_vs_undirected`] | §IV-B robustness check (≈ 2.38 %) |
 
-use circlekit_graph::{Direction, NodeId, VertexSet};
+use crate::checkpoint::{chunk_key, CheckpointStore, RunError, CHECKPOINT_CHUNK};
+use circlekit_graph::{Direction, NodeId, RunControl, VertexSet};
 use circlekit_metrics::{
     average_clustering, average_shortest_path_sampled, clustering_coefficients,
     diameter_double_sweep, DegreeKind, DegreeStats, EgoStats,
 };
 use circlekit_nullmodel::NullModelEnsemble;
-use circlekit_sampling::{size_matched_random_walk_sets, size_matched_random_walk_sets_parallel};
+use circlekit_sampling::{
+    size_matched_random_walk_sets, size_matched_random_walk_sets_parallel,
+    size_matched_random_walk_sets_parallel_with_control,
+};
 use circlekit_scoring::{ParallelScorer, ScoreTable, Scorer, ScoringFunction};
 use circlekit_statfit::{analyze_tail, FitError, ModelKind, TailFitReport};
 use circlekit_stats::{ks_two_sample, relative_deviation, Ecdf, LogHistogram, Summary};
@@ -318,6 +322,289 @@ pub fn compare_datasets_parallel(datasets: &[&SynthDataset], threads: usize) -> 
         .iter()
         .map(|ds| score_groups_parallel(ds, threads))
         .collect()
+}
+
+/// Shifts a chunk-relative [`circlekit_scoring::BatchReport`] to
+/// batch-global set indices.
+fn offset_report(
+    mut report: circlekit_scoring::BatchReport,
+    first_set: usize,
+    chunk_index: usize,
+) -> circlekit_scoring::BatchReport {
+    report.total_sets += first_set; // lower bound: sets before this chunk
+    for f in &mut report.failures {
+        f.set += first_set;
+    }
+    for c in &mut report.chunk_errors {
+        c.first_set += first_set;
+        c.chunk = chunk_index;
+    }
+    report
+}
+
+/// Scores `sets` under the paper's four functions in fixed
+/// [`CHECKPOINT_CHUNK`]-sized chunks, reusing every chunk already in
+/// `store` and persisting each newly computed one before moving on.
+///
+/// Chunk scoring goes through the robust scorer, so a worker panic is
+/// isolated and retried; an interruption flushes the store and surfaces
+/// as [`RunError::Interrupted`] with all completed chunks safely on disk.
+fn score_table_checkpointed(
+    experiment: &str,
+    dataset_name: &str,
+    collection: &str,
+    scorer: &ParallelScorer<'_>,
+    sets: &[VertexSet],
+    control: &RunControl,
+    store: &mut CheckpointStore,
+) -> Result<ScoreTable, RunError> {
+    let functions = ScoringFunction::PAPER;
+    let width = functions.len();
+    let chunk_count = sets.len().div_ceil(CHECKPOINT_CHUNK);
+    let stage = format!("{experiment}/{dataset_name}/{collection}");
+    let mut rows: Vec<Vec<f64>> = Vec::with_capacity(sets.len());
+    for (chunk_index, chunk) in sets.chunks(CHECKPOINT_CHUNK).enumerate() {
+        let key = chunk_key(experiment, dataset_name, collection, chunk_index);
+        if let Some(flat) = store.get_scores(&key) {
+            if flat.len() == chunk.len() * width {
+                rows.extend(flat.chunks(width).map(<[f64]>::to_vec));
+                control.report(&stage, chunk_index + 1, chunk_count);
+                continue;
+            }
+            // Width mismatch: a stale sidecar from a different corpus.
+            // Fall through and overwrite with a fresh computation.
+        }
+        if let Err(why) = control.check() {
+            store.flush()?;
+            return Err(RunError::Interrupted(why));
+        }
+        let robust = scorer.score_table_robust(&functions, chunk, control);
+        if let Some(why) = robust.report.interrupted {
+            store.flush()?;
+            return Err(RunError::Interrupted(why));
+        }
+        if !robust.report.is_complete() {
+            store.flush()?;
+            return Err(RunError::Batch(offset_report(
+                robust.report,
+                chunk_index * CHECKPOINT_CHUNK,
+                chunk_index,
+            )));
+        }
+        let chunk_rows: Vec<Vec<f64>> = robust
+            .rows
+            .into_iter()
+            .map(|r| r.expect("a complete batch has every row"))
+            .collect();
+        let flat: Vec<f64> = chunk_rows.iter().flatten().copied().collect();
+        store.put_scores(&key, &flat);
+        store.flush()?;
+        rows.extend(chunk_rows);
+        control.report(&stage, chunk_index + 1, chunk_count);
+    }
+    Ok(ScoreTable::from_rows(functions.to_vec(), rows)
+        .expect("every row is one score per paper function"))
+}
+
+/// Assembles [`DatasetScores`] from a paper-function score table — shared
+/// by the plain, controlled, and checkpointed Figure 6 paths.
+fn dataset_scores_from_table(dataset: &SynthDataset, table: &ScoreTable) -> DatasetScores {
+    let per_function = ScoringFunction::PAPER
+        .iter()
+        .map(|&f| {
+            let scores = table.column(f).expect("function was scored");
+            let summary = Summary::from_slice(&scores);
+            (f, scores, summary)
+        })
+        .collect();
+    DatasetScores {
+        name: dataset.name.clone(),
+        kind: dataset.kind,
+        per_function,
+    }
+}
+
+/// Checkpointed, cancellable Figure 5: the random baseline is sampled
+/// under `control`, both collections are scored chunk-by-chunk through
+/// `store`, and an uninterrupted run returns exactly what
+/// [`circles_vs_random_parallel`] returns for the same
+/// `(dataset, root_seed)` — resumed or not, at any thread count.
+///
+/// # Errors
+///
+/// [`RunError::SeedMismatch`] if `store` was written under a different
+/// `root_seed`; [`RunError::Interrupted`] if `control` stopped the run
+/// (completed chunks are flushed first); [`RunError::Batch`] if some sets
+/// could not be scored.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn circles_vs_random_checkpointed(
+    dataset: &SynthDataset,
+    root_seed: u64,
+    threads: usize,
+    control: &RunControl,
+    store: &mut CheckpointStore,
+) -> Result<CirclesVsRandom, RunError> {
+    if store.root_seed() != root_seed {
+        return Err(RunError::SeedMismatch {
+            checkpoint: store.root_seed(),
+            requested: root_seed,
+        });
+    }
+    let sizes = dataset.group_sizes();
+    let random_sets = size_matched_random_walk_sets_parallel_with_control(
+        &dataset.graph,
+        &sizes,
+        root_seed,
+        threads,
+        control,
+    )?;
+    let scorer = ParallelScorer::with_threads(&dataset.graph, threads);
+    let circle_table = score_table_checkpointed(
+        "fig5",
+        &dataset.name,
+        "circles",
+        &scorer,
+        &dataset.groups,
+        control,
+        store,
+    )?;
+    let random_table = score_table_checkpointed(
+        "fig5",
+        &dataset.name,
+        "random",
+        &scorer,
+        &random_sets,
+        control,
+        store,
+    )?;
+    let rows_of = |table: &ScoreTable| -> Vec<[f64; 4]> {
+        (0..table.set_count())
+            .map(|i| {
+                let row = table.row(i);
+                [row[0], row[1], row[2], row[3]]
+            })
+            .collect()
+    };
+    Ok(assemble_circles_vs_random(
+        dataset.name.clone(),
+        &rows_of(&circle_table),
+        &rows_of(&random_table),
+    ))
+}
+
+/// Cancellable Figure 5 without a sidecar: an in-memory checkpoint store
+/// gives panic isolation and clean interruption, nothing is persisted.
+///
+/// # Errors
+///
+/// As [`circles_vs_random_checkpointed`], minus the seed mismatch case.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn circles_vs_random_controlled(
+    dataset: &SynthDataset,
+    root_seed: u64,
+    threads: usize,
+    control: &RunControl,
+) -> Result<CirclesVsRandom, RunError> {
+    let mut store = CheckpointStore::in_memory(root_seed);
+    circles_vs_random_checkpointed(dataset, root_seed, threads, control, &mut store)
+}
+
+/// Checkpointed, cancellable [`score_groups_parallel`] (Figure 6, one
+/// data set). Uninterrupted runs — fresh or resumed — return exactly the
+/// sequential result.
+///
+/// # Errors
+///
+/// [`RunError::Interrupted`] if `control` stopped the run (completed
+/// chunks are flushed first); [`RunError::Batch`] if some groups could
+/// not be scored (e.g. out-of-range members).
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn score_groups_checkpointed(
+    dataset: &SynthDataset,
+    threads: usize,
+    control: &RunControl,
+    store: &mut CheckpointStore,
+) -> Result<DatasetScores, RunError> {
+    let scorer = ParallelScorer::with_threads(&dataset.graph, threads);
+    let table = score_table_checkpointed(
+        "fig6",
+        &dataset.name,
+        "groups",
+        &scorer,
+        &dataset.groups,
+        control,
+        store,
+    )?;
+    Ok(dataset_scores_from_table(dataset, &table))
+}
+
+/// Cancellable [`score_groups_parallel`] without persistence.
+///
+/// # Errors
+///
+/// As [`score_groups_checkpointed`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn score_groups_controlled(
+    dataset: &SynthDataset,
+    threads: usize,
+    control: &RunControl,
+) -> Result<DatasetScores, RunError> {
+    let mut store = CheckpointStore::in_memory(0);
+    score_groups_checkpointed(dataset, threads, control, &mut store)
+}
+
+/// Checkpointed, cancellable [`compare_datasets_parallel`] (Figure 6).
+/// Data sets are processed in order; an interruption mid-corpus leaves
+/// every completed chunk in `store`, so the resumed run recomputes only
+/// the tail.
+///
+/// # Errors
+///
+/// As [`score_groups_checkpointed`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn compare_datasets_checkpointed(
+    datasets: &[&SynthDataset],
+    threads: usize,
+    control: &RunControl,
+    store: &mut CheckpointStore,
+) -> Result<Vec<DatasetScores>, RunError> {
+    datasets
+        .iter()
+        .map(|ds| score_groups_checkpointed(ds, threads, control, store))
+        .collect()
+}
+
+/// Cancellable [`compare_datasets_parallel`] without persistence.
+///
+/// # Errors
+///
+/// As [`score_groups_checkpointed`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn compare_datasets_controlled(
+    datasets: &[&SynthDataset],
+    threads: usize,
+    control: &RunControl,
+) -> Result<Vec<DatasetScores>, RunError> {
+    let mut store = CheckpointStore::in_memory(0);
+    compare_datasets_checkpointed(datasets, threads, control, &mut store)
 }
 
 /// Table III: summary rows of the evaluated data sets.
@@ -843,6 +1130,117 @@ mod tests {
     fn tiny_gplus() -> SynthDataset {
         let mut rng = SmallRng::seed_from_u64(2014);
         presets::google_plus().scaled(0.004).generate(&mut rng)
+    }
+
+    /// Compares two Figure 5 results bit-for-bit (f64 equality is exact
+    /// by the determinism contract).
+    fn assert_fig5_identical(a: &CirclesVsRandom, b: &CirclesVsRandom) {
+        assert_eq!(a.dataset, b.dataset);
+        assert_eq!(a.per_function.len(), b.per_function.len());
+        for (pa, pb) in a.per_function.iter().zip(&b.per_function) {
+            assert_eq!(pa.function, pb.function);
+            assert_eq!(pa.circle_scores, pb.circle_scores);
+            assert_eq!(pa.random_scores, pb.random_scores);
+        }
+        assert_eq!(a.ratio_cut_below_random_median, b.ratio_cut_below_random_median);
+        assert_eq!(a.modularity_significant_fraction, b.modularity_significant_fraction);
+    }
+
+    #[test]
+    fn checkpointed_fig5_matches_parallel_fresh_and_resumed() {
+        let ds = tiny_gplus();
+        let reference = circles_vs_random_parallel(&ds, 7, 2);
+
+        // Fresh run through the checkpointed path.
+        let mut store = CheckpointStore::in_memory(7);
+        let fresh =
+            circles_vs_random_checkpointed(&ds, 7, 2, &RunControl::new(), &mut store).unwrap();
+        assert_fig5_identical(&reference, &fresh);
+        assert!(!store.is_empty());
+
+        // Resumed run: every chunk already cached, different thread count.
+        let resumed =
+            circles_vs_random_checkpointed(&ds, 7, 3, &RunControl::new(), &mut store).unwrap();
+        assert_fig5_identical(&reference, &resumed);
+    }
+
+    #[test]
+    fn checkpointed_fig5_refuses_seed_mismatch() {
+        let ds = tiny_gplus();
+        let mut store = CheckpointStore::in_memory(1);
+        match circles_vs_random_checkpointed(&ds, 2, 1, &RunControl::new(), &mut store) {
+            Err(RunError::SeedMismatch { checkpoint: 1, requested: 2 }) => {}
+            other => panic!("expected seed mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_fig5_keeps_completed_chunks_and_resumes_identically() {
+        let ds = tiny_gplus();
+        let reference = circles_vs_random_parallel(&ds, 11, 2);
+
+        // Cancel after the first progress report from the circles stage.
+        let mut store = CheckpointStore::in_memory(11);
+        let control = RunControl::new();
+        let flag = control.cancel_flag();
+        let control = control.with_progress(move |p| {
+            if p.stage.starts_with("fig5/") {
+                flag.cancel();
+            }
+        });
+        let interrupted = circles_vs_random_checkpointed(&ds, 11, 2, &control, &mut store);
+        match interrupted {
+            Err(RunError::Interrupted(circlekit_graph::Interrupted::Cancelled)) => {}
+            other => panic!("expected cancellation, got {other:?}"),
+        }
+
+        // Resume with the partially filled store: identical final result.
+        let resumed =
+            circles_vs_random_checkpointed(&ds, 11, 2, &RunControl::new(), &mut store).unwrap();
+        assert_fig5_identical(&reference, &resumed);
+    }
+
+    #[test]
+    fn controlled_fig6_matches_parallel() {
+        let ds = tiny_gplus();
+        let reference = score_groups_parallel(&ds, 2);
+        let controlled = score_groups_controlled(&ds, 2, &RunControl::new()).unwrap();
+        assert_eq!(reference.name, controlled.name);
+        for ((fa, sa, _), (fb, sb, _)) in
+            reference.per_function.iter().zip(&controlled.per_function)
+        {
+            assert_eq!(fa, fb);
+            assert_eq!(sa, sb);
+        }
+        let many = compare_datasets_controlled(&[&ds], 2, &RunControl::new()).unwrap();
+        assert_eq!(many.len(), 1);
+        assert_eq!(many[0].per_function[0].1, reference.per_function[0].1);
+    }
+
+    #[test]
+    fn deadline_zero_interrupts_fig6() {
+        let ds = tiny_gplus();
+        let control = RunControl::new().with_deadline(std::time::Duration::ZERO);
+        match score_groups_controlled(&ds, 2, &control) {
+            Err(RunError::Interrupted(circlekit_graph::Interrupted::DeadlineExceeded)) => {}
+            other => panic!("expected deadline, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpointed_fig6_survives_out_of_range_groups_with_batch_error() {
+        let mut ds = tiny_gplus();
+        let n = ds.graph.node_count() as u32;
+        ds.groups.push(VertexSet::from_vec(vec![0, n + 5]));
+        let mut store = CheckpointStore::in_memory(0);
+        match score_groups_checkpointed(&ds, 2, &RunControl::new(), &mut store) {
+            Err(RunError::Batch(report)) => {
+                assert_eq!(report.failures.len(), 1);
+                assert_eq!(report.failures[0].set, ds.groups.len() - 1);
+                assert!(report.failures[0].message.contains("out of range"));
+            }
+            other => panic!("expected batch error, got {other:?}"),
+        }
     }
 
     #[test]

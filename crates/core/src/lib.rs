@@ -56,5 +56,6 @@ pub use circlekit_stats as stats;
 pub use circlekit_synth as synth;
 
 pub mod categorize;
+pub mod checkpoint;
 pub mod experiments;
 pub mod render;

@@ -1,0 +1,241 @@
+//! Cooperative run control: cancellation, soft deadlines, and progress
+//! reporting for long-running batch work.
+//!
+//! Scoring thousands of vertex sets or BFS-ing a multi-million-node crawl
+//! can run for minutes; [`RunControl`] is the handle the whole pipeline
+//! threads through so such a run can be stopped cleanly. The model is
+//! strictly cooperative: workers call [`RunControl::check`] at natural
+//! checkpoint boundaries (per set, per BFS source, per chunk) and wind
+//! down when it reports an interruption — nothing is ever killed
+//! mid-computation, so partial results stay consistent.
+//!
+//! ```
+//! use circlekit_graph::{Interrupted, RunControl};
+//!
+//! let control = RunControl::new();
+//! let cancel = control.cancel_flag();
+//! assert!(control.check().is_ok());
+//! cancel.cancel();
+//! assert_eq!(control.check(), Err(Interrupted::Cancelled));
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a run stopped before finishing its batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Interrupted {
+    /// A [`CancelFlag`] was raised.
+    Cancelled,
+    /// The soft deadline passed.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupted::Cancelled => write!(f, "run cancelled"),
+            Interrupted::DeadlineExceeded => write!(f, "soft deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+/// Cloneable, thread-safe handle that requests cancellation of the run
+/// its [`RunControl`] governs.
+#[derive(Clone, Debug, Default)]
+pub struct CancelFlag {
+    raised: Arc<AtomicBool>,
+}
+
+impl CancelFlag {
+    /// Creates an un-raised flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to every clone.
+    pub fn cancel(&self) {
+        self.raised.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.raised.load(Ordering::Acquire)
+    }
+}
+
+/// Progress snapshot passed to a [`RunControl`] progress callback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunProgress<'a> {
+    /// Which pipeline stage is reporting (e.g. `"fig5/google+/circles"`).
+    pub stage: &'a str,
+    /// Work items finished so far within the stage.
+    pub completed: usize,
+    /// Total work items the stage will process.
+    pub total: usize,
+}
+
+type ProgressFn = dyn Fn(RunProgress<'_>) + Send + Sync;
+
+/// Cancellation token + soft deadline + progress sink for one run.
+///
+/// A `RunControl` is cheap to clone (all state is shared) and is passed
+/// by reference through the parallel scorer, the experiment drivers, and
+/// the slow metrics. The default value never interrupts, so
+/// `&RunControl::new()` is the "just run to completion" argument.
+///
+/// The deadline is *soft*: it is only observed at checkpoint boundaries,
+/// so a run overshoots by at most one work item.
+#[derive(Clone, Default)]
+pub struct RunControl {
+    cancel: CancelFlag,
+    deadline: Option<Instant>,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl std::fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunControl")
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("deadline", &self.deadline)
+            .field("has_progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl RunControl {
+    /// A control handle that never interrupts and reports nowhere.
+    pub fn new() -> RunControl {
+        RunControl::default()
+    }
+
+    /// Sets a soft deadline `timeout` from now.
+    #[must_use]
+    pub fn with_deadline(mut self, timeout: Duration) -> RunControl {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets a soft deadline at an absolute instant.
+    #[must_use]
+    pub fn with_deadline_at(mut self, deadline: Instant) -> RunControl {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Installs a progress callback, invoked from whichever thread hits a
+    /// checkpoint (hence `Send + Sync`).
+    #[must_use]
+    pub fn with_progress<F>(mut self, callback: F) -> RunControl
+    where
+        F: Fn(RunProgress<'_>) + Send + Sync + 'static,
+    {
+        self.progress = Some(Arc::new(callback));
+        self
+    }
+
+    /// The flag that cancels this run; clone it into watchdogs or signal
+    /// handlers.
+    pub fn cancel_flag(&self) -> CancelFlag {
+        self.cancel.clone()
+    }
+
+    /// Cooperative checkpoint: `Err` once the run should wind down.
+    ///
+    /// Cancellation is checked before the deadline, so an explicit cancel
+    /// wins when both apply.
+    pub fn check(&self) -> Result<(), Interrupted> {
+        if self.cancel.is_cancelled() {
+            return Err(Interrupted::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(Interrupted::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-consuming view of [`RunControl::check`].
+    pub fn interruption(&self) -> Option<Interrupted> {
+        self.check().err()
+    }
+
+    /// Reports stage progress to the callback, if one is installed.
+    pub fn report(&self, stage: &str, completed: usize, total: usize) {
+        if let Some(progress) = &self.progress {
+            progress(RunProgress { stage, completed, total });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_control_never_interrupts() {
+        let control = RunControl::new();
+        assert!(control.check().is_ok());
+        assert_eq!(control.interruption(), None);
+        control.report("noop", 0, 10); // no callback installed: no-op
+    }
+
+    #[test]
+    fn cancel_flag_is_shared_across_clones() {
+        let control = RunControl::new();
+        let flag = control.cancel_flag();
+        let clone = control.clone();
+        assert!(!flag.is_cancelled());
+        flag.cancel();
+        assert_eq!(control.check(), Err(Interrupted::Cancelled));
+        assert_eq!(clone.check(), Err(Interrupted::Cancelled));
+    }
+
+    #[test]
+    fn elapsed_deadline_interrupts() {
+        let control = RunControl::new().with_deadline(Duration::ZERO);
+        assert_eq!(control.check(), Err(Interrupted::DeadlineExceeded));
+        let future = RunControl::new().with_deadline(Duration::from_secs(3600));
+        assert!(future.check().is_ok());
+    }
+
+    #[test]
+    fn cancellation_wins_over_deadline() {
+        let control = RunControl::new().with_deadline(Duration::ZERO);
+        control.cancel_flag().cancel();
+        assert_eq!(control.check(), Err(Interrupted::Cancelled));
+    }
+
+    #[test]
+    fn progress_callback_observes_reports() {
+        use std::sync::Mutex;
+        let seen: Arc<Mutex<Vec<(String, usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let control = RunControl::new().with_progress(move |p| {
+            sink.lock().unwrap().push((p.stage.to_string(), p.completed, p.total));
+        });
+        control.report("stage-a", 1, 4);
+        control.report("stage-b", 4, 4);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0], ("stage-a".to_string(), 1, 4));
+        assert_eq!(seen[1], ("stage-b".to_string(), 4, 4));
+    }
+
+    #[test]
+    fn interrupted_displays_and_errors() {
+        assert_eq!(Interrupted::Cancelled.to_string(), "run cancelled");
+        assert_eq!(
+            Interrupted::DeadlineExceeded.to_string(),
+            "soft deadline exceeded"
+        );
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RunControl>();
+        assert_send_sync::<CancelFlag>();
+        assert_send_sync::<Interrupted>();
+    }
+}

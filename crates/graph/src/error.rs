@@ -67,18 +67,32 @@ pub enum ParseEdgeListReason {
     WrongFieldCount(usize),
     /// A field was not a valid `u32`.
     InvalidNodeId(String),
+    /// A node id was `>=` the host graph's node count.
+    OutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// The host graph's node count.
+        node_count: usize,
+    },
+}
+
+impl fmt::Display for ParseEdgeListReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEdgeListReason::WrongFieldCount(n) => {
+                write!(f, "expected 2 fields, found {n}")
+            }
+            ParseEdgeListReason::InvalidNodeId(s) => write!(f, "invalid node id {s:?}"),
+            ParseEdgeListReason::OutOfRange { node, node_count } => {
+                write!(f, "node id {node} out of range for graph with {node_count} nodes")
+            }
+        }
+    }
 }
 
 impl fmt::Display for ParseEdgeListError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match &self.reason {
-            ParseEdgeListReason::WrongFieldCount(n) => {
-                write!(f, "line {}: expected 2 fields, found {n}", self.line)
-            }
-            ParseEdgeListReason::InvalidNodeId(s) => {
-                write!(f, "line {}: invalid node id {s:?}", self.line)
-            }
-        }
+        write!(f, "line {}: {}", self.line, self.reason)
     }
 }
 

@@ -6,7 +6,8 @@
 //! (`com-*.top5000.cmty.txt`) are the same without labels. This module
 //! reads and writes both.
 
-use crate::error::{ParseEdgeListError, ParseEdgeListReason};
+use crate::error::{GraphError, ParseEdgeListError, ParseEdgeListReason};
+use crate::ingest::{IngestPolicy, IngestReport, LineIssue};
 use crate::{NodeId, VertexSet};
 use std::io::{self, Write};
 
@@ -52,6 +53,211 @@ pub fn parse_groups(text: &str) -> Result<Vec<VertexSet>, ParseEdgeListError> {
         }
     }
     Ok(groups)
+}
+
+/// Parses a SNAP-style groups file leniently, skipping unparseable lines
+/// and — when `node_count` is given — dropping member ids `>=` that
+/// count, with everything accounted for in the [`IngestReport`].
+///
+/// A line whose members all get dropped (or a label-only line) counts
+/// toward [`IngestReport::empty_groups`] and yields no group. Never
+/// fails.
+///
+/// ```
+/// use circlekit_graph::parse_groups_lenient;
+/// let (groups, report) = parse_groups_lenient("1 2 99\nonlylabel\n", Some(10));
+/// assert_eq!(groups.len(), 1);
+/// assert_eq!(groups[0].as_slice(), &[1, 2]);
+/// assert_eq!(report.dropped_members, 1); // 99 >= 10
+/// assert_eq!(report.empty_groups, 1);
+/// ```
+pub fn parse_groups_lenient(
+    text: &str,
+    node_count: Option<usize>,
+) -> (Vec<VertexSet>, IngestReport) {
+    let mut groups = Vec::new();
+    let mut report = IngestReport::default();
+    for (idx, raw) in text.lines().enumerate() {
+        report.lines = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut members: Vec<NodeId> = Vec::new();
+        let mut had_field = false;
+        let mut skipped_line = false;
+        for (pos, field) in line.split_whitespace().enumerate() {
+            had_field = true;
+            match field.parse::<NodeId>() {
+                Ok(v) => {
+                    if node_count.is_some_and(|n| (v as usize) >= n) {
+                        report.dropped_members += 1;
+                    } else {
+                        members.push(v);
+                    }
+                }
+                Err(_) if pos == 0 => {} // leading label, e.g. "circle3"
+                Err(_) => {
+                    report.skipped.push(LineIssue {
+                        line: idx + 1,
+                        reason: ParseEdgeListReason::InvalidNodeId(field.to_string()),
+                    });
+                    skipped_line = true;
+                    break;
+                }
+            }
+        }
+        if skipped_line {
+            continue;
+        }
+        if members.is_empty() {
+            if had_field {
+                report.empty_groups += 1;
+            }
+            continue;
+        }
+        groups.push(VertexSet::from_vec(members));
+    }
+    report.records = groups.len();
+    (groups, report)
+}
+
+/// Parses a groups file under the given [`IngestPolicy`].
+///
+/// * [`IngestPolicy::FailFast`] — abort on the first bad line or (when
+///   `node_count` is given) the first out-of-range member, equivalent to
+///   [`parse_groups`] plus [`validate_groups`].
+/// * [`IngestPolicy::Strict`] — scan everything, then fail with the first
+///   recorded issue if the input was not clean of skips or drops.
+/// * [`IngestPolicy::Lenient`] — never fail; skip, drop, and report.
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] as described per policy. Out-of-range
+/// members surface as [`ParseEdgeListReason::OutOfRange`].
+pub fn parse_groups_with_policy(
+    text: &str,
+    node_count: Option<usize>,
+    policy: IngestPolicy,
+) -> Result<(Vec<VertexSet>, IngestReport), ParseEdgeListError> {
+    match policy {
+        IngestPolicy::FailFast => {
+            let groups = parse_groups(text)?;
+            if let Some(n) = node_count {
+                if let Err(GraphError::NodeOutOfRange { node, node_count }) =
+                    validate_groups(&groups, n)
+                {
+                    // Re-scan for the offending line so the error carries
+                    // a line number like every other parse failure.
+                    let line = line_of_member(text, node)
+                        .unwrap_or(text.lines().count().max(1));
+                    return Err(ParseEdgeListError {
+                        line,
+                        reason: ParseEdgeListReason::OutOfRange { node, node_count },
+                    });
+                }
+            }
+            let report = IngestReport {
+                lines: text.lines().count(),
+                records: groups.len(),
+                ..Default::default()
+            };
+            Ok((groups, report))
+        }
+        IngestPolicy::Strict | IngestPolicy::Lenient => {
+            let (groups, report) = parse_groups_lenient(text, node_count);
+            if policy == IngestPolicy::Strict && !report.is_clean() {
+                if let Some(issue) = report.first_issue() {
+                    return Err(ParseEdgeListError {
+                        line: issue.line,
+                        reason: issue.reason.clone(),
+                    });
+                }
+                // Drops without skipped lines: point at the first
+                // out-of-range member.
+                if let Some(n) = node_count {
+                    for group in &groups_with_raw_members(text) {
+                        for &(line, v) in group {
+                            if (v as usize) >= n {
+                                return Err(ParseEdgeListError {
+                                    line,
+                                    reason: ParseEdgeListReason::OutOfRange {
+                                        node: v,
+                                        node_count: n,
+                                    },
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            Ok((groups, report))
+        }
+    }
+}
+
+/// Finds the 1-based line number of the first occurrence of `node` as a
+/// member field in a groups file.
+fn line_of_member(text: &str, node: NodeId) -> Option<usize> {
+    for (idx, line) in text.lines().enumerate() {
+        for (pos, field) in line.split_whitespace().enumerate() {
+            match field.parse::<NodeId>() {
+                Ok(v) if v == node => return Some(idx + 1),
+                Ok(_) => {}
+                Err(_) if pos == 0 => {}
+                Err(_) => break,
+            }
+        }
+    }
+    None
+}
+
+/// Raw member fields per parseable line, with line numbers — used to
+/// locate out-of-range members for strict-mode errors.
+fn groups_with_raw_members(text: &str) -> Vec<Vec<(usize, NodeId)>> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let mut members = Vec::new();
+        for (pos, field) in line.split_whitespace().enumerate() {
+            match field.parse::<NodeId>() {
+                Ok(v) => members.push((idx + 1, v)),
+                Err(_) if pos == 0 => {}
+                Err(_) => {
+                    members.clear();
+                    break;
+                }
+            }
+        }
+        if !members.is_empty() {
+            out.push(members);
+        }
+    }
+    out
+}
+
+/// Validates that every member of every group is a node of the host
+/// graph, i.e. `< node_count`.
+///
+/// Scoring entry points call this so out-of-range ids fail loudly at load
+/// time instead of flowing silently into `SetStats`.
+///
+/// # Errors
+///
+/// Returns [`GraphError::NodeOutOfRange`] naming the first offending id.
+pub fn validate_groups(groups: &[VertexSet], node_count: usize) -> Result<(), GraphError> {
+    for group in groups {
+        // Sets are sorted ascending: checking the maximum suffices.
+        if let Some(&max) = group.as_slice().last() {
+            if (max as usize) >= node_count {
+                let node = group
+                    .iter()
+                    .find(|&v| (v as usize) >= node_count)
+                    .expect("max member is out of range");
+                return Err(GraphError::NodeOutOfRange { node, node_count });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Writes groups in SNAP style: `label<TAB>id id id ...`, one per line,
@@ -112,5 +318,80 @@ mod tests {
     fn empty_input_is_empty_output() {
         assert!(parse_groups("").unwrap().is_empty());
         assert!(parse_groups("# only a comment\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn lenient_skips_garbage_lines_and_counts_label_only() {
+        let (groups, report) =
+            parse_groups_lenient("circle0\t1 2\n3 oops 4\nemptylabel\n5 6\n", None);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].as_slice(), &[1, 2]);
+        assert_eq!(groups[1].as_slice(), &[5, 6]);
+        assert_eq!(report.records, 2);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].line, 2);
+        assert_eq!(report.empty_groups, 1);
+    }
+
+    #[test]
+    fn lenient_drops_out_of_range_members() {
+        let (groups, report) = parse_groups_lenient("1 2 50\n60 70\n", Some(10));
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].as_slice(), &[1, 2]);
+        assert_eq!(report.dropped_members, 3);
+        assert_eq!(report.empty_groups, 1); // 60 70 all dropped
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn validate_groups_flags_out_of_range() {
+        let groups = vec![
+            VertexSet::from_vec(vec![1, 2]),
+            VertexSet::from_vec(vec![3, 11]),
+        ];
+        assert!(validate_groups(&groups, 12).is_ok());
+        let err = validate_groups(&groups, 10).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 11, node_count: 10 });
+        assert!(validate_groups(&[], 0).is_ok());
+    }
+
+    #[test]
+    fn policy_failfast_rejects_out_of_range_with_line_number() {
+        let err = parse_groups_with_policy("1 2\ncircle1\t3 99\n", Some(10), IngestPolicy::FailFast)
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(
+            err.reason,
+            ParseEdgeListReason::OutOfRange { node: 99, node_count: 10 }
+        );
+    }
+
+    #[test]
+    fn policy_strict_fails_on_drops_even_without_skips() {
+        let err = parse_groups_with_policy("1 2\n3 42\n", Some(10), IngestPolicy::Strict)
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(
+            err.reason,
+            ParseEdgeListReason::OutOfRange { node: 42, node_count: 10 }
+        );
+    }
+
+    #[test]
+    fn policy_lenient_never_fails_and_reports() {
+        let (groups, report) =
+            parse_groups_with_policy("1 2\nbad words here\n", Some(10), IngestPolicy::Lenient)
+                .unwrap();
+        assert_eq!(groups.len(), 1);
+        assert_eq!(report.skipped.len(), 1);
+    }
+
+    #[test]
+    fn policy_failfast_accepts_clean_input() {
+        let (groups, report) =
+            parse_groups_with_policy("1 2\n3 4\n", Some(10), IngestPolicy::FailFast).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert!(report.is_clean());
+        assert_eq!(report.records, 2);
     }
 }

@@ -1,0 +1,154 @@
+//! Lenient ingestion: per-line error collection for real-world SNAP dumps.
+//!
+//! Crawled edge lists and community files are routinely truncated
+//! mid-line, CRLF-mangled, or reference node ids outside the host graph.
+//! The strict parsers in [`crate::io`] / [`crate::groups_io`] abort on the
+//! first bad line; the `*_lenient` variants instead skip offending lines,
+//! collect every problem into an [`IngestReport`], and return whatever
+//! parsed cleanly. [`IngestPolicy`] names the three behaviours the CLI
+//! exposes as `--on-error {fail,skip,report}`.
+
+use crate::error::ParseEdgeListReason;
+use std::fmt;
+
+/// How ingestion reacts to malformed input.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IngestPolicy {
+    /// Abort on the first malformed line (the strict parsers' behaviour;
+    /// the default).
+    #[default]
+    FailFast,
+    /// Scan the whole input, then fail with the *first* issue if any line
+    /// was malformed — useful for reporting all problems of a corpus in
+    /// one pass before rejecting it.
+    Strict,
+    /// Skip malformed lines and out-of-range ids, recording each skip in
+    /// the [`IngestReport`].
+    Lenient,
+}
+
+impl IngestPolicy {
+    /// Parses the CLI spelling (`fail` | `strict` | `skip` | `report`).
+    /// `skip` and `report` both map to [`IngestPolicy::Lenient`]; the CLI
+    /// decides whether to print the report.
+    pub fn from_cli(value: &str) -> Option<IngestPolicy> {
+        match value {
+            "fail" => Some(IngestPolicy::FailFast),
+            "strict" => Some(IngestPolicy::Strict),
+            "skip" | "report" => Some(IngestPolicy::Lenient),
+            _ => None,
+        }
+    }
+}
+
+/// One skipped line: where and why.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LineIssue {
+    /// 1-based line number in the source text (comment and blank lines
+    /// count toward the numbering, matching editor line numbers).
+    pub line: usize,
+    /// What was wrong with the line.
+    pub reason: ParseEdgeListReason,
+}
+
+impl fmt::Display for LineIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+/// Outcome summary of one lenient ingestion pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Total lines scanned (including comments and blanks).
+    pub lines: usize,
+    /// Records kept: edges for edge lists, non-empty groups for group
+    /// files.
+    pub records: usize,
+    /// Lines skipped because they failed to parse, in line order.
+    pub skipped: Vec<LineIssue>,
+    /// Duplicate edge occurrences observed (same `(u, v)` pair seen
+    /// again; the graph builder would collapse these silently).
+    pub duplicate_edges: usize,
+    /// Group member ids dropped because they were `>=` the host graph's
+    /// node count.
+    pub dropped_members: usize,
+    /// Groups dropped because every member was dropped, plus label-only
+    /// lines that carried no members to begin with.
+    pub empty_groups: usize,
+}
+
+impl IngestReport {
+    /// Whether the input parsed without any skip, drop, or duplicate.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+            && self.duplicate_edges == 0
+            && self.dropped_members == 0
+            && self.empty_groups == 0
+    }
+
+    /// The first issue encountered, if any line was skipped — what
+    /// [`IngestPolicy::Strict`] fails with.
+    pub fn first_issue(&self) -> Option<&LineIssue> {
+        self.skipped.first()
+    }
+}
+
+impl fmt::Display for IngestReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "ingest: {} lines, {} records kept, {} lines skipped, \
+             {} duplicate edges, {} members dropped, {} empty groups",
+            self.lines,
+            self.records,
+            self.skipped.len(),
+            self.duplicate_edges,
+            self.dropped_members,
+            self.empty_groups
+        )?;
+        for issue in &self.skipped {
+            writeln!(f, "  skipped {issue}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_parses_cli_spellings() {
+        assert_eq!(IngestPolicy::from_cli("fail"), Some(IngestPolicy::FailFast));
+        assert_eq!(IngestPolicy::from_cli("strict"), Some(IngestPolicy::Strict));
+        assert_eq!(IngestPolicy::from_cli("skip"), Some(IngestPolicy::Lenient));
+        assert_eq!(IngestPolicy::from_cli("report"), Some(IngestPolicy::Lenient));
+        assert_eq!(IngestPolicy::from_cli("explode"), None);
+        assert_eq!(IngestPolicy::default(), IngestPolicy::FailFast);
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let report = IngestReport { lines: 10, records: 10, ..Default::default() };
+        assert!(report.is_clean());
+        assert!(report.first_issue().is_none());
+    }
+
+    #[test]
+    fn report_display_lists_issues() {
+        let report = IngestReport {
+            lines: 3,
+            records: 2,
+            skipped: vec![LineIssue {
+                line: 2,
+                reason: ParseEdgeListReason::WrongFieldCount(3),
+            }],
+            ..Default::default()
+        };
+        assert!(!report.is_clean());
+        let text = report.to_string();
+        assert!(text.contains("1 lines skipped"), "{text}");
+        assert!(text.contains("line 2: expected 2 fields, found 3"), "{text}");
+    }
+}

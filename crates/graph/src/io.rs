@@ -2,10 +2,37 @@
 //!
 //! Lines are `u<sep>v` with whitespace separators; `#`-prefixed lines are
 //! comments. This is the format of the SNAP data sets the paper uses.
+//!
+//! Two parsing regimes: the strict [`parse_edge_list`] /
+//! [`read_edge_list`] abort on the first malformed line, while
+//! [`parse_edge_list_lenient`] / [`read_edge_list_lenient`] skip bad
+//! lines and account for them in an [`IngestReport`] — the mode real
+//! crawled dumps (truncated tails, CRLF endings, stray tokens) need.
+//! [`parse_edge_list_with_policy`] selects a regime by [`IngestPolicy`].
 
 use crate::error::{ParseEdgeListError, ParseEdgeListReason};
+use crate::ingest::{IngestPolicy, IngestReport, LineIssue};
 use crate::{Graph, NodeId};
-use std::io::{self, BufReader, Read, Write};
+use std::collections::HashSet;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Parses one edge-list line. `Ok(None)` for blank/comment lines.
+fn parse_edge_line(line: &str) -> Result<Option<(NodeId, NodeId)>, ParseEdgeListReason> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut fields = line.split_whitespace();
+    let (Some(a), Some(b), None) = (fields.next(), fields.next(), fields.next()) else {
+        let n = line.split_whitespace().count();
+        return Err(ParseEdgeListReason::WrongFieldCount(n));
+    };
+    let parse = |s: &str| {
+        s.parse::<NodeId>()
+            .map_err(|_| ParseEdgeListReason::InvalidNodeId(s.to_string()))
+    };
+    Ok(Some((parse(a)?, parse(b)?)))
+}
 
 /// Parses a whitespace-separated edge list from a string.
 ///
@@ -25,39 +52,144 @@ use std::io::{self, BufReader, Read, Write};
 pub fn parse_edge_list(text: &str) -> Result<Vec<(NodeId, NodeId)>, ParseEdgeListError> {
     let mut edges = Vec::new();
     for (idx, line) in text.lines().enumerate() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        match parse_edge_line(line) {
+            Ok(Some(edge)) => edges.push(edge),
+            Ok(None) => {}
+            Err(reason) => return Err(ParseEdgeListError { line: idx + 1, reason }),
         }
-        let fields: Vec<&str> = line.split_whitespace().collect();
-        if fields.len() != 2 {
-            return Err(ParseEdgeListError {
-                line: idx + 1,
-                reason: ParseEdgeListReason::WrongFieldCount(fields.len()),
-            });
-        }
-        let parse = |s: &str| {
-            s.parse::<NodeId>().map_err(|_| ParseEdgeListError {
-                line: idx + 1,
-                reason: ParseEdgeListReason::InvalidNodeId(s.to_string()),
-            })
-        };
-        edges.push((parse(fields[0])?, parse(fields[1])?));
     }
     Ok(edges)
 }
 
+/// Parses a whitespace-separated edge list, skipping malformed lines and
+/// recording every skip (and duplicate edge occurrence) in the returned
+/// [`IngestReport`].
+///
+/// Never fails: a fully garbled input yields an empty edge list and a
+/// report with one [`LineIssue`] per line.
+///
+/// ```
+/// use circlekit_graph::parse_edge_list_lenient;
+/// let (edges, report) = parse_edge_list_lenient("0 1\nbogus\n1 2\n0 1\n");
+/// assert_eq!(edges, vec![(0, 1), (1, 2), (0, 1)]);
+/// assert_eq!(report.skipped.len(), 1);
+/// assert_eq!(report.skipped[0].line, 2);
+/// assert_eq!(report.duplicate_edges, 1);
+/// ```
+pub fn parse_edge_list_lenient(text: &str) -> (Vec<(NodeId, NodeId)>, IngestReport) {
+    let mut edges = Vec::new();
+    let mut report = IngestReport::default();
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for (idx, line) in text.lines().enumerate() {
+        report.lines = idx + 1;
+        match parse_edge_line(line) {
+            Ok(Some(edge)) => {
+                if !seen.insert(edge) {
+                    report.duplicate_edges += 1;
+                }
+                edges.push(edge);
+            }
+            Ok(None) => {}
+            Err(reason) => report.skipped.push(LineIssue { line: idx + 1, reason }),
+        }
+    }
+    report.records = edges.len();
+    (edges, report)
+}
+
+/// Parses an edge list under the given [`IngestPolicy`].
+///
+/// * [`IngestPolicy::FailFast`] — abort on the first malformed line
+///   (equivalent to [`parse_edge_list`]; the report is only filled up to
+///   the failure).
+/// * [`IngestPolicy::Strict`] — scan everything, then fail with the first
+///   issue if any line was malformed.
+/// * [`IngestPolicy::Lenient`] — never fail; skip and report.
+///
+/// # Errors
+///
+/// Returns [`ParseEdgeListError`] as described per policy.
+pub fn parse_edge_list_with_policy(
+    text: &str,
+    policy: IngestPolicy,
+) -> Result<(Vec<(NodeId, NodeId)>, IngestReport), ParseEdgeListError> {
+    match policy {
+        IngestPolicy::FailFast => {
+            let edges = parse_edge_list(text)?;
+            let report = IngestReport {
+                lines: text.lines().count(),
+                records: edges.len(),
+                ..Default::default()
+            };
+            Ok((edges, report))
+        }
+        IngestPolicy::Strict | IngestPolicy::Lenient => {
+            let (edges, report) = parse_edge_list_lenient(text);
+            if policy == IngestPolicy::Strict {
+                if let Some(issue) = report.first_issue() {
+                    return Err(ParseEdgeListError {
+                        line: issue.line,
+                        reason: issue.reason.clone(),
+                    });
+                }
+            }
+            Ok((edges, report))
+        }
+    }
+}
+
 /// Reads an edge list from any [`Read`] implementation (a `&mut` reference
-/// works too).
+/// works too), streaming line by line — a multi-gigabyte SNAP dump is
+/// never buffered whole in memory.
 ///
 /// # Errors
 ///
 /// Returns an [`io::Error`] on read failure; parse failures are wrapped as
 /// [`io::ErrorKind::InvalidData`].
 pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Vec<(NodeId, NodeId)>> {
-    let mut text = String::new();
-    BufReader::new(reader).read_to_string(&mut text)?;
-    parse_edge_list(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    let mut edges = Vec::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        match parse_edge_line(&line?) {
+            Ok(Some(edge)) => edges.push(edge),
+            Ok(None) => {}
+            Err(reason) => {
+                let e = ParseEdgeListError { line: idx + 1, reason };
+                return Err(io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+        }
+    }
+    Ok(edges)
+}
+
+/// Streaming counterpart of [`parse_edge_list_lenient`]: reads line by
+/// line from any [`Read`] implementation, skipping malformed lines into
+/// the report.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] only on read failure — parse problems are
+/// reported, never fatal.
+pub fn read_edge_list_lenient<R: Read>(
+    reader: R,
+) -> io::Result<(Vec<(NodeId, NodeId)>, IngestReport)> {
+    let mut edges = Vec::new();
+    let mut report = IngestReport::default();
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        report.lines = idx + 1;
+        match parse_edge_line(&line?) {
+            Ok(Some(edge)) => {
+                if !seen.insert(edge) {
+                    report.duplicate_edges += 1;
+                }
+                edges.push(edge);
+            }
+            Ok(None) => {}
+            Err(reason) => report.skipped.push(LineIssue { line: idx + 1, reason }),
+        }
+    }
+    report.records = edges.len();
+    Ok((edges, report))
 }
 
 /// Writes a graph's edges as a plain-text edge list (one `u v` pair per
@@ -114,12 +246,68 @@ mod tests {
     }
 
     #[test]
+    fn parse_accepts_crlf_line_endings() {
+        let edges = parse_edge_list("0 1\r\n1\t2\r\n").unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
     fn parse_reports_line_numbers() {
         let err = parse_edge_list("0 1\n0 1 2\n").unwrap_err();
         assert_eq!(err.line, 2);
         let err = parse_edge_list("0 x\n").unwrap_err();
         assert_eq!(err.line, 1);
         assert!(err.to_string().contains("invalid node id"));
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_reports() {
+        let (edges, report) =
+            parse_edge_list_lenient("0 1\n0 1 2\n# fine\nnope\n1 2\n");
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(report.lines, 5);
+        assert_eq!(report.records, 2);
+        assert_eq!(report.skipped.len(), 2);
+        assert_eq!(report.skipped[0].line, 2);
+        assert_eq!(
+            report.skipped[0].reason,
+            ParseEdgeListReason::WrongFieldCount(3)
+        );
+        assert_eq!(report.skipped[1].line, 4);
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn lenient_parse_counts_duplicates() {
+        let (edges, report) = parse_edge_list_lenient("0 1\n0 1\n1 0\n0 1\n");
+        assert_eq!(edges.len(), 4); // kept; the builder collapses them
+        assert_eq!(report.duplicate_edges, 2); // (1,0) is a distinct pair
+    }
+
+    #[test]
+    fn policy_failfast_matches_strict_parser() {
+        let err = parse_edge_list_with_policy("0 1\nbad\n", IngestPolicy::FailFast).unwrap_err();
+        assert_eq!(err.line, 2);
+        let (edges, report) =
+            parse_edge_list_with_policy("0 1\n1 2\n", IngestPolicy::FailFast).unwrap();
+        assert_eq!(edges.len(), 2);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn policy_strict_scans_then_fails_with_first_issue() {
+        let err = parse_edge_list_with_policy("0 1\nbad\nworse 1 2\n", IngestPolicy::Strict)
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.reason, ParseEdgeListReason::WrongFieldCount(1));
+    }
+
+    #[test]
+    fn policy_lenient_never_fails() {
+        let (edges, report) =
+            parse_edge_list_with_policy("only garbage\n", IngestPolicy::Lenient).unwrap();
+        assert!(edges.is_empty());
+        assert_eq!(report.skipped.len(), 1);
     }
 
     #[test]
@@ -139,9 +327,30 @@ mod tests {
     }
 
     #[test]
+    fn read_edge_list_handles_missing_trailing_newline() {
+        let data = b"0 1\n1 2" as &[u8];
+        let edges = read_edge_list(data).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
     fn read_edge_list_surfaces_parse_error_as_invalid_data() {
         let data = b"bogus\n" as &[u8];
         let err = read_edge_list(data).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn read_edge_list_lenient_reports_truncated_tail() {
+        // A dump truncated mid-line: the final line has one field.
+        let data = b"0 1\n1 2\n2" as &[u8];
+        let (edges, report) = read_edge_list_lenient(data).unwrap();
+        assert_eq!(edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(report.skipped.len(), 1);
+        assert_eq!(report.skipped[0].line, 3);
+        assert_eq!(
+            report.skipped[0].reason,
+            ParseEdgeListReason::WrongFieldCount(1)
+        );
     }
 }

@@ -44,11 +44,13 @@
 
 mod builder;
 mod components;
+mod control;
 mod convert;
 mod csr;
 mod error;
 mod graph;
 mod groups_io;
+mod ingest;
 mod io;
 mod scc;
 mod serde_impl;
@@ -57,11 +59,18 @@ mod vertex_set;
 
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component, ComponentLabels};
+pub use control::{CancelFlag, Interrupted, RunControl, RunProgress};
 pub use convert::Subgraph;
-pub use error::{GraphError, ParseEdgeListError};
+pub use error::{GraphError, ParseEdgeListError, ParseEdgeListReason};
 pub use graph::{Direction, Edges, Graph, Neighbors};
-pub use groups_io::{parse_groups, write_groups};
-pub use io::{parse_edge_list, read_edge_list, write_edge_list};
+pub use groups_io::{
+    parse_groups, parse_groups_lenient, parse_groups_with_policy, validate_groups, write_groups,
+};
+pub use ingest::{IngestPolicy, IngestReport, LineIssue};
+pub use io::{
+    parse_edge_list, parse_edge_list_lenient, parse_edge_list_with_policy, read_edge_list,
+    read_edge_list_lenient, write_edge_list,
+};
 pub use scc::{strongly_connected_components, SccLabels};
 pub use traversal::{bfs_distances, bfs_reachable, eccentricity, UNREACHABLE};
 pub use vertex_set::VertexSet;

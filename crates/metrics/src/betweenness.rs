@@ -1,6 +1,6 @@
 //! Betweenness centrality (Brandes' algorithm).
 
-use circlekit_graph::{Direction, Graph, NodeId};
+use circlekit_graph::{Direction, Graph, Interrupted, NodeId, RunControl};
 
 /// Node betweenness centrality via Brandes' accumulation, treating the
 /// graph as unweighted and (for directed graphs) following the given
@@ -10,6 +10,27 @@ use circlekit_graph::{Direction, Graph, NodeId};
 /// summed over all ordered source–target pairs (no normalisation, so
 /// values are comparable within one graph).
 pub fn betweenness(graph: &Graph, dir: Direction) -> Vec<f64> {
+    betweenness_with_control(graph, dir, &RunControl::new())
+        .expect("a default RunControl never interrupts")
+}
+
+/// Cancellable [`betweenness`]: `control` is observed once per BFS
+/// source — the natural checkpoint of Brandes' outer loop — so an
+/// `O(n · m)` run on a crawl-scale graph can be stopped or deadlined
+/// without burning the full cost.
+///
+/// Progress is reported as completed sources out of `node_count`.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] if the control asked the run to stop;
+/// betweenness accumulations from a partial source scan are biased, so no
+/// partial vector is returned.
+pub fn betweenness_with_control(
+    graph: &Graph,
+    dir: Direction,
+    control: &RunControl,
+) -> Result<Vec<f64>, Interrupted> {
     let n = graph.node_count();
     let mut centrality = vec![0.0f64; n];
     let mut sigma = vec![0.0f64; n]; // shortest-path counts
@@ -20,6 +41,8 @@ pub fn betweenness(graph: &Graph, dir: Direction) -> Vec<f64> {
     let mut queue = std::collections::VecDeque::new();
 
     for s in 0..n as NodeId {
+        control.check()?;
+        control.report("betweenness", s as usize, n);
         // Reset per-source state.
         for v in 0..n {
             sigma[v] = 0.0;
@@ -64,7 +87,7 @@ pub fn betweenness(graph: &Graph, dir: Direction) -> Vec<f64> {
             *c /= 2.0;
         }
     }
-    centrality
+    Ok(centrality)
 }
 
 /// Edge betweenness centrality: like [`betweenness`] but accumulated on
@@ -201,5 +224,41 @@ mod tests {
         let g = circlekit_graph::GraphBuilder::undirected().build();
         assert!(betweenness(&g, Direction::Both).is_empty());
         assert!(edge_betweenness(&g, Direction::Both).is_empty());
+    }
+
+    #[test]
+    fn controlled_betweenness_matches_plain_when_uninterrupted() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]);
+        let plain = betweenness(&g, Direction::Both);
+        let controlled =
+            betweenness_with_control(&g, Direction::Both, &RunControl::new()).unwrap();
+        assert_eq!(plain, controlled);
+    }
+
+    #[test]
+    fn cancelled_betweenness_stops_cleanly() {
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 3), (3, 4)]);
+        let control = RunControl::new();
+        control.cancel_flag().cancel();
+        assert_eq!(
+            betweenness_with_control(&g, Direction::Both, &control),
+            Err(Interrupted::Cancelled)
+        );
+    }
+
+    #[test]
+    fn betweenness_reports_per_source_progress() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let g = Graph::from_edges(false, [(0u32, 1u32), (1, 2)]);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let sink = Arc::clone(&seen);
+        let control = RunControl::new().with_progress(move |p| {
+            assert_eq!(p.stage, "betweenness");
+            assert_eq!(p.total, 3);
+            sink.fetch_add(1, Ordering::SeqCst);
+        });
+        betweenness_with_control(&g, Direction::Both, &control).unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 3);
     }
 }

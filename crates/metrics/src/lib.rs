@@ -30,12 +30,13 @@ mod pagerank;
 mod paths;
 
 pub use assortativity::degree_assortativity;
-pub use betweenness::{betweenness, edge_betweenness};
+pub use betweenness::{betweenness, betweenness_with_control, edge_betweenness};
 pub use clustering::{average_clustering, clustering_coefficients, triangle_count, triangles_per_node};
 pub use degree::{degree_counts, DegreeKind, DegreeStats};
 pub use ego::{ego_membership_counts, ego_overlap_fraction, EgoStats};
 pub use pagerank::pagerank;
 pub use paths::{
-    average_shortest_path, average_shortest_path_sampled, diameter_double_sweep, diameter_exact,
-    effective_diameter, PathStats,
+    average_shortest_path, average_shortest_path_sampled,
+    average_shortest_path_sampled_with_control, diameter_double_sweep, diameter_exact,
+    diameter_exact_with_control, effective_diameter, PathStats,
 };

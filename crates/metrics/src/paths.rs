@@ -1,6 +1,6 @@
 //! Node separation: diameter and average shortest path (§IV-A.3).
 
-use circlekit_graph::{bfs_distances, Direction, Graph, NodeId, UNREACHABLE};
+use circlekit_graph::{bfs_distances, Direction, Graph, Interrupted, NodeId, RunControl, UNREACHABLE};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -22,10 +22,25 @@ fn scan_sources<I>(graph: &Graph, sources: I, dir: Direction) -> PathStats
 where
     I: IntoIterator<Item = NodeId>,
 {
+    let sources: Vec<NodeId> = sources.into_iter().collect();
+    scan_sources_with_control(graph, sources, dir, &RunControl::new())
+        .expect("a default RunControl never interrupts")
+}
+
+/// BFS scan with a cooperative checkpoint per source node.
+fn scan_sources_with_control(
+    graph: &Graph,
+    sources: Vec<NodeId>,
+    dir: Direction,
+    control: &RunControl,
+) -> Result<PathStats, Interrupted> {
+    let total_sources = sources.len();
     let mut diameter = 0u32;
     let mut total = 0u64;
     let mut pairs = 0u64;
+    let mut scanned = 0usize;
     for src in sources {
+        control.check()?;
         let dist = bfs_distances(graph, src, dir);
         for d in dist {
             if d != UNREACHABLE && d > 0 {
@@ -34,12 +49,14 @@ where
                 pairs += 1;
             }
         }
+        scanned += 1;
+        control.report("paths", scanned, total_sources);
     }
-    PathStats {
+    Ok(PathStats {
         diameter,
         average: if pairs == 0 { 0.0 } else { total as f64 / pairs as f64 },
         pairs,
-    }
+    })
 }
 
 /// Exact diameter and average shortest path via BFS from **every** node.
@@ -57,6 +74,24 @@ where
 /// ```
 pub fn diameter_exact(graph: &Graph, dir: Direction) -> PathStats {
     scan_sources(graph, 0..graph.node_count() as NodeId, dir)
+}
+
+/// Cancellable [`diameter_exact`]: `control` is observed once per BFS
+/// source, so the `O(n · m)` scan can be stopped or deadlined cleanly.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] if the control asked the run to stop. A
+/// diameter/ASP over a partial source scan is a biased estimate, so no
+/// partial value is returned — use [`average_shortest_path_sampled`]
+/// with fewer sources instead when time is short.
+pub fn diameter_exact_with_control(
+    graph: &Graph,
+    dir: Direction,
+    control: &RunControl,
+) -> Result<PathStats, Interrupted> {
+    let sources: Vec<NodeId> = (0..graph.node_count() as NodeId).collect();
+    scan_sources_with_control(graph, sources, dir, control)
 }
 
 /// Exact average shortest path (alias of [`diameter_exact`], exposed under
@@ -85,6 +120,31 @@ pub fn average_shortest_path_sampled<R: Rng + ?Sized>(
     nodes.shuffle(rng);
     nodes.truncate(sources.min(n));
     scan_sources(graph, nodes, dir)
+}
+
+/// Cancellable [`average_shortest_path_sampled`], observing `control`
+/// once per BFS source. The source sample is drawn identically to the
+/// uncontrolled variant (same RNG consumption), so an uninterrupted run
+/// returns bit-identical statistics.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] if the control asked the run to stop.
+pub fn average_shortest_path_sampled_with_control<R: Rng + ?Sized>(
+    graph: &Graph,
+    dir: Direction,
+    sources: usize,
+    rng: &mut R,
+    control: &RunControl,
+) -> Result<PathStats, Interrupted> {
+    let n = graph.node_count();
+    if n == 0 || sources == 0 {
+        return Ok(PathStats { diameter: 0, average: 0.0, pairs: 0 });
+    }
+    let mut nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    nodes.shuffle(rng);
+    nodes.truncate(sources.min(n));
+    scan_sources_with_control(graph, nodes, dir, control)
 }
 
 /// Effective diameter: the 90th-percentile shortest-path distance over
@@ -272,5 +332,40 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let s = average_shortest_path_sampled(&g, Direction::Both, 0, &mut rng);
         assert_eq!(s.pairs, 0);
+    }
+
+    #[test]
+    fn controlled_variants_match_plain_when_uninterrupted() {
+        use circlekit_graph::RunControl;
+        let g = path(8);
+        let control = RunControl::new();
+        assert_eq!(
+            diameter_exact_with_control(&g, Direction::Both, &control).unwrap(),
+            diameter_exact(&g, Direction::Both)
+        );
+        let mut rng_a = SmallRng::seed_from_u64(5);
+        let mut rng_b = SmallRng::seed_from_u64(5);
+        assert_eq!(
+            average_shortest_path_sampled_with_control(&g, Direction::Both, 4, &mut rng_a, &control)
+                .unwrap(),
+            average_shortest_path_sampled(&g, Direction::Both, 4, &mut rng_b)
+        );
+    }
+
+    #[test]
+    fn controlled_variants_stop_on_cancel() {
+        use circlekit_graph::{Interrupted, RunControl};
+        let g = path(8);
+        let control = RunControl::new();
+        control.cancel_flag().cancel();
+        assert_eq!(
+            diameter_exact_with_control(&g, Direction::Both, &control),
+            Err(Interrupted::Cancelled)
+        );
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(
+            average_shortest_path_sampled_with_control(&g, Direction::Both, 4, &mut rng, &control),
+            Err(Interrupted::Cancelled)
+        );
     }
 }

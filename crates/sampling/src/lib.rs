@@ -22,10 +22,51 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use circlekit_graph::{Direction, Graph, NodeId, VertexSet};
+use circlekit_graph::{Direction, Graph, Interrupted, NodeId, RunControl, VertexSet};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
+
+/// Fault-injection hooks for the robustness test-suite: stall a chosen
+/// walk for a finite duration, long enough for a soft deadline to expire
+/// at the next cooperative checkpoint. Compiled only under
+/// `--features fault-inject`.
+#[cfg(feature = "fault-inject")]
+pub mod fault {
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+    /// Walk index armed to stall; `-1` means disarmed.
+    static STALL_WALK: AtomicI64 = AtomicI64::new(-1);
+    /// How long the armed walk sleeps, in milliseconds.
+    static STALL_MILLIS: AtomicU64 = AtomicU64::new(0);
+
+    /// Arms a one-shot stall of `millis` ms before walk `index` runs.
+    pub fn arm_walk_stall(index: usize, millis: u64) {
+        STALL_MILLIS.store(millis, Ordering::SeqCst);
+        STALL_WALK.store(index as i64, Ordering::SeqCst);
+    }
+
+    /// Disarms any armed stall. Idempotent; call from test cleanup.
+    pub fn disarm() {
+        STALL_WALK.store(-1, Ordering::SeqCst);
+        STALL_MILLIS.store(0, Ordering::SeqCst);
+    }
+
+    /// Sampler-side hook: sleeps once if `index` is armed.
+    pub(crate) fn maybe_stall(index: usize) {
+        let armed = STALL_WALK.load(Ordering::SeqCst);
+        if armed >= 0
+            && armed as usize == index
+            && STALL_WALK
+                .compare_exchange(armed, -1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            std::thread::sleep(std::time::Duration::from_millis(
+                STALL_MILLIS.load(Ordering::SeqCst),
+            ));
+        }
+    }
+}
 
 /// Samples a vertex set of exactly `size` vertices by random walking
 /// (following edges in either orientation), restarting from a fresh random
@@ -236,6 +277,15 @@ fn stream_seed(root_seed: u64, index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Runs the stream-seeded walk at `index`, firing the fault-injection
+/// stall hook first when that build feature is on.
+fn seeded_walk(graph: &Graph, size: usize, root_seed: u64, index: u64) -> VertexSet {
+    #[cfg(feature = "fault-inject")]
+    fault::maybe_stall(index as usize);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(stream_seed(root_seed, index));
+    random_walk_set(graph, size, &mut rng)
+}
+
 /// Like [`size_matched_random_walk_sets`], but each walk draws from its
 /// own RNG stream derived from `root_seed` and the walk's index. This is
 /// the sequential reference for
@@ -249,10 +299,7 @@ pub fn size_matched_random_walk_sets_seeded(
     sizes
         .iter()
         .enumerate()
-        .map(|(i, &s)| {
-            let mut rng = rand::rngs::SmallRng::seed_from_u64(stream_seed(root_seed, i as u64));
-            random_walk_set(graph, s, &mut rng)
-        })
+        .map(|(i, &s)| seeded_walk(graph, s, root_seed, i as u64))
         .collect()
 }
 
@@ -290,10 +337,7 @@ pub fn size_matched_random_walk_sets_parallel(
                         .enumerate()
                         .map(|(offset, &s)| {
                             let index = (chunk_index * chunk_size + offset) as u64;
-                            let mut rng = rand::rngs::SmallRng::seed_from_u64(stream_seed(
-                                root_seed, index,
-                            ));
-                            random_walk_set(graph, s, &mut rng)
+                            seeded_walk(graph, s, root_seed, index)
                         })
                         .collect::<Vec<VertexSet>>()
                 })
@@ -304,6 +348,68 @@ pub fn size_matched_random_walk_sets_parallel(
             .into_iter()
             .flat_map(|h| h.join().expect("sampling worker panicked"))
             .collect()
+    })
+    .expect("sampling scope panicked")
+}
+
+/// Cancellable [`size_matched_random_walk_sets_parallel`]: every worker
+/// observes `control` before each walk, so a cancel or an elapsed soft
+/// deadline stops the whole sample within one walk's work.
+///
+/// An uninterrupted run returns exactly the sets of the uncontrolled
+/// variant — per-walk RNG streams are keyed by `(root_seed, index)`
+/// alone, so neither the thread count nor the control change the sample.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] if the run was stopped. Sampled sets feed
+/// directly into set scoring where a shortened batch would silently skew
+/// the baseline, so no partial sample is returned.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`, or if the graph is empty and some size is
+/// positive.
+pub fn size_matched_random_walk_sets_parallel_with_control(
+    graph: &Graph,
+    sizes: &[usize],
+    root_seed: u64,
+    threads: usize,
+    control: &RunControl,
+) -> Result<Vec<VertexSet>, Interrupted> {
+    assert!(threads > 0, "need at least one thread");
+    if sizes.is_empty() {
+        return Ok(Vec::new());
+    }
+    let chunk_size = sizes.len().div_ceil(threads).max(1);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = sizes
+            .chunks(chunk_size)
+            .enumerate()
+            .map(|(chunk_index, chunk)| {
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for (offset, &s) in chunk.iter().enumerate() {
+                        control.check()?;
+                        let index = (chunk_index * chunk_size + offset) as u64;
+                        out.push(seeded_walk(graph, s, root_seed, index));
+                    }
+                    Ok::<Vec<VertexSet>, Interrupted>(out)
+                })
+            })
+            .collect();
+        let mut sets = Vec::with_capacity(sizes.len());
+        let mut interrupted = None;
+        for handle in handles {
+            match handle.join().expect("sampling worker panicked") {
+                Ok(chunk_sets) => sets.extend(chunk_sets),
+                Err(why) => interrupted = Some(interrupted.unwrap_or(why)),
+            }
+        }
+        match interrupted {
+            Some(why) => Err(why),
+            None => Ok(sets),
+        }
     })
     .expect("sampling scope panicked")
 }
@@ -500,6 +606,44 @@ mod tests {
     fn parallel_sets_reject_zero_threads() {
         let g = ring(10);
         size_matched_random_walk_sets_parallel(&g, &[3], 1, 0);
+    }
+
+    #[test]
+    fn controlled_sampler_matches_uncontrolled_when_uninterrupted() {
+        let g = ring(80);
+        let sizes: Vec<usize> = (0..23).map(|i| 1 + i % 9).collect();
+        let reference = size_matched_random_walk_sets_seeded(&g, &sizes, 7);
+        for threads in [1usize, 3, 8] {
+            let got = size_matched_random_walk_sets_parallel_with_control(
+                &g,
+                &sizes,
+                7,
+                threads,
+                &RunControl::new(),
+            )
+            .unwrap();
+            assert_eq!(reference, got, "threads={threads}");
+        }
+        assert!(size_matched_random_walk_sets_parallel_with_control(
+            &g,
+            &[],
+            7,
+            4,
+            &RunControl::new()
+        )
+        .unwrap()
+        .is_empty());
+    }
+
+    #[test]
+    fn controlled_sampler_stops_on_cancel() {
+        let g = ring(20);
+        let control = RunControl::new();
+        control.cancel_flag().cancel();
+        assert_eq!(
+            size_matched_random_walk_sets_parallel_with_control(&g, &[3, 4], 1, 2, &control),
+            Err(Interrupted::Cancelled)
+        );
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Fault-injection hooks for the robustness test-suite.
+//!
+//! Compiled only under `--features fault-inject`; production builds carry
+//! none of this. The hooks are process-global (a pair of atomics), so
+//! tests that arm them must serialise on a shared lock and [`disarm`] in
+//! all exit paths.
+//!
+//! Arming [`arm_set_panic`] makes the scorer panic when it reaches the
+//! given batch index inside `eval`, exactly where a latent scoring bug
+//! would fire. A non-sticky fault disarms itself as it triggers, so the
+//! robust path's serial retry succeeds — proving recovery yields results
+//! bit-identical to a clean run. A sticky fault keeps firing, proving the
+//! set is surfaced as a failure instead of aborting the process.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+
+/// Batch index armed to panic; `-1` means disarmed.
+static ARMED_SET: AtomicI64 = AtomicI64::new(-1);
+/// Whether the armed fault survives its own firing.
+static STICKY: AtomicBool = AtomicBool::new(false);
+
+/// Arms a panic for the set at `set_index` in the next robust batch.
+///
+/// `sticky: false` disarms on first fire (the retry then succeeds);
+/// `sticky: true` keeps firing (the set becomes a permanent failure).
+pub fn arm_set_panic(set_index: usize, sticky: bool) {
+    STICKY.store(sticky, Ordering::SeqCst);
+    ARMED_SET.store(set_index as i64, Ordering::SeqCst);
+}
+
+/// Disarms any armed fault. Idempotent; call from test cleanup.
+pub fn disarm() {
+    ARMED_SET.store(-1, Ordering::SeqCst);
+    STICKY.store(false, Ordering::SeqCst);
+}
+
+/// Scorer-side hook: panics if `set_index` is armed.
+pub(crate) fn maybe_panic(set_index: usize) {
+    let armed = ARMED_SET.load(Ordering::SeqCst);
+    if armed < 0 || armed as usize != set_index {
+        return;
+    }
+    if STICKY.load(Ordering::SeqCst) {
+        panic!("fault-inject: sticky panic scoring set {set_index}");
+    }
+    // One-shot: the compare-exchange guarantees exactly one worker fires
+    // even if several race past the load above.
+    if ARMED_SET
+        .compare_exchange(armed, -1, Ordering::SeqCst, Ordering::SeqCst)
+        .is_ok()
+    {
+        panic!("fault-inject: injected panic scoring set {set_index}");
+    }
+}

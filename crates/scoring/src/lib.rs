@@ -38,14 +38,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 mod functions;
 mod goodness;
 mod parallel;
+mod robust;
 mod scorer;
 mod set_stats;
 
 pub use functions::{Category, ScoringFunction};
 pub use goodness::{goodness, Goodness};
 pub use parallel::{default_threads, ParallelScorer};
+pub use robust::{BatchReport, ChunkError, RobustBatch, SetFailure};
 pub use scorer::{ScoreTable, Scorer};
 pub use set_stats::SetStats;

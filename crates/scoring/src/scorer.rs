@@ -2,7 +2,7 @@
 
 use crate::set_stats::median_degree;
 use crate::{ParallelScorer, ScoringFunction, SetStats};
-use circlekit_graph::{Graph, VertexSet};
+use circlekit_graph::{validate_groups, Graph, GraphError, VertexSet};
 
 /// Scores vertex sets against a fixed graph, amortising graph-level
 /// precomputation (currently the median degree needed by FOMD).
@@ -48,6 +48,18 @@ impl<'g> Scorer<'g> {
     /// Panics if `set` contains an id `>= graph.node_count()`.
     pub fn stats(&mut self, set: &VertexSet) -> SetStats {
         SetStats::compute(self.graph, set, self.median_degree)
+    }
+
+    /// Non-panicking variant of [`Scorer::stats`]: validates the set's
+    /// members against the graph first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] naming the first member
+    /// `>= graph.node_count()`.
+    pub fn try_stats(&mut self, set: &VertexSet) -> Result<SetStats, GraphError> {
+        validate_groups(std::slice::from_ref(set), self.graph.node_count())?;
+        Ok(self.stats(set))
     }
 
     /// Evaluates one scoring function on one set.
@@ -109,6 +121,17 @@ impl ScoreTable {
     /// Assembles a table from its columns' functions and per-set rows.
     pub(crate) fn from_parts(functions: Vec<ScoringFunction>, rows: Vec<Vec<f64>>) -> ScoreTable {
         ScoreTable { functions, rows }
+    }
+
+    /// Assembles a table from externally stored rows (e.g. a checkpoint
+    /// file), verifying that every row has one score per function.
+    ///
+    /// Returns `None` if any row's width differs from `functions.len()`.
+    pub fn from_rows(functions: Vec<ScoringFunction>, rows: Vec<Vec<f64>>) -> Option<ScoreTable> {
+        if rows.iter().any(|r| r.len() != functions.len()) {
+            return None;
+        }
+        Some(ScoreTable { functions, rows })
     }
 
     /// The scored functions, in column order.

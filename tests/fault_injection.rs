@@ -1,0 +1,250 @@
+//! Fault-injection harness (`--features fault-inject`): proves the
+//! pipeline's robustness claims end to end by *forcing* the failures the
+//! machinery guards against. An injected worker panic must never abort
+//! the process — it is caught, named in the [`BatchReport`] and retried
+//! serially; an injected walk stall must let a deadline fire; and a run
+//! interrupted mid-flight must resume from its checkpoint to output
+//! bit-identical to an uninterrupted run.
+//!
+//! The injection hooks are process-global, so every test that arms one
+//! holds [`FAULT_LOCK`] for its whole body.
+
+#![cfg(feature = "fault-inject")]
+
+use circlekit::checkpoint::{CheckpointStore, RunError};
+use circlekit::experiments::{
+    circles_vs_random_checkpointed, circles_vs_random_parallel, compare_datasets_checkpointed,
+    compare_datasets_parallel, CirclesVsRandom,
+};
+use circlekit::synth::presets;
+use circlekit_graph::{Graph, GraphBuilder, Interrupted, RunControl, VertexSet};
+use circlekit_sampling::size_matched_random_walk_sets_parallel_with_control;
+use circlekit_scoring::{ParallelScorer, Scorer, ScoringFunction};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serialises tests that arm the process-global fault hooks.
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A panicking *injection* test must not poison the others.
+    FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn disarm_all() {
+    circlekit_scoring::fault::disarm();
+    circlekit_sampling::fault::disarm();
+}
+
+/// Two triangles bridged by a path — enough structure for every scoring
+/// function to produce distinct values.
+fn fixture_graph() -> Graph {
+    let mut b = GraphBuilder::undirected();
+    b.add_edges([
+        (0u32, 1u32),
+        (0, 2),
+        (1, 2),
+        (3, 4),
+        (4, 5),
+        (3, 5),
+        (2, 6),
+        (6, 3),
+        (6, 7),
+    ]);
+    b.build()
+}
+
+fn fixture_sets() -> Vec<VertexSet> {
+    vec![
+        VertexSet::from_iter([0, 1, 2]),
+        VertexSet::from_iter([3, 4, 5]),
+        VertexSet::from_iter([2, 3, 6]),
+        VertexSet::from_iter([0, 1, 2, 6]),
+        VertexSet::from_iter([4, 5, 6, 7]),
+        VertexSet::from_iter([1, 2, 3]),
+    ]
+}
+
+fn fig5_bits(result: &CirclesVsRandom) -> Vec<(String, Vec<u64>, Vec<u64>)> {
+    result
+        .per_function
+        .iter()
+        .map(|p| {
+            (
+                p.function.name().to_string(),
+                p.circle_scores.iter().map(|v| v.to_bits()).collect(),
+                p.random_scores.iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn injected_panic_never_aborts_and_recovery_is_bit_identical() {
+    let _guard = lock();
+    disarm_all();
+    let graph = fixture_graph();
+    let sets = fixture_sets();
+    let mut serial = Scorer::new(&graph);
+    let clean: Vec<Vec<f64>> = sets
+        .iter()
+        .map(|s| {
+            let stats = serial.stats(s);
+            ScoringFunction::PAPER.iter().map(|f| f.score(&stats)).collect()
+        })
+        .collect();
+
+    let scorer = ParallelScorer::with_threads(&graph, 2);
+    circlekit_scoring::fault::arm_set_panic(2, false);
+    let batch = scorer.score_table_robust(&ScoringFunction::PAPER, &sets, &RunControl::new());
+    disarm_all();
+
+    // The panic was contained in its chunk, named in the report, and the
+    // serial retry healed it: every row is present and bit-identical.
+    assert_eq!(batch.report.chunk_errors.len(), 1, "{}", batch.report);
+    let chunk = &batch.report.chunk_errors[0];
+    assert!(chunk.recovered, "{}", batch.report);
+    assert!(
+        (chunk.first_set..chunk.first_set + chunk.set_count).contains(&2),
+        "chunk {chunk:?} should cover set 2"
+    );
+    assert!(batch.report.is_complete());
+    let rows: Vec<Vec<f64>> = batch.rows.into_iter().map(|r| r.expect("all rows scored")).collect();
+    for (i, (got, want)) in rows.iter().zip(&clean).enumerate() {
+        let got: Vec<u64> = got.iter().map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want, "row {i}");
+    }
+}
+
+#[test]
+fn sticky_panic_is_reported_as_set_failure_without_losing_chunk_mates() {
+    let _guard = lock();
+    disarm_all();
+    let graph = fixture_graph();
+    let sets = fixture_sets();
+    let scorer = ParallelScorer::with_threads(&graph, 2);
+
+    circlekit_scoring::fault::arm_set_panic(1, true);
+    let batch = scorer.score_table_robust(&ScoringFunction::PAPER, &sets, &RunControl::new());
+    disarm_all();
+
+    assert!(!batch.report.is_complete());
+    assert_eq!(batch.report.scored_sets, sets.len() - 1);
+    assert_eq!(batch.report.failures.len(), 1, "{}", batch.report);
+    assert_eq!(batch.report.failures[0].set, 1);
+    assert!(batch.rows[1].is_none());
+    // Every other set in the panicking chunk was still scored.
+    for (i, row) in batch.rows.iter().enumerate() {
+        if i != 1 {
+            assert!(row.is_some(), "set {i} lost to a neighbour's panic");
+        }
+    }
+}
+
+#[test]
+fn injected_walk_stall_lets_the_deadline_fire() {
+    let _guard = lock();
+    disarm_all();
+    let graph = fixture_graph();
+    let sizes = [3usize, 3, 4];
+
+    // Sanity: without the stall the controlled sampler succeeds.
+    let clean = size_matched_random_walk_sets_parallel_with_control(
+        &graph,
+        &sizes,
+        99,
+        1,
+        &RunControl::new().with_deadline(Duration::from_secs(60)),
+    )
+    .expect("no interruption without a stall");
+    assert_eq!(clean.len(), sizes.len());
+
+    circlekit_sampling::fault::arm_walk_stall(0, 60);
+    let err = size_matched_random_walk_sets_parallel_with_control(
+        &graph,
+        &sizes,
+        99,
+        1,
+        &RunControl::new().with_deadline(Duration::from_millis(20)),
+    )
+    .expect_err("the stalled walk overruns the deadline");
+    disarm_all();
+    assert_eq!(err, Interrupted::DeadlineExceeded);
+}
+
+#[test]
+fn cancellation_is_observed_before_any_scoring() {
+    let _guard = lock();
+    disarm_all();
+    let graph = fixture_graph();
+    let sets = fixture_sets();
+    let scorer = ParallelScorer::with_threads(&graph, 2);
+
+    let control = RunControl::new();
+    control.cancel_flag().cancel();
+    let batch = scorer.score_table_robust(&ScoringFunction::PAPER, &sets, &control);
+    assert_eq!(batch.report.interrupted, Some(Interrupted::Cancelled));
+    assert_eq!(batch.report.scored_sets, 0);
+}
+
+#[test]
+fn fig5_with_injected_panic_matches_the_clean_run_bit_for_bit() {
+    let _guard = lock();
+    disarm_all();
+    let dataset = presets::google_plus()
+        .scaled(0.004)
+        .generate(&mut SmallRng::seed_from_u64(41));
+    let reference = circles_vs_random_parallel(&dataset, 7, 2);
+
+    circlekit_scoring::fault::arm_set_panic(0, false);
+    let mut store = CheckpointStore::in_memory(7);
+    let healed = circles_vs_random_checkpointed(&dataset, 7, 2, &RunControl::new(), &mut store)
+        .expect("one-shot panic is recovered");
+    disarm_all();
+
+    assert_eq!(fig5_bits(&healed), fig5_bits(&reference));
+}
+
+#[test]
+fn interrupted_fig6_resumes_bit_identically_from_its_checkpoint() {
+    let _guard = lock();
+    disarm_all();
+    let mut rng = SmallRng::seed_from_u64(17);
+    let gp = presets::google_plus().scaled(0.004).generate(&mut rng);
+    let lj = presets::livejournal().scaled(0.002).generate(&mut rng);
+    let all = [&gp, &lj];
+    let reference = compare_datasets_parallel(&all, 2);
+
+    let dir = std::env::temp_dir().join("circlekit-fault-injection");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("fig6-resume.ckpt");
+    let _ = std::fs::remove_file(&path);
+
+    // First attempt: a zero deadline interrupts before any work.
+    let mut store = CheckpointStore::at_path(&path, 0).expect("fresh store");
+    let control = RunControl::new().with_deadline(Duration::from_secs(0));
+    match compare_datasets_checkpointed(&all, 2, &control, &mut store) {
+        Err(RunError::Interrupted(Interrupted::DeadlineExceeded)) => {}
+        other => panic!("expected a deadline interruption, got {other:?}"),
+    }
+
+    // Second attempt: reopen the sidecar and finish without a deadline.
+    let mut store = CheckpointStore::at_path(&path, 0).expect("reopened store");
+    let resumed = compare_datasets_checkpointed(&all, 2, &RunControl::new(), &mut store)
+        .expect("resumed run completes");
+
+    assert_eq!(resumed.len(), reference.len());
+    for (res, want) in resumed.iter().zip(&reference) {
+        assert_eq!(res.name, want.name);
+        for ((f1, s1, _), (f2, s2, _)) in res.per_function.iter().zip(&want.per_function) {
+            assert_eq!(f1, f2);
+            let got: Vec<u64> = s1.iter().map(|v| v.to_bits()).collect();
+            let bits: Vec<u64> = s2.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, bits, "{} / {}", res.name, f1.name());
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}

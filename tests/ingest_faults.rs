@@ -1,0 +1,156 @@
+//! Lenient-ingestion harness: real-world SNAP dumps arrive with CRLF
+//! endings, truncated tails, duplicate edges, label-only group lines and
+//! out-of-range ids. These tests pin the strict/lenient/fail-fast
+//! contract of `circlekit-graph`'s ingestion layer from outside the
+//! crate: fail-fast names the first offending 1-based line, lenient
+//! ingestion drops exactly the bad records and accounts for every one of
+//! them in the [`IngestReport`].
+
+use circlekit_graph::{
+    parse_edge_list, parse_edge_list_lenient, parse_edge_list_with_policy, parse_groups,
+    parse_groups_lenient, parse_groups_with_policy, read_edge_list, read_edge_list_lenient,
+    validate_groups, Graph, GraphError, IngestPolicy, ParseEdgeListReason, VertexSet,
+};
+
+#[test]
+fn truncated_last_line_is_skipped_leniently_and_fatal_strictly() {
+    // A download cut off mid-record: the final line has only one field.
+    let text = "0 1\n1 2\n2";
+    let err = parse_edge_list(text).expect_err("strict parse fails");
+    assert_eq!(err.line, 3);
+    assert_eq!(err.reason, ParseEdgeListReason::WrongFieldCount(1));
+
+    let (edges, report) = parse_edge_list_lenient(text);
+    assert_eq!(edges, vec![(0, 1), (1, 2)]);
+    assert_eq!(report.lines, 3);
+    assert_eq!(report.records, 2);
+    assert_eq!(report.skipped.len(), 1);
+    assert_eq!(report.skipped[0].line, 3);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn crlf_line_endings_parse_everywhere() {
+    let text = "0 1\r\n1 2\r\n# comment\r\n2 0\r\n";
+    let strict = parse_edge_list(text).expect("CRLF is not an error");
+    assert_eq!(strict, vec![(0, 1), (1, 2), (2, 0)]);
+
+    let (lenient, report) = parse_edge_list_lenient(text);
+    assert_eq!(lenient, strict);
+    assert!(report.is_clean(), "{report}");
+
+    let streamed = read_edge_list(text.as_bytes()).expect("streaming reader");
+    assert_eq!(streamed, strict);
+}
+
+#[test]
+fn duplicate_edges_are_kept_but_counted() {
+    let text = "0 1\n1 2\n0 1\n0 1\n";
+    let (edges, report) = parse_edge_list_lenient(text);
+    // Lenient ingestion reports duplicates without judging them: some
+    // corpora legitimately contain multi-edges.
+    assert_eq!(edges.len(), 4);
+    assert_eq!(report.duplicate_edges, 2);
+    assert_eq!(report.records, 4);
+}
+
+#[test]
+fn streaming_reader_matches_in_memory_parser() {
+    let text = "0 1\n\n# hub\n1 2\n2 3\n3 0\n";
+    assert_eq!(
+        read_edge_list(text.as_bytes()).expect("streamed"),
+        parse_edge_list(text).expect("in memory"),
+    );
+    let (streamed, streamed_report) = read_edge_list_lenient(text.as_bytes()).expect("streamed");
+    let (parsed, parsed_report) = parse_edge_list_lenient(text);
+    assert_eq!(streamed, parsed);
+    assert_eq!(streamed_report, parsed_report);
+}
+
+#[test]
+fn streaming_reader_reports_1_based_lines_in_io_errors() {
+    let err = read_edge_list("0 1\nnope\n".as_bytes()).expect_err("bad line");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("line 2"), "{err}");
+}
+
+#[test]
+fn label_only_group_lines_become_empty_groups() {
+    let text = "circle0\t0 1 2\ncircle1\ncircle2\t3 4\n";
+    let (groups, report) = parse_groups_lenient(text, None);
+    assert_eq!(groups.len(), 2);
+    assert_eq!(report.empty_groups, 1);
+    assert_eq!(report.records, 2);
+}
+
+#[test]
+fn out_of_range_members_are_dropped_with_an_accurate_count() {
+    let text = "c0\t0 1 99\nc1\t7 8\nc2\t1 2\n";
+    let (groups, report) = parse_groups_lenient(text, Some(4));
+    // 99, 7 and 8 exceed the 4-node host graph; c1 loses every member.
+    assert_eq!(groups.len(), 2);
+    assert_eq!(groups[0], VertexSet::from_iter([0, 1]));
+    assert_eq!(groups[1], VertexSet::from_iter([1, 2]));
+    assert_eq!(report.dropped_members, 3);
+    assert_eq!(report.empty_groups, 1);
+}
+
+#[test]
+fn fail_fast_groups_name_the_offending_line() {
+    let text = "c0\t0 1\nc1\t0 99\n";
+    let err = parse_groups_with_policy(text, Some(4), IngestPolicy::FailFast)
+        .expect_err("out-of-range member is fatal");
+    assert_eq!(err.line, 2);
+    assert_eq!(err.reason, ParseEdgeListReason::OutOfRange { node: 99, node_count: 4 });
+    assert_eq!(err.to_string(), "line 2: node id 99 out of range for graph with 4 nodes");
+}
+
+#[test]
+fn strict_policy_rejects_what_lenient_drops() {
+    let edges = "0 1\n1 2\njunk\n";
+    assert!(parse_edge_list_with_policy(edges, IngestPolicy::Strict).is_err());
+    let (kept, _) = parse_edge_list_with_policy(edges, IngestPolicy::Lenient)
+        .expect("lenient never fails on content");
+    assert_eq!(kept, vec![(0, 1), (1, 2)]);
+
+    let groups = "c0\t0 9\n";
+    assert!(parse_groups_with_policy(groups, Some(4), IngestPolicy::Strict).is_err());
+    let (kept, report) = parse_groups_with_policy(groups, Some(4), IngestPolicy::Lenient)
+        .expect("lenient never fails on content");
+    assert_eq!(kept, vec![VertexSet::from_iter([0])]);
+    assert_eq!(report.dropped_members, 1);
+}
+
+#[test]
+fn validate_groups_guards_scoring_entry_points() {
+    let graph = Graph::from_edges(false, vec![(0, 1), (1, 2)]);
+    let good = vec![VertexSet::from_iter([0, 1]), VertexSet::from_iter([1, 2])];
+    assert!(validate_groups(&good, graph.node_count()).is_ok());
+
+    let bad = vec![VertexSet::from_iter([0, 1]), VertexSet::from_iter([2, 9])];
+    let err = validate_groups(&bad, graph.node_count()).expect_err("9 is out of range");
+    assert_eq!(err, GraphError::NodeOutOfRange { node: 9, node_count: 3 });
+}
+
+#[test]
+fn ingest_report_display_lists_skipped_lines() {
+    let (_, report) = parse_edge_list_lenient("0 1\noops\n1 2\n");
+    let rendered = report.to_string();
+    assert!(rendered.contains("3 lines"), "{rendered}");
+    assert!(rendered.contains("2 records kept"), "{rendered}");
+    assert!(rendered.contains("skipped line 2"), "{rendered}");
+}
+
+#[test]
+fn clean_strict_parse_still_reports_totals() {
+    let (edges, report) =
+        parse_edge_list_with_policy("0 1\n1 2\n", IngestPolicy::FailFast).expect("clean input");
+    assert_eq!(edges.len(), 2);
+    assert!(report.is_clean());
+    assert_eq!(report.records, 2);
+
+    let (groups, report) =
+        parse_groups_with_policy("c0\t0 1\n", Some(3), IngestPolicy::FailFast).expect("clean");
+    assert_eq!(groups, parse_groups("c0\t0 1\n").expect("plain parse"));
+    assert!(report.is_clean());
+}
