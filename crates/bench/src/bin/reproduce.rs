@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT] [--scale F] [--seed N] [--json] [--threads N]
+//!           [--data FILE [--groups FILE]]
 //!           [--checkpoint FILE | --resume FILE] [--deadline SECS]
 //!
 //! EXPERIMENT: all (default) | table2 | table3 | fig1 | fig2 | fig3 | fig4 |
@@ -10,6 +11,14 @@
 //! --scale F   data-set scale relative to the paper's corpora (default 0.02)
 //! --seed N    RNG seed (default 2014)
 //! --json      additionally emit machine-readable JSON rows
+//! --data FILE score a real data set instead of the synthetic Google+
+//!             fixture (fig5, fig6, and table3 only). FILE is a text edge
+//!             list or a CKS1 binary snapshot, auto-detected by magic; a
+//!             snapshot carries its own directedness and groups, a text
+//!             edge list is read as directed and takes its groups from
+//!             --groups FILE. Both forms of the same data produce
+//!             bit-identical output, and --threads / --checkpoint /
+//!             --resume / --deadline compose unchanged.
 //! --sampled   use sampled (Viger-Latapy) modularity expectations in fig5
 //! --threads N score fig5/fig6 on N worker threads (seeded per-set RNG
 //!             streams keep the output identical for every N; fig5 then
@@ -34,10 +43,11 @@ use circlekit::experiments::{
     clustering_report, compare_datasets, compare_datasets_checkpointed, compare_datasets_parallel,
     degree_fit, directed_vs_undirected, ego_overlap_report, summarize_datasets, ModularityMode,
 };
-use circlekit::graph::RunControl;
+use circlekit::graph::{parse_edge_list, parse_groups_with_policy, Graph, IngestPolicy, RunControl};
 use circlekit::metrics::DegreeKind;
 use circlekit::render;
-use circlekit::synth::{presets, SynthDataset};
+use circlekit::store::{file_is_snapshot, MappedSnapshot};
+use circlekit::synth::{presets, GroupKind, SynthDataset};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::path::{Path, PathBuf};
@@ -58,6 +68,8 @@ struct Options {
     checkpoint: Option<PathBuf>,
     resume: bool,
     deadline: Option<f64>,
+    data: Option<PathBuf>,
+    groups: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -71,6 +83,8 @@ fn parse_args() -> Result<Options, String> {
         checkpoint: None,
         resume: false,
         deadline: None,
+        data: None,
+        groups: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -102,6 +116,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.checkpoint = Some(PathBuf::from(v));
                 opts.resume = true;
             }
+            "--data" => {
+                let v = args.next().ok_or("--data needs a file path")?;
+                opts.data = Some(PathBuf::from(v));
+            }
+            "--groups" => {
+                let v = args.next().ok_or("--groups needs a file path")?;
+                opts.groups = Some(PathBuf::from(v));
+            }
             "--deadline" => {
                 let v = args.next().ok_or("--deadline needs a value in seconds")?;
                 let secs: f64 = v.parse().map_err(|_| format!("bad deadline {v:?}"))?;
@@ -113,6 +135,7 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 return Err(
                     "usage: reproduce [EXPERIMENT] [--scale F] [--seed N] [--json] [--threads N]\n\
+                     \x20                [--data FILE [--groups FILE]]\n\
                      \x20                [--checkpoint FILE | --resume FILE] [--deadline SECS]"
                         .into(),
                 )
@@ -134,6 +157,18 @@ fn main() -> ExitCode {
     };
     let run = |name: &str| opts.experiment == "all" || opts.experiment == name;
     let mut matched = false;
+
+    // External data replaces the synthetic Google+ fixture; only the
+    // group-scoring experiments (and their data-set table) interpret a
+    // graph-plus-groups file meaningfully.
+    if opts.data.is_some() && !matches!(opts.experiment.as_str(), "fig5" | "fig6" | "table3") {
+        eprintln!("error: --data applies to fig5, fig6, and table3 (got {:?})", opts.experiment);
+        return ExitCode::FAILURE;
+    }
+    if opts.groups.is_some() && opts.data.is_none() {
+        eprintln!("error: --groups needs --data");
+        return ExitCode::FAILURE;
+    }
 
     // Run control + checkpointing apply to the chunked scoring experiments
     // (fig5, fig6); everything else is quick enough to just rerun.
@@ -176,7 +211,17 @@ fn main() -> ExitCode {
     };
 
     // Shared fixtures (generated lazily so single-figure runs stay fast).
+    // With --data the Google+ slot is loaded from disk instead.
     let mut gplus: Option<SynthDataset> = None;
+    if let Some(path) = &opts.data {
+        match load_external(path, opts.groups.as_deref()) {
+            Ok(ds) => gplus = Some(ds),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let gplus_ds = |seed: u64, scale: f64| -> SynthDataset {
         presets::google_plus()
             .scaled(scale)
@@ -480,6 +525,54 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Loads a `--data` file as a dataset: a CKS1 snapshot (auto-detected by
+/// magic, carrying its own directedness and groups) or a directed text
+/// edge list with groups from `--groups`. The data-set name is the file
+/// stem, so the snapshot and text forms of the same data render
+/// identically.
+fn load_external(path: &Path, groups_path: Option<&Path>) -> Result<SynthDataset, String> {
+    let name = path
+        .file_stem()
+        .map_or_else(|| path.display().to_string(), |s| s.to_string_lossy().into_owned());
+    let is_snapshot =
+        file_is_snapshot(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let (graph, embedded) = if is_snapshot {
+        let mapped =
+            MappedSnapshot::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let snap = mapped.load().map_err(|e| format!("{}: {e}", path.display()))?;
+        (snap.graph, snap.groups)
+    } else {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let edges = parse_edge_list(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        (Graph::from_edges(true, edges), Vec::new())
+    };
+    let groups = match groups_path {
+        Some(gp) => {
+            let text = std::fs::read_to_string(gp)
+                .map_err(|e| format!("reading {}: {e}", gp.display()))?;
+            parse_groups_with_policy(&text, Some(graph.node_count()), IngestPolicy::FailFast)
+                .map_err(|e| format!("{}: {e}", gp.display()))?
+                .0
+        }
+        None => embedded,
+    };
+    if groups.is_empty() {
+        return Err(format!(
+            "{}: no groups to score (pack the snapshot with --groups, or pass --groups FILE)",
+            path.display()
+        ));
+    }
+    Ok(SynthDataset {
+        name,
+        graph,
+        groups,
+        egos: Vec::new(),
+        ego_owners: Vec::new(),
+        kind: GroupKind::Circles,
+    })
 }
 
 /// Maps a scoring-run failure to an exit status: interruptions are

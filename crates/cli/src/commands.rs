@@ -5,12 +5,13 @@ use circlekit::detect::detect_circles;
 use circlekit::experiments::characterize;
 use circlekit::graph::{
     parse_edge_list_with_policy, parse_groups_with_policy, write_edge_list, write_groups, Graph,
-    IngestPolicy,
+    IngestPolicy, VertexSet,
 };
 use circlekit::metrics::{DegreeKind, DegreeStats};
 use circlekit::scoring::{Scorer, ScoringFunction};
 use circlekit::statfit::analyze_tail;
 use circlekit::stats::Summary;
+use circlekit::store::{file_is_snapshot, save_snapshot, section_infos, MappedSnapshot};
 use circlekit::synth::{presets, GroupKind, SynthDataset};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -28,6 +29,8 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "characterize" => characterize_cmd(rest),
         "fit-degrees" => fit_degrees(rest),
         "detect" => detect(rest),
+        "pack" => pack(rest),
+        "inspect" => inspect(rest),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -36,12 +39,19 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
 fn usage() -> String {
     "usage:\n  \
      circlekit generate <google+|twitter|livejournal|orkut|magno> [--scale F] [--seed N] --edges FILE [--groups FILE]\n  \
-     circlekit score        --edges FILE --groups FILE [--undirected] [--all] [--threads N]\n  \
+     circlekit score        --edges FILE [--groups FILE] [--undirected] [--all] [--threads N]\n  \
      circlekit characterize --edges FILE [--undirected] [--sources N]\n  \
      circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]\n  \
-     circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n\
+     circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n  \
+     circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks\n  \
+     circlekit inspect      --snapshot FILE.cks\n\
      \n\
-     every command that reads files accepts --on-error fail|skip|report:\n  \
+     every --edges argument may be a text edge list or a CKS1 binary\n  \
+     snapshot (detected by magic); snapshots carry their own directedness\n  \
+     and, when packed with --groups, their group collections, so score\n  \
+     can run from a single .cks file\n\
+     \n\
+     every command that reads text files accepts --on-error fail|skip|report:\n  \
      fail (default) aborts on the first malformed line, skip drops bad\n  \
      lines silently, report drops them and prints an ingest summary\n"
         .to_string()
@@ -116,18 +126,69 @@ impl<'a> Flags<'a> {
     }
 }
 
-/// Loads `--edges` under the `--on-error` policy. In report mode the
-/// ingest summary is appended to `notes` (which callers prepend to their
-/// own output).
-fn load_graph(flags: &Flags<'_>, ingest: &Ingest, notes: &mut String) -> Result<Graph, String> {
+/// A dataset loaded from `--edges`: the graph, plus the group
+/// collections embedded in it when the input was a CKS1 snapshot packed
+/// with groups (text edge lists never carry groups).
+struct Loaded {
+    graph: Graph,
+    embedded_groups: Vec<VertexSet>,
+}
+
+/// Loads `--edges` — a text edge list or a CKS1 snapshot, auto-detected
+/// by magic — under the `--on-error` policy (text only; snapshots are
+/// checksummed, so there is no lenient mode to apply). In report mode
+/// the text ingest summary is appended to `notes` (which callers prepend
+/// to their own output).
+fn load_graph(flags: &Flags<'_>, ingest: &Ingest, notes: &mut String) -> Result<Loaded, String> {
     let path = flags.required("edges")?;
+    if file_is_snapshot(path).map_err(|e| format!("reading {path}: {e}"))? {
+        let mapped = MappedSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let snap = mapped.load().map_err(|e| format!("{path}: {e}"))?;
+        if flags.has("undirected") && snap.graph.is_directed() {
+            return Err(format!(
+                "{path} is a snapshot of a directed graph; drop --undirected \
+                 (snapshots carry their own directedness)"
+            ));
+        }
+        return Ok(Loaded { graph: snap.graph, embedded_groups: snap.groups });
+    }
     let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let (edges, report) =
         parse_edge_list_with_policy(&text, ingest.policy).map_err(|e| format!("{path}: {e}"))?;
     if ingest.verbose {
         let _ = write!(notes, "{path}: {report}");
     }
-    Ok(Graph::from_edges(!flags.has("undirected"), edges))
+    Ok(Loaded {
+        graph: Graph::from_edges(!flags.has("undirected"), edges),
+        embedded_groups: Vec::new(),
+    })
+}
+
+/// Loads the groups to score: the `--groups` file when given (text,
+/// validated against the graph under the `--on-error` policy), otherwise
+/// the groups embedded in a snapshot `--edges` input.
+fn load_groups(
+    flags: &Flags<'_>,
+    ingest: &Ingest,
+    loaded: Loaded,
+    notes: &mut String,
+) -> Result<(Graph, Vec<VertexSet>), String> {
+    let Some(groups_path) = flags.get("groups") else {
+        if loaded.embedded_groups.is_empty() {
+            return Err("missing --groups (and --edges is not a snapshot with embedded groups)"
+                .to_string());
+        }
+        return Ok((loaded.graph, loaded.embedded_groups));
+    };
+    let text =
+        fs::read_to_string(groups_path).map_err(|e| format!("reading {groups_path}: {e}"))?;
+    let (groups, report) =
+        parse_groups_with_policy(&text, Some(loaded.graph.node_count()), ingest.policy)
+            .map_err(|e| format!("{groups_path}: {e}"))?;
+    if ingest.verbose {
+        let _ = write!(notes, "{groups_path}: {report}");
+    }
+    Ok((loaded.graph, groups))
 }
 
 fn generate(args: &[String]) -> Result<String, String> {
@@ -171,15 +232,8 @@ fn score(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["undirected", "all"])?;
     let ingest = Ingest::from_flags(&flags)?;
     let mut notes = String::new();
-    let graph = load_graph(&flags, &ingest, &mut notes)?;
-    let groups_path = flags.required("groups")?;
-    let text = fs::read_to_string(groups_path).map_err(|e| format!("reading {groups_path}: {e}"))?;
-    let (groups, report) =
-        parse_groups_with_policy(&text, Some(graph.node_count()), ingest.policy)
-            .map_err(|e| format!("{groups_path}: {e}"))?;
-    if ingest.verbose {
-        let _ = write!(notes, "{groups_path}: {report}");
-    }
+    let loaded = load_graph(&flags, &ingest, &mut notes)?;
+    let (graph, groups) = load_groups(&flags, &ingest, loaded, &mut notes)?;
 
     let functions: &[ScoringFunction] = if flags.has("all") {
         &ScoringFunction::ALL
@@ -218,7 +272,7 @@ fn characterize_cmd(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["undirected"])?;
     let ingest = Ingest::from_flags(&flags)?;
     let mut notes = String::new();
-    let graph = load_graph(&flags, &ingest, &mut notes)?;
+    let graph = load_graph(&flags, &ingest, &mut notes)?.graph;
     let sources: usize = flags.parse_value("sources", 32)?;
     let seed: u64 = flags.parse_value("seed", 2014)?;
     let dataset = SynthDataset {
@@ -239,7 +293,7 @@ fn fit_degrees(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["undirected"])?;
     let ingest = Ingest::from_flags(&flags)?;
     let mut notes = String::new();
-    let graph = load_graph(&flags, &ingest, &mut notes)?;
+    let graph = load_graph(&flags, &ingest, &mut notes)?.graph;
     let kind = match flags.get("kind").unwrap_or("in") {
         "in" => DegreeKind::In,
         "out" => DegreeKind::Out,
@@ -272,7 +326,7 @@ fn detect(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["undirected"])?;
     let ingest = Ingest::from_flags(&flags)?;
     let mut notes = String::new();
-    let graph = load_graph(&flags, &ingest, &mut notes)?;
+    let graph = load_graph(&flags, &ingest, &mut notes)?.graph;
     let ego: u32 = flags
         .required("ego")?
         .parse()
@@ -296,6 +350,91 @@ fn detect(args: &[String]) -> Result<String, String> {
         circles.len()
     );
     out.push_str(std::str::from_utf8(&buf).expect("ascii output"));
+    Ok(out)
+}
+
+fn pack(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &["undirected"])?;
+    let ingest = Ingest::from_flags(&flags)?;
+    let mut notes = String::new();
+    let edges_path = flags.required("edges")?;
+    if file_is_snapshot(edges_path).map_err(|e| format!("reading {edges_path}: {e}"))? {
+        return Err(format!("{edges_path} is already a CKS1 snapshot"));
+    }
+    let loaded = load_graph(&flags, &ingest, &mut notes)?;
+    let groups = match flags.get("groups") {
+        None => Vec::new(),
+        Some(groups_path) => {
+            let text = fs::read_to_string(groups_path)
+                .map_err(|e| format!("reading {groups_path}: {e}"))?;
+            let (groups, report) =
+                parse_groups_with_policy(&text, Some(loaded.graph.node_count()), ingest.policy)
+                    .map_err(|e| format!("{groups_path}: {e}"))?;
+            if ingest.verbose {
+                let _ = write!(notes, "{groups_path}: {report}");
+            }
+            groups
+        }
+    };
+    let out_path = flags.required("out")?;
+    let bytes = save_snapshot(out_path, &loaded.graph, &groups)
+        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    let mut out = notes;
+    let _ = writeln!(
+        out,
+        "packed {} nodes, {} edges, {} groups into {out_path} ({bytes} bytes)",
+        loaded.graph.node_count(),
+        loaded.graph.edge_count(),
+        groups.len()
+    );
+    Ok(out)
+}
+
+fn inspect(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &[])?;
+    let path = flags.required("snapshot")?;
+    let mapped = MappedSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let (header, sections) =
+        section_infos(mapped.bytes()).map_err(|e| format!("{path}: {e}"))?;
+    let view = mapped.view().map_err(|e| format!("{path}: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: CKS1 snapshot, {} bytes", mapped.bytes().len());
+    let _ = writeln!(
+        out,
+        "version {}   {}   flags {:#06x}",
+        circlekit::store::VERSION,
+        if header.directed() { "directed" } else { "undirected" },
+        header.flags
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{:<16} {:>12} {:>12}", "section", "bytes", "crc32");
+    for s in &sections {
+        let _ = writeln!(out, "{:<16} {:>12} {:>#12x}", s.name, s.bytes, s.checksum);
+    }
+    let _ = writeln!(out);
+    let n = view.node_count();
+    let _ = writeln!(out, "vertices          {n}");
+    let _ = writeln!(
+        out,
+        "{:<17} {}",
+        if view.is_directed() { "edges (arcs)" } else { "edges" },
+        view.edge_count()
+    );
+    let _ = writeln!(
+        out,
+        "avg out-degree    {:.3}",
+        if n == 0 { 0.0 } else { view.arc_count() as f64 / n as f64 }
+    );
+    let _ = writeln!(out, "groups            {}", view.group_count());
+    if view.group_count() > 0 {
+        let _ = writeln!(
+            out,
+            "memberships       {} (mean group size {:.2})",
+            view.member_count(),
+            view.member_count() as f64 / view.group_count() as f64
+        );
+    }
     Ok(out)
 }
 
@@ -495,5 +634,111 @@ mod tests {
         assert!(dispatch(&args(&["score", "--edges", "nope"])).is_err());
         assert!(dispatch(&args(&["generate", "google+"])).is_err());
         assert!(dispatch(&args(&["detect", "--edges", "nope"])).is_err());
+        assert!(dispatch(&args(&["pack", "--edges", "nope"])).is_err());
+        assert!(dispatch(&args(&["inspect"])).is_err());
+    }
+
+    #[test]
+    fn pack_then_score_matches_text_ingestion_byte_for_byte() {
+        let edges = tmp("pk.edges");
+        let groups = tmp("pk.circles");
+        let snap = tmp("pk.cks");
+        dispatch(&args(&[
+            "generate", "google+", "--scale", "0.003", "--seed", "11",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        let out = dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+        assert!(out.contains("packed"), "{out}");
+
+        let from_text = dispatch(&args(&["score", "--edges", &edges, "--groups", &groups]))
+            .expect("text score succeeds");
+        // Embedded groups: a single .cks input replaces both files.
+        let from_snap = dispatch(&args(&["score", "--edges", &snap]))
+            .expect("snapshot score succeeds");
+        assert_eq!(from_text, from_snap);
+        // Explicit --groups still works alongside a snapshot graph.
+        let mixed = dispatch(&args(&["score", "--edges", &snap, "--groups", &groups]))
+            .expect("mixed score succeeds");
+        assert_eq!(from_text, mixed);
+    }
+
+    #[test]
+    fn pack_without_groups_and_score_requires_groups() {
+        let edges = tmp("pg.edges");
+        let snap = tmp("pg.cks");
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        dispatch(&args(&["pack", "--edges", &edges, "--out", &snap])).expect("pack succeeds");
+        let err = dispatch(&args(&["score", "--edges", &snap])).unwrap_err();
+        assert!(err.contains("--groups"), "{err}");
+    }
+
+    #[test]
+    fn inspect_reports_sections_and_stats() {
+        let edges = tmp("in.edges");
+        let groups = tmp("in.circles");
+        let snap = tmp("in.cks");
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        fs::write(&groups, "c0\t0 1\nc1\t1 2\n").unwrap();
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+        let out = dispatch(&args(&["inspect", "--snapshot", &snap])).expect("inspect succeeds");
+        assert!(out.contains("CKS1 snapshot"), "{out}");
+        assert!(out.contains("out-offsets"), "{out}");
+        assert!(out.contains("group-members"), "{out}");
+        assert!(out.contains("vertices          3"), "{out}");
+        assert!(out.contains("groups            2"), "{out}");
+    }
+
+    #[test]
+    fn snapshot_rejects_conflicting_undirected_flag_and_double_pack() {
+        let edges = tmp("cf.edges");
+        let snap = tmp("cf.cks");
+        fs::write(&edges, "0 1\n1 2\n").unwrap();
+        dispatch(&args(&["pack", "--edges", &edges, "--out", &snap])).expect("pack succeeds");
+        let err = dispatch(&args(&["characterize", "--edges", &snap, "--undirected"]))
+            .unwrap_err();
+        assert!(err.contains("directed"), "{err}");
+        let err = dispatch(&args(&["pack", "--edges", &snap, "--out", &snap])).unwrap_err();
+        assert!(err.contains("already"), "{err}");
+    }
+
+    #[test]
+    fn undirected_snapshot_roundtrips_through_characterize() {
+        let edges = tmp("ud.edges");
+        let snap = tmp("ud.cks");
+        fs::write(&edges, "0 1\n1 2\n2 0\n2 3\n").unwrap();
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--undirected", "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+        // The snapshot carries its directedness; no --undirected needed.
+        let from_text = dispatch(&args(&["characterize", "--edges", &edges, "--undirected"]))
+            .expect("text characterize succeeds")
+            .replace(&edges, "DATA");
+        let from_snap = dispatch(&args(&["characterize", "--edges", &snap]))
+            .expect("snapshot characterize succeeds")
+            .replace(&snap, "DATA");
+        assert_eq!(from_text, from_snap);
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_a_structured_cli_error() {
+        let edges = tmp("cr.edges");
+        let snap = tmp("cr.cks");
+        fs::write(&edges, "0 1\n1 2\n").unwrap();
+        dispatch(&args(&["pack", "--edges", &edges, "--out", &snap])).expect("pack succeeds");
+        let mut bytes = fs::read(&snap).unwrap();
+        // First payload byte of the first section (fixed header 32 +
+        // section header 16): a guaranteed checksum failure.
+        bytes[48] ^= 0xff;
+        fs::write(&snap, &bytes).unwrap();
+        let err = dispatch(&args(&["score", "--edges", &snap])).unwrap_err();
+        assert!(err.contains("checksum mismatch"), "{err}");
     }
 }

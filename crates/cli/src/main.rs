@@ -3,14 +3,19 @@
 //! ```text
 //! circlekit generate <google+|twitter|livejournal|orkut|magno>
 //!                    [--scale F] [--seed N] --edges FILE [--groups FILE]
-//! circlekit score        --edges FILE --groups FILE [--undirected] [--all]
+//! circlekit score        --edges FILE [--groups FILE] [--undirected] [--all]
 //! circlekit characterize --edges FILE [--undirected] [--sources N]
 //! circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]
 //! circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]
+//! circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks
+//! circlekit inspect      --snapshot FILE.cks
 //! ```
 //!
 //! Edge files are SNAP-style whitespace edge lists; group files are
-//! SNAP-style circle/community lines (`label<TAB>id id …`).
+//! SNAP-style circle/community lines (`label<TAB>id id …`). Any `--edges`
+//! argument may instead be a CKS1 binary snapshot produced by `pack`
+//! (auto-detected by magic); a snapshot carries its own directedness and,
+//! when packed with `--groups`, its group collections.
 //!
 //! Every file-reading command accepts `--on-error fail|skip|report`:
 //! `fail` (the default) aborts on the first malformed line, `skip` drops

@@ -140,9 +140,33 @@ impl CheckpointStore {
             dirty: false,
         };
         if path.exists() {
-            let text = std::fs::read_to_string(&path)?;
-            let file: CheckpointFile = serde_json::from_str(&text)
-                .map_err(|e| RunError::Corrupt(format!("{}: {e:?}", path.display())))?;
+            let bytes = std::fs::read(&path)?;
+            let text = String::from_utf8(bytes).map_err(|_| {
+                RunError::Corrupt(format!(
+                    "{}: not UTF-8 text — is this really a checkpoint sidecar?",
+                    path.display()
+                ))
+            })?;
+            // Classify the defect instead of leaking serde_json's debug
+            // representation: the message must tell an operator whether
+            // the sidecar was cut off mid-write (safe to delete and
+            // restart) or is some other file entirely.
+            let file: CheckpointFile = serde_json::from_str(&text).map_err(|e| {
+                let msg = e.to_string();
+                let what = if text.trim().is_empty() {
+                    "file is empty — truncated before the first flush?".to_string()
+                } else if msg.contains("unexpected end of JSON input") {
+                    format!("JSON ends unexpectedly ({msg}) — truncated write?")
+                } else if msg.contains("missing field")
+                    || msg.contains("invalid type")
+                    || msg.contains("unknown field")
+                {
+                    format!("valid JSON but not a checkpoint ({msg})")
+                } else {
+                    format!("not valid JSON ({msg})")
+                };
+                RunError::Corrupt(format!("{}: {what}", path.display()))
+            })?;
             if file.version != CHECKPOINT_VERSION {
                 return Err(RunError::Corrupt(format!(
                     "unsupported checkpoint version {} (expected {CHECKPOINT_VERSION})",
@@ -314,6 +338,58 @@ mod tests {
             other => panic!("expected corrupt, got {other:?}"),
         }
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Every flavour of sidecar corruption must surface as a structured
+    /// `Corrupt` message that classifies the defect — never serde_json's
+    /// debug representation.
+    #[test]
+    fn corrupt_sidecar_messages_classify_the_defect() {
+        let dir = std::env::temp_dir().join("circlekit-ckpt-test-classify");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+
+        let corrupt_message = |content: &[u8]| -> String {
+            std::fs::write(&path, content).unwrap();
+            match CheckpointStore::at_path(&path, 1) {
+                Err(RunError::Corrupt(why)) => {
+                    assert!(
+                        !why.contains("Error(") && !why.contains("ErrorCode"),
+                        "raw serde_json debug output leaked: {why}"
+                    );
+                    assert!(why.contains("run.ckpt"), "message must name the file: {why}");
+                    why
+                }
+                other => panic!("expected corrupt for {content:?}, got {other:?}"),
+            }
+        };
+
+        // A sidecar truncated mid-write (the crash-during-flush case).
+        let mut store = CheckpointStore::at_path(dir.join("good.ckpt"), 1).unwrap();
+        store.put_scores("k/0", &[1.0, 2.0]);
+        store.flush().unwrap();
+        let good = std::fs::read(dir.join("good.ckpt")).unwrap();
+        let why = corrupt_message(&good[..good.len() / 2]);
+        assert!(why.contains("truncated"), "{why}");
+
+        // An empty file.
+        let why = corrupt_message(b"");
+        assert!(why.contains("empty"), "{why}");
+
+        // Garbage that is not JSON at all.
+        let why = corrupt_message(b"}{ nonsense");
+        assert!(why.contains("not valid JSON"), "{why}");
+
+        // Valid JSON of the wrong shape.
+        let why = corrupt_message(b"{\"foo\": 1}");
+        assert!(why.contains("not a checkpoint"), "{why}");
+
+        // Binary garbage that is not even UTF-8.
+        let why = corrupt_message(&[0xFF, 0xFE, 0x00, 0x80, 0xC3]);
+        assert!(why.contains("UTF-8"), "{why}");
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(dir.join("good.ckpt")).unwrap();
     }
 
     #[test]

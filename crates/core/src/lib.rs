@@ -40,6 +40,7 @@
 //! | [`sampling`] | `circlekit-sampling` | random-walk baselines, crawls |
 //! | [`synth`] | `circlekit-synth` | synthetic corpora |
 //! | [`detect`] | `circlekit-detect` | LPA / circle-detection baselines |
+//! | [`store`] | `circlekit-store` | CKS1 binary snapshots, zero-copy loads |
 //! | [`experiments`] | this crate | one driver per table/figure |
 
 #![forbid(unsafe_code)]
@@ -52,6 +53,7 @@ pub use circlekit_nullmodel as nullmodel;
 pub use circlekit_sampling as sampling;
 pub use circlekit_scoring as scoring;
 pub use circlekit_statfit as statfit;
+pub use circlekit_store as store;
 pub use circlekit_stats as stats;
 pub use circlekit_synth as synth;
 

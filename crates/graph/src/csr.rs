@@ -58,6 +58,30 @@ impl Csr {
         }
     }
 
+    /// Rebuilds a CSR from parts that already satisfy the invariants
+    /// (`offsets` monotone with `offsets[0] == 0` and final entry
+    /// `targets.len()`; each adjacency list strictly increasing). Callers
+    /// validate before constructing — see `Graph::try_from_csr_parts`.
+    pub(crate) fn from_raw_parts(offsets: Vec<usize>, targets: Vec<NodeId>) -> Csr {
+        debug_assert!(!offsets.is_empty() && offsets[0] == 0);
+        debug_assert_eq!(*offsets.last().expect("non-empty"), targets.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Csr { offsets, targets }
+    }
+
+    /// The offset array: `offsets()[v]..offsets()[v + 1]` indexes the
+    /// adjacency of `v` in [`Csr::targets`].
+    #[inline]
+    pub(crate) fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The concatenated adjacency lists.
+    #[inline]
+    pub(crate) fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
     #[inline]
     pub(crate) fn node_count(&self) -> usize {
         self.offsets.len() - 1

@@ -20,6 +20,9 @@ pub enum GraphError {
     RequiresUndirected,
     /// An edge list failed to parse.
     Parse(ParseEdgeListError),
+    /// Raw CSR parts violated a structural invariant (see
+    /// [`Graph::try_from_csr_parts`](crate::Graph::try_from_csr_parts)).
+    InvalidCsr(String),
 }
 
 impl fmt::Display for GraphError {
@@ -31,6 +34,7 @@ impl fmt::Display for GraphError {
             GraphError::RequiresDirected => write!(f, "operation requires a directed graph"),
             GraphError::RequiresUndirected => write!(f, "operation requires an undirected graph"),
             GraphError::Parse(e) => write!(f, "edge list parse error: {e}"),
+            GraphError::InvalidCsr(why) => write!(f, "invalid CSR parts: {why}"),
         }
     }
 }

@@ -44,6 +44,16 @@ impl Graph {
         Graph { directed, out, inn, m }
     }
 
+    /// Out-adjacency CSR (symmetric adjacency for undirected graphs).
+    pub(crate) fn out(&self) -> &Csr {
+        &self.out
+    }
+
+    /// In-adjacency CSR; `None` for undirected graphs.
+    pub(crate) fn inn(&self) -> Option<&Csr> {
+        self.inn.as_ref()
+    }
+
     /// Builds a graph directly from an edge iterator.
     ///
     /// Node count is inferred as `max id + 1`. Duplicate edges are collapsed

@@ -52,6 +52,7 @@ mod graph;
 mod groups_io;
 mod ingest;
 mod io;
+mod raw;
 mod scc;
 mod serde_impl;
 mod traversal;

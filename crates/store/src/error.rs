@@ -1,0 +1,212 @@
+//! [`StoreError`]: every way a snapshot can fail to read or write.
+//!
+//! Corruption is an expected input class for an on-disk format, so each
+//! detectable defect has its own variant — callers (the CLI, the
+//! `reproduce` driver, CI's corruption smoke test) render them as
+//! actionable messages, and nothing in this crate panics on bad bytes.
+
+use circlekit_graph::GraphError;
+use std::fmt;
+use std::io;
+
+/// Why reading or writing a CKS1 snapshot failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The file is smaller than the fixed header.
+    TooShort {
+        /// Actual file length in bytes.
+        len: u64,
+    },
+    /// The file does not start with the `CKS1` magic.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The format version is not one this build can read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The header carries flag bits this build does not know.
+    UnknownFlags {
+        /// The offending flag word.
+        flags: u16,
+    },
+    /// The header checksum does not match the header bytes.
+    HeaderChecksum {
+        /// Checksum recorded in the header.
+        expected: u32,
+        /// Checksum recomputed from the header bytes.
+        actual: u32,
+    },
+    /// The file ends in the middle of the named structure.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's recorded length exceeds the bytes remaining in the
+    /// file (truncation or a corrupted length field).
+    SectionOversize {
+        /// Raw section id.
+        section: u32,
+        /// Recorded payload length.
+        len: u64,
+        /// Bytes actually remaining after the section header.
+        remaining: u64,
+    },
+    /// A section id this build does not know.
+    UnknownSection {
+        /// Raw section id.
+        section: u32,
+    },
+    /// The same section appears twice.
+    DuplicateSection {
+        /// Section name.
+        section: &'static str,
+    },
+    /// A section required by the header flags is absent.
+    MissingSection {
+        /// Section name.
+        section: &'static str,
+    },
+    /// A section present in the file is not permitted by the header
+    /// flags (e.g. in-adjacency in an undirected snapshot).
+    UnexpectedSection {
+        /// Section name.
+        section: &'static str,
+    },
+    /// A section's payload does not match its recorded checksum.
+    SectionChecksum {
+        /// Section name.
+        section: &'static str,
+        /// Checksum recorded in the section header.
+        expected: u32,
+        /// Checksum recomputed from the payload.
+        actual: u32,
+    },
+    /// A section's length disagrees with the counts in the header.
+    WrongSectionLen {
+        /// Section name.
+        section: &'static str,
+        /// Length implied by the header counts.
+        expected: u64,
+        /// Length recorded in the section header.
+        actual: u64,
+    },
+    /// Bytes remain after the last section.
+    TrailingData {
+        /// Number of surplus bytes.
+        extra: u64,
+    },
+    /// A stored 64-bit value does not fit this platform's `usize`.
+    OffsetOverflow {
+        /// The offending value.
+        value: u64,
+    },
+    /// A stored group violates the `VertexSet` invariants.
+    InvalidGroups {
+        /// Index of the offending group.
+        group: usize,
+        /// What was wrong.
+        why: String,
+    },
+    /// The CSR arrays decoded cleanly but violate a graph invariant.
+    Graph(GraphError),
+    /// The zero-copy view cannot be built on this host (big-endian
+    /// target or a misaligned buffer); the buffered loader still works.
+    NotZeroCopy {
+        /// Why the view is unavailable.
+        why: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
+            StoreError::TooShort { len } => {
+                write!(f, "file is {len} bytes, smaller than the CKS1 header")
+            }
+            StoreError::BadMagic { found } => write!(
+                f,
+                "not a CKS1 snapshot (magic bytes {:02x} {:02x} {:02x} {:02x})",
+                found[0], found[1], found[2], found[3]
+            ),
+            StoreError::UnsupportedVersion { found } => {
+                write!(f, "unsupported CKS1 version {found}")
+            }
+            StoreError::UnknownFlags { flags } => {
+                write!(f, "header carries unknown flag bits {flags:#06x}")
+            }
+            StoreError::HeaderChecksum { expected, actual } => write!(
+                f,
+                "header checksum mismatch: recorded {expected:#010x}, computed {actual:#010x}"
+            ),
+            StoreError::Truncated { context } => {
+                write!(f, "file truncated while reading {context}")
+            }
+            StoreError::SectionOversize { section, len, remaining } => write!(
+                f,
+                "section {section} claims {len} payload bytes but only {remaining} remain \
+                 (truncated file or corrupted length)"
+            ),
+            StoreError::UnknownSection { section } => write!(f, "unknown section id {section}"),
+            StoreError::DuplicateSection { section } => {
+                write!(f, "section {section} appears more than once")
+            }
+            StoreError::MissingSection { section } => {
+                write!(f, "required section {section} is missing")
+            }
+            StoreError::UnexpectedSection { section } => {
+                write!(f, "section {section} is not permitted by the header flags")
+            }
+            StoreError::SectionChecksum { section, expected, actual } => write!(
+                f,
+                "section {section} checksum mismatch: recorded {expected:#010x}, \
+                 computed {actual:#010x}"
+            ),
+            StoreError::WrongSectionLen { section, expected, actual } => write!(
+                f,
+                "section {section} is {actual} bytes, but the header counts imply {expected}"
+            ),
+            StoreError::TrailingData { extra } => {
+                write!(f, "{extra} surplus bytes after the last section")
+            }
+            StoreError::OffsetOverflow { value } => {
+                write!(f, "stored value {value} does not fit this platform's usize")
+            }
+            StoreError::InvalidGroups { group, why } => {
+                write!(f, "group {group} is invalid: {why}")
+            }
+            StoreError::Graph(e) => write!(f, "snapshot decodes to an invalid graph: {e}"),
+            StoreError::NotZeroCopy { why } => {
+                write!(f, "zero-copy view unavailable: {why} (use the buffered loader)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> StoreError {
+        StoreError::Graph(e)
+    }
+}

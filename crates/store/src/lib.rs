@@ -1,0 +1,77 @@
+//! `circlekit-store`: the CKS1 binary graph snapshot format.
+//!
+//! Text edge lists and circle files are convenient but slow to ingest:
+//! every run re-parses, re-sorts, and re-deduplicates millions of lines.
+//! This crate defines a versioned binary snapshot — magic `CKS1` — that
+//! stores the *post-ingestion* state of a [`Graph`] (and optionally its
+//! group collections) so every driver in the workspace can load a dataset
+//! without repeating that work:
+//!
+//! * **Pack once** ([`save_snapshot`] / [`write_snapshot`]): serialise
+//!   the exact CSR arrays `Csr::from_edges` produced, little-endian,
+//!   each section framed with a length and CRC-32.
+//! * **Load anywhere** ([`load_snapshot`]): a portable buffered read that
+//!   decodes explicitly with `from_le_bytes` and re-validates every
+//!   structural invariant — the reference path, correct on any
+//!   endianness/alignment.
+//! * **Load fast** ([`MappedSnapshot`] + [`SnapshotView`]): memory-map
+//!   the file, validate header + checksums once, then borrow the CSR and
+//!   group arrays straight out of the mapping — zero copies proportional
+//!   to the graph (little-endian hosts; the buffered path remains the
+//!   fallback elsewhere).
+//!
+//! Both load paths produce graphs **bit-identical** to text ingestion of
+//! the same data, so downstream scores, figures, and checkpoints do not
+//! depend on which path loaded the dataset.
+//!
+//! Corruption — truncation, bit flips, hand-crafted section tables — is
+//! an expected input class: every defect is detected (checksums, length
+//! framing, full invariant re-validation) and reported as a typed
+//! [`StoreError`]; no input bytes can cause a panic or undefined
+//! behaviour. See [`format`](crate::format) for the byte layout and
+//! `DESIGN.md` §10 for the rationale.
+//!
+//! # Quick start
+//!
+//! ```
+//! use circlekit_graph::{Graph, VertexSet};
+//! use circlekit_store::{decode_snapshot, write_snapshot, SnapshotView};
+//!
+//! let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0)]);
+//! let circles = vec![VertexSet::from_iter([0u32, 1])];
+//!
+//! let mut bytes = Vec::new();
+//! write_snapshot(&g, &circles, &mut bytes).expect("pack");
+//!
+//! // Portable buffered decode…
+//! let snap = decode_snapshot(&bytes).expect("load");
+//! assert_eq!(snap.graph, g);
+//! assert_eq!(snap.groups, circles);
+//!
+//! // …and the zero-copy view over the same bytes (Vec<u8> from
+//! // write_snapshot is not guaranteed 8-aligned; mmap/MappedSnapshot
+//! // buffers are — fall back gracefully when it is not).
+//! match SnapshotView::parse(&bytes) {
+//!     Ok(view) => assert_eq!(view.node_count(), 3),
+//!     Err(circlekit_store::StoreError::NotZeroCopy { .. }) => {}
+//!     Err(e) => panic!("unexpected error: {e}"),
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod crc32;
+mod error;
+pub mod format;
+mod mmap;
+mod reader;
+mod view;
+mod writer;
+
+pub use crc32::crc32;
+pub use error::StoreError;
+pub use format::{Header, SectionId, HEADER_LEN, MAGIC, SECTION_HEADER_LEN, VERSION};
+pub use mmap::MappedSnapshot;
+pub use reader::{decode_snapshot, file_is_snapshot, is_snapshot, load_snapshot, Snapshot};
+pub use view::{section_infos, SectionInfo, SnapshotView};
+pub use writer::{save_snapshot, write_snapshot};

@@ -1,0 +1,199 @@
+//! [`MappedSnapshot`]: owning a snapshot's bytes via a memory map.
+//!
+//! On Unix targets the file is mapped read-only (`PROT_READ`,
+//! `MAP_PRIVATE`) through a minimal `extern "C"` binding — the workspace
+//! vendors no `libc`/`memmap` crate, and `std` already links the platform
+//! C library, so declaring the two symbols we need is enough. Page
+//! alignment of the mapping plus the format's 8-byte section padding make
+//! the zero-copy [`SnapshotView`] reinterpretation valid.
+//!
+//! On non-Unix targets (and for empty files, which `mmap` rejects) the
+//! file is read into an 8-byte-aligned heap buffer instead — same
+//! `MappedSnapshot` API, one copy, still alignment-safe for the view.
+
+use crate::error::StoreError;
+use crate::reader::Snapshot;
+use crate::view::SnapshotView;
+use std::fs::File;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::io;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+    const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    /// A read-only private mapping, unmapped on drop.
+    #[derive(Debug)]
+    pub struct Mapping {
+        ptr: *mut c_void,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ + MAP_PRIVATE — immutable shared
+    // memory with no interior mutability, safe to reference and to drop
+    // from any thread.
+    unsafe impl Send for Mapping {}
+    // SAFETY: as above; `bytes` only hands out shared `&[u8]` views.
+    unsafe impl Sync for Mapping {}
+
+    impl Mapping {
+        /// Maps `len` bytes of `fd` read-only. `len` must be non-zero
+        /// and no larger than the file.
+        pub fn new(fd: i32, len: usize) -> io::Result<Mapping> {
+            // SAFETY: we pass a null addr hint, a valid open fd, and a
+            // non-zero length; the kernel validates everything else and
+            // reports failure via MAP_FAILED.
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, fd, 0)
+            };
+            if ptr == MAP_FAILED {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mapping { ptr, len })
+        }
+
+        pub fn bytes(&self) -> &[u8] {
+            // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+            // bytes, valid until `munmap` in Drop; u8 has no alignment
+            // or validity requirements.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for Mapping {
+        fn drop(&mut self) {
+            // SAFETY: `ptr`/`len` are exactly what mmap returned, and
+            // the slice handed out by `bytes` cannot outlive `self`.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Backing {
+    #[cfg(unix)]
+    Mapped(sys::Mapping),
+    /// 8-byte-aligned heap buffer: `buf` over-allocates to whole `u64`s,
+    /// `len` is the real byte count.
+    Buffered { buf: Vec<u64>, len: usize },
+}
+
+/// A snapshot file held in memory — memory-mapped where supported,
+/// buffered into an aligned allocation otherwise. Dropping unmaps/frees.
+///
+/// Opening performs no validation; call [`MappedSnapshot::view`] for the
+/// zero-copy path or [`MappedSnapshot::load`] for owned data.
+#[derive(Debug)]
+pub struct MappedSnapshot {
+    backing: Backing,
+}
+
+/// Reads `file` into an 8-byte-aligned buffer (the non-mmap fallback,
+/// also used for empty files which `mmap` rejects).
+fn read_aligned(file: &mut File) -> Result<Backing, StoreError> {
+    use std::io::Read;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)?;
+    let len = bytes.len();
+    let mut buf = vec![0u64; len.div_ceil(8)];
+    // SAFETY: the u64 buffer spans at least `len` bytes; any byte
+    // pattern is a valid u64.
+    let dst = unsafe {
+        std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len)
+    };
+    dst.copy_from_slice(&bytes);
+    Ok(Backing::Buffered { buf, len })
+}
+
+impl MappedSnapshot {
+    /// Opens and maps (or buffers) the file at `path` without validating
+    /// its contents.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened, sized, mapped,
+    /// or read.
+    pub fn open(path: impl AsRef<Path>) -> Result<MappedSnapshot, StoreError> {
+        let mut file = File::open(path)?;
+        let backing = {
+            #[cfg(unix)]
+            {
+                use std::os::unix::io::AsRawFd;
+                let len = file.metadata()?.len();
+                let len = usize::try_from(len)
+                    .map_err(|_| StoreError::OffsetOverflow { value: len })?;
+                if len == 0 {
+                    read_aligned(&mut file)?
+                } else {
+                    Backing::Mapped(sys::Mapping::new(file.as_raw_fd(), len)?)
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                read_aligned(&mut file)?
+            }
+        };
+        Ok(MappedSnapshot { backing })
+    }
+
+    /// The raw snapshot bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped(m) => m.bytes(),
+            Backing::Buffered { buf, len } => {
+                // SAFETY: the u64 buffer spans at least `len` bytes, and
+                // u8 reads are valid for any bytes.
+                unsafe { std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+
+    /// Whether this snapshot is memory-mapped (as opposed to the
+    /// buffered fallback).
+    pub fn is_mapped(&self) -> bool {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Mapped(_) => true,
+            Backing::Buffered { .. } => false,
+        }
+    }
+
+    /// Validates the bytes once and returns the zero-copy view borrowing
+    /// from the mapping.
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotView::parse`].
+    pub fn view(&self) -> Result<SnapshotView<'_>, StoreError> {
+        SnapshotView::parse(self.bytes())
+    }
+
+    /// Materialises the full snapshot through the view (validate, then
+    /// copy out of the mapping).
+    ///
+    /// # Errors
+    ///
+    /// As [`SnapshotView::parse`] and [`SnapshotView::to_snapshot`].
+    pub fn load(&self) -> Result<Snapshot, StoreError> {
+        self.view()?.to_snapshot()
+    }
+}

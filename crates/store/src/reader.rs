@@ -1,0 +1,222 @@
+//! Portable buffered loading: decode a CKS1 byte stream into owned
+//! [`Graph`] / [`VertexSet`] values.
+//!
+//! This path works on any endianness and any alignment — each integer is
+//! decoded explicitly with `from_le_bytes` — and is the reference
+//! implementation the zero-copy view ([`crate::view`]) is tested
+//! against. The graphs it produces are bit-identical to text ingestion
+//! of the same data: packing preserves the exact arrays
+//! `Csr::from_edges` built, and loading re-validates them through
+//! [`Graph::try_from_csr_parts`].
+
+use crate::error::StoreError;
+use crate::format::{find_section, parse_sections, Header, Section, SectionId};
+use circlekit_graph::{Graph, NodeId, VertexSet};
+use std::fs;
+use std::io::Read;
+use std::path::Path;
+
+/// A fully materialised snapshot: the graph plus its group collections
+/// (empty when the snapshot was packed without groups).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// The stored graph.
+    pub graph: Graph,
+    /// The stored groups, in pack order.
+    pub groups: Vec<VertexSet>,
+}
+
+fn decode_u64s(payload: &[u8]) -> Vec<u64> {
+    payload
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect()
+}
+
+fn decode_u32s(payload: &[u8]) -> Vec<u32> {
+    payload
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunk is 4 bytes")))
+        .collect()
+}
+
+fn to_usize(value: u64) -> Result<usize, StoreError> {
+    usize::try_from(value).map_err(|_| StoreError::OffsetOverflow { value })
+}
+
+fn expect_len(section: &Section<'_>, expected: u64) -> Result<(), StoreError> {
+    if section.payload.len() as u64 != expected {
+        return Err(StoreError::WrongSectionLen {
+            section: section.id.name(),
+            expected,
+            actual: section.payload.len() as u64,
+        });
+    }
+    Ok(())
+}
+
+/// Decodes an offsets section into `usize`s, checking its length against
+/// `count + 1` entries.
+fn decode_offsets(section: &Section<'_>, count: u64) -> Result<Vec<usize>, StoreError> {
+    let entries = count
+        .checked_add(1)
+        .ok_or(StoreError::OffsetOverflow { value: count })?;
+    let bytes = entries
+        .checked_mul(8)
+        .ok_or(StoreError::OffsetOverflow { value: entries })?;
+    expect_len(section, bytes)?;
+    decode_u64s(section.payload).into_iter().map(to_usize).collect()
+}
+
+/// Checks the structural invariants the group sections must satisfy and
+/// materialises the vertex sets.
+pub(crate) fn build_groups(
+    offsets: &[u64],
+    members: &[NodeId],
+    node_count: u64,
+) -> Result<Vec<VertexSet>, StoreError> {
+    let invalid = |group: usize, why: String| Err(StoreError::InvalidGroups { group, why });
+    if offsets.first() != Some(&0) {
+        return invalid(0, "group offsets do not start at 0".to_string());
+    }
+    if *offsets.last().expect("checked non-empty") != members.len() as u64 {
+        return invalid(
+            offsets.len() - 1,
+            format!(
+                "final group offset {} does not match member count {}",
+                offsets.last().expect("checked non-empty"),
+                members.len()
+            ),
+        );
+    }
+    // Full monotonicity before any slicing: a decreasing pair after an
+    // inflated offset would otherwise index past `members`.
+    if let Some(i) = (0..offsets.len() - 1).find(|&i| offsets[i] > offsets[i + 1]) {
+        return invalid(i, "group offsets decrease".to_string());
+    }
+    let mut groups = Vec::with_capacity(offsets.len() - 1);
+    for (i, w) in offsets.windows(2).enumerate() {
+        let (start, end) = (w[0], w[1]);
+        let slice = &members[to_usize(start)?..to_usize(end)?];
+        let mut prev: Option<NodeId> = None;
+        for &v in slice {
+            if v as u64 >= node_count {
+                return invalid(i, format!("member {v} outside 0..{node_count}"));
+            }
+            if prev.is_some_and(|p| p >= v) {
+                return invalid(i, "members not sorted/duplicate-free".to_string());
+            }
+            prev = Some(v);
+        }
+        groups.push(VertexSet::from_sorted_unique(slice.to_vec()));
+    }
+    Ok(groups)
+}
+
+fn decode_graph(header: &Header, sections: &[Section<'_>]) -> Result<Graph, StoreError> {
+    let directed = header.directed();
+    let out_offsets = find_section(sections, SectionId::OutOffsets, true, true)?
+        .expect("required section present");
+    let out_targets = find_section(sections, SectionId::OutTargets, true, true)?
+        .expect("required section present");
+    let in_offsets = find_section(sections, SectionId::InOffsets, directed, directed)?;
+    let in_targets = find_section(sections, SectionId::InTargets, directed, directed)?;
+
+    let arc_bytes = |arcs: u64| {
+        arcs.checked_mul(4).ok_or(StoreError::OffsetOverflow { value: arcs })
+    };
+    let offsets = decode_offsets(out_offsets, header.node_count)?;
+    let arcs = *offsets.last().expect("offsets non-empty") as u64;
+    expect_len(out_targets, arc_bytes(arcs)?)?;
+    let targets = decode_u32s(out_targets.payload);
+
+    let in_parts = match (in_offsets, in_targets) {
+        (Some(io_sec), Some(it_sec)) => {
+            let offsets = decode_offsets(io_sec, header.node_count)?;
+            let arcs = *offsets.last().expect("offsets non-empty") as u64;
+            expect_len(it_sec, arc_bytes(arcs)?)?;
+            Some((offsets, decode_u32s(it_sec.payload)))
+        }
+        _ => None,
+    };
+
+    Ok(Graph::try_from_csr_parts(
+        directed,
+        to_usize(header.edge_count)?,
+        offsets,
+        targets,
+        in_parts,
+    )?)
+}
+
+/// Decodes a complete snapshot from an in-memory byte slice.
+///
+/// # Errors
+///
+/// Any framing error from [`parse_sections`](crate::format::parse_sections),
+/// plus the semantic [`StoreError`] variants when section sizes, CSR
+/// invariants, or group invariants do not hold.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+    let (header, sections) = parse_sections(bytes)?;
+    let graph = decode_graph(&header, &sections)?;
+    let has = header.has_groups();
+    let group_offsets = find_section(&sections, SectionId::GroupOffsets, has, has)?;
+    let group_members = find_section(&sections, SectionId::GroupMembers, has, has)?;
+    let groups = match (group_offsets, group_members) {
+        (Some(go), Some(gm)) => {
+            if go.payload.len() < 8 || go.payload.len() % 8 != 0 {
+                return Err(StoreError::WrongSectionLen {
+                    section: go.id.name(),
+                    expected: 8,
+                    actual: go.payload.len() as u64,
+                });
+            }
+            let offsets = decode_u64s(go.payload);
+            let members_len = *offsets.last().expect("checked non-empty");
+            let bytes = members_len
+                .checked_mul(4)
+                .ok_or(StoreError::OffsetOverflow { value: members_len })?;
+            expect_len(gm, bytes)?;
+            let members = decode_u32s(gm.payload);
+            build_groups(&offsets, &members, header.node_count)?
+        }
+        _ => Vec::new(),
+    };
+    Ok(Snapshot { graph, groups })
+}
+
+/// Loads a snapshot file through the portable buffered path (one
+/// `fs::read` plus an explicit little-endian decode).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on read failure, otherwise as [`decode_snapshot`].
+pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
+    let bytes = fs::read(path)?;
+    decode_snapshot(&bytes)
+}
+
+/// Whether `bytes` begin with the CKS1 magic. A cheap sniff for format
+/// auto-detection; full validation happens on load.
+pub fn is_snapshot(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[0..4] == crate::format::MAGIC
+}
+
+/// Whether the file at `path` begins with the CKS1 magic (reads at most
+/// four bytes). Missing or unreadable files surface as `Err`.
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] from opening or reading the file.
+pub fn file_is_snapshot(path: impl AsRef<Path>) -> std::io::Result<bool> {
+    let mut magic = [0u8; 4];
+    let mut file = fs::File::open(path)?;
+    let mut read = 0;
+    while read < 4 {
+        match file.read(&mut magic[read..])? {
+            0 => return Ok(false), // shorter than the magic: not a snapshot
+            k => read += k,
+        }
+    }
+    Ok(magic == crate::format::MAGIC)
+}

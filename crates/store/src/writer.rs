@@ -1,0 +1,129 @@
+//! Packing a graph (and optional group collections) into a CKS1 stream.
+
+use crate::error::StoreError;
+use crate::format::{padded_len, Header, SectionId, FLAG_DIRECTED, FLAG_GROUPS, SECTION_HEADER_LEN};
+use crate::{crc32::crc32, HEADER_LEN};
+use circlekit_graph::{Graph, GraphError, NodeId, VertexSet};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+fn u64_bytes(values: impl ExactSizeIterator<Item = u64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn u32_bytes(values: &[NodeId]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn write_section<W: Write>(w: &mut W, id: SectionId, payload: &[u8]) -> io::Result<u64> {
+    let mut head = [0u8; SECTION_HEADER_LEN];
+    head[0..4].copy_from_slice(&(id as u32).to_le_bytes());
+    head[4..8].copy_from_slice(&crc32(payload).to_le_bytes());
+    head[8..16].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    w.write_all(&head)?;
+    w.write_all(payload)?;
+    let pad = (padded_len(payload.len() as u64) - payload.len() as u64) as usize;
+    if pad > 0 {
+        w.write_all(&[0u8; 7][..pad])?;
+    }
+    Ok(SECTION_HEADER_LEN as u64 + padded_len(payload.len() as u64))
+}
+
+/// Serialises `graph` and `groups` as a CKS1 snapshot into `writer`,
+/// returning the number of bytes written. Pass an empty `groups` slice
+/// to pack the graph alone.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on write failure, and
+/// [`StoreError::Graph`] (as [`GraphError::NodeOutOfRange`]) when a
+/// group member is not a node of `graph` — the same rule text ingestion
+/// enforces, checked *before* anything is written.
+pub fn write_snapshot<W: Write>(
+    graph: &Graph,
+    groups: &[VertexSet],
+    writer: &mut W,
+) -> Result<u64, StoreError> {
+    let n = graph.node_count();
+    for set in groups {
+        for v in set.iter() {
+            if v as usize >= n {
+                return Err(StoreError::Graph(GraphError::NodeOutOfRange {
+                    node: v,
+                    node_count: n,
+                }));
+            }
+        }
+    }
+
+    let mut flags = 0u16;
+    if graph.is_directed() {
+        flags |= FLAG_DIRECTED;
+    }
+    if !groups.is_empty() {
+        flags |= FLAG_GROUPS;
+    }
+    let section_count =
+        2 + if graph.is_directed() { 2 } else { 0 } + if groups.is_empty() { 0 } else { 2 };
+    let header = Header {
+        flags,
+        node_count: n as u64,
+        edge_count: graph.edge_count() as u64,
+        section_count,
+    };
+    writer.write_all(&header.encode())?;
+    let mut written = HEADER_LEN as u64;
+
+    let (out_offsets, out_targets) = graph.out_csr();
+    written += write_section(
+        writer,
+        SectionId::OutOffsets,
+        &u64_bytes(out_offsets.iter().map(|&o| o as u64)),
+    )?;
+    written += write_section(writer, SectionId::OutTargets, &u32_bytes(out_targets))?;
+    if let Some((in_offsets, in_targets)) = graph.in_csr() {
+        written += write_section(
+            writer,
+            SectionId::InOffsets,
+            &u64_bytes(in_offsets.iter().map(|&o| o as u64)),
+        )?;
+        written += write_section(writer, SectionId::InTargets, &u32_bytes(in_targets))?;
+    }
+    if !groups.is_empty() {
+        let mut offsets = Vec::with_capacity(groups.len() + 1);
+        let mut members: Vec<NodeId> = Vec::new();
+        offsets.push(0u64);
+        for set in groups {
+            members.extend(set.iter());
+            offsets.push(members.len() as u64);
+        }
+        written += write_section(writer, SectionId::GroupOffsets, &u64_bytes(offsets.into_iter()))?;
+        written += write_section(writer, SectionId::GroupMembers, &u32_bytes(&members))?;
+    }
+    writer.flush()?;
+    Ok(written)
+}
+
+/// Packs `graph` and `groups` into the file at `path` (created or
+/// truncated), returning the snapshot size in bytes.
+///
+/// # Errors
+///
+/// As [`write_snapshot`].
+pub fn save_snapshot(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    groups: &[VertexSet],
+) -> Result<u64, StoreError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    write_snapshot(graph, groups, &mut writer)
+}

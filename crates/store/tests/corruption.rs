@@ -1,0 +1,225 @@
+//! Corruption is an expected input class for an on-disk format: every
+//! mangled byte stream must surface as a typed [`StoreError`], never as a
+//! panic, through *both* load paths (buffered decode and zero-copy view).
+
+use circlekit_graph::{Graph, VertexSet};
+use circlekit_store::{
+    decode_snapshot, load_snapshot, write_snapshot, MappedSnapshot, SnapshotView, StoreError,
+    HEADER_LEN, SECTION_HEADER_LEN,
+};
+
+/// A small directed snapshot with groups — every section id present.
+fn sample_bytes() -> Vec<u8> {
+    let graph = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0), (0, 2), (3, 1)]);
+    let groups = vec![
+        VertexSet::from_iter([0u32, 1, 2]),
+        VertexSet::from_iter([1u32, 3]),
+        VertexSet::new(),
+    ];
+    let mut bytes = Vec::new();
+    write_snapshot(&graph, &groups, &mut bytes).expect("pack");
+    bytes
+}
+
+/// Asserts both decode paths reject `bytes` with an error satisfying
+/// `check`. The view gets an 8-aligned copy so the rejection is about
+/// the corruption, not `NotZeroCopy`.
+fn both_paths_reject(bytes: &[u8], check: impl Fn(StoreError)) {
+    let err = decode_snapshot(bytes).expect_err("buffered decode must reject");
+    check(err);
+    let mut buf = vec![0u64; bytes.len().div_ceil(8)];
+    // SAFETY: the u64 buffer spans at least `bytes.len()` bytes, and any
+    // byte pattern is a valid u64.
+    let dst = unsafe {
+        std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, bytes.len())
+    };
+    dst.copy_from_slice(bytes);
+    let err = SnapshotView::parse(dst).expect_err("zero-copy view must reject");
+    check(err);
+}
+
+#[test]
+fn truncated_at_every_prefix_never_panics() {
+    let bytes = sample_bytes();
+    for len in 0..bytes.len() {
+        let prefix = &bytes[..len];
+        let err = decode_snapshot(prefix).expect_err("truncated snapshot must fail");
+        match err {
+            StoreError::TooShort { .. }
+            | StoreError::Truncated { .. }
+            | StoreError::SectionOversize { .. }
+            | StoreError::HeaderChecksum { .. } => {}
+            other => panic!("unexpected error for prefix {len}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_file_is_structured() {
+    let bytes = sample_bytes();
+    both_paths_reject(&bytes[..bytes.len() - 10], |err| {
+        assert!(
+            matches!(
+                err,
+                StoreError::Truncated { .. } | StoreError::SectionOversize { .. }
+            ),
+            "{err}"
+        );
+    });
+}
+
+#[test]
+fn wrong_magic_is_structured() {
+    let mut bytes = sample_bytes();
+    bytes[0..4].copy_from_slice(b"NOPE");
+    both_paths_reject(&bytes, |err| {
+        assert!(matches!(err, StoreError::BadMagic { found } if &found == b"NOPE"), "{err}");
+    });
+    // An arbitrary non-snapshot file is the same case.
+    both_paths_reject(b"0 1\n1 2\n2 0\n0 2\n3 1\n1 1 1 1 1 1 1 1 1 1 1 1", |err| {
+        assert!(matches!(err, StoreError::BadMagic { .. }), "{err}");
+    });
+}
+
+#[test]
+fn wrong_version_is_structured() {
+    let mut bytes = sample_bytes();
+    bytes[4] = 2;
+    // Keep the header checksum valid so the version check itself fires.
+    let crc = circlekit_store::crc32(&bytes[..28]);
+    bytes[28..32].copy_from_slice(&crc.to_le_bytes());
+    both_paths_reject(&bytes, |err| {
+        assert!(matches!(err, StoreError::UnsupportedVersion { found: 2 }), "{err}");
+    });
+}
+
+#[test]
+fn flipped_header_byte_fails_the_header_checksum() {
+    let mut bytes = sample_bytes();
+    bytes[9] ^= 0x40; // inside node_count
+    both_paths_reject(&bytes, |err| {
+        assert!(matches!(err, StoreError::HeaderChecksum { .. }), "{err}");
+    });
+}
+
+#[test]
+fn flipped_payload_byte_fails_that_sections_checksum() {
+    let bytes = sample_bytes();
+    // Flip one byte in every section payload in turn; each must be caught
+    // by that section's checksum.
+    let mut cursor = HEADER_LEN;
+    while cursor < bytes.len() {
+        let len = u64::from_le_bytes(bytes[cursor + 8..cursor + 16].try_into().unwrap()) as usize;
+        if len > 0 {
+            let mut mangled = bytes.clone();
+            mangled[cursor + SECTION_HEADER_LEN] ^= 0x01;
+            both_paths_reject(&mangled, |err| {
+                assert!(matches!(err, StoreError::SectionChecksum { .. }), "{err}");
+            });
+        }
+        cursor += SECTION_HEADER_LEN + len.div_ceil(8) * 8;
+    }
+}
+
+#[test]
+fn oversize_section_length_is_structured() {
+    let mut bytes = sample_bytes();
+    // Inflate the first section's recorded payload length far past EOF.
+    let pos = HEADER_LEN + 8;
+    bytes[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+    both_paths_reject(&bytes, |err| {
+        assert!(matches!(err, StoreError::SectionOversize { .. }), "{err}");
+    });
+}
+
+#[test]
+fn unknown_section_id_is_structured() {
+    let mut bytes = sample_bytes();
+    bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&99u32.to_le_bytes());
+    both_paths_reject(&bytes, |err| {
+        assert!(matches!(err, StoreError::UnknownSection { section: 99 }), "{err}");
+    });
+}
+
+#[test]
+fn trailing_garbage_is_structured() {
+    let mut bytes = sample_bytes();
+    bytes.extend_from_slice(&[0xAA; 16]);
+    both_paths_reject(&bytes, |err| {
+        assert!(matches!(err, StoreError::TrailingData { extra: 16 }), "{err}");
+    });
+}
+
+#[test]
+fn every_single_bit_flip_is_detected_or_harmless() {
+    // The exhaustive sweep: flip each bit of the snapshot in turn. Every
+    // mutation must either be detected as a structured error or decode to
+    // the original snapshot (flips inside non-checksummed padding bytes).
+    let bytes = sample_bytes();
+    let original = decode_snapshot(&bytes).expect("clean snapshot decodes");
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mangled = bytes.clone();
+            mangled[i] ^= 1 << bit;
+            match decode_snapshot(&mangled) {
+                Err(_) => {}
+                Ok(snap) => assert_eq!(
+                    snap, original,
+                    "byte {i} bit {bit}: undetected flip changed the decoded snapshot"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn mmap_path_reports_the_same_errors() {
+    let dir = std::env::temp_dir().join("circlekit-store-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("corrupt.cks");
+
+    let mut bytes = sample_bytes();
+    bytes[HEADER_LEN + SECTION_HEADER_LEN] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("write corrupt snapshot");
+
+    let mapped = MappedSnapshot::open(&path).expect("open maps without validating");
+    assert!(matches!(mapped.view(), Err(StoreError::SectionChecksum { .. })));
+    assert!(matches!(mapped.load(), Err(StoreError::SectionChecksum { .. })));
+    assert!(matches!(load_snapshot(&path), Err(StoreError::SectionChecksum { .. })));
+
+    // Missing file: a plain Io error, not a panic.
+    assert!(matches!(
+        load_snapshot(dir.join("does-not-exist.cks")),
+        Err(StoreError::Io(_))
+    ));
+    assert!(matches!(
+        MappedSnapshot::open(dir.join("does-not-exist.cks")),
+        Err(StoreError::Io(_))
+    ));
+
+    // Empty file: structurally too short, through both paths.
+    let empty = dir.join("empty.cks");
+    std::fs::write(&empty, b"").expect("write empty file");
+    assert!(matches!(load_snapshot(&empty), Err(StoreError::TooShort { len: 0 })));
+    let mapped = MappedSnapshot::open(&empty).expect("empty file opens");
+    assert!(matches!(mapped.view(), Err(StoreError::TooShort { len: 0 })));
+}
+
+#[test]
+fn in_adjacency_in_undirected_snapshot_is_rejected() {
+    // Craft a snapshot whose header says undirected but that carries an
+    // in-offsets section: flag/section consistency must be enforced.
+    let graph = Graph::from_edges(false, [(0u32, 1u32), (1, 2)]);
+    let mut bytes = Vec::new();
+    write_snapshot(&graph, &[], &mut bytes).expect("pack");
+    // Retag the out-offsets section as in-offsets (id 1 -> 3).
+    bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&3u32.to_le_bytes());
+    let err = decode_snapshot(&bytes).expect_err("must reject");
+    assert!(
+        matches!(
+            err,
+            StoreError::UnexpectedSection { .. } | StoreError::MissingSection { .. }
+        ),
+        "{err}"
+    );
+}
