@@ -1,0 +1,279 @@
+//! Load generator for `circlekit-serve`.
+//!
+//! ```text
+//! loadgen [--connections N] [--requests N] [--scale F] [--workers N]
+//!         [--addr HOST:PORT] [--snapshot FILE.cks] [--out FILE.json]
+//! ```
+//!
+//! Drives `--connections` concurrent clients, each issuing `--requests`
+//! group-scoring requests, and writes throughput plus latency
+//! percentiles to `BENCH_serve.json` at the repo root (or `--out`).
+//! By default the harness starts an in-process server over the seeded
+//! synthetic Google+ fixture so the run is self-contained; `--addr`
+//! points it at an external daemon instead, and `--snapshot` serves a
+//! packed `.cks` file rather than the fixture.
+//!
+//! The process exits non-zero if *any* request fails — the acceptance
+//! bar for the serve subsystem is zero failed requests under ≥ 8
+//! concurrent connections.
+
+use circlekit_bench::gplus;
+use circlekit_serve::{Client, ServeConfig, Server, SnapshotRegistry};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    connections: usize,
+    requests: usize,
+    scale: f64,
+    workers: usize,
+    addr: Option<String>,
+    snapshot: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options {
+        connections: 8,
+        requests: 50,
+        scale: 0.01,
+        workers: 2,
+        addr: None,
+        snapshot: None,
+        out: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--connections" => {
+                let v = value("--connections")?;
+                opts.connections = v.parse().map_err(|_| format!("bad --connections {v:?}"))?;
+            }
+            "--requests" => {
+                let v = value("--requests")?;
+                opts.requests = v.parse().map_err(|_| format!("bad --requests {v:?}"))?;
+            }
+            "--scale" => {
+                let v = value("--scale")?;
+                opts.scale = v.parse().map_err(|_| format!("bad --scale {v:?}"))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                opts.workers = v.parse().map_err(|_| format!("bad --workers {v:?}"))?;
+            }
+            "--addr" => opts.addr = Some(value("--addr")?),
+            "--snapshot" => opts.snapshot = Some(value("--snapshot")?),
+            "--out" => opts.out = Some(value("--out")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.connections == 0 || opts.requests == 0 {
+        return Err("--connections and --requests must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+/// Latency percentile over a sorted sample, by nearest-rank.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+struct ConnReport {
+    latencies_us: Vec<u64>,
+    failures: Vec<String>,
+}
+
+fn drive_connection(
+    addr: &str,
+    snapshot: &str,
+    conn: usize,
+    requests: usize,
+    group_count: usize,
+) -> ConnReport {
+    let mut report = ConnReport { latencies_us: Vec::with_capacity(requests), failures: Vec::new() };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            report.failures.push(format!("connection {conn}: connect: {e}"));
+            return report;
+        }
+    };
+    for r in 0..requests {
+        // Spread requests over groups and both function sets so the run
+        // exercises cache hits, misses, and different batch shapes.
+        let group = (conn * 31 + r * 7) % group_count;
+        let functions = if r % 3 == 0 { Some("all") } else { None };
+        let started = Instant::now();
+        match client.score_group(snapshot, group, functions, None) {
+            Ok(_) => report.latencies_us.push(started.elapsed().as_micros() as u64),
+            Err(e) => report.failures.push(format!("connection {conn}, request {r}: {e}")),
+        }
+    }
+    report
+}
+
+/// Asks a running server which snapshot to drive: the first listed one,
+/// with its group count from `list_groups`.
+fn discover_target(addr: &str) -> Result<(String, usize), String> {
+    let mut client = Client::connect_with_patience(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let listing = client.list_snapshots().map_err(|e| e.to_string())?;
+    let wire = circlekit_serve::protocol::wire::get;
+    let Some(serde_json::Value::Seq(snapshots)) = wire(&listing, "snapshots") else {
+        return Err("list_snapshots response lacks a snapshot array".to_string());
+    };
+    let Some(first) = snapshots.first() else {
+        return Err("the server has no snapshots loaded".to_string());
+    };
+    let Some(serde_json::Value::Str(id)) = wire(first, "id") else {
+        return Err("snapshot entry lacks an id".to_string());
+    };
+    let groups = client.list_groups(id).map_err(|e| e.to_string())?;
+    match wire(&groups, "groups") {
+        Some(serde_json::Value::UInt(n)) => Ok((id.clone(), *n as usize)),
+        _ => Err("list_groups response lacks a group count".to_string()),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_options()?;
+
+    // Either attach to an external daemon or host one in-process.
+    let mut local_server = None;
+    let (addr, snapshot_id, group_count) = match &opts.addr {
+        Some(addr) => {
+            let (id, groups) = discover_target(addr)?;
+            (addr.clone(), id, groups)
+        }
+        None => {
+            let mut registry = SnapshotRegistry::new();
+            let groups = match &opts.snapshot {
+                Some(path) => {
+                    registry.load(path, Some("loadgen"))?;
+                    registry.get("loadgen").expect("just loaded").groups.len()
+                }
+                None => {
+                    let data = gplus(opts.scale);
+                    let groups = data.groups.len();
+                    registry.insert("loadgen", data.graph, data.groups)?;
+                    groups
+                }
+            };
+            let config = ServeConfig {
+                workers: opts.workers,
+                ..ServeConfig::default()
+            };
+            let server = Server::start(registry, config, ("127.0.0.1", 0))
+                .map_err(|e| format!("starting server: {e}"))?;
+            let addr = server.local_addr().to_string();
+            local_server = Some(server);
+            (addr, "loadgen".to_string(), groups)
+        }
+    };
+    if group_count == 0 {
+        return Err("the served snapshot has no groups to score".to_string());
+    }
+
+    println!(
+        "loadgen: {} connections x {} requests over {} groups at {addr}",
+        opts.connections, opts.requests, group_count
+    );
+    let started = Instant::now();
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let snapshot_id = snapshot_id.as_str();
+        let requests = opts.requests;
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|conn| {
+                scope.spawn(move || drive_connection(addr, snapshot_id, conn, requests, group_count))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("connection thread")).collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies: Vec<u64> = reports.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
+    latencies.sort_unstable();
+    let failures: Vec<&String> = reports.iter().flat_map(|r| &r.failures).collect();
+    let total = opts.connections * opts.requests;
+    let ok = latencies.len();
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let (p50, p90, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+    );
+
+    let server_stats = local_server.map(|server| {
+        let mut client = Client::connect(addr).expect("stats connection");
+        client.shutdown().expect("shutdown request");
+        server.join()
+    });
+
+    let mut fields = vec![
+        ("bench".to_string(), serde_json::json!("serve_loadgen")),
+        ("connections".to_string(), serde_json::json!(opts.connections)),
+        ("requests_per_connection".to_string(), serde_json::json!(opts.requests)),
+        ("total_requests".to_string(), serde_json::json!(total)),
+        ("failed_requests".to_string(), serde_json::json!(failures.len())),
+        ("wall_ms".to_string(), serde_json::json!(wall.as_millis() as u64)),
+        ("throughput_rps".to_string(), serde_json::json!(throughput)),
+        (
+            "latency_us".to_string(),
+            serde_json::json!({
+                "p50": p50,
+                "p90": p90,
+                "p99": p99,
+                "max": latencies.last().copied().unwrap_or(0),
+            }),
+        ),
+    ];
+    if let Some(stats) = server_stats {
+        fields.push((
+            "server".to_string(),
+            serde_json::json!({
+                "batches": stats.batches,
+                "batched_jobs": stats.batched_jobs,
+                "max_batch": stats.max_batch,
+                "cache_hits": stats.cache.hits,
+                "cache_misses": stats.cache.misses,
+                "overloaded": stats.overloaded,
+            }),
+        ));
+    }
+    let report = serde_json::Value::Map(fields);
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    let default_out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let out_path = opts.out.as_deref().map(Path::new).unwrap_or(&default_out);
+    std::fs::write(out_path, json + "\n")
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+
+    println!(
+        "{ok}/{total} ok in {:.2}s ({throughput:.0} req/s)   p50 {p50}us  p90 {p90}us  p99 {p99}us",
+        wall.as_secs_f64()
+    );
+    println!("wrote {}", out_path.display());
+    for failure in &failures {
+        eprintln!("FAILED: {failure}");
+    }
+    if !failures.is_empty() {
+        return Err(format!("{} of {total} requests failed", failures.len()));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

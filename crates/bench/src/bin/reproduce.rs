@@ -101,11 +101,7 @@ fn parse_args() -> Result<Options, String> {
             "--sampled" => opts.sampled_modularity = true,
             "--threads" => {
                 let v = args.next().ok_or("--threads needs a value")?;
-                let t: usize = v.parse().map_err(|_| format!("bad thread count {v:?}"))?;
-                if t == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
-                opts.threads = Some(t);
+                opts.threads = Some(circlekit::scoring::parse_thread_count(&v)?);
             }
             "--checkpoint" => {
                 let v = args.next().ok_or("--checkpoint needs a file path")?;

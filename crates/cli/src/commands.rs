@@ -8,11 +8,12 @@ use circlekit::graph::{
     IngestPolicy, VertexSet,
 };
 use circlekit::metrics::{DegreeKind, DegreeStats};
-use circlekit::scoring::{Scorer, ScoringFunction};
+use circlekit::render::render_score_table;
+use circlekit::scoring::{parse_thread_count, Scorer, ScoringFunction};
 use circlekit::statfit::analyze_tail;
-use circlekit::stats::Summary;
 use circlekit::store::{file_is_snapshot, save_snapshot, section_infos, MappedSnapshot};
 use circlekit::synth::{presets, GroupKind, SynthDataset};
+use circlekit_serve::{Client, ServeConfig, Server, SnapshotRegistry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -31,6 +32,8 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "detect" => detect(rest),
         "pack" => pack(rest),
         "inspect" => inspect(rest),
+        "serve" => serve(rest),
+        "query" => query(rest),
         "--help" | "-h" | "help" => Ok(usage()),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -43,8 +46,15 @@ fn usage() -> String {
      circlekit characterize --edges FILE [--undirected] [--sources N]\n  \
      circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]\n  \
      circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n  \
-     circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks\n  \
-     circlekit inspect      --snapshot FILE.cks\n\
+     circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks [--force]\n  \
+     circlekit inspect      --snapshot FILE.cks\n  \
+     circlekit serve        --snapshot FILE.cks [--snapshot FILE2.cks ...] [--listen ADDR]\n                         \
+     [--threads N] [--workers N] [--queue N] [--batch N] [--cache N]\n  \
+     circlekit query        --addr HOST:PORT <health|stats|list-snapshots|shutdown>\n  \
+     circlekit query        --addr HOST:PORT <list-groups|score-table> --snapshot ID [--all]\n  \
+     circlekit query        --addr HOST:PORT score-group --snapshot ID --group N [--all] [--deadline-ms N]\n  \
+     circlekit query        --addr HOST:PORT score-set   --snapshot ID --members 0,1,2 [--all]\n  \
+     circlekit query        --addr HOST:PORT baseline    --snapshot ID --group N [--samples N] [--seed N]\n\
      \n\
      every --edges argument may be a text edge list or a CKS1 binary\n  \
      snapshot (detected by magic); snapshots carry their own directedness\n  \
@@ -112,6 +122,15 @@ impl<'a> Flags<'a> {
 
     fn has(&self, name: &str) -> bool {
         self.pairs.iter().any(|(k, _)| *k == name)
+    }
+
+    /// Every value given for a repeatable flag, in order.
+    fn all(&self, name: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| *k == name)
+            .filter_map(|(_, v)| *v)
+            .collect()
     }
 
     fn required(&self, name: &str) -> Result<&str, String> {
@@ -240,32 +259,27 @@ fn score(args: &[String]) -> Result<String, String> {
     } else {
         &ScoringFunction::PAPER
     };
-    let threads: usize = flags.parse_value("threads", num_threads())?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".to_string());
-    }
+    let threads = threads_flag(&flags)?;
     let scorer = Scorer::new(&graph);
     let table = scorer.score_table_parallel(functions, &groups, threads);
 
+    let sizes: Vec<usize> = groups.iter().map(VertexSet::len).collect();
+    let rows: Vec<Vec<f64>> = (0..groups.len()).map(|i| table.row(i).to_vec()).collect();
     let mut out = notes;
-    let _ = write!(out, "{:>6} {:>6}", "group", "size");
-    for f in functions {
-        let _ = write!(out, " {:>14}", f.name());
-    }
-    let _ = writeln!(out);
-    for (i, group) in groups.iter().enumerate() {
-        let _ = write!(out, "{:>6} {:>6}", i, group.len());
-        for v in table.row(i) {
-            let _ = write!(out, " {:>14.6}", v);
-        }
-        let _ = writeln!(out);
-    }
-    let _ = writeln!(out);
-    for f in functions {
-        let col = table.column(*f).expect("function scored");
-        let _ = writeln!(out, "{:<16} {}", f.name(), Summary::from_slice(&col));
-    }
+    out.push_str(&render_score_table(functions, &sizes, &rows));
     Ok(out)
+}
+
+/// The shared `--threads` handling: absent means [`default_threads`],
+/// anything else goes through [`parse_thread_count`] so every subcommand
+/// accepts the same grammar and emits the same diagnostics.
+///
+/// [`default_threads`]: circlekit::scoring::default_threads
+fn threads_flag(flags: &Flags<'_>) -> Result<usize, String> {
+    match flags.get("threads") {
+        None => Ok(circlekit::scoring::default_threads()),
+        Some(value) => parse_thread_count(value),
+    }
 }
 
 fn characterize_cmd(args: &[String]) -> Result<String, String> {
@@ -354,12 +368,18 @@ fn detect(args: &[String]) -> Result<String, String> {
 }
 
 fn pack(args: &[String]) -> Result<String, String> {
-    let flags = Flags::parse(args, &["undirected"])?;
+    let flags = Flags::parse(args, &["undirected", "force"])?;
     let ingest = Ingest::from_flags(&flags)?;
     let mut notes = String::new();
     let edges_path = flags.required("edges")?;
     if file_is_snapshot(edges_path).map_err(|e| format!("reading {edges_path}: {e}"))? {
         return Err(format!("{edges_path} is already a CKS1 snapshot"));
+    }
+    let out_path = flags.required("out")?;
+    if !flags.has("force") && fs::metadata(out_path).is_ok() {
+        return Err(format!(
+            "{out_path} already exists; pass --force to overwrite it"
+        ));
     }
     let loaded = load_graph(&flags, &ingest, &mut notes)?;
     let groups = match flags.get("groups") {
@@ -376,7 +396,6 @@ fn pack(args: &[String]) -> Result<String, String> {
             groups
         }
     };
-    let out_path = flags.required("out")?;
     let bytes = save_snapshot(out_path, &loaded.graph, &groups)
         .map_err(|e| format!("writing {out_path}: {e}"))?;
     let mut out = notes;
@@ -438,10 +457,124 @@ fn inspect(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
-fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+/// Starts the scoring daemon and blocks until it drains (SIGINT or a
+/// `shutdown` request). The listening address is printed to stdout
+/// immediately so scripts can connect; the returned string summarises
+/// the run after shutdown.
+fn serve(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &["debug-ops"])?;
+    let snapshots = flags.all("snapshot");
+    if snapshots.is_empty() {
+        return Err("serve needs at least one --snapshot FILE.cks".to_string());
+    }
+    let mut registry = SnapshotRegistry::new();
+    for path in snapshots {
+        registry.load(path, None)?;
+    }
+    let config = ServeConfig {
+        threads: threads_flag(&flags)?,
+        workers: flags.parse_value("workers", 1)?,
+        queue_capacity: flags.parse_value("queue", 1024)?,
+        batch_max: flags.parse_value("batch", 64)?,
+        cache_capacity: flags.parse_value("cache", 4096)?,
+        debug_ops: flags.has("debug-ops"),
+        watch_sigint: true,
+    };
+    circlekit_serve::signal::install_sigint_handler();
+    let listen = flags.get("listen").unwrap_or("127.0.0.1:7450");
+    let server =
+        Server::start(registry, config, listen).map_err(|e| format!("binding {listen}: {e}"))?;
+    println!("circlekit-serve listening on {}", server.local_addr());
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    let stats = server.join();
+    Ok(format!(
+        "served {} requests ({} ok, {} errors; {} batches, cache {} hits / {} misses)\n",
+        stats.requests,
+        stats.ok_responses,
+        stats.error_responses,
+        stats.batches,
+        stats.cache.hits,
+        stats.cache.misses,
+    ))
+}
+
+/// One-shot client for a running `serve` daemon.
+fn query(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &["all"])?;
+    let op = *flags.positional.first().ok_or("query needs an op")?;
+    let addr = flags.required("addr")?;
+    let mut client = Client::connect_with_patience(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let functions = flags.has("all").then_some("all");
+    let response = match op {
+        "health" => client.health(),
+        "stats" => client.stats(),
+        "shutdown" => client.shutdown(),
+        "list-snapshots" => client.list_snapshots(),
+        "list-groups" => client.list_groups(flags.required("snapshot")?),
+        "score-group" => {
+            let group: usize = flags
+                .required("group")?
+                .parse()
+                .map_err(|_| "bad --group value".to_string())?;
+            let deadline = flags
+                .get("deadline-ms")
+                .map(|v| v.parse::<u64>().map_err(|_| format!("bad --deadline-ms {v:?}")))
+                .transpose()?;
+            client.score_group(flags.required("snapshot")?, group, functions, deadline)
+        }
+        "score-set" => {
+            let members: Vec<u32> = flags
+                .required("members")?
+                .split(',')
+                .map(|m| m.trim().parse().map_err(|_| format!("bad member {m:?}")))
+                .collect::<Result<_, String>>()?;
+            client.score_set(flags.required("snapshot")?, &members, functions, None)
+        }
+        "baseline" => client.baseline(
+            flags.required("snapshot")?,
+            flags.parse_value("group", 0)?,
+            flags.parse_value("samples", circlekit_serve::DEFAULT_BASELINE_SAMPLES)?,
+            flags.parse_value("seed", 2014)?,
+        ),
+        "score-table" => return query_score_table(&mut client, &flags, functions),
+        other => return Err(format!("unknown query op {other:?}")),
+    };
+    let response = response.map_err(|e| e.to_string())?;
+    Ok(format!("{response}\n"))
+}
+
+/// Scores every group of a snapshot over the wire and renders the result
+/// with the same [`render_score_table`] the offline `score` command uses
+/// — scores cross the wire losslessly, so the output is byte-identical.
+fn query_score_table(
+    client: &mut Client,
+    flags: &Flags<'_>,
+    functions: Option<&str>,
+) -> Result<String, String> {
+    let snapshot = flags.required("snapshot")?;
+    let listing = client.list_groups(snapshot).map_err(|e| e.to_string())?;
+    let group_count = match circlekit_serve::protocol::wire::get(&listing, "groups") {
+        Some(serde_json::Value::UInt(n)) => *n as usize,
+        _ => return Err("list_groups response lacks a group count".to_string()),
+    };
+    let function_list: &[ScoringFunction] = if functions.is_some() {
+        &ScoringFunction::ALL
+    } else {
+        &ScoringFunction::PAPER
+    };
+    let mut sizes = Vec::with_capacity(group_count);
+    let mut rows = Vec::with_capacity(group_count);
+    for g in 0..group_count {
+        let response = client
+            .score_group(snapshot, g, functions, None)
+            .map_err(|e| e.to_string())?;
+        let size = circlekit_serve::protocol::wire::get_u64(&response, "size")
+            .map_err(|(_, m)| m)? as usize;
+        sizes.push(size);
+        rows.push(Client::scores_of(&response).map_err(|e| e.to_string())?);
+    }
+    Ok(render_score_table(function_list, &sizes, &rows))
 }
 
 #[cfg(test)]
@@ -455,7 +588,11 @@ mod tests {
     fn tmp(name: &str) -> String {
         let dir = std::env::temp_dir().join("circlekit-cli-tests");
         fs::create_dir_all(&dir).expect("create temp dir");
-        dir.join(name).to_string_lossy().into_owned()
+        let path = dir.join(name);
+        // The directory persists across runs; a stale file from a
+        // previous run would trip pack's overwrite protection.
+        let _ = fs::remove_file(&path);
+        path.to_string_lossy().into_owned()
     }
 
     #[test]
@@ -696,6 +833,55 @@ mod tests {
     }
 
     #[test]
+    fn pack_refuses_to_overwrite_without_force() {
+        let edges = tmp("fo.edges");
+        let snap = tmp("fo.cks");
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        dispatch(&args(&["pack", "--edges", &edges, "--out", &snap])).expect("pack succeeds");
+        let before = fs::read(&snap).unwrap();
+        let err = dispatch(&args(&["pack", "--edges", &edges, "--out", &snap])).unwrap_err();
+        assert!(err.contains("--force"), "{err}");
+        assert_eq!(fs::read(&snap).unwrap(), before, "refused pack must not touch the file");
+        // --force replaces the snapshot; any plain file is protected too.
+        dispatch(&args(&["pack", "--edges", &edges, "--out", &snap, "--force"]))
+            .expect("forced pack succeeds");
+        let plain = tmp("fo.txt");
+        fs::write(&plain, "precious").unwrap();
+        let err = dispatch(&args(&["pack", "--edges", &edges, "--out", &plain])).unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        assert_eq!(fs::read_to_string(&plain).unwrap(), "precious");
+    }
+
+    #[test]
+    fn thread_validation_is_uniform_across_commands() {
+        let edges = tmp("tv.edges");
+        let groups = tmp("tv.circles");
+        let snap = tmp("tv.cks");
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        fs::write(&groups, "c0\t0 1 2\n").unwrap();
+        dispatch(&args(&["pack", "--edges", &edges, "--groups", &groups, "--out", &snap]))
+            .expect("pack succeeds");
+        // Both thread-taking commands reject 0 and garbage with the
+        // shared parser's messages.
+        let score_zero = dispatch(&args(&[
+            "score", "--edges", &edges, "--groups", &groups, "--threads", "0",
+        ]))
+        .unwrap_err();
+        let serve_zero =
+            dispatch(&args(&["serve", "--snapshot", &snap, "--threads", "0"])).unwrap_err();
+        assert!(score_zero.contains("at least 1"), "{score_zero}");
+        assert_eq!(score_zero, serve_zero);
+        let score_garbage = dispatch(&args(&[
+            "score", "--edges", &edges, "--groups", &groups, "--threads", "many",
+        ]))
+        .unwrap_err();
+        let serve_garbage =
+            dispatch(&args(&["serve", "--snapshot", &snap, "--threads", "many"])).unwrap_err();
+        assert!(score_garbage.contains("positive integer"), "{score_garbage}");
+        assert_eq!(score_garbage, serve_garbage);
+    }
+
+    #[test]
     fn snapshot_rejects_conflicting_undirected_flag_and_double_pack() {
         let edges = tmp("cf.edges");
         let snap = tmp("cf.cks");
@@ -725,6 +911,55 @@ mod tests {
             .expect("snapshot characterize succeeds")
             .replace(&snap, "DATA");
         assert_eq!(from_text, from_snap);
+    }
+
+    #[test]
+    fn served_score_table_is_byte_identical_to_offline_score() {
+        let edges = tmp("qs.edges");
+        let groups = tmp("qs.circles");
+        let snap = tmp("qs.cks");
+        dispatch(&args(&[
+            "generate", "google+", "--scale", "0.003", "--seed", "21",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+        let offline = dispatch(&args(&["score", "--edges", &snap, "--all"]))
+            .expect("offline score succeeds");
+
+        // Reserve an ephemeral port, then serve on it from a thread.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let server = {
+            let snap = snap.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                dispatch(&args(&["serve", "--snapshot", &snap, "--listen", &addr]))
+            })
+        };
+
+        let served = dispatch(&args(&[
+            "query", "--addr", &addr, "score-table", "--snapshot", "qs", "--all",
+        ]))
+        .expect("query succeeds");
+        assert_eq!(offline, served, "served table must match the offline command byte-for-byte");
+
+        let health = dispatch(&args(&["query", "--addr", &addr, "health"]))
+            .expect("health succeeds");
+        assert!(health.contains("\"serving\""), "{health}");
+        let listing = dispatch(&args(&["query", "--addr", &addr, "list-snapshots"]))
+            .expect("listing succeeds");
+        assert!(listing.contains("\"qs\""), "{listing}");
+
+        dispatch(&args(&["query", "--addr", &addr, "shutdown"])).expect("shutdown succeeds");
+        let summary = server.join().unwrap().expect("serve exits cleanly");
+        assert!(summary.contains("served"), "{summary}");
     }
 
     #[test]

@@ -10,6 +10,40 @@ use circlekit_stats::Ecdf;
 use circlekit_synth::DatasetSummary;
 use std::fmt::Write as _;
 
+/// Renders a group-scoring table: header, one row per group, then the
+/// per-function summary block.
+///
+/// This is the single rendering path for group scores — the `score` CLI
+/// and the `query` client of `circlekit-serve` both call it, which is
+/// what makes served output byte-identical to the offline command.
+/// `rows[i]` holds group `i`'s scores in `functions` order; `sizes[i]`
+/// is its member count.
+pub fn render_score_table(
+    functions: &[circlekit_scoring::ScoringFunction],
+    sizes: &[usize],
+    rows: &[Vec<f64>],
+) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:>6} {:>6}", "group", "size");
+    for f in functions {
+        let _ = write!(out, " {:>14}", f.name());
+    }
+    let _ = writeln!(out);
+    for (i, row) in rows.iter().enumerate() {
+        let _ = write!(out, "{:>6} {:>6}", i, sizes[i]);
+        for v in row {
+            let _ = write!(out, " {:>14.6}", v);
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    for (f_idx, f) in functions.iter().enumerate() {
+        let col: Vec<f64> = rows.iter().map(|row| row[f_idx]).collect();
+        let _ = writeln!(out, "{:<16} {}", f.name(), circlekit_stats::Summary::from_slice(&col));
+    }
+    out
+}
+
 /// Renders Table II-style characterisation rows.
 pub fn render_table2(rows: &[CharacterizationRow]) -> String {
     let mut out = String::new();

@@ -117,6 +117,13 @@ impl ScoringFunction {
         }
     }
 
+    /// Resolves the stable kebab-case name back to the function — the
+    /// inverse of [`ScoringFunction::name`], used by wire protocols and
+    /// CLI arguments.
+    pub fn from_name(name: &str) -> Option<ScoringFunction> {
+        ScoringFunction::ALL.iter().copied().find(|f| f.name() == name)
+    }
+
     /// Whether *low* values indicate a well-pronounced community (true for
     /// every external/combined function except the raw internal ones).
     pub fn lower_is_better(self) -> bool {

@@ -49,7 +49,7 @@ mod set_stats;
 
 pub use functions::{Category, ScoringFunction};
 pub use goodness::{goodness, Goodness};
-pub use parallel::{default_threads, ParallelScorer};
+pub use parallel::{default_threads, parse_thread_count, ParallelScorer};
 pub use robust::{BatchReport, ChunkError, RobustBatch, SetFailure};
 pub use scorer::{ScoreTable, Scorer};
 pub use set_stats::SetStats;

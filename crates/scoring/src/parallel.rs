@@ -32,6 +32,25 @@ pub fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Parses a `--threads` command-line value: every front end (`score`,
+/// `reproduce`, `serve`, …) accepts the same grammar and produces the
+/// same diagnostics.
+///
+/// # Errors
+///
+/// A user-facing message for non-numeric input and for `0` (a scorer
+/// cannot run with zero workers).
+pub fn parse_thread_count(value: &str) -> Result<usize, String> {
+    let n: usize = value
+        .trim()
+        .parse()
+        .map_err(|_| format!("--threads expects a positive integer, got {value:?}"))?;
+    if n == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    Ok(n)
+}
+
 /// Scores vertex-set batches against a fixed graph on a pool of scoped
 /// worker threads.
 ///
@@ -69,7 +88,18 @@ impl<'g> ParallelScorer<'g> {
     }
 
     /// Reuses an already-computed graph median instead of recomputing it.
-    pub(crate) fn with_precomputed(
+    ///
+    /// The median must be the value [`Scorer::median_degree`] /
+    /// [`ParallelScorer::median_degree`] would report for `graph`;
+    /// long-lived services precompute it once at snapshot-load time so
+    /// every request scores with exactly the offline scorer's inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    ///
+    /// [`Scorer::median_degree`]: crate::Scorer::median_degree
+    pub fn with_graph_median(
         graph: &'g Graph,
         median_degree: f64,
         threads: usize,

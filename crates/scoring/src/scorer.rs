@@ -101,7 +101,7 @@ impl<'g> Scorer<'g> {
         sets: &[VertexSet],
         threads: usize,
     ) -> ScoreTable {
-        ParallelScorer::with_precomputed(self.graph, self.median_degree, threads)
+        ParallelScorer::with_graph_median(self.graph, self.median_degree, threads)
             .score_table(functions, sets)
     }
 }

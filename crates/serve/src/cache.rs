@@ -1,0 +1,190 @@
+//! [`ScoreCache`]: an LRU result cache for served scores.
+//!
+//! Scoring is deterministic — a `(snapshot, function, vertex set)` triple
+//! always produces the same `f64` — so results can be cached and replayed
+//! bit-exactly. The key uses the set's FNV-1a digest
+//! ([`crate::protocol::set_digest`]) rather than the members themselves,
+//! keeping keys O(1) in set size; the digest is computed once per request
+//! and shared across that request's functions.
+//!
+//! The cache is a plain (non-thread-safe) structure; the server wraps it
+//! in a mutex. Recency is tracked with a monotone stamp per entry plus a
+//! stamp-ordered index, giving O(log n) touch/evict without unsafe code.
+
+use circlekit_scoring::ScoringFunction;
+use std::collections::{BTreeMap, HashMap};
+
+/// Identifies one cached score.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Snapshot id the set was scored against.
+    pub snapshot: String,
+    /// Scoring function.
+    pub function: ScoringFunction,
+    /// Digest of the set's members.
+    pub digest: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    score: f64,
+    stamp: u64,
+}
+
+/// Hit/miss/eviction counters of a [`ScoreCache`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Live entries right now.
+    pub entries: usize,
+}
+
+/// Least-recently-used map from [`CacheKey`] to a score.
+#[derive(Debug)]
+pub struct ScoreCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, Entry>,
+    by_stamp: BTreeMap<u64, CacheKey>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ScoreCache {
+    /// Creates a cache holding at most `capacity` scores. Capacity 0
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> ScoreCache {
+        ScoreCache {
+            capacity,
+            entries: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<f64> {
+        let Some(entry) = self.entries.get_mut(key) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
+        let old = entry.stamp;
+        entry.stamp = self.next_stamp;
+        self.next_stamp += 1;
+        let score = entry.score;
+        let moved = self.by_stamp.remove(&old).expect("stamp index in sync");
+        self.by_stamp.insert(self.next_stamp - 1, moved);
+        Some(score)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least recently used
+    /// entry when full.
+    pub fn insert(&mut self, key: CacheKey, score: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(old) = self.entries.insert(key.clone(), Entry { score, stamp }) {
+            self.by_stamp.remove(&old.stamp);
+        } else if self.entries.len() > self.capacity {
+            let (&oldest, _) = self.by_stamp.iter().next().expect("non-empty index");
+            let victim = self.by_stamp.remove(&oldest).expect("stamp index in sync");
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+        self.by_stamp.insert(stamp, key);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(digest: u64) -> CacheKey {
+        CacheKey {
+            snapshot: "gp".to_string(),
+            function: ScoringFunction::Conductance,
+            digest,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut cache = ScoreCache::new(4);
+        assert_eq!(cache.get(&key(1)), None);
+        cache.insert(key(1), 0.25);
+        assert_eq!(cache.get(&key(1)), Some(0.25));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn least_recently_used_entry_is_evicted() {
+        let mut cache = ScoreCache::new(2);
+        cache.insert(key(1), 1.0);
+        cache.insert(key(2), 2.0);
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(cache.get(&key(1)), Some(1.0));
+        cache.insert(key(3), 3.0);
+        assert_eq!(cache.get(&key(2)), None, "LRU entry evicted");
+        assert_eq!(cache.get(&key(1)), Some(1.0));
+        assert_eq!(cache.get(&key(3)), Some(3.0));
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn reinserting_a_key_does_not_grow_or_evict() {
+        let mut cache = ScoreCache::new(2);
+        cache.insert(key(1), 1.0);
+        cache.insert(key(1), 1.5);
+        cache.insert(key(2), 2.0);
+        assert_eq!(cache.get(&key(1)), Some(1.5));
+        assert_eq!(cache.get(&key(2)), Some(2.0));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ScoreCache::new(0);
+        cache.insert(key(1), 1.0);
+        assert_eq!(cache.get(&key(1)), None);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn distinct_functions_and_snapshots_do_not_collide() {
+        let mut cache = ScoreCache::new(8);
+        cache.insert(key(7), 1.0);
+        let other_fn = CacheKey { function: ScoringFunction::Modularity, ..key(7) };
+        let other_snap = CacheKey { snapshot: "lj".to_string(), ..key(7) };
+        assert_eq!(cache.get(&other_fn), None);
+        assert_eq!(cache.get(&other_snap), None);
+        cache.insert(other_fn.clone(), 2.0);
+        cache.insert(other_snap.clone(), 3.0);
+        assert_eq!(cache.get(&key(7)), Some(1.0));
+        assert_eq!(cache.get(&other_fn), Some(2.0));
+        assert_eq!(cache.get(&other_snap), Some(3.0));
+    }
+}

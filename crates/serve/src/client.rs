@@ -1,0 +1,298 @@
+//! A small blocking client for the wire protocol, used by the `query`
+//! CLI subcommand, the `loadgen` harness, and the integration tests.
+//!
+//! One [`Client`] owns one TCP connection and issues requests strictly
+//! in sequence (the protocol is request/response, no pipelining). Server
+//! errors arrive as typed [`ClientError::Server`] values carrying the
+//! [`ErrorKind`] so callers can react to `overloaded` or
+//! `deadline-exceeded` distinctly from transport failures.
+
+use crate::protocol::{read_frame, wire, write_frame, ErrorKind, FrameError};
+use serde_json::Value;
+use std::io::Write as _;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Why a call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing, or reading the socket failed.
+    Io(std::io::Error),
+    /// The response frame was malformed.
+    Frame(FrameError),
+    /// The server answered `ok:false` with a typed error.
+    Server {
+        /// The machine-readable kind (unknown kinds map to `internal`).
+        kind: ErrorKind,
+        /// The human-readable message.
+        message: String,
+    },
+    /// The server answered something that is not a protocol response.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "bad frame: {e}"),
+            ClientError::Server { kind, message } => {
+                write!(f, "server error ({}): {message}", kind.name())
+            }
+            ClientError::Malformed(why) => write!(f, "malformed response: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl ClientError {
+    /// Whether this is a typed server refusal of the given kind.
+    pub fn is_kind(&self, want: ErrorKind) -> bool {
+        matches!(self, ClientError::Server { kind, .. } if *kind == want)
+    }
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Like [`Client::connect`] but retries for up to `patience`, for
+    /// scripts racing a server that is still binding its port.
+    ///
+    /// # Errors
+    ///
+    /// The last connection failure once patience runs out.
+    pub fn connect_with_patience<A: ToSocketAddrs + Clone>(
+        addr: A,
+        patience: Duration,
+    ) -> Result<Client, ClientError> {
+        let start = std::time::Instant::now();
+        loop {
+            match Client::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(e) if start.elapsed() >= patience => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Sets a read timeout for responses (None blocks forever).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
+
+    /// Sends one already-rendered JSON request and returns the parsed
+    /// response object. `ok:false` responses become
+    /// [`ClientError::Server`].
+    ///
+    /// # Errors
+    ///
+    /// Transport, framing, or typed server errors.
+    pub fn call_raw(&mut self, request: &str) -> Result<Value, ClientError> {
+        write_frame(&mut self.stream, request)?;
+        self.stream.flush()?;
+        let payload = match read_frame(&mut self.stream) {
+            Ok(payload) => payload,
+            Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
+            Err(other) => return Err(ClientError::Frame(other)),
+        };
+        let value: Value = serde_json::from_str(&payload)
+            .map_err(|e| ClientError::Malformed(format!("response is not JSON: {e}")))?;
+        match wire::get(&value, "ok") {
+            Some(Value::Bool(true)) => Ok(value),
+            Some(Value::Bool(false)) => {
+                let error = wire::get(&value, "error");
+                let kind = error
+                    .and_then(|e| match wire::get(e, "kind") {
+                        Some(Value::Str(name)) => ErrorKind::from_name(name),
+                        _ => None,
+                    })
+                    .unwrap_or(ErrorKind::Internal);
+                let message = error
+                    .and_then(|e| match wire::get(e, "message") {
+                        Some(Value::Str(m)) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .unwrap_or_default();
+                Err(ClientError::Server { kind, message })
+            }
+            _ => Err(ClientError::Malformed(
+                "response lacks a boolean \"ok\" field".to_string(),
+            )),
+        }
+    }
+
+    /// Sends an op with extra fields.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn call(
+        &mut self,
+        op: &str,
+        fields: Vec<(String, Value)>,
+    ) -> Result<Value, ClientError> {
+        let mut map = vec![("op".to_string(), Value::Str(op.to_string()))];
+        map.extend(fields);
+        self.call_raw(&Value::Map(map).to_string())
+    }
+
+    /// `health` op.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn health(&mut self) -> Result<Value, ClientError> {
+        self.call("health", Vec::new())
+    }
+
+    /// `stats` op.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn stats(&mut self) -> Result<Value, ClientError> {
+        self.call("stats", Vec::new())
+    }
+
+    /// `list_snapshots` op.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn list_snapshots(&mut self) -> Result<Value, ClientError> {
+        self.call("list_snapshots", Vec::new())
+    }
+
+    /// `list_groups` op.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn list_groups(&mut self, snapshot: &str) -> Result<Value, ClientError> {
+        self.call(
+            "list_groups",
+            vec![("snapshot".to_string(), Value::Str(snapshot.to_string()))],
+        )
+    }
+
+    /// `score_group` op; `functions` of `None` requests the paper's four.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn score_group(
+        &mut self,
+        snapshot: &str,
+        group: usize,
+        functions: Option<&str>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![
+            ("snapshot".to_string(), Value::Str(snapshot.to_string())),
+            ("group".to_string(), Value::UInt(group as u64)),
+        ];
+        if let Some(spec) = functions {
+            fields.push(("functions".to_string(), Value::Str(spec.to_string())));
+        }
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms".to_string(), Value::UInt(ms)));
+        }
+        self.call("score_group", fields)
+    }
+
+    /// `score_set` op over explicit members.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn score_set(
+        &mut self,
+        snapshot: &str,
+        members: &[u32],
+        functions: Option<&str>,
+        deadline_ms: Option<u64>,
+    ) -> Result<Value, ClientError> {
+        let mut fields = vec![
+            ("snapshot".to_string(), Value::Str(snapshot.to_string())),
+            (
+                "members".to_string(),
+                Value::Seq(members.iter().map(|&m| Value::UInt(m as u64)).collect()),
+            ),
+        ];
+        if let Some(spec) = functions {
+            fields.push(("functions".to_string(), Value::Str(spec.to_string())));
+        }
+        if let Some(ms) = deadline_ms {
+            fields.push(("deadline_ms".to_string(), Value::UInt(ms)));
+        }
+        self.call("score_set", fields)
+    }
+
+    /// `baseline` op: the group against seeded size-matched random walks.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn baseline(
+        &mut self,
+        snapshot: &str,
+        group: usize,
+        samples: usize,
+        seed: u64,
+    ) -> Result<Value, ClientError> {
+        self.call(
+            "baseline",
+            vec![
+                ("snapshot".to_string(), Value::Str(snapshot.to_string())),
+                ("group".to_string(), Value::UInt(group as u64)),
+                ("samples".to_string(), Value::UInt(samples as u64)),
+                ("seed".to_string(), Value::UInt(seed)),
+            ],
+        )
+    }
+
+    /// `shutdown` op: asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.call("shutdown", Vec::new())
+    }
+
+    /// Extracts the `scores` array of a scoring response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Malformed`] when the field is absent or ill-typed.
+    pub fn scores_of(response: &Value) -> Result<Vec<f64>, ClientError> {
+        wire::get_scores(response, "scores")
+            .map_err(|(_, message)| ClientError::Malformed(message))
+    }
+}

@@ -1,0 +1,47 @@
+//! `circlekit-serve`: a concurrent scoring service over shared snapshots.
+//!
+//! The offline pipeline (`pack` → `score`) re-loads and re-prepares a
+//! graph for every invocation. This crate keeps CKS1 snapshots resident —
+//! loaded once through the zero-copy path and shared read-only across a
+//! worker pool — and answers scoring queries over a small TCP protocol:
+//!
+//! * **Framing** ([`protocol`]): 4-byte big-endian length + UTF-8 JSON,
+//!   with typed error kinds and a hard frame-size ceiling.
+//! * **Backpressure** ([`queue`]): a bounded queue between connection
+//!   handlers and scoring workers; saturation is answered synchronously
+//!   with an `overloaded` response instead of unbounded buffering.
+//! * **Micro-batching** ([`server`]): queued same-snapshot scoring jobs
+//!   are coalesced and evaluated in one [`ParallelScorer`] pass.
+//! * **Caching** ([`cache`]): an LRU keyed by (snapshot, function, set
+//!   digest) replays deterministic scores bit-exactly.
+//! * **Deadlines**: per-request `deadline_ms` rides the workspace's
+//!   `RunControl`; expired work is refused, not half-done.
+//! * **Determinism**: served scores are bit-identical to the offline
+//!   `score` CLI (same median-degree precomputation, lossless `f64` JSON
+//!   round-trip), and `baseline` uses seeded per-walk RNG streams.
+//! * **Graceful shutdown** ([`signal`]): SIGINT or the `shutdown` op
+//!   drains queued work before the process exits.
+//!
+//! [`ParallelScorer`]: circlekit_scoring::ParallelScorer
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod queue;
+pub mod registry;
+pub mod server;
+pub mod signal;
+pub mod stats;
+
+pub use cache::{CacheKey, CacheStats, ScoreCache};
+pub use client::{Client, ClientError};
+pub use protocol::{
+    error_payload, ok_payload, read_frame, read_frame_patiently, set_digest, write_frame,
+    ErrorKind, FrameError, Request, RequestError, DEFAULT_BASELINE_SAMPLES, MAX_FRAME_LEN,
+};
+pub use queue::{BoundedQueue, PushError};
+pub use registry::{LoadedSnapshot, SnapshotRegistry};
+pub use server::{ServeConfig, Server, ShutdownHandle};
+pub use stats::{ServeStats, StatsSnapshot};

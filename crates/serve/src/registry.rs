@@ -1,0 +1,170 @@
+//! [`SnapshotRegistry`]: the snapshots a server instance keeps resident.
+//!
+//! Each snapshot is loaded once — via the CKS1 zero-copy mmap path when
+//! the host supports it ([`circlekit_store::MappedSnapshot`] falls back
+//! to the aligned buffered read otherwise) — and then shared read-only
+//! behind an [`Arc`] by every connection handler and scoring worker.
+//! Graph-level precomputation (the median degree that FOMD needs) runs at
+//! load time so request handling never repeats it, and so served scores
+//! use exactly the inputs the offline `Scorer` would.
+
+use circlekit_graph::{Graph, VertexSet};
+use circlekit_scoring::Scorer;
+use circlekit_store::MappedSnapshot;
+use std::sync::Arc;
+
+/// One resident snapshot: the shared graph, its groups, and the
+/// precomputed graph-level scoring inputs.
+#[derive(Debug)]
+pub struct LoadedSnapshot {
+    /// Registry id (defaults to the file stem).
+    pub id: String,
+    /// Source path, `"<memory>"` for programmatically inserted graphs.
+    pub path: String,
+    /// The shared read-only graph.
+    pub graph: Graph,
+    /// The snapshot's group collections (possibly empty).
+    pub groups: Vec<VertexSet>,
+    /// Graph-wide median total degree, precomputed for FOMD.
+    pub median_degree: f64,
+}
+
+/// The set of snapshots a server answers queries about.
+#[derive(Debug, Default)]
+pub struct SnapshotRegistry {
+    entries: Vec<Arc<LoadedSnapshot>>,
+}
+
+impl SnapshotRegistry {
+    /// An empty registry.
+    pub fn new() -> SnapshotRegistry {
+        SnapshotRegistry::default()
+    }
+
+    /// Loads a `.cks` file under `id` (pass `None` to use the file stem).
+    ///
+    /// # Errors
+    ///
+    /// A rendered message for open/validation failures or a duplicate id.
+    pub fn load(&mut self, path: &str, id: Option<&str>) -> Result<(), String> {
+        let id = match id {
+            Some(id) => id.to_string(),
+            None => std::path::Path::new(path)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| format!("cannot derive a snapshot id from path {path:?}"))?,
+        };
+        let mapped = MappedSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let snap = mapped.load().map_err(|e| format!("{path}: {e}"))?;
+        self.insert_full(id, path.to_string(), snap.graph, snap.groups)
+    }
+
+    /// Registers an in-memory graph (tests, `loadgen --synthetic`).
+    ///
+    /// # Errors
+    ///
+    /// A rendered message when `id` is already taken.
+    pub fn insert(
+        &mut self,
+        id: impl Into<String>,
+        graph: Graph,
+        groups: Vec<VertexSet>,
+    ) -> Result<(), String> {
+        self.insert_full(id.into(), "<memory>".to_string(), graph, groups)
+    }
+
+    fn insert_full(
+        &mut self,
+        id: String,
+        path: String,
+        graph: Graph,
+        groups: Vec<VertexSet>,
+    ) -> Result<(), String> {
+        if self.get(&id).is_some() {
+            return Err(format!("duplicate snapshot id {id:?}"));
+        }
+        let median_degree = Scorer::new(&graph).median_degree();
+        self.entries.push(Arc::new(LoadedSnapshot { id, path, graph, groups, median_degree }));
+        Ok(())
+    }
+
+    /// Looks a snapshot up by id.
+    pub fn get(&self, id: &str) -> Option<&Arc<LoadedSnapshot>> {
+        self.entries.iter().find(|s| s.id == id)
+    }
+
+    /// All snapshots, in load order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<LoadedSnapshot>> {
+        self.entries.iter()
+    }
+
+    /// Number of resident snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no snapshot is loaded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_store::save_snapshot;
+
+    fn tiny_graph() -> Graph {
+        Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 0), (2, 3)])
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut reg = SnapshotRegistry::new();
+        reg.insert("a", tiny_graph(), vec![VertexSet::from_vec(vec![0, 1, 2])]).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_empty());
+        let snap = reg.get("a").unwrap();
+        assert_eq!(snap.graph.node_count(), 4);
+        assert_eq!(snap.groups.len(), 1);
+        assert!(snap.median_degree > 0.0);
+        assert!(reg.get("b").is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_are_rejected() {
+        let mut reg = SnapshotRegistry::new();
+        reg.insert("a", tiny_graph(), Vec::new()).unwrap();
+        let err = reg.insert("a", tiny_graph(), Vec::new()).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn load_derives_id_from_file_stem() {
+        let dir = std::env::temp_dir().join("circlekit-serve-registry-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stem.cks");
+        let path = path.to_string_lossy().into_owned();
+        let g = tiny_graph();
+        save_snapshot(&path, &g, &[VertexSet::from_vec(vec![0, 1])]).unwrap();
+        let mut reg = SnapshotRegistry::new();
+        reg.load(&path, None).unwrap();
+        let snap = reg.get("stem").unwrap();
+        assert_eq!(snap.graph, g);
+        assert_eq!(snap.path, path);
+        // Median degree matches what the offline scorer computes.
+        assert_eq!(snap.median_degree, Scorer::new(&g).median_degree());
+        // Explicit ids override the stem.
+        reg.load(&path, Some("alias")).unwrap();
+        assert!(reg.get("alias").is_some());
+        assert_eq!(reg.iter().count(), 2);
+    }
+
+    #[test]
+    fn missing_file_is_a_rendered_error() {
+        let mut reg = SnapshotRegistry::new();
+        let err = reg.load("/definitely/not/here.cks", None).unwrap_err();
+        assert!(err.contains("here.cks"), "{err}");
+    }
+}

@@ -1,0 +1,785 @@
+//! The daemon: acceptor, connection handlers, and the scoring worker
+//! pool, glued together by the bounded job queue.
+//!
+//! ## Threading model
+//!
+//! * One **acceptor** polls a non-blocking listener so it can observe
+//!   shutdown (from the `shutdown` op, [`ShutdownHandle::trigger`], or a
+//!   watched SIGINT flag) within one poll interval.
+//! * One **handler** thread per connection reads frames, answers cheap
+//!   ops (`health`, `stats`, listings, cache hits) inline, and pushes
+//!   scoring work onto the bounded queue — refusing with a typed
+//!   `overloaded` response the instant the queue is full.
+//! * `workers` **scoring workers** pop jobs in micro-batches
+//!   ([`BoundedQueue::pop_batch`] coalesces same-snapshot scoring jobs up
+//!   to `batch_max`) and evaluate each batch with one
+//!   [`ParallelScorer`] pass, so concurrent clients share the fan-out
+//!   machinery instead of competing for it.
+//!
+//! ## Shutdown
+//!
+//! Triggering shutdown is cooperative and drains: the acceptor stops
+//! accepting, handlers finish the request in flight and close, queued
+//! jobs are still executed and answered, then the workers exit.
+//! [`Server::join`] sequences those steps and returns the final counter
+//! snapshot.
+
+use crate::cache::{CacheKey, ScoreCache};
+use crate::protocol::{
+    error_payload, ok_payload, read_frame_patiently, set_digest, wire, write_frame, ErrorKind,
+    FrameError, Request, RequestError,
+};
+use crate::queue::{BoundedQueue, PushError};
+use crate::registry::{LoadedSnapshot, SnapshotRegistry};
+use crate::stats::{ServeStats, StatsSnapshot};
+use circlekit_graph::{RunControl, VertexSet};
+use circlekit_sampling::size_matched_random_walk_sets_parallel_with_control;
+use circlekit_scoring::{ParallelScorer, ScoringFunction};
+use serde_json::Value;
+use std::io::{self, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Mid-frame polls tolerated after shutdown before a stalled connection
+/// is dropped (~2 s at [`POLL_INTERVAL`]).
+const SHUTDOWN_GRACE_POLLS: u32 = 40;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads inside each [`ParallelScorer`] batch.
+    pub threads: usize,
+    /// Scoring workers popping from the queue.
+    pub workers: usize,
+    /// Bounded queue capacity — the backpressure point.
+    pub queue_capacity: usize,
+    /// Maximum scoring jobs coalesced into one batch.
+    pub batch_max: usize,
+    /// LRU result-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Accept test-only ops (`debug_sleep`). Never enable in production.
+    pub debug_ops: bool,
+    /// Promote the process-wide SIGINT flag (see [`crate::signal`]) to a
+    /// graceful shutdown.
+    pub watch_sigint: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: circlekit_scoring::default_threads(),
+            workers: 1,
+            queue_capacity: 1024,
+            batch_max: 64,
+            cache_capacity: 4096,
+            debug_ops: false,
+            watch_sigint: false,
+        }
+    }
+}
+
+/// What a worker hands back to the handler that enqueued a job.
+enum JobOutput {
+    Scores(Vec<f64>),
+    Baseline { set_scores: Vec<f64>, baseline_means: Vec<f64> },
+    Slept,
+}
+
+type JobReply = mpsc::Sender<Result<JobOutput, RequestError>>;
+
+struct ScoreJob {
+    snapshot: Arc<LoadedSnapshot>,
+    set: VertexSet,
+    functions: Vec<ScoringFunction>,
+    digest: u64,
+    control: RunControl,
+    reply: JobReply,
+}
+
+enum Job {
+    Score(ScoreJob),
+    Baseline {
+        snapshot: Arc<LoadedSnapshot>,
+        set: VertexSet,
+        functions: Vec<ScoringFunction>,
+        samples: usize,
+        seed: u64,
+        control: RunControl,
+        reply: JobReply,
+    },
+    Sleep {
+        millis: u64,
+        reply: JobReply,
+    },
+}
+
+struct Shared {
+    registry: SnapshotRegistry,
+    config: ServeConfig,
+    queue: BoundedQueue<Job>,
+    cache: Mutex<ScoreCache>,
+    stats: ServeStats,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    fn trigger_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    fn stats_snapshot(&self) -> StatsSnapshot {
+        let cache = self.cache.lock().expect("cache lock").stats();
+        self.stats.snapshot(cache, self.queue.len())
+    }
+}
+
+/// Clonable handle that requests a graceful drain-then-exit.
+#[derive(Clone)]
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Requests shutdown. Idempotent.
+    pub fn trigger(&self) {
+        self.shared.trigger_shutdown();
+    }
+}
+
+/// A running scoring service.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures; rejects an empty registry.
+    pub fn start<A: ToSocketAddrs>(
+        registry: SnapshotRegistry,
+        config: ServeConfig,
+        addr: A,
+    ) -> io::Result<Server> {
+        if registry.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "refusing to serve an empty snapshot registry",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: Mutex::new(ScoreCache::new(config.cache_capacity)),
+            stats: ServeStats::default(),
+            shutdown: AtomicBool::new(false),
+            registry,
+            config,
+        });
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ck-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("ck-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &shared, &handlers))
+                .expect("spawn acceptor thread")
+        };
+        Ok(Server { shared, addr, acceptor, workers, handlers })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle that triggers graceful shutdown from any thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Current counters (live; safe to call while serving).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats_snapshot()
+    }
+
+    /// Blocks until shutdown is triggered, drains, and returns the final
+    /// counters: acceptor exit → handler drain → queued jobs executed →
+    /// workers exit.
+    pub fn join(self) -> StatsSnapshot {
+        self.acceptor.join().expect("acceptor thread panicked");
+        let handles = std::mem::take(&mut *self.handlers.lock().expect("handler registry lock"));
+        for handle in handles {
+            handle.join().expect("connection handler panicked");
+        }
+        self.shared.queue.close();
+        for worker in self.workers {
+            worker.join().expect("scoring worker panicked");
+        }
+        self.shared.stats_snapshot()
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let sigint = shared.config.watch_sigint.then(crate::signal::sigint_flag);
+    loop {
+        if let Some(flag) = sigint {
+            if flag.load(Ordering::Relaxed) {
+                shared.trigger_shutdown();
+            }
+        }
+        if shared.shutting_down() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Responses are written as prefix + payload; without
+                // NODELAY that write pattern stalls on delayed ACKs.
+                let _ = stream.set_nodelay(true);
+                ServeStats::bump(&shared.stats.connections);
+                let shared = Arc::clone(shared);
+                let handle = std::thread::Builder::new()
+                    .name("ck-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &shared))
+                    .expect("spawn connection handler");
+                handlers.lock().expect("handler registry lock").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL_INTERVAL);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept failures (e.g. aborted handshakes) should
+            // not kill the service.
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Reads one frame, polling the shutdown flag between read timeouts.
+/// `Ok(None)` means "close this connection without an error" (clean EOF,
+/// or shutdown while idle / stalled beyond the grace window).
+fn read_frame_polled(stream: &mut TcpStream, shared: &Shared) -> Result<Option<String>, FrameError> {
+    let mut shutdown_polls = 0u32;
+    let result = read_frame_patiently(stream, |mid_frame| {
+        if !shared.shutting_down() {
+            return true;
+        }
+        // Shutdown while idle closes immediately; a started frame gets a
+        // grace window to finish arriving before the connection drops.
+        if !mid_frame {
+            return false;
+        }
+        shutdown_polls += 1;
+        shutdown_polls <= SHUTDOWN_GRACE_POLLS
+    });
+    match result {
+        Err(FrameError::Closed) => Ok(None),
+        other => other,
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    // The timeout makes every blocking read a shutdown checkpoint.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    loop {
+        // Between requests, shutdown closes idle connections immediately.
+        if shared.shutting_down() {
+            return;
+        }
+        let payload = match read_frame_polled(&mut stream, shared) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return,
+            Err(FrameError::TooLarge(len)) => {
+                // The payload was never read, so the stream is out of
+                // sync: answer once, then close.
+                ServeStats::bump(&shared.stats.requests);
+                let message = format!("frame length {len} exceeds the limit");
+                let _ = respond(
+                    &mut stream,
+                    shared,
+                    Err((ErrorKind::FrameTooLarge, message)),
+                );
+                return;
+            }
+            // Truncated / non-UTF-8 / hard I/O: nothing sane to answer
+            // on a desynchronised stream — close cleanly.
+            Err(_) => return,
+        };
+        ServeStats::bump(&shared.stats.requests);
+        let request = Request::parse(&payload);
+        let mut close_after = false;
+        let outcome = match request {
+            Err(err) => Err(err),
+            Ok(Request::Shutdown) => {
+                close_after = true;
+                shared.trigger_shutdown();
+                Ok(ok_payload(vec![(
+                    "message".to_string(),
+                    Value::Str("draining".to_string()),
+                )]))
+            }
+            Ok(request) => handle_request(request, shared),
+        };
+        if respond(&mut stream, shared, outcome).is_err() || close_after {
+            return;
+        }
+    }
+}
+
+/// Writes the response (success payload or rendered error), keeping the
+/// ok/error counters honest.
+fn respond(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    outcome: Result<String, RequestError>,
+) -> io::Result<()> {
+    let payload = match outcome {
+        Ok(payload) => {
+            ServeStats::bump(&shared.stats.ok_responses);
+            payload
+        }
+        Err((kind, message)) => {
+            ServeStats::bump(&shared.stats.error_responses);
+            match kind {
+                ErrorKind::Overloaded => ServeStats::bump(&shared.stats.overloaded),
+                ErrorKind::DeadlineExceeded => {
+                    ServeStats::bump(&shared.stats.deadline_expired)
+                }
+                _ => {}
+            }
+            error_payload(kind, &message)
+        }
+    };
+    write_frame(stream, &payload)?;
+    stream.flush()
+}
+
+fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, RequestError> {
+    match request {
+        Request::Health => Ok(ok_payload(vec![
+            ("status".to_string(), Value::Str("serving".to_string())),
+            ("snapshots".to_string(), Value::UInt(shared.registry.len() as u64)),
+        ])),
+        Request::Stats => Ok(ok_payload(shared.stats_snapshot().to_fields())),
+        Request::ListSnapshots => {
+            let snapshots: Vec<Value> = shared
+                .registry
+                .iter()
+                .map(|s| {
+                    Value::Map(vec![
+                        ("id".to_string(), Value::Str(s.id.clone())),
+                        ("path".to_string(), Value::Str(s.path.clone())),
+                        ("nodes".to_string(), Value::UInt(s.graph.node_count() as u64)),
+                        ("edges".to_string(), Value::UInt(s.graph.edge_count() as u64)),
+                        ("directed".to_string(), Value::Bool(s.graph.is_directed())),
+                        ("groups".to_string(), Value::UInt(s.groups.len() as u64)),
+                    ])
+                })
+                .collect();
+            Ok(ok_payload(vec![("snapshots".to_string(), Value::Seq(snapshots))]))
+        }
+        Request::ListGroups { snapshot } => {
+            let snap = resolve_snapshot(shared, &snapshot)?;
+            let sizes: Vec<Value> =
+                snap.groups.iter().map(|g| Value::UInt(g.len() as u64)).collect();
+            Ok(ok_payload(vec![
+                ("snapshot".to_string(), Value::Str(snap.id.clone())),
+                ("groups".to_string(), Value::UInt(sizes.len() as u64)),
+                ("sizes".to_string(), Value::Seq(sizes)),
+            ]))
+        }
+        Request::ScoreGroup { snapshot, group, functions, deadline_ms } => {
+            let snap = resolve_snapshot(shared, &snapshot)?;
+            let set = resolve_group(&snap, group)?;
+            let mut fields = vec![("group".to_string(), Value::UInt(group as u64))];
+            fields.extend(score_request(shared, &snap, set, &functions, deadline_ms)?);
+            Ok(ok_payload(with_op("score_group", &snap.id, fields)))
+        }
+        Request::ScoreSet { snapshot, members, functions, deadline_ms } => {
+            let snap = resolve_snapshot(shared, &snapshot)?;
+            let set = VertexSet::from_vec(members);
+            if let Some(&bad) = set.as_slice().iter().find(|&&m| {
+                m as usize >= snap.graph.node_count()
+            }) {
+                return Err((
+                    ErrorKind::BadRequest,
+                    format!(
+                        "member {bad} is out of range for snapshot {:?} ({} nodes)",
+                        snap.id,
+                        snap.graph.node_count()
+                    ),
+                ));
+            }
+            let fields = score_request(shared, &snap, set, &functions, deadline_ms)?;
+            Ok(ok_payload(with_op("score_set", &snap.id, fields)))
+        }
+        Request::Baseline { snapshot, group, functions, samples, seed, deadline_ms } => {
+            let snap = resolve_snapshot(shared, &snapshot)?;
+            let set = resolve_group(&snap, group)?;
+            if samples == 0 {
+                return Err((
+                    ErrorKind::BadRequest,
+                    "field \"samples\" must be at least 1".to_string(),
+                ));
+            }
+            let size = set.len();
+            let control = control_for(deadline_ms);
+            check_deadline(&control)?;
+            let (reply, outcome) = mpsc::channel();
+            enqueue(
+                shared,
+                Job::Baseline {
+                    snapshot: Arc::clone(&snap),
+                    set,
+                    functions: functions.clone(),
+                    samples,
+                    seed,
+                    control,
+                    reply,
+                },
+            )?;
+            match wait_for(&outcome)? {
+                JobOutput::Baseline { set_scores, baseline_means } => {
+                    let fields = vec![
+                        ("group".to_string(), Value::UInt(group as u64)),
+                        ("size".to_string(), Value::UInt(size as u64)),
+                        ("samples".to_string(), Value::UInt(samples as u64)),
+                        ("seed".to_string(), Value::UInt(seed)),
+                        ("functions".to_string(), function_names(&functions)),
+                        ("set_scores".to_string(), wire::score_array(&set_scores)),
+                        ("baseline_means".to_string(), wire::score_array(&baseline_means)),
+                    ];
+                    Ok(ok_payload(with_op("baseline", &snap.id, fields)))
+                }
+                _ => Err(internal("baseline job returned the wrong output kind")),
+            }
+        }
+        Request::DebugSleep { millis } => {
+            if !shared.config.debug_ops {
+                return Err((
+                    ErrorKind::BadRequest,
+                    "debug ops are disabled on this server".to_string(),
+                ));
+            }
+            let (reply, outcome) = mpsc::channel();
+            enqueue(shared, Job::Sleep { millis, reply })?;
+            wait_for(&outcome)?;
+            Ok(ok_payload(vec![("slept_ms".to_string(), Value::UInt(millis))]))
+        }
+        // Handled by the connection loop so it can close afterwards.
+        Request::Shutdown => Err(internal("shutdown must be handled by the connection loop")),
+    }
+}
+
+/// The shared score path of `score_group` and `score_set`: cache probe,
+/// then the queued/batched compute path on a miss.
+fn score_request(
+    shared: &Arc<Shared>,
+    snap: &Arc<LoadedSnapshot>,
+    set: VertexSet,
+    functions: &[ScoringFunction],
+    deadline_ms: Option<u64>,
+) -> Result<Vec<(String, Value)>, RequestError> {
+    let control = control_for(deadline_ms);
+    check_deadline(&control)?;
+    let size = set.len();
+    let digest = set_digest(set.as_slice());
+    if let Some(scores) = cache_probe(shared, &snap.id, functions, digest) {
+        return Ok(score_fields(size, functions, &scores, true));
+    }
+    let (reply, outcome) = mpsc::channel();
+    enqueue(
+        shared,
+        Job::Score(ScoreJob {
+            snapshot: Arc::clone(snap),
+            set,
+            functions: functions.to_vec(),
+            digest,
+            control,
+            reply,
+        }),
+    )?;
+    match wait_for(&outcome)? {
+        JobOutput::Scores(scores) => Ok(score_fields(size, functions, &scores, false)),
+        _ => Err(internal("score job returned the wrong output kind")),
+    }
+}
+
+fn score_fields(
+    size: usize,
+    functions: &[ScoringFunction],
+    scores: &[f64],
+    cached: bool,
+) -> Vec<(String, Value)> {
+    vec![
+        ("size".to_string(), Value::UInt(size as u64)),
+        ("functions".to_string(), function_names(functions)),
+        ("scores".to_string(), wire::score_array(scores)),
+        ("cached".to_string(), Value::Bool(cached)),
+    ]
+}
+
+fn with_op(op: &str, snapshot: &str, mut rest: Vec<(String, Value)>) -> Vec<(String, Value)> {
+    let mut fields = vec![
+        ("op".to_string(), Value::Str(op.to_string())),
+        ("snapshot".to_string(), Value::Str(snapshot.to_string())),
+    ];
+    fields.append(&mut rest);
+    fields
+}
+
+fn function_names(functions: &[ScoringFunction]) -> Value {
+    Value::Seq(functions.iter().map(|f| Value::Str(f.name().to_string())).collect())
+}
+
+fn resolve_snapshot(
+    shared: &Shared,
+    id: &str,
+) -> Result<Arc<LoadedSnapshot>, RequestError> {
+    shared
+        .registry
+        .get(id)
+        .cloned()
+        .ok_or_else(|| (ErrorKind::NotFound, format!("unknown snapshot {id:?}")))
+}
+
+fn resolve_group(snap: &LoadedSnapshot, group: usize) -> Result<VertexSet, RequestError> {
+    snap.groups.get(group).cloned().ok_or_else(|| {
+        (
+            ErrorKind::NotFound,
+            format!(
+                "snapshot {:?} has {} groups, no index {group}",
+                snap.id,
+                snap.groups.len()
+            ),
+        )
+    })
+}
+
+fn control_for(deadline_ms: Option<u64>) -> RunControl {
+    match deadline_ms {
+        Some(ms) => RunControl::new().with_deadline(Duration::from_millis(ms)),
+        None => RunControl::new(),
+    }
+}
+
+fn check_deadline(control: &RunControl) -> Result<(), RequestError> {
+    control
+        .check()
+        .map_err(|why| (ErrorKind::DeadlineExceeded, why.to_string()))
+}
+
+fn enqueue(shared: &Shared, job: Job) -> Result<(), RequestError> {
+    shared.queue.try_push(job).map_err(|e| match e {
+        PushError::Full => (
+            ErrorKind::Overloaded,
+            format!(
+                "request queue is at capacity ({}); retry later",
+                shared.queue.capacity()
+            ),
+        ),
+        PushError::Closed => {
+            (ErrorKind::ShuttingDown, "server is draining".to_string())
+        }
+    })
+}
+
+fn wait_for(
+    outcome: &mpsc::Receiver<Result<JobOutput, RequestError>>,
+) -> Result<JobOutput, RequestError> {
+    outcome
+        .recv()
+        .map_err(|_| internal("scoring worker dropped the reply channel"))?
+}
+
+fn internal(message: &str) -> RequestError {
+    (ErrorKind::Internal, message.to_string())
+}
+
+// ---------------------------------------------------------------------
+// Worker side
+// ---------------------------------------------------------------------
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let batch = shared.queue.pop_batch(shared.config.batch_max, |first, candidate| {
+            match (first, candidate) {
+                (Job::Score(a), Job::Score(b)) => a.snapshot.id == b.snapshot.id,
+                _ => false,
+            }
+        });
+        if batch.is_empty() {
+            return; // queue closed and drained
+        }
+        let mut score_jobs = Vec::new();
+        for job in batch {
+            match job {
+                Job::Score(job) => score_jobs.push(job),
+                Job::Baseline { snapshot, set, functions, samples, seed, control, reply } => {
+                    let result = run_baseline(
+                        shared, &snapshot, set, &functions, samples, seed, &control,
+                    );
+                    let _ = reply.send(result);
+                }
+                Job::Sleep { millis, reply } => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                    let _ = reply.send(Ok(JobOutput::Slept));
+                }
+            }
+        }
+        if !score_jobs.is_empty() {
+            run_score_batch(shared, score_jobs);
+        }
+    }
+}
+
+/// Evaluates one coalesced batch of same-snapshot scoring jobs with a
+/// single [`ParallelScorer`] pass, then fans the per-job scores back out
+/// (and into the cache).
+fn run_score_batch(shared: &Shared, mut jobs: Vec<ScoreJob>) {
+    // Deadlines are re-checked at the batch boundary: a job that waited
+    // too long in the queue is answered `deadline-exceeded`, not scored.
+    let mut live = Vec::with_capacity(jobs.len());
+    for mut job in jobs.drain(..) {
+        match job.control.check() {
+            Ok(()) => {
+                let set = std::mem::replace(&mut job.set, VertexSet::new());
+                live.push((job, set));
+            }
+            Err(why) => {
+                let _ = job.reply.send(Err((ErrorKind::DeadlineExceeded, why.to_string())));
+            }
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let snapshot = Arc::clone(&live[0].0.snapshot);
+    let sets: Vec<VertexSet> = live.iter().map(|(_, set)| set.clone()).collect();
+    let scorer = ParallelScorer::with_graph_median(
+        &snapshot.graph,
+        snapshot.median_degree,
+        shared.config.threads,
+    );
+    let stats = scorer.stats_batch(&sets);
+    ServeStats::bump(&shared.stats.batches);
+    ServeStats::add(&shared.stats.batched_jobs, live.len() as u64);
+    ServeStats::raise(&shared.stats.max_batch, live.len() as u64);
+    ServeStats::add(&shared.stats.scored_sets, live.len() as u64);
+    let mut cache = shared.cache.lock().expect("cache lock");
+    for ((job, _), set_stats) in live.iter().zip(&stats) {
+        let scores: Vec<f64> = job.functions.iter().map(|f| f.score(set_stats)).collect();
+        for (function, &score) in job.functions.iter().zip(&scores) {
+            cache.insert(
+                CacheKey {
+                    snapshot: job.snapshot.id.clone(),
+                    function: *function,
+                    digest: job.digest,
+                },
+                score,
+            );
+        }
+        let _ = job.reply.send(Ok(JobOutput::Scores(scores)));
+    }
+}
+
+/// Scores a set against `samples` seeded size-matched random-walk sets.
+/// Fully deterministic for a given `(snapshot, set, functions, samples,
+/// seed)` tuple: per-walk RNG streams are keyed by `(seed, walk index)`
+/// and means are accumulated in walk order.
+fn run_baseline(
+    shared: &Shared,
+    snapshot: &LoadedSnapshot,
+    set: VertexSet,
+    functions: &[ScoringFunction],
+    samples: usize,
+    seed: u64,
+    control: &RunControl,
+) -> Result<JobOutput, RequestError> {
+    check_deadline(control)?;
+    let sizes = vec![set.len(); samples];
+    let sampled = size_matched_random_walk_sets_parallel_with_control(
+        &snapshot.graph,
+        &sizes,
+        seed,
+        shared.config.threads,
+        control,
+    )
+    .map_err(|why| (ErrorKind::DeadlineExceeded, why.to_string()))?;
+    let mut all_sets = Vec::with_capacity(samples + 1);
+    all_sets.push(set);
+    all_sets.extend(sampled);
+    let scorer = ParallelScorer::with_graph_median(
+        &snapshot.graph,
+        snapshot.median_degree,
+        shared.config.threads,
+    );
+    let stats = scorer.stats_batch(&all_sets);
+    ServeStats::add(&shared.stats.scored_sets, all_sets.len() as u64);
+    let set_scores: Vec<f64> = functions.iter().map(|f| f.score(&stats[0])).collect();
+    let baseline_means: Vec<f64> = functions
+        .iter()
+        .map(|f| {
+            let sum: f64 = stats[1..].iter().map(|s| f.score(s)).sum();
+            sum / samples as f64
+        })
+        .collect();
+    Ok(JobOutput::Baseline { set_scores, baseline_means })
+}
+
+/// Probes the cache for every requested function; only a full hit
+/// produces a response (a partial hit recomputes the whole request — the
+/// stats are computed once per set anyway).
+fn cache_probe(
+    shared: &Shared,
+    snapshot: &str,
+    functions: &[ScoringFunction],
+    digest: u64,
+) -> Option<Vec<f64>> {
+    if shared.config.cache_capacity == 0 {
+        return None;
+    }
+    let mut cache = shared.cache.lock().expect("cache lock");
+    let mut scores = Vec::with_capacity(functions.len());
+    for function in functions {
+        let key = CacheKey {
+            snapshot: snapshot.to_string(),
+            function: *function,
+            digest,
+        };
+        scores.push(cache.get(&key)?);
+    }
+    Some(scores)
+}

@@ -1,0 +1,75 @@
+//! SIGINT-to-flag plumbing for graceful shutdown.
+//!
+//! The workspace vendors no `libc`/`signal-hook`, so the handler is
+//! installed through a minimal `extern "C"` binding to `signal(2)` — the
+//! same approach `circlekit-store` uses for `mmap`. The handler itself
+//! only stores into an [`AtomicBool`] (async-signal-safe); the server's
+//! acceptor polls the flag and promotes it to a cooperative drain.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+static INSTALL: Once = Once::new();
+
+#[cfg(unix)]
+mod ffi {
+    pub const SIGINT: i32 = 2;
+    pub type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        pub fn signal(signum: i32, handler: Handler) -> usize;
+    }
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT_SEEN.store(true, Ordering::Release);
+}
+
+/// Installs the SIGINT handler (once per process) and returns the flag it
+/// raises. On non-Unix targets the handler is skipped and the flag simply
+/// never fires.
+pub fn install_sigint_handler() -> &'static AtomicBool {
+    INSTALL.call_once(|| {
+        #[cfg(unix)]
+        unsafe {
+            ffi::signal(ffi::SIGINT, on_sigint);
+        }
+    });
+    &SIGINT_SEEN
+}
+
+/// The SIGINT flag without installing a handler (used by pollers that
+/// must not change process-wide signal disposition).
+pub fn sigint_flag() -> &'static AtomicBool {
+    &SIGINT_SEEN
+}
+
+/// Test hook: raises the flag as the real handler would.
+pub fn raise_for_test() {
+    SIGINT_SEEN.store(true, Ordering::Release);
+}
+
+/// Test hook: clears the flag.
+pub fn reset_for_test() {
+    SIGINT_SEEN.store(false, Ordering::Release);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_roundtrip() {
+        reset_for_test();
+        assert!(!sigint_flag().load(Ordering::Acquire));
+        raise_for_test();
+        assert!(sigint_flag().load(Ordering::Acquire));
+        reset_for_test();
+        // Installing is idempotent and returns the same flag.
+        let a = install_sigint_handler() as *const AtomicBool;
+        let b = install_sigint_handler() as *const AtomicBool;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Service counters, exposed through the `stats` op and returned by
+//! [`crate::Server::join`] for post-run reporting (the `loadgen` harness
+//! records them next to its latency percentiles).
+
+use crate::cache::CacheStats;
+use serde_json::Value;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotone counters shared by every server thread.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Frames parsed into requests (well- or ill-formed).
+    pub requests: AtomicU64,
+    /// `ok:true` responses written.
+    pub ok_responses: AtomicU64,
+    /// `ok:false` responses written.
+    pub error_responses: AtomicU64,
+    /// Requests refused because the queue was full.
+    pub overloaded: AtomicU64,
+    /// Requests refused because their deadline had expired.
+    pub deadline_expired: AtomicU64,
+    /// Micro-batches executed by the workers.
+    pub batches: AtomicU64,
+    /// Scoring jobs carried by those batches.
+    pub batched_jobs: AtomicU64,
+    /// Largest single batch observed.
+    pub max_batch: AtomicU64,
+    /// Vertex sets actually scored (batch jobs + baseline samples).
+    pub scored_sets: AtomicU64,
+}
+
+impl ServeStats {
+    /// Adds `1` to a counter.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises a high-water-mark counter to at least `n`.
+    pub fn raise(counter: &AtomicU64, n: u64) {
+        counter.fetch_max(n, Ordering::Relaxed);
+    }
+
+    /// Captures the counters together with the cache's and the queue's
+    /// instantaneous state.
+    pub fn snapshot(&self, cache: CacheStats, queue_depth: usize) -> StatsSnapshot {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            connections: read(&self.connections),
+            requests: read(&self.requests),
+            ok_responses: read(&self.ok_responses),
+            error_responses: read(&self.error_responses),
+            overloaded: read(&self.overloaded),
+            deadline_expired: read(&self.deadline_expired),
+            batches: read(&self.batches),
+            batched_jobs: read(&self.batched_jobs),
+            max_batch: read(&self.max_batch),
+            scored_sets: read(&self.scored_sets),
+            cache,
+            queue_depth,
+        }
+    }
+}
+
+/// A point-in-time copy of every counter.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames parsed into requests.
+    pub requests: u64,
+    /// `ok:true` responses written.
+    pub ok_responses: u64,
+    /// `ok:false` responses written.
+    pub error_responses: u64,
+    /// Requests refused with `overloaded`.
+    pub overloaded: u64,
+    /// Requests refused with `deadline-exceeded`.
+    pub deadline_expired: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Scoring jobs carried by those batches.
+    pub batched_jobs: u64,
+    /// Largest single batch.
+    pub max_batch: u64,
+    /// Vertex sets scored.
+    pub scored_sets: u64,
+    /// Cache counters at snapshot time.
+    pub cache: CacheStats,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+}
+
+impl StatsSnapshot {
+    /// Renders the snapshot as the `stats` response's field list.
+    pub fn to_fields(&self) -> Vec<(String, Value)> {
+        let u = |n: u64| Value::UInt(n);
+        vec![
+            ("connections".to_string(), u(self.connections)),
+            ("requests".to_string(), u(self.requests)),
+            ("ok_responses".to_string(), u(self.ok_responses)),
+            ("error_responses".to_string(), u(self.error_responses)),
+            ("overloaded".to_string(), u(self.overloaded)),
+            ("deadline_expired".to_string(), u(self.deadline_expired)),
+            ("batches".to_string(), u(self.batches)),
+            ("batched_jobs".to_string(), u(self.batched_jobs)),
+            ("max_batch".to_string(), u(self.max_batch)),
+            ("scored_sets".to_string(), u(self.scored_sets)),
+            ("cache_hits".to_string(), u(self.cache.hits)),
+            ("cache_misses".to_string(), u(self.cache.misses)),
+            ("cache_evictions".to_string(), u(self.cache.evictions)),
+            ("cache_entries".to_string(), u(self.cache.entries as u64)),
+            ("queue_depth".to_string(), u(self.queue_depth as u64)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = ServeStats::default();
+        ServeStats::bump(&stats.requests);
+        ServeStats::add(&stats.batched_jobs, 5);
+        ServeStats::raise(&stats.max_batch, 3);
+        ServeStats::raise(&stats.max_batch, 2);
+        let snap = stats.snapshot(CacheStats::default(), 7);
+        assert_eq!(snap.requests, 1);
+        assert_eq!(snap.batched_jobs, 5);
+        assert_eq!(snap.max_batch, 3);
+        assert_eq!(snap.queue_depth, 7);
+        let fields = snap.to_fields();
+        assert!(fields.iter().any(|(k, v)| k == "max_batch" && *v == Value::UInt(3)));
+        assert!(fields.iter().any(|(k, _)| k == "cache_hits"));
+    }
+}

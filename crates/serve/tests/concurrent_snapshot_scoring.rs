@@ -1,0 +1,94 @@
+//! The sharing contract underneath the server: many threads scoring the
+//! same snapshot-backed graph simultaneously must produce exactly the
+//! bits a single serial scorer produces.
+//!
+//! This exercises the path end-to-end through the store: pack a seeded
+//! synthetic graph to a `.cks` file, reopen it through the zero-copy
+//! [`MappedSnapshot`] / `SnapshotView` path, then hammer the one shared
+//! [`Graph`] from N threads at once.
+
+use circlekit_scoring::{ParallelScorer, Scorer, ScoringFunction};
+use circlekit_store::{save_snapshot, MappedSnapshot};
+use circlekit_synth::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+
+fn snapshot_path() -> String {
+    let dir = std::env::temp_dir().join("circlekit-serve-concurrency-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("shared.cks").to_string_lossy().into_owned()
+}
+
+#[test]
+fn n_threads_scoring_one_snapshot_view_graph_match_serial_bit_for_bit() {
+    let data = presets::google_plus()
+        .scaled(0.004)
+        .generate(&mut SmallRng::seed_from_u64(2014));
+    let path = snapshot_path();
+    let _ = std::fs::remove_file(&path);
+    save_snapshot(&path, &data.graph, &data.groups).unwrap();
+
+    // Reopen through the mmap/SnapshotView path; this is the graph the
+    // server would share, not the one we just generated.
+    let mapped = MappedSnapshot::open(&path).unwrap();
+    let view = mapped.view().unwrap();
+    let snap = view.to_snapshot().unwrap();
+    assert_eq!(snap.graph, data.graph, "snapshot roundtrip must be lossless");
+    let graph = Arc::new(snap.graph);
+    let groups = Arc::new(snap.groups);
+    assert!(groups.len() >= 4, "fixture must provide several groups");
+
+    // Serial baseline, computed once up front.
+    let mut serial = Scorer::new(&graph);
+    let baseline: Vec<Vec<f64>> = groups
+        .iter()
+        .map(|g| ScoringFunction::ALL.iter().map(|&f| serial.score(f, g)).collect())
+        .collect();
+    let median = serial.median_degree();
+
+    // N threads, each with its own scorer over the one shared graph,
+    // scoring every group concurrently — half through the serial Scorer,
+    // half through the ParallelScorer batch path the server uses.
+    let tables: Vec<Vec<Vec<f64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let graph = Arc::clone(&graph);
+                let groups = Arc::clone(&groups);
+                scope.spawn(move || if t % 2 == 0 {
+                    let mut scorer = Scorer::new(&graph);
+                    groups
+                        .iter()
+                        .map(|g| ScoringFunction::ALL.iter().map(|&f| scorer.score(f, g)).collect())
+                        .collect()
+                } else {
+                    let scorer = ParallelScorer::with_graph_median(&graph, median, 2);
+                    let stats = scorer.stats_batch(&groups);
+                    stats
+                        .iter()
+                        .map(|s| ScoringFunction::ALL.iter().map(|&f| f.score(s)).collect())
+                        .collect::<Vec<Vec<f64>>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, table) in tables.iter().enumerate() {
+        assert_eq!(table.len(), baseline.len());
+        for (g, (got, want)) in table.iter().zip(&baseline).enumerate() {
+            for (f, (&a, &b)) in got.iter().zip(want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "thread {t}, group {g}, {}: {a} != {b}",
+                    ScoringFunction::ALL[f].name()
+                );
+            }
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
+}

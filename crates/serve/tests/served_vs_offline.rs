@@ -1,0 +1,271 @@
+//! Served scores must be *bit-identical* to the offline scoring path —
+//! the acceptance property of the serve subsystem — under concurrent
+//! clients, with and without cache hits, and for the seeded baseline op.
+
+use circlekit_graph::VertexSet;
+use circlekit_sampling::size_matched_random_walk_sets_parallel_with_control;
+use circlekit_scoring::{Scorer, ScoringFunction};
+use circlekit_serve::{Client, SnapshotRegistry, ServeConfig, Server};
+use circlekit_synth::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn fixture() -> circlekit_synth::SynthDataset {
+    presets::google_plus()
+        .scaled(0.004)
+        .generate(&mut SmallRng::seed_from_u64(2014))
+}
+
+fn start_server(config: ServeConfig) -> (Server, circlekit_synth::SynthDataset) {
+    let data = fixture();
+    let mut registry = SnapshotRegistry::new();
+    registry
+        .insert("gplus", data.graph.clone(), data.groups.clone())
+        .unwrap();
+    let server = Server::start(registry, config, ("127.0.0.1", 0)).unwrap();
+    (server, data)
+}
+
+#[test]
+fn served_group_scores_match_offline_scorer_bit_for_bit() {
+    let (server, data) = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut offline = Scorer::new(&data.graph);
+    let mut client = Client::connect(addr).unwrap();
+    for (g, group) in data.groups.iter().enumerate().take(12) {
+        let response = client.score_group("gplus", g, Some("all"), None).unwrap();
+        let served = Client::scores_of(&response).unwrap();
+        assert_eq!(served.len(), ScoringFunction::ALL.len());
+        for (f, &function) in ScoringFunction::ALL.iter().enumerate() {
+            let expected = offline.score(function, group);
+            assert_eq!(
+                served[f].to_bits(),
+                expected.to_bits(),
+                "group {g}, function {}",
+                function.name()
+            );
+        }
+    }
+    server.shutdown_handle().trigger();
+    server.join();
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let config = ServeConfig { workers: 4, ..ServeConfig::default() };
+    let (server, data) = start_server(config);
+    let addr = server.local_addr();
+    let groups = data.groups.len().min(8);
+
+    // 8 clients race over the same groups; every response must equal the
+    // serial offline scorer's answer exactly.
+    let transcripts: Vec<Vec<Vec<f64>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    (0..groups)
+                        .map(|g| {
+                            let response =
+                                client.score_group("gplus", g, Some("paper"), None).unwrap();
+                            Client::scores_of(&response).unwrap()
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut offline = Scorer::new(&data.graph);
+    for (g, group) in data.groups.iter().enumerate().take(groups) {
+        let expected: Vec<u64> = ScoringFunction::PAPER
+            .iter()
+            .map(|&f| offline.score(f, group).to_bits())
+            .collect();
+        for (c, transcript) in transcripts.iter().enumerate() {
+            let got: Vec<u64> = transcript[g].iter().map(|s| s.to_bits()).collect();
+            assert_eq!(got, expected, "client {c}, group {g}");
+        }
+    }
+    server.shutdown_handle().trigger();
+    server.join();
+}
+
+#[test]
+fn cache_replays_scores_bit_exactly_and_reports_hits() {
+    let (server, _data) = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let first = client.score_group("gplus", 0, Some("paper"), None).unwrap();
+    let second = client.score_group("gplus", 0, Some("paper"), None).unwrap();
+    let cold = Client::scores_of(&first).unwrap();
+    let warm = Client::scores_of(&second).unwrap();
+    let bits = |v: &[f64]| v.iter().map(|s| s.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&cold), bits(&warm));
+    let cached_flag = |v: &serde_json::Value| {
+        matches!(
+            circlekit_serve::protocol::wire::get(v, "cached"),
+            Some(serde_json::Value::Bool(true))
+        )
+    };
+    assert!(!cached_flag(&first), "first hit must be a miss");
+    assert!(cached_flag(&second), "second hit must come from the cache");
+
+    // The ad-hoc set path shares the cache via the set digest: scoring
+    // the same members as score_set also hits.
+    let stats = client.stats().unwrap();
+    let hits_before = match circlekit_serve::protocol::wire::get(&stats, "cache_hits") {
+        Some(serde_json::Value::UInt(h)) => *h,
+        other => panic!("cache_hits missing: {other:?}"),
+    };
+    assert!(hits_before >= 4, "one full 4-function hit, got {hits_before}");
+
+    server.shutdown_handle().trigger();
+    let final_stats = server.join();
+    assert!(final_stats.cache.hits >= 4);
+    assert!(final_stats.ok_responses >= 3);
+}
+
+#[test]
+fn score_set_matches_offline_for_ad_hoc_members() {
+    let (server, data) = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    let members: Vec<u32> = (0..data.graph.node_count() as u32).step_by(7).collect();
+    let response = client.score_set("gplus", &members, Some("all"), None).unwrap();
+    let served = Client::scores_of(&response).unwrap();
+    let set = VertexSet::from_vec(members);
+    let mut offline = Scorer::new(&data.graph);
+    for (f, &function) in ScoringFunction::ALL.iter().enumerate() {
+        assert_eq!(
+            served[f].to_bits(),
+            offline.score(function, &set).to_bits(),
+            "{}",
+            function.name()
+        );
+    }
+    server.shutdown_handle().trigger();
+    server.join();
+}
+
+#[test]
+fn baseline_is_deterministic_and_matches_offline_sampling() {
+    let (server, data) = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut a = Client::connect(addr).unwrap();
+    let mut b = Client::connect(addr).unwrap();
+
+    let first = a.baseline("gplus", 1, 6, 77).unwrap();
+    let second = b.baseline("gplus", 1, 6, 77).unwrap();
+    assert_eq!(
+        first.to_string(),
+        second.to_string(),
+        "same (group, samples, seed) must serve the same bytes"
+    );
+
+    // Reproduce the baseline means offline: seeded size-matched walks
+    // scored with the same functions, averaged in walk order.
+    let group = &data.groups[1];
+    let sizes = vec![group.len(); 6];
+    let control = circlekit_graph::RunControl::new();
+    let walks = size_matched_random_walk_sets_parallel_with_control(
+        &data.graph,
+        &sizes,
+        77,
+        circlekit_scoring::default_threads(),
+        &control,
+    )
+    .unwrap();
+    let mut offline = Scorer::new(&data.graph);
+    let expected: Vec<f64> = ScoringFunction::PAPER
+        .iter()
+        .map(|&f| {
+            let sum: f64 = walks.iter().map(|w| offline.score(f, w)).sum();
+            sum / 6.0
+        })
+        .collect();
+    let served = circlekit_serve::protocol::wire::get_scores(&first, "baseline_means").unwrap();
+    for (i, (&got, &want)) in served.iter().zip(&expected).enumerate() {
+        assert_eq!(got.to_bits(), want.to_bits(), "baseline mean {i}");
+    }
+
+    server.shutdown_handle().trigger();
+    server.join();
+}
+
+#[test]
+fn listings_describe_the_registry() {
+    let (server, data) = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+
+    let health = client.health().unwrap();
+    assert!(health.to_string().contains("\"serving\""));
+
+    let snaps = client.list_snapshots().unwrap();
+    let rendered = snaps.to_string();
+    assert!(rendered.contains("\"gplus\""), "{rendered}");
+    assert!(
+        rendered.contains(&format!("\"nodes\":{}", data.graph.node_count())),
+        "{rendered}"
+    );
+
+    let groups = client.list_groups("gplus").unwrap();
+    let rendered = groups.to_string();
+    assert!(
+        rendered.contains(&format!("\"groups\":{}", data.groups.len())),
+        "{rendered}"
+    );
+
+    server.shutdown_handle().trigger();
+    server.join();
+}
+
+#[test]
+fn shutdown_drains_queued_work_before_exit() {
+    let config = ServeConfig { workers: 1, ..ServeConfig::default() };
+    let (server, _data) = start_server(config);
+    let addr = server.local_addr();
+    let handle = server.shutdown_handle();
+
+    // Queue several requests from parallel clients, trigger shutdown
+    // while they are in flight, and require every one of them to be
+    // answered (ok or a typed shutting-down refusal — never a hang or a
+    // dropped connection mid-response).
+    let outcomes: Vec<bool> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..6)
+            .map(|i| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    match client.score_group("gplus", i % 3, None, None) {
+                        Ok(_) => true,
+                        Err(e) => {
+                            // A request that raced shutdown may be refused
+                            // with the typed kind, or — if the connection
+                            // never left the accept backlog — see a
+                            // transport-level close. Anything else (a
+                            // malformed response, a wrong error kind) is a
+                            // bug.
+                            let acceptable = e.is_kind(circlekit_serve::ErrorKind::ShuttingDown)
+                                || matches!(
+                                    e,
+                                    circlekit_serve::ClientError::Io(_)
+                                        | circlekit_serve::ClientError::Frame(_)
+                                );
+                            assert!(acceptable, "unexpected failure: {e}");
+                            false
+                        }
+                    }
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        handle.trigger();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    assert!(!outcomes.is_empty());
+    let stats = server.join();
+    assert_eq!(stats.ok_responses + stats.error_responses, stats.requests);
+}
