@@ -1,0 +1,168 @@
+//! Incremental score maintenance vs full rescore.
+//!
+//! The live subsystem exists so a mutation does not force a from-scratch
+//! `score_table` pass: per-group aggregates are maintained in lock-step
+//! with each mutation, and the paper's four scores are read back in O(1)
+//! per group. This bench measures, at several graph sizes —
+//!
+//! * `incremental_apply`  one in-memory mutation (edge toggle) through
+//!   [`LiveSnapshot::apply`], aggregates maintained for every group,
+//!   plus one O(1) score read
+//! * `wal_apply`          the same mutation committed durably: CKW1
+//!   append + fsync per batch
+//! * `full_rescore`       what the offline path pays instead: a fresh
+//!   [`Scorer`] (median-degree precompute) and a full PAPER
+//!   `score_table` over every group of the materialized graph
+//!
+//! — and writes the medians to `BENCH_live.json` at the repo root so the
+//! per-mutation speedup is tracked as a number, not a claim.
+
+use circlekit::graph::VertexSet;
+use circlekit::live::{wal_path_for, LiveSnapshot, Mutation};
+use circlekit::scoring::{Scorer, ScoringFunction};
+use circlekit::store::save_snapshot;
+use circlekit::synth::presets;
+use criterion::{black_box, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fs;
+use std::path::Path;
+use std::time::Instant;
+
+const SCALES: [f64; 3] = [0.01, 0.02, 0.04];
+
+struct Fixture {
+    live: LiveSnapshot,
+    groups: Vec<VertexSet>,
+    nodes: usize,
+    edges: usize,
+    /// The two appended vertices whose edge the bench toggles: every
+    /// timed apply is valid regardless of the generated topology.
+    toggle: (u32, u32),
+    present: bool,
+}
+
+fn build_fixture(scale: f64) -> Fixture {
+    let dataset =
+        presets::google_plus().scaled(scale).generate(&mut SmallRng::seed_from_u64(2014));
+    let nodes = dataset.graph.node_count();
+    let edges = dataset.graph.edge_count();
+    let mut live = LiveSnapshot::in_memory(dataset.graph, dataset.groups.clone());
+    live.apply(&[Mutation::AddVertex, Mutation::AddVertex]).expect("in-memory apply");
+    Fixture {
+        live,
+        groups: dataset.groups,
+        nodes,
+        edges,
+        toggle: (nodes as u32, nodes as u32 + 1),
+        present: false,
+    }
+}
+
+impl Fixture {
+    /// Applies one always-valid mutation and reads one group's scores.
+    fn step(&mut self) {
+        let (u, v) = self.toggle;
+        let m = if self.present {
+            Mutation::RemoveEdge { u, v }
+        } else {
+            Mutation::AddEdge { u, v }
+        };
+        let outcome = self.live.apply(&[m]).expect("apply succeeds");
+        assert_eq!(outcome.applied, 1);
+        self.present = !self.present;
+        black_box(self.live.paper_scores(0));
+    }
+}
+
+/// The same edge toggle against an on-disk snapshot, so every apply pays
+/// the CKW1 append + fsync.
+fn build_durable_fixture(scale: f64, dir: &Path) -> Fixture {
+    let dataset =
+        presets::google_plus().scaled(scale).generate(&mut SmallRng::seed_from_u64(2014));
+    let path = dir.join(format!("live_mutation_{scale}.cks"));
+    let _ = fs::remove_file(wal_path_for(&path));
+    save_snapshot(&path, &dataset.graph, &dataset.groups).expect("pack snapshot");
+    let mut live = LiveSnapshot::open(&path).expect("open snapshot");
+    live.apply(&[Mutation::AddVertex, Mutation::AddVertex]).expect("durable apply");
+    let nodes = dataset.graph.node_count();
+    Fixture {
+        live,
+        groups: dataset.groups,
+        nodes,
+        edges: dataset.graph.edge_count(),
+        toggle: (nodes as u32, nodes as u32 + 1),
+        present: false,
+    }
+}
+
+fn full_rescore(scorer_input: &circlekit::graph::Graph, groups: &[VertexSet]) {
+    let mut scorer = Scorer::new(scorer_input);
+    black_box(scorer.score_table(&ScoringFunction::PAPER, groups));
+}
+
+/// Median wall-clock nanoseconds per call over `samples` timed calls.
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    f(); // untimed warm-up
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join("circlekit-bench-live");
+    fs::create_dir_all(&dir).expect("create temp dir");
+    let mut criterion = Criterion::default();
+    let mut rows = Vec::new();
+
+    for &scale in &SCALES {
+        let mut group = criterion.benchmark_group(&format!("live_mutation/{scale}"));
+        group.sample_size(10);
+        let mut fx = build_fixture(scale);
+        group.bench_function("incremental_apply", |b| b.iter(|| fx.step()));
+        let graph = fx.live.materialize();
+        group.bench_function("full_rescore", |b| b.iter(|| full_rescore(&graph, &fx.groups)));
+        group.finish();
+
+        // The compact measurement pass that feeds BENCH_live.json (the
+        // vendored criterion stand-in prints but does not export).
+        let incremental = median_ns(301, || fx.step());
+        let mut durable = build_durable_fixture(scale, &dir);
+        let wal = median_ns(101, || durable.step());
+        let full = median_ns(11, || full_rescore(&graph, &fx.groups));
+        rows.push(serde_json::Value::Map(vec![
+            ("preset".to_string(), serde_json::json!("google+")),
+            ("scale".to_string(), serde_json::json!(scale)),
+            ("nodes".to_string(), serde_json::json!(fx.nodes)),
+            ("edges".to_string(), serde_json::json!(fx.edges)),
+            ("groups".to_string(), serde_json::json!(fx.groups.len())),
+            (
+                "median_ns".to_string(),
+                serde_json::Value::Map(vec![
+                    ("incremental_apply".to_string(), serde_json::json!(incremental)),
+                    ("wal_apply".to_string(), serde_json::json!(wal)),
+                    ("full_rescore".to_string(), serde_json::json!(full)),
+                ]),
+            ),
+            (
+                "speedup_incremental_vs_full".to_string(),
+                serde_json::json!(full as f64 / incremental.max(1) as f64),
+            ),
+        ]));
+    }
+
+    let report = serde_json::Value::Map(vec![
+        ("bench".to_string(), serde_json::json!("live_mutation")),
+        ("rows".to_string(), serde_json::Value::Seq(rows)),
+    ]);
+    let json = serde_json::to_string(&report).expect("report serialises");
+    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_live.json");
+    fs::write(&out_path, json + "\n").expect("write BENCH_live.json");
+    println!("wrote {}", out_path.display());
+}

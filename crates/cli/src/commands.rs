@@ -7,6 +7,7 @@ use circlekit::graph::{
     parse_edge_list_with_policy, parse_groups_with_policy, write_edge_list, write_groups, Graph,
     IngestPolicy, VertexSet,
 };
+use circlekit::live::{wal_path_for, CrashPoint, LiveSnapshot, Mutation};
 use circlekit::metrics::{DegreeKind, DegreeStats};
 use circlekit::render::render_score_table;
 use circlekit::scoring::{parse_thread_count, Scorer, ScoringFunction};
@@ -32,6 +33,7 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "detect" => detect(rest),
         "pack" => pack(rest),
         "inspect" => inspect(rest),
+        "live" => live_cmd(rest),
         "serve" => serve(rest),
         "query" => query(rest),
         "--help" | "-h" | "help" => Ok(usage()),
@@ -47,14 +49,20 @@ fn usage() -> String {
      circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]\n  \
      circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n  \
      circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks [--force]\n  \
-     circlekit inspect      --snapshot FILE.cks\n  \
+     circlekit inspect      --snapshot FILE.cks [--json]\n  \
+     circlekit live apply   --snapshot FILE.cks --script FILE\n  \
+     circlekit live scores  --snapshot FILE.cks\n  \
+     circlekit live compact --snapshot FILE.cks [--crash-point tmp-written|renamed]\n  \
      circlekit serve        --snapshot FILE.cks [--snapshot FILE2.cks ...] [--listen ADDR]\n                         \
      [--threads N] [--workers N] [--queue N] [--batch N] [--cache N]\n  \
      circlekit query        --addr HOST:PORT <health|stats|list-snapshots|shutdown>\n  \
      circlekit query        --addr HOST:PORT <list-groups|score-table> --snapshot ID [--all]\n  \
      circlekit query        --addr HOST:PORT score-group --snapshot ID --group N [--all] [--deadline-ms N]\n  \
      circlekit query        --addr HOST:PORT score-set   --snapshot ID --members 0,1,2 [--all]\n  \
-     circlekit query        --addr HOST:PORT baseline    --snapshot ID --group N [--samples N] [--seed N]\n\
+     circlekit query        --addr HOST:PORT baseline    --snapshot ID --group N [--samples N] [--seed N]\n  \
+     circlekit query        --addr HOST:PORT apply-mutations --snapshot ID --script FILE\n  \
+     circlekit query        --addr HOST:PORT watch-scores    --snapshot ID --group N\n  \
+     circlekit query        --addr HOST:PORT compact         --snapshot ID\n\
      \n\
      every --edges argument may be a text edge list or a CKS1 binary\n  \
      snapshot (detected by magic); snapshots carry their own directedness\n  \
@@ -410,12 +418,47 @@ fn pack(args: &[String]) -> Result<String, String> {
 }
 
 fn inspect(args: &[String]) -> Result<String, String> {
-    let flags = Flags::parse(args, &[])?;
+    let flags = Flags::parse(args, &["json"])?;
     let path = flags.required("snapshot")?;
     let mapped = MappedSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
     let (header, sections) =
         section_infos(mapped.bytes()).map_err(|e| format!("{path}: {e}"))?;
     let view = mapped.view().map_err(|e| format!("{path}: {e}"))?;
+
+    if flags.has("json") {
+        use serde_json::Value;
+        let field = |k: &str, v: Value| (k.to_string(), v);
+        let payload = Value::Map(vec![
+            field("path", Value::Str(path.to_string())),
+            field("format", Value::Str("CKS1".to_string())),
+            field("version", Value::UInt(circlekit::store::VERSION as u64)),
+            field("bytes", Value::UInt(mapped.bytes().len() as u64)),
+            field("flags", Value::UInt(header.flags as u64)),
+            field("directed", Value::Bool(header.directed())),
+            field("nodes", Value::UInt(view.node_count() as u64)),
+            field("edges", Value::UInt(view.edge_count() as u64)),
+            field("arcs", Value::UInt(view.arc_count() as u64)),
+            field("groups", Value::UInt(view.group_count() as u64)),
+            field("memberships", Value::UInt(view.member_count() as u64)),
+            field("wal", Value::Bool(wal_path_for(path.as_ref()).exists())),
+            field(
+                "sections",
+                Value::Seq(
+                    sections
+                        .iter()
+                        .map(|s| {
+                            Value::Map(vec![
+                                field("name", Value::Str(s.name.to_string())),
+                                field("bytes", Value::UInt(s.bytes)),
+                                field("crc32", Value::UInt(s.checksum as u64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        return Ok(format!("{payload}\n"));
+    }
 
     let mut out = String::new();
     let _ = writeln!(out, "{path}: CKS1 snapshot, {} bytes", mapped.bytes().len());
@@ -455,6 +498,88 @@ fn inspect(args: &[String]) -> Result<String, String> {
         );
     }
     Ok(out)
+}
+
+/// Reads a mutation script: one mutation per line in the text form of
+/// [`Mutation::parse_line`]; `#` comments and blank lines are skipped.
+fn read_mutation_script(path: &str) -> Result<Vec<Mutation>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut mutations = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if let Some(m) =
+            Mutation::parse_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?
+        {
+            mutations.push(m);
+        }
+    }
+    if mutations.is_empty() {
+        return Err(format!("{path}: no mutations in script"));
+    }
+    Ok(mutations)
+}
+
+/// `live` — offline mutation of a CKS1 snapshot through its CKW1 WAL:
+/// `apply` commits a script durably, `scores` renders the paper's four
+/// scores from the incrementally maintained aggregates (byte-identical
+/// to `score` on the compacted snapshot), `compact` folds the WAL back
+/// into the snapshot file.
+fn live_cmd(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &[])?;
+    let op = *flags
+        .positional
+        .first()
+        .ok_or("live needs an op (apply|scores|compact)")?;
+    let path = flags.required("snapshot")?;
+    match op {
+        "apply" => {
+            let mutations = read_mutation_script(flags.required("script")?)?;
+            let mut live = LiveSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let replayed = live.replayed_records();
+            let outcome = live.apply(&mutations).map_err(|e| format!("{path}: {e}"))?;
+            if let Some((index, error)) = outcome.rejected {
+                // The applied prefix is already durable in the WAL;
+                // report it so a re-run can resume past it.
+                return Err(format!(
+                    "applied {} of {} mutations, then rejected {:?}: {error}",
+                    outcome.applied,
+                    mutations.len(),
+                    mutations[index].to_line(),
+                ));
+            }
+            Ok(format!(
+                "applied {} mutations ({} replayed on open); WAL now holds {} records\n",
+                outcome.applied,
+                replayed,
+                live.wal_records(),
+            ))
+        }
+        "scores" => {
+            let live = LiveSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let sizes: Vec<usize> = live.groups().iter().map(VertexSet::len).collect();
+            let rows: Vec<Vec<f64>> = (0..live.groups().len())
+                .map(|g| {
+                    let scores = live.paper_scores(g).expect("group index in range");
+                    scores.iter().map(|&(_, s)| s).collect()
+                })
+                .collect();
+            Ok(render_score_table(&ScoringFunction::PAPER, &sizes, &rows))
+        }
+        "compact" => {
+            let crash_point = flags
+                .get("crash-point")
+                .map(|name| {
+                    CrashPoint::from_name(name)
+                        .ok_or_else(|| format!("bad --crash-point {name:?} (tmp-written|renamed)"))
+                })
+                .transpose()?;
+            let mut live = LiveSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
+            let folded = live.wal_records();
+            live.compact_with_crash_point(crash_point)
+                .map_err(|e| format!("{path}: {e}"))?;
+            Ok(format!("folded {folded} WAL records into {path}\n"))
+        }
+        other => Err(format!("unknown live op {other:?} (apply|scores|compact)")),
+    }
 }
 
 /// Starts the scoring daemon and blocks until it drains (SIGINT or a
@@ -537,6 +662,18 @@ fn query(args: &[String]) -> Result<String, String> {
             flags.parse_value("samples", circlekit_serve::DEFAULT_BASELINE_SAMPLES)?,
             flags.parse_value("seed", 2014)?,
         ),
+        "apply-mutations" => {
+            let mutations = read_mutation_script(flags.required("script")?)?;
+            client.apply_mutations(flags.required("snapshot")?, &mutations)
+        }
+        "watch-scores" => {
+            let group: usize = flags
+                .required("group")?
+                .parse()
+                .map_err(|_| "bad --group value".to_string())?;
+            client.watch_scores(flags.required("snapshot")?, group)
+        }
+        "compact" => client.compact(flags.required("snapshot")?),
         "score-table" => return query_score_table(&mut client, &flags, functions),
         other => return Err(format!("unknown query op {other:?}")),
     };
@@ -830,6 +967,160 @@ mod tests {
         assert!(out.contains("group-members"), "{out}");
         assert!(out.contains("vertices          3"), "{out}");
         assert!(out.contains("groups            2"), "{out}");
+    }
+
+    #[test]
+    fn inspect_json_reports_header_sections_and_crcs() {
+        let edges = tmp("ij.edges");
+        let groups = tmp("ij.circles");
+        let snap = tmp("ij.cks");
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        fs::write(&groups, "c0\t0 1\nc1\t1 2\n").unwrap();
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+        let out = dispatch(&args(&["inspect", "--snapshot", &snap, "--json"]))
+            .expect("inspect --json succeeds");
+        let value: serde_json::Value = serde_json::from_str(out.trim()).expect("valid JSON");
+        let get = |k| circlekit_serve::protocol::wire::get(&value, k);
+        assert_eq!(get("format"), Some(&serde_json::Value::Str("CKS1".to_string())));
+        assert_eq!(get("version"), Some(&serde_json::Value::UInt(1)));
+        assert_eq!(get("directed"), Some(&serde_json::Value::Bool(true)));
+        assert_eq!(get("nodes"), Some(&serde_json::Value::UInt(3)));
+        assert_eq!(get("groups"), Some(&serde_json::Value::UInt(2)));
+        assert_eq!(get("wal"), Some(&serde_json::Value::Bool(false)));
+        let Some(serde_json::Value::Seq(sections)) = get("sections") else {
+            panic!("sections missing: {out}");
+        };
+        assert!(!sections.is_empty(), "{out}");
+        for section in sections {
+            for key in ["name", "bytes", "crc32"] {
+                assert!(
+                    circlekit_serve::protocol::wire::get(section, key).is_some(),
+                    "section lacks {key}: {out}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn live_apply_scores_compact_roundtrip_matches_offline_score() {
+        let edges = tmp("lv.edges");
+        let groups = tmp("lv.circles");
+        let snap = tmp("lv.cks");
+        let script = tmp("lv.script");
+        let _ = fs::remove_file(format!("{snap}.ckw"));
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        fs::write(&groups, "c0\t0 1 2\nc1\t0 1\n").unwrap();
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+        fs::write(&script, "# grow the graph\nadd-vertex\n\nadd-edge 3 0\nadd-member 1 3\n")
+            .unwrap();
+
+        let out = dispatch(&args(&["live", "apply", "--snapshot", &snap, "--script", &script]))
+            .expect("apply succeeds");
+        assert!(out.contains("applied 3 mutations"), "{out}");
+        let live_table = dispatch(&args(&["live", "scores", "--snapshot", &snap]))
+            .expect("live scores succeeds");
+        let inspected = dispatch(&args(&["inspect", "--snapshot", &snap, "--json"]))
+            .expect("inspect succeeds");
+        assert!(inspected.contains("\"wal\":true"), "{inspected}");
+
+        let out = dispatch(&args(&["live", "compact", "--snapshot", &snap]))
+            .expect("compact succeeds");
+        assert!(out.contains("folded 3 WAL records"), "{out}");
+        let inspected = dispatch(&args(&["inspect", "--snapshot", &snap, "--json"]))
+            .expect("inspect succeeds");
+        assert!(inspected.contains("\"wal\":false"), "{inspected}");
+        assert!(inspected.contains("\"nodes\":4"), "{inspected}");
+
+        // The aggregate-backed table is byte-identical to the offline
+        // scorer over the compacted snapshot — and stable across the
+        // compaction itself.
+        let offline = dispatch(&args(&["score", "--edges", &snap])).expect("score succeeds");
+        assert_eq!(live_table, offline);
+        let recompacted = dispatch(&args(&["live", "scores", "--snapshot", &snap]))
+            .expect("live scores succeeds");
+        assert_eq!(live_table, recompacted);
+    }
+
+    #[test]
+    fn live_apply_reports_rejections_after_the_durable_prefix() {
+        let edges = tmp("lr.edges");
+        let snap = tmp("lr.cks");
+        let script = tmp("lr.script");
+        let _ = fs::remove_file(format!("{snap}.ckw"));
+        fs::write(&edges, "0 1\n1 2\n").unwrap();
+        dispatch(&args(&["pack", "--edges", &edges, "--out", &snap])).expect("pack succeeds");
+        fs::write(&script, "add-vertex\nadd-edge 0 1\n").unwrap();
+        let err = dispatch(&args(&["live", "apply", "--snapshot", &snap, "--script", &script]))
+            .unwrap_err();
+        assert!(err.contains("applied 1 of 2"), "{err}");
+        assert!(err.contains("already exists"), "{err}");
+        // Malformed scripts and bad crash points are named precisely.
+        fs::write(&script, "add-edge 1\n").unwrap();
+        let err = dispatch(&args(&["live", "apply", "--snapshot", &snap, "--script", &script]))
+            .unwrap_err();
+        assert!(err.contains(":1:"), "{err}");
+        let err = dispatch(&args(&[
+            "live", "compact", "--snapshot", &snap, "--crash-point", "never",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--crash-point"), "{err}");
+    }
+
+    #[test]
+    fn query_live_mutation_ops_roundtrip() {
+        let edges = tmp("qm.edges");
+        let groups = tmp("qm.circles");
+        let snap = tmp("qm.cks");
+        let script = tmp("qm.script");
+        let _ = fs::remove_file(format!("{snap}.ckw"));
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        fs::write(&groups, "c0\t0 1 2\n").unwrap();
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+        fs::write(&script, "add-vertex\nadd-edge 3 0\n").unwrap();
+
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let server = {
+            let snap = snap.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                dispatch(&args(&["serve", "--snapshot", &snap, "--listen", &addr]))
+            })
+        };
+
+        let applied = dispatch(&args(&[
+            "query", "--addr", &addr, "apply-mutations", "--snapshot", "qm",
+            "--script", &script,
+        ]))
+        .expect("apply-mutations succeeds");
+        assert!(applied.contains("\"applied\":2"), "{applied}");
+        let watched = dispatch(&args(&[
+            "query", "--addr", &addr, "watch-scores", "--snapshot", "qm", "--group", "0",
+        ]))
+        .expect("watch-scores succeeds");
+        assert!(watched.contains("\"scores\":["), "{watched}");
+        assert!(watched.contains("\"version\":1"), "{watched}");
+        let compacted = dispatch(&args(&[
+            "query", "--addr", &addr, "compact", "--snapshot", "qm",
+        ]))
+        .expect("compact succeeds");
+        assert!(compacted.contains("\"folded_records\":2"), "{compacted}");
+        assert!(!std::path::Path::new(&format!("{snap}.ckw")).exists());
+
+        dispatch(&args(&["query", "--addr", &addr, "shutdown"])).expect("shutdown succeeds");
+        server.join().unwrap().expect("serve exits cleanly");
     }
 
     #[test]

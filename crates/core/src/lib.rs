@@ -41,6 +41,7 @@
 //! | [`synth`] | `circlekit-synth` | synthetic corpora |
 //! | [`detect`] | `circlekit-detect` | LPA / circle-detection baselines |
 //! | [`store`] | `circlekit-store` | CKS1 binary snapshots, zero-copy loads |
+//! | [`live`] | `circlekit-live` | WAL-backed mutations, incremental scores |
 //! | [`experiments`] | this crate | one driver per table/figure |
 
 #![forbid(unsafe_code)]
@@ -48,6 +49,7 @@
 
 pub use circlekit_detect as detect;
 pub use circlekit_graph as graph;
+pub use circlekit_live as live;
 pub use circlekit_metrics as metrics;
 pub use circlekit_nullmodel as nullmodel;
 pub use circlekit_sampling as sampling;

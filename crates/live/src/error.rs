@@ -1,0 +1,242 @@
+//! Typed failure modes of the live mutation layer.
+
+use circlekit_store::StoreError;
+use std::fmt;
+use std::io;
+
+/// Why a single [`Mutation`](crate::Mutation) was rejected.
+///
+/// Rejection is stateless: nothing is applied and nothing is logged for
+/// the failing mutation, so the in-memory state and the WAL stay
+/// consistent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationError {
+    /// The edge to add is already present.
+    EdgeExists {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+    },
+    /// The edge to remove is not present.
+    EdgeMissing {
+        /// Source endpoint.
+        u: u32,
+        /// Target endpoint.
+        v: u32,
+    },
+    /// Self-loops are dropped at ingestion and cannot be added live.
+    SelfLoop {
+        /// The offending node.
+        node: u32,
+    },
+    /// An endpoint or member is not a node of the graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: u32,
+        /// Current number of nodes.
+        node_count: usize,
+    },
+    /// The group index does not name a registered group.
+    GroupOutOfRange {
+        /// The offending group index.
+        group: u32,
+        /// Current number of groups.
+        group_count: usize,
+    },
+    /// The node is already a member of the group.
+    AlreadyMember {
+        /// Group index.
+        group: u32,
+        /// Node id.
+        node: u32,
+    },
+    /// The node is not a member of the group.
+    NotMember {
+        /// Group index.
+        group: u32,
+        /// Node id.
+        node: u32,
+    },
+}
+
+impl fmt::Display for MutationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MutationError::EdgeExists { u, v } => {
+                write!(f, "edge {u} -> {v} already exists")
+            }
+            MutationError::EdgeMissing { u, v } => {
+                write!(f, "edge {u} -> {v} does not exist")
+            }
+            MutationError::SelfLoop { node } => {
+                write!(f, "self-loop on node {node} is not representable")
+            }
+            MutationError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            MutationError::GroupOutOfRange { group, group_count } => {
+                write!(f, "group {group} out of range ({group_count} groups registered)")
+            }
+            MutationError::AlreadyMember { group, node } => {
+                write!(f, "node {node} is already a member of group {group}")
+            }
+            MutationError::NotMember { group, node } => {
+                write!(f, "node {node} is not a member of group {group}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MutationError {}
+
+/// Everything that can go wrong opening, replaying, appending to or
+/// compacting a live snapshot.
+#[derive(Debug)]
+pub enum LiveError {
+    /// An underlying I/O failure.
+    Io(io::Error),
+    /// The WAL file is shorter than its fixed-size header.
+    WalTooShort {
+        /// Actual length in bytes.
+        len: u64,
+    },
+    /// The WAL does not start with the `CKW1` magic.
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The WAL header declares an unsupported format version.
+    UnsupportedVersion {
+        /// The declared version.
+        version: u16,
+    },
+    /// The WAL header carries flag bits this implementation does not know.
+    UnknownFlags {
+        /// The declared flags.
+        flags: u16,
+    },
+    /// The WAL header checksum does not match its contents.
+    HeaderChecksum {
+        /// Stored checksum.
+        stored: u32,
+        /// Recomputed checksum.
+        computed: u32,
+    },
+    /// A complete record frame failed its CRC check — corruption, not a
+    /// torn tail (torn tails are silently discarded on replay).
+    RecordChecksum {
+        /// Byte offset of the corrupt frame.
+        offset: u64,
+    },
+    /// A record carries an opcode this implementation does not know.
+    UnknownOpcode {
+        /// The opcode byte.
+        opcode: u8,
+        /// Byte offset of the frame.
+        offset: u64,
+    },
+    /// A record payload is shorter than its opcode requires.
+    ShortRecord {
+        /// The opcode byte.
+        opcode: u8,
+        /// Byte offset of the frame.
+        offset: u64,
+    },
+    /// The WAL was written against a different snapshot file (its
+    /// `base_crc32` does not match the snapshot on disk). A stale WAL is
+    /// left behind when a crash lands after compaction has renamed the
+    /// new snapshot into place but before the old WAL was unlinked; it
+    /// is already folded in and safe to discard.
+    StaleWal {
+        /// CRC the WAL expects the snapshot file to have.
+        expected: u32,
+        /// CRC of the snapshot file found on disk.
+        found: u32,
+    },
+    /// A WAL record replayed against the snapshot was rejected — the
+    /// log and the snapshot disagree, which only corruption can cause
+    /// (committed records were validated before being written).
+    ReplayRejected {
+        /// Index of the record within the WAL.
+        record: usize,
+        /// The underlying rejection.
+        error: MutationError,
+    },
+    /// A mutation was rejected (apply-time validation).
+    Mutation(MutationError),
+    /// A snapshot read or write failed.
+    Store(StoreError),
+}
+
+impl fmt::Display for LiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiveError::Io(e) => write!(f, "I/O error: {e}"),
+            LiveError::WalTooShort { len } => {
+                write!(f, "WAL truncated: {len} bytes is shorter than the 32-byte header")
+            }
+            LiveError::BadMagic { found } => {
+                write!(f, "not a CKW1 write-ahead log (magic {found:02x?})")
+            }
+            LiveError::UnsupportedVersion { version } => {
+                write!(f, "unsupported CKW1 version {version}")
+            }
+            LiveError::UnknownFlags { flags } => {
+                write!(f, "unknown CKW1 flag bits {flags:#06x}")
+            }
+            LiveError::HeaderChecksum { stored, computed } => write!(
+                f,
+                "WAL header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            LiveError::RecordChecksum { offset } => {
+                write!(f, "WAL record checksum mismatch at byte {offset}")
+            }
+            LiveError::UnknownOpcode { opcode, offset } => {
+                write!(f, "unknown WAL opcode {opcode} at byte {offset}")
+            }
+            LiveError::ShortRecord { opcode, offset } => {
+                write!(f, "WAL record at byte {offset} too short for opcode {opcode}")
+            }
+            LiveError::StaleWal { expected, found } => write!(
+                f,
+                "stale WAL: written against snapshot crc {expected:#010x}, \
+                 found {found:#010x} on disk"
+            ),
+            LiveError::ReplayRejected { record, error } => {
+                write!(f, "WAL record {record} rejected on replay: {error}")
+            }
+            LiveError::Mutation(e) => write!(f, "mutation rejected: {e}"),
+            LiveError::Store(e) => write!(f, "snapshot error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LiveError::Io(e) => Some(e),
+            LiveError::Mutation(e) | LiveError::ReplayRejected { error: e, .. } => Some(e),
+            LiveError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LiveError {
+    fn from(e: io::Error) -> LiveError {
+        LiveError::Io(e)
+    }
+}
+
+impl From<MutationError> for LiveError {
+    fn from(e: MutationError) -> LiveError {
+        LiveError::Mutation(e)
+    }
+}
+
+impl From<StoreError> for LiveError {
+    fn from(e: StoreError) -> LiveError {
+        LiveError::Store(e)
+    }
+}

@@ -1,0 +1,742 @@
+//! [`LiveSnapshot`]: a snapshot plus overlay, aggregates and WAL.
+
+use crate::error::{LiveError, MutationError};
+use crate::mutation::Mutation;
+use crate::overlay::DeltaOverlay;
+use crate::wal::{read_wal, sync_parent_dir, WalHeader, WalWriter};
+use circlekit_graph::{Graph, NodeId, VertexSet};
+use circlekit_scoring::{ScoringFunction, SetStats};
+use circlekit_store::{crc32, decode_snapshot, write_snapshot};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// The per-group sufficient statistics maintained incrementally: exactly
+/// the [`SetStats`] fields the paper's four scoring functions read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Aggregate {
+    n_c: usize,
+    /// Internal edges (undirected) / arcs (directed), matching the
+    /// host-graph convention of [`SetStats`].
+    m_c: usize,
+    /// Boundary edges/arcs, each counted once.
+    c_c: usize,
+    out_degree_sum: usize,
+    in_degree_sum: usize,
+}
+
+impl Aggregate {
+    /// Computes the aggregate of `set` in `graph` from scratch — the same
+    /// single pass as [`SetStats::compute`], minus the fields the live
+    /// layer does not maintain.
+    fn compute(graph: &Graph, set: &VertexSet) -> Aggregate {
+        let mut internal_arcs = 0usize;
+        let mut c_c = 0usize;
+        let mut out_degree_sum = 0usize;
+        let mut in_degree_sum = 0usize;
+        for v in set.iter() {
+            for &w in graph.out_neighbors(v) {
+                if set.contains(w) {
+                    internal_arcs += 1;
+                } else {
+                    c_c += 1;
+                }
+            }
+            if graph.is_directed() {
+                for &w in graph.in_neighbors(v) {
+                    if set.contains(w) {
+                        internal_arcs += 1;
+                    } else {
+                        c_c += 1;
+                    }
+                }
+            }
+            out_degree_sum += graph.out_degree(v);
+            in_degree_sum += graph.in_degree(v);
+        }
+        debug_assert_eq!(internal_arcs % 2, 0);
+        Aggregate { n_c: set.len(), m_c: internal_arcs / 2, c_c, out_degree_sum, in_degree_sum }
+    }
+}
+
+/// Outcome of applying a batch of mutations: how many of them were
+/// applied (a prefix — application stops at the first rejection), and
+/// the rejection, if any, with its index in the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Number of leading mutations applied (and, for durable snapshots,
+    /// committed to the WAL).
+    pub applied: usize,
+    /// The first rejected mutation, as `(index_in_batch, error)`.
+    /// Everything before it is applied; everything after it is not.
+    pub rejected: Option<(usize, MutationError)>,
+}
+
+/// Where to simulate a crash inside [`LiveSnapshot::compact_with_crash_point`]
+/// — the process exits with status 137 (the SIGKILL status) at the chosen
+/// point, leaving the on-disk state exactly as a real kill would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After the compacted snapshot is written and fsync'd under its
+    /// temporary name, before the rename: the original snapshot and the
+    /// WAL are both intact.
+    TmpWritten,
+    /// After the rename of the compacted snapshot into place, before the
+    /// WAL is unlinked: the WAL is stale (its base CRC no longer matches).
+    Renamed,
+}
+
+impl CrashPoint {
+    /// Parses the `--crash-point` CLI value.
+    pub fn from_name(name: &str) -> Option<CrashPoint> {
+        match name {
+            "tmp-written" => Some(CrashPoint::TmpWritten),
+            "renamed" => Some(CrashPoint::Renamed),
+            _ => None,
+        }
+    }
+}
+
+/// A CKS1 snapshot opened for mutation: base graph + [`DeltaOverlay`] +
+/// mutable group memberships + per-group [`Aggregate`]s, all kept in
+/// lock-step by [`LiveSnapshot::apply`], with an optional CKW1 WAL
+/// making every committed batch durable.
+#[derive(Debug)]
+pub struct LiveSnapshot {
+    snapshot_path: Option<PathBuf>,
+    wal_path: Option<PathBuf>,
+    base: Graph,
+    /// CRC-32 of the snapshot file backing `base` (0 for in-memory).
+    base_crc: u32,
+    overlay: DeltaOverlay,
+    groups: Vec<VertexSet>,
+    aggs: Vec<Aggregate>,
+    wal: Option<WalWriter>,
+    wal_records: usize,
+    replayed: usize,
+    discarded_stale_wal: bool,
+}
+
+impl LiveSnapshot {
+    /// Opens the snapshot at `path` for mutation. If a WAL
+    /// (`<path>.ckw`) is present its committed records are replayed —
+    /// after a crash this restores the exact last-committed state — and
+    /// any torn tail is truncated away. A WAL whose base CRC does not
+    /// match the snapshot is stale (see [`CrashPoint::Renamed`]) and is
+    /// discarded.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot decode failures ([`LiveError::Store`]), WAL corruption
+    /// (typed per defect) and I/O errors.
+    pub fn open(path: impl AsRef<Path>) -> Result<LiveSnapshot, LiveError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)?;
+        let snap = decode_snapshot(&bytes)?;
+        let base_crc = crc32(&bytes);
+        let wal_path = wal_path_for(path);
+
+        let mut live = LiveSnapshot {
+            snapshot_path: Some(path.to_path_buf()),
+            wal_path: Some(wal_path.clone()),
+            base_crc,
+            overlay: DeltaOverlay::new(&snap.graph),
+            aggs: snap.groups.iter().map(|g| Aggregate::compute(&snap.graph, g)).collect(),
+            base: snap.graph,
+            groups: snap.groups,
+            wal: None,
+            wal_records: 0,
+            replayed: 0,
+            discarded_stale_wal: false,
+        };
+
+        if wal_path.exists() {
+            let scan = read_wal(&wal_path)?;
+            if scan.header.base_crc != base_crc {
+                // Compaction renamed the folded snapshot into place but
+                // died before unlinking the log: every record in it is
+                // already part of `base`.
+                std::fs::remove_file(&wal_path)?;
+                sync_parent_dir(&wal_path)?;
+                live.discarded_stale_wal = true;
+            } else {
+                for (i, m) in scan.records.iter().enumerate() {
+                    live.apply_unlogged(*m)
+                        .map_err(|error| LiveError::ReplayRejected { record: i, error })?;
+                }
+                live.replayed = scan.records.len();
+                live.wal_records = scan.records.len();
+                live.wal = Some(WalWriter::open_at(&wal_path, scan.valid_len)?);
+            }
+        }
+        Ok(live)
+    }
+
+    /// Wraps an already-loaded graph + groups without any backing file:
+    /// mutations are applied in memory only (no WAL, no compaction).
+    pub fn in_memory(graph: Graph, groups: Vec<VertexSet>) -> LiveSnapshot {
+        LiveSnapshot {
+            snapshot_path: None,
+            wal_path: None,
+            base_crc: 0,
+            overlay: DeltaOverlay::new(&graph),
+            aggs: groups.iter().map(|g| Aggregate::compute(&graph, g)).collect(),
+            base: graph,
+            groups,
+            wal: None,
+            wal_records: 0,
+            replayed: 0,
+            discarded_stale_wal: false,
+        }
+    }
+
+    /// Whether the composed graph is directed.
+    pub fn is_directed(&self) -> bool {
+        self.base.is_directed()
+    }
+
+    /// Nodes in the composed graph.
+    pub fn node_count(&self) -> usize {
+        self.overlay.node_count()
+    }
+
+    /// Edges (undirected) / arcs (directed) in the composed graph.
+    pub fn edge_count(&self) -> usize {
+        self.overlay.edge_count(&self.base)
+    }
+
+    /// The registered groups with all membership mutations applied.
+    pub fn groups(&self) -> &[VertexSet] {
+        &self.groups
+    }
+
+    /// The base graph the overlay composes over (the snapshot as loaded).
+    pub fn base(&self) -> &Graph {
+        &self.base
+    }
+
+    /// The delta overlay itself (read-only).
+    pub fn overlay(&self) -> &DeltaOverlay {
+        &self.overlay
+    }
+
+    /// Records replayed from the WAL when this snapshot was opened.
+    pub fn replayed_records(&self) -> usize {
+        self.replayed
+    }
+
+    /// Records currently committed in the WAL.
+    pub fn wal_records(&self) -> usize {
+        self.wal_records
+    }
+
+    /// Whether `open` found and discarded a stale WAL (left behind by a
+    /// crash between compaction's rename and WAL unlink).
+    pub fn discarded_stale_wal(&self) -> bool {
+        self.discarded_stale_wal
+    }
+
+    /// Applies a batch of mutations in order, stopping at the first
+    /// rejection. The applied prefix — and only it — is committed to the
+    /// WAL as one fsync'd batch before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Only I/O / WAL failures surface as `Err`; per-mutation rejections
+    /// are data, reported in [`ApplyOutcome::rejected`].
+    pub fn apply(&mut self, mutations: &[Mutation]) -> Result<ApplyOutcome, LiveError> {
+        let mut applied = 0usize;
+        let mut rejected = None;
+        for (i, m) in mutations.iter().enumerate() {
+            match self.apply_unlogged(*m) {
+                Ok(()) => applied += 1,
+                Err(e) => {
+                    rejected = Some((i, e));
+                    break;
+                }
+            }
+        }
+        if applied > 0 && self.wal_path.is_some() {
+            self.ensure_wal()?;
+            self.wal
+                .as_mut()
+                .expect("ensure_wal just opened it")
+                .append(&mutations[..applied])?;
+            self.wal_records += applied;
+        }
+        Ok(ApplyOutcome { applied, rejected })
+    }
+
+    fn ensure_wal(&mut self) -> Result<(), LiveError> {
+        if self.wal.is_none() {
+            let path = self.wal_path.as_ref().expect("caller checked wal_path");
+            let header = WalHeader {
+                directed: self.base.is_directed(),
+                base_crc: self.base_crc,
+                base_nodes: self.base.node_count() as u64,
+                base_edges: self.base.edge_count() as u64,
+            };
+            self.wal = Some(WalWriter::create(path, header)?);
+        }
+        Ok(())
+    }
+
+    /// Validates and applies one mutation to the overlay, groups and
+    /// aggregates, without logging. Rejection leaves every structure
+    /// untouched.
+    fn apply_unlogged(&mut self, m: Mutation) -> Result<(), MutationError> {
+        match m {
+            Mutation::AddEdge { u, v } => {
+                self.overlay.add_edge(&self.base, u, v)?;
+                self.edge_delta(u, v, true);
+            }
+            Mutation::RemoveEdge { u, v } => {
+                self.overlay.remove_edge(&self.base, u, v)?;
+                self.edge_delta(u, v, false);
+            }
+            Mutation::AddVertex => {
+                self.overlay.add_vertex();
+            }
+            Mutation::AddMember { group, node } => {
+                let g = self.check_group(group)?;
+                self.check_node(node)?;
+                if self.groups[g].contains(node) {
+                    return Err(MutationError::AlreadyMember { group, node });
+                }
+                // Membership effects are measured against the set
+                // *without* the node, so insert after scanning.
+                let (int_out, int_in, deg_out, deg_in) = self.membership_scan(g, node);
+                let agg = &mut self.aggs[g];
+                agg.n_c += 1;
+                agg.m_c += int_out + int_in;
+                agg.c_c = agg.c_c + (deg_out - int_out) + (deg_in - int_in) - (int_out + int_in);
+                if self.base.is_directed() {
+                    agg.out_degree_sum += deg_out;
+                    agg.in_degree_sum += deg_in;
+                } else {
+                    agg.out_degree_sum += deg_out;
+                    agg.in_degree_sum += deg_out;
+                }
+                self.groups[g].insert(node);
+            }
+            Mutation::RemoveMember { group, node } => {
+                let g = self.check_group(group)?;
+                if !self.groups[g].contains(node) {
+                    return Err(MutationError::NotMember { group, node });
+                }
+                // Remove first so the scan sees the set without the node —
+                // the exact inverse of AddMember.
+                self.groups[g].remove(node);
+                let (int_out, int_in, deg_out, deg_in) = self.membership_scan(g, node);
+                let agg = &mut self.aggs[g];
+                agg.n_c -= 1;
+                agg.m_c -= int_out + int_in;
+                agg.c_c = agg.c_c + (int_out + int_in) - (deg_out - int_out) - (deg_in - int_in);
+                if self.base.is_directed() {
+                    agg.out_degree_sum -= deg_out;
+                    agg.in_degree_sum -= deg_in;
+                } else {
+                    agg.out_degree_sum -= deg_out;
+                    agg.in_degree_sum -= deg_out;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Scans `node`'s adjacency in the composed graph against group `g`:
+    /// `(internal out-arcs, internal in-arcs, out-degree, in-degree)`.
+    /// For undirected graphs the `in` components are zero and `deg_out`
+    /// is the total degree — O(deg(node)).
+    fn membership_scan(&self, g: usize, node: NodeId) -> (usize, usize, usize, usize) {
+        let set = &self.groups[g];
+        let mut int_out = 0usize;
+        let mut deg_out = 0usize;
+        for w in self.overlay.out_neighbors(&self.base, node) {
+            deg_out += 1;
+            if set.contains(w) {
+                int_out += 1;
+            }
+        }
+        let (mut int_in, mut deg_in) = (0usize, 0usize);
+        if self.base.is_directed() {
+            for w in self.overlay.in_neighbors(&self.base, node) {
+                deg_in += 1;
+                if set.contains(w) {
+                    int_in += 1;
+                }
+            }
+        }
+        (int_out, int_in, deg_out, deg_in)
+    }
+
+    /// Aggregate updates for inserting (`insert = true`) or deleting the
+    /// edge `u -> v`, applied to every registered group — O(1) each.
+    fn edge_delta(&mut self, u: NodeId, v: NodeId, insert: bool) {
+        let directed = self.base.is_directed();
+        for (set, agg) in self.groups.iter().zip(self.aggs.iter_mut()) {
+            let u_in = set.contains(u);
+            let v_in = set.contains(v);
+            if !u_in && !v_in {
+                continue;
+            }
+            let (m_d, c_d) = if u_in && v_in { (1, 0) } else { (0, 1) };
+            let (out_d, in_d) = if directed {
+                (usize::from(u_in), usize::from(v_in))
+            } else {
+                // Undirected degree sums count total degree for both
+                // endpoints, on both the out and in side.
+                let both = usize::from(u_in) + usize::from(v_in);
+                (both, both)
+            };
+            if insert {
+                agg.m_c += m_d;
+                agg.c_c += c_d;
+                agg.out_degree_sum += out_d;
+                agg.in_degree_sum += in_d;
+            } else {
+                agg.m_c -= m_d;
+                agg.c_c -= c_d;
+                agg.out_degree_sum -= out_d;
+                agg.in_degree_sum -= in_d;
+            }
+        }
+    }
+
+    fn check_group(&self, group: u32) -> Result<usize, MutationError> {
+        let g = group as usize;
+        if g >= self.groups.len() {
+            return Err(MutationError::GroupOutOfRange { group, group_count: self.groups.len() });
+        }
+        Ok(g)
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), MutationError> {
+        if (node as usize) >= self.node_count() {
+            return Err(MutationError::NodeOutOfRange { node, node_count: self.node_count() });
+        }
+        Ok(())
+    }
+
+    /// The maintained statistics of group `group`, shaped as a
+    /// [`SetStats`]. Only the fields the paper's four functions read
+    /// (`n`, `m`, `directed`, `n_c`, `m_c`, `c_c` and the degree sums)
+    /// are populated; the rest are zero. Feeding this to
+    /// [`ScoringFunction::score`] for Average Degree, Ratio Cut,
+    /// Conductance or Modularity yields bits identical to a from-scratch
+    /// [`SetStats::compute`] on the materialized graph.
+    pub fn set_stats(&self, group: usize) -> Option<SetStats> {
+        let agg = self.aggs.get(group)?;
+        Some(SetStats {
+            n: self.node_count(),
+            m: self.edge_count(),
+            directed: self.base.is_directed(),
+            n_c: agg.n_c,
+            m_c: agg.m_c,
+            c_c: agg.c_c,
+            out_degree_sum: agg.out_degree_sum,
+            in_degree_sum: agg.in_degree_sum,
+            above_median_internal: 0,
+            in_internal_triangle: 0,
+            max_odf: 0.0,
+            avg_odf: 0.0,
+            flake_odf: 0.0,
+        })
+    }
+
+    /// The paper's four scores of group `group`, recomputed from the
+    /// maintained aggregates in O(1).
+    pub fn paper_scores(&self, group: usize) -> Option<[(ScoringFunction, f64); 4]> {
+        let stats = self.set_stats(group)?;
+        Some(ScoringFunction::PAPER.map(|f| (f, f.score(&stats))))
+    }
+
+    /// Builds a standalone [`Graph`] equal to the composed graph.
+    pub fn materialize(&self) -> Graph {
+        self.overlay.materialize(&self.base)
+    }
+
+    /// Folds the overlay and WAL into a fresh CKS1 snapshot: write to a
+    /// temporary sibling, fsync, atomically rename over the snapshot,
+    /// fsync the directory, then unlink the WAL. A kill at any point
+    /// leaves either the old snapshot + replayable WAL or the new
+    /// snapshot (+ a stale WAL that [`LiveSnapshot::open`] discards) —
+    /// never a torn file. Afterwards the overlay is empty and the WAL
+    /// is gone; state is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::Store`] if this snapshot is in-memory (no backing
+    /// path — reported as an I/O error) or packing fails; I/O errors
+    /// otherwise.
+    pub fn compact(&mut self) -> Result<(), LiveError> {
+        self.compact_with_crash_point(None)
+    }
+
+    /// [`LiveSnapshot::compact`] with a deterministic simulated kill for
+    /// crash-recovery tests; see [`CrashPoint`].
+    pub fn compact_with_crash_point(
+        &mut self,
+        crash: Option<CrashPoint>,
+    ) -> Result<(), LiveError> {
+        let snapshot_path = self
+            .snapshot_path
+            .clone()
+            .ok_or_else(|| {
+                LiveError::Io(std::io::Error::other("in-memory snapshot cannot be compacted"))
+            })?;
+        let graph = self.materialize();
+
+        let mut tmp_os = snapshot_path.clone().into_os_string();
+        tmp_os.push(".tmp");
+        let tmp = PathBuf::from(tmp_os);
+        {
+            let file = File::create(&tmp)?;
+            let mut writer = BufWriter::new(file);
+            write_snapshot(&graph, &self.groups, &mut writer)?;
+            writer.flush()?;
+            writer.get_ref().sync_all()?;
+        }
+        if crash == Some(CrashPoint::TmpWritten) {
+            std::process::exit(137);
+        }
+
+        std::fs::rename(&tmp, &snapshot_path)?;
+        sync_parent_dir(&snapshot_path)?;
+        if crash == Some(CrashPoint::Renamed) {
+            std::process::exit(137);
+        }
+
+        self.wal = None; // close before unlink
+        if let Some(wal_path) = &self.wal_path {
+            if wal_path.exists() {
+                std::fs::remove_file(wal_path)?;
+                sync_parent_dir(wal_path)?;
+            }
+        }
+        self.wal_records = 0;
+
+        // Same composed graph, now the base; aggregates are untouched.
+        self.base_crc = crc32(&std::fs::read(&snapshot_path)?);
+        self.overlay = DeltaOverlay::new(&graph);
+        self.base = graph;
+        Ok(())
+    }
+}
+
+/// The WAL path adjacent to a snapshot: `<snapshot>.ckw`.
+pub fn wal_path_for(snapshot: &Path) -> PathBuf {
+    let mut os = snapshot.to_path_buf().into_os_string();
+    os.push(".ckw");
+    PathBuf::from(os)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_scoring::Scorer;
+
+    fn fixture() -> (Graph, Vec<VertexSet>) {
+        // 4-clique {0,1,2,3} with a tail 3-4-5 and a spare node 6.
+        let g = Graph::from_edges(
+            false,
+            [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6)],
+        );
+        let groups = vec![VertexSet::from_vec(vec![0, 1, 2, 3]), VertexSet::from_vec(vec![4, 5])];
+        (g, groups)
+    }
+
+    fn assert_matches_rescore(live: &LiveSnapshot) {
+        let graph = live.materialize();
+        let mut scorer = Scorer::new(&graph);
+        for (i, set) in live.groups().iter().enumerate() {
+            let full = scorer.stats(set);
+            let inc = live.set_stats(i).unwrap();
+            assert_eq!(
+                (inc.n, inc.m, inc.n_c, inc.m_c, inc.c_c, inc.out_degree_sum, inc.in_degree_sum),
+                (
+                    full.n,
+                    full.m,
+                    full.n_c,
+                    full.m_c,
+                    full.c_c,
+                    full.out_degree_sum,
+                    full.in_degree_sum
+                ),
+                "aggregate mismatch for group {i}"
+            );
+            for f in ScoringFunction::PAPER {
+                assert_eq!(
+                    f.score(&inc).to_bits(),
+                    f.score(&full).to_bits(),
+                    "{f} diverged for group {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn in_memory_apply_maintains_aggregates() {
+        let (g, groups) = fixture();
+        let mut live = LiveSnapshot::in_memory(g, groups);
+        assert_matches_rescore(&live);
+        let outcome = live
+            .apply(&[
+                Mutation::AddEdge { u: 0, v: 4 },
+                Mutation::RemoveEdge { u: 1, v: 2 },
+                Mutation::AddVertex,
+                Mutation::AddMember { group: 1, node: 6 },
+                Mutation::RemoveMember { group: 0, node: 3 },
+                Mutation::AddEdge { u: 7, v: 3 },
+            ])
+            .unwrap();
+        assert_eq!(outcome, ApplyOutcome { applied: 6, rejected: None });
+        assert_eq!(live.node_count(), 8);
+        assert_matches_rescore(&live);
+    }
+
+    #[test]
+    fn batch_stops_at_first_rejection() {
+        let (g, groups) = fixture();
+        let mut live = LiveSnapshot::in_memory(g, groups);
+        let outcome = live
+            .apply(&[
+                Mutation::AddEdge { u: 0, v: 4 },
+                Mutation::AddEdge { u: 0, v: 4 }, // duplicate
+                Mutation::AddEdge { u: 0, v: 5 }, // never reached
+            ])
+            .unwrap();
+        assert_eq!(outcome.applied, 1);
+        assert_eq!(outcome.rejected, Some((1, MutationError::EdgeExists { u: 0, v: 4 })));
+        assert!(!live.overlay().has_edge(live.base(), 0, 5));
+        assert_matches_rescore(&live);
+    }
+
+    #[test]
+    fn membership_rejections_are_typed() {
+        let (g, groups) = fixture();
+        let mut live = LiveSnapshot::in_memory(g, groups);
+        let mut reject = |m: Mutation| live.apply(&[m]).unwrap().rejected.unwrap().1;
+        assert_eq!(
+            reject(Mutation::AddMember { group: 9, node: 0 }),
+            MutationError::GroupOutOfRange { group: 9, group_count: 2 }
+        );
+        assert_eq!(
+            reject(Mutation::AddMember { group: 0, node: 99 }),
+            MutationError::NodeOutOfRange { node: 99, node_count: 7 }
+        );
+        assert_eq!(
+            reject(Mutation::AddMember { group: 0, node: 3 }),
+            MutationError::AlreadyMember { group: 0, node: 3 }
+        );
+        assert_eq!(
+            reject(Mutation::RemoveMember { group: 1, node: 3 }),
+            MutationError::NotMember { group: 1, node: 3 }
+        );
+    }
+
+    #[test]
+    fn directed_aggregates_match_rescore() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0), (0, 3), (4, 1)]);
+        let groups = vec![VertexSet::from_vec(vec![0, 1, 2])];
+        let mut live = LiveSnapshot::in_memory(g, groups);
+        assert_matches_rescore(&live);
+        live.apply(&[
+            Mutation::AddEdge { u: 3, v: 2 },
+            Mutation::AddMember { group: 0, node: 4 },
+            Mutation::RemoveEdge { u: 2, v: 0 },
+            Mutation::RemoveMember { group: 0, node: 1 },
+        ])
+        .unwrap();
+        assert_matches_rescore(&live);
+    }
+
+    #[test]
+    fn wal_persists_and_replays() {
+        let dir = std::env::temp_dir().join("circlekit-live-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("replay-{}.cks", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(wal_path_for(&path));
+
+        let (g, groups) = fixture();
+        circlekit_store::save_snapshot(&path, &g, &groups).unwrap();
+
+        let muts = [
+            Mutation::AddEdge { u: 0, v: 4 },
+            Mutation::AddMember { group: 1, node: 6 },
+            Mutation::RemoveEdge { u: 0, v: 1 },
+        ];
+        let mut live = LiveSnapshot::open(&path).unwrap();
+        live.apply(&muts).unwrap();
+        let expect: Vec<_> = (0..2).map(|i| live.paper_scores(i).unwrap()).collect();
+        drop(live);
+
+        // A fresh open replays the WAL to the same state.
+        let reopened = LiveSnapshot::open(&path).unwrap();
+        assert_eq!(reopened.replayed_records(), 3);
+        for (i, want) in expect.iter().enumerate() {
+            assert_eq!(&reopened.paper_scores(i).unwrap(), want);
+        }
+        assert_matches_rescore(&reopened);
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(wal_path_for(&path)).unwrap();
+    }
+
+    #[test]
+    fn compaction_folds_wal_into_snapshot() {
+        let dir = std::env::temp_dir().join("circlekit-live-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("compact-{}.cks", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(wal_path_for(&path));
+
+        let (g, groups) = fixture();
+        circlekit_store::save_snapshot(&path, &g, &groups).unwrap();
+
+        let mut live = LiveSnapshot::open(&path).unwrap();
+        live.apply(&[Mutation::AddEdge { u: 0, v: 4 }, Mutation::AddVertex]).unwrap();
+        let expect = live.paper_scores(0).unwrap();
+        live.compact().unwrap();
+        assert!(!wal_path_for(&path).exists());
+        assert_eq!(live.wal_records(), 0);
+        assert_eq!(live.paper_scores(0).unwrap(), expect);
+
+        // The snapshot on disk now *is* the mutated graph.
+        let reopened = LiveSnapshot::open(&path).unwrap();
+        assert_eq!(reopened.replayed_records(), 0);
+        assert_eq!(reopened.node_count(), 8);
+        assert_eq!(reopened.paper_scores(0).unwrap(), expect);
+        assert_matches_rescore(&reopened);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stale_wal_is_discarded() {
+        let dir = std::env::temp_dir().join("circlekit-live-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("stale-{}.cks", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(wal_path_for(&path));
+
+        let (g, groups) = fixture();
+        circlekit_store::save_snapshot(&path, &g, &groups).unwrap();
+
+        // A WAL against a *different* base CRC (as a crash between
+        // compaction's rename and unlink leaves behind).
+        let header = WalHeader { directed: false, base_crc: 1, base_nodes: 7, base_edges: 9 };
+        let mut w = WalWriter::create(&wal_path_for(&path), header).unwrap();
+        w.append(&[Mutation::AddEdge { u: 0, v: 4 }]).unwrap();
+        drop(w);
+
+        let live = LiveSnapshot::open(&path).unwrap();
+        assert!(live.discarded_stale_wal());
+        assert!(!wal_path_for(&path).exists());
+        assert_eq!(live.replayed_records(), 0);
+        assert_eq!(live.edge_count(), 9);
+
+        std::fs::remove_file(&path).unwrap();
+    }
+}

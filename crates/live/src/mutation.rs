@@ -1,0 +1,201 @@
+//! The mutation vocabulary: one enum, its text form and its WAL wire form.
+
+use circlekit_graph::NodeId;
+
+/// One atomic change to a live snapshot.
+///
+/// Text form (one mutation per line, `#` comments and blank lines
+/// ignored — see [`Mutation::parse_line`]):
+///
+/// ```text
+/// add-edge 3 17
+/// remove-edge 3 4
+/// add-vertex
+/// add-member 2 17
+/// remove-member 0 3
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Insert the edge `u -> v` (undirected graphs: the edge `{u, v}`).
+    AddEdge {
+        /// Source endpoint.
+        u: NodeId,
+        /// Target endpoint.
+        v: NodeId,
+    },
+    /// Delete the edge `u -> v` (undirected graphs: the edge `{u, v}`).
+    RemoveEdge {
+        /// Source endpoint.
+        u: NodeId,
+        /// Target endpoint.
+        v: NodeId,
+    },
+    /// Append one isolated vertex; its id is the current node count.
+    AddVertex,
+    /// Add `node` to group `group`.
+    AddMember {
+        /// Group index.
+        group: u32,
+        /// Node id.
+        node: NodeId,
+    },
+    /// Remove `node` from group `group`.
+    RemoveMember {
+        /// Group index.
+        group: u32,
+        /// Node id.
+        node: NodeId,
+    },
+}
+
+/// WAL opcodes (first payload byte of every CKW1 record).
+pub(crate) mod opcode {
+    pub const ADD_EDGE: u8 = 1;
+    pub const REMOVE_EDGE: u8 = 2;
+    pub const ADD_VERTEX: u8 = 3;
+    pub const ADD_MEMBER: u8 = 4;
+    pub const REMOVE_MEMBER: u8 = 5;
+}
+
+impl Mutation {
+    /// Encodes the record payload: opcode byte followed by little-endian
+    /// `u32` operands.
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        fn pair(op: u8, a: u32, b: u32) -> Vec<u8> {
+            let mut out = Vec::with_capacity(9);
+            out.push(op);
+            out.extend_from_slice(&a.to_le_bytes());
+            out.extend_from_slice(&b.to_le_bytes());
+            out
+        }
+        match *self {
+            Mutation::AddEdge { u, v } => pair(opcode::ADD_EDGE, u, v),
+            Mutation::RemoveEdge { u, v } => pair(opcode::REMOVE_EDGE, u, v),
+            Mutation::AddVertex => vec![opcode::ADD_VERTEX],
+            Mutation::AddMember { group, node } => pair(opcode::ADD_MEMBER, group, node),
+            Mutation::RemoveMember { group, node } => pair(opcode::REMOVE_MEMBER, group, node),
+        }
+    }
+
+    /// Decodes a record payload; `None` on unknown opcode or short payload
+    /// (the WAL reader maps those to typed errors with the frame offset).
+    pub(crate) fn decode(payload: &[u8]) -> Option<Mutation> {
+        fn pair(payload: &[u8]) -> Option<(u32, u32)> {
+            if payload.len() != 9 {
+                return None;
+            }
+            let a = u32::from_le_bytes(payload[1..5].try_into().ok()?);
+            let b = u32::from_le_bytes(payload[5..9].try_into().ok()?);
+            Some((a, b))
+        }
+        let op = *payload.first()?;
+        match op {
+            opcode::ADD_EDGE => pair(payload).map(|(u, v)| Mutation::AddEdge { u, v }),
+            opcode::REMOVE_EDGE => pair(payload).map(|(u, v)| Mutation::RemoveEdge { u, v }),
+            opcode::ADD_VERTEX => (payload.len() == 1).then_some(Mutation::AddVertex),
+            opcode::ADD_MEMBER => {
+                pair(payload).map(|(group, node)| Mutation::AddMember { group, node })
+            }
+            opcode::REMOVE_MEMBER => {
+                pair(payload).map(|(group, node)| Mutation::RemoveMember { group, node })
+            }
+            _ => None,
+        }
+    }
+
+    /// Parses the one-line text form used by mutation scripts
+    /// (`circlekit live apply --script`). Blank lines and lines starting
+    /// with `#` yield `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformed line.
+    pub fn parse_line(line: &str) -> Result<Option<Mutation>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let mut parts = line.split_whitespace();
+        let op = parts.next().expect("non-empty line has a first token");
+        let mut arg = |name: &str| -> Result<u32, String> {
+            parts
+                .next()
+                .ok_or_else(|| format!("{op}: missing {name}"))?
+                .parse::<u32>()
+                .map_err(|_| format!("{op}: {name} is not a non-negative integer"))
+        };
+        let parsed = match op {
+            "add-edge" => Mutation::AddEdge { u: arg("source")?, v: arg("target")? },
+            "remove-edge" => Mutation::RemoveEdge { u: arg("source")?, v: arg("target")? },
+            "add-vertex" => Mutation::AddVertex,
+            "add-member" => Mutation::AddMember { group: arg("group")?, node: arg("node")? },
+            "remove-member" => Mutation::RemoveMember { group: arg("group")?, node: arg("node")? },
+            other => return Err(format!("unknown mutation '{other}'")),
+        };
+        if parts.next().is_some() {
+            return Err(format!("{op}: trailing tokens"));
+        }
+        Ok(Some(parsed))
+    }
+
+    /// Renders the one-line text form parsed by [`Mutation::parse_line`].
+    pub fn to_line(&self) -> String {
+        match *self {
+            Mutation::AddEdge { u, v } => format!("add-edge {u} {v}"),
+            Mutation::RemoveEdge { u, v } => format!("remove-edge {u} {v}"),
+            Mutation::AddVertex => "add-vertex".to_string(),
+            Mutation::AddMember { group, node } => format!("add-member {group} {node}"),
+            Mutation::RemoveMember { group, node } => format!("remove-member {group} {node}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let all = [
+            Mutation::AddEdge { u: 3, v: 17 },
+            Mutation::RemoveEdge { u: 0, v: u32::MAX },
+            Mutation::AddVertex,
+            Mutation::AddMember { group: 2, node: 9 },
+            Mutation::RemoveMember { group: 0, node: 0 },
+        ];
+        for m in all {
+            assert_eq!(Mutation::decode(&m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Mutation::decode(&[]), None);
+        assert_eq!(Mutation::decode(&[99]), None);
+        assert_eq!(Mutation::decode(&[opcode::ADD_EDGE, 1, 2]), None); // short
+        assert_eq!(Mutation::decode(&[opcode::ADD_VERTEX, 0]), None); // long
+    }
+
+    #[test]
+    fn parse_line_roundtrip() {
+        for text in ["add-edge 3 17", "remove-edge 3 4", "add-vertex", "add-member 2 17"] {
+            let m = Mutation::parse_line(text).unwrap().unwrap();
+            assert_eq!(m.to_line(), text);
+        }
+    }
+
+    #[test]
+    fn parse_line_skips_comments_and_blanks() {
+        assert_eq!(Mutation::parse_line("").unwrap(), None);
+        assert_eq!(Mutation::parse_line("  # add-edge 1 2").unwrap(), None);
+    }
+
+    #[test]
+    fn parse_line_reports_malformed_input() {
+        assert!(Mutation::parse_line("add-edge 1").is_err());
+        assert!(Mutation::parse_line("add-edge 1 x").is_err());
+        assert!(Mutation::parse_line("add-vertex 1").is_err());
+        assert!(Mutation::parse_line("drop-table users").is_err());
+        assert!(Mutation::parse_line("add-edge 1 2 3").is_err());
+    }
+}

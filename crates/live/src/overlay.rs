@@ -1,0 +1,456 @@
+//! [`DeltaOverlay`]: graph mutations composed over read-only CSR arrays.
+
+use crate::error::MutationError;
+use circlekit_graph::{Graph, GraphBuilder, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A set of edge/vertex deltas layered over an immutable base [`Graph`].
+///
+/// The overlay never copies the base CSR arrays: queries merge the
+/// base adjacency slice (minus removals) with a small sorted delta set,
+/// so a snapshot shared read-only across threads (or mmap-backed) keeps
+/// serving while mutations accumulate here.
+///
+/// The overlay does not borrow the base graph; every query takes it as
+/// a parameter. Callers must pass the *same* graph the overlay was
+/// created over — node counts are checked (`debug_assert`) but edge
+/// content is not.
+///
+/// Invariants maintained by the mutation methods: added edges are
+/// disjoint from base edges, removed edges are a subset of base edges
+/// (re-adding a removed base edge cancels the removal instead of
+/// recording an addition, and vice versa). Neighbor merges therefore
+/// never see duplicates, and `materialize` reproduces the exact edge
+/// multiset.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaOverlay {
+    directed: bool,
+    base_nodes: usize,
+    added_nodes: usize,
+    /// Out-adjacency deltas. Undirected overlays store both orientations
+    /// here (mirroring the symmetric CSR of an undirected `Graph`) and
+    /// leave the `in_*` maps empty.
+    out_added: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    out_removed: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    in_added: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    in_removed: BTreeMap<NodeId, BTreeSet<NodeId>>,
+    /// Edges (undirected) / arcs (directed) added on top of the base.
+    added_edges: usize,
+    /// Base edges / arcs currently removed.
+    removed_edges: usize,
+}
+
+impl DeltaOverlay {
+    /// An empty overlay over `base`.
+    pub fn new(base: &Graph) -> DeltaOverlay {
+        DeltaOverlay {
+            directed: base.is_directed(),
+            base_nodes: base.node_count(),
+            ..DeltaOverlay::default()
+        }
+    }
+
+    /// Whether the composed graph is directed (always equal to the base).
+    pub fn is_directed(&self) -> bool {
+        self.directed
+    }
+
+    /// Whether any delta has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.added_nodes == 0 && self.added_edges == 0 && self.removed_edges == 0
+    }
+
+    /// Nodes in the composed graph.
+    pub fn node_count(&self) -> usize {
+        self.base_nodes + self.added_nodes
+    }
+
+    /// Edges (undirected) / arcs (directed) in the composed graph.
+    pub fn edge_count(&self, base: &Graph) -> usize {
+        self.check_base(base);
+        base.edge_count() + self.added_edges - self.removed_edges
+    }
+
+    fn check_base(&self, base: &Graph) {
+        debug_assert_eq!(base.node_count(), self.base_nodes, "overlay used with a foreign graph");
+        debug_assert_eq!(base.is_directed(), self.directed, "overlay used with a foreign graph");
+    }
+
+    fn in_base(&self, base: &Graph, u: NodeId, v: NodeId) -> bool {
+        (u as usize) < self.base_nodes && (v as usize) < self.base_nodes && base.has_edge(u, v)
+    }
+
+    /// Whether the composed graph contains the arc `u -> v` (undirected:
+    /// the edge `{u, v}`). Endpoints outside the composed node range are
+    /// simply absent, not an error.
+    pub fn has_edge(&self, base: &Graph, u: NodeId, v: NodeId) -> bool {
+        self.check_base(base);
+        if (u as usize) >= self.node_count() || (v as usize) >= self.node_count() {
+            return false;
+        }
+        if self.in_base(base, u, v) {
+            !self.out_removed.get(&u).is_some_and(|r| r.contains(&v))
+        } else {
+            self.out_added.get(&u).is_some_and(|a| a.contains(&v))
+        }
+    }
+
+    /// Appends one isolated vertex and returns its id.
+    pub fn add_vertex(&mut self) -> NodeId {
+        let id = self.node_count() as NodeId;
+        self.added_nodes += 1;
+        id
+    }
+
+    /// Inserts the edge `u -> v` (undirected: `{u, v}`).
+    ///
+    /// # Errors
+    ///
+    /// [`MutationError::SelfLoop`], [`MutationError::NodeOutOfRange`] or
+    /// [`MutationError::EdgeExists`]; nothing is recorded on error.
+    pub fn add_edge(&mut self, base: &Graph, u: NodeId, v: NodeId) -> Result<(), MutationError> {
+        self.check_base(base);
+        self.check_endpoints(u, v)?;
+        if self.has_edge(base, u, v) {
+            return Err(MutationError::EdgeExists { u, v });
+        }
+        if self.in_base(base, u, v) {
+            // Cancelling an earlier removal, not recording an addition.
+            self.unrecord(true, u, v);
+            self.removed_edges -= 1;
+        } else {
+            self.record(false, u, v);
+            self.added_edges += 1;
+        }
+        Ok(())
+    }
+
+    /// Deletes the edge `u -> v` (undirected: `{u, v}`).
+    ///
+    /// # Errors
+    ///
+    /// [`MutationError::SelfLoop`], [`MutationError::NodeOutOfRange`] or
+    /// [`MutationError::EdgeMissing`]; nothing is recorded on error.
+    pub fn remove_edge(&mut self, base: &Graph, u: NodeId, v: NodeId) -> Result<(), MutationError> {
+        self.check_base(base);
+        self.check_endpoints(u, v)?;
+        if !self.has_edge(base, u, v) {
+            return Err(MutationError::EdgeMissing { u, v });
+        }
+        if self.in_base(base, u, v) {
+            self.record(true, u, v);
+            self.removed_edges += 1;
+        } else {
+            // Cancelling an earlier addition.
+            self.unrecord(false, u, v);
+            self.added_edges -= 1;
+        }
+        Ok(())
+    }
+
+    fn check_endpoints(&self, u: NodeId, v: NodeId) -> Result<(), MutationError> {
+        if u == v {
+            return Err(MutationError::SelfLoop { node: u });
+        }
+        let n = self.node_count();
+        for node in [u, v] {
+            if node as usize >= n {
+                return Err(MutationError::NodeOutOfRange { node, node_count: n });
+            }
+        }
+        Ok(())
+    }
+
+    /// Records `u -> v` in the added (or removed) maps, mirroring into the
+    /// in-maps (directed) or the reverse orientation (undirected).
+    fn record(&mut self, removed: bool, u: NodeId, v: NodeId) {
+        if removed {
+            self.out_removed.entry(u).or_default().insert(v);
+            if self.directed {
+                self.in_removed.entry(v).or_default().insert(u);
+            } else {
+                self.out_removed.entry(v).or_default().insert(u);
+            }
+        } else {
+            self.out_added.entry(u).or_default().insert(v);
+            if self.directed {
+                self.in_added.entry(v).or_default().insert(u);
+            } else {
+                self.out_added.entry(v).or_default().insert(u);
+            }
+        }
+    }
+
+    fn unrecord(&mut self, removed: bool, u: NodeId, v: NodeId) {
+        fn take(map: &mut BTreeMap<NodeId, BTreeSet<NodeId>>, k: NodeId, e: NodeId) {
+            if let Some(set) = map.get_mut(&k) {
+                set.remove(&e);
+                if set.is_empty() {
+                    map.remove(&k);
+                }
+            }
+        }
+        if removed {
+            take(&mut self.out_removed, u, v);
+            if self.directed {
+                take(&mut self.in_removed, v, u);
+            } else {
+                take(&mut self.out_removed, v, u);
+            }
+        } else {
+            take(&mut self.out_added, u, v);
+            if self.directed {
+                take(&mut self.in_added, v, u);
+            } else {
+                take(&mut self.out_added, v, u);
+            }
+        }
+    }
+
+    fn delta_degree(
+        added: &BTreeMap<NodeId, BTreeSet<NodeId>>,
+        removed: &BTreeMap<NodeId, BTreeSet<NodeId>>,
+        v: NodeId,
+    ) -> (usize, usize) {
+        (
+            added.get(&v).map_or(0, BTreeSet::len),
+            removed.get(&v).map_or(0, BTreeSet::len),
+        )
+    }
+
+    /// Out-degree of `v` in the composed graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    pub fn out_degree(&self, base: &Graph, v: NodeId) -> usize {
+        self.check_base(base);
+        assert!((v as usize) < self.node_count(), "node {v} out of range");
+        let base_deg = if (v as usize) < self.base_nodes { base.out_degree(v) } else { 0 };
+        let (add, rem) = Self::delta_degree(&self.out_added, &self.out_removed, v);
+        base_deg + add - rem
+    }
+
+    /// In-degree of `v` in the composed graph (equals
+    /// [`DeltaOverlay::out_degree`] for undirected overlays).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    pub fn in_degree(&self, base: &Graph, v: NodeId) -> usize {
+        self.check_base(base);
+        if !self.directed {
+            return self.out_degree(base, v);
+        }
+        assert!((v as usize) < self.node_count(), "node {v} out of range");
+        let base_deg = if (v as usize) < self.base_nodes { base.in_degree(v) } else { 0 };
+        let (add, rem) = Self::delta_degree(&self.in_added, &self.in_removed, v);
+        base_deg + add - rem
+    }
+
+    /// Total degree of `v`: adjacency size for undirected overlays,
+    /// out-degree plus in-degree for directed ones (matching
+    /// [`Graph::degree`]).
+    pub fn degree(&self, base: &Graph, v: NodeId) -> usize {
+        if self.directed {
+            self.out_degree(base, v) + self.in_degree(base, v)
+        } else {
+            self.out_degree(base, v)
+        }
+    }
+
+    fn merged<'a>(
+        &'a self,
+        base_slice: &'a [NodeId],
+        added: Option<&'a BTreeSet<NodeId>>,
+        removed: Option<&'a BTreeSet<NodeId>>,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        let mut kept = base_slice
+            .iter()
+            .copied()
+            .filter(move |w| !removed.is_some_and(|r| r.contains(w)))
+            .peekable();
+        let mut extra = added.into_iter().flatten().copied().peekable();
+        // Both streams are sorted and disjoint; merge preserves order.
+        std::iter::from_fn(move || match (kept.peek(), extra.peek()) {
+            (Some(&b), Some(&a)) if b < a => kept.next(),
+            (Some(_), Some(_)) => extra.next(),
+            (Some(_), None) => kept.next(),
+            (None, _) => extra.next(),
+        })
+    }
+
+    /// Out-neighbours of `v` in the composed graph, sorted ascending
+    /// (all neighbours for an undirected overlay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    pub fn out_neighbors<'a>(
+        &'a self,
+        base: &'a Graph,
+        v: NodeId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.check_base(base);
+        assert!((v as usize) < self.node_count(), "node {v} out of range");
+        let base_slice: &[NodeId] =
+            if (v as usize) < self.base_nodes { base.out_neighbors(v) } else { &[] };
+        self.merged(base_slice, self.out_added.get(&v), self.out_removed.get(&v))
+    }
+
+    /// In-neighbours of `v` in the composed graph, sorted ascending
+    /// (all neighbours for an undirected overlay).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= node_count()`.
+    pub fn in_neighbors<'a>(
+        &'a self,
+        base: &'a Graph,
+        v: NodeId,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.check_base(base);
+        assert!((v as usize) < self.node_count(), "node {v} out of range");
+        let (added, removed) = if self.directed {
+            (self.in_added.get(&v), self.in_removed.get(&v))
+        } else {
+            (self.out_added.get(&v), self.out_removed.get(&v))
+        };
+        let base_slice: &[NodeId] =
+            if (v as usize) < self.base_nodes { base.in_neighbors(v) } else { &[] };
+        self.merged(base_slice, added, removed)
+    }
+
+    /// Builds a standalone [`Graph`] equal to the composed graph.
+    /// Isolated added vertices are preserved.
+    pub fn materialize(&self, base: &Graph) -> Graph {
+        self.check_base(base);
+        let mut builder =
+            if self.directed { GraphBuilder::directed() } else { GraphBuilder::undirected() };
+        builder.reserve_nodes(self.node_count());
+        for (u, v) in base.edges() {
+            // `edges()` yields undirected edges once with u <= v; the
+            // removal maps hold both orientations, so one probe suffices.
+            if !self.out_removed.get(&u).is_some_and(|r| r.contains(&v)) {
+                builder.add_edge(u, v);
+            }
+        }
+        for (&u, targets) in &self.out_added {
+            for &v in targets {
+                // Undirected additions are stored symmetrically; emit each
+                // edge once (no self-loops, so strict inequality is safe).
+                if self.directed || u < v {
+                    builder.add_edge(u, v);
+                }
+            }
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        // 0 - 1 - 2 plus isolated-ish node 3 via edge 2-3.
+        Graph::from_edges(false, [(0u32, 1u32), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn empty_overlay_mirrors_base() {
+        let g = path3();
+        let o = DeltaOverlay::new(&g);
+        assert!(o.is_empty());
+        assert_eq!(o.node_count(), 4);
+        assert_eq!(o.edge_count(&g), 3);
+        assert!(o.has_edge(&g, 0, 1) && o.has_edge(&g, 1, 0));
+        assert!(!o.has_edge(&g, 0, 2));
+        assert_eq!(o.out_neighbors(&g, 1).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(o.materialize(&g), g);
+    }
+
+    #[test]
+    fn add_and_remove_edges_compose() {
+        let g = path3();
+        let mut o = DeltaOverlay::new(&g);
+        o.add_edge(&g, 0, 2).unwrap();
+        o.remove_edge(&g, 1, 2).unwrap();
+        assert_eq!(o.edge_count(&g), 3);
+        assert!(o.has_edge(&g, 2, 0)); // symmetric view of the addition
+        assert!(!o.has_edge(&g, 2, 1));
+        assert_eq!(o.out_neighbors(&g, 2).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(o.degree(&g, 1), 1);
+        let m = o.materialize(&g);
+        assert_eq!(m, Graph::from_edges(false, [(0u32, 1u32), (0, 2), (2, 3)]));
+    }
+
+    #[test]
+    fn add_then_remove_cancels() {
+        let g = path3();
+        let mut o = DeltaOverlay::new(&g);
+        o.add_edge(&g, 0, 3).unwrap();
+        o.remove_edge(&g, 0, 3).unwrap();
+        o.remove_edge(&g, 0, 1).unwrap();
+        o.add_edge(&g, 0, 1).unwrap();
+        assert!(o.is_empty());
+        assert_eq!(o.materialize(&g), g);
+    }
+
+    #[test]
+    fn added_vertices_take_edges() {
+        let g = path3();
+        let mut o = DeltaOverlay::new(&g);
+        let v = o.add_vertex();
+        assert_eq!(v, 4);
+        o.add_edge(&g, v, 0).unwrap();
+        assert_eq!(o.degree(&g, v), 1);
+        assert_eq!(o.out_neighbors(&g, v).collect::<Vec<_>>(), vec![0]);
+        assert_eq!(o.out_neighbors(&g, 0).collect::<Vec<_>>(), vec![1, 4]);
+        let m = o.materialize(&g);
+        assert_eq!(m.node_count(), 5);
+        assert!(m.has_edge(0, 4));
+    }
+
+    #[test]
+    fn isolated_added_vertex_survives_materialize() {
+        let g = path3();
+        let mut o = DeltaOverlay::new(&g);
+        o.add_vertex();
+        let m = o.materialize(&g);
+        assert_eq!(m.node_count(), 5);
+        assert_eq!(m.degree(4), 0);
+    }
+
+    #[test]
+    fn validation_rejects_bad_mutations() {
+        let g = path3();
+        let mut o = DeltaOverlay::new(&g);
+        assert_eq!(o.add_edge(&g, 1, 1), Err(MutationError::SelfLoop { node: 1 }));
+        assert_eq!(
+            o.add_edge(&g, 0, 9),
+            Err(MutationError::NodeOutOfRange { node: 9, node_count: 4 })
+        );
+        assert_eq!(o.add_edge(&g, 1, 0), Err(MutationError::EdgeExists { u: 1, v: 0 }));
+        assert_eq!(o.remove_edge(&g, 0, 2), Err(MutationError::EdgeMissing { u: 0, v: 2 }));
+        assert!(o.is_empty(), "rejected mutations must not record anything");
+    }
+
+    #[test]
+    fn directed_overlay_tracks_orientations() {
+        let g = Graph::from_edges(true, [(0u32, 1u32), (1, 2)]);
+        let mut o = DeltaOverlay::new(&g);
+        o.add_edge(&g, 2, 0).unwrap();
+        assert!(o.has_edge(&g, 2, 0));
+        assert!(!o.has_edge(&g, 0, 2));
+        assert_eq!(o.out_degree(&g, 2), 1);
+        assert_eq!(o.in_degree(&g, 2), 1);
+        assert_eq!(o.degree(&g, 2), 2);
+        assert_eq!(o.in_neighbors(&g, 0).collect::<Vec<_>>(), vec![2]);
+        o.remove_edge(&g, 0, 1).unwrap();
+        assert!(!o.has_edge(&g, 0, 1));
+        assert_eq!(o.edge_count(&g), 2);
+        let m = o.materialize(&g);
+        assert_eq!(m, Graph::from_edges(true, [(1u32, 2u32), (2, 0)]));
+    }
+}

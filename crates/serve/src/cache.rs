@@ -1,11 +1,19 @@
 //! [`ScoreCache`]: an LRU result cache for served scores.
 //!
 //! Scoring is deterministic — a `(snapshot, function, vertex set)` triple
-//! always produces the same `f64` — so results can be cached and replayed
-//! bit-exactly. The key uses the set's FNV-1a digest
-//! ([`crate::protocol::set_digest`]) rather than the members themselves,
-//! keeping keys O(1) in set size; the digest is computed once per request
-//! and shared across that request's functions.
+//! always produces the same `f64` *for one materialization of the graph* —
+//! so results can be cached and replayed bit-exactly. The key uses the
+//! set's FNV-1a digest ([`crate::protocol::set_digest`]) rather than the
+//! members themselves, keeping keys O(1) in set size; the digest is
+//! computed once per request and shared across that request's functions.
+//!
+//! Live mutations add the fourth key component: the snapshot's
+//! materialization [`CacheKey::version`]. A committed mutation batch bumps
+//! the version, so probes (which always use the current version) can never
+//! hit a score computed against a superseded graph — even if a slow
+//! scoring job inserts its stale result *after* the commit. The stale
+//! entries are then purged eagerly with [`ScoreCache::invalidate_stale`],
+//! which counts them as invalidations (distinct from capacity evictions).
 //!
 //! The cache is a plain (non-thread-safe) structure; the server wraps it
 //! in a mutex. Recency is tracked with a monotone stamp per entry plus a
@@ -19,6 +27,9 @@ use std::collections::{BTreeMap, HashMap};
 pub struct CacheKey {
     /// Snapshot id the set was scored against.
     pub snapshot: String,
+    /// Materialization version of that snapshot (see
+    /// [`crate::LoadedSnapshot::version`]).
+    pub version: u64,
     /// Scoring function.
     pub function: ScoringFunction,
     /// Digest of the set's members.
@@ -40,8 +51,23 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries displaced by capacity pressure.
     pub evictions: u64,
+    /// Entries purged because a mutation superseded their snapshot
+    /// version.
+    pub invalidations: u64,
     /// Live entries right now.
     pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups that hit, 0.0 before any lookup.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// Least-recently-used map from [`CacheKey`] to a score.
@@ -54,6 +80,7 @@ pub struct ScoreCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    invalidations: u64,
 }
 
 impl ScoreCache {
@@ -68,6 +95,7 @@ impl ScoreCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            invalidations: 0,
         }
     }
 
@@ -106,12 +134,32 @@ impl ScoreCache {
         self.by_stamp.insert(stamp, key);
     }
 
+    /// Purges every entry of `snapshot` whose version is below
+    /// `current_version` — the commit-time invalidation of all (snapshot,
+    /// function, set) keys a mutation batch touched. Returns how many
+    /// entries were removed; they count as invalidations, not evictions.
+    pub fn invalidate_stale(&mut self, snapshot: &str, current_version: u64) -> u64 {
+        let stale: Vec<u64> = self
+            .by_stamp
+            .iter()
+            .filter(|(_, key)| key.snapshot == snapshot && key.version < current_version)
+            .map(|(&stamp, _)| stamp)
+            .collect();
+        for stamp in &stale {
+            let key = self.by_stamp.remove(stamp).expect("stamp index in sync");
+            self.entries.remove(&key);
+        }
+        self.invalidations += stale.len() as u64;
+        stale.len() as u64
+    }
+
     /// Current counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            invalidations: self.invalidations,
             entries: self.entries.len(),
         }
     }
@@ -124,6 +172,7 @@ mod tests {
     fn key(digest: u64) -> CacheKey {
         CacheKey {
             snapshot: "gp".to_string(),
+            version: 0,
             function: ScoringFunction::Conductance,
             digest,
         }
@@ -137,6 +186,7 @@ mod tests {
         assert_eq!(cache.get(&key(1)), Some(0.25));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.hit_ratio(), 0.5);
     }
 
     #[test]
@@ -186,5 +236,43 @@ mod tests {
         assert_eq!(cache.get(&key(7)), Some(1.0));
         assert_eq!(cache.get(&other_fn), Some(2.0));
         assert_eq!(cache.get(&other_snap), Some(3.0));
+    }
+
+    #[test]
+    fn versions_do_not_collide_and_stale_ones_invalidate() {
+        let mut cache = ScoreCache::new(8);
+        cache.insert(key(1), 1.0);
+        cache.insert(key(2), 2.0);
+        let v1 = CacheKey { version: 1, ..key(1) };
+        cache.insert(v1.clone(), 10.0);
+        // An unrelated snapshot must survive the purge.
+        let other = CacheKey { snapshot: "lj".to_string(), ..key(9) };
+        cache.insert(other.clone(), 9.0);
+
+        assert_eq!(cache.invalidate_stale("gp", 1), 2);
+        assert_eq!(cache.get(&key(1)), None, "stale version purged");
+        assert_eq!(cache.get(&key(2)), None, "stale version purged");
+        assert_eq!(cache.get(&v1), Some(10.0), "current version survives");
+        assert_eq!(cache.get(&other), Some(9.0), "other snapshot survives");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 2);
+        assert_eq!(stats.evictions, 0, "invalidation is not eviction");
+        assert_eq!(stats.entries, 2);
+        // Idempotent: nothing stale remains.
+        assert_eq!(cache.invalidate_stale("gp", 1), 0);
+    }
+
+    #[test]
+    fn invalidation_keeps_the_lru_index_consistent() {
+        let mut cache = ScoreCache::new(2);
+        cache.insert(key(1), 1.0);
+        cache.insert(key(2), 2.0);
+        cache.invalidate_stale("gp", 5);
+        // The cache is empty; inserts and eviction keep working.
+        cache.insert(CacheKey { version: 5, ..key(1) }, 1.0);
+        cache.insert(CacheKey { version: 5, ..key(2) }, 2.0);
+        cache.insert(CacheKey { version: 5, ..key(3) }, 3.0);
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().evictions, 1);
     }
 }

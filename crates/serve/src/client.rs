@@ -8,6 +8,7 @@
 //! `deadline-exceeded` distinctly from transport failures.
 
 use crate::protocol::{read_frame, wire, write_frame, ErrorKind, FrameError};
+use circlekit_live::Mutation;
 use serde_json::Value;
 use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -273,6 +274,61 @@ impl Client {
                 ("group".to_string(), Value::UInt(group as u64)),
                 ("samples".to_string(), Value::UInt(samples as u64)),
                 ("seed".to_string(), Value::UInt(seed)),
+            ],
+        )
+    }
+
+    /// `apply_mutations` op: commit a batch of live mutations (sent in
+    /// their one-line text form).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn apply_mutations(
+        &mut self,
+        snapshot: &str,
+        mutations: &[Mutation],
+    ) -> Result<Value, ClientError> {
+        self.call(
+            "apply_mutations",
+            vec![
+                ("snapshot".to_string(), Value::Str(snapshot.to_string())),
+                (
+                    "mutations".to_string(),
+                    Value::Seq(mutations.iter().map(|m| Value::Str(m.to_line())).collect()),
+                ),
+            ],
+        )
+    }
+
+    /// `compact` op: fold the snapshot's WAL back into its CKS1 file.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn compact(&mut self, snapshot: &str) -> Result<Value, ClientError> {
+        self.call(
+            "compact",
+            vec![("snapshot".to_string(), Value::Str(snapshot.to_string()))],
+        )
+    }
+
+    /// `watch_scores` op: one group's paper scores straight from the
+    /// incrementally maintained aggregates, with the mutation version.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn watch_scores(
+        &mut self,
+        snapshot: &str,
+        group: usize,
+    ) -> Result<Value, ClientError> {
+        self.call(
+            "watch_scores",
+            vec![
+                ("snapshot".to_string(), Value::Str(snapshot.to_string())),
+                ("group".to_string(), Value::UInt(group as u64)),
             ],
         )
     }

@@ -14,6 +14,13 @@
 //!   are coalesced and evaluated in one [`ParallelScorer`] pass.
 //! * **Caching** ([`cache`]): an LRU keyed by (snapshot, function, set
 //!   digest) replays deterministic scores bit-exactly.
+//! * **Live mutations** ([`server`]): `apply_mutations` commits
+//!   WAL-backed graph deltas through the same bounded queue, bumping the
+//!   snapshot's materialization version and invalidating the cached
+//!   scores it touched; `watch_scores` reads the paper's four scores
+//!   O(1) from the incrementally maintained aggregates; `compact` folds
+//!   the WAL back into the CKS1 file. Adjacent `.ckw` logs are replayed
+//!   at startup, so a crash between batches loses nothing.
 //! * **Deadlines**: per-request `deadline_ms` rides the workspace's
 //!   `RunControl`; expired work is refused, not half-done.
 //! * **Determinism**: served scores are bit-identical to the offline
@@ -36,6 +43,7 @@ pub mod signal;
 pub mod stats;
 
 pub use cache::{CacheKey, CacheStats, ScoreCache};
+pub use circlekit_live::Mutation;
 pub use client::{Client, ClientError};
 pub use protocol::{
     error_payload, ok_payload, read_frame, read_frame_patiently, set_digest, write_frame,

@@ -14,6 +14,7 @@
 //! round-trip `f64` formatting, so the bits survive the wire exactly);
 //! non-finite scores serialise as `null` and deserialise as NaN.
 
+use circlekit_live::Mutation;
 use circlekit_scoring::ScoringFunction;
 use serde_json::Value;
 use std::io::{self, Read, Write};
@@ -136,6 +137,32 @@ pub enum Request {
         seed: u64,
         /// Optional per-request deadline in milliseconds.
         deadline_ms: Option<u64>,
+    },
+    /// Apply a batch of live mutations to a snapshot. The batch is
+    /// WAL-committed atomically up to the first rejection; a commit bumps
+    /// the snapshot's materialization version and invalidates the cached
+    /// scores it touched.
+    ApplyMutations {
+        /// Snapshot id.
+        snapshot: String,
+        /// The mutations, in application order.
+        mutations: Vec<Mutation>,
+    },
+    /// Fold a snapshot's WAL back into its CKS1 file (atomic tmp +
+    /// rename). The composed graph is unchanged, so no cache entry is
+    /// invalidated.
+    Compact {
+        /// Snapshot id.
+        snapshot: String,
+    },
+    /// Read one group's paper scores straight from the incrementally
+    /// maintained aggregates — O(1), no scoring job, no queueing — along
+    /// with the snapshot's current mutation version.
+    WatchScores {
+        /// Snapshot id.
+        snapshot: String,
+        /// Group index within the snapshot.
+        group: usize,
     },
     /// Test-only: occupy a worker for `millis`. Rejected unless the
     /// server was started with `debug_ops` (integration tests use it to
@@ -397,6 +424,62 @@ fn parse_functions(value: &Value) -> Result<Vec<ScoringFunction>, RequestError> 
     }
 }
 
+/// Parses the `mutations` array of an `apply_mutations` request. Each
+/// element is either the one-line text form (`"add-edge 3 17"`) or an
+/// object form (`{"op":"add_edge","u":3,"v":17}`, with `group`/`node`
+/// for membership ops); hyphens and underscores in op names are
+/// interchangeable.
+fn parse_mutations(value: &Value) -> Result<Vec<Mutation>, RequestError> {
+    let Some(Value::Seq(items)) = wire::get(value, "mutations") else {
+        return Err(wire::bad("missing array field \"mutations\"".to_string()));
+    };
+    if items.is_empty() {
+        return Err(wire::bad("field \"mutations\" must not be empty".to_string()));
+    }
+    items.iter().enumerate().map(|(i, item)| parse_mutation(item, i)).collect()
+}
+
+fn parse_mutation(item: &Value, index: usize) -> Result<Mutation, RequestError> {
+    let node_arg = |key: &str| -> Result<u32, RequestError> {
+        let n = wire::get_u64(item, key)
+            .map_err(|(k, m)| (k, format!("mutation {index}: {m}")))?;
+        u32::try_from(n).map_err(|_| {
+            wire::bad(format!("mutation {index}: field {key:?} exceeds u32 range"))
+        })
+    };
+    match item {
+        Value::Str(line) => match Mutation::parse_line(line) {
+            Ok(Some(m)) => Ok(m),
+            Ok(None) => {
+                Err(wire::bad(format!("mutation {index}: blank or comment line {line:?}")))
+            }
+            Err(why) => Err(wire::bad(format!("mutation {index}: {why}"))),
+        },
+        Value::Map(_) => {
+            let op = wire::get_str(item, "op")
+                .map_err(|(k, m)| (k, format!("mutation {index}: {m}")))?;
+            match op.replace('-', "_").as_str() {
+                "add_edge" => Ok(Mutation::AddEdge { u: node_arg("u")?, v: node_arg("v")? }),
+                "remove_edge" => {
+                    Ok(Mutation::RemoveEdge { u: node_arg("u")?, v: node_arg("v")? })
+                }
+                "add_vertex" => Ok(Mutation::AddVertex),
+                "add_member" => {
+                    Ok(Mutation::AddMember { group: node_arg("group")?, node: node_arg("node")? })
+                }
+                "remove_member" => Ok(Mutation::RemoveMember {
+                    group: node_arg("group")?,
+                    node: node_arg("node")?,
+                }),
+                other => Err(wire::bad(format!("mutation {index}: unknown op {other:?}"))),
+            }
+        }
+        other => Err(wire::bad(format!(
+            "mutation {index}: expected a line or an object, got {other}"
+        ))),
+    }
+}
+
 impl Request {
     /// Parses a request frame's JSON payload.
     ///
@@ -439,6 +522,17 @@ impl Request {
                     .map_or(DEFAULT_BASELINE_SAMPLES, |s| s as usize),
                 seed: wire::get_u64_opt(&value, "seed")?.unwrap_or(2014),
                 deadline_ms: wire::get_u64_opt(&value, "deadline_ms")?,
+            }),
+            "apply_mutations" => Ok(Request::ApplyMutations {
+                snapshot: wire::get_str(&value, "snapshot")?,
+                mutations: parse_mutations(&value)?,
+            }),
+            "compact" => Ok(Request::Compact {
+                snapshot: wire::get_str(&value, "snapshot")?,
+            }),
+            "watch_scores" => Ok(Request::WatchScores {
+                snapshot: wire::get_str(&value, "snapshot")?,
+                group: wire::get_u64(&value, "group")? as usize,
             }),
             "debug_sleep" => Ok(Request::DebugSleep {
                 millis: wire::get_u64(&value, "millis")?,
@@ -567,6 +661,38 @@ mod tests {
     }
 
     #[test]
+    fn mutation_requests_parse_both_forms() {
+        let req = Request::parse(
+            "{\"op\":\"apply_mutations\",\"snapshot\":\"gp\",\"mutations\":[\
+             \"add-edge 3 17\",\
+             {\"op\":\"remove-edge\",\"u\":1,\"v\":2},\
+             {\"op\":\"add_vertex\"},\
+             {\"op\":\"add_member\",\"group\":0,\"node\":5}]}",
+        )
+        .unwrap();
+        assert_eq!(
+            req,
+            Request::ApplyMutations {
+                snapshot: "gp".to_string(),
+                mutations: vec![
+                    Mutation::AddEdge { u: 3, v: 17 },
+                    Mutation::RemoveEdge { u: 1, v: 2 },
+                    Mutation::AddVertex,
+                    Mutation::AddMember { group: 0, node: 5 },
+                ],
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"compact\",\"snapshot\":\"gp\"}").unwrap(),
+            Request::Compact { snapshot: "gp".to_string() }
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"watch_scores\",\"snapshot\":\"gp\",\"group\":2}").unwrap(),
+            Request::WatchScores { snapshot: "gp".to_string(), group: 2 }
+        );
+    }
+
+    #[test]
     fn malformed_requests_are_typed_bad_requests() {
         for payload in [
             "not json at all",
@@ -578,6 +704,17 @@ mod tests {
             "{\"op\":\"score_set\",\"snapshot\":\"gp\",\"members\":[\"x\"]}",
             "{\"op\":\"score_group\",\"snapshot\":\"gp\",\"group\":1,\"functions\":[]}",
             "{\"op\":\"score_group\",\"snapshot\":\"gp\",\"group\":1,\"functions\":[\"nope\"]}",
+            "{\"op\":\"apply_mutations\",\"snapshot\":\"gp\"}",
+            "{\"op\":\"apply_mutations\",\"snapshot\":\"gp\",\"mutations\":[]}",
+            "{\"op\":\"apply_mutations\",\"snapshot\":\"gp\",\"mutations\":[\"add-edge 1\"]}",
+            "{\"op\":\"apply_mutations\",\"snapshot\":\"gp\",\"mutations\":[\"# nope\"]}",
+            "{\"op\":\"apply_mutations\",\"snapshot\":\"gp\",\"mutations\":[7]}",
+            "{\"op\":\"apply_mutations\",\"snapshot\":\"gp\",\
+             \"mutations\":[{\"op\":\"add_edge\",\"u\":1}]}",
+            "{\"op\":\"apply_mutations\",\"snapshot\":\"gp\",\
+             \"mutations\":[{\"op\":\"add_edge\",\"u\":1,\"v\":4294967296}]}",
+            "{\"op\":\"watch_scores\",\"snapshot\":\"gp\"}",
+            "{\"op\":\"compact\"}",
         ] {
             let (kind, _) = Request::parse(payload).unwrap_err();
             assert_eq!(kind, ErrorKind::BadRequest, "{payload}");

@@ -7,11 +7,18 @@
 //! Graph-level precomputation (the median degree that FOMD needs) runs at
 //! load time so request handling never repeats it, and so served scores
 //! use exactly the inputs the offline `Scorer` would.
+//!
+//! Entries are immutable; live mutations never edit a resident snapshot
+//! in place. Instead the server materializes the mutated graph into a
+//! *fresh* [`LoadedSnapshot`] with a higher [`LoadedSnapshot::version`]
+//! and [`SnapshotRegistry::replace`]s the entry atomically, so scoring
+//! jobs already holding the old `Arc` keep a consistent graph and new
+//! requests see the new one.
 
 use circlekit_graph::{Graph, VertexSet};
 use circlekit_scoring::Scorer;
 use circlekit_store::MappedSnapshot;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// One resident snapshot: the shared graph, its groups, and the
 /// precomputed graph-level scoring inputs.
@@ -27,12 +34,17 @@ pub struct LoadedSnapshot {
     pub groups: Vec<VertexSet>,
     /// Graph-wide median total degree, precomputed for FOMD.
     pub median_degree: f64,
+    /// Which live-mutation version this materialization reflects: 0 as
+    /// loaded, bumped once per committed mutation batch. Cache keys carry
+    /// it, so scores computed against a superseded materialization can
+    /// never answer a request against a newer one.
+    pub version: u64,
 }
 
 /// The set of snapshots a server answers queries about.
 #[derive(Debug, Default)]
 pub struct SnapshotRegistry {
-    entries: Vec<Arc<LoadedSnapshot>>,
+    entries: RwLock<Vec<Arc<LoadedSnapshot>>>,
 }
 
 impl SnapshotRegistry {
@@ -85,28 +97,46 @@ impl SnapshotRegistry {
             return Err(format!("duplicate snapshot id {id:?}"));
         }
         let median_degree = Scorer::new(&graph).median_degree();
-        self.entries.push(Arc::new(LoadedSnapshot { id, path, graph, groups, median_degree }));
+        self.entries.write().expect("registry lock").push(Arc::new(LoadedSnapshot {
+            id,
+            path,
+            graph,
+            groups,
+            median_degree,
+            version: 0,
+        }));
         Ok(())
     }
 
-    /// Looks a snapshot up by id.
-    pub fn get(&self, id: &str) -> Option<&Arc<LoadedSnapshot>> {
-        self.entries.iter().find(|s| s.id == id)
+    /// Looks a snapshot up by id, returning a shared handle to the
+    /// current materialization.
+    pub fn get(&self, id: &str) -> Option<Arc<LoadedSnapshot>> {
+        self.entries.read().expect("registry lock").iter().find(|s| s.id == id).cloned()
+    }
+
+    /// Swaps the entry with `fresh.id` for `fresh` (appends when the id
+    /// is new). Readers holding the old `Arc` are unaffected.
+    pub fn replace(&self, fresh: Arc<LoadedSnapshot>) {
+        let mut entries = self.entries.write().expect("registry lock");
+        match entries.iter_mut().find(|s| s.id == fresh.id) {
+            Some(slot) => *slot = fresh,
+            None => entries.push(fresh),
+        }
     }
 
     /// All snapshots, in load order.
-    pub fn iter(&self) -> impl Iterator<Item = &Arc<LoadedSnapshot>> {
-        self.entries.iter()
+    pub fn snapshots(&self) -> Vec<Arc<LoadedSnapshot>> {
+        self.entries.read().expect("registry lock").clone()
     }
 
     /// Number of resident snapshots.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.entries.read().expect("registry lock").len()
     }
 
     /// Whether no snapshot is loaded.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 }
 
@@ -129,6 +159,7 @@ mod tests {
         assert_eq!(snap.graph.node_count(), 4);
         assert_eq!(snap.groups.len(), 1);
         assert!(snap.median_degree > 0.0);
+        assert_eq!(snap.version, 0);
         assert!(reg.get("b").is_none());
     }
 
@@ -158,7 +189,7 @@ mod tests {
         // Explicit ids override the stem.
         reg.load(&path, Some("alias")).unwrap();
         assert!(reg.get("alias").is_some());
-        assert_eq!(reg.iter().count(), 2);
+        assert_eq!(reg.snapshots().len(), 2);
     }
 
     #[test]
@@ -166,5 +197,28 @@ mod tests {
         let mut reg = SnapshotRegistry::new();
         let err = reg.load("/definitely/not/here.cks", None).unwrap_err();
         assert!(err.contains("here.cks"), "{err}");
+    }
+
+    #[test]
+    fn replace_swaps_only_the_matching_id() {
+        let mut reg = SnapshotRegistry::new();
+        reg.insert("a", tiny_graph(), Vec::new()).unwrap();
+        reg.insert("b", tiny_graph(), Vec::new()).unwrap();
+        let old = reg.get("a").unwrap();
+        let fresh = Arc::new(LoadedSnapshot {
+            id: "a".to_string(),
+            path: old.path.clone(),
+            graph: Graph::from_edges(false, [(0u32, 1u32)]),
+            groups: Vec::new(),
+            median_degree: 1.0,
+            version: 3,
+        });
+        reg.replace(Arc::clone(&fresh));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.get("a").unwrap().version, 3);
+        assert_eq!(reg.get("b").unwrap().version, 0);
+        // The superseded Arc stays usable for in-flight work.
+        assert_eq!(old.version, 0);
+        assert_eq!(old.graph.node_count(), 4);
     }
 }

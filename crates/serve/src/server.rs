@@ -33,11 +33,14 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{LoadedSnapshot, SnapshotRegistry};
 use crate::stats::{ServeStats, StatsSnapshot};
 use circlekit_graph::{RunControl, VertexSet};
+use circlekit_live::{wal_path_for, LiveSnapshot, Mutation};
 use circlekit_sampling::size_matched_random_walk_sets_parallel_with_control;
-use circlekit_scoring::{ParallelScorer, ScoringFunction};
+use circlekit_scoring::{ParallelScorer, Scorer, ScoringFunction};
 use serde_json::Value;
+use std::collections::HashMap;
 use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -87,6 +90,14 @@ impl Default for ServeConfig {
 enum JobOutput {
     Scores(Vec<f64>),
     Baseline { set_scores: Vec<f64>, baseline_means: Vec<f64> },
+    Applied {
+        applied: usize,
+        rejected: Option<(usize, String)>,
+        version: u64,
+        wal_records: u64,
+        invalidated: u64,
+    },
+    Compacted { folded: u64 },
     Slept,
 }
 
@@ -112,10 +123,29 @@ enum Job {
         control: RunControl,
         reply: JobReply,
     },
+    Apply {
+        snapshot_id: String,
+        mutations: Vec<Mutation>,
+        reply: JobReply,
+    },
+    Compact {
+        snapshot_id: String,
+        reply: JobReply,
+    },
     Sleep {
         millis: u64,
         reply: JobReply,
     },
+}
+
+/// The mutable side of one snapshot: the authoritative [`LiveSnapshot`]
+/// (overlay + aggregates + WAL) plus the version its committed batches
+/// have reached. The registry's immutable materialization lags behind
+/// and is refreshed lazily — at most once per version — by
+/// [`resolve_snapshot`].
+struct LiveState {
+    live: LiveSnapshot,
+    version: u64,
 }
 
 struct Shared {
@@ -123,6 +153,7 @@ struct Shared {
     config: ServeConfig,
     queue: BoundedQueue<Job>,
     cache: Mutex<ScoreCache>,
+    live: Mutex<HashMap<String, LiveState>>,
     stats: ServeStats,
     shutdown: AtomicBool,
 }
@@ -182,12 +213,14 @@ impl Server {
                 "refusing to serve an empty snapshot registry",
             ));
         }
+        let live = adopt_write_ahead_logs(&registry)?;
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: Mutex::new(ScoreCache::new(config.cache_capacity)),
+            live: Mutex::new(live),
             stats: ServeStats::default(),
             shutdown: AtomicBool::new(false),
             registry,
@@ -244,6 +277,40 @@ impl Server {
         }
         self.shared.stats_snapshot()
     }
+}
+
+/// Replays any CKW1 write-ahead log sitting next to a loaded snapshot
+/// before the server accepts its first connection: the registry entry is
+/// swapped for a materialization that includes every committed mutation
+/// (a crash between batches therefore loses nothing), and the opened
+/// [`LiveSnapshot`] is kept so later mutation ops continue the same log.
+fn adopt_write_ahead_logs(
+    registry: &SnapshotRegistry,
+) -> io::Result<HashMap<String, LiveState>> {
+    let mut live = HashMap::new();
+    for snap in registry.snapshots() {
+        if snap.path == "<memory>" || !wal_path_for(Path::new(&snap.path)).exists() {
+            continue;
+        }
+        let opened = LiveSnapshot::open(&snap.path)
+            .map_err(|e| io::Error::other(format!("{}: {e}", snap.path)))?;
+        let version = opened.replayed_records() as u64;
+        if version > 0 {
+            let graph = opened.materialize();
+            let groups = opened.groups().to_vec();
+            let median_degree = Scorer::new(&graph).median_degree();
+            registry.replace(Arc::new(LoadedSnapshot {
+                id: snap.id.clone(),
+                path: snap.path.clone(),
+                graph,
+                groups,
+                median_degree,
+                version,
+            }));
+        }
+        live.insert(snap.id.clone(), LiveState { live: opened, version });
+    }
+    Ok(live)
 }
 
 fn accept_loop(
@@ -396,6 +463,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
         Request::ListSnapshots => {
             let snapshots: Vec<Value> = shared
                 .registry
+                .snapshots()
                 .iter()
                 .map(|s| {
                     Value::Map(vec![
@@ -405,6 +473,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
                         ("edges".to_string(), Value::UInt(s.graph.edge_count() as u64)),
                         ("directed".to_string(), Value::Bool(s.graph.is_directed())),
                         ("groups".to_string(), Value::UInt(s.groups.len() as u64)),
+                        ("version".to_string(), Value::UInt(s.version)),
                     ])
                 })
                 .collect();
@@ -486,6 +555,81 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
                 _ => Err(internal("baseline job returned the wrong output kind")),
             }
         }
+        Request::ApplyMutations { snapshot, mutations } => {
+            // Resolve first so unknown ids are `not-found`, not queued
+            // work; the worker re-resolves the live state under its lock.
+            let snap = resolve_snapshot(shared, &snapshot)?;
+            let (reply, outcome) = mpsc::channel();
+            enqueue(shared, Job::Apply { snapshot_id: snap.id.clone(), mutations, reply })?;
+            match wait_for(&outcome)? {
+                JobOutput::Applied { applied, rejected, version, wal_records, invalidated } => {
+                    let rejected_value = match rejected {
+                        None => Value::Null,
+                        Some((index, message)) => Value::Map(vec![
+                            ("index".to_string(), Value::UInt(index as u64)),
+                            ("message".to_string(), Value::Str(message)),
+                        ]),
+                    };
+                    let fields = vec![
+                        ("applied".to_string(), Value::UInt(applied as u64)),
+                        ("rejected".to_string(), rejected_value),
+                        ("version".to_string(), Value::UInt(version)),
+                        ("wal_records".to_string(), Value::UInt(wal_records)),
+                        ("cache_invalidated".to_string(), Value::UInt(invalidated)),
+                    ];
+                    Ok(ok_payload(with_op("apply_mutations", &snap.id, fields)))
+                }
+                _ => Err(internal("apply job returned the wrong output kind")),
+            }
+        }
+        Request::Compact { snapshot } => {
+            let snap = resolve_snapshot(shared, &snapshot)?;
+            if snap.path == "<memory>" {
+                return Err((
+                    ErrorKind::BadRequest,
+                    format!("snapshot {:?} is in-memory and cannot be compacted", snap.id),
+                ));
+            }
+            let (reply, outcome) = mpsc::channel();
+            enqueue(shared, Job::Compact { snapshot_id: snap.id.clone(), reply })?;
+            match wait_for(&outcome)? {
+                JobOutput::Compacted { folded } => {
+                    let fields = vec![
+                        ("folded_records".to_string(), Value::UInt(folded)),
+                        ("path".to_string(), Value::Str(snap.path.clone())),
+                    ];
+                    Ok(ok_payload(with_op("compact", &snap.id, fields)))
+                }
+                _ => Err(internal("compact job returned the wrong output kind")),
+            }
+        }
+        Request::WatchScores { snapshot, group } => {
+            // O(1) from the maintained aggregates: answered inline, like
+            // cache hits — no scoring job, no queue round-trip.
+            let mut states = shared.live.lock().expect("live state lock");
+            let state = live_state(&mut states, shared, &snapshot)?;
+            let scores = state.live.paper_scores(group).ok_or_else(|| {
+                (
+                    ErrorKind::NotFound,
+                    format!(
+                        "snapshot {snapshot:?} has {} groups, no index {group}",
+                        state.live.groups().len()
+                    ),
+                )
+            })?;
+            let size = state.live.groups()[group].len();
+            let names: Vec<Value> =
+                scores.iter().map(|(f, _)| Value::Str(f.name().to_string())).collect();
+            let values: Vec<f64> = scores.iter().map(|&(_, s)| s).collect();
+            let fields = vec![
+                ("group".to_string(), Value::UInt(group as u64)),
+                ("size".to_string(), Value::UInt(size as u64)),
+                ("version".to_string(), Value::UInt(state.version)),
+                ("functions".to_string(), Value::Seq(names)),
+                ("scores".to_string(), wire::score_array(&values)),
+            ];
+            Ok(ok_payload(with_op("watch_scores", &snapshot, fields)))
+        }
         Request::DebugSleep { millis } => {
             if !shared.config.debug_ops {
                 return Err((
@@ -516,7 +660,7 @@ fn score_request(
     check_deadline(&control)?;
     let size = set.len();
     let digest = set_digest(set.as_slice());
-    if let Some(scores) = cache_probe(shared, &snap.id, functions, digest) {
+    if let Some(scores) = cache_probe(shared, snap, functions, digest) {
         return Ok(score_fields(size, functions, &scores, true));
     }
     let (reply, outcome) = mpsc::channel();
@@ -568,11 +712,56 @@ fn resolve_snapshot(
     shared: &Shared,
     id: &str,
 ) -> Result<Arc<LoadedSnapshot>, RequestError> {
-    shared
+    let snap = shared
         .registry
         .get(id)
-        .cloned()
-        .ok_or_else(|| (ErrorKind::NotFound, format!("unknown snapshot {id:?}")))
+        .ok_or_else(|| (ErrorKind::NotFound, format!("unknown snapshot {id:?}")))?;
+    // Committed mutations outrun the registry's materialization. Catch
+    // up lazily — the composed graph is rebuilt at most once per version,
+    // however many batches a burst committed — and swap a fresh immutable
+    // entry in; jobs holding the old Arc keep a consistent graph.
+    let mut states = shared.live.lock().expect("live state lock");
+    let Some(state) = states.get_mut(id) else { return Ok(snap) };
+    if state.version == snap.version {
+        return Ok(snap);
+    }
+    let graph = state.live.materialize();
+    let groups = state.live.groups().to_vec();
+    let median_degree = Scorer::new(&graph).median_degree();
+    let fresh = Arc::new(LoadedSnapshot {
+        id: snap.id.clone(),
+        path: snap.path.clone(),
+        graph,
+        groups,
+        median_degree,
+        version: state.version,
+    });
+    shared.registry.replace(Arc::clone(&fresh));
+    Ok(fresh)
+}
+
+/// Fetches (or lazily creates, for snapshots never mutated before) the
+/// live state of `id`. Callers hold the live-state map lock.
+fn live_state<'a>(
+    states: &'a mut HashMap<String, LiveState>,
+    shared: &Shared,
+    id: &str,
+) -> Result<&'a mut LiveState, RequestError> {
+    if !states.contains_key(id) {
+        let snap = shared
+            .registry
+            .get(id)
+            .ok_or_else(|| (ErrorKind::NotFound, format!("unknown snapshot {id:?}")))?;
+        let live = if snap.path == "<memory>" {
+            LiveSnapshot::in_memory(snap.graph.clone(), snap.groups.clone())
+        } else {
+            LiveSnapshot::open(&snap.path).map_err(|e| {
+                internal(&format!("cannot open {} for mutation: {e}", snap.path))
+            })?
+        };
+        states.insert(id.to_string(), LiveState { live, version: snap.version });
+    }
+    Ok(states.get_mut(id).expect("present or just inserted"))
 }
 
 fn resolve_group(snap: &LoadedSnapshot, group: usize) -> Result<VertexSet, RequestError> {
@@ -613,7 +802,9 @@ fn enqueue(shared: &Shared, job: Job) -> Result<(), RequestError> {
         PushError::Closed => {
             (ErrorKind::ShuttingDown, "server is draining".to_string())
         }
-    })
+    })?;
+    ServeStats::raise(&shared.stats.queue_depth_max, shared.queue.len() as u64);
+    Ok(())
 }
 
 fn wait_for(
@@ -636,7 +827,10 @@ fn worker_loop(shared: &Arc<Shared>) {
     loop {
         let batch = shared.queue.pop_batch(shared.config.batch_max, |first, candidate| {
             match (first, candidate) {
-                (Job::Score(a), Job::Score(b)) => a.snapshot.id == b.snapshot.id,
+                // Pointer identity, not id equality: two jobs under the
+                // same id may hold different materialization versions of
+                // a mutated snapshot, and must never share one scorer.
+                (Job::Score(a), Job::Score(b)) => Arc::ptr_eq(&a.snapshot, &b.snapshot),
                 _ => false,
             }
         });
@@ -651,6 +845,14 @@ fn worker_loop(shared: &Arc<Shared>) {
                     let result = run_baseline(
                         shared, &snapshot, set, &functions, samples, seed, &control,
                     );
+                    let _ = reply.send(result);
+                }
+                Job::Apply { snapshot_id, mutations, reply } => {
+                    let result = run_apply(shared, &snapshot_id, &mutations);
+                    let _ = reply.send(result);
+                }
+                Job::Compact { snapshot_id, reply } => {
+                    let result = run_compact(shared, &snapshot_id);
                     let _ = reply.send(result);
                 }
                 Job::Sleep { millis, reply } => {
@@ -705,6 +907,7 @@ fn run_score_batch(shared: &Shared, mut jobs: Vec<ScoreJob>) {
             cache.insert(
                 CacheKey {
                     snapshot: job.snapshot.id.clone(),
+                    version: job.snapshot.version,
                     function: *function,
                     digest: job.digest,
                 },
@@ -759,12 +962,57 @@ fn run_baseline(
     Ok(JobOutput::Baseline { set_scores, baseline_means })
 }
 
+/// Applies one mutation batch under the live-state lock. On commit the
+/// version is bumped and every cached score of the snapshot's older
+/// materializations is invalidated *before* the reply is sent, so a
+/// client that saw the ack can never read a stale cached score.
+fn run_apply(
+    shared: &Shared,
+    id: &str,
+    mutations: &[Mutation],
+) -> Result<JobOutput, RequestError> {
+    let mut states = shared.live.lock().expect("live state lock");
+    let state = live_state(&mut states, shared, id)?;
+    let outcome = state
+        .live
+        .apply(mutations)
+        .map_err(|e| internal(&format!("mutation commit failed: {e}")))?;
+    let mut invalidated = 0;
+    if outcome.applied > 0 {
+        state.version += 1;
+        ServeStats::add(&shared.stats.mutations_applied, outcome.applied as u64);
+        invalidated =
+            shared.cache.lock().expect("cache lock").invalidate_stale(id, state.version);
+    }
+    if outcome.rejected.is_some() {
+        ServeStats::bump(&shared.stats.mutations_rejected);
+    }
+    Ok(JobOutput::Applied {
+        applied: outcome.applied,
+        rejected: outcome.rejected.map(|(i, e)| (i, e.to_string())),
+        version: state.version,
+        wal_records: state.live.wal_records() as u64,
+        invalidated,
+    })
+}
+
+/// Folds a snapshot's WAL into its CKS1 file. The composed graph is
+/// unchanged, so neither the version nor any cache entry moves.
+fn run_compact(shared: &Shared, id: &str) -> Result<JobOutput, RequestError> {
+    let mut states = shared.live.lock().expect("live state lock");
+    let state = live_state(&mut states, shared, id)?;
+    let folded = state.live.wal_records() as u64;
+    state.live.compact().map_err(|e| internal(&format!("compaction failed: {e}")))?;
+    ServeStats::bump(&shared.stats.compactions);
+    Ok(JobOutput::Compacted { folded })
+}
+
 /// Probes the cache for every requested function; only a full hit
 /// produces a response (a partial hit recomputes the whole request — the
 /// stats are computed once per set anyway).
 fn cache_probe(
     shared: &Shared,
-    snapshot: &str,
+    snap: &LoadedSnapshot,
     functions: &[ScoringFunction],
     digest: u64,
 ) -> Option<Vec<f64>> {
@@ -775,7 +1023,8 @@ fn cache_probe(
     let mut scores = Vec::with_capacity(functions.len());
     for function in functions {
         let key = CacheKey {
-            snapshot: snapshot.to_string(),
+            snapshot: snap.id.clone(),
+            version: snap.version,
             function: *function,
             digest,
         };

@@ -29,6 +29,14 @@ pub struct ServeStats {
     pub max_batch: AtomicU64,
     /// Vertex sets actually scored (batch jobs + baseline samples).
     pub scored_sets: AtomicU64,
+    /// Deepest the queue has ever been (raised at enqueue time).
+    pub queue_depth_max: AtomicU64,
+    /// Mutations applied by committed `apply_mutations` batches.
+    pub mutations_applied: AtomicU64,
+    /// `apply_mutations` batches that stopped at a rejected mutation.
+    pub mutations_rejected: AtomicU64,
+    /// WAL compactions performed via the `compact` op.
+    pub compactions: AtomicU64,
 }
 
 impl ServeStats {
@@ -62,6 +70,10 @@ impl ServeStats {
             batched_jobs: read(&self.batched_jobs),
             max_batch: read(&self.max_batch),
             scored_sets: read(&self.scored_sets),
+            queue_depth_max: read(&self.queue_depth_max),
+            mutations_applied: read(&self.mutations_applied),
+            mutations_rejected: read(&self.mutations_rejected),
+            compactions: read(&self.compactions),
             cache,
             queue_depth,
         }
@@ -91,6 +103,14 @@ pub struct StatsSnapshot {
     pub max_batch: u64,
     /// Vertex sets scored.
     pub scored_sets: u64,
+    /// Deepest the queue has ever been.
+    pub queue_depth_max: u64,
+    /// Mutations applied via `apply_mutations`.
+    pub mutations_applied: u64,
+    /// `apply_mutations` batches stopped by a rejection.
+    pub mutations_rejected: u64,
+    /// WAL compactions performed.
+    pub compactions: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
     /// Queue depth at snapshot time.
@@ -112,11 +132,17 @@ impl StatsSnapshot {
             ("batched_jobs".to_string(), u(self.batched_jobs)),
             ("max_batch".to_string(), u(self.max_batch)),
             ("scored_sets".to_string(), u(self.scored_sets)),
+            ("mutations_applied".to_string(), u(self.mutations_applied)),
+            ("mutations_rejected".to_string(), u(self.mutations_rejected)),
+            ("compactions".to_string(), u(self.compactions)),
             ("cache_hits".to_string(), u(self.cache.hits)),
             ("cache_misses".to_string(), u(self.cache.misses)),
+            ("cache_hit_ratio".to_string(), Value::Float(self.cache.hit_ratio())),
             ("cache_evictions".to_string(), u(self.cache.evictions)),
+            ("cache_invalidations".to_string(), u(self.cache.invalidations)),
             ("cache_entries".to_string(), u(self.cache.entries as u64)),
             ("queue_depth".to_string(), u(self.queue_depth as u64)),
+            ("queue_depth_max".to_string(), u(self.queue_depth_max)),
         ]
     }
 }
@@ -132,13 +158,33 @@ mod tests {
         ServeStats::add(&stats.batched_jobs, 5);
         ServeStats::raise(&stats.max_batch, 3);
         ServeStats::raise(&stats.max_batch, 2);
+        ServeStats::raise(&stats.queue_depth_max, 9);
+        ServeStats::add(&stats.mutations_applied, 4);
         let snap = stats.snapshot(CacheStats::default(), 7);
         assert_eq!(snap.requests, 1);
         assert_eq!(snap.batched_jobs, 5);
         assert_eq!(snap.max_batch, 3);
         assert_eq!(snap.queue_depth, 7);
+        assert_eq!(snap.queue_depth_max, 9);
+        assert_eq!(snap.mutations_applied, 4);
         let fields = snap.to_fields();
         assert!(fields.iter().any(|(k, v)| k == "max_batch" && *v == Value::UInt(3)));
         assert!(fields.iter().any(|(k, _)| k == "cache_hits"));
+        assert!(fields.iter().any(|(k, v)| k == "queue_depth_max" && *v == Value::UInt(9)));
+        assert!(fields.iter().any(|(k, _)| k == "cache_invalidations"));
+    }
+
+    #[test]
+    fn hit_ratio_is_rendered_as_a_float() {
+        let cache = CacheStats { hits: 3, misses: 1, ..CacheStats::default() };
+        let snap = ServeStats::default().snapshot(cache, 0);
+        let fields = snap.to_fields();
+        let ratio = fields.iter().find(|(k, _)| k == "cache_hit_ratio").unwrap();
+        assert_eq!(ratio.1, Value::Float(0.75));
+        // No lookups yet ⇒ ratio 0.0, not NaN.
+        let empty = ServeStats::default().snapshot(CacheStats::default(), 0);
+        let fields = empty.to_fields();
+        let ratio = fields.iter().find(|(k, _)| k == "cache_hit_ratio").unwrap();
+        assert_eq!(ratio.1, Value::Float(0.0));
     }
 }
