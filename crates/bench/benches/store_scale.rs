@@ -1,0 +1,242 @@
+//! Paper-scale CKS2 gate: generate, pack, and score a 10M+-arc graph
+//! end-to-end, proving the three tentpole claims with numbers:
+//!
+//! * the **streaming packer** builds the snapshot from the raw edge-list
+//!   file in bounded memory (external sort; peak RSS recorded);
+//! * **CKS2 is measurably smaller** than the CKS1 pack of the same data;
+//! * **mmap-paged scoring** over the compressed file is bit-identical to
+//!   the offline scorer over the materialised graph.
+//!
+//! The run appends a `store_scale` row to `BENCH_store.json` (JSONL; the
+//! `ingest_vs_snapshot` row is preserved), so the full-scale trajectory
+//! is tracked as numbers, not claims.
+//!
+//! Defaults write ~12M arcs; tune with
+//! `cargo bench --bench store_scale -- --arcs N --nodes N --budget-mb N`.
+
+use circlekit::graph::{parse_edge_list, Graph, VertexSet};
+use circlekit::scoring::{PagedScorer, Scorer, ScoringFunction};
+use circlekit::store::{
+    save_snapshot, stream_pack_cks2, MappedSnapshot, StreamPackOptions,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fs;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::time::Instant;
+
+struct Config {
+    arcs: u64,
+    nodes: u32,
+    groups: usize,
+    budget_mb: usize,
+    seed: u64,
+}
+
+impl Config {
+    /// Reads `--arcs/--nodes/--groups/--budget-mb/--seed`, ignoring the
+    /// harness flags cargo-bench forwards (`--bench`, filters, ...).
+    fn from_args() -> Config {
+        let mut cfg = Config {
+            arcs: 12_000_000,
+            nodes: 250_000,
+            groups: 32,
+            budget_mb: 64,
+            seed: 2014,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        for pair in args.windows(2) {
+            let (flag, value) = (pair[0].as_str(), pair[1].as_str());
+            match flag {
+                "--arcs" => cfg.arcs = value.parse().expect("--arcs"),
+                "--nodes" => cfg.nodes = value.parse().expect("--nodes"),
+                "--groups" => cfg.groups = value.parse().expect("--groups"),
+                "--budget-mb" => cfg.budget_mb = value.parse().expect("--budget-mb"),
+                "--seed" => cfg.seed = value.parse().expect("--seed"),
+                _ => {}
+            }
+        }
+        cfg
+    }
+}
+
+/// Streams a deterministic directed edge list to disk without ever
+/// materialising it: skewed sources (hubs), uniform targets — enough
+/// structure for the degree relabelling to have real work to do.
+fn generate_edge_file(path: &Path, cfg: &Config) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut w = BufWriter::with_capacity(1 << 20, fs::File::create(path).expect("create edges"));
+    let n = cfg.nodes as u64;
+    let mut lines = 0u64;
+    while lines < cfg.arcs {
+        // Square a uniform draw to skew sources toward small ids.
+        let r = rng.gen::<u64>() % (n * n);
+        let u = (r as f64).sqrt() as u64 % n;
+        let v = rng.gen::<u64>() % n;
+        if u == v {
+            continue;
+        }
+        writeln!(w, "{u} {v}").expect("write edge");
+        lines += 1;
+    }
+    w.flush().expect("flush edges");
+    lines
+}
+
+/// Deterministic groups: random members, sorted + deduplicated.
+fn generate_groups(cfg: &Config) -> Vec<VertexSet> {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x9E37);
+    (0..cfg.groups)
+        .map(|_| {
+            let size = 50 + (rng.gen::<u32>() % 400) as usize;
+            let mut members: Vec<u32> =
+                (0..size).map(|_| rng.gen::<u32>() % cfg.nodes).collect();
+            members.sort_unstable();
+            members.dedup();
+            VertexSet::from_sorted_unique(members)
+        })
+        .collect()
+}
+
+/// Peak resident set size of this process so far, in MiB (`VmHWM`).
+fn peak_rss_mb() -> Option<f64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: f64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb / 1024.0)
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let dir = std::env::temp_dir().join(format!("circlekit-store-scale-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create temp dir");
+    let edges_path = dir.join("scale.edges");
+    let cks2_path = dir.join("scale.cks2");
+    let cks1_path = dir.join("scale.cks1");
+
+    eprintln!("generating {} arcs over {} nodes...", cfg.arcs, cfg.nodes);
+    let start = Instant::now();
+    let lines = generate_edge_file(&edges_path, &cfg);
+    let edges_text_bytes = fs::metadata(&edges_path).expect("edges stat").len();
+    eprintln!(
+        "  {lines} lines, {edges_text_bytes} bytes in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    let groups = generate_groups(&cfg);
+
+    // 1. Streaming pack FIRST, so the recorded peak RSS reflects the
+    //    bounded-memory path, not the in-memory baseline below.
+    let start = Instant::now();
+    let report = stream_pack_cks2(
+        &edges_path,
+        &groups,
+        &cks2_path,
+        &StreamPackOptions {
+            directed: true,
+            memory_budget_bytes: cfg.budget_mb << 20,
+            ..StreamPackOptions::default()
+        },
+    )
+    .expect("streaming pack");
+    let stream_pack_s = start.elapsed().as_secs_f64();
+    let stream_peak_rss_mb = peak_rss_mb();
+    eprintln!(
+        "  streamed pack: {:.1}s, {} bytes, {} runs spilled, peak RSS {:?} MiB",
+        stream_pack_s, report.bytes_written, report.runs_spilled, stream_peak_rss_mb
+    );
+    assert!(report.edge_count >= 10_000_000, "the gate is a 10M+-arc graph");
+    assert!(report.runs_spilled > 0, "the budget must engage the external sort");
+
+    // 2. In-memory CKS1 baseline: full text ingestion + pack.
+    let start = Instant::now();
+    let text = fs::read_to_string(&edges_path).expect("read edges");
+    let edges = parse_edge_list(&text).expect("parse edges");
+    let graph = Graph::from_edges(true, edges);
+    drop(text);
+    let ingest_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let cks1_bytes = save_snapshot(&cks1_path, &graph, &groups).expect("cks1 pack");
+    let cks1_pack_s = start.elapsed().as_secs_f64();
+    let ratio = report.bytes_written as f64 / cks1_bytes as f64;
+    eprintln!(
+        "  cks1: ingest {ingest_s:.1}s, pack {cks1_pack_s:.1}s, {cks1_bytes} bytes \
+         (cks2/cks1 = {ratio:.3})"
+    );
+    assert_eq!(graph.edge_count() as u64, report.edge_count, "both paths see the same graph");
+    assert!(
+        (report.bytes_written as f64) < 0.8 * cks1_bytes as f64,
+        "CKS2 must be measurably smaller than CKS1"
+    );
+
+    // 3. Paged scoring over the compressed mmap vs the offline scorer.
+    let mapped = MappedSnapshot::open(&cks2_path).expect("mmap cks2");
+    let view = mapped.view2().expect("cks2 view");
+    let paged = view.paged().expect("paged adapter");
+    let start = Instant::now();
+    let paged_table = PagedScorer::new(&paged)
+        .expect("paged median pass")
+        .score_table(&ScoringFunction::ALL, &groups)
+        .expect("paged scoring");
+    let paged_score_s = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let offline_table = Scorer::new(&graph).score_table(&ScoringFunction::ALL, &groups);
+    let offline_score_s = start.elapsed().as_secs_f64();
+    for i in 0..offline_table.set_count() {
+        let (a, b) = (offline_table.row(i), paged_table.row(i));
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "paged scoring must be bit-identical");
+        }
+    }
+    eprintln!("  scoring: paged {paged_score_s:.1}s vs offline {offline_score_s:.1}s, bit-identical");
+
+    // 4. Append the row, preserving every other bench's line.
+    let dataset = serde_json::json!({
+        "nodes": report.nodes,
+        "arc_lines": lines,
+        "edges": report.edge_count,
+        "groups": groups.len(),
+        "edges_text_bytes": edges_text_bytes,
+    });
+    let streaming = serde_json::json!({
+        "seconds": stream_pack_s,
+        "budget_mb": cfg.budget_mb,
+        "runs_spilled": report.runs_spilled,
+        "peak_rss_mb": stream_peak_rss_mb,
+        "duplicates_dropped": report.duplicates_dropped,
+        "self_loops_dropped": report.self_loops_dropped,
+        "cks2_bytes": report.bytes_written,
+        "wide": report.wide,
+    });
+    let cks1 = serde_json::json!({
+        "text_ingest_seconds": ingest_s,
+        "pack_seconds": cks1_pack_s,
+        "bytes": cks1_bytes,
+    });
+    let scoring = serde_json::json!({
+        "functions": ScoringFunction::ALL.len(),
+        "paged_mmap_seconds": paged_score_s,
+        "offline_seconds": offline_score_s,
+        "bit_identical": true,
+    });
+    let row = serde_json::json!({
+        "bench": "store_scale",
+        "dataset": dataset,
+        "streaming_pack": streaming,
+        "cks1": cks1,
+        "cks2_over_cks1_size": ratio,
+        "scoring": scoring,
+    });
+    let out_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_store.json");
+    let mut lines: Vec<String> = fs::read_to_string(&out_path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.contains("\"bench\":\"store_scale\""))
+        .map(|l| l.to_string())
+        .collect();
+    lines.push(serde_json::to_string(&row).expect("row serialises"));
+    fs::write(&out_path, lines.join("\n") + "\n").expect("write BENCH_store.json");
+    println!("wrote {}", out_path.display());
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -12,7 +12,10 @@ use circlekit::metrics::{DegreeKind, DegreeStats};
 use circlekit::render::render_score_table;
 use circlekit::scoring::{parse_thread_count, Scorer, ScoringFunction};
 use circlekit::statfit::analyze_tail;
-use circlekit::store::{file_is_snapshot, save_snapshot, section_infos, MappedSnapshot};
+use circlekit::store::{
+    file_is_snapshot, file_snapshot_format, save_cks2_snapshot, save_snapshot, section_infos,
+    stream_pack_cks2, Cks2PackOptions, MappedSnapshot, SnapshotFormat, StreamPackOptions,
+};
 use circlekit::synth::{presets, GroupKind, SynthDataset};
 use circlekit_serve::{Client, ServeConfig, Server, SnapshotRegistry};
 use rand::rngs::SmallRng;
@@ -48,7 +51,8 @@ fn usage() -> String {
      circlekit characterize --edges FILE [--undirected] [--sources N]\n  \
      circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]\n  \
      circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n  \
-     circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks [--force]\n  \
+     circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks [--force]\n                         \
+     [--format cks1|cks2] [--stream] [--memory-budget-mb N]\n  \
      circlekit inspect      --snapshot FILE.cks [--json]\n  \
      circlekit live apply   --snapshot FILE.cks --script FILE\n  \
      circlekit live scores  --snapshot FILE.cks\n  \
@@ -64,10 +68,12 @@ fn usage() -> String {
      circlekit query        --addr HOST:PORT watch-scores    --snapshot ID --group N\n  \
      circlekit query        --addr HOST:PORT compact         --snapshot ID\n\
      \n\
-     every --edges argument may be a text edge list or a CKS1 binary\n  \
+     every --edges argument may be a text edge list or a CKS1/CKS2 binary\n  \
      snapshot (detected by magic); snapshots carry their own directedness\n  \
      and, when packed with --groups, their group collections, so score\n  \
-     can run from a single .cks file\n\
+     can run from a single .cks file; pack --format cks2 writes the\n  \
+     compressed format and --stream packs straight from the edge file\n  \
+     in bounded memory\n\
      \n\
      every command that reads text files accepts --on-error fail|skip|report:\n  \
      fail (default) aborts on the first malformed line, skip drops bad\n  \
@@ -376,12 +382,22 @@ fn detect(args: &[String]) -> Result<String, String> {
 }
 
 fn pack(args: &[String]) -> Result<String, String> {
-    let flags = Flags::parse(args, &["undirected", "force"])?;
+    let flags = Flags::parse(args, &["undirected", "force", "stream"])?;
     let ingest = Ingest::from_flags(&flags)?;
     let mut notes = String::new();
     let edges_path = flags.required("edges")?;
-    if file_is_snapshot(edges_path).map_err(|e| format!("reading {edges_path}: {e}"))? {
-        return Err(format!("{edges_path} is already a CKS1 snapshot"));
+    if let Some(found) =
+        file_snapshot_format(edges_path).map_err(|e| format!("reading {edges_path}: {e}"))?
+    {
+        return Err(format!("{edges_path} is already a {} snapshot", found.name()));
+    }
+    let format = match flags.get("format").unwrap_or("cks1") {
+        "cks1" => SnapshotFormat::Cks1,
+        "cks2" => SnapshotFormat::Cks2,
+        other => return Err(format!("bad --format {other:?} (cks1|cks2)")),
+    };
+    if flags.has("stream") && format != SnapshotFormat::Cks2 {
+        return Err("--stream requires --format cks2".to_string());
     }
     let out_path = flags.required("out")?;
     if !flags.has("force") && fs::metadata(out_path).is_ok() {
@@ -389,6 +405,50 @@ fn pack(args: &[String]) -> Result<String, String> {
             "{out_path} already exists; pass --force to overwrite it"
         ));
     }
+
+    if flags.has("stream") {
+        // Streamed packing never materialises the edge list: groups are
+        // parsed without a node-count bound (the packer validates them
+        // against the graph it discovers) and the edge file goes through
+        // the external sort.
+        let groups = match flags.get("groups") {
+            None => Vec::new(),
+            Some(groups_path) => {
+                let text = fs::read_to_string(groups_path)
+                    .map_err(|e| format!("reading {groups_path}: {e}"))?;
+                let (groups, report) = parse_groups_with_policy(&text, None, ingest.policy)
+                    .map_err(|e| format!("{groups_path}: {e}"))?;
+                if ingest.verbose {
+                    let _ = write!(notes, "{groups_path}: {report}");
+                }
+                groups
+            }
+        };
+        let budget_mb: usize = flags.parse_value("memory-budget-mb", 256)?;
+        let options = StreamPackOptions {
+            directed: !flags.has("undirected"),
+            memory_budget_bytes: budget_mb.max(1) << 20,
+            ..StreamPackOptions::default()
+        };
+        let report = stream_pack_cks2(edges_path, &groups, out_path, &options)
+            .map_err(|e| format!("packing {edges_path}: {e}"))?;
+        let mut out = notes;
+        let _ = writeln!(
+            out,
+            "packed {} nodes, {} edges, {} groups into {out_path} ({} bytes, cks2 streamed)",
+            report.nodes,
+            report.edge_count,
+            groups.len(),
+            report.bytes_written,
+        );
+        let _ = writeln!(
+            out,
+            "dropped {} self-loops, {} duplicate arcs; {} sorted runs spilled",
+            report.self_loops_dropped, report.duplicates_dropped, report.runs_spilled
+        );
+        return Ok(out);
+    }
+
     let loaded = load_graph(&flags, &ingest, &mut notes)?;
     let groups = match flags.get("groups") {
         None => Vec::new(),
@@ -404,15 +464,24 @@ fn pack(args: &[String]) -> Result<String, String> {
             groups
         }
     };
-    let bytes = save_snapshot(out_path, &loaded.graph, &groups)
-        .map_err(|e| format!("writing {out_path}: {e}"))?;
+    let bytes = match format {
+        SnapshotFormat::Cks1 => save_snapshot(out_path, &loaded.graph, &groups),
+        SnapshotFormat::Cks2 => save_cks2_snapshot(
+            out_path,
+            &loaded.graph,
+            &groups,
+            &Cks2PackOptions::default(),
+        ),
+    }
+    .map_err(|e| format!("writing {out_path}: {e}"))?;
     let mut out = notes;
     let _ = writeln!(
         out,
-        "packed {} nodes, {} edges, {} groups into {out_path} ({bytes} bytes)",
+        "packed {} nodes, {} edges, {} groups into {out_path} ({bytes} bytes, {})",
         loaded.graph.node_count(),
         loaded.graph.edge_count(),
-        groups.len()
+        groups.len(),
+        format.name(),
     );
     Ok(out)
 }
@@ -423,45 +492,102 @@ fn inspect(args: &[String]) -> Result<String, String> {
     let mapped = MappedSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
     let (header, sections) =
         section_infos(mapped.bytes()).map_err(|e| format!("{path}: {e}"))?;
-    let view = mapped.view().map_err(|e| format!("{path}: {e}"))?;
+    let format = mapped
+        .format()
+        .ok_or_else(|| format!("{path}: not a snapshot"))?;
+
+    // Per-format statistics beyond the shared header/section table.
+    struct Stats {
+        nodes: usize,
+        edges: usize,
+        arcs: u64,
+        groups: usize,
+        memberships: Option<u64>,
+        wide: Option<bool>,
+        compressed_adjacency_bytes: Option<u64>,
+    }
+    let stats = match format {
+        SnapshotFormat::Cks1 => {
+            let view = mapped.view().map_err(|e| format!("{path}: {e}"))?;
+            Stats {
+                nodes: view.node_count(),
+                edges: view.edge_count(),
+                arcs: view.arc_count() as u64,
+                groups: view.group_count(),
+                memberships: Some(view.member_count() as u64),
+                wide: None,
+                compressed_adjacency_bytes: None,
+            }
+        }
+        SnapshotFormat::Cks2 => {
+            let view = mapped.view2().map_err(|e| format!("{path}: {e}"))?;
+            let arcs = if view.is_directed() {
+                view.edge_count() as u64
+            } else {
+                2 * view.edge_count() as u64
+            };
+            Stats {
+                nodes: view.node_count(),
+                edges: view.edge_count(),
+                arcs,
+                groups: view.group_count(),
+                memberships: None,
+                wide: Some(view.is_wide()),
+                compressed_adjacency_bytes: Some(view.compressed_adjacency_bytes()),
+            }
+        }
+    };
 
     if flags.has("json") {
         use serde_json::Value;
         let field = |k: &str, v: Value| (k.to_string(), v);
-        let payload = Value::Map(vec![
+        let mut fields = vec![
             field("path", Value::Str(path.to_string())),
-            field("format", Value::Str("CKS1".to_string())),
+            field("format", Value::Str(format.name().to_uppercase())),
             field("version", Value::UInt(circlekit::store::VERSION as u64)),
             field("bytes", Value::UInt(mapped.bytes().len() as u64)),
             field("flags", Value::UInt(header.flags as u64)),
             field("directed", Value::Bool(header.directed())),
-            field("nodes", Value::UInt(view.node_count() as u64)),
-            field("edges", Value::UInt(view.edge_count() as u64)),
-            field("arcs", Value::UInt(view.arc_count() as u64)),
-            field("groups", Value::UInt(view.group_count() as u64)),
-            field("memberships", Value::UInt(view.member_count() as u64)),
-            field("wal", Value::Bool(wal_path_for(path.as_ref()).exists())),
-            field(
-                "sections",
-                Value::Seq(
-                    sections
-                        .iter()
-                        .map(|s| {
-                            Value::Map(vec![
-                                field("name", Value::Str(s.name.to_string())),
-                                field("bytes", Value::UInt(s.bytes)),
-                                field("crc32", Value::UInt(s.checksum as u64)),
-                            ])
-                        })
-                        .collect(),
-                ),
+            field("nodes", Value::UInt(stats.nodes as u64)),
+            field("edges", Value::UInt(stats.edges as u64)),
+            field("arcs", Value::UInt(stats.arcs)),
+            field("groups", Value::UInt(stats.groups as u64)),
+        ];
+        if let Some(memberships) = stats.memberships {
+            fields.push(field("memberships", Value::UInt(memberships)));
+        }
+        if let Some(wide) = stats.wide {
+            fields.push(field("wide", Value::Bool(wide)));
+        }
+        if let Some(compressed) = stats.compressed_adjacency_bytes {
+            fields.push(field("compressed_adjacency_bytes", Value::UInt(compressed)));
+        }
+        fields.push(field("wal", Value::Bool(wal_path_for(path.as_ref()).exists())));
+        fields.push(field(
+            "sections",
+            Value::Seq(
+                sections
+                    .iter()
+                    .map(|s| {
+                        Value::Map(vec![
+                            field("name", Value::Str(s.name.to_string())),
+                            field("bytes", Value::UInt(s.bytes)),
+                            field("crc32", Value::UInt(s.checksum as u64)),
+                        ])
+                    })
+                    .collect(),
             ),
-        ]);
-        return Ok(format!("{payload}\n"));
+        ));
+        return Ok(format!("{}\n", Value::Map(fields)));
     }
 
     let mut out = String::new();
-    let _ = writeln!(out, "{path}: CKS1 snapshot, {} bytes", mapped.bytes().len());
+    let _ = writeln!(
+        out,
+        "{path}: {} snapshot, {} bytes",
+        format.name().to_uppercase(),
+        mapped.bytes().len()
+    );
     let _ = writeln!(
         out,
         "version {}   {}   flags {:#06x}",
@@ -475,26 +601,39 @@ fn inspect(args: &[String]) -> Result<String, String> {
         let _ = writeln!(out, "{:<16} {:>12} {:>#12x}", s.name, s.bytes, s.checksum);
     }
     let _ = writeln!(out);
-    let n = view.node_count();
+    let n = stats.nodes;
     let _ = writeln!(out, "vertices          {n}");
     let _ = writeln!(
         out,
         "{:<17} {}",
-        if view.is_directed() { "edges (arcs)" } else { "edges" },
-        view.edge_count()
+        if header.directed() { "edges (arcs)" } else { "edges" },
+        stats.edges
     );
     let _ = writeln!(
         out,
         "avg out-degree    {:.3}",
-        if n == 0 { 0.0 } else { view.arc_count() as f64 / n as f64 }
+        if n == 0 { 0.0 } else { stats.arcs as f64 / n as f64 }
     );
-    let _ = writeln!(out, "groups            {}", view.group_count());
-    if view.group_count() > 0 {
+    let _ = writeln!(out, "groups            {}", stats.groups);
+    if let Some(memberships) = stats.memberships {
+        if stats.groups > 0 {
+            let _ = writeln!(
+                out,
+                "memberships       {} (mean group size {:.2})",
+                memberships,
+                memberships as f64 / stats.groups as f64
+            );
+        }
+    }
+    if let Some(wide) = stats.wide {
+        let _ = writeln!(out, "offset width      {}", if wide { "u64" } else { "u32" });
+    }
+    if let Some(compressed) = stats.compressed_adjacency_bytes {
         let _ = writeln!(
             out,
-            "memberships       {} (mean group size {:.2})",
-            view.member_count(),
-            view.member_count() as f64 / view.group_count() as f64
+            "adjacency bytes   {} ({:.3} bytes/arc)",
+            compressed,
+            if stats.arcs == 0 { 0.0 } else { compressed as f64 / stats.arcs as f64 }
         );
     }
     Ok(out)
@@ -1141,6 +1280,149 @@ mod tests {
         let err = dispatch(&args(&["pack", "--edges", &edges, "--out", &plain])).unwrap_err();
         assert!(err.contains("already exists"), "{err}");
         assert_eq!(fs::read_to_string(&plain).unwrap(), "precious");
+    }
+
+    /// The equivalence oracle: the full 13-function score table printed
+    /// from a degree-relabelled CKS2 snapshot is byte-identical to the
+    /// CKS1 and text-ingest paths — end-to-end through the CLI.
+    #[test]
+    fn cks2_score_stdout_is_bit_identical_to_cks1_and_text() {
+        let edges = tmp("eq.edges");
+        let groups = tmp("eq.circles");
+        let snap1 = tmp("eq.cks1");
+        let snap2 = tmp("eq.cks2");
+        dispatch(&args(&[
+            "generate", "google+", "--scale", "0.003", "--seed", "13",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap1,
+        ]))
+        .expect("cks1 pack succeeds");
+        let out = dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap2,
+            "--format", "cks2",
+        ]))
+        .expect("cks2 pack succeeds");
+        assert!(out.contains("cks2"), "{out}");
+
+        let from_text = dispatch(&args(&["score", "--edges", &edges, "--groups", &groups, "--all"]))
+            .expect("text score succeeds");
+        let from_cks1 = dispatch(&args(&["score", "--edges", &snap1, "--all"]))
+            .expect("cks1 score succeeds");
+        let from_cks2 = dispatch(&args(&["score", "--edges", &snap2, "--all"]))
+            .expect("cks2 score succeeds");
+        assert_eq!(from_text, from_cks1);
+        assert_eq!(from_text, from_cks2);
+        // And the compressed file actually is compressed.
+        let s1 = fs::metadata(&snap1).unwrap().len();
+        let s2 = fs::metadata(&snap2).unwrap().len();
+        assert!(s2 < s1, "cks2 ({s2}) should be smaller than cks1 ({s1})");
+    }
+
+    #[test]
+    fn cks2_streamed_pack_emits_byte_identical_file_via_cli() {
+        let edges = tmp("st.edges");
+        let groups = tmp("st.circles");
+        let in_memory = tmp("st-mem.cks2");
+        let streamed = tmp("st-stream.cks2");
+        dispatch(&args(&[
+            "generate", "google+", "--scale", "0.005", "--seed", "17",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &in_memory,
+            "--format", "cks2",
+        ]))
+        .expect("in-memory pack succeeds");
+        // A 1 MiB budget on a graph this size forces external-sort runs.
+        let out = dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &streamed,
+            "--format", "cks2", "--stream", "--memory-budget-mb", "1",
+        ]))
+        .expect("streamed pack succeeds");
+        assert!(out.contains("streamed"), "{out}");
+        assert_eq!(
+            fs::read(&in_memory).unwrap(),
+            fs::read(&streamed).unwrap(),
+            "streamed and in-memory CKS2 packs must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn pack_force_semantics_carry_to_cks2() {
+        let edges = tmp("f2.edges");
+        let snap = tmp("f2.cks2");
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        dispatch(&args(&["pack", "--edges", &edges, "--out", &snap, "--format", "cks2"]))
+            .expect("pack succeeds");
+        let before = fs::read(&snap).unwrap();
+        for extra in [&["--format", "cks2"][..], &["--format", "cks2", "--stream"][..]] {
+            let mut cmd = args(&["pack", "--edges", &edges, "--out", &snap]);
+            cmd.extend(extra.iter().map(|s| s.to_string()));
+            let err = dispatch(&cmd).unwrap_err();
+            assert!(err.contains("--force"), "{err}");
+            assert_eq!(fs::read(&snap).unwrap(), before, "refused pack must not touch the file");
+        }
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--out", &snap, "--format", "cks2", "--force",
+        ]))
+        .expect("forced cks2 pack succeeds");
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--out", &snap, "--format", "cks2", "--stream", "--force",
+        ]))
+        .expect("forced streamed pack succeeds");
+        assert_eq!(fs::read(&snap).unwrap(), before, "same input repacks identically");
+    }
+
+    #[test]
+    fn pack_rejects_stream_without_cks2_and_snapshot_inputs() {
+        let edges = tmp("sv.edges");
+        let snap = tmp("sv.cks2");
+        fs::write(&edges, "0 1\n1 2\n").unwrap();
+        let err = dispatch(&args(&["pack", "--edges", &edges, "--out", &snap, "--stream"]))
+            .unwrap_err();
+        assert!(err.contains("--format cks2"), "{err}");
+        dispatch(&args(&["pack", "--edges", &edges, "--out", &snap, "--format", "cks2"]))
+            .expect("pack succeeds");
+        // A snapshot (of either format) is refused as --edges input to pack.
+        let err = dispatch(&args(&[
+            "pack", "--edges", &snap, "--out", &tmp("sv2.cks"),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("already a cks2 snapshot"), "{err}");
+    }
+
+    #[test]
+    fn inspect_reports_cks2_sections_and_stats() {
+        let edges = tmp("i2.edges");
+        let groups = tmp("i2.circles");
+        let snap = tmp("i2.cks2");
+        fs::write(&edges, "0 1\n1 2\n2 0\n0 2\n3 1\n").unwrap();
+        fs::write(&groups, "c0\t0 1 2\nc1\t1 3\n").unwrap();
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+            "--format", "cks2",
+        ]))
+        .expect("pack succeeds");
+
+        let out = dispatch(&args(&["inspect", "--snapshot", &snap])).expect("inspect succeeds");
+        assert!(out.contains("CKS2 snapshot"), "{out}");
+        for section in ["permutation", "out-adjacency", "out-offsets", "group-members"] {
+            assert!(out.contains(section), "missing {section}:\n{out}");
+        }
+        assert!(out.contains("offset width      u32"), "{out}");
+        assert!(out.contains("adjacency bytes"), "{out}");
+
+        let json = dispatch(&args(&["inspect", "--snapshot", &snap, "--json"]))
+            .expect("inspect --json succeeds");
+        assert!(json.contains("\"format\":\"CKS2\""), "{json}");
+        assert!(json.contains("\"wide\":false"), "{json}");
+        assert!(json.contains("\"compressed_adjacency_bytes\":"), "{json}");
+        assert!(json.contains("\"nodes\":4"), "{json}");
+        assert!(json.contains("\"groups\":2"), "{json}");
     }
 
     #[test]

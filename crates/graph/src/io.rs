@@ -17,7 +17,15 @@ use std::collections::HashSet;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// Parses one edge-list line. `Ok(None)` for blank/comment lines.
-fn parse_edge_line(line: &str) -> Result<Option<(NodeId, NodeId)>, ParseEdgeListReason> {
+///
+/// Exposed so streaming consumers (e.g. the external-sort snapshot
+/// packer in `circlekit-store`) can apply the exact same grammar one
+/// line at a time without materialising an edge vector.
+///
+/// # Errors
+///
+/// The [`ParseEdgeListReason`] describing why the line is malformed.
+pub fn parse_edge_line(line: &str) -> Result<Option<(NodeId, NodeId)>, ParseEdgeListReason> {
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);

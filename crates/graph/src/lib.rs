@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod access;
 mod builder;
 mod components;
 mod control;
@@ -58,6 +59,7 @@ mod serde_impl;
 mod traversal;
 mod vertex_set;
 
+pub use access::AdjacencyAccess;
 pub use builder::GraphBuilder;
 pub use components::{connected_components, largest_component, ComponentLabels};
 pub use control::{CancelFlag, Interrupted, RunControl, RunProgress};
@@ -69,8 +71,8 @@ pub use groups_io::{
 };
 pub use ingest::{IngestPolicy, IngestReport, LineIssue};
 pub use io::{
-    parse_edge_list, parse_edge_list_lenient, parse_edge_list_with_policy, read_edge_list,
-    read_edge_list_lenient, write_edge_list,
+    parse_edge_line, parse_edge_list, parse_edge_list_lenient, parse_edge_list_with_policy,
+    read_edge_list, read_edge_list_lenient, write_edge_list,
 };
 pub use scc::{strongly_connected_components, SccLabels};
 pub use traversal::{bfs_distances, bfs_reachable, eccentricity, UNREACHABLE};

@@ -42,6 +42,7 @@
 pub mod fault;
 mod functions;
 mod goodness;
+mod paged;
 mod parallel;
 mod robust;
 mod scorer;
@@ -49,6 +50,7 @@ mod set_stats;
 
 pub use functions::{Category, ScoringFunction};
 pub use goodness::{goodness, Goodness};
+pub use paged::PagedScorer;
 pub use parallel::{default_threads, parse_thread_count, ParallelScorer};
 pub use robust::{BatchReport, ChunkError, RobustBatch, SetFailure};
 pub use scorer::{ScoreTable, Scorer};

@@ -1,6 +1,6 @@
 //! [`SetStats`]: the sufficient statistics of a vertex set within a graph.
 
-use circlekit_graph::{Graph, NodeId, VertexSet};
+use circlekit_graph::{AdjacencyAccess, Graph, GraphBuilder, NodeId, VertexSet};
 use circlekit_metrics::triangles_per_node;
 
 /// The quantities of the paper's Table I (and the extra ones needed by the
@@ -60,9 +60,38 @@ impl SetStats {
     ///
     /// Panics if `set` contains a node id `>= graph.node_count()`.
     pub fn compute(graph: &Graph, set: &VertexSet, median_degree: f64) -> SetStats {
-        let n = graph.node_count();
-        let m = graph.edge_count();
-        let directed = graph.is_directed();
+        match SetStats::compute_access(graph, set, median_degree) {
+            Ok(stats) => stats,
+            Err(e) => match e {},
+        }
+    }
+
+    /// Computes the statistics of `set` over any [`AdjacencyAccess`]
+    /// backing — an in-memory [`Graph`], or a compressed mmap snapshot
+    /// view that decodes adjacency on demand.
+    ///
+    /// [`SetStats::compute`] delegates here with the [`Graph`] impl, so
+    /// every backing runs the *same* tallying loop over the *same*
+    /// integer sequences: results are bit-identical across backings by
+    /// construction, not by parallel maintenance of two code paths.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the backing's neighbour access reports (nothing for
+    /// [`Graph`]; a decode error for corrupt on-disk data).
+    ///
+    /// # Panics
+    ///
+    /// May panic if `set` contains a node id `>= node_count()` (the
+    /// [`Graph`] impl indexes its CSR directly).
+    pub fn compute_access<A: AdjacencyAccess>(
+        access: &A,
+        set: &VertexSet,
+        median_degree: f64,
+    ) -> Result<SetStats, A::Error> {
+        let n = access.node_count();
+        let m = access.edge_count();
+        let directed = access.is_directed();
         let n_c = set.len();
 
         // Single pass over member adjacency: internal/external edge tallies
@@ -79,26 +108,36 @@ impl SetStats {
         for v in set.iter() {
             let mut internal_v = 0usize; // internal adjacency entries at v
             let mut external_v = 0usize;
-            for &w in graph.out_neighbors(v) {
-                if set.contains(w) {
-                    internal_v += 1;
-                } else {
-                    external_v += 1;
-                }
-            }
-            if directed {
-                for &w in graph.in_neighbors(v) {
+            let out_deg = access.with_out_neighbors(v, |list| {
+                for &w in list {
                     if set.contains(w) {
                         internal_v += 1;
                     } else {
                         external_v += 1;
                     }
                 }
-            }
-            out_degree_sum += graph.out_degree(v);
-            in_degree_sum += graph.in_degree(v);
+                list.len()
+            })?;
+            let in_deg = if directed {
+                access.with_in_neighbors(v, |list| {
+                    for &w in list {
+                        if set.contains(w) {
+                            internal_v += 1;
+                        } else {
+                            external_v += 1;
+                        }
+                    }
+                    list.len()
+                })?
+            } else {
+                // Undirected: in-adjacency is the out-adjacency, and both
+                // degree sums are the plain degree — no second decode.
+                out_deg
+            };
+            out_degree_sum += out_deg;
+            in_degree_sum += in_deg;
 
-            let d = internal_v + external_v; // == graph.degree(v)
+            let d = internal_v + external_v; // == degree(v)
             if d > 0 {
                 let odf = external_v as f64 / d as f64;
                 max_odf = max_odf.max(odf);
@@ -128,18 +167,13 @@ impl SetStats {
 
         // TPR: triangles inside the induced subgraph.
         let in_internal_triangle = if n_c >= 3 {
-            let sub = graph
-                .subgraph(set)
-                .expect("set members are valid node ids");
-            triangles_per_node(sub.graph())
-                .iter()
-                .filter(|&&t| t > 0)
-                .count()
+            let sub = induced_subgraph(access, set)?;
+            triangles_per_node(&sub).iter().filter(|&&t| t > 0).count()
         } else {
             0
         };
 
-        SetStats {
+        Ok(SetStats {
             n,
             m,
             directed,
@@ -153,7 +187,7 @@ impl SetStats {
             max_odf,
             avg_odf: if n_c == 0 { 0.0 } else { odf_sum / n_c as f64 },
             flake_odf: if n_c == 0 { 0.0 } else { flake_count as f64 / n_c as f64 },
-        }
+        })
     }
 
     /// Total degree of the members: `2 m_C + c_C`.
@@ -193,22 +227,68 @@ impl SetStats {
     }
 }
 
+/// The subgraph induced by `set`, with members relabelled to dense local
+/// ids by their rank in the sorted member list — the exact construction
+/// of [`Graph::subgraph`], replicated over [`AdjacencyAccess`] so the
+/// TPR term is identical whichever backing computed it.
+fn induced_subgraph<A: AdjacencyAccess>(
+    access: &A,
+    set: &VertexSet,
+) -> Result<Graph, A::Error> {
+    let nodes = set.as_slice();
+    let mut b = if access.is_directed() {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    b.reserve_nodes(nodes.len());
+    for (local_u, &u) in nodes.iter().enumerate() {
+        access.with_out_neighbors(u, |list| {
+            for v in list {
+                if let Ok(local_v) = nodes.binary_search(v) {
+                    // For undirected graphs each edge appears in both
+                    // adjacency lists; the builder dedups the double add.
+                    b.add_edge(local_u as NodeId, local_v as NodeId);
+                }
+            }
+        })?;
+    }
+    Ok(b.build())
+}
+
 /// Convenience: median of the total-degree sequence of a graph, the
 /// graph-level input FOMD needs.
 pub(crate) fn median_degree(graph: &Graph) -> f64 {
-    let mut degrees: Vec<usize> = (0..graph.node_count() as NodeId)
-        .map(|v| graph.degree(v))
-        .collect();
+    match median_degree_access(graph) {
+        Ok(v) => v,
+        Err(e) => match e {},
+    }
+}
+
+/// Median total degree over any [`AdjacencyAccess`] backing. Degrees are
+/// list lengths (out + in when directed), matching [`Graph::degree`], so
+/// the value is identical to the in-memory computation.
+pub(crate) fn median_degree_access<A: AdjacencyAccess>(access: &A) -> Result<f64, A::Error> {
+    let n = access.node_count();
+    let directed = access.is_directed();
+    let mut degrees: Vec<usize> = Vec::with_capacity(n);
+    for v in 0..n as NodeId {
+        let mut d = access.with_out_neighbors(v, <[NodeId]>::len)?;
+        if directed {
+            d += access.with_in_neighbors(v, <[NodeId]>::len)?;
+        }
+        degrees.push(d);
+    }
     if degrees.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     degrees.sort_unstable();
     let n = degrees.len();
-    if n % 2 == 1 {
+    Ok(if n % 2 == 1 {
         degrees[n / 2] as f64
     } else {
         (degrees[n / 2 - 1] + degrees[n / 2]) as f64 / 2.0
-    }
+    })
 }
 
 #[cfg(test)]

@@ -269,3 +269,43 @@ fn shutdown_drains_queued_work_before_exit() {
     let stats = server.join();
     assert_eq!(stats.ok_responses + stats.error_responses, stats.requests);
 }
+
+/// A CKS2 (compressed, degree-relabelled) snapshot file served through
+/// the registry answers bit-identically to the same data served from a
+/// CKS1 file and to the offline scorer: the registry's load path
+/// dispatches on the magic and un-permutes on materialisation.
+#[test]
+fn cks2_snapshot_files_serve_bit_identical_scores() {
+    use circlekit_store::{save_cks2_snapshot, save_snapshot, Cks2PackOptions};
+
+    let data = fixture();
+    let dir = std::env::temp_dir().join(format!("circlekit-serve-cks2-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p1 = dir.join("fixture.cks1");
+    let p2 = dir.join("fixture.cks2");
+    save_snapshot(&p1, &data.graph, &data.groups).unwrap();
+    save_cks2_snapshot(&p2, &data.graph, &data.groups, &Cks2PackOptions::default()).unwrap();
+    assert!(std::fs::metadata(&p2).unwrap().len() < std::fs::metadata(&p1).unwrap().len());
+
+    let mut registry = SnapshotRegistry::new();
+    registry.load(p1.to_str().unwrap(), Some("v1")).unwrap();
+    registry.load(p2.to_str().unwrap(), Some("v2")).unwrap();
+    let server = Server::start(registry, ServeConfig::default(), ("127.0.0.1", 0)).unwrap();
+    let addr = server.local_addr();
+
+    let mut offline = Scorer::new(&data.graph);
+    let mut client = Client::connect(addr).unwrap();
+    for (g, group) in data.groups.iter().enumerate().take(8) {
+        let from_cks1 = Client::scores_of(&client.score_group("v1", g, Some("all"), None).unwrap())
+            .unwrap();
+        let from_cks2 = Client::scores_of(&client.score_group("v2", g, Some("all"), None).unwrap())
+            .unwrap();
+        for (f, &function) in ScoringFunction::ALL.iter().enumerate() {
+            let expected = offline.score(function, group).to_bits();
+            assert_eq!(from_cks1[f].to_bits(), expected, "cks1, group {g}, {}", function.name());
+            assert_eq!(from_cks2[f].to_bits(), expected, "cks2, group {g}, {}", function.name());
+        }
+    }
+    server.shutdown_handle().trigger();
+    server.join();
+}

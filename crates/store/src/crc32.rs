@@ -31,11 +31,43 @@ static TABLE: [u32; 256] = make_table();
 /// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF` — the
 /// `cksum`-compatible "CRC-32/ISO-HDLC" parameterisation used by zlib).
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut hasher = Crc32::new();
+    hasher.update(bytes);
+    hasher.finish()
+}
+
+/// Incremental CRC-32 state for streamed payloads: sections written
+/// chunk by chunk (the CKS2 packer never holds a whole adjacency blob in
+/// memory) checksum identically to a one-shot [`crc32`] over the
+/// concatenated bytes.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state (equivalent to `crc32(b"")` when finished untouched).
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
     }
-    crc ^ 0xFFFF_FFFF
+
+    /// Feeds `bytes` into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The CRC-32 of everything fed so far (the state remains usable).
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Crc32 {
+        Crc32::new()
+    }
 }
 
 #[cfg(test)]
@@ -48,6 +80,20 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot_over_any_chunking() {
+        let data: Vec<u8> = (0u16..512).map(|i| (i * 37 % 251) as u8).collect();
+        let expected = crc32(&data);
+        for chunk in [1usize, 3, 7, 64, 511, 512] {
+            let mut h = Crc32::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finish(), expected, "chunk size {chunk}");
+        }
+        assert_eq!(Crc32::default().finish(), crc32(b""));
     }
 
     #[test]

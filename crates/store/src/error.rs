@@ -9,7 +9,7 @@ use circlekit_graph::GraphError;
 use std::fmt;
 use std::io;
 
-/// Why reading or writing a CKS1 snapshot failed.
+/// Why reading or writing a snapshot (CKS1 or CKS2) failed.
 #[derive(Debug)]
 #[non_exhaustive]
 pub enum StoreError {
@@ -20,7 +20,8 @@ pub enum StoreError {
         /// Actual file length in bytes.
         len: u64,
     },
-    /// The file does not start with the `CKS1` magic.
+    /// The file does not start with a known snapshot magic
+    /// (`CKS1`/`CKS2`).
     BadMagic {
         /// The four bytes found instead.
         found: [u8; 4],
@@ -113,6 +114,25 @@ pub enum StoreError {
         /// What was wrong.
         why: String,
     },
+    /// A compressed (varint/delta) adjacency or membership block does
+    /// not decode: truncated or overlong varint, zero delta (duplicate
+    /// value), or a value outside the graph (CKS2 only).
+    Codec {
+        /// Section name the block lives in.
+        section: &'static str,
+        /// Index of the offending block (vertex id or group index).
+        item: u64,
+        /// What was wrong.
+        why: &'static str,
+    },
+    /// The CKS2 permutation section is not a bijection over the node ids
+    /// (an entry out of range or repeated).
+    BadPermutation {
+        /// Index of the offending permutation entry.
+        entry: u64,
+        /// What was wrong.
+        why: &'static str,
+    },
     /// The CSR arrays decoded cleanly but violate a graph invariant.
     Graph(GraphError),
     /// The zero-copy view cannot be built on this host (big-endian
@@ -128,15 +148,15 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "snapshot i/o failed: {e}"),
             StoreError::TooShort { len } => {
-                write!(f, "file is {len} bytes, smaller than the CKS1 header")
+                write!(f, "file is {len} bytes, smaller than the snapshot header")
             }
             StoreError::BadMagic { found } => write!(
                 f,
-                "not a CKS1 snapshot (magic bytes {:02x} {:02x} {:02x} {:02x})",
+                "not a CKS1/CKS2 snapshot (magic bytes {:02x} {:02x} {:02x} {:02x})",
                 found[0], found[1], found[2], found[3]
             ),
             StoreError::UnsupportedVersion { found } => {
-                write!(f, "unsupported CKS1 version {found}")
+                write!(f, "unsupported snapshot format version {found}")
             }
             StoreError::UnknownFlags { flags } => {
                 write!(f, "header carries unknown flag bits {flags:#06x}")
@@ -180,6 +200,12 @@ impl fmt::Display for StoreError {
             }
             StoreError::InvalidGroups { group, why } => {
                 write!(f, "group {group} is invalid: {why}")
+            }
+            StoreError::Codec { section, item, why } => {
+                write!(f, "section {section}, block {item}: {why}")
+            }
+            StoreError::BadPermutation { entry, why } => {
+                write!(f, "permutation entry {entry}: {why}")
             }
             StoreError::Graph(e) => write!(f, "snapshot decodes to an invalid graph: {e}"),
             StoreError::NotZeroCopy { why } => {

@@ -50,6 +50,35 @@ pub const FLAG_DIRECTED: u16 = 1 << 0;
 pub const FLAG_GROUPS: u16 = 1 << 1;
 const KNOWN_FLAGS: u16 = FLAG_DIRECTED | FLAG_GROUPS;
 
+/// The framing parameters that vary between snapshot formats. CKS1 and
+/// CKS2 share the 32-byte header layout and 16-byte section framing;
+/// they differ in magic, the flag bits they accept, and the section-id
+/// namespace. [`parse_frames`] and [`Header::encode_with`] are generic
+/// over this, so both formats get the same checks in the same order.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FormatSpec {
+    /// Magic bytes at offset 0.
+    pub magic: [u8; 4],
+    /// The single accepted version.
+    pub version: u16,
+    /// Flag bits this format defines; anything else is `UnknownFlags`.
+    pub known_flags: u16,
+    /// Maps a raw section id to its name (`None` = unknown section).
+    pub section_name: fn(u32) -> Option<&'static str>,
+}
+
+fn cks1_section_name(v: u32) -> Option<&'static str> {
+    SectionId::from_u32(v).map(SectionId::name)
+}
+
+/// The CKS1 framing parameters.
+pub(crate) const CKS1_SPEC: FormatSpec = FormatSpec {
+    magic: MAGIC,
+    version: VERSION,
+    known_flags: KNOWN_FLAGS,
+    section_name: cks1_section_name,
+};
+
 /// Identifies one section of a snapshot.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 #[repr(u32)]
@@ -120,9 +149,14 @@ impl Header {
 
     /// Encodes the header, computing its checksum.
     pub fn encode(&self) -> [u8; HEADER_LEN] {
+        self.encode_with(&CKS1_SPEC)
+    }
+
+    /// Encodes the header with another format's magic/version.
+    pub(crate) fn encode_with(&self, spec: &FormatSpec) -> [u8; HEADER_LEN] {
         let mut buf = [0u8; HEADER_LEN];
-        buf[0..4].copy_from_slice(&MAGIC);
-        buf[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        buf[0..4].copy_from_slice(&spec.magic);
+        buf[4..6].copy_from_slice(&spec.version.to_le_bytes());
         buf[6..8].copy_from_slice(&self.flags.to_le_bytes());
         buf[8..16].copy_from_slice(&self.node_count.to_le_bytes());
         buf[16..24].copy_from_slice(&self.edge_count.to_le_bytes());
@@ -140,15 +174,22 @@ impl Header {
     /// [`StoreError::UnsupportedVersion`], [`StoreError::UnknownFlags`],
     /// or [`StoreError::HeaderChecksum`].
     pub fn decode(bytes: &[u8]) -> Result<Header, StoreError> {
+        Header::decode_with(&CKS1_SPEC, bytes)
+    }
+
+    /// [`Header::decode`] against another format's framing parameters.
+    /// Check order (magic, version, header CRC, flags) is identical for
+    /// every format.
+    pub(crate) fn decode_with(spec: &FormatSpec, bytes: &[u8]) -> Result<Header, StoreError> {
         if bytes.len() < HEADER_LEN {
             return Err(StoreError::TooShort { len: bytes.len() as u64 });
         }
         let found: [u8; 4] = bytes[0..4].try_into().expect("length checked");
-        if found != MAGIC {
+        if found != spec.magic {
             return Err(StoreError::BadMagic { found });
         }
         let version = u16::from_le_bytes(bytes[4..6].try_into().expect("length checked"));
-        if version != VERSION {
+        if version != spec.version {
             return Err(StoreError::UnsupportedVersion { found: version });
         }
         let expected = u32::from_le_bytes(bytes[28..32].try_into().expect("length checked"));
@@ -157,7 +198,7 @@ impl Header {
             return Err(StoreError::HeaderChecksum { expected, actual });
         }
         let flags = u16::from_le_bytes(bytes[6..8].try_into().expect("length checked"));
-        if flags & !KNOWN_FLAGS != 0 {
+        if flags & !spec.known_flags != 0 {
             return Err(StoreError::UnknownFlags { flags });
         }
         Ok(Header {
@@ -198,8 +239,42 @@ pub fn padded_len(len: u64) -> u64 {
 /// [`StoreError::UnknownSection`], [`StoreError::DuplicateSection`],
 /// [`StoreError::SectionChecksum`], or [`StoreError::TrailingData`].
 pub fn parse_sections(bytes: &[u8]) -> Result<(Header, Vec<Section<'_>>), StoreError> {
-    let header = Header::decode(bytes)?;
-    let mut sections: Vec<Section<'_>> = Vec::with_capacity(header.section_count as usize);
+    let (header, frames) = parse_frames(&CKS1_SPEC, bytes)?;
+    let sections = frames
+        .into_iter()
+        .map(|f| Section {
+            id: SectionId::from_u32(f.raw_id).expect("parse_frames verified the id"),
+            payload: f.payload,
+            checksum: f.checksum,
+        })
+        .collect();
+    Ok((header, sections))
+}
+
+/// One framed section, format-agnostic: the raw id plus its verified
+/// payload. [`parse_frames`] guarantees the id is known to the spec.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Frame<'a> {
+    /// Raw section id (known to the spec's namespace).
+    pub raw_id: u32,
+    /// The spec's name for this section.
+    pub name: &'static str,
+    /// The unpadded payload bytes.
+    pub payload: &'a [u8],
+    /// The verified CRC-32 of the payload.
+    pub checksum: u32,
+}
+
+/// The format-generic body of [`parse_sections`]: walks every section of
+/// `bytes` under `spec`, verifying all framing invariants and checksums
+/// in the same fixed order for every format (truncation → oversize →
+/// unknown id → duplicate → checksum → trailing bytes).
+pub(crate) fn parse_frames<'a>(
+    spec: &FormatSpec,
+    bytes: &'a [u8],
+) -> Result<(Header, Vec<Frame<'a>>), StoreError> {
+    let header = Header::decode_with(spec, bytes)?;
+    let mut frames: Vec<Frame<'a>> = Vec::with_capacity(header.section_count as usize);
     let mut cursor = HEADER_LEN;
     for _ in 0..header.section_count {
         let remaining = bytes.len() - cursor;
@@ -218,29 +293,46 @@ pub fn parse_sections(bytes: &[u8]) -> Result<(Header, Vec<Section<'_>>), StoreE
                 remaining: after_header,
             });
         }
-        let Some(id) = SectionId::from_u32(raw_id) else {
+        let Some(name) = (spec.section_name)(raw_id) else {
             return Err(StoreError::UnknownSection { section: raw_id });
         };
-        if sections.iter().any(|s| s.id == id) {
-            return Err(StoreError::DuplicateSection { section: id.name() });
+        if frames.iter().any(|f| f.raw_id == raw_id) {
+            return Err(StoreError::DuplicateSection { section: name });
         }
         let start = cursor + SECTION_HEADER_LEN;
         let payload = &bytes[start..start + len as usize];
         let actual_crc = crc32(payload);
         if actual_crc != expected_crc {
             return Err(StoreError::SectionChecksum {
-                section: id.name(),
+                section: name,
                 expected: expected_crc,
                 actual: actual_crc,
             });
         }
-        sections.push(Section { id, payload, checksum: actual_crc });
+        frames.push(Frame { raw_id, name, payload, checksum: actual_crc });
         cursor = start + padded_len(len) as usize;
     }
     if cursor != bytes.len() {
         return Err(StoreError::TrailingData { extra: (bytes.len() - cursor) as u64 });
     }
-    Ok((header, sections))
+    Ok((header, frames))
+}
+
+/// Looks up one frame by raw id with the same flag-driven presence rules
+/// as [`find_section`].
+pub(crate) fn find_frame<'a, 'b>(
+    frames: &'b [Frame<'a>],
+    raw_id: u32,
+    name: &'static str,
+    required: bool,
+    allowed: bool,
+) -> Result<Option<&'b Frame<'a>>, StoreError> {
+    let found = frames.iter().find(|f| f.raw_id == raw_id);
+    match found {
+        Some(_) if !allowed => Err(StoreError::UnexpectedSection { section: name }),
+        None if required => Err(StoreError::MissingSection { section: name }),
+        other => Ok(other),
+    }
 }
 
 /// Looks up one section by id, with flag-driven presence checks: a

@@ -1,4 +1,4 @@
-//! `circlekit-store`: the CKS1 binary graph snapshot format.
+//! `circlekit-store`: the CKS1/CKS2 binary graph snapshot formats.
 //!
 //! Text edge lists and circle files are convenient but slow to ingest:
 //! every run re-parses, re-sorts, and re-deduplicates millions of lines.
@@ -23,6 +23,18 @@
 //! Both load paths produce graphs **bit-identical** to text ingestion of
 //! the same data, so downstream scores, figures, and checkpoints do not
 //! depend on which path loaded the dataset.
+//!
+//! Alongside CKS1 there is the **CKS2 compressed format** (magic
+//! `CKS2`): degree-ordered relabelling, delta+varint adjacency blocks,
+//! and width-reduced (u32 where possible) offsets — typically a
+//! fraction of the CKS1 size. Pack with [`save_cks2_snapshot`] (from a
+//! built [`Graph`]) or [`stream_pack_cks2`] (straight from an edge-list
+//! file in bounded memory, via an external sort); load through the same
+//! [`decode_snapshot`] / [`MappedSnapshot::load`] entry points, which
+//! dispatch on the magic, or score without materialising at all through
+//! [`Cks2View::paged`]. The embedded permutation section maps ids back,
+//! so a CKS2 load is bit-identical to the CKS1 load of the same data.
+//! See [`cks2`](crate::Cks2View) and `DESIGN.md` §13.
 //!
 //! Corruption — truncation, bit flips, hand-crafted section tables — is
 //! an expected input class: every defect is detected (checksums, length
@@ -60,6 +72,8 @@
 
 #![warn(missing_docs)]
 
+mod cks2;
+pub mod codec;
 mod crc32;
 mod error;
 pub mod format;
@@ -67,11 +81,20 @@ mod mmap;
 mod reader;
 mod view;
 mod writer;
+mod writer2;
 
-pub use crc32::crc32;
+pub use cks2::{is_cks2, Cks2Paged, Cks2View, FLAG_WIDE, MAGIC2, VERSION2};
+pub use crc32::{crc32, Crc32};
 pub use error::StoreError;
 pub use format::{Header, SectionId, HEADER_LEN, MAGIC, SECTION_HEADER_LEN, VERSION};
 pub use mmap::MappedSnapshot;
-pub use reader::{decode_snapshot, file_is_snapshot, is_snapshot, load_snapshot, Snapshot};
+pub use reader::{
+    decode_snapshot, file_is_snapshot, file_snapshot_format, is_snapshot, load_snapshot,
+    snapshot_format, Snapshot, SnapshotFormat,
+};
 pub use view::{section_infos, SectionInfo, SnapshotView};
 pub use writer::{save_snapshot, write_snapshot};
+pub use writer2::{
+    save_cks2_snapshot, stream_pack_cks2, write_cks2_snapshot, Cks2PackOptions, StreamPackOptions,
+    StreamPackReport,
+};

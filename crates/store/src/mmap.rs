@@ -11,8 +11,9 @@
 //! file is read into an 8-byte-aligned heap buffer instead — same
 //! `MappedSnapshot` API, one copy, still alignment-safe for the view.
 
+use crate::cks2::Cks2View;
 use crate::error::StoreError;
-use crate::reader::Snapshot;
+use crate::reader::{Snapshot, SnapshotFormat};
 use crate::view::SnapshotView;
 use std::fs::File;
 use std::path::Path;
@@ -177,8 +178,16 @@ impl MappedSnapshot {
         }
     }
 
-    /// Validates the bytes once and returns the zero-copy view borrowing
-    /// from the mapping.
+    /// The snapshot format declared by the mapped bytes (`None` when the
+    /// file starts with neither magic).
+    pub fn format(&self) -> Option<SnapshotFormat> {
+        crate::reader::snapshot_format(self.bytes())
+    }
+
+    /// Validates the bytes once and returns the zero-copy CKS1 view
+    /// borrowing from the mapping. For CKS2 files use
+    /// [`MappedSnapshot::view2`] (or [`MappedSnapshot::load`], which
+    /// dispatches on the magic).
     ///
     /// # Errors
     ///
@@ -187,13 +196,29 @@ impl MappedSnapshot {
         SnapshotView::parse(self.bytes())
     }
 
-    /// Materialises the full snapshot through the view (validate, then
-    /// copy out of the mapping).
+    /// Validates the bytes once and returns the zero-copy CKS2 view
+    /// borrowing from the mapping — adjacency stays compressed in the
+    /// mapped pages until accessed, which is what lets a snapshot larger
+    /// than RAM be scored through [`Cks2View::paged`].
     ///
     /// # Errors
     ///
-    /// As [`SnapshotView::parse`] and [`SnapshotView::to_snapshot`].
+    /// As [`Cks2View::parse`].
+    pub fn view2(&self) -> Result<Cks2View<'_>, StoreError> {
+        Cks2View::parse(self.bytes())
+    }
+
+    /// Materialises the full snapshot through the matching zero-copy
+    /// view (validate, then copy out of the mapping), dispatching on the
+    /// magic — callers handle CKS1 and CKS2 files identically.
+    ///
+    /// # Errors
+    ///
+    /// As the underlying view parse/materialise calls.
     pub fn load(&self) -> Result<Snapshot, StoreError> {
-        self.view()?.to_snapshot()
+        match self.format() {
+            Some(SnapshotFormat::Cks2) => self.view2()?.to_snapshot(),
+            _ => self.view()?.to_snapshot(),
+        }
     }
 }

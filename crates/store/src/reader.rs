@@ -149,7 +149,10 @@ fn decode_graph(header: &Header, sections: &[Section<'_>]) -> Result<Graph, Stor
     )?)
 }
 
-/// Decodes a complete snapshot from an in-memory byte slice.
+/// Decodes a complete snapshot — CKS1 or CKS2, selected by the magic
+/// bytes — from an in-memory byte slice. Both formats materialise to
+/// the same [`Snapshot`]: a CKS2 file's relabelling is undone on load,
+/// so the caller sees the original vertex ids either way.
 ///
 /// # Errors
 ///
@@ -157,6 +160,9 @@ fn decode_graph(header: &Header, sections: &[Section<'_>]) -> Result<Graph, Stor
 /// plus the semantic [`StoreError`] variants when section sizes, CSR
 /// invariants, or group invariants do not hold.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, StoreError> {
+    if crate::cks2::is_cks2(bytes) {
+        return crate::cks2::decode_cks2(bytes);
+    }
     let (header, sections) = parse_sections(bytes)?;
     let graph = decode_graph(&header, &sections)?;
     let has = header.has_groups();
@@ -196,27 +202,74 @@ pub fn load_snapshot(path: impl AsRef<Path>) -> Result<Snapshot, StoreError> {
     decode_snapshot(&bytes)
 }
 
-/// Whether `bytes` begin with the CKS1 magic. A cheap sniff for format
-/// auto-detection; full validation happens on load.
-pub fn is_snapshot(bytes: &[u8]) -> bool {
-    bytes.len() >= 4 && bytes[0..4] == crate::format::MAGIC
+/// Which snapshot format a byte stream declares, sniffed from its
+/// magic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotFormat {
+    /// The uncompressed CKS1 layout (raw little-endian CSR arrays).
+    Cks1,
+    /// The compressed CKS2 layout (varint blocks + relabelling).
+    Cks2,
 }
 
-/// Whether the file at `path` begins with the CKS1 magic (reads at most
-/// four bytes). Missing or unreadable files surface as `Err`.
+impl SnapshotFormat {
+    /// The format's display name (`"cks1"` / `"cks2"`, the CLI spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotFormat::Cks1 => "cks1",
+            SnapshotFormat::Cks2 => "cks2",
+        }
+    }
+}
+
+/// Sniffs the snapshot format from the magic bytes (`None` when the
+/// bytes start with neither magic). Full validation happens on load.
+pub fn snapshot_format(bytes: &[u8]) -> Option<SnapshotFormat> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    if bytes[0..4] == crate::format::MAGIC {
+        Some(SnapshotFormat::Cks1)
+    } else if crate::cks2::is_cks2(bytes) {
+        Some(SnapshotFormat::Cks2)
+    } else {
+        None
+    }
+}
+
+/// Whether `bytes` begin with a known snapshot magic (CKS1 or CKS2). A
+/// cheap sniff for format auto-detection; full validation happens on
+/// load.
+pub fn is_snapshot(bytes: &[u8]) -> bool {
+    snapshot_format(bytes).is_some()
+}
+
+/// The snapshot format of the file at `path`, sniffed from its first
+/// four bytes (`None` when it starts with neither magic). Missing or
+/// unreadable files surface as `Err`.
 ///
 /// # Errors
 ///
 /// Any [`std::io::Error`] from opening or reading the file.
-pub fn file_is_snapshot(path: impl AsRef<Path>) -> std::io::Result<bool> {
+pub fn file_snapshot_format(path: impl AsRef<Path>) -> std::io::Result<Option<SnapshotFormat>> {
     let mut magic = [0u8; 4];
     let mut file = fs::File::open(path)?;
     let mut read = 0;
     while read < 4 {
         match file.read(&mut magic[read..])? {
-            0 => return Ok(false), // shorter than the magic: not a snapshot
+            0 => return Ok(None), // shorter than the magic: not a snapshot
             k => read += k,
         }
     }
-    Ok(magic == crate::format::MAGIC)
+    Ok(snapshot_format(&magic))
+}
+
+/// Whether the file at `path` begins with a known snapshot magic (reads
+/// at most four bytes).
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] from opening or reading the file.
+pub fn file_is_snapshot(path: impl AsRef<Path>) -> std::io::Result<bool> {
+    Ok(file_snapshot_format(path)?.is_some())
 }

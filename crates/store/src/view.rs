@@ -18,9 +18,10 @@
 //! [`Graph`], exactly like the buffered loader.
 
 use crate::error::StoreError;
-use crate::format::{find_section, parse_sections, Header, Section, SectionId};
+use crate::format::{find_section, parse_frames, parse_sections, Header, Section, SectionId, CKS1_SPEC};
 use crate::reader::{build_groups, Snapshot};
-use circlekit_graph::{Graph, NodeId, VertexSet};
+use circlekit_graph::{AdjacencyAccess, Graph, NodeId, VertexSet};
+use std::convert::Infallible;
 
 /// Description of one section, for `inspect`-style reporting.
 #[derive(Clone, Copy, Debug)]
@@ -313,20 +314,58 @@ impl<'a> SnapshotView<'a> {
     }
 }
 
+/// The CKS1 view serves adjacency straight from the (possibly mapped)
+/// buffer, so paged scoring works over it too — without decompression,
+/// since CKS1 stores raw arrays.
+impl AdjacencyAccess for SnapshotView<'_> {
+    type Error = Infallible;
+
+    fn node_count(&self) -> usize {
+        SnapshotView::node_count(self)
+    }
+
+    fn edge_count(&self) -> usize {
+        SnapshotView::edge_count(self)
+    }
+
+    fn is_directed(&self) -> bool {
+        SnapshotView::is_directed(self)
+    }
+
+    fn with_out_neighbors<R>(
+        &self,
+        v: NodeId,
+        f: impl FnOnce(&[NodeId]) -> R,
+    ) -> Result<R, Self::Error> {
+        Ok(f(self.out_neighbors(v)))
+    }
+
+    fn with_in_neighbors<R>(
+        &self,
+        v: NodeId,
+        f: impl FnOnce(&[NodeId]) -> R,
+    ) -> Result<R, Self::Error> {
+        Ok(f(self.in_neighbors(v)))
+    }
+}
+
 /// Re-walks the sections of `bytes` for reporting: name, payload size,
-/// and (verified) checksum of each, in file order.
+/// and (verified) checksum of each, in file order. Dispatches on the
+/// magic, so `inspect` handles CKS1 and CKS2 files alike.
 ///
 /// # Errors
 ///
-/// As [`parse_sections`](crate::format::parse_sections).
+/// As [`parse_sections`](crate::format::parse_sections) (or its CKS2
+/// counterpart).
 pub fn section_infos(bytes: &[u8]) -> Result<(Header, Vec<SectionInfo>), StoreError> {
-    let (header, sections) = parse_sections(bytes)?;
-    let infos = sections
+    let spec = if crate::cks2::is_cks2(bytes) { &crate::cks2::CKS2_SPEC } else { &CKS1_SPEC };
+    let (header, frames) = parse_frames(spec, bytes)?;
+    let infos = frames
         .iter()
-        .map(|s| SectionInfo {
-            name: s.id.name(),
-            bytes: s.payload.len() as u64,
-            checksum: s.checksum,
+        .map(|f| SectionInfo {
+            name: f.name,
+            bytes: f.payload.len() as u64,
+            checksum: f.checksum,
         })
         .collect();
     Ok((header, infos))

@@ -1,0 +1,115 @@
+//! Property tests for the CKS2 varint/delta block codec: arbitrary
+//! adjacency lists round-trip byte-exactly (the encoding is canonical),
+//! and arbitrary byte noise decodes to a typed error — never a panic,
+//! never an unterminated loop.
+
+use circlekit_store::codec::{decode_list, decode_list_into, encode_list, read_varint, write_varint};
+use proptest::prelude::*;
+
+/// Strictly increasing duplicate-free lists over the full u32 range,
+/// biased toward the interesting shapes: empty, single-vertex, dense
+/// low-id runs (what degree relabelling produces), and ids hugging the
+/// u32 boundary.
+fn arb_sorted_list() -> impl Strategy<Value = Vec<u32>> {
+    // The vendored proptest has no `prop_oneof`, so draw a shape selector
+    // plus the raw material for every shape and pick in `prop_map`.
+    (
+        0u8..6,
+        prop::collection::vec(any::<u32>(), 0..64),
+        prop::collection::vec(0u32..512, 0..64),
+        (1u32..5, 0u32..1000),
+        prop::collection::vec(u32::MAX - 64..=u32::MAX, 1..32),
+    )
+        .prop_map(|(shape, full, dense, (step, start), boundary)| {
+            let mut values: Vec<u32> = match shape {
+                // Empty and single-element lists.
+                0 => Vec::new(),
+                1 => full.into_iter().take(1).collect(),
+                // General lists over the full id range.
+                2 => full,
+                // Dense small-id lists: single-byte varints, the common case.
+                3 => dense,
+                // Max-degree-ish list: a long run with mixed deltas.
+                4 => (0u32..2000).map(|i| start + i * step).collect(),
+                // Ids hugging the u32 boundary.
+                _ => boundary,
+            };
+            values.sort_unstable();
+            values.dedup();
+            values
+        })
+}
+
+proptest! {
+    /// encode → decode reproduces the list exactly, and re-encoding the
+    /// decode reproduces the bytes exactly (canonical representation).
+    #[test]
+    fn lists_roundtrip_byte_exactly(values in arb_sorted_list()) {
+        let mut bytes = Vec::new();
+        encode_list(&values, &mut bytes);
+        // limit = 2^32 admits every u32 id, including u32::MAX.
+        let decoded = decode_list(&bytes, 1u64 << 32).expect("canonical encoding decodes");
+        prop_assert_eq!(&decoded, &values);
+        let mut again = Vec::new();
+        encode_list(&decoded, &mut again);
+        prop_assert_eq!(again, bytes);
+    }
+
+    /// The tight limit is enforced exactly: decoding succeeds with
+    /// `limit = max + 1` and fails typed with `limit = max`.
+    #[test]
+    fn limit_is_enforced_exactly(values in arb_sorted_list()) {
+        prop_assume!(!values.is_empty());
+        let max = *values.last().expect("non-empty");
+        let mut bytes = Vec::new();
+        encode_list(&values, &mut bytes);
+        prop_assert!(decode_list(&bytes, max as u64 + 1).is_ok());
+        let err = decode_list(&bytes, max as u64).expect_err("limit must reject max");
+        prop_assert_eq!(err.why, "value outside the graph");
+    }
+
+    /// Arbitrary byte noise never panics and always terminates; failures
+    /// are typed `CodecError`s, successes decode to a strictly
+    /// increasing in-range list.
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+        limit in 0u64..=(1u64 << 32),
+    ) {
+        let mut out = Vec::new();
+        match decode_list_into(&bytes, limit, &mut out) {
+            Err(e) => {
+                prop_assert!(e.offset <= bytes.len());
+                prop_assert!(!e.why.is_empty());
+            }
+            Ok(()) => {
+                prop_assert!(out.windows(2).all(|w| w[0] < w[1]), "decoded list not increasing");
+                prop_assert!(out.iter().all(|&v| (v as u64) < limit), "decoded value at/past limit");
+                // A successful decode must be the canonical encoding.
+                let mut re = Vec::new();
+                encode_list(&out, &mut re);
+                prop_assert_eq!(re, bytes);
+            }
+        }
+    }
+
+    /// Raw varints round-trip and arbitrary prefixes decode without
+    /// panicking.
+    #[test]
+    fn varints_roundtrip(v in any::<u32>()) {
+        let mut bytes = Vec::new();
+        write_varint(v, &mut bytes);
+        prop_assert!(bytes.len() <= 5);
+        let mut cursor = 0;
+        prop_assert_eq!(read_varint(&bytes, &mut cursor).expect("roundtrip"), v);
+        prop_assert_eq!(cursor, bytes.len());
+        // Every strict prefix is truncated, typed.
+        for cut in 0..bytes.len() {
+            let mut cursor = 0;
+            prop_assert_eq!(
+                read_varint(&bytes[..cut], &mut cursor).expect_err("prefix must fail").why,
+                "truncated varint"
+            );
+        }
+    }
+}

@@ -4,9 +4,10 @@
 
 use circlekit_graph::{Graph, VertexSet};
 use circlekit_store::{
-    decode_snapshot, load_snapshot, write_snapshot, MappedSnapshot, SnapshotView, StoreError,
-    HEADER_LEN, SECTION_HEADER_LEN,
+    decode_snapshot, load_snapshot, write_cks2_snapshot, write_snapshot, Cks2PackOptions, Cks2View,
+    MappedSnapshot, SnapshotView, StoreError, HEADER_LEN, SECTION_HEADER_LEN,
 };
+use std::io::Cursor;
 
 /// A small directed snapshot with groups — every section id present.
 fn sample_bytes() -> Vec<u8> {
@@ -222,4 +223,303 @@ fn in_adjacency_in_undirected_snapshot_is_rejected() {
         ),
         "{err}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// The same battery against the CKS2 compressed format: every section —
+// header, permutation, compressed adjacency, offsets, group membership —
+// must turn corruption into a typed `StoreError` through both load paths.
+// ---------------------------------------------------------------------------
+
+/// A small directed CKS2 snapshot with groups — every CKS2 section
+/// present (permutation, out/in adjacency + offsets, group members +
+/// offsets).
+fn sample2_bytes() -> Vec<u8> {
+    let graph = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0), (0, 2), (3, 1), (2, 4)]);
+    let groups = vec![
+        VertexSet::from_iter([0u32, 1, 2]),
+        VertexSet::from_iter([1u32, 3]),
+        VertexSet::new(),
+    ];
+    let mut cursor = Cursor::new(Vec::new());
+    write_cks2_snapshot(&graph, &groups, &mut cursor, &Cks2PackOptions::default()).expect("pack");
+    cursor.into_inner()
+}
+
+/// Asserts both CKS2 decode paths — buffered `decode_snapshot` (which
+/// dispatches on the magic) and the zero-copy `Cks2View` materialisation
+/// — reject `bytes` with an error satisfying `check`.
+fn both_paths_reject2(bytes: &[u8], check: impl Fn(StoreError)) {
+    let err = decode_snapshot(bytes).expect_err("buffered decode must reject");
+    check(err);
+    let mut buf = vec![0u64; bytes.len().div_ceil(8)];
+    // SAFETY: the u64 buffer spans at least `bytes.len()` bytes, and any
+    // byte pattern is a valid u64.
+    let dst =
+        unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, bytes.len()) };
+    dst.copy_from_slice(bytes);
+    let err = Cks2View::parse(dst)
+        .and_then(|v| v.to_snapshot())
+        .expect_err("zero-copy view must reject");
+    check(err);
+}
+
+/// Walks the section table: `(raw_id, payload_start, payload_len)` per
+/// section, in file order.
+fn sections_of(bytes: &[u8]) -> Vec<(u32, usize, usize)> {
+    let mut out = Vec::new();
+    let mut cursor = HEADER_LEN;
+    while cursor < bytes.len() {
+        let id = u32::from_le_bytes(bytes[cursor..cursor + 4].try_into().unwrap());
+        let len = u64::from_le_bytes(bytes[cursor + 8..cursor + 16].try_into().unwrap()) as usize;
+        out.push((id, cursor + SECTION_HEADER_LEN, len));
+        cursor += SECTION_HEADER_LEN + len.div_ceil(8) * 8;
+    }
+    out
+}
+
+/// Mutates the payload of the section with `raw_id` through `mutate`,
+/// then re-seals its checksum so the corruption survives CRC validation
+/// and exercises the *structural* checks behind it.
+fn patch_section(bytes: &mut [u8], raw_id: u32, mutate: impl FnOnce(&mut [u8])) {
+    let (_, start, len) = *sections_of(bytes)
+        .iter()
+        .find(|(id, _, _)| *id == raw_id)
+        .expect("section present");
+    mutate(&mut bytes[start..start + len]);
+    let crc = circlekit_store::crc32(&bytes[start..start + len]);
+    bytes[start - SECTION_HEADER_LEN + 4..start - SECTION_HEADER_LEN + 8]
+        .copy_from_slice(&crc.to_le_bytes());
+}
+
+/// Rewrites the header flags and re-seals the header checksum.
+fn patch_flags(bytes: &mut [u8], flags: u16) {
+    bytes[6..8].copy_from_slice(&flags.to_le_bytes());
+    let crc = circlekit_store::crc32(&bytes[..28]);
+    bytes[28..32].copy_from_slice(&crc.to_le_bytes());
+}
+
+const P2_PERMUTATION: u32 = 1;
+const P2_OUT_BLOCKS: u32 = 2;
+const P2_OUT_OFFSETS: u32 = 3;
+const P2_GROUP_BLOCKS: u32 = 6;
+
+#[test]
+fn cks2_truncated_at_every_prefix_never_panics() {
+    let bytes = sample2_bytes();
+    for len in 0..bytes.len() {
+        let prefix = &bytes[..len];
+        let err = decode_snapshot(prefix).expect_err("truncated snapshot must fail");
+        match err {
+            StoreError::TooShort { .. }
+            | StoreError::Truncated { .. }
+            | StoreError::SectionOversize { .. }
+            | StoreError::HeaderChecksum { .. }
+            | StoreError::BadMagic { .. } => {}
+            other => panic!("unexpected error for prefix {len}: {other}"),
+        }
+    }
+}
+
+#[test]
+fn cks2_every_single_bit_flip_is_detected_or_harmless() {
+    let bytes = sample2_bytes();
+    let original = decode_snapshot(&bytes).expect("clean snapshot decodes");
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mangled = bytes.clone();
+            mangled[i] ^= 1 << bit;
+            match decode_snapshot(&mangled) {
+                Err(_) => {}
+                Ok(snap) => assert_eq!(
+                    snap, original,
+                    "byte {i} bit {bit}: undetected flip changed the decoded snapshot"
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn cks2_flipped_payload_byte_fails_that_sections_checksum() {
+    let bytes = sample2_bytes();
+    for (_, start, len) in sections_of(&bytes) {
+        if len == 0 {
+            continue;
+        }
+        let mut mangled = bytes.clone();
+        mangled[start] ^= 0x01;
+        both_paths_reject2(&mangled, |err| {
+            assert!(matches!(err, StoreError::SectionChecksum { .. }), "{err}");
+        });
+    }
+}
+
+#[test]
+fn cks2_flipped_header_byte_fails_the_header_checksum() {
+    let mut bytes = sample2_bytes();
+    bytes[9] ^= 0x40; // inside node_count
+    both_paths_reject2(&bytes, |err| {
+        assert!(matches!(err, StoreError::HeaderChecksum { .. }), "{err}");
+    });
+}
+
+#[test]
+fn cks2_unknown_section_id_is_structured() {
+    let mut bytes = sample2_bytes();
+    bytes[HEADER_LEN..HEADER_LEN + 4].copy_from_slice(&99u32.to_le_bytes());
+    both_paths_reject2(&bytes, |err| {
+        assert!(matches!(err, StoreError::UnknownSection { section: 99 }), "{err}");
+    });
+}
+
+#[test]
+fn cks2_trailing_garbage_is_structured() {
+    let mut bytes = sample2_bytes();
+    bytes.extend_from_slice(&[0xAA; 16]);
+    both_paths_reject2(&bytes, |err| {
+        assert!(matches!(err, StoreError::TrailingData { extra: 16 }), "{err}");
+    });
+}
+
+#[test]
+fn cks2_out_of_range_permutation_entry_is_structured() {
+    let mut bytes = sample2_bytes();
+    // perm[0] := node_count — outside the node range, CRC re-sealed so
+    // the bijection check itself must fire.
+    patch_section(&mut bytes, P2_PERMUTATION, |payload| {
+        payload[0..4].copy_from_slice(&1000u32.to_le_bytes());
+    });
+    both_paths_reject2(&bytes, |err| {
+        assert!(matches!(err, StoreError::BadPermutation { .. }), "{err}");
+    });
+}
+
+#[test]
+fn cks2_duplicate_permutation_entry_is_structured() {
+    let mut bytes = sample2_bytes();
+    patch_section(&mut bytes, P2_PERMUTATION, |payload| {
+        let first: [u8; 4] = payload[0..4].try_into().unwrap();
+        payload[4..8].copy_from_slice(&first); // perm[1] := perm[0]
+    });
+    both_paths_reject2(&bytes, |err| {
+        assert!(matches!(err, StoreError::BadPermutation { .. }), "{err}");
+    });
+}
+
+#[test]
+fn cks2_corrupt_varint_block_is_structured() {
+    let mut bytes = sample2_bytes();
+    // 0xFF opens an unterminated varint: the block ends mid-value, which
+    // must surface as a typed codec error naming the section.
+    patch_section(&mut bytes, P2_OUT_BLOCKS, |payload| payload[0] = 0xFF);
+    both_paths_reject2(&bytes, |err| {
+        assert!(
+            matches!(err, StoreError::Codec { section: "out-adjacency", .. }),
+            "{err}"
+        );
+    });
+}
+
+#[test]
+fn cks2_zero_delta_in_adjacency_block_is_structured() {
+    let mut bytes = sample2_bytes();
+    // Find a block of >= 2 bytes; in this tiny graph every varint is one
+    // byte, so byte 1 of the block is the first delta. Zeroing it
+    // produces a non-increasing list, which the codec must reject.
+    let (_, off_start, _) = *sections_of(&bytes)
+        .iter()
+        .find(|(id, _, _)| *id == P2_OUT_OFFSETS)
+        .expect("out-offsets present");
+    let o0 = u32::from_le_bytes(bytes[off_start..off_start + 4].try_into().unwrap()) as usize;
+    let o1 = u32::from_le_bytes(bytes[off_start + 4..off_start + 8].try_into().unwrap()) as usize;
+    assert!(o1 - o0 >= 2, "first relabelled vertex is the top hub: degree >= 2");
+    patch_section(&mut bytes, P2_OUT_BLOCKS, |payload| payload[o0 + 1] = 0x00);
+    both_paths_reject2(&bytes, |err| {
+        assert!(
+            matches!(err, StoreError::Codec { section: "out-adjacency", .. }),
+            "{err}"
+        );
+    });
+}
+
+#[test]
+fn cks2_out_of_range_group_member_is_structured() {
+    let mut bytes = sample2_bytes();
+    // First group member := 63 — a valid single-byte varint far outside
+    // the 5-node graph.
+    patch_section(&mut bytes, P2_GROUP_BLOCKS, |payload| payload[0] = 63);
+    both_paths_reject2(&bytes, |err| {
+        assert!(
+            matches!(err, StoreError::Codec { section: "group-members", .. }),
+            "{err}"
+        );
+    });
+}
+
+#[test]
+fn cks2_offsets_past_blob_end_are_structured() {
+    let mut bytes = sample2_bytes();
+    patch_section(&mut bytes, P2_OUT_OFFSETS, |payload| {
+        let last = payload.len() - 4;
+        payload[last..].copy_from_slice(&u32::MAX.to_le_bytes());
+    });
+    both_paths_reject2(&bytes, |err| {
+        assert!(matches!(err, StoreError::Graph(_)), "{err}");
+    });
+}
+
+#[test]
+fn cks2_wrong_width_flag_is_structured() {
+    let mut bytes = sample2_bytes();
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    // Claim wide (u64) offsets over narrow (u32) payloads: every offsets
+    // section length is now wrong for the declared width.
+    patch_flags(&mut bytes, flags | (1 << 2));
+    both_paths_reject2(&bytes, |err| {
+        assert!(matches!(err, StoreError::WrongSectionLen { .. }), "{err}");
+    });
+}
+
+#[test]
+fn cks2_in_adjacency_in_undirected_snapshot_is_rejected() {
+    let graph = Graph::from_edges(false, [(0u32, 1u32), (1, 2)]);
+    let mut cursor = Cursor::new(Vec::new());
+    write_cks2_snapshot(&graph, &[], &mut cursor, &Cks2PackOptions::default()).expect("pack");
+    let mut bytes = cursor.into_inner();
+    // Retag the out-offsets section as in-offsets (id 3 -> 5).
+    for (id, start, _) in sections_of(&bytes) {
+        if id == P2_OUT_OFFSETS {
+            bytes[start - SECTION_HEADER_LEN..start - SECTION_HEADER_LEN + 4]
+                .copy_from_slice(&5u32.to_le_bytes());
+        }
+    }
+    let err = decode_snapshot(&bytes).expect_err("must reject");
+    assert!(
+        matches!(
+            err,
+            StoreError::UnexpectedSection { .. } | StoreError::MissingSection { .. }
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn cks2_mmap_path_reports_the_same_errors() {
+    let dir = std::env::temp_dir().join("circlekit-store-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("corrupt.cks2");
+
+    let mut bytes = sample2_bytes();
+    let (_, start, _) = *sections_of(&bytes)
+        .iter()
+        .find(|(id, _, _)| *id == P2_OUT_BLOCKS)
+        .expect("out-adjacency present");
+    bytes[start] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("write corrupt snapshot");
+
+    let mapped = MappedSnapshot::open(&path).expect("open maps without validating");
+    assert!(matches!(mapped.view2(), Err(StoreError::SectionChecksum { .. })));
+    assert!(matches!(mapped.load(), Err(StoreError::SectionChecksum { .. })));
+    assert!(matches!(load_snapshot(&path), Err(StoreError::SectionChecksum { .. })));
 }
