@@ -3,6 +3,7 @@
 //! ```text
 //! loadgen [--connections N] [--requests N] [--scale F] [--workers N]
 //!         [--addr HOST:PORT] [--snapshot FILE.cks] [--out FILE.json]
+//!         [--kill-replica]
 //! ```
 //!
 //! Drives `--connections` concurrent clients, each issuing `--requests`
@@ -13,15 +14,31 @@
 //! points it at an external daemon instead, and `--snapshot` serves a
 //! packed `.cks` file rather than the fixture.
 //!
-//! The process exits non-zero if *any* request fails — the acceptance
-//! bar for the serve subsystem is zero failed requests under ≥ 8
-//! concurrent connections.
+//! Failures are tallied by category — `refused` (connect refused),
+//! `reset` (peer closed mid-exchange), `timeout` (client deadline),
+//! `typed_error` (a protocol-level refusal), `other` — so a run's
+//! failure mode is visible at a glance, not just its count.
+//!
+//! `--kill-replica` runs the availability drill instead: an in-process
+//! primary plus one read replica, failover clients preferring the
+//! replica, and a controller that takes the replica down mid-run and
+//! restarts it on the same port. The acceptance bar is read
+//! availability ≥ 99% while the replica bounces; the resulting
+//! `serve_loadgen_failover` row is *appended* to the report file
+//! (JSON lines), leaving the plain `serve_loadgen` row in place.
+//!
+//! In plain mode the process exits non-zero if *any* request fails —
+//! the acceptance bar for the serve subsystem is zero failed requests
+//! under ≥ 8 concurrent connections.
 
 use circlekit_bench::gplus;
-use circlekit_serve::{Client, ServeConfig, Server, SnapshotRegistry};
+use circlekit_serve::{
+    Client, ClientError, FailoverClient, FailoverOptions, FrameError, ServeConfig, Server,
+    SnapshotRegistry,
+};
 use std::path::Path;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Options {
     connections: usize,
@@ -31,6 +48,7 @@ struct Options {
     addr: Option<String>,
     snapshot: Option<String>,
     out: Option<String>,
+    kill_replica: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -42,6 +60,7 @@ fn parse_options() -> Result<Options, String> {
         addr: None,
         snapshot: None,
         out: None,
+        kill_replica: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -66,6 +85,7 @@ fn parse_options() -> Result<Options, String> {
             "--addr" => opts.addr = Some(value("--addr")?),
             "--snapshot" => opts.snapshot = Some(value("--snapshot")?),
             "--out" => opts.out = Some(value("--out")?),
+            "--kill-replica" => opts.kill_replica = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -73,6 +93,43 @@ fn parse_options() -> Result<Options, String> {
         return Err("--connections and --requests must be at least 1".to_string());
     }
     Ok(opts)
+}
+
+/// Buckets a failure for the per-category tally.
+fn classify(error: &ClientError) -> &'static str {
+    match error {
+        ClientError::Io(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => "refused",
+        ClientError::Io(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+                    | std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::UnexpectedEof
+            ) =>
+        {
+            "reset"
+        }
+        ClientError::Frame(FrameError::Closed | FrameError::Truncated) => "reset",
+        ClientError::Timeout { .. } => "timeout",
+        ClientError::Server { .. } | ClientError::NoPrimary { .. } => "typed_error",
+        _ => "other",
+    }
+}
+
+const CATEGORIES: [&str; 5] = ["refused", "reset", "timeout", "typed_error", "other"];
+
+/// Renders the per-category failure counts as a JSON object.
+fn failure_fields(failures: &[&(&'static str, String)]) -> serde_json::Value {
+    serde_json::Value::Map(
+        CATEGORIES
+            .iter()
+            .map(|&cat| {
+                let n = failures.iter().filter(|(c, _)| *c == cat).count();
+                (cat.to_string(), serde_json::json!(n))
+            })
+            .collect(),
+    )
 }
 
 /// Latency percentile over a sorted sample, by nearest-rank.
@@ -86,7 +143,7 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
 
 struct ConnReport {
     latencies_us: Vec<u64>,
-    failures: Vec<String>,
+    failures: Vec<(&'static str, String)>,
 }
 
 fn drive_connection(
@@ -100,7 +157,7 @@ fn drive_connection(
     let mut client = match Client::connect(addr) {
         Ok(client) => client,
         Err(e) => {
-            report.failures.push(format!("connection {conn}: connect: {e}"));
+            report.failures.push((classify(&e), format!("connection {conn}: connect: {e}")));
             return report;
         }
     };
@@ -112,7 +169,36 @@ fn drive_connection(
         let started = Instant::now();
         match client.score_group(snapshot, group, functions, None) {
             Ok(_) => report.latencies_us.push(started.elapsed().as_micros() as u64),
-            Err(e) => report.failures.push(format!("connection {conn}, request {r}: {e}")),
+            Err(e) => {
+                report.failures.push((classify(&e), format!("connection {conn}, request {r}: {e}")))
+            }
+        }
+    }
+    report
+}
+
+/// The `--kill-replica` variant of [`drive_connection`]: reads go
+/// through a [`FailoverClient`] preferring the replica, so a bounce
+/// mid-run exercises failover instead of failing the run.
+fn drive_failover(
+    endpoints: &[String],
+    snapshot: &str,
+    conn: usize,
+    requests: usize,
+    group_count: usize,
+) -> ConnReport {
+    let mut report = ConnReport { latencies_us: Vec::with_capacity(requests), failures: Vec::new() };
+    let options = FailoverOptions { seed: conn as u64 + 1, ..FailoverOptions::default() };
+    let mut client = FailoverClient::new(endpoints.iter().cloned(), options);
+    for r in 0..requests {
+        let group = (conn * 31 + r * 7) % group_count;
+        let functions = if r % 3 == 0 { Some("all") } else { None };
+        let started = Instant::now();
+        match client.read(|c| c.score_group(snapshot, group, functions, None)) {
+            Ok(_) => report.latencies_us.push(started.elapsed().as_micros() as u64),
+            Err(e) => {
+                report.failures.push((classify(&e), format!("connection {conn}, request {r}: {e}")))
+            }
         }
     }
     report
@@ -143,6 +229,9 @@ fn discover_target(addr: &str) -> Result<(String, usize), String> {
 
 fn run() -> Result<(), String> {
     let opts = parse_options()?;
+    if opts.kill_replica {
+        return run_kill_replica(&opts);
+    }
 
     // Either attach to an external daemon or host one in-process.
     let mut local_server = None;
@@ -200,7 +289,7 @@ fn run() -> Result<(), String> {
 
     let mut latencies: Vec<u64> = reports.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
     latencies.sort_unstable();
-    let failures: Vec<&String> = reports.iter().flat_map(|r| &r.failures).collect();
+    let failures: Vec<&(&'static str, String)> = reports.iter().flat_map(|r| &r.failures).collect();
     let total = opts.connections * opts.requests;
     let ok = latencies.len();
     let throughput = ok as f64 / wall.as_secs_f64();
@@ -222,6 +311,8 @@ fn run() -> Result<(), String> {
         ("requests_per_connection".to_string(), serde_json::json!(opts.requests)),
         ("total_requests".to_string(), serde_json::json!(total)),
         ("failed_requests".to_string(), serde_json::json!(failures.len())),
+        ("failures".to_string(), failure_fields(&failures)),
+        ("availability".to_string(), serde_json::json!(ok as f64 / total as f64)),
         ("wall_ms".to_string(), serde_json::json!(wall.as_millis() as u64)),
         ("throughput_rps".to_string(), serde_json::json!(throughput)),
         (
@@ -251,7 +342,15 @@ fn run() -> Result<(), String> {
     let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
     let default_out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
     let out_path = opts.out.as_deref().map(Path::new).unwrap_or(&default_out);
-    std::fs::write(out_path, json + "\n")
+    // The file is JSON lines, one row per bench mode: replace this
+    // mode's row, keep the others (e.g. serve_loadgen_failover).
+    let kept: String = std::fs::read_to_string(out_path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|line| !line.contains("\"bench\":\"serve_loadgen\","))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    std::fs::write(out_path, json + "\n" + &kept)
         .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
 
     println!(
@@ -259,13 +358,179 @@ fn run() -> Result<(), String> {
         wall.as_secs_f64()
     );
     println!("wrote {}", out_path.display());
-    for failure in &failures {
-        eprintln!("FAILED: {failure}");
+    for (category, detail) in failures.iter().map(|f| (f.0, &f.1)) {
+        eprintln!("FAILED [{category}]: {detail}");
     }
     if !failures.is_empty() {
         return Err(format!("{} of {total} requests failed", failures.len()));
     }
     Ok(())
+}
+
+/// The availability drill: primary + replica over the same packed
+/// fixture, failover readers preferring the replica, and a mid-run
+/// replica bounce. Appends a `serve_loadgen_failover` row.
+fn run_kill_replica(opts: &Options) -> Result<(), String> {
+    if opts.addr.is_some() || opts.snapshot.is_some() {
+        return Err("--kill-replica hosts its own servers; drop --addr/--snapshot".to_string());
+    }
+    let dir = std::env::temp_dir().join(format!("circlekit-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let primary_cks = dir.join("primary.cks");
+    let replica_cks = dir.join("replica.cks");
+    let data = gplus(opts.scale);
+    let group_count = data.groups.len();
+    if group_count == 0 {
+        return Err("the fixture has no groups to score".to_string());
+    }
+    circlekit::store::save_snapshot(&primary_cks, &data.graph, &data.groups)
+        .map_err(|e| format!("packing fixture: {e}"))?;
+    // Same bytes → same base CRC, the identity replication checks.
+    std::fs::copy(&primary_cks, &replica_cks).map_err(|e| format!("copying fixture: {e}"))?;
+
+    let start_server = |path: &Path, replica_of: Option<String>, listen: (&str, u16)| {
+        let mut registry = SnapshotRegistry::new();
+        registry.load(&path.to_string_lossy(), Some("loadgen"))?;
+        let config = ServeConfig {
+            workers: opts.workers,
+            replica_of,
+            ..ServeConfig::default()
+        };
+        Server::start(registry, config, listen).map_err(|e| format!("starting server: {e}"))
+    };
+    let primary = start_server(&primary_cks, None, ("127.0.0.1", 0))?;
+    let primary_addr = primary.local_addr().to_string();
+    let replica = start_server(&replica_cks, Some(primary_addr.clone()), ("127.0.0.1", 0))?;
+    let replica_addr = replica.local_addr().to_string();
+    let replica_port = replica.local_addr().port();
+    wait_caught_up(&replica_addr)?;
+
+    println!(
+        "loadgen --kill-replica: {} connections x {} requests, replica {replica_addr} \
+         bouncing, primary {primary_addr}",
+        opts.connections, opts.requests
+    );
+    let endpoints = vec![replica_addr.clone(), primary_addr.clone()];
+    let started = Instant::now();
+    let (reports, restarted) = std::thread::scope(|scope| {
+        let endpoints = &endpoints;
+        let snapshot_id = "loadgen";
+        let requests = opts.requests;
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|conn| {
+                scope.spawn(move || {
+                    drive_failover(endpoints, snapshot_id, conn, requests, group_count)
+                })
+            })
+            .collect();
+        // Bounce the replica while the readers run: drain it, then
+        // rebind the same port so the failover clients reconnect to it.
+        let controller = scope.spawn(move || {
+            std::thread::sleep(Duration::from_millis(150));
+            replica.shutdown_handle().trigger();
+            replica.join();
+            let listen = ("127.0.0.1", replica_port);
+            for _ in 0..100 {
+                match start_server(&replica_cks, Some(primary_addr.clone()), listen) {
+                    Ok(server) => return Ok(server),
+                    Err(_) => std::thread::sleep(Duration::from_millis(50)),
+                }
+            }
+            Err(format!("replica could not rebind 127.0.0.1:{replica_port}"))
+        });
+        let reports: Vec<ConnReport> =
+            handles.into_iter().map(|h| h.join().expect("connection thread")).collect();
+        (reports, controller.join().expect("controller thread"))
+    });
+    let wall = started.elapsed();
+    let restarted = restarted?;
+    wait_caught_up(&replica_addr)?;
+
+    let mut latencies: Vec<u64> =
+        reports.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
+    latencies.sort_unstable();
+    let failures: Vec<&(&'static str, String)> = reports.iter().flat_map(|r| &r.failures).collect();
+    let total = opts.connections * opts.requests;
+    let ok = latencies.len();
+    let availability = ok as f64 / total as f64;
+
+    for server in [restarted, primary] {
+        server.shutdown_handle().trigger();
+        server.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = serde_json::Value::Map(vec![
+        ("bench".to_string(), serde_json::json!("serve_loadgen_failover")),
+        ("connections".to_string(), serde_json::json!(opts.connections)),
+        ("requests_per_connection".to_string(), serde_json::json!(opts.requests)),
+        ("total_requests".to_string(), serde_json::json!(total)),
+        ("failed_requests".to_string(), serde_json::json!(failures.len())),
+        ("failures".to_string(), failure_fields(&failures)),
+        ("availability".to_string(), serde_json::json!(availability)),
+        ("replica_bounced".to_string(), serde_json::json!(true)),
+        ("wall_ms".to_string(), serde_json::json!(wall.as_millis() as u64)),
+        (
+            "latency_us".to_string(),
+            serde_json::json!({
+                "p50": percentile(&latencies, 50.0),
+                "p90": percentile(&latencies, 90.0),
+                "p99": percentile(&latencies, 99.0),
+                "max": latencies.last().copied().unwrap_or(0),
+            }),
+        ),
+    ]);
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    let default_out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let out_path = opts.out.as_deref().map(Path::new).unwrap_or(&default_out);
+    let mut existing = std::fs::read_to_string(out_path).unwrap_or_default();
+    // Drop any stale failover row before appending the fresh one.
+    existing = existing
+        .lines()
+        .filter(|line| !line.contains("\"bench\":\"serve_loadgen_failover\""))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    std::fs::write(out_path, existing + &json + "\n")
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+
+    println!(
+        "{ok}/{total} ok in {:.2}s, availability {:.4} (replica bounced mid-run)",
+        wall.as_secs_f64(),
+        availability
+    );
+    for (category, detail) in failures.iter().map(|f| (f.0, &f.1)) {
+        eprintln!("failed [{category}]: {detail}");
+    }
+    println!("wrote {}", out_path.display());
+    if availability < 0.99 {
+        return Err(format!("availability {availability:.4} is below the 99% bar"));
+    }
+    Ok(())
+}
+
+/// Polls the replica's `repl_status` until every tracked snapshot
+/// reports `caught_up`, or ~10 s pass.
+fn wait_caught_up(replica_addr: &str) -> Result<(), String> {
+    let wire = circlekit_serve::protocol::wire::get;
+    let mut client = Client::connect_with_patience(replica_addr, Duration::from_secs(5))
+        .map_err(|e| format!("connecting to replica {replica_addr}: {e}"))?;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = client.repl_status().map_err(|e| e.to_string())?;
+        if let Some(serde_json::Value::Seq(entries)) = wire(&status, "replication") {
+            let caught_up = !entries.is_empty()
+                && entries.iter().all(|entry| {
+                    matches!(wire(entry, "caught_up"), Some(serde_json::Value::Bool(true)))
+                });
+            if caught_up {
+                return Ok(());
+            }
+        }
+        if Instant::now() >= deadline {
+            return Err(format!("replica {replica_addr} did not catch up within 10s"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
 }
 
 fn main() -> ExitCode {

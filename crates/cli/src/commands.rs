@@ -58,8 +58,9 @@ fn usage() -> String {
      circlekit live scores  --snapshot FILE.cks\n  \
      circlekit live compact --snapshot FILE.cks [--crash-point tmp-written|renamed]\n  \
      circlekit serve        --snapshot FILE.cks [--snapshot FILE2.cks ...] [--listen ADDR]\n                         \
-     [--threads N] [--workers N] [--queue N] [--batch N] [--cache N]\n  \
-     circlekit query        --addr HOST:PORT <health|stats|list-snapshots|shutdown>\n  \
+     [--threads N] [--workers N] [--queue N] [--batch N] [--cache N]\n                         \
+     [--replica-of HOST:PORT] [--repl-crash-point POINT]\n  \
+     circlekit query        --addr HOST:PORT [--timeout-ms N] <health|stats|list-snapshots|repl-status|shutdown>\n  \
      circlekit query        --addr HOST:PORT <list-groups|score-table> --snapshot ID [--all]\n  \
      circlekit query        --addr HOST:PORT score-group --snapshot ID --group N [--all] [--deadline-ms N]\n  \
      circlekit query        --addr HOST:PORT score-set   --snapshot ID --members 0,1,2 [--all]\n  \
@@ -721,10 +722,11 @@ fn live_cmd(args: &[String]) -> Result<String, String> {
     }
 }
 
-/// Starts the scoring daemon and blocks until it drains (SIGINT or a
-/// `shutdown` request). The listening address is printed to stdout
-/// immediately so scripts can connect; the returned string summarises
-/// the run after shutdown.
+/// Starts the scoring daemon and blocks until it drains (SIGINT,
+/// SIGTERM, or a `shutdown` request). With `--replica-of ADDR` the
+/// daemon serves reads only and tails the primary's WAL. The listening
+/// address is printed to stdout immediately so scripts can connect; the
+/// returned string summarises the run after shutdown.
 fn serve(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["debug-ops"])?;
     let snapshots = flags.all("snapshot");
@@ -735,6 +737,17 @@ fn serve(args: &[String]) -> Result<String, String> {
     for path in snapshots {
         registry.load(path, None)?;
     }
+    let repl_crash_point = flags
+        .get("repl-crash-point")
+        .map(|name| {
+            circlekit_serve::ReplCrashPoint::from_name(name).ok_or_else(|| {
+                format!(
+                    "bad --repl-crash-point {name:?} \
+                     (frame-send|frame-receive|pre-ack|post-ack)"
+                )
+            })
+        })
+        .transpose()?;
     let config = ServeConfig {
         threads: threads_flag(&flags)?,
         workers: flags.parse_value("workers", 1)?,
@@ -742,9 +755,12 @@ fn serve(args: &[String]) -> Result<String, String> {
         batch_max: flags.parse_value("batch", 64)?,
         cache_capacity: flags.parse_value("cache", 4096)?,
         debug_ops: flags.has("debug-ops"),
-        watch_sigint: true,
+        watch_signals: true,
+        replica_of: flags.get("replica-of").map(str::to_string),
+        repl_crash_point,
+        fault: circlekit_serve::FaultPlan::default(),
     };
-    circlekit_serve::signal::install_sigint_handler();
+    circlekit_serve::signal::install_termination_handlers();
     let listen = flags.get("listen").unwrap_or("127.0.0.1:7450");
     let server =
         Server::start(registry, config, listen).map_err(|e| format!("binding {listen}: {e}"))?;
@@ -769,11 +785,21 @@ fn query(args: &[String]) -> Result<String, String> {
     let addr = flags.required("addr")?;
     let mut client = Client::connect_with_patience(addr, std::time::Duration::from_secs(5))
         .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    if let Some(ms) = flags
+        .get("timeout-ms")
+        .map(|v| v.parse::<u64>().map_err(|_| format!("bad --timeout-ms {v:?}")))
+        .transpose()?
+    {
+        client
+            .set_timeout(Some(std::time::Duration::from_millis(ms)))
+            .map_err(|e| e.to_string())?;
+    }
     let functions = flags.has("all").then_some("all");
     let response = match op {
         "health" => client.health(),
         "stats" => client.stats(),
         "shutdown" => client.shutdown(),
+        "repl-status" => client.repl_status(),
         "list-snapshots" => client.list_snapshots(),
         "list-groups" => client.list_groups(flags.required("snapshot")?),
         "score-group" => {

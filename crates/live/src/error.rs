@@ -167,6 +167,24 @@ pub enum LiveError {
     Mutation(MutationError),
     /// A snapshot read or write failed.
     Store(StoreError),
+    /// A replication offset does not land on a committed frame boundary
+    /// of this WAL — the subscriber and primary disagree about history.
+    BadReplicationOffset {
+        /// The offset the subscriber asked to resume from (bytes past
+        /// the WAL header).
+        offset: u64,
+        /// Bytes of committed records this WAL actually holds.
+        committed: u64,
+    },
+    /// A replication batch ended mid-frame. Batches are shipped whole;
+    /// a torn one means the transport lost bytes, not that the primary
+    /// crashed (torn *tails on disk* are repaired by replay instead).
+    TornReplicationBatch {
+        /// Bytes left in the batch at the torn frame.
+        have: u64,
+        /// Bytes the frame header declares the frame needs.
+        need: u64,
+    },
 }
 
 impl fmt::Display for LiveError {
@@ -208,6 +226,15 @@ impl fmt::Display for LiveError {
             }
             LiveError::Mutation(e) => write!(f, "mutation rejected: {e}"),
             LiveError::Store(e) => write!(f, "snapshot error: {e}"),
+            LiveError::BadReplicationOffset { offset, committed } => write!(
+                f,
+                "replication offset {offset} is not a frame boundary of this WAL \
+                 ({committed} committed record bytes)"
+            ),
+            LiveError::TornReplicationBatch { have, need } => write!(
+                f,
+                "replication batch torn mid-frame: {have} bytes left, frame needs {need}"
+            ),
         }
     }
 }

@@ -3,7 +3,7 @@
 use crate::error::{LiveError, MutationError};
 use crate::mutation::Mutation;
 use crate::overlay::DeltaOverlay;
-use crate::wal::{read_wal, sync_parent_dir, WalHeader, WalWriter};
+use crate::wal::{read_wal, scan_frames, sync_parent_dir, WalHeader, WalWriter, WAL_HEADER_LEN};
 use circlekit_graph::{Graph, NodeId, VertexSet};
 use circlekit_scoring::{ScoringFunction, SetStats};
 use circlekit_store::{crc32, decode_snapshot, write_snapshot};
@@ -113,6 +113,9 @@ pub struct LiveSnapshot {
     aggs: Vec<Aggregate>,
     wal: Option<WalWriter>,
     wal_records: usize,
+    /// Committed record bytes past the 32-byte WAL header — the
+    /// replication stream position. 0 when no WAL exists (or in memory).
+    wal_offset: u64,
     replayed: usize,
     discarded_stale_wal: bool,
 }
@@ -146,6 +149,7 @@ impl LiveSnapshot {
             groups: snap.groups,
             wal: None,
             wal_records: 0,
+            wal_offset: 0,
             replayed: 0,
             discarded_stale_wal: false,
         };
@@ -166,6 +170,7 @@ impl LiveSnapshot {
                 }
                 live.replayed = scan.records.len();
                 live.wal_records = scan.records.len();
+                live.wal_offset = scan.valid_len - WAL_HEADER_LEN as u64;
                 live.wal = Some(WalWriter::open_at(&wal_path, scan.valid_len)?);
             }
         }
@@ -185,6 +190,7 @@ impl LiveSnapshot {
             groups,
             wal: None,
             wal_records: 0,
+            wal_offset: 0,
             replayed: 0,
             discarded_stale_wal: false,
         }
@@ -230,6 +236,95 @@ impl LiveSnapshot {
         self.wal_records
     }
 
+    /// CRC-32 of the snapshot file backing the base graph (0 for
+    /// in-memory snapshots). Replication subscribers present this in
+    /// their handshake to prove they replicate the same history.
+    pub fn base_crc(&self) -> u32 {
+        self.base_crc
+    }
+
+    /// Committed record bytes past the WAL header — the replication
+    /// stream position. Two live snapshots with equal [`base_crc`]
+    /// (`self.base_crc()`) and equal `wal_offset` hold byte-identical
+    /// WALs and therefore identical composed state.
+    pub fn wal_offset(&self) -> u64 {
+        self.wal_offset
+    }
+
+    /// The committed WAL record bytes from `offset` (bytes past the
+    /// header) to the current [`LiveSnapshot::wal_offset`], verbatim —
+    /// whole CRC-framed records, suitable for shipping to a replica's
+    /// [`LiveSnapshot::apply_replicated`].
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::BadReplicationOffset`] if `offset` is beyond the
+    /// committed length or does not land on a frame boundary; I/O and
+    /// corruption errors reading the WAL back.
+    pub fn replication_frames_from(&self, offset: u64) -> Result<Vec<u8>, LiveError> {
+        if offset > self.wal_offset {
+            return Err(LiveError::BadReplicationOffset {
+                offset,
+                committed: self.wal_offset,
+            });
+        }
+        if offset == self.wal_offset {
+            return Ok(Vec::new());
+        }
+        let wal_path = self.wal_path.as_ref().ok_or_else(|| {
+            LiveError::Io(std::io::Error::other("in-memory snapshot has no WAL to replicate"))
+        })?;
+        let bytes = std::fs::read(wal_path)?;
+        let end = WAL_HEADER_LEN + self.wal_offset as usize;
+        if bytes.len() < end {
+            return Err(LiveError::WalTooShort { len: bytes.len() as u64 });
+        }
+        let records = &bytes[WAL_HEADER_LEN..end];
+        // `offset` must be a frame boundary: the longest clean frame run
+        // inside the prefix must consume it exactly.
+        let (_, consumed) = scan_frames(&records[..offset as usize], WAL_HEADER_LEN as u64, true)?;
+        if consumed != offset {
+            return Err(LiveError::BadReplicationOffset {
+                offset,
+                committed: self.wal_offset,
+            });
+        }
+        // The shipped tail must itself be whole, valid frames.
+        scan_frames(&records[offset as usize..], WAL_HEADER_LEN as u64 + offset, false)?;
+        Ok(records[offset as usize..].to_vec())
+    }
+
+    /// Applies a batch of raw CRC-framed WAL records received from a
+    /// primary: validates the *whole* batch first (a torn or corrupt
+    /// batch applies nothing), applies every record, then appends the
+    /// bytes verbatim to this snapshot's WAL — so a replica's WAL is a
+    /// byte-identical prefix of the primary's at every acked offset.
+    /// Returns the number of records applied.
+    ///
+    /// # Errors
+    ///
+    /// [`LiveError::TornReplicationBatch`] if the batch ends mid-frame,
+    /// [`LiveError::RecordChecksum`] / decode errors on corruption
+    /// (nothing applied in all three cases), and
+    /// [`LiveError::ReplayRejected`] if a record does not apply — the
+    /// streams have diverged, which only corruption can cause.
+    pub fn apply_replicated(&mut self, frames: &[u8]) -> Result<usize, LiveError> {
+        let (records, consumed) = scan_frames(frames, 0, false)?;
+        debug_assert_eq!(consumed, frames.len() as u64);
+        for (i, m) in records.iter().enumerate() {
+            self.apply_unlogged(*m)
+                .map_err(|error| LiveError::ReplayRejected { record: i, error })?;
+        }
+        if !records.is_empty() && self.wal_path.is_some() {
+            self.ensure_wal()?;
+            let written =
+                self.wal.as_mut().expect("ensure_wal just opened it").append_raw(frames)?;
+            self.wal_offset += written;
+            self.wal_records += records.len();
+        }
+        Ok(records.len())
+    }
+
     /// Whether `open` found and discarded a stale WAL (left behind by a
     /// crash between compaction's rename and WAL unlink).
     pub fn discarded_stale_wal(&self) -> bool {
@@ -258,10 +353,12 @@ impl LiveSnapshot {
         }
         if applied > 0 && self.wal_path.is_some() {
             self.ensure_wal()?;
-            self.wal
+            let written = self
+                .wal
                 .as_mut()
                 .expect("ensure_wal just opened it")
                 .append(&mutations[..applied])?;
+            self.wal_offset += written;
             self.wal_records += applied;
         }
         Ok(ApplyOutcome { applied, rejected })
@@ -515,6 +612,7 @@ impl LiveSnapshot {
             }
         }
         self.wal_records = 0;
+        self.wal_offset = 0;
 
         // Same composed graph, now the base; aggregates are untouched.
         self.base_crc = crc32(&std::fs::read(&snapshot_path)?);
@@ -711,6 +809,102 @@ mod tests {
         assert_matches_rescore(&reopened);
 
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn replication_ships_byte_identical_wal() {
+        let dir = std::env::temp_dir().join("circlekit-live-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let primary = dir.join(format!("repl-primary-{}.cks", std::process::id()));
+        let replica = dir.join(format!("repl-replica-{}.cks", std::process::id()));
+        for p in [&primary, &replica] {
+            let _ = std::fs::remove_file(p);
+            let _ = std::fs::remove_file(wal_path_for(p));
+        }
+
+        let (g, groups) = fixture();
+        circlekit_store::save_snapshot(&primary, &g, &groups).unwrap();
+        std::fs::copy(&primary, &replica).unwrap();
+
+        let mut p = LiveSnapshot::open(&primary).unwrap();
+        let mut r = LiveSnapshot::open(&replica).unwrap();
+        assert_eq!(p.base_crc(), r.base_crc());
+        assert_eq!((p.wal_offset(), r.wal_offset()), (0, 0));
+        assert!(p.replication_frames_from(0).unwrap().is_empty());
+
+        // First batch ships, second ships from the replica's offset.
+        p.apply(&[Mutation::AddEdge { u: 0, v: 4 }, Mutation::AddVertex]).unwrap();
+        let frames = p.replication_frames_from(r.wal_offset()).unwrap();
+        assert_eq!(r.apply_replicated(&frames).unwrap(), 2);
+        assert_eq!(r.wal_offset(), p.wal_offset());
+
+        p.apply(&[Mutation::AddMember { group: 1, node: 6 }]).unwrap();
+        let frames = p.replication_frames_from(r.wal_offset()).unwrap();
+        assert_eq!(r.apply_replicated(&frames).unwrap(), 1);
+        assert_eq!(r.wal_offset(), p.wal_offset());
+
+        for i in 0..2 {
+            assert_eq!(r.paper_scores(i).unwrap(), p.paper_scores(i).unwrap());
+        }
+        assert_matches_rescore(&r);
+        assert_eq!(
+            std::fs::read(wal_path_for(&primary)).unwrap(),
+            std::fs::read(wal_path_for(&replica)).unwrap(),
+            "replica WAL must be byte-identical to the primary's"
+        );
+
+        // A replica restart replays its own WAL back to the same offset.
+        drop(r);
+        let reopened = LiveSnapshot::open(&replica).unwrap();
+        assert_eq!(reopened.wal_offset(), p.wal_offset());
+        assert_eq!(reopened.replayed_records(), 3);
+
+        for path in [&primary, &replica] {
+            std::fs::remove_file(path).unwrap();
+            std::fs::remove_file(wal_path_for(path)).unwrap();
+        }
+    }
+
+    #[test]
+    fn replication_offsets_are_validated() {
+        let dir = std::env::temp_dir().join("circlekit-live-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("repl-offsets-{}.cks", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(wal_path_for(&path));
+
+        let (g, groups) = fixture();
+        circlekit_store::save_snapshot(&path, &g, &groups).unwrap();
+        let mut live = LiveSnapshot::open(&path).unwrap();
+        live.apply(&[Mutation::AddEdge { u: 0, v: 4 }, Mutation::AddVertex]).unwrap();
+        let committed = live.wal_offset();
+
+        // Past the end.
+        assert!(matches!(
+            live.replication_frames_from(committed + 1),
+            Err(LiveError::BadReplicationOffset { offset, .. }) if offset == committed + 1
+        ));
+        // Mid-frame.
+        assert!(matches!(
+            live.replication_frames_from(3),
+            Err(LiveError::BadReplicationOffset { offset: 3, .. })
+        ));
+
+        // A torn batch applies nothing on the replica side.
+        let (g2, groups2) = fixture();
+        let mut replica = LiveSnapshot::in_memory(g2, groups2);
+        let frames = live.replication_frames_from(0).unwrap();
+        let torn = &frames[..frames.len() - 1];
+        assert!(matches!(
+            replica.apply_replicated(torn),
+            Err(LiveError::TornReplicationBatch { .. })
+        ));
+        assert_eq!(replica.node_count(), 7, "torn batch must apply nothing");
+        assert_eq!(replica.apply_replicated(&frames).unwrap(), 2);
+        assert_eq!(replica.node_count(), 8);
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(wal_path_for(&path)).unwrap();
     }
 
     #[test]

@@ -121,26 +121,53 @@ pub(crate) fn read_wal(path: &Path) -> Result<WalScan, LiveError> {
 
 pub(crate) fn scan_wal(bytes: &[u8]) -> Result<WalScan, LiveError> {
     let header = WalHeader::decode(bytes)?;
+    let (records, consumed) =
+        scan_frames(&bytes[WAL_HEADER_LEN..], WAL_HEADER_LEN as u64, true)?;
+    Ok(WalScan { header, records, valid_len: WAL_HEADER_LEN as u64 + consumed })
+}
+
+/// Decodes a contiguous run of CKW1 record frames from `bytes`,
+/// returning the records and how many bytes they span. `file_offset` is
+/// where `bytes` starts within its file, for error diagnostics only.
+///
+/// A torn frame at the tail ends the scan cleanly when `allow_torn` is
+/// set (WAL replay after a crash) and is a typed
+/// [`LiveError::TornReplicationBatch`] otherwise (a replication batch
+/// must arrive whole). CRC failures on complete frames, unknown opcodes
+/// and short payloads are typed errors either way.
+pub(crate) fn scan_frames(
+    bytes: &[u8],
+    file_offset: u64,
+    allow_torn: bool,
+) -> Result<(Vec<Mutation>, u64), LiveError> {
     let mut records = Vec::new();
-    let mut offset = WAL_HEADER_LEN;
+    let mut offset = 0usize;
     loop {
         let remaining = bytes.len() - offset;
         if remaining == 0 {
             break;
         }
-        if remaining < FRAME_HEADER_LEN {
-            break; // torn frame header
+        let len = if remaining >= FRAME_HEADER_LEN {
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("sliced")) as usize
+        } else {
+            0
+        };
+        if remaining < FRAME_HEADER_LEN || remaining - FRAME_HEADER_LEN < len {
+            // Torn frame header or torn payload.
+            if allow_torn {
+                break;
+            }
+            return Err(LiveError::TornReplicationBatch {
+                have: remaining as u64,
+                need: (FRAME_HEADER_LEN + len) as u64,
+            });
         }
-        let len =
-            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("sliced")) as usize;
         let stored_crc =
             u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("sliced"));
-        if remaining - FRAME_HEADER_LEN < len {
-            break; // torn payload
-        }
         let payload = &bytes[offset + FRAME_HEADER_LEN..offset + FRAME_HEADER_LEN + len];
+        let at = file_offset + offset as u64;
         if crc32(payload) != stored_crc {
-            return Err(LiveError::RecordChecksum { offset: offset as u64 });
+            return Err(LiveError::RecordChecksum { offset: at });
         }
         match Mutation::decode(payload) {
             Some(m) => records.push(m),
@@ -149,15 +176,15 @@ pub(crate) fn scan_wal(bytes: &[u8]) -> Result<WalScan, LiveError> {
                 // Distinguish "opcode we know, payload too short/long"
                 // from "opcode we don't know" for diagnostics.
                 return if (1..=5).contains(&opcode) {
-                    Err(LiveError::ShortRecord { opcode, offset: offset as u64 })
+                    Err(LiveError::ShortRecord { opcode, offset: at })
                 } else {
-                    Err(LiveError::UnknownOpcode { opcode, offset: offset as u64 })
+                    Err(LiveError::UnknownOpcode { opcode, offset: at })
                 };
             }
         }
         offset += FRAME_HEADER_LEN + len;
     }
-    Ok(WalScan { header, records, valid_len: offset as u64 })
+    Ok((records, offset as u64))
 }
 
 /// Encodes `mutations` as a contiguous run of CKW1 record frames.
@@ -200,12 +227,21 @@ impl WalWriter {
     }
 
     /// Appends one committed batch: a single `write_all` of all frames
-    /// followed by `sync_data`. The batch is either fully on disk when
-    /// this returns, or (after a crash) a torn tail that replay drops.
-    pub(crate) fn append(&mut self, mutations: &[Mutation]) -> Result<(), LiveError> {
-        self.file.write_all(&encode_records(mutations))?;
+    /// followed by `sync_data`, returning the number of bytes written.
+    /// The batch is either fully on disk when this returns, or (after a
+    /// crash) a torn tail that replay drops.
+    pub(crate) fn append(&mut self, mutations: &[Mutation]) -> Result<u64, LiveError> {
+        self.append_raw(&encode_records(mutations))
+    }
+
+    /// Appends already-encoded record frames verbatim (one `write_all` +
+    /// `sync_data`). Replication ships raw frame bytes so a replica's WAL
+    /// is byte-identical to the primary's at every acked offset; the
+    /// caller has validated the frames before handing them over.
+    pub(crate) fn append_raw(&mut self, frames: &[u8]) -> Result<u64, LiveError> {
+        self.file.write_all(frames)?;
         self.file.sync_data()?;
-        Ok(())
+        Ok(frames.len() as u64)
     }
 
     /// The path this writer appends to (diagnostics).

@@ -1,0 +1,204 @@
+//! Replication safety at the WAL-frame level: a replica fed torn,
+//! truncated, or re-requested CKW1 frame batches must either apply a
+//! whole committed prefix or reject the batch typed — and after a
+//! reconnect it must catch up to a WAL byte-identical to the primary's.
+//! Divergence (applying half a batch, or applying bytes the primary
+//! never committed) is the one outcome that must be impossible.
+
+use circlekit_graph::{Graph, VertexSet};
+use circlekit_live::{wal_path_for, LiveError, LiveSnapshot, Mutation};
+use proptest::prelude::*;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("circlekit-live-repl-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{}", std::process::id(), name))
+}
+
+fn fixture() -> (Graph, Vec<VertexSet>) {
+    let g = Graph::from_edges(
+        false,
+        [(0u32, 1u32), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5), (5, 6)],
+    );
+    (g, vec![VertexSet::from_vec(vec![0, 1, 2, 3]), VertexSet::from_vec(vec![4, 5, 6])])
+}
+
+/// Packs the fixture at `name` and at `name`-replica (same bytes, so
+/// the same base CRC) and opens both.
+fn primary_and_replica(name: &str) -> (LiveSnapshot, LiveSnapshot, PathBuf, PathBuf) {
+    let primary_path = tmp(&format!("{name}.cks"));
+    let replica_path = tmp(&format!("{name}-replica.cks"));
+    let (g, groups) = fixture();
+    circlekit_store::save_snapshot(&primary_path, &g, &groups).unwrap();
+    std::fs::copy(&primary_path, &replica_path).unwrap();
+    let primary = LiveSnapshot::open(&primary_path).unwrap();
+    let replica = LiveSnapshot::open(&replica_path).unwrap();
+    (primary, replica, primary_path, replica_path)
+}
+
+fn cleanup(paths: &[PathBuf]) {
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(wal_path_for(p));
+    }
+}
+
+/// The paper scores of every group, as raw bits.
+fn score_bits(live: &LiveSnapshot) -> Vec<Vec<u64>> {
+    (0..live.groups().len())
+        .map(|g| live.paper_scores(g).unwrap().iter().map(|(_, s)| s.to_bits()).collect())
+        .collect()
+}
+
+/// Same mix as the incremental-equivalence suite: deliberately includes
+/// invalid mutations, which `apply` rejects without logging.
+fn draw_mutation(rng: &mut SmallRng, live: &LiveSnapshot) -> Mutation {
+    let n = live.node_count() as u32;
+    let groups = live.groups().len() as u32;
+    let node = |rng: &mut SmallRng| rng.gen_range(0..n + 2);
+    match rng.gen_range(0..10u32) {
+        0..=3 => Mutation::AddEdge { u: node(rng), v: node(rng) },
+        4..=5 => Mutation::RemoveEdge { u: node(rng), v: node(rng) },
+        6 => Mutation::AddVertex,
+        7..=8 => Mutation::AddMember { group: rng.gen_range(0..groups + 1), node: node(rng) },
+        _ => Mutation::RemoveMember { group: rng.gen_range(0..groups + 1), node: node(rng) },
+    }
+}
+
+/// Asserts the replica matches the primary exactly: offsets, scores,
+/// and the WAL files byte for byte.
+fn assert_converged(primary: &LiveSnapshot, replica: &LiveSnapshot, ppath: &Path, rpath: &Path) {
+    assert_eq!(replica.wal_offset(), primary.wal_offset(), "offsets diverge");
+    assert_eq!(score_bits(replica), score_bits(primary), "scores diverge");
+    assert_eq!(replica.node_count(), primary.node_count());
+    assert_eq!(replica.edge_count(), primary.edge_count());
+    let pwal = std::fs::read(wal_path_for(ppath)).unwrap_or_default();
+    let rwal = std::fs::read(wal_path_for(rpath)).unwrap_or_default();
+    assert_eq!(pwal, rwal, "replica WAL is not a byte-identical copy");
+}
+
+#[test]
+fn every_byte_cut_of_a_shipped_batch_rejects_cleanly_then_catches_up() {
+    let (mut primary, mut replica, ppath, rpath) = primary_and_replica("cut-sweep");
+    for batch in [
+        vec![Mutation::AddEdge { u: 0, v: 4 }, Mutation::RemoveEdge { u: 1, v: 2 }],
+        vec![Mutation::AddVertex, Mutation::AddEdge { u: 7, v: 3 }],
+        vec![Mutation::AddMember { group: 1, node: 3 }],
+    ] {
+        primary.apply(&batch).unwrap();
+    }
+    let frames = primary.replication_frames_from(0).unwrap();
+
+    for cut in 0..frames.len() {
+        let before_offset = replica.wal_offset();
+        let before_bits = score_bits(&replica);
+        match replica.apply_replicated(&frames[..cut]) {
+            // A cut on a frame boundary ships whole records: fine, but
+            // then this replica is ahead for later (shorter) cuts, so
+            // rewind by reopening a fresh copy.
+            Ok(_) => {
+                std::fs::copy(&ppath, &rpath).unwrap();
+                let _ = std::fs::remove_file(wal_path_for(&rpath));
+                replica = LiveSnapshot::open(&rpath).unwrap();
+            }
+            // A mid-frame cut must reject typed and apply *nothing*.
+            Err(LiveError::TornReplicationBatch { .. }) => {
+                assert_eq!(replica.wal_offset(), before_offset, "cut {cut}: offset moved");
+                assert_eq!(score_bits(&replica), before_bits, "cut {cut}: state moved");
+            }
+            Err(other) => panic!("cut {cut}: unexpected error {other}"),
+        }
+        // Reconnect semantics: re-request from the replica's own offset
+        // and apply the rest. Every cut must end byte-identical.
+        let rest = primary.replication_frames_from(replica.wal_offset()).unwrap();
+        replica.apply_replicated(&rest).unwrap();
+        assert_converged(&primary, &replica, &ppath, &rpath);
+        // Reset for the next cut.
+        std::fs::copy(&ppath, &rpath).unwrap();
+        let _ = std::fs::remove_file(wal_path_for(&rpath));
+        replica = LiveSnapshot::open(&rpath).unwrap();
+    }
+    cleanup(&[ppath, rpath]);
+}
+
+#[test]
+fn corrupt_frames_reject_without_applying() {
+    let (mut primary, mut replica, ppath, rpath) = primary_and_replica("corrupt");
+    primary.apply(&[Mutation::AddEdge { u: 0, v: 4 }, Mutation::AddVertex]).unwrap();
+    let frames = primary.replication_frames_from(0).unwrap();
+
+    for flip in 0..frames.len() {
+        let mut bad = frames.clone();
+        bad[flip] ^= 0x10;
+        match replica.apply_replicated(&bad) {
+            // Flips can fail as a checksum mismatch, a torn batch (length
+            // field flipped), or an offset error surfaced by the scan —
+            // but never apply partially.
+            Err(_) => {
+                assert_eq!(replica.wal_offset(), 0, "flip {flip}: offset moved");
+            }
+            // A flip that still checks out would be a CRC collision on a
+            // <100 byte payload — treat it as a bug.
+            Ok(n) => panic!("flip {flip}: corrupt batch applied {n} records"),
+        }
+    }
+    replica.apply_replicated(&frames).unwrap();
+    assert_converged(&primary, &replica, &ppath, &rpath);
+    cleanup(&[ppath, rpath]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary mutation histories, arbitrary batch splits, and an
+    /// arbitrary torn cut in the middle of tailing: the replica either
+    /// rejects typed or applies whole batches, and always converges to
+    /// a byte-identical WAL after the reconnect.
+    #[test]
+    fn torn_tailing_never_diverges(
+        seed in 0u64..1u64 << 48,
+        ops in 1usize..60,
+        splits in 1u64..8,
+        cut_seed in 0u64..1u64 << 48,
+    ) {
+        let name = format!("prop-{seed}-{ops}-{splits}-{cut_seed}");
+        let (mut primary, mut replica, ppath, rpath) = primary_and_replica(&name);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut applied = 0usize;
+        // Ship in `splits` chunks as the primary commits, mimicking a
+        // replica that tails live batches rather than one backlog.
+        for chunk in 0..splits {
+            for _ in 0..ops.div_ceil(splits as usize) {
+                let m = draw_mutation(&mut rng, &primary);
+                if primary.apply(&[m]).is_ok() {
+                    applied += 1;
+                }
+            }
+            let frames = primary
+                .replication_frames_from(replica.wal_offset())
+                .expect("replica offset is always a committed boundary");
+            if chunk == splits - 1 && !frames.is_empty() {
+                // Tear the final batch at an arbitrary byte.
+                let cut = (cut_seed % frames.len() as u64) as usize;
+                match replica.apply_replicated(&frames[..cut]) {
+                    Ok(_) | Err(LiveError::TornReplicationBatch { .. }) => {}
+                    Err(other) => panic!("unexpected error on torn batch: {other}"),
+                }
+                // Reconnect: request again from wherever the replica is.
+                let rest = primary.replication_frames_from(replica.wal_offset()).unwrap();
+                replica.apply_replicated(&rest).unwrap();
+            } else {
+                replica.apply_replicated(&frames).unwrap();
+            }
+        }
+        prop_assert!(applied <= ops + splits as usize);
+        assert_converged(&primary, &replica, &ppath, &rpath);
+        // A replica restart replays its copied WAL to the same state.
+        drop(replica);
+        let reopened = LiveSnapshot::open(&rpath).unwrap();
+        assert_converged(&primary, &reopened, &ppath, &rpath);
+        cleanup(&[ppath, rpath]);
+    }
+}

@@ -7,12 +7,18 @@
 //! [`ErrorKind`] so callers can react to `overloaded` or
 //! `deadline-exceeded` distinctly from transport failures.
 
-use crate::protocol::{read_frame, wire, write_frame, ErrorKind, FrameError};
+use crate::protocol::{read_frame_patiently, wire, write_frame, ErrorKind, FrameError};
 use circlekit_live::Mutation;
 use serde_json::Value;
 use std::io::Write as _;
 use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// How often a deadline-bound read wakes up to check the clock. The
+/// socket timeout is this slice, not the whole deadline, so a response
+/// that lands mid-wait is picked up promptly and a dead peer cannot pin
+/// the call past the deadline.
+const READ_SLICE: Duration = Duration::from_millis(50);
 
 /// Why a call failed.
 #[derive(Debug)]
@@ -21,6 +27,20 @@ pub enum ClientError {
     Io(std::io::Error),
     /// The response frame was malformed.
     Frame(FrameError),
+    /// The configured client-side timeout expired before a response
+    /// arrived (see [`Client::set_timeout`]). The connection is left in
+    /// an unknown mid-frame state and should be discarded.
+    Timeout {
+        /// The timeout that expired.
+        after: Duration,
+    },
+    /// No endpoint in a failover set is currently accepting writes (see
+    /// [`crate::failover::FailoverClient`]). Writes fail fast rather
+    /// than risking split-brain by retrying against a replica.
+    NoPrimary {
+        /// One line per endpoint explaining why it was rejected.
+        detail: String,
+    },
     /// The server answered `ok:false` with a typed error.
     Server {
         /// The machine-readable kind (unknown kinds map to `internal`).
@@ -37,6 +57,12 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o error: {e}"),
             ClientError::Frame(e) => write!(f, "bad frame: {e}"),
+            ClientError::Timeout { after } => {
+                write!(f, "deadline-exceeded: no response within {after:?}")
+            }
+            ClientError::NoPrimary { detail } => {
+                write!(f, "no-primary: no endpoint accepts writes ({detail})")
+            }
             ClientError::Server { kind, message } => {
                 write!(f, "server error ({}): {message}", kind.name())
             }
@@ -60,9 +86,20 @@ impl ClientError {
     }
 }
 
+/// Connection-time knobs for [`Client::connect_with_options`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientOptions {
+    /// Abort a connection attempt after this long (`None` uses the OS
+    /// default, which can be minutes against a black-holed address).
+    pub connect_timeout: Option<Duration>,
+    /// Per-call response deadline, as in [`Client::set_timeout`].
+    pub read_timeout: Option<Duration>,
+}
+
 /// A blocking protocol client over one TCP connection.
 pub struct Client {
     stream: TcpStream,
+    read_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -72,9 +109,47 @@ impl Client {
     ///
     /// Propagates connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect(addr)?;
+        Client::connect_with_options(addr, ClientOptions::default())
+    }
+
+    /// Connects with explicit connect/read timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures; a bounded attempt that exhausts
+    /// every resolved address yields the last failure.
+    pub fn connect_with_options<A: ToSocketAddrs>(
+        addr: A,
+        options: ClientOptions,
+    ) -> Result<Client, ClientError> {
+        let stream = match options.connect_timeout {
+            None => TcpStream::connect(addr)?,
+            Some(timeout) => {
+                let mut last = None;
+                let mut stream = None;
+                for resolved in addr.to_socket_addrs()? {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(ClientError::Io(last.unwrap_or_else(|| {
+                            std::io::Error::other("address resolved to nothing")
+                        })))
+                    }
+                }
+            }
+        };
         stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        let mut client = Client { stream, read_timeout: None };
+        client.set_timeout(options.read_timeout)?;
+        Ok(client)
     }
 
     /// Like [`Client::connect`] but retries for up to `patience`, for
@@ -97,13 +172,20 @@ impl Client {
         }
     }
 
-    /// Sets a read timeout for responses (None blocks forever).
+    /// Sets the per-call response deadline (`None` blocks forever). When
+    /// set, a call whose response does not fully arrive in time fails
+    /// with [`ClientError::Timeout`] — even against a peer that accepted
+    /// the connection and then went silent.
     ///
     /// # Errors
     ///
     /// Propagates socket-option failures.
     pub fn set_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
-        self.stream.set_read_timeout(timeout)?;
+        // The socket timeout is a short slice so the deadline check in
+        // `call_raw` actually runs; the full deadline lives here.
+        self.stream
+            .set_read_timeout(timeout.map(|t| t.min(READ_SLICE)))?;
+        self.read_timeout = timeout;
         Ok(())
     }
 
@@ -117,8 +199,17 @@ impl Client {
     pub fn call_raw(&mut self, request: &str) -> Result<Value, ClientError> {
         write_frame(&mut self.stream, request)?;
         self.stream.flush()?;
-        let payload = match read_frame(&mut self.stream) {
-            Ok(payload) => payload,
+        let deadline = self.read_timeout.map(|t| (t, Instant::now() + t));
+        let read = read_frame_patiently(&mut self.stream, |_| match deadline {
+            Some((_, at)) => Instant::now() < at,
+            None => true,
+        });
+        let payload = match read {
+            Ok(Some(payload)) => payload,
+            Ok(None) => {
+                let (after, _) = deadline.expect("only a deadline abandons the read");
+                return Err(ClientError::Timeout { after });
+            }
             Err(FrameError::Io(e)) => return Err(ClientError::Io(e)),
             Err(other) => return Err(ClientError::Frame(other)),
         };
@@ -331,6 +422,16 @@ impl Client {
                 ("group".to_string(), Value::UInt(group as u64)),
             ],
         )
+    }
+
+    /// `repl_status` op: the server's replication role, per-snapshot
+    /// committed offsets, and subscriber/replica progress.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn repl_status(&mut self) -> Result<Value, ClientError> {
+        self.call("repl_status", Vec::new())
     }
 
     /// `shutdown` op: asks the server to drain and exit.

@@ -1,0 +1,294 @@
+//! A failure-handling client over a set of server endpoints.
+//!
+//! [`FailoverClient`] wraps one [`Client`] per endpoint (primary plus
+//! read replicas) and routes calls by their consistency needs:
+//!
+//! * **Reads** ([`FailoverClient::read`]) try the last-healthy endpoint
+//!   first and rotate through the rest on transport failure, timeout, or
+//!   a `shutting-down` refusal, sleeping a jittered exponential backoff
+//!   between attempts. Replicas serve byte-identical scores at every
+//!   acknowledged offset (see [`crate::replication`]), so any endpoint
+//!   is a correct read target.
+//! * **Writes** ([`FailoverClient::write`]) are routed to the primary
+//!   only, located by probing `repl_status` roles. When no reachable
+//!   endpoint claims the primary role the write fails fast with a typed
+//!   [`ClientError::NoPrimary`] — retrying a mutation against a replica
+//!   (or against two servers that both briefly think they lead) is how
+//!   split-brain histories are made, so the client refuses to guess.
+//!
+//! Backoff jitter comes from a seeded SplitMix64 stream, keeping retry
+//! schedules reproducible in tests while still decorrelating real
+//! clients that share a restart storm.
+
+use crate::client::{Client, ClientError, ClientOptions};
+use crate::protocol::{wire, ErrorKind};
+use serde_json::Value;
+use std::time::Duration;
+
+/// Retry and timeout policy for a [`FailoverClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct FailoverOptions {
+    /// Per-endpoint connection timeout.
+    pub connect_timeout: Duration,
+    /// Per-call response deadline (see [`Client::set_timeout`]).
+    pub read_timeout: Duration,
+    /// Total read attempts across all endpoints before giving up.
+    pub max_attempts: u32,
+    /// First backoff ceiling; doubles per attempt (full jitter).
+    pub base_backoff: Duration,
+    /// Backoff ceiling cap.
+    pub max_backoff: Duration,
+    /// Seed of the jitter stream (same seed → same retry schedule).
+    pub seed: u64,
+}
+
+impl Default for FailoverOptions {
+    fn default() -> FailoverOptions {
+        FailoverOptions {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_secs(2),
+            max_attempts: 6,
+            base_backoff: Duration::from_millis(25),
+            max_backoff: Duration::from_millis(500),
+            seed: 0x5EED_FA17_04E2,
+        }
+    }
+}
+
+struct Endpoint {
+    addr: String,
+    conn: Option<Client>,
+}
+
+/// A client that fails reads over across endpoints and routes writes to
+/// the primary. See the [module docs](self) for the routing rules.
+pub struct FailoverClient {
+    endpoints: Vec<Endpoint>,
+    options: FailoverOptions,
+    /// Index of the endpoint that answered most recently; reads start
+    /// here so a healthy endpoint keeps serving without probing.
+    preferred: usize,
+    rng: u64,
+}
+
+impl FailoverClient {
+    /// Builds a client over `endpoints` (tried in order until one
+    /// answers; at least one is required).
+    ///
+    /// # Panics
+    ///
+    /// If `endpoints` is empty.
+    pub fn new<S: Into<String>>(
+        endpoints: impl IntoIterator<Item = S>,
+        options: FailoverOptions,
+    ) -> FailoverClient {
+        let endpoints: Vec<Endpoint> = endpoints
+            .into_iter()
+            .map(|addr| Endpoint { addr: addr.into(), conn: None })
+            .collect();
+        assert!(!endpoints.is_empty(), "failover needs at least one endpoint");
+        FailoverClient { endpoints, options, preferred: 0, rng: options.seed }
+    }
+
+    /// The configured endpoint addresses, in construction order.
+    pub fn endpoints(&self) -> Vec<&str> {
+        self.endpoints.iter().map(|e| e.addr.as_str()).collect()
+    }
+
+    /// SplitMix64 step — a full 64-bit mix per draw, so even seed 0
+    /// produces a usable jitter stream.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Full-jitter backoff: uniform in `[0, min(max, base * 2^attempt)]`.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let ceiling = self
+            .options
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.options.max_backoff);
+        let nanos = ceiling.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(self.next_u64() % (nanos + 1))
+    }
+
+    /// The live connection for endpoint `idx`, dialling if needed.
+    fn connect(&mut self, idx: usize) -> Result<&mut Client, ClientError> {
+        let options = ClientOptions {
+            connect_timeout: Some(self.options.connect_timeout),
+            read_timeout: Some(self.options.read_timeout),
+        };
+        let endpoint = &mut self.endpoints[idx];
+        if endpoint.conn.is_none() {
+            endpoint.conn = Some(Client::connect_with_options(&*endpoint.addr, options)?);
+        }
+        Ok(endpoint.conn.as_mut().expect("just connected"))
+    }
+
+    /// Runs `call` against some healthy endpoint, failing over on
+    /// transport errors, timeouts, and `shutting-down` refusals. Other
+    /// typed server errors (`not-found`, `bad-request`, …) come back
+    /// immediately — every endpoint would refuse identically.
+    ///
+    /// # Errors
+    ///
+    /// The last failure once `max_attempts` is exhausted.
+    pub fn read<T>(
+        &mut self,
+        mut call: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.options.max_attempts.max(1) {
+            let idx = (self.preferred + attempt as usize) % self.endpoints.len();
+            let outcome = self.connect(idx).and_then(&mut call);
+            match outcome {
+                Ok(value) => {
+                    self.preferred = idx;
+                    return Ok(value);
+                }
+                Err(e @ ClientError::Server { .. })
+                    if !e.is_kind(ErrorKind::ShuttingDown) =>
+                {
+                    self.preferred = idx;
+                    return Err(e);
+                }
+                Err(e) => {
+                    // The connection may be mid-frame or dead; rebuild.
+                    self.endpoints[idx].conn = None;
+                    last = Some(e);
+                }
+            }
+            std::thread::sleep(self.backoff(attempt));
+        }
+        Err(last.expect("at least one attempt ran"))
+    }
+
+    /// Convenience: a read-path op with fields, via [`Self::read`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::read`].
+    pub fn call_read(
+        &mut self,
+        op: &str,
+        fields: Vec<(String, Value)>,
+    ) -> Result<Value, ClientError> {
+        self.read(|client| client.call(op, fields.clone()))
+    }
+
+    /// Runs `call` against the primary, located by probing `repl_status`
+    /// on each endpoint. No primary reachable → fail fast with
+    /// [`ClientError::NoPrimary`]; a write is never retried against an
+    /// endpoint that did not claim the primary role.
+    ///
+    /// # Errors
+    ///
+    /// `NoPrimary` when no endpoint claims the role, otherwise whatever
+    /// the primary answered.
+    pub fn write<T>(
+        &mut self,
+        mut call: impl FnMut(&mut Client) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut detail = Vec::new();
+        for idx in 0..self.endpoints.len() {
+            let addr = self.endpoints[idx].addr.clone();
+            let role = self.connect(idx).and_then(|client| {
+                let status = client.repl_status()?;
+                match wire::get(&status, "role") {
+                    Some(Value::Str(role)) => Ok(role.clone()),
+                    _ => Err(ClientError::Malformed(
+                        "repl_status lacks a role field".to_string(),
+                    )),
+                }
+            });
+            match role {
+                Ok(role) if role == "primary" => {
+                    let outcome =
+                        self.connect(idx).and_then(&mut call);
+                    if outcome.is_err() {
+                        self.endpoints[idx].conn = None;
+                    }
+                    return outcome;
+                }
+                Ok(role) => detail.push(format!("{addr}: role {role}")),
+                Err(e) => {
+                    self.endpoints[idx].conn = None;
+                    detail.push(format!("{addr}: {e}"));
+                }
+            }
+        }
+        Err(ClientError::NoPrimary { detail: detail.join("; ") })
+    }
+
+    /// Convenience: a write-path op with fields, via [`Self::write`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::write`].
+    pub fn call_write(
+        &mut self,
+        op: &str,
+        fields: Vec<(String, Value)>,
+    ) -> Result<Value, ClientError> {
+        self.write(|client| client.call(op, fields.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_jittered_bounded_and_reproducible() {
+        let options = FailoverOptions {
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(80),
+            seed: 7,
+            ..FailoverOptions::default()
+        };
+        let mut a = FailoverClient::new(["127.0.0.1:1"], options);
+        let mut b = FailoverClient::new(["127.0.0.1:1"], options);
+        let mut saw_nonzero = false;
+        for attempt in 0..10 {
+            let ceiling = Duration::from_millis(10)
+                .saturating_mul(1 << attempt.min(16))
+                .min(Duration::from_millis(80));
+            let d = a.backoff(attempt);
+            assert!(d <= ceiling, "attempt {attempt}: {d:?} > {ceiling:?}");
+            assert_eq!(d, b.backoff(attempt), "same seed, same schedule");
+            saw_nonzero |= d > Duration::ZERO;
+        }
+        assert!(saw_nonzero, "all-zero jitter defeats decorrelation");
+    }
+
+    #[test]
+    fn unreachable_endpoints_exhaust_attempts_then_surface_the_error() {
+        // Port 1 on localhost refuses instantly, so this stays fast.
+        let options = FailoverOptions {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(2),
+            connect_timeout: Duration::from_millis(200),
+            ..FailoverOptions::default()
+        };
+        let mut client =
+            FailoverClient::new(["127.0.0.1:1", "127.0.0.1:1"], options);
+        match client.read(|c| c.health()) {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        match client.write(|c| c.health()) {
+            Err(ClientError::NoPrimary { detail }) => {
+                assert!(detail.contains("127.0.0.1:1"), "detail: {detail}");
+            }
+            other => panic!("expected NoPrimary, got {other:?}"),
+        }
+    }
+}

@@ -26,8 +26,16 @@
 //! * **Determinism**: served scores are bit-identical to the offline
 //!   `score` CLI (same median-degree precomputation, lossless `f64` JSON
 //!   round-trip), and `baseline` uses seeded per-walk RNG streams.
-//! * **Graceful shutdown** ([`signal`]): SIGINT or the `shutdown` op
-//!   drains queued work before the process exits.
+//! * **Graceful shutdown** ([`signal`]): SIGINT, SIGTERM, or the
+//!   `shutdown` op drains queued work before the process exits.
+//! * **Replication** ([`replication`]): a primary streams committed WAL
+//!   frames to read replicas over the same wire protocol; replicas apply
+//!   them through the identical [`circlekit_live::LiveSnapshot`] path,
+//!   so replica scores are byte-identical at every acknowledged offset.
+//!   Writes on a replica are refused with a typed `not-primary` error.
+//! * **Failover** ([`failover`]): a multi-endpoint client that health-
+//!   probes, retries with jittered exponential backoff, and fails reads
+//!   over to replicas while writes fail fast without a primary.
 //!
 //! [`ParallelScorer`]: circlekit_scoring::ParallelScorer
 
@@ -35,21 +43,26 @@
 
 pub mod cache;
 pub mod client;
+pub mod failover;
 pub mod protocol;
 pub mod queue;
 pub mod registry;
+pub mod replication;
 pub mod server;
 pub mod signal;
 pub mod stats;
 
 pub use cache::{CacheKey, CacheStats, ScoreCache};
 pub use circlekit_live::Mutation;
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ClientOptions};
+pub use failover::{FailoverClient, FailoverOptions};
 pub use protocol::{
-    error_payload, ok_payload, read_frame, read_frame_patiently, set_digest, write_frame,
-    ErrorKind, FrameError, Request, RequestError, DEFAULT_BASELINE_SAMPLES, MAX_FRAME_LEN,
+    error_payload, from_hex, ok_payload, read_frame, read_frame_patiently, set_digest, to_hex,
+    write_frame, ErrorKind, FrameError, Request, RequestError, DEFAULT_BASELINE_SAMPLES,
+    MAX_FRAME_LEN,
 };
 pub use queue::{BoundedQueue, PushError};
 pub use registry::{LoadedSnapshot, SnapshotRegistry};
+pub use replication::{FaultPlan, ReplCrashPoint};
 pub use server::{ServeConfig, Server, ShutdownHandle};
 pub use stats::{ServeStats, StatsSnapshot};

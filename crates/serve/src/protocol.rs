@@ -40,6 +40,13 @@ pub enum ErrorKind {
     FrameTooLarge,
     /// The server is draining and no longer accepts work.
     ShuttingDown,
+    /// A write (or a replication subscription) was sent to a replica —
+    /// only the primary accepts mutations.
+    NotPrimary,
+    /// A replication handshake or stream does not match this server's
+    /// history (wrong base CRC, or an offset that is not a committed
+    /// frame boundary).
+    ReplicationMismatch,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -54,6 +61,8 @@ impl ErrorKind {
             ErrorKind::DeadlineExceeded => "deadline-exceeded",
             ErrorKind::FrameTooLarge => "frame-too-large",
             ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::NotPrimary => "not-primary",
+            ErrorKind::ReplicationMismatch => "replication-mismatch",
             ErrorKind::Internal => "internal",
         }
     }
@@ -67,6 +76,8 @@ impl ErrorKind {
             ErrorKind::DeadlineExceeded,
             ErrorKind::FrameTooLarge,
             ErrorKind::ShuttingDown,
+            ErrorKind::NotPrimary,
+            ErrorKind::ReplicationMismatch,
             ErrorKind::Internal,
         ]
         .into_iter()
@@ -164,6 +175,31 @@ pub enum Request {
         /// Group index within the snapshot.
         group: usize,
     },
+    /// Subscribe this connection to a snapshot's WAL stream. The
+    /// subscriber presents the CRC of its own base snapshot file and the
+    /// offset (committed record bytes past the WAL header) it has
+    /// already applied; the primary replays from that offset, then tails
+    /// live batches on the same connection until either side closes.
+    Replicate {
+        /// Snapshot id.
+        snapshot: String,
+        /// CRC-32 of the subscriber's base snapshot file. Must equal the
+        /// primary's — otherwise the two WALs describe different
+        /// histories and the stream is refused (`replication-mismatch`).
+        base_crc: u32,
+        /// Last WAL offset the subscriber has durably applied.
+        wal_offset: u64,
+    },
+    /// Acknowledges a replication batch: sent by the subscriber, on the
+    /// subscription connection, after the batch is applied and durably
+    /// appended to its own WAL.
+    ReplAck {
+        /// The `next_offset` of the acknowledged batch.
+        offset: u64,
+    },
+    /// Replication status: the server's role, per-snapshot stream
+    /// positions and, on a primary, the offsets its subscribers acked.
+    ReplStatus,
     /// Test-only: occupy a worker for `millis`. Rejected unless the
     /// server was started with `debug_ops` (integration tests use it to
     /// fill the queue deterministically).
@@ -534,6 +570,21 @@ impl Request {
                 snapshot: wire::get_str(&value, "snapshot")?,
                 group: wire::get_u64(&value, "group")? as usize,
             }),
+            "replicate" => {
+                let crc = wire::get_u64(&value, "base_crc")?;
+                let base_crc = u32::try_from(crc).map_err(|_| {
+                    wire::bad(format!("field \"base_crc\" {crc} exceeds u32 range"))
+                })?;
+                Ok(Request::Replicate {
+                    snapshot: wire::get_str(&value, "snapshot")?,
+                    base_crc,
+                    wal_offset: wire::get_u64(&value, "wal_offset")?,
+                })
+            }
+            "repl_ack" => Ok(Request::ReplAck {
+                offset: wire::get_u64(&value, "offset")?,
+            }),
+            "repl_status" => Ok(Request::ReplStatus),
             "debug_sleep" => Ok(Request::DebugSleep {
                 millis: wire::get_u64(&value, "millis")?,
             }),
@@ -562,6 +613,39 @@ pub fn ok_payload(fields: Vec<(String, Value)>) -> String {
     let mut entries = vec![("ok".to_string(), Value::Bool(true))];
     entries.extend(fields);
     Value::Map(entries).to_string()
+}
+
+/// Encodes raw bytes as lowercase hex — how CKW1 replication frames ride
+/// inside JSON batch messages (the workspace vendors no base64).
+pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes [`to_hex`] output; `None` on odd length or a non-hex digit.
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let nibble = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    };
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
 }
 
 /// FNV-1a 64-bit digest of a vertex set, the cache key component that
@@ -730,11 +814,49 @@ mod tests {
             ErrorKind::DeadlineExceeded,
             ErrorKind::FrameTooLarge,
             ErrorKind::ShuttingDown,
+            ErrorKind::NotPrimary,
+            ErrorKind::ReplicationMismatch,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_name(kind.name()), Some(kind));
         }
         assert_eq!(ErrorKind::from_name("nope"), None);
+    }
+
+    #[test]
+    fn replication_requests_parse() {
+        assert_eq!(
+            Request::parse(
+                "{\"op\":\"replicate\",\"snapshot\":\"gp\",\"base_crc\":7,\"wal_offset\":96}"
+            )
+            .unwrap(),
+            Request::Replicate { snapshot: "gp".to_string(), base_crc: 7, wal_offset: 96 }
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"repl_ack\",\"offset\":128}").unwrap(),
+            Request::ReplAck { offset: 128 }
+        );
+        assert_eq!(Request::parse("{\"op\":\"repl_status\"}").unwrap(), Request::ReplStatus);
+        for payload in [
+            "{\"op\":\"replicate\",\"snapshot\":\"gp\"}",
+            "{\"op\":\"replicate\",\"snapshot\":\"gp\",\"base_crc\":4294967296,\
+             \"wal_offset\":0}",
+            "{\"op\":\"repl_ack\"}",
+        ] {
+            let (kind, _) = Request::parse(payload).unwrap_err();
+            assert_eq!(kind, ErrorKind::BadRequest, "{payload}");
+        }
+    }
+
+    #[test]
+    fn hex_roundtrips_and_rejects_garbage() {
+        let bytes: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        let hex = to_hex(&bytes);
+        assert_eq!(from_hex(&hex).unwrap(), bytes);
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert_eq!(from_hex("DEADbeef").unwrap(), vec![0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(from_hex("abc"), None);
+        assert_eq!(from_hex("zz"), None);
     }
 
     #[test]

@@ -31,6 +31,7 @@ use crate::protocol::{
 };
 use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{LoadedSnapshot, SnapshotRegistry};
+use crate::replication::{self, FaultPlan, ReplCrashPoint, ReplRegistry};
 use crate::stats::{ServeStats, StatsSnapshot};
 use circlekit_graph::{RunControl, VertexSet};
 use circlekit_live::{wal_path_for, LiveSnapshot, Mutation};
@@ -47,7 +48,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// How often blocked loops re-check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// Mid-frame polls tolerated after shutdown before a stalled connection
 /// is dropped (~2 s at [`POLL_INTERVAL`]).
 const SHUTDOWN_GRACE_POLLS: u32 = 40;
@@ -67,9 +68,19 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Accept test-only ops (`debug_sleep`). Never enable in production.
     pub debug_ops: bool,
-    /// Promote the process-wide SIGINT flag (see [`crate::signal`]) to a
-    /// graceful shutdown.
-    pub watch_sigint: bool,
+    /// Promote the process-wide termination flag (raised by SIGINT or
+    /// SIGTERM, see [`crate::signal`]) to a graceful shutdown.
+    pub watch_signals: bool,
+    /// Run as a read replica of the primary at this address: refuse
+    /// writes with `not-primary` and tail every file-backed snapshot's
+    /// WAL from the primary (see [`crate::replication`]).
+    pub replica_of: Option<String>,
+    /// Deterministic chaos: exit(137) at this replication crash point
+    /// (see [`ReplCrashPoint`] for which role each point fires on).
+    pub repl_crash_point: Option<ReplCrashPoint>,
+    /// Injected network faults; inert unless the `fault-inject` feature
+    /// is compiled in.
+    pub fault: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -81,7 +92,10 @@ impl Default for ServeConfig {
             batch_max: 64,
             cache_capacity: 4096,
             debug_ops: false,
-            watch_sigint: false,
+            watch_signals: false,
+            replica_of: None,
+            repl_crash_point: None,
+            fault: FaultPlan::default(),
         }
     }
 }
@@ -143,23 +157,24 @@ enum Job {
 /// have reached. The registry's immutable materialization lags behind
 /// and is refreshed lazily — at most once per version — by
 /// [`resolve_snapshot`].
-struct LiveState {
-    live: LiveSnapshot,
-    version: u64,
+pub(crate) struct LiveState {
+    pub(crate) live: LiveSnapshot,
+    pub(crate) version: u64,
 }
 
-struct Shared {
-    registry: SnapshotRegistry,
-    config: ServeConfig,
+pub(crate) struct Shared {
+    pub(crate) registry: SnapshotRegistry,
+    pub(crate) config: ServeConfig,
     queue: BoundedQueue<Job>,
-    cache: Mutex<ScoreCache>,
-    live: Mutex<HashMap<String, LiveState>>,
-    stats: ServeStats,
+    pub(crate) cache: Mutex<ScoreCache>,
+    pub(crate) live: Mutex<HashMap<String, LiveState>>,
+    pub(crate) stats: ServeStats,
+    pub(crate) repl: Mutex<ReplRegistry>,
     shutdown: AtomicBool,
 }
 
 impl Shared {
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire)
     }
 
@@ -193,6 +208,8 @@ pub struct Server {
     acceptor: JoinHandle<()>,
     workers: Vec<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Replica tail threads (empty unless `replica_of` is set).
+    tails: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -222,6 +239,7 @@ impl Server {
             cache: Mutex::new(ScoreCache::new(config.cache_capacity)),
             live: Mutex::new(live),
             stats: ServeStats::default(),
+            repl: Mutex::new(ReplRegistry::default()),
             shutdown: AtomicBool::new(false),
             registry,
             config,
@@ -244,7 +262,11 @@ impl Server {
                 .spawn(move || accept_loop(&listener, &shared, &handlers))
                 .expect("spawn acceptor thread")
         };
-        Ok(Server { shared, addr, acceptor, workers, handlers })
+        let tails = match shared.config.replica_of.clone() {
+            Some(primary) => replication::spawn_replica_tails(&shared, &primary),
+            None => Vec::new(),
+        };
+        Ok(Server { shared, addr, acceptor, workers, handlers, tails })
     }
 
     /// The bound address (with the actual port when 0 was requested).
@@ -274,6 +296,9 @@ impl Server {
         self.shared.queue.close();
         for worker in self.workers {
             worker.join().expect("scoring worker panicked");
+        }
+        for tail in self.tails {
+            tail.join().expect("replica tail thread panicked");
         }
         self.shared.stats_snapshot()
     }
@@ -318,9 +343,9 @@ fn accept_loop(
     shared: &Arc<Shared>,
     handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
-    let sigint = shared.config.watch_sigint.then(crate::signal::sigint_flag);
+    let termination = shared.config.watch_signals.then(crate::signal::termination_flag);
     loop {
-        if let Some(flag) = sigint {
+        if let Some(flag) = termination {
             if flag.load(Ordering::Relaxed) {
                 shared.trigger_shutdown();
             }
@@ -416,6 +441,14 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
                     "message".to_string(),
                     Value::Str("draining".to_string()),
                 )]))
+            }
+            Ok(Request::Replicate { snapshot, base_crc, wal_offset }) => {
+                // A subscription takes over the connection: the loop
+                // below streams batches until either side ends it.
+                replication::serve_subscription(
+                    &mut stream, shared, &snapshot, base_crc, wal_offset,
+                );
+                return;
             }
             Ok(request) => handle_request(request, shared),
         };
@@ -556,6 +589,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
             }
         }
         Request::ApplyMutations { snapshot, mutations } => {
+            refuse_writes_on_replica(shared)?;
             // Resolve first so unknown ids are `not-found`, not queued
             // work; the worker re-resolves the live state under its lock.
             let snap = resolve_snapshot(shared, &snapshot)?;
@@ -583,6 +617,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
             }
         }
         Request::Compact { snapshot } => {
+            refuse_writes_on_replica(shared)?;
             let snap = resolve_snapshot(shared, &snapshot)?;
             if snap.path == "<memory>" {
                 return Err((
@@ -642,8 +677,33 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
             wait_for(&outcome)?;
             Ok(ok_payload(vec![("slept_ms".to_string(), Value::UInt(millis))]))
         }
+        Request::ReplStatus => {
+            let mut fields = vec![("op".to_string(), Value::Str("repl_status".to_string()))];
+            fields.extend(replication::status_fields(shared));
+            Ok(ok_payload(fields))
+        }
+        Request::ReplAck { .. } => Err((
+            ErrorKind::BadRequest,
+            "repl_ack is only valid inside a replication subscription".to_string(),
+        )),
+        // Handled by the connection loop so it can take over the stream.
+        Request::Replicate { .. } => {
+            Err(internal("replicate must be handled by the connection loop"))
+        }
         // Handled by the connection loop so it can close afterwards.
         Request::Shutdown => Err(internal("shutdown must be handled by the connection loop")),
+    }
+}
+
+/// Replicas apply writes only through the replication stream; direct
+/// writes are refused with a typed error so clients can fail over.
+fn refuse_writes_on_replica(shared: &Shared) -> Result<(), RequestError> {
+    match shared.config.replica_of {
+        Some(ref primary) => Err((
+            ErrorKind::NotPrimary,
+            format!("this server is a read replica of {primary}; send writes to the primary"),
+        )),
+        None => Ok(()),
     }
 }
 
@@ -742,7 +802,7 @@ fn resolve_snapshot(
 
 /// Fetches (or lazily creates, for snapshots never mutated before) the
 /// live state of `id`. Callers hold the live-state map lock.
-fn live_state<'a>(
+pub(crate) fn live_state<'a>(
     states: &'a mut HashMap<String, LiveState>,
     shared: &Shared,
     id: &str,

@@ -37,6 +37,14 @@ pub struct ServeStats {
     pub mutations_rejected: AtomicU64,
     /// WAL compactions performed via the `compact` op.
     pub compactions: AtomicU64,
+    /// Replication batches shipped to subscribers (primary side).
+    pub repl_batches_sent: AtomicU64,
+    /// Raw WAL bytes shipped inside those batches (primary side).
+    pub repl_bytes_sent: AtomicU64,
+    /// Replication batches applied from a primary (replica side).
+    pub repl_batches_applied: AtomicU64,
+    /// Times the replica tailer (re)connected to its primary.
+    pub repl_connects: AtomicU64,
 }
 
 impl ServeStats {
@@ -74,6 +82,10 @@ impl ServeStats {
             mutations_applied: read(&self.mutations_applied),
             mutations_rejected: read(&self.mutations_rejected),
             compactions: read(&self.compactions),
+            repl_batches_sent: read(&self.repl_batches_sent),
+            repl_bytes_sent: read(&self.repl_bytes_sent),
+            repl_batches_applied: read(&self.repl_batches_applied),
+            repl_connects: read(&self.repl_connects),
             cache,
             queue_depth,
         }
@@ -111,6 +123,14 @@ pub struct StatsSnapshot {
     pub mutations_rejected: u64,
     /// WAL compactions performed.
     pub compactions: u64,
+    /// Replication batches shipped (primary side).
+    pub repl_batches_sent: u64,
+    /// Raw WAL bytes shipped (primary side).
+    pub repl_bytes_sent: u64,
+    /// Replication batches applied (replica side).
+    pub repl_batches_applied: u64,
+    /// Replica tailer (re)connects.
+    pub repl_connects: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
     /// Queue depth at snapshot time.
@@ -135,6 +155,10 @@ impl StatsSnapshot {
             ("mutations_applied".to_string(), u(self.mutations_applied)),
             ("mutations_rejected".to_string(), u(self.mutations_rejected)),
             ("compactions".to_string(), u(self.compactions)),
+            ("repl_batches_sent".to_string(), u(self.repl_batches_sent)),
+            ("repl_bytes_sent".to_string(), u(self.repl_bytes_sent)),
+            ("repl_batches_applied".to_string(), u(self.repl_batches_applied)),
+            ("repl_connects".to_string(), u(self.repl_connects)),
             ("cache_hits".to_string(), u(self.cache.hits)),
             ("cache_misses".to_string(), u(self.cache.misses)),
             ("cache_hit_ratio".to_string(), Value::Float(self.cache.hit_ratio())),

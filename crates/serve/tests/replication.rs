@@ -1,0 +1,420 @@
+//! End-to-end replication: a replica daemon tails its primary's WAL
+//! over the wire and serves byte-identical scores at every acked
+//! offset; writes on the replica are refused typed; subscriptions from
+//! a different history are refused typed; clients time out against
+//! dead peers and fail over across endpoints; and a SIGTERM drains the
+//! daemon exactly like SIGINT.
+
+use circlekit_live::{wal_path_for, Mutation};
+use circlekit_serve::protocol::wire;
+use circlekit_serve::{
+    Client, ClientError, ClientOptions, ErrorKind, FailoverClient, FailoverOptions, ServeConfig,
+    Server, SnapshotRegistry,
+};
+use circlekit_synth::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn fixture() -> circlekit_synth::SynthDataset {
+    presets::google_plus().scaled(0.004).generate(&mut SmallRng::seed_from_u64(2014))
+}
+
+/// Packs the fixture under a test-unique name and returns the primary
+/// and replica snapshot paths (byte-identical copies).
+fn pack_pair(name: &str) -> (PathBuf, PathBuf, circlekit_synth::SynthDataset) {
+    let dir = std::env::temp_dir().join("circlekit-serve-repl-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let primary = dir.join(format!("{}-{name}.cks", std::process::id()));
+    let replica = dir.join(format!("{}-{name}-replica.cks", std::process::id()));
+    let data = fixture();
+    circlekit_store::save_snapshot(&primary, &data.graph, &data.groups).unwrap();
+    std::fs::copy(&primary, &replica).unwrap();
+    let _ = std::fs::remove_file(wal_path_for(&primary));
+    let _ = std::fs::remove_file(wal_path_for(&replica));
+    (primary, replica, data)
+}
+
+fn start_file_server(path: &Path, replica_of: Option<String>) -> Server {
+    let mut registry = SnapshotRegistry::new();
+    registry.load(&path.to_string_lossy(), Some("gplus")).unwrap();
+    let config = ServeConfig { replica_of, ..ServeConfig::default() };
+    Server::start(registry, config, ("127.0.0.1", 0)).unwrap()
+}
+
+fn cleanup(paths: &[&PathBuf]) {
+    for p in paths {
+        let _ = std::fs::remove_file(p);
+        let _ = std::fs::remove_file(wal_path_for(p));
+    }
+}
+
+fn get_u64(value: &Value, key: &str) -> u64 {
+    match wire::get(value, key) {
+        Some(Value::UInt(u)) => *u,
+        other => panic!("field {key:?}: {other:?}"),
+    }
+}
+
+/// The primary's committed WAL offset for `gplus`, per `repl_status`.
+fn primary_offset(client: &mut Client) -> u64 {
+    let status = client.repl_status().unwrap();
+    let Some(Value::Seq(snapshots)) = wire::get(&status, "snapshots") else {
+        panic!("repl_status lacks snapshots: {status}");
+    };
+    get_u64(snapshots.first().expect("one snapshot"), "committed_offset")
+}
+
+/// Polls the replica until it reports caught up at or past `want`.
+fn wait_caught_up(replica_addr: std::net::SocketAddr, want: u64) {
+    let mut client = Client::connect_with_patience(replica_addr, Duration::from_secs(5)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let status = client.repl_status().unwrap();
+        if let Some(Value::Seq(entries)) = wire::get(&status, "replication") {
+            if let Some(entry) = entries.first() {
+                let caught_up =
+                    matches!(wire::get(entry, "caught_up"), Some(Value::Bool(true)));
+                if caught_up && get_u64(entry, "applied_offset") >= want {
+                    return;
+                }
+            }
+        }
+        assert!(Instant::now() < deadline, "replica never caught up to offset {want}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn watch_bits(client: &mut Client, group: usize) -> Vec<u64> {
+    let response = client.watch_scores("gplus", group).unwrap();
+    wire::get_scores(&response, "scores").unwrap().iter().map(|s| s.to_bits()).collect()
+}
+
+/// A mutation batch that is valid against the fixture regardless of
+/// which edges it generated: grow the graph and wire the new vertex in.
+fn growth_batch(round: u32, base_nodes: u32) -> Vec<Mutation> {
+    vec![
+        Mutation::AddVertex,
+        Mutation::AddEdge { u: base_nodes + round, v: round % base_nodes },
+        Mutation::AddMember { group: 0, node: base_nodes + round },
+    ]
+}
+
+fn shutdown(server: Server, addr: std::net::SocketAddr) {
+    let mut client = Client::connect(addr).unwrap();
+    let _ = client.shutdown();
+    server.join();
+}
+
+#[test]
+fn replica_tails_the_primary_and_serves_byte_identical_scores() {
+    let (ppath, rpath, data) = pack_pair("tail");
+    let n = data.graph.node_count() as u32;
+    let primary = start_file_server(&ppath, None);
+    let paddr = primary.local_addr();
+    let replica = start_file_server(&rpath, Some(paddr.to_string()));
+    let raddr = replica.local_addr();
+
+    let mut pclient = Client::connect(paddr).unwrap();
+    for round in 0..3 {
+        let response = pclient.apply_mutations("gplus", &growth_batch(round, n)).unwrap();
+        assert_eq!(get_u64(&response, "applied"), 3, "{response}");
+    }
+    let committed = primary_offset(&mut pclient);
+    assert!(committed > 0, "mutations must advance the primary offset");
+    wait_caught_up(raddr, committed);
+
+    // Scores served by the replica are byte-identical to the primary's,
+    // through both the O(1) watch path and the full scoring path.
+    let mut rclient = Client::connect(raddr).unwrap();
+    for group in 0..4.min(data.groups.len()) {
+        assert_eq!(
+            watch_bits(&mut pclient, group),
+            watch_bits(&mut rclient, group),
+            "group {group} diverged"
+        );
+        let p = pclient.score_group("gplus", group, Some("paper"), None).unwrap();
+        let r = rclient.score_group("gplus", group, Some("paper"), None).unwrap();
+        assert_eq!(
+            Client::scores_of(&p).unwrap().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            Client::scores_of(&r).unwrap().iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+            "full-path scores diverged for group {group}"
+        );
+    }
+    // And the replica's WAL file is a byte-identical copy.
+    assert_eq!(
+        std::fs::read(wal_path_for(&ppath)).unwrap(),
+        std::fs::read(wal_path_for(&rpath)).unwrap(),
+        "replica WAL is not byte-identical"
+    );
+
+    shutdown(replica, raddr);
+    shutdown(primary, paddr);
+    cleanup(&[&ppath, &rpath]);
+}
+
+#[test]
+fn replica_restart_recovers_its_offset_and_catches_up() {
+    let (ppath, rpath, data) = pack_pair("restart");
+    let n = data.graph.node_count() as u32;
+    let primary = start_file_server(&ppath, None);
+    let paddr = primary.local_addr();
+    let mut pclient = Client::connect(paddr).unwrap();
+
+    // Round one replicates, then the replica goes away entirely.
+    let replica = start_file_server(&rpath, Some(paddr.to_string()));
+    let raddr = replica.local_addr();
+    pclient.apply_mutations("gplus", &growth_batch(0, n)).unwrap();
+    wait_caught_up(raddr, primary_offset(&mut pclient));
+    shutdown(replica, raddr);
+
+    // The primary moves on while the replica is down.
+    pclient.apply_mutations("gplus", &growth_batch(1, n)).unwrap();
+    pclient.apply_mutations("gplus", &growth_batch(2, n)).unwrap();
+
+    // Restarting replays the replica's own WAL (offset recovery) and
+    // resubscribes from there — the primary ships only the missing tail.
+    let replica = start_file_server(&rpath, Some(paddr.to_string()));
+    let raddr = replica.local_addr();
+    wait_caught_up(raddr, primary_offset(&mut pclient));
+    let mut rclient = Client::connect(raddr).unwrap();
+    assert_eq!(watch_bits(&mut pclient, 0), watch_bits(&mut rclient, 0));
+    assert_eq!(
+        std::fs::read(wal_path_for(&ppath)).unwrap(),
+        std::fs::read(wal_path_for(&rpath)).unwrap(),
+    );
+
+    shutdown(replica, raddr);
+    shutdown(primary, paddr);
+    cleanup(&[&ppath, &rpath]);
+}
+
+#[test]
+fn replicas_refuse_writes_and_chained_subscriptions() {
+    let (ppath, rpath, _) = pack_pair("refuse");
+    let primary = start_file_server(&ppath, None);
+    let paddr = primary.local_addr();
+    let replica = start_file_server(&rpath, Some(paddr.to_string()));
+    let raddr = replica.local_addr();
+
+    let mut rclient = Client::connect(raddr).unwrap();
+    let err = rclient.apply_mutations("gplus", &[Mutation::AddVertex]).unwrap_err();
+    assert!(err.is_kind(ErrorKind::NotPrimary), "apply: {err}");
+    let err = rclient.compact("gplus").unwrap_err();
+    assert!(err.is_kind(ErrorKind::NotPrimary), "compact: {err}");
+    // Chained replication (replica-of-replica) is refused the same way.
+    let err = rclient
+        .call(
+            "replicate",
+            vec![
+                ("snapshot".to_string(), Value::Str("gplus".to_string())),
+                ("base_crc".to_string(), Value::UInt(0)),
+                ("wal_offset".to_string(), Value::UInt(0)),
+            ],
+        )
+        .unwrap_err();
+    assert!(err.is_kind(ErrorKind::NotPrimary), "chain: {err}");
+    // A refused subscription closes that connection (it had been handed
+    // over to the replication path); fresh connections read fine.
+    let mut rclient = Client::connect(raddr).unwrap();
+    rclient.health().unwrap();
+
+    shutdown(replica, raddr);
+    shutdown(primary, paddr);
+    cleanup(&[&ppath, &rpath]);
+}
+
+#[test]
+fn subscriptions_from_a_different_history_are_refused_typed() {
+    let (ppath, rpath, _) = pack_pair("mismatch");
+    let primary = start_file_server(&ppath, None);
+    let paddr = primary.local_addr();
+    let mut client = Client::connect(paddr).unwrap();
+    let status = client.repl_status().unwrap();
+    let Some(Value::Seq(snapshots)) = wire::get(&status, "snapshots") else {
+        panic!("no snapshots in {status}");
+    };
+    let crc = get_u64(snapshots.first().unwrap(), "file_crc32");
+
+    let subscribe = |crc: u64, offset: u64| {
+        vec![
+            ("snapshot".to_string(), Value::Str("gplus".to_string())),
+            ("base_crc".to_string(), Value::UInt(crc)),
+            ("wal_offset".to_string(), Value::UInt(offset)),
+        ]
+    };
+    // Wrong base CRC: a replica seeded from different bytes.
+    let err = client.call("replicate", subscribe(crc ^ 1, 0)).unwrap_err();
+    assert!(err.is_kind(ErrorKind::ReplicationMismatch), "crc: {err}");
+    // An offset the primary never committed.
+    let mut client = Client::connect(paddr).unwrap();
+    let err = client.call("replicate", subscribe(crc, 1 << 40)).unwrap_err();
+    assert!(err.is_kind(ErrorKind::ReplicationMismatch), "offset: {err}");
+    // Unknown snapshot id.
+    let mut client = Client::connect(paddr).unwrap();
+    let err = client
+        .call(
+            "replicate",
+            vec![
+                ("snapshot".to_string(), Value::Str("nope".to_string())),
+                ("base_crc".to_string(), Value::UInt(crc)),
+                ("wal_offset".to_string(), Value::UInt(0)),
+            ],
+        )
+        .unwrap_err();
+    assert!(err.is_kind(ErrorKind::NotFound), "unknown: {err}");
+    // A stray ack outside any subscription.
+    let mut client = Client::connect(paddr).unwrap();
+    let err = client
+        .call("repl_ack", vec![("offset".to_string(), Value::UInt(0))])
+        .unwrap_err();
+    assert!(err.is_kind(ErrorKind::BadRequest), "ack: {err}");
+
+    shutdown(primary, paddr);
+    cleanup(&[&ppath, &rpath]);
+}
+
+#[test]
+fn client_timeout_fires_against_a_silent_peer() {
+    // A listener that accepts and never answers: without a deadline the
+    // old client would block forever here.
+    let listener = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+
+    let mut client = Client::connect_with_options(
+        addr,
+        ClientOptions {
+            connect_timeout: Some(Duration::from_secs(1)),
+            read_timeout: Some(Duration::from_millis(150)),
+        },
+    )
+    .unwrap();
+    let started = Instant::now();
+    match client.health() {
+        Err(ClientError::Timeout { after }) => assert_eq!(after, Duration::from_millis(150)),
+        other => panic!("expected Timeout, got {other:?}"),
+    }
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed >= Duration::from_millis(150) && elapsed < Duration::from_secs(5),
+        "deadline not honored: {elapsed:?}"
+    );
+    drop(client);
+    let _ = hold.join();
+}
+
+#[test]
+fn failover_reads_survive_primary_loss_but_writes_fail_fast() {
+    let (ppath, rpath, data) = pack_pair("failover");
+    let n = data.graph.node_count() as u32;
+    let primary = start_file_server(&ppath, None);
+    let paddr = primary.local_addr();
+    let replica = start_file_server(&rpath, Some(paddr.to_string()));
+    let raddr = replica.local_addr();
+
+    let options = FailoverOptions {
+        max_attempts: 8,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(50),
+        ..FailoverOptions::default()
+    };
+    let mut client = FailoverClient::new([paddr.to_string(), raddr.to_string()], options);
+
+    // Writes route to the primary even when the preferred read endpoint
+    // is the replica, and replication carries them over.
+    let response = client
+        .write(|c| c.apply_mutations("gplus", &growth_batch(0, n)))
+        .unwrap();
+    assert_eq!(get_u64(&response, "applied"), 3);
+    let mut pclient = Client::connect(paddr).unwrap();
+    wait_caught_up(raddr, primary_offset(&mut pclient));
+    drop(pclient);
+    client.read(|c| c.score_group("gplus", 0, None, None)).unwrap();
+
+    // Primary gone: reads fail over to the replica, writes refuse fast.
+    shutdown(primary, paddr);
+    let scores = client.read(|c| c.watch_scores("gplus", 0)).unwrap();
+    wire::get_scores(&scores, "scores").unwrap();
+    match client.write(|c| c.apply_mutations("gplus", &growth_batch(1, n))) {
+        Err(ClientError::NoPrimary { detail }) => {
+            assert!(detail.contains("replica"), "detail: {detail}");
+        }
+        other => panic!("expected NoPrimary, got {other:?}"),
+    }
+    // Typed errors that are not availability problems surface without
+    // burning the retry budget on other endpoints.
+    let err = client.read(|c| c.score_group("nope", 0, None, None)).unwrap_err();
+    assert!(err.is_kind(ErrorKind::NotFound), "{err}");
+
+    shutdown(replica, raddr);
+    cleanup(&[&ppath, &rpath]);
+}
+
+#[test]
+fn sigterm_drains_the_server_like_sigint() {
+    circlekit_serve::signal::install_termination_handlers();
+    circlekit_serve::signal::reset_for_test();
+    let mut registry = SnapshotRegistry::new();
+    let data = fixture();
+    registry.insert("gplus", data.graph, data.groups).unwrap();
+    let config = ServeConfig { watch_signals: true, ..ServeConfig::default() };
+    let server = Server::start(registry, config, ("127.0.0.1", 0)).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).unwrap();
+    client.health().unwrap();
+
+    #[cfg(unix)]
+    circlekit_serve::signal::deliver_sigterm_for_test();
+    #[cfg(not(unix))]
+    circlekit_serve::signal::raise_for_test();
+
+    // The acceptor notices the flag within a poll interval and drains;
+    // join returns instead of blocking forever.
+    let stats = server.join();
+    assert!(stats.requests >= 1);
+    circlekit_serve::signal::reset_for_test();
+}
+
+#[cfg(feature = "fault-inject")]
+#[test]
+fn injected_resets_only_delay_convergence() {
+    let (ppath, rpath, data) = pack_pair("fault");
+    let n = data.graph.node_count() as u32;
+    let mut registry = SnapshotRegistry::new();
+    registry.load(&ppath.to_string_lossy(), Some("gplus")).unwrap();
+    // The primary hard-drops every subscription after one shipped batch:
+    // each batch costs the replica a reconnect.
+    let config = ServeConfig {
+        fault: circlekit_serve::FaultPlan {
+            reset_subscription_after: Some(1),
+            stall_before_send_ms: None,
+        },
+        ..ServeConfig::default()
+    };
+    let primary = Server::start(registry, config, ("127.0.0.1", 0)).unwrap();
+    let paddr = primary.local_addr();
+    let replica = start_file_server(&rpath, Some(paddr.to_string()));
+    let raddr = replica.local_addr();
+
+    let mut pclient = Client::connect(paddr).unwrap();
+    for round in 0..4 {
+        pclient.apply_mutations("gplus", &growth_batch(round, n)).unwrap();
+        // Space the commits out so they ship as separate batches, each
+        // triggering its own injected reset.
+        std::thread::sleep(Duration::from_millis(60));
+    }
+    wait_caught_up(raddr, primary_offset(&mut pclient));
+    let mut rclient = Client::connect(raddr).unwrap();
+    assert_eq!(watch_bits(&mut pclient, 0), watch_bits(&mut rclient, 0));
+    assert_eq!(
+        std::fs::read(wal_path_for(&ppath)).unwrap(),
+        std::fs::read(wal_path_for(&rpath)).unwrap(),
+    );
+
+    shutdown(replica, raddr);
+    shutdown(primary, paddr);
+    cleanup(&[&ppath, &rpath]);
+}

@@ -36,6 +36,29 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     hasher.finish()
 }
 
+/// CRC-32 of a whole file, streamed in 64 KiB chunks so arbitrarily
+/// large snapshots never need to fit in memory. This is the identity the
+/// replication layer compares: two servers replicate the same history
+/// exactly when their base snapshot files carry the same CRC.
+///
+/// # Errors
+///
+/// Propagates I/O failures opening or reading the file.
+pub fn file_crc32(path: &std::path::Path) -> std::io::Result<u32> {
+    use std::io::Read as _;
+    let mut file = std::fs::File::open(path)?;
+    let mut hasher = Crc32::new();
+    let mut buf = vec![0u8; 64 * 1024];
+    loop {
+        match file.read(&mut buf) {
+            Ok(0) => return Ok(hasher.finish()),
+            Ok(n) => hasher.update(&buf[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
 /// Incremental CRC-32 state for streamed payloads: sections written
 /// chunk by chunk (the CKS2 packer never holds a whole adjacency blob in
 /// memory) checksum identically to a one-shot [`crc32`] over the
@@ -94,6 +117,18 @@ mod tests {
             assert_eq!(h.finish(), expected, "chunk size {chunk}");
         }
         assert_eq!(Crc32::default().finish(), crc32(b""));
+    }
+
+    #[test]
+    fn file_crc_matches_in_memory_crc() {
+        let dir = std::env::temp_dir().join("circlekit-store-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("file-crc-{}.bin", std::process::id()));
+        let data: Vec<u8> = (0u32..200_000).map(|i| (i % 251) as u8).collect();
+        std::fs::write(&path, &data).unwrap();
+        assert_eq!(file_crc32(&path).unwrap(), crc32(&data));
+        std::fs::remove_file(&path).unwrap();
+        assert!(file_crc32(&path).is_err());
     }
 
     #[test]

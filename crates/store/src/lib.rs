@@ -84,7 +84,7 @@ mod writer;
 mod writer2;
 
 pub use cks2::{is_cks2, Cks2Paged, Cks2View, FLAG_WIDE, MAGIC2, VERSION2};
-pub use crc32::{crc32, Crc32};
+pub use crc32::{crc32, file_crc32, Crc32};
 pub use error::StoreError;
 pub use format::{Header, SectionId, HEADER_LEN, MAGIC, SECTION_HEADER_LEN, VERSION};
 pub use mmap::MappedSnapshot;
