@@ -1,0 +1,125 @@
+//! Latency bench for `circlekit-discover`.
+//!
+//! ```text
+//! discover_bench [--runs N] [--out FILE.json]
+//! ```
+//!
+//! Builds one synthetic ego network per degree bucket (~10 / ~100 /
+//! ~1000 alters, planted circle structure), runs `discover` over it
+//! `--runs` times, and writes one JSON-lines row per bucket to
+//! `BENCH_discover.json` at the repo root (or `--out`). Each row carries
+//! the median / p90 / max wall time plus the candidate count, so a
+//! regression in either speed or output shape shows up in the diff.
+//!
+//! The fixtures are seeded and the discovery pipeline is deterministic,
+//! so `candidates` is stable across runs and machines; only the timings
+//! move.
+
+use circlekit::discover::{discover, DiscoverConfig, EgoView};
+use circlekit::graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Options {
+    runs: usize,
+    out: Option<String>,
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut opts = Options { runs: 9, out: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--runs" => {
+                let v = value("--runs")?;
+                opts.runs = v.parse().map_err(|_| format!("bad --runs {v:?}"))?;
+            }
+            "--out" => opts.out = Some(value("--out")?),
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    if opts.runs == 0 {
+        return Err("--runs must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+/// Builds an ego network where vertex 0 watches `degree` alters carved
+/// into circles of ~`degree/5` members: dense inside each circle, sparse
+/// across, the planted structure discovery is meant to recover.
+fn ego_fixture(degree: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let circle_size = (degree / 5).max(3);
+    let mut edges: Vec<(u32, u32)> = (1..=degree as u32).map(|a| (0, a)).collect();
+    for u in 1..=degree as u32 {
+        for v in (u + 1)..=degree as u32 {
+            let same_circle = (u as usize - 1) / circle_size == (v as usize - 1) / circle_size;
+            let p = if same_circle { 0.35 } else { 0.01 };
+            if rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(false, edges)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_options()?;
+    let mut rows = Vec::new();
+    for &degree in &[10usize, 100, 1000] {
+        let graph = ego_fixture(degree, 2014 + degree as u64);
+        let view = EgoView::from_graph(&graph, 0);
+        let config = DiscoverConfig::default();
+        // Warm-up run also pins the output shape we report.
+        let suggestion = discover(&view, &config);
+        let mut samples_us: Vec<u64> = (0..opts.runs)
+            .map(|_| {
+                let started = Instant::now();
+                let again = discover(&view, &config);
+                assert_eq!(again, suggestion, "discovery must be deterministic");
+                started.elapsed().as_micros() as u64
+            })
+            .collect();
+        samples_us.sort_unstable();
+        let pick = |p: f64| samples_us[((p * (samples_us.len() - 1) as f64).round()) as usize];
+        let row = serde_json::json!({
+            "bench": "discover_suggest",
+            "ego_degree": degree,
+            "alters": view.alters.len(),
+            "local_edges": view.local.edge_count(),
+            "candidates": suggestion.candidates.len(),
+            "runs": opts.runs,
+            "median_us": pick(0.5),
+            "p90_us": pick(0.9),
+            "max_us": *samples_us.last().expect("runs >= 1"),
+        });
+        println!(
+            "degree {degree:>5}: {} candidates, median {}us, p90 {}us",
+            suggestion.candidates.len(),
+            pick(0.5),
+            pick(0.9)
+        );
+        rows.push(serde_json::to_string(&row).map_err(|e| e.to_string())?);
+    }
+
+    let default_out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_discover.json");
+    let out_path = opts.out.as_deref().map(Path::new).unwrap_or(&default_out);
+    std::fs::write(out_path, rows.join("\n") + "\n")
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+    println!("wrote {}", out_path.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("discover_bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--connections N] [--requests N] [--scale F] [--workers N]
 //!         [--addr HOST:PORT] [--snapshot FILE.cks] [--out FILE.json]
-//!         [--kill-replica]
+//!         [--kill-replica] [--mix]
 //! ```
 //!
 //! Drives `--connections` concurrent clients, each issuing `--requests`
@@ -19,6 +19,12 @@
 //! `typed_error` (a protocol-level refusal), `other` — so a run's
 //! failure mode is visible at a glance, not just its count.
 //!
+//! `--mix` switches each connection to mixed traffic — group scoring,
+//! `suggest_circles` discovery, and small `apply_mutations` batches
+//! interleaved — so cache invalidation and re-discovery run under
+//! concurrent load. The resulting `serve_loadgen_mix` row replaces only
+//! itself in the report file, leaving the plain row in place.
+//!
 //! `--kill-replica` runs the availability drill instead: an in-process
 //! primary plus one read replica, failover clients preferring the
 //! replica, and a controller that takes the replica down mid-run and
@@ -31,6 +37,7 @@
 //! the acceptance bar for the serve subsystem is zero failed requests
 //! under ≥ 8 concurrent connections.
 
+use circlekit::live::Mutation;
 use circlekit_bench::gplus;
 use circlekit_serve::{
     Client, ClientError, FailoverClient, FailoverOptions, FrameError, ServeConfig, Server,
@@ -49,6 +56,7 @@ struct Options {
     snapshot: Option<String>,
     out: Option<String>,
     kill_replica: bool,
+    mix: bool,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -61,6 +69,7 @@ fn parse_options() -> Result<Options, String> {
         snapshot: None,
         out: None,
         kill_replica: false,
+        mix: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +95,7 @@ fn parse_options() -> Result<Options, String> {
             "--snapshot" => opts.snapshot = Some(value("--snapshot")?),
             "--out" => opts.out = Some(value("--out")?),
             "--kill-replica" => opts.kill_replica = true,
+            "--mix" => opts.mix = true,
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -204,6 +214,76 @@ fn drive_failover(
     report
 }
 
+/// Per-op latency samples for a `--mix` connection.
+struct MixReport {
+    score_us: Vec<u64>,
+    suggest_us: Vec<u64>,
+    mutate_us: Vec<u64>,
+    failures: Vec<(&'static str, String)>,
+}
+
+/// The `--mix` variant of [`drive_connection`]: interleaves group
+/// scoring, circle discovery, and single-edge mutation batches so the
+/// server juggles score-cache hits, suggestion invalidation, and
+/// re-discovery concurrently. Mutation rejections (duplicate edge,
+/// missing edge) are normal traffic, not failures — the server reports
+/// them inside an `ok` response.
+fn drive_mix(
+    addr: &str,
+    snapshot: &str,
+    conn: usize,
+    requests: usize,
+    group_count: usize,
+    node_count: usize,
+) -> MixReport {
+    let mut report = MixReport {
+        score_us: Vec::new(),
+        suggest_us: Vec::new(),
+        mutate_us: Vec::new(),
+        failures: Vec::new(),
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            report.failures.push((classify(&e), format!("connection {conn}: connect: {e}")));
+            return report;
+        }
+    };
+    for r in 0..requests {
+        let started = Instant::now();
+        let (bucket, outcome): (&mut Vec<u64>, Result<_, ClientError>) = match r % 5 {
+            0 => {
+                // Toggle one edge per batch; alternating add/remove keeps
+                // the delta overlay churning without growing unboundedly.
+                let u = ((conn * 7919 + r * 13) % node_count) as u32;
+                let v = ((conn * 7919 + r * 13 + 1 + r % 11) % node_count) as u32;
+                let mutation = if (r / 5) % 2 == 0 {
+                    Mutation::AddEdge { u, v }
+                } else {
+                    Mutation::RemoveEdge { u, v }
+                };
+                (&mut report.mutate_us, client.apply_mutations(snapshot, &[mutation]))
+            }
+            1 | 3 => {
+                let ego = ((conn * 31 + r * 17) % node_count) as u32;
+                (&mut report.suggest_us, client.suggest_circles(snapshot, ego, 2014, 3, 10))
+            }
+            _ => {
+                let group = (conn * 31 + r * 7) % group_count;
+                let functions = if r % 3 == 0 { Some("all") } else { None };
+                (&mut report.score_us, client.score_group(snapshot, group, functions, None))
+            }
+        };
+        match outcome {
+            Ok(_) => bucket.push(started.elapsed().as_micros() as u64),
+            Err(e) => {
+                report.failures.push((classify(&e), format!("connection {conn}, request {r}: {e}")))
+            }
+        }
+    }
+    report
+}
+
 /// Asks a running server which snapshot to drive: the first listed one,
 /// with its group count from `list_groups`.
 fn discover_target(addr: &str) -> Result<(String, usize), String> {
@@ -231,6 +311,9 @@ fn run() -> Result<(), String> {
     let opts = parse_options()?;
     if opts.kill_replica {
         return run_kill_replica(&opts);
+    }
+    if opts.mix {
+        return run_mix(&opts);
     }
 
     // Either attach to an external daemon or host one in-process.
@@ -356,6 +439,148 @@ fn run() -> Result<(), String> {
     println!(
         "{ok}/{total} ok in {:.2}s ({throughput:.0} req/s)   p50 {p50}us  p90 {p90}us  p99 {p99}us",
         wall.as_secs_f64()
+    );
+    println!("wrote {}", out_path.display());
+    for (category, detail) in failures.iter().map(|f| (f.0, &f.1)) {
+        eprintln!("FAILED [{category}]: {detail}");
+    }
+    if !failures.is_empty() {
+        return Err(format!("{} of {total} requests failed", failures.len()));
+    }
+    Ok(())
+}
+
+/// The `--mix` mode: hosts an in-process server (fixture or packed
+/// `--snapshot`) and drives the mixed score / suggest / mutate workload,
+/// appending a `serve_loadgen_mix` row that replaces only itself.
+fn run_mix(opts: &Options) -> Result<(), String> {
+    if opts.addr.is_some() {
+        return Err("--mix hosts its own server; drop --addr".to_string());
+    }
+    let mut registry = SnapshotRegistry::new();
+    let (group_count, node_count) = match &opts.snapshot {
+        Some(path) => {
+            registry.load(path, Some("loadgen"))?;
+            let snap = registry.get("loadgen").expect("just loaded");
+            (snap.groups.len(), snap.graph.node_count())
+        }
+        None => {
+            let data = gplus(opts.scale);
+            let counts = (data.groups.len(), data.graph.node_count());
+            registry.insert("loadgen", data.graph, data.groups)?;
+            counts
+        }
+    };
+    if group_count == 0 || node_count == 0 {
+        return Err("the served snapshot needs both groups and nodes for mixed load".to_string());
+    }
+    let config = ServeConfig { workers: opts.workers, ..ServeConfig::default() };
+    let server = Server::start(registry, config, ("127.0.0.1", 0))
+        .map_err(|e| format!("starting server: {e}"))?;
+    let addr = server.local_addr().to_string();
+
+    println!(
+        "loadgen --mix: {} connections x {} requests (score/suggest/mutate) over {} groups, \
+         {} nodes at {addr}",
+        opts.connections, opts.requests, group_count, node_count
+    );
+    let started = Instant::now();
+    let reports: Vec<MixReport> = std::thread::scope(|scope| {
+        let addr = addr.as_str();
+        let requests = opts.requests;
+        let handles: Vec<_> = (0..opts.connections)
+            .map(|conn| {
+                scope.spawn(move || {
+                    drive_mix(addr, "loadgen", conn, requests, group_count, node_count)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("connection thread")).collect()
+    });
+    let wall = started.elapsed();
+
+    let collect = |pick: fn(&MixReport) -> &Vec<u64>| -> Vec<u64> {
+        let mut all: Vec<u64> = reports.iter().flat_map(|r| pick(r).iter().copied()).collect();
+        all.sort_unstable();
+        all
+    };
+    let (score, suggest, mutate) = (
+        collect(|r| &r.score_us),
+        collect(|r| &r.suggest_us),
+        collect(|r| &r.mutate_us),
+    );
+    let failures: Vec<&(&'static str, String)> = reports.iter().flat_map(|r| &r.failures).collect();
+    let total = opts.connections * opts.requests;
+    let ok = score.len() + suggest.len() + mutate.len();
+    let throughput = ok as f64 / wall.as_secs_f64();
+
+    let mut client = Client::connect(&addr).map_err(|e| format!("stats connection: {e}"))?;
+    client.shutdown().map_err(|e| format!("shutdown request: {e}"))?;
+    let stats = server.join();
+
+    let op_latency = |sorted: &[u64]| {
+        serde_json::json!({
+            "p50": percentile(sorted, 50.0),
+            "p90": percentile(sorted, 90.0),
+            "p99": percentile(sorted, 99.0),
+            "max": sorted.last().copied().unwrap_or(0),
+        })
+    };
+    let report = serde_json::Value::Map(vec![
+        ("bench".to_string(), serde_json::json!("serve_loadgen_mix")),
+        ("connections".to_string(), serde_json::json!(opts.connections)),
+        ("requests_per_connection".to_string(), serde_json::json!(opts.requests)),
+        ("total_requests".to_string(), serde_json::json!(total)),
+        ("failed_requests".to_string(), serde_json::json!(failures.len())),
+        ("failures".to_string(), failure_fields(&failures)),
+        ("availability".to_string(), serde_json::json!(ok as f64 / total as f64)),
+        ("wall_ms".to_string(), serde_json::json!(wall.as_millis() as u64)),
+        ("throughput_rps".to_string(), serde_json::json!(throughput)),
+        (
+            "ops".to_string(),
+            serde_json::json!({
+                "score_group": score.len(),
+                "suggest_circles": suggest.len(),
+                "apply_mutations": mutate.len(),
+            }),
+        ),
+        (
+            "latency_us".to_string(),
+            serde_json::Value::Map(vec![
+                ("score_group".to_string(), op_latency(&score)),
+                ("suggest_circles".to_string(), op_latency(&suggest)),
+                ("apply_mutations".to_string(), op_latency(&mutate)),
+            ]),
+        ),
+        (
+            "server".to_string(),
+            serde_json::json!({
+                "batches": stats.batches,
+                "batched_jobs": stats.batched_jobs,
+                "cache_hits": stats.cache.hits,
+                "cache_misses": stats.cache.misses,
+                "overloaded": stats.overloaded,
+            }),
+        ),
+    ]);
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    let default_out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let out_path = opts.out.as_deref().map(Path::new).unwrap_or(&default_out);
+    let kept: String = std::fs::read_to_string(out_path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|line| !line.contains("\"bench\":\"serve_loadgen_mix\""))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    std::fs::write(out_path, kept + &json + "\n")
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+
+    println!(
+        "{ok}/{total} ok in {:.2}s ({throughput:.0} req/s)   score {}  suggest {}  mutate {}",
+        wall.as_secs_f64(),
+        score.len(),
+        suggest.len(),
+        mutate.len()
     );
     println!("wrote {}", out_path.display());
     for (category, detail) in failures.iter().map(|f| (f.0, &f.1)) {

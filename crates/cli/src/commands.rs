@@ -1,7 +1,11 @@
 //! Subcommand implementations, factored for testability: every command
 //! returns its output as a `String`.
 
-use circlekit::detect::detect_circles;
+use circlekit::detect::{detect_circles, girvan_newman, louvain};
+use circlekit::discover::{
+    best_match_f1, discover as discover_ego, render_suggestion, Candidate, DiscoverConfig,
+    EgoView, EvalScores, Suggestion,
+};
 use circlekit::experiments::characterize;
 use circlekit::graph::{
     parse_edge_list_with_policy, parse_groups_with_policy, write_edge_list, write_groups, Graph,
@@ -34,6 +38,8 @@ pub fn dispatch(args: &[String]) -> Result<String, String> {
         "characterize" => characterize_cmd(rest),
         "fit-degrees" => fit_degrees(rest),
         "detect" => detect(rest),
+        "discover" => discover_cmd(rest),
+        "synth" => synth_cmd(rest),
         "pack" => pack(rest),
         "inspect" => inspect(rest),
         "live" => live_cmd(rest),
@@ -51,6 +57,11 @@ fn usage() -> String {
      circlekit characterize --edges FILE [--undirected] [--sources N]\n  \
      circlekit fit-degrees  --edges FILE [--undirected] [--kind in|out|total]\n  \
      circlekit detect       --edges FILE --ego NODE [--min-size N] [--undirected]\n  \
+     circlekit discover     --edges FILE --ego NODE [--seed S] [--threads N] [--min-size N] [--top N]\n  \
+     circlekit discover     --eval --edges FILE --groups FILE --owners FILE [--seed S] [--threads N]\n                         \
+     [--min-size N] [--top N] [--min-f1 X]\n  \
+     circlekit synth ego-circles <google+|twitter> [--scale F] [--seed N] --edges FILE\n                         \
+     [--groups FILE] [--owners FILE]\n  \
      circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks [--force]\n                         \
      [--format cks1|cks2] [--stream] [--memory-budget-mb N]\n  \
      circlekit inspect      --snapshot FILE.cks [--json]\n  \
@@ -67,7 +78,9 @@ fn usage() -> String {
      circlekit query        --addr HOST:PORT baseline    --snapshot ID --group N [--samples N] [--seed N]\n  \
      circlekit query        --addr HOST:PORT apply-mutations --snapshot ID --script FILE\n  \
      circlekit query        --addr HOST:PORT watch-scores    --snapshot ID --group N\n  \
-     circlekit query        --addr HOST:PORT compact         --snapshot ID\n\
+     circlekit query        --addr HOST:PORT compact         --snapshot ID\n  \
+     circlekit query        --addr HOST:PORT suggest-circles --snapshot ID --ego NODE [--seed S]\n                         \
+     [--min-size N] [--top N]\n\
      \n\
      every --edges argument may be a text edge list or a CKS1/CKS2 binary\n  \
      snapshot (detected by magic); snapshots carry their own directedness\n  \
@@ -379,6 +392,196 @@ fn detect(args: &[String]) -> Result<String, String> {
         circles.len()
     );
     out.push_str(std::str::from_utf8(&buf).expect("ascii output"));
+    Ok(out)
+}
+
+/// The shared `--seed/--threads/--min-size/--top` handling for the
+/// `discover` command and its eval mode, mirroring [`DiscoverConfig`]
+/// defaults so `circlekit discover` and `query suggest-circles` agree.
+fn discover_flags(flags: &Flags<'_>) -> Result<DiscoverConfig, String> {
+    Ok(DiscoverConfig {
+        seed: flags.parse_value("seed", circlekit::discover::DEFAULT_SEED)?,
+        threads: threads_flag(flags)?,
+        min_size: flags.parse_value("min-size", circlekit::discover::DEFAULT_MIN_SIZE)?,
+        max_size: 0,
+        top: flags.parse_value("top", circlekit::discover::DEFAULT_TOP)?,
+    })
+}
+
+fn discover_cmd(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &["undirected", "eval"])?;
+    if flags.has("eval") {
+        return discover_eval(&flags);
+    }
+    let ingest = Ingest::from_flags(&flags)?;
+    let mut notes = String::new();
+    let graph = load_graph(&flags, &ingest, &mut notes)?.graph;
+    let ego: u32 = flags
+        .required("ego")?
+        .parse()
+        .map_err(|_| "bad --ego value".to_string())?;
+    if ego as usize >= graph.node_count() {
+        return Err(format!(
+            "ego {ego} exceeds graph node count {}",
+            graph.node_count()
+        ));
+    }
+    let config = discover_flags(&flags)?;
+    let suggestion = discover_ego(&EgoView::from_graph(&graph, ego), &config);
+    let mut out = notes;
+    out.push_str(&render_suggestion(&suggestion));
+    Ok(out)
+}
+
+/// `discover --eval`: scores discovery against planted ground-truth
+/// circles (from `synth ego-circles`), with the `detect` crate's louvain
+/// and girvan-newman as baselines, each restricted to the same ego
+/// subgraph. `--min-f1 X` turns the table into a gate for CI.
+fn discover_eval(flags: &Flags<'_>) -> Result<String, String> {
+    let ingest = Ingest::from_flags(flags)?;
+    let mut notes = String::new();
+    let loaded = load_graph(flags, &ingest, &mut notes)?;
+    let (graph, circles) = load_groups(flags, &ingest, loaded, &mut notes)?;
+    let owners_path = flags.required("owners")?;
+    let owners_text =
+        fs::read_to_string(owners_path).map_err(|e| format!("reading {owners_path}: {e}"))?;
+    let owners: Vec<u32> = owners_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.trim().parse().map_err(|_| format!("{owners_path}: bad owner line {l:?}")))
+        .collect::<Result<_, String>>()?;
+    if owners.len() != circles.len() {
+        return Err(format!(
+            "{owners_path} has {} owners but --groups has {} circles",
+            owners.len(),
+            circles.len()
+        ));
+    }
+    let mut by_ego: std::collections::BTreeMap<u32, Vec<VertexSet>> =
+        std::collections::BTreeMap::new();
+    for (owner, circle) in owners.iter().zip(circles) {
+        if *owner as usize >= graph.node_count() {
+            return Err(format!("owner {owner} exceeds graph node count"));
+        }
+        by_ego.entry(*owner).or_default().push(circle);
+    }
+    if by_ego.is_empty() {
+        return Err("no planted circles to evaluate".to_string());
+    }
+    let config = discover_flags(flags)?;
+    let restrict = |view: &EgoView, sets: Vec<VertexSet>| -> Vec<VertexSet> {
+        sets.iter()
+            .filter(|s| s.len() >= config.min_size)
+            .map(|s| view.to_parent(s.as_slice()))
+            .collect()
+    };
+    let mut per_method: [Vec<EvalScores>; 3] = Default::default();
+    for (&ego, planted) in &by_ego {
+        let view = EgoView::from_graph(&graph, ego);
+        let suggestion = discover_ego(&view, &config);
+        let discovered: Vec<VertexSet> =
+            suggestion.candidates.into_iter().map(|c| c.members).collect();
+        let mut rng = SmallRng::seed_from_u64(config.seed ^ u64::from(ego));
+        let lv = restrict(&view, louvain(&view.local, &mut rng));
+        let gn = restrict(&view, girvan_newman(&view.local, planted.len().max(1)));
+        per_method[0].push(best_match_f1(&discovered, planted));
+        per_method[1].push(best_match_f1(&lv, planted));
+        per_method[2].push(best_match_f1(&gn, planted));
+    }
+    let mut out = notes;
+    let _ = writeln!(
+        out,
+        "eval over {} egos, {} planted circles (min-size {})",
+        by_ego.len(),
+        owners.len(),
+        config.min_size
+    );
+    let _ = writeln!(out, "{:<14} {:>9} {:>9} {:>9}", "method", "precision", "recall", "f1");
+    let mut discover_f1 = 0.0;
+    for (name, scores) in ["discover", "louvain", "girvan-newman"].iter().zip(&per_method) {
+        let mean = EvalScores::mean(scores);
+        let _ = writeln!(
+            out,
+            "{name:<14} {:>9.4} {:>9.4} {:>9.4}",
+            mean.precision, mean.recall, mean.f1
+        );
+        if *name == "discover" {
+            discover_f1 = mean.f1;
+        }
+    }
+    if let Some(threshold) = flags.get("min-f1") {
+        let threshold: f64 =
+            threshold.parse().map_err(|_| format!("bad --min-f1 {threshold:?}"))?;
+        if discover_f1 < threshold {
+            return Err(format!(
+                "discover f1 {discover_f1:.4} is below --min-f1 {threshold}\n{out}"
+            ));
+        }
+        let _ = writeln!(out, "f1 gate passed ({discover_f1:.4} >= {threshold})");
+    }
+    Ok(out)
+}
+
+fn synth_cmd(args: &[String]) -> Result<String, String> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Err("synth needs a subcommand (ego-circles)".to_string());
+    };
+    match sub.as_str() {
+        "ego-circles" => synth_ego_circles(rest),
+        other => Err(format!("unknown synth subcommand {other:?}")),
+    }
+}
+
+/// Generates an ego-circle dataset (edges + planted circles + a per-circle
+/// owners file) so `pack`, `discover --eval`, and the serve pipeline can
+/// all consume the same ground truth.
+fn synth_ego_circles(args: &[String]) -> Result<String, String> {
+    let flags = Flags::parse(args, &[])?;
+    let preset = flags
+        .positional
+        .first()
+        .ok_or("synth ego-circles needs a preset name (google+|twitter)")?;
+    let scale: f64 = flags.parse_value("scale", 0.01)?;
+    let seed: u64 = flags.parse_value("seed", 2014)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dataset: SynthDataset = match *preset {
+        "google+" | "gplus" => presets::google_plus().scaled(scale).generate(&mut rng),
+        "twitter" => presets::twitter().scaled(scale).generate(&mut rng),
+        other => return Err(format!("unknown ego-circle preset {other:?} (google+|twitter)")),
+    };
+    debug_assert_eq!(dataset.kind, GroupKind::Circles);
+
+    let edges_path = flags.required("edges")?;
+    let mut buf = Vec::new();
+    write_edge_list(&dataset.graph, &mut buf).map_err(|e| e.to_string())?;
+    fs::write(edges_path, buf).map_err(|e| format!("writing {edges_path}: {e}"))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", dataset.summary());
+    let _ = writeln!(out, "wrote edges to {edges_path}");
+    if let Some(groups_path) = flags.get("groups") {
+        let mut buf = Vec::new();
+        write_groups(&dataset.groups, &mut buf).map_err(|e| e.to_string())?;
+        fs::write(groups_path, buf).map_err(|e| format!("writing {groups_path}: {e}"))?;
+        let _ = writeln!(out, "wrote {} circles to {groups_path}", dataset.groups.len());
+    }
+    if let Some(owners_path) = flags.get("owners") {
+        // Circles hold alters only (never the owner), so each circle is a
+        // subset of exactly the alter windows it was carved from; the
+        // first containing ego recovers the owner deterministically.
+        let mut owners = String::new();
+        for circle in &dataset.groups {
+            let owner = dataset
+                .egos
+                .iter()
+                .position(|alters| circle.as_slice().iter().all(|&m| alters.contains(m)))
+                .map(|i| dataset.ego_owners[i])
+                .ok_or_else(|| "internal: circle outside every ego's alter set".to_string())?;
+            let _ = writeln!(owners, "{owner}");
+        }
+        fs::write(owners_path, owners).map_err(|e| format!("writing {owners_path}: {e}"))?;
+        let _ = writeln!(out, "wrote {} circle owners to {owners_path}", dataset.groups.len());
+    }
     Ok(out)
 }
 
@@ -840,6 +1043,7 @@ fn query(args: &[String]) -> Result<String, String> {
         }
         "compact" => client.compact(flags.required("snapshot")?),
         "score-table" => return query_score_table(&mut client, &flags, functions),
+        "suggest-circles" => return query_suggest_circles(&mut client, &flags),
         other => return Err(format!("unknown query op {other:?}")),
     };
     let response = response.map_err(|e| e.to_string())?;
@@ -877,6 +1081,52 @@ fn query_score_table(
         rows.push(Client::scores_of(&response).map_err(|e| e.to_string())?);
     }
     Ok(render_score_table(function_list, &sizes, &rows))
+}
+
+/// Requests a suggestion over the wire and renders it with the same
+/// [`render_suggestion`] the offline `discover` command uses — members
+/// and scores cross the wire losslessly, so for the same snapshot and
+/// seed the output is byte-identical to `circlekit discover`.
+fn query_suggest_circles(client: &mut Client, flags: &Flags<'_>) -> Result<String, String> {
+    use circlekit_serve::protocol::wire;
+    let snapshot = flags.required("snapshot")?;
+    let ego: u32 = flags
+        .required("ego")?
+        .parse()
+        .map_err(|_| "bad --ego value".to_string())?;
+    let config = discover_flags(flags)?;
+    let response = client
+        .suggest_circles(snapshot, ego, config.seed, config.min_size, config.top)
+        .map_err(|e| e.to_string())?;
+    let alters = wire::get_u64(&response, "alters").map_err(|(_, m)| m)? as usize;
+    let score_of = |item: &serde_json::Value, key: &str| -> f64 {
+        wire::get(item, key).and_then(wire::as_f64).unwrap_or(f64::NAN)
+    };
+    let Some(serde_json::Value::Seq(items)) = wire::get(&response, "candidates") else {
+        return Err("suggest_circles response lacks candidates".to_string());
+    };
+    let candidates = items
+        .iter()
+        .map(|item| {
+            let Some(serde_json::Value::Seq(ms)) = wire::get(item, "members") else {
+                return Err("candidate lacks members".to_string());
+            };
+            let members: Vec<u32> = ms
+                .iter()
+                .map(|m| match m {
+                    serde_json::Value::UInt(u) => Ok(*u as u32),
+                    other => Err(format!("bad member {other:?}")),
+                })
+                .collect::<Result<_, String>>()?;
+            Ok(Candidate {
+                members: VertexSet::from_vec(members),
+                conductance: score_of(item, "conductance"),
+                average_degree: score_of(item, "average_degree"),
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let suggestion = Suggestion { ego, seed: config.seed, alters, candidates };
+    Ok(render_suggestion(&suggestion))
 }
 
 #[cfg(test)]
@@ -1559,6 +1809,139 @@ mod tests {
         dispatch(&args(&["query", "--addr", &addr, "shutdown"])).expect("shutdown succeeds");
         let summary = server.join().unwrap().expect("serve exits cleanly");
         assert!(summary.contains("served"), "{summary}");
+    }
+
+    #[test]
+    fn discover_renders_planted_triangles_deterministically() {
+        let edges = tmp("dv.edges");
+        // Ego 0 watches 1..=6; alters form two triangles bridged by 3-4.
+        fs::write(
+            &edges,
+            "0 1\n0 2\n0 3\n0 4\n0 5\n0 6\n1 2\n2 3\n1 3\n4 5\n5 6\n4 6\n3 4\n",
+        )
+        .unwrap();
+        let out = dispatch(&args(&[
+            "discover", "--edges", &edges, "--ego", "0", "--undirected",
+        ]))
+        .expect("discover succeeds");
+        assert!(out.starts_with("ego 0  seed 2014  alters 6"), "{out}");
+        assert!(out.contains("members 1 2 3"), "{out}");
+        assert!(out.contains("members 4 5 6"), "{out}");
+        // Same seed is byte-stable across thread counts.
+        for t in ["1", "2", "5"] {
+            let again = dispatch(&args(&[
+                "discover", "--edges", &edges, "--ego", "0", "--undirected", "--threads", t,
+            ]))
+            .expect("discover succeeds");
+            assert_eq!(out, again, "--threads {t}");
+        }
+        let err =
+            dispatch(&args(&["discover", "--edges", &edges, "--ego", "99", "--undirected"]))
+                .unwrap_err();
+        assert!(err.contains("exceeds graph node count"), "{err}");
+    }
+
+    #[test]
+    fn synth_ego_circles_feeds_eval_and_pack() {
+        let edges = tmp("sy.edges");
+        let groups = tmp("sy.circles");
+        let owners = tmp("sy.owners");
+        let snap = tmp("sy.cks");
+        let out = dispatch(&args(&[
+            "synth", "ego-circles", "google+", "--scale", "0.004", "--seed", "11",
+            "--edges", &edges, "--groups", &groups, "--owners", &owners,
+        ]))
+        .expect("synth ego-circles succeeds");
+        assert!(out.contains("wrote edges"), "{out}");
+        assert!(out.contains("circle owners"), "{out}");
+        let owner_lines = fs::read_to_string(&owners).unwrap().lines().count();
+        let circle_lines = fs::read_to_string(&groups).unwrap().lines().count();
+        assert_eq!(owner_lines, circle_lines, "one owner per circle");
+        assert!(owner_lines > 0);
+
+        // The emitted files pack into a snapshot unchanged.
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+
+        // And drive the eval harness: a table with all three methods,
+        // plus a threshold gate in both directions.
+        let table = dispatch(&args(&[
+            "discover", "--eval", "--edges", &edges, "--groups", &groups,
+            "--owners", &owners,
+        ]))
+        .expect("eval succeeds");
+        for method in ["discover", "louvain", "girvan-newman"] {
+            assert!(table.contains(method), "{table}");
+        }
+        let gated = dispatch(&args(&[
+            "discover", "--eval", "--edges", &edges, "--groups", &groups,
+            "--owners", &owners, "--min-f1", "0.0",
+        ]))
+        .expect("trivial gate passes");
+        assert!(gated.contains("f1 gate passed"), "{gated}");
+        let err = dispatch(&args(&[
+            "discover", "--eval", "--edges", &edges, "--groups", &groups,
+            "--owners", &owners, "--min-f1", "1.1",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("below --min-f1"), "{err}");
+    }
+
+    #[test]
+    fn query_suggest_circles_matches_offline_discover_bytes() {
+        let edges = tmp("qd.edges");
+        let groups = tmp("qd.circles");
+        let owners = tmp("qd.owners");
+        let snap = tmp("qd.cks");
+        let _ = fs::remove_file(format!("{snap}.ckw"));
+        dispatch(&args(&[
+            "synth", "ego-circles", "google+", "--scale", "0.004", "--seed", "11",
+            "--edges", &edges, "--groups", &groups, "--owners", &owners,
+        ]))
+        .expect("synth succeeds");
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap,
+        ]))
+        .expect("pack succeeds");
+        let ego = fs::read_to_string(&owners)
+            .unwrap()
+            .lines()
+            .next()
+            .unwrap()
+            .trim()
+            .to_string();
+        let offline =
+            dispatch(&args(&["discover", "--edges", &snap, "--ego", &ego]))
+                .expect("offline discover succeeds");
+
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let server = {
+            let snap = snap.clone();
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                dispatch(&args(&["serve", "--snapshot", &snap, "--listen", &addr]))
+            })
+        };
+        let snapshot_id = std::path::Path::new(&snap)
+            .file_stem()
+            .unwrap()
+            .to_string_lossy()
+            .into_owned();
+        let served = dispatch(&args(&[
+            "query", "--addr", &addr, "suggest-circles", "--snapshot", &snapshot_id,
+            "--ego", &ego,
+        ]))
+        .expect("query suggest-circles succeeds");
+        assert_eq!(offline, served, "CLI and serve must render identical bytes");
+
+        dispatch(&args(&["query", "--addr", &addr, "shutdown"])).expect("shutdown succeeds");
+        server.join().unwrap().expect("serve exits cleanly");
     }
 
     #[test]

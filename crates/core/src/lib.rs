@@ -40,6 +40,7 @@
 //! | [`sampling`] | `circlekit-sampling` | random-walk baselines, crawls |
 //! | [`synth`] | `circlekit-synth` | synthetic corpora |
 //! | [`detect`] | `circlekit-detect` | LPA / circle-detection baselines |
+//! | [`discover`] | `circlekit-discover` | Seeded circle discovery over ego networks |
 //! | [`store`] | `circlekit-store` | CKS1 binary snapshots, zero-copy loads |
 //! | [`live`] | `circlekit-live` | WAL-backed mutations, incremental scores |
 //! | [`experiments`] | this crate | one driver per table/figure |
@@ -48,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use circlekit_detect as detect;
+pub use circlekit_discover as discover;
 pub use circlekit_graph as graph;
 pub use circlekit_live as live;
 pub use circlekit_metrics as metrics;

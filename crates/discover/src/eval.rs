@@ -1,0 +1,147 @@
+//! Ground-truth evaluation: Yang–Leskovec best-match precision/recall/F1.
+//!
+//! Given discovered circles and planted ground truth for the *same* ego,
+//! every discovered set is matched to its best planted counterpart and
+//! vice versa. Precision averages the best per-discovered overlap
+//! fraction, recall the best per-planted coverage, and F1 is the balanced
+//! average of the two best-match F1 directions — the measure used in
+//! "Defining and Evaluating Network Communities based on Ground-truth".
+
+use circlekit_graph::VertexSet;
+
+/// Aggregated best-match quality of one set of discovered circles against
+/// planted ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalScores {
+    /// Mean over discovered circles of the best `|D ∩ C| / |D|`.
+    pub precision: f64,
+    /// Mean over planted circles of the best `|D ∩ C| / |C|`.
+    pub recall: f64,
+    /// Balanced best-match F1: half the discovered-side average best F1
+    /// plus half the planted-side average best F1.
+    pub f1: f64,
+}
+
+impl EvalScores {
+    /// Element-wise mean of several evaluations (e.g. one per ego).
+    /// Returns zeros for an empty slice.
+    pub fn mean(scores: &[EvalScores]) -> EvalScores {
+        if scores.is_empty() {
+            return EvalScores { precision: 0.0, recall: 0.0, f1: 0.0 };
+        }
+        let n = scores.len() as f64;
+        EvalScores {
+            precision: scores.iter().map(|s| s.precision).sum::<f64>() / n,
+            recall: scores.iter().map(|s| s.recall).sum::<f64>() / n,
+            f1: scores.iter().map(|s| s.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+fn pair_f1(p: f64, r: f64) -> f64 {
+    if p + r > 0.0 {
+        2.0 * p * r / (p + r)
+    } else {
+        0.0
+    }
+}
+
+/// Scores `discovered` against `planted` with best-match averaging. Either
+/// side empty yields all-zero scores (nothing can match).
+pub fn best_match_f1(discovered: &[VertexSet], planted: &[VertexSet]) -> EvalScores {
+    if discovered.is_empty() || planted.is_empty() {
+        return EvalScores { precision: 0.0, recall: 0.0, f1: 0.0 };
+    }
+
+    let mut precision_sum = 0.0;
+    let mut disc_f1_sum = 0.0;
+    for d in discovered {
+        let mut best_p = 0.0f64;
+        let mut best_f = 0.0f64;
+        for c in planted {
+            let inter = d.intersection(c).len() as f64;
+            let p = inter / d.len() as f64;
+            let r = inter / c.len() as f64;
+            best_p = best_p.max(p);
+            best_f = best_f.max(pair_f1(p, r));
+        }
+        precision_sum += best_p;
+        disc_f1_sum += best_f;
+    }
+
+    let mut recall_sum = 0.0;
+    let mut plant_f1_sum = 0.0;
+    for c in planted {
+        let mut best_r = 0.0f64;
+        let mut best_f = 0.0f64;
+        for d in discovered {
+            let inter = d.intersection(c).len() as f64;
+            let p = inter / d.len() as f64;
+            let r = inter / c.len() as f64;
+            best_r = best_r.max(r);
+            best_f = best_f.max(pair_f1(p, r));
+        }
+        recall_sum += best_r;
+        plant_f1_sum += best_f;
+    }
+
+    let nd = discovered.len() as f64;
+    let nc = planted.len() as f64;
+    EvalScores {
+        precision: precision_sum / nd,
+        recall: recall_sum / nc,
+        f1: 0.5 * (disc_f1_sum / nd + plant_f1_sum / nc),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u32]) -> VertexSet {
+        VertexSet::from_vec(v.to_vec())
+    }
+
+    #[test]
+    fn perfect_match_scores_one() {
+        let truth = vec![set(&[1, 2, 3]), set(&[4, 5, 6])];
+        let scores = best_match_f1(&truth, &truth);
+        assert_eq!(scores.precision, 1.0);
+        assert_eq!(scores.recall, 1.0);
+        assert_eq!(scores.f1, 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_score_zero() {
+        let scores = best_match_f1(&[set(&[1, 2])], &[set(&[3, 4])]);
+        assert_eq!(scores.precision, 0.0);
+        assert_eq!(scores.recall, 0.0);
+        assert_eq!(scores.f1, 0.0);
+    }
+
+    #[test]
+    fn empty_sides_score_zero() {
+        assert_eq!(best_match_f1(&[], &[set(&[1])]).f1, 0.0);
+        assert_eq!(best_match_f1(&[set(&[1])], &[]).f1, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap_is_between() {
+        // Discovered {1,2,3,4} vs planted {1,2}: p = 0.5, r = 1.0.
+        let scores = best_match_f1(&[set(&[1, 2, 3, 4])], &[set(&[1, 2])]);
+        assert_eq!(scores.precision, 0.5);
+        assert_eq!(scores.recall, 1.0);
+        let f = 2.0 * 0.5 * 1.0 / 1.5;
+        assert!((scores.f1 - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_averages_elementwise() {
+        let a = EvalScores { precision: 1.0, recall: 0.5, f1: 0.75 };
+        let b = EvalScores { precision: 0.0, recall: 0.5, f1: 0.25 };
+        let m = EvalScores::mean(&[a, b]);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+        assert_eq!(m.f1, 0.5);
+    }
+}

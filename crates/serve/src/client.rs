@@ -424,6 +424,32 @@ impl Client {
         )
     }
 
+    /// `suggest_circles` op: seeded structural circle discovery for one
+    /// ego, served from the live overlay when the snapshot has one.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn suggest_circles(
+        &mut self,
+        snapshot: &str,
+        ego: u32,
+        seed: u64,
+        min_size: usize,
+        top: usize,
+    ) -> Result<Value, ClientError> {
+        self.call(
+            "suggest_circles",
+            vec![
+                ("snapshot".to_string(), Value::Str(snapshot.to_string())),
+                ("ego".to_string(), Value::UInt(ego as u64)),
+                ("seed".to_string(), Value::UInt(seed)),
+                ("min_size".to_string(), Value::UInt(min_size as u64)),
+                ("top".to_string(), Value::UInt(top as u64)),
+            ],
+        )
+    }
+
     /// `repl_status` op: the server's replication role, per-snapshot
     /// committed offsets, and subscriber/replica progress.
     ///

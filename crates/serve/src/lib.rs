@@ -51,6 +51,7 @@ pub mod replication;
 pub mod server;
 pub mod signal;
 pub mod stats;
+pub mod suggest;
 
 pub use cache::{CacheKey, CacheStats, ScoreCache};
 pub use circlekit_live::Mutation;
@@ -66,3 +67,4 @@ pub use registry::{LoadedSnapshot, SnapshotRegistry};
 pub use replication::{FaultPlan, ReplCrashPoint};
 pub use server::{ServeConfig, Server, ShutdownHandle};
 pub use stats::{ServeStats, StatsSnapshot};
+pub use suggest::{SuggestCache, SuggestKey};

@@ -175,6 +175,23 @@ pub enum Request {
         /// Group index within the snapshot.
         group: usize,
     },
+    /// Suggest circles for one ego: seeded structural discovery over the
+    /// ego-induced subgraph (live overlay when the snapshot has one,
+    /// otherwise the materialized graph). Responses are cached per
+    /// `(snapshot, ego, parameters)` under the version-keyed scheme;
+    /// mutations touching an ego's neighbourhood evict only that ego.
+    SuggestCircles {
+        /// Snapshot id.
+        snapshot: String,
+        /// The ego whose neighbourhood is clustered.
+        ego: u32,
+        /// Root seed of the tie-break streams.
+        seed: u64,
+        /// Smallest candidate circle returned.
+        min_size: usize,
+        /// Ranked candidates returned (0 = all).
+        top: usize,
+    },
     /// Subscribe this connection to a snapshot's WAL stream. The
     /// subscriber presents the CRC of its own base snapshot file and the
     /// offset (committed record bytes past the WAL header) it has
@@ -570,6 +587,21 @@ impl Request {
                 snapshot: wire::get_str(&value, "snapshot")?,
                 group: wire::get_u64(&value, "group")? as usize,
             }),
+            "suggest_circles" => {
+                let ego = wire::get_u64(&value, "ego")?;
+                let ego = u32::try_from(ego)
+                    .map_err(|_| wire::bad(format!("field \"ego\" {ego} exceeds u32 range")))?;
+                Ok(Request::SuggestCircles {
+                    snapshot: wire::get_str(&value, "snapshot")?,
+                    ego,
+                    seed: wire::get_u64_opt(&value, "seed")?
+                        .unwrap_or(circlekit_discover::DEFAULT_SEED),
+                    min_size: wire::get_u64_opt(&value, "min_size")?
+                        .map_or(circlekit_discover::DEFAULT_MIN_SIZE, |v| v as usize),
+                    top: wire::get_u64_opt(&value, "top")?
+                        .map_or(circlekit_discover::DEFAULT_TOP, |v| v as usize),
+                })
+            }
             "replicate" => {
                 let crc = wire::get_u64(&value, "base_crc")?;
                 let base_crc = u32::try_from(crc).map_err(|_| {
@@ -777,6 +809,35 @@ mod tests {
     }
 
     #[test]
+    fn suggest_circles_parses_defaults_and_overrides() {
+        assert_eq!(
+            Request::parse("{\"op\":\"suggest_circles\",\"snapshot\":\"gp\",\"ego\":42}")
+                .unwrap(),
+            Request::SuggestCircles {
+                snapshot: "gp".to_string(),
+                ego: 42,
+                seed: circlekit_discover::DEFAULT_SEED,
+                min_size: circlekit_discover::DEFAULT_MIN_SIZE,
+                top: circlekit_discover::DEFAULT_TOP,
+            }
+        );
+        assert_eq!(
+            Request::parse(
+                "{\"op\":\"suggest_circles\",\"snapshot\":\"gp\",\"ego\":7,\
+                 \"seed\":9,\"min_size\":2,\"top\":0}"
+            )
+            .unwrap(),
+            Request::SuggestCircles {
+                snapshot: "gp".to_string(),
+                ego: 7,
+                seed: 9,
+                min_size: 2,
+                top: 0,
+            }
+        );
+    }
+
+    #[test]
     fn malformed_requests_are_typed_bad_requests() {
         for payload in [
             "not json at all",
@@ -799,6 +860,9 @@ mod tests {
              \"mutations\":[{\"op\":\"add_edge\",\"u\":1,\"v\":4294967296}]}",
             "{\"op\":\"watch_scores\",\"snapshot\":\"gp\"}",
             "{\"op\":\"compact\"}",
+            "{\"op\":\"suggest_circles\",\"snapshot\":\"gp\"}",
+            "{\"op\":\"suggest_circles\",\"snapshot\":\"gp\",\"ego\":4294967296}",
+            "{\"op\":\"suggest_circles\",\"ego\":1}",
         ] {
             let (kind, _) = Request::parse(payload).unwrap_err();
             assert_eq!(kind, ErrorKind::BadRequest, "{payload}");

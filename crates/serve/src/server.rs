@@ -33,6 +33,8 @@ use crate::queue::{BoundedQueue, PushError};
 use crate::registry::{LoadedSnapshot, SnapshotRegistry};
 use crate::replication::{self, FaultPlan, ReplCrashPoint, ReplRegistry};
 use crate::stats::{ServeStats, StatsSnapshot};
+use crate::suggest::{SuggestCache, SuggestKey};
+use circlekit_discover::{affected_egos, discover, DiscoverConfig, EgoView, Suggestion};
 use circlekit_graph::{RunControl, VertexSet};
 use circlekit_live::{wal_path_for, LiveSnapshot, Mutation};
 use circlekit_sampling::size_matched_random_walk_sets_parallel_with_control;
@@ -167,6 +169,7 @@ pub(crate) struct Shared {
     pub(crate) config: ServeConfig,
     queue: BoundedQueue<Job>,
     pub(crate) cache: Mutex<ScoreCache>,
+    pub(crate) suggest: Mutex<SuggestCache>,
     pub(crate) live: Mutex<HashMap<String, LiveState>>,
     pub(crate) stats: ServeStats,
     pub(crate) repl: Mutex<ReplRegistry>,
@@ -237,6 +240,7 @@ impl Server {
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             cache: Mutex::new(ScoreCache::new(config.cache_capacity)),
+            suggest: Mutex::new(SuggestCache::new(config.cache_capacity)),
             live: Mutex::new(live),
             stats: ServeStats::default(),
             repl: Mutex::new(ReplRegistry::default()),
@@ -665,6 +669,12 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
             ];
             Ok(ok_payload(with_op("watch_scores", &snapshot, fields)))
         }
+        Request::SuggestCircles { snapshot, ego, seed, min_size, top } => {
+            // Answered inline, like watch_scores: the live path reads the
+            // overlay's composed adjacency directly (no materialization),
+            // and hits replay whole cached suggestions.
+            run_suggest(shared, &snapshot, ego, seed, min_size, top)
+        }
         Request::DebugSleep { millis } => {
             if !shared.config.debug_ops {
                 return Err((
@@ -693,6 +703,125 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
         // Handled by the connection loop so it can close afterwards.
         Request::Shutdown => Err(internal("shutdown must be handled by the connection loop")),
     }
+}
+
+/// Serves one `suggest_circles` request.
+///
+/// The version and ego view are captured together: under the live-state
+/// lock when the snapshot has an overlay (the incremental path — adjacency
+/// comes straight from the composed merge iterators), or from one
+/// immutable registry `Arc` otherwise. Discovery itself runs without any
+/// lock; a racing commit bumps the version, so the late insert can never
+/// be served (compare-on-get), while the response stays a consistent
+/// point-in-time answer.
+fn run_suggest(
+    shared: &Arc<Shared>,
+    snapshot: &str,
+    ego: u32,
+    seed: u64,
+    min_size: usize,
+    top: usize,
+) -> Result<String, RequestError> {
+    let no_such_ego = |n: usize| {
+        (
+            ErrorKind::NotFound,
+            format!("snapshot {snapshot:?} has {n} vertices, no ego {ego}"),
+        )
+    };
+    let key = SuggestKey { snapshot: snapshot.to_string(), ego, seed, min_size, top };
+
+    enum Capture {
+        Hit(u64, Arc<Suggestion>),
+        Fresh(u64, EgoView),
+    }
+
+    // Live path: version + view extracted under the live-state lock.
+    let live_capture: Option<Result<Capture, RequestError>> = {
+        let states = shared.live.lock().expect("live state lock");
+        states.get(snapshot).map(|state| {
+            let n = state.live.overlay().node_count();
+            if (ego as usize) >= n {
+                return Err(no_such_ego(n));
+            }
+            let hit =
+                shared.suggest.lock().expect("suggest cache lock").get(&key, state.version);
+            Ok(match hit {
+                Some(suggestion) => Capture::Hit(state.version, suggestion),
+                None => Capture::Fresh(
+                    state.version,
+                    EgoView::from_overlay(state.live.base(), state.live.overlay(), ego),
+                ),
+            })
+        })
+    };
+    let capture = match live_capture {
+        Some(result) => result?,
+        None => {
+            let snap = resolve_snapshot(shared, snapshot)?;
+            let n = snap.graph.node_count();
+            if (ego as usize) >= n {
+                return Err(no_such_ego(n));
+            }
+            let hit = shared.suggest.lock().expect("suggest cache lock").get(&key, snap.version);
+            match hit {
+                Some(suggestion) => Capture::Hit(snap.version, suggestion),
+                None => Capture::Fresh(snap.version, EgoView::from_graph(&snap.graph, ego)),
+            }
+        }
+    };
+
+    let (version, view) = match capture {
+        Capture::Hit(version, suggestion) => {
+            return Ok(suggest_response(snapshot, version, true, &suggestion));
+        }
+        Capture::Fresh(version, view) => (version, view),
+    };
+
+    let config = DiscoverConfig {
+        seed,
+        threads: shared.config.threads,
+        min_size,
+        max_size: 0,
+        top,
+    };
+    let suggestion = Arc::new(discover(&view, &config));
+    shared
+        .suggest
+        .lock()
+        .expect("suggest cache lock")
+        .insert(key, version, Arc::clone(&suggestion));
+    Ok(suggest_response(snapshot, version, false, &suggestion))
+}
+
+/// Renders the `suggest_circles` response envelope. Scores go through
+/// [`wire::score_value`], so they cross the wire bit-exactly and the CLI
+/// can re-render the identical table.
+fn suggest_response(snapshot: &str, version: u64, cached: bool, s: &Suggestion) -> String {
+    let candidates: Vec<Value> = s
+        .candidates
+        .iter()
+        .map(|c| {
+            Value::Map(vec![
+                (
+                    "members".to_string(),
+                    Value::Seq(
+                        c.members.as_slice().iter().map(|&v| Value::UInt(v as u64)).collect(),
+                    ),
+                ),
+                ("conductance".to_string(), wire::score_value(c.conductance)),
+                ("average_degree".to_string(), wire::score_value(c.average_degree)),
+            ])
+        })
+        .collect();
+    let fields = vec![
+        ("ego".to_string(), Value::UInt(s.ego as u64)),
+        ("seed".to_string(), Value::UInt(s.seed)),
+        ("version".to_string(), Value::UInt(version)),
+        ("cached".to_string(), Value::Bool(cached)),
+        ("alters".to_string(), Value::UInt(s.alters as u64)),
+        ("candidates".to_string(), Value::Seq(candidates)),
+    ];
+    ok_payload(with_op("suggest_circles", snapshot, fields))
 }
 
 /// Replicas apply writes only through the replication stream; direct
@@ -1039,10 +1168,30 @@ fn run_apply(
         .map_err(|e| internal(&format!("mutation commit failed: {e}")))?;
     let mut invalidated = 0;
     if outcome.applied > 0 {
+        let old_version = state.version;
         state.version += 1;
         ServeStats::add(&shared.stats.mutations_applied, outcome.applied as u64);
         invalidated =
             shared.cache.lock().expect("cache lock").invalidate_stale(id, state.version);
+        // Suggestions are invalidated per ego, not wholesale: an edge
+        // mutation can only change the egos named by `affected_egos`
+        // (endpoints + egos watching both ends); vertex and membership
+        // mutations change no ego view at all. Everything else is
+        // revalidated to the new version and keeps hitting.
+        let mut affected: Vec<u32> = Vec::new();
+        for mutation in &mutations[..outcome.applied] {
+            match *mutation {
+                Mutation::AddEdge { u, v } | Mutation::RemoveEdge { u, v } => {
+                    affected.extend(affected_egos(state.live.base(), state.live.overlay(), u, v));
+                }
+                _ => {}
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let mut suggest = shared.suggest.lock().expect("suggest cache lock");
+        invalidated += suggest.invalidate_egos(id, &affected);
+        suggest.revalidate(id, old_version, state.version);
     }
     if outcome.rejected.is_some() {
         ServeStats::bump(&shared.stats.mutations_rejected);

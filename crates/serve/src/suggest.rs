@@ -1,0 +1,246 @@
+//! [`SuggestCache`]: an LRU cache for served circle suggestions, with
+//! per-ego invalidation.
+//!
+//! `suggest_circles` is deterministic — `(snapshot graph, ego, seed,
+//! min_size, top)` always produces the same ranked candidates — so whole
+//! [`Suggestion`]s can be cached and replayed. Unlike score-cache entries,
+//! a suggestion does not go stale on *every* mutation: an edge mutation
+//! `{u, v}` can only change the suggestions of the egos named by
+//! [`circlekit_discover::affected_egos`] (the endpoints plus every ego
+//! watching both). The commit path therefore evicts exactly those egos'
+//! entries and *revalidates* the rest — their stored version is advanced
+//! to the post-commit version, so they keep hitting without recompute.
+//!
+//! Entries also carry the materialization version they were computed
+//! against, probed with compare-on-get exactly like [`crate::ScoreCache`]:
+//! a slow discovery job inserting after a commit lands with a superseded
+//! version and can never be served. Compaction does not bump the version
+//! (the composed graph is unchanged), so suggestions survive it — the
+//! CLI-vs-serve byte-equality CI check exercises that path.
+
+use crate::cache::CacheStats;
+use circlekit_discover::Suggestion;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Identifies one cached suggestion. Every parameter that changes the
+/// answer is part of the key.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SuggestKey {
+    /// Snapshot id the ego belongs to.
+    pub snapshot: String,
+    /// The ego queried.
+    pub ego: u32,
+    /// Root seed of the tie-break streams.
+    pub seed: u64,
+    /// Smallest candidate returned.
+    pub min_size: usize,
+    /// Ranked candidates returned (0 = all).
+    pub top: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    version: u64,
+    suggestion: Arc<Suggestion>,
+    stamp: u64,
+}
+
+/// Least-recently-used map from [`SuggestKey`] to a whole suggestion.
+#[derive(Debug)]
+pub struct SuggestCache {
+    capacity: usize,
+    entries: HashMap<SuggestKey, Entry>,
+    by_stamp: BTreeMap<u64, SuggestKey>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    invalidations: u64,
+}
+
+impl SuggestCache {
+    /// Creates a cache holding at most `capacity` suggestions. Capacity 0
+    /// disables caching.
+    pub fn new(capacity: usize) -> SuggestCache {
+        SuggestCache {
+            capacity,
+            entries: HashMap::new(),
+            by_stamp: BTreeMap::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+        }
+    }
+
+    /// Looks `key` up at `current_version`, refreshing recency on a hit.
+    /// An entry computed against a superseded version is purged (a slow
+    /// insert racing a commit) and reported as a miss.
+    pub fn get(&mut self, key: &SuggestKey, current_version: u64) -> Option<Arc<Suggestion>> {
+        match self.entries.get_mut(key) {
+            None => {
+                self.misses += 1;
+                None
+            }
+            Some(entry) if entry.version != current_version => {
+                let stamp = entry.stamp;
+                self.by_stamp.remove(&stamp).expect("stamp index in sync");
+                self.entries.remove(key);
+                self.invalidations += 1;
+                self.misses += 1;
+                None
+            }
+            Some(entry) => {
+                self.hits += 1;
+                let old = entry.stamp;
+                entry.stamp = self.next_stamp;
+                self.next_stamp += 1;
+                let suggestion = Arc::clone(&entry.suggestion);
+                let moved = self.by_stamp.remove(&old).expect("stamp index in sync");
+                self.by_stamp.insert(self.next_stamp - 1, moved);
+                Some(suggestion)
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key` as computed against `version`,
+    /// evicting the least recently used entry when full.
+    pub fn insert(&mut self, key: SuggestKey, version: u64, suggestion: Arc<Suggestion>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        if let Some(old) = self.entries.insert(key.clone(), Entry { version, suggestion, stamp })
+        {
+            self.by_stamp.remove(&old.stamp);
+        } else if self.entries.len() > self.capacity {
+            let (&oldest, _) = self.by_stamp.iter().next().expect("non-empty index");
+            let victim = self.by_stamp.remove(&oldest).expect("stamp index in sync");
+            self.entries.remove(&victim);
+            self.evictions += 1;
+        }
+        self.by_stamp.insert(stamp, key);
+    }
+
+    /// Purges every entry of `snapshot` whose ego appears in `egos`
+    /// (sorted ascending) — the commit-time invalidation scope of one
+    /// mutation batch. Returns how many entries were removed.
+    pub fn invalidate_egos(&mut self, snapshot: &str, egos: &[u32]) -> u64 {
+        let doomed: Vec<u64> = self
+            .by_stamp
+            .iter()
+            .filter(|(_, key)| key.snapshot == snapshot && egos.binary_search(&key.ego).is_ok())
+            .map(|(&stamp, _)| stamp)
+            .collect();
+        for stamp in &doomed {
+            let key = self.by_stamp.remove(stamp).expect("stamp index in sync");
+            self.entries.remove(&key);
+        }
+        self.invalidations += doomed.len() as u64;
+        doomed.len() as u64
+    }
+
+    /// Advances surviving entries of `snapshot` from `old_version` to
+    /// `new_version`: a commit that provably did not touch their egos must
+    /// not force a recompute. Entries at other (superseded) versions are
+    /// left behind to die on their next probe.
+    pub fn revalidate(&mut self, snapshot: &str, old_version: u64, new_version: u64) {
+        for (key, entry) in self.entries.iter_mut() {
+            if key.snapshot == snapshot && entry.version == old_version {
+                entry.version = new_version;
+            }
+        }
+    }
+
+    /// Current counters (same shape as the score cache's).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            invalidations: self.invalidations,
+            entries: self.entries.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circlekit_discover::Suggestion;
+
+    fn suggestion(ego: u32) -> Arc<Suggestion> {
+        Arc::new(Suggestion { ego, seed: 2014, alters: 0, candidates: Vec::new() })
+    }
+
+    fn key(ego: u32) -> SuggestKey {
+        SuggestKey { snapshot: "gp".to_string(), ego, seed: 2014, min_size: 3, top: 10 }
+    }
+
+    #[test]
+    fn hit_requires_matching_version() {
+        let mut cache = SuggestCache::new(4);
+        cache.insert(key(1), 0, suggestion(1));
+        assert!(cache.get(&key(1), 0).is_some());
+        assert!(cache.get(&key(1), 1).is_none(), "superseded version must miss");
+        assert!(cache.get(&key(1), 0).is_none(), "stale entry purged on probe");
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn per_ego_invalidation_spares_other_egos() {
+        let mut cache = SuggestCache::new(8);
+        for ego in [1, 2, 3] {
+            cache.insert(key(ego), 0, suggestion(ego));
+        }
+        assert_eq!(cache.invalidate_egos("gp", &[1, 3]), 2);
+        cache.revalidate("gp", 0, 1);
+        assert!(cache.get(&key(1), 1).is_none());
+        assert!(cache.get(&key(3), 1).is_none());
+        assert!(cache.get(&key(2), 1).is_some(), "untouched ego still hits after commit");
+    }
+
+    #[test]
+    fn revalidation_skips_superseded_entries() {
+        let mut cache = SuggestCache::new(8);
+        cache.insert(key(1), 0, suggestion(1));
+        // A slow job inserts against version 0 after version moved to 1.
+        cache.insert(key(2), 0, suggestion(2));
+        cache.revalidate("gp", 1, 2);
+        assert!(cache.get(&key(1), 2).is_none(), "version-0 entry never revalidates to 2");
+        assert!(cache.get(&key(2), 2).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_and_key_separation() {
+        let mut cache = SuggestCache::new(2);
+        cache.insert(key(1), 0, suggestion(1));
+        cache.insert(key(2), 0, suggestion(2));
+        assert!(cache.get(&key(1), 0).is_some());
+        cache.insert(key(3), 0, suggestion(3));
+        assert!(cache.get(&key(2), 0).is_none(), "LRU victim");
+        assert_eq!(cache.stats().evictions, 1);
+        // Different seed is a different key.
+        let reseeded = SuggestKey { seed: 7, ..key(1) };
+        assert!(cache.get(&reseeded, 0).is_none());
+    }
+
+    #[test]
+    fn invalidation_for_other_snapshot_is_inert() {
+        let mut cache = SuggestCache::new(4);
+        cache.insert(key(1), 0, suggestion(1));
+        assert_eq!(cache.invalidate_egos("lj", &[1]), 0);
+        assert!(cache.get(&key(1), 0).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = SuggestCache::new(0);
+        cache.insert(key(1), 0, suggestion(1));
+        assert!(cache.get(&key(1), 0).is_none());
+        assert_eq!(cache.stats().entries, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! `suggest_circles` through the serve layer: served suggestions are
+//! bit-identical to local discovery over the same graph, whole-suggestion
+//! caching works, and — the staleness contract — a committed mutation
+//! batch is *never* followed by a stale cached suggestion: touched egos
+//! recompute against the live overlay, untouched egos keep their cache
+//! entry across the version bump.
+
+use circlekit_discover::{discover, DiscoverConfig, EgoView};
+use circlekit_graph::NodeId;
+use circlekit_live::{LiveSnapshot, Mutation};
+use circlekit_serve::protocol::wire;
+use circlekit_serve::{Client, ServeConfig, Server, SnapshotRegistry};
+use circlekit_synth::presets;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde_json::Value;
+
+fn fixture() -> circlekit_synth::SynthDataset {
+    presets::google_plus().scaled(0.004).generate(&mut SmallRng::seed_from_u64(2014))
+}
+
+fn start_server() -> (Server, circlekit_synth::SynthDataset) {
+    let data = fixture();
+    let mut registry = SnapshotRegistry::new();
+    registry.insert("gplus", data.graph.clone(), data.groups.clone()).unwrap();
+    let server = Server::start(registry, ServeConfig::default(), ("127.0.0.1", 0)).unwrap();
+    (server, data)
+}
+
+fn get_u64(value: &Value, key: &str) -> u64 {
+    match wire::get(value, key) {
+        Some(Value::UInt(u)) => *u,
+        other => panic!("field {key:?}: {other:?}"),
+    }
+}
+
+fn get_bool(value: &Value, key: &str) -> bool {
+    match wire::get(value, key) {
+        Some(Value::Bool(b)) => *b,
+        other => panic!("field {key:?}: {other:?}"),
+    }
+}
+
+/// Flattens a response's candidates to `(members, conductance bits,
+/// average-degree bits)` so comparisons are bit-exact.
+fn candidates_of(response: &Value) -> Vec<(Vec<u32>, u64, u64)> {
+    let Some(Value::Seq(items)) = wire::get(response, "candidates") else {
+        panic!("missing candidates in {response:?}");
+    };
+    items
+        .iter()
+        .map(|item| {
+            let Some(Value::Seq(members)) = wire::get(item, "members") else {
+                panic!("missing members in {item:?}");
+            };
+            let members: Vec<u32> = members
+                .iter()
+                .map(|m| match m {
+                    Value::UInt(u) => *u as u32,
+                    other => panic!("member {other:?}"),
+                })
+                .collect();
+            let cond = wire::as_f64(wire::get(item, "conductance").unwrap()).unwrap();
+            let avg = wire::as_f64(wire::get(item, "average_degree").unwrap()).unwrap();
+            (members, cond.to_bits(), avg.to_bits())
+        })
+        .collect()
+}
+
+fn local_candidates(
+    graph: &circlekit_graph::Graph,
+    ego: NodeId,
+    seed: u64,
+) -> Vec<(Vec<u32>, u64, u64)> {
+    let config = DiscoverConfig { seed, ..DiscoverConfig::default() };
+    let suggestion = discover(&EgoView::from_graph(graph, ego), &config);
+    suggestion
+        .candidates
+        .iter()
+        .map(|c| {
+            (
+                c.members.as_slice().to_vec(),
+                c.conductance.to_bits(),
+                c.average_degree.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn busiest_ego(graph: &circlekit_graph::Graph) -> NodeId {
+    (0..graph.node_count() as NodeId)
+        .max_by_key(|&v| graph.out_neighbors(v).len())
+        .unwrap()
+}
+
+#[test]
+fn served_suggestions_match_local_discovery_and_cache() {
+    let (server, data) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let ego = busiest_ego(&data.graph);
+
+    let first = client.suggest_circles("gplus", ego, 2014, 3, 10).unwrap();
+    assert!(!get_bool(&first, "cached"));
+    assert_eq!(get_u64(&first, "version"), 0);
+    assert_eq!(candidates_of(&first), local_candidates(&data.graph, ego, 2014));
+
+    // Replay: whole suggestion served from cache, bit-identical.
+    let second = client.suggest_circles("gplus", ego, 2014, 3, 10).unwrap();
+    assert!(get_bool(&second, "cached"));
+    assert_eq!(candidates_of(&first), candidates_of(&second));
+
+    // A different seed is a different cache key and may rank differently.
+    let reseeded = client.suggest_circles("gplus", ego, 7, 3, 10).unwrap();
+    assert!(!get_bool(&reseeded, "cached"));
+    assert_eq!(candidates_of(&reseeded), local_candidates(&data.graph, ego, 7));
+
+    server.shutdown_handle().trigger();
+    server.join();
+}
+
+#[test]
+fn mutations_never_serve_a_stale_suggestion() {
+    let (server, data) = start_server();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let ego = busiest_ego(&data.graph);
+    let alters = data.graph.out_neighbors(ego).to_vec();
+    assert!(alters.len() >= 2, "fixture ego too small");
+
+    // Warm the cache for the target ego and for a bystander whose
+    // neighbourhood the mutation does not touch.
+    let warm = client.suggest_circles("gplus", ego, 2014, 3, 10).unwrap();
+    assert!(!get_bool(&warm, "cached"));
+    let bystander = (0..data.graph.node_count() as u32)
+        .find(|&v| {
+            v != ego
+                && !alters.contains(&v)
+                && data.graph.out_neighbors(v).iter().all(|w| *w != ego)
+                && !data.graph.out_neighbors(v).iter().any(|w| alters.contains(w))
+        })
+        .expect("no isolated bystander in fixture");
+    client.suggest_circles("gplus", bystander, 2014, 3, 10).unwrap();
+
+    // Toggle an edge between two of the ego's alters: the ego's induced
+    // subgraph changes while its alter list stays put.
+    let (a, b) = (alters[0], alters[1]);
+    let mut batch = vec![Mutation::AddEdge { u: a, v: b }];
+    let mut response = client.apply_mutations("gplus", &batch).unwrap();
+    if get_u64(&response, "applied") == 0 {
+        batch = vec![Mutation::RemoveEdge { u: a, v: b }];
+        response = client.apply_mutations("gplus", &batch).unwrap();
+    }
+    assert_eq!(get_u64(&response, "applied"), 1, "{response}");
+
+    // Mirror the commit offline: the expected answer is from-scratch
+    // discovery over the materialized mutated graph.
+    let mut mirror = LiveSnapshot::in_memory(data.graph.clone(), data.groups.clone());
+    mirror.apply(&batch).unwrap();
+    let materialized = mirror.materialize();
+
+    let after = client.suggest_circles("gplus", ego, 2014, 3, 10).unwrap();
+    assert!(!get_bool(&after, "cached"), "touched ego must recompute");
+    assert_eq!(get_u64(&after, "version"), 1);
+    assert_eq!(candidates_of(&after), local_candidates(&materialized, ego, 2014));
+
+    // The bystander's entry survives the commit (revalidated, not
+    // evicted) — and still matches from-scratch discovery.
+    let bystander_after = client.suggest_circles("gplus", bystander, 2014, 3, 10).unwrap();
+    assert!(get_bool(&bystander_after, "cached"), "untouched ego must keep its entry");
+    assert_eq!(get_u64(&bystander_after, "version"), 1);
+    assert_eq!(
+        candidates_of(&bystander_after),
+        local_candidates(&materialized, bystander, 2014)
+    );
+
+    // A pure vertex addition touches no ego view: everything stays cached.
+    let grow = client.apply_mutations("gplus", &[Mutation::AddVertex]).unwrap();
+    assert_eq!(get_u64(&grow, "applied"), 1);
+    let still = client.suggest_circles("gplus", ego, 2014, 3, 10).unwrap();
+    assert!(get_bool(&still, "cached"), "vertex add must not evict suggestions");
+    assert_eq!(get_u64(&still, "version"), 2);
+    assert_eq!(candidates_of(&still), candidates_of(&after));
+
+    server.shutdown_handle().trigger();
+    server.join();
+}
