@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--connections N] [--requests N] [--scale F] [--workers N]
 //!         [--addr HOST:PORT] [--snapshot FILE.cks] [--out FILE.json]
-//!         [--kill-replica] [--mix]
+//!         [--kill-replica] [--mix] [--shards N]
 //! ```
 //!
 //! Drives `--connections` concurrent clients, each issuing `--requests`
@@ -33,6 +33,14 @@
 //! `serve_loadgen_failover` row is *appended* to the report file
 //! (JSON lines), leaving the plain `serve_loadgen` row in place.
 //!
+//! `--shards N` runs the sharded-cluster drill: the fixture is split
+//! into `N` halo sub-snapshots served by `N` in-process shard daemons
+//! behind a coordinator, and the same workload is driven twice — once
+//! against a single-node server and once through the coordinator — so
+//! the `serve_loadgen_shard` row records the scatter-gather overhead
+//! directly. The gates are zero failed requests and a coordinator p99
+//! overhead under 50 ms over the single-node p99.
+//!
 //! In plain mode the process exits non-zero if *any* request fails —
 //! the acceptance bar for the serve subsystem is zero failed requests
 //! under ≥ 8 concurrent connections.
@@ -57,6 +65,7 @@ struct Options {
     out: Option<String>,
     kill_replica: bool,
     mix: bool,
+    shards: Option<usize>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -70,6 +79,7 @@ fn parse_options() -> Result<Options, String> {
         out: None,
         kill_replica: false,
         mix: false,
+        shards: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -96,6 +106,9 @@ fn parse_options() -> Result<Options, String> {
             "--out" => opts.out = Some(value("--out")?),
             "--kill-replica" => opts.kill_replica = true,
             "--mix" => opts.mix = true,
+            "--shards" => {
+                opts.shards = Some(circlekit::shard::parse_shard_count(&value("--shards")?)?)
+            }
             other => return Err(format!("unknown argument {other:?}")),
         }
     }
@@ -314,6 +327,9 @@ fn run() -> Result<(), String> {
     }
     if opts.mix {
         return run_mix(&opts);
+    }
+    if opts.shards.is_some() {
+        return run_shards(&opts);
     }
 
     // Either attach to an external daemon or host one in-process.
@@ -588,6 +604,173 @@ fn run_mix(opts: &Options) -> Result<(), String> {
     }
     if !failures.is_empty() {
         return Err(format!("{} of {total} requests failed", failures.len()));
+    }
+    Ok(())
+}
+
+/// The `--shards N` drill: the fixture split into `N` halo
+/// sub-snapshots behind `N` in-process shard daemons and a coordinator,
+/// with the identical workload also driven against a single-node server
+/// so the row records the coordinator's scatter-gather overhead. Gates:
+/// zero failures and coordinator p99 within [`SHARD_OVERHEAD_BUDGET_US`]
+/// of the single-node p99. Writes a `serve_loadgen_shard` row that
+/// replaces only itself.
+fn run_shards(opts: &Options) -> Result<(), String> {
+    const SHARD_OVERHEAD_BUDGET_US: u64 = 50_000;
+    if opts.addr.is_some() || opts.snapshot.is_some() {
+        return Err("--shards hosts its own cluster; drop --addr/--snapshot".to_string());
+    }
+    let shard_count = opts.shards.expect("mode guard");
+    let shard_count =
+        u32::try_from(shard_count).map_err(|_| format!("--shards {shard_count} is too large"))?;
+    let dir = std::env::temp_dir().join(format!("circlekit-loadgen-shard-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let data = gplus(opts.scale);
+    let group_count = data.groups.len();
+    if group_count == 0 {
+        return Err("the fixture has no groups to score".to_string());
+    }
+    let median = circlekit::scoring::Scorer::new(&data.graph).median_degree();
+
+    // Pack and boot the shard fleet, then the coordinator in front.
+    let mut shard_servers = Vec::new();
+    let mut shard_addrs = Vec::new();
+    for index in 0..shard_count {
+        let path = dir.join(format!("loadgen.shard{index}.cks"));
+        let manifest =
+            circlekit::shard::manifest_for(&data.graph, median, 0, shard_count, index);
+        let sub = circlekit::shard::shard_graph(&data.graph, shard_count, index);
+        circlekit::store::save_shard_snapshot(&path, &sub, &data.groups, &manifest)
+            .map_err(|e| format!("packing shard {index}: {e}"))?;
+        let mut registry = SnapshotRegistry::new();
+        registry.load(&path.to_string_lossy(), None)?;
+        let config = ServeConfig { workers: opts.workers, ..ServeConfig::default() };
+        let server = Server::start(registry, config, ("127.0.0.1", 0))
+            .map_err(|e| format!("starting shard {index}: {e}"))?;
+        shard_addrs.push(server.local_addr().to_string());
+        shard_servers.push(server);
+    }
+    let coordinator = Server::start(
+        SnapshotRegistry::new(),
+        ServeConfig {
+            coordinator: Some(circlekit_serve::CoordinatorConfig::new(shard_addrs.clone())),
+            ..ServeConfig::default()
+        },
+        ("127.0.0.1", 0),
+    )
+    .map_err(|e| format!("starting coordinator: {e}"))?;
+    let coord_addr = coordinator.local_addr().to_string();
+
+    // The single-node reference serving the unsplit fixture.
+    let mut registry = SnapshotRegistry::new();
+    registry.insert("loadgen", data.graph.clone(), data.groups.clone())?;
+    let single = Server::start(
+        registry,
+        ServeConfig { workers: opts.workers, ..ServeConfig::default() },
+        ("127.0.0.1", 0),
+    )
+    .map_err(|e| format!("starting single-node server: {e}"))?;
+    let single_addr = single.local_addr().to_string();
+
+    println!(
+        "loadgen --shards {shard_count}: {} connections x {} requests over {} groups, \
+         coordinator {coord_addr} vs single node {single_addr}",
+        opts.connections, opts.requests, group_count
+    );
+    let drive = |addr: &str| -> (Vec<u64>, Vec<(&'static str, String)>, Duration) {
+        let started = Instant::now();
+        let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+            let requests = opts.requests;
+            let handles: Vec<_> = (0..opts.connections)
+                .map(|conn| {
+                    scope.spawn(move || {
+                        drive_connection(addr, "loadgen", conn, requests, group_count)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("connection thread")).collect()
+        });
+        let wall = started.elapsed();
+        let mut latencies: Vec<u64> =
+            reports.iter().flat_map(|r| r.latencies_us.iter().copied()).collect();
+        latencies.sort_unstable();
+        let failures = reports.into_iter().flat_map(|r| r.failures).collect();
+        (latencies, failures, wall)
+    };
+    let (single_lat, single_failures, _) = drive(&single_addr);
+    let (coord_lat, coord_failures, wall) = drive(&coord_addr);
+
+    for server in shard_servers.into_iter().chain([coordinator, single]) {
+        server.shutdown_handle().trigger();
+        server.join();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total = opts.connections * opts.requests;
+    let ok = coord_lat.len();
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let failures: Vec<(&'static str, String)> =
+        single_failures.into_iter().chain(coord_failures).collect();
+    let failure_refs: Vec<&(&'static str, String)> = failures.iter().collect();
+    let (coord_p99, single_p99) = (percentile(&coord_lat, 99.0), percentile(&single_lat, 99.0));
+    let overhead_p99 = coord_p99.saturating_sub(single_p99);
+
+    let latency_of = |sorted: &[u64]| {
+        serde_json::json!({
+            "p50": percentile(sorted, 50.0),
+            "p90": percentile(sorted, 90.0),
+            "p99": percentile(sorted, 99.0),
+            "max": sorted.last().copied().unwrap_or(0),
+        })
+    };
+    let report = serde_json::Value::Map(vec![
+        ("bench".to_string(), serde_json::json!("serve_loadgen_shard")),
+        ("shards".to_string(), serde_json::json!(shard_count)),
+        ("connections".to_string(), serde_json::json!(opts.connections)),
+        ("requests_per_connection".to_string(), serde_json::json!(opts.requests)),
+        ("total_requests".to_string(), serde_json::json!(total)),
+        ("failed_requests".to_string(), serde_json::json!(failures.len())),
+        ("failures".to_string(), failure_fields(&failure_refs)),
+        ("availability".to_string(), serde_json::json!(ok as f64 / total as f64)),
+        ("wall_ms".to_string(), serde_json::json!(wall.as_millis() as u64)),
+        ("throughput_rps".to_string(), serde_json::json!(throughput)),
+        ("latency_us".to_string(), latency_of(&coord_lat)),
+        ("single_node_latency_us".to_string(), latency_of(&single_lat)),
+        ("coordinator_overhead_p99_us".to_string(), serde_json::json!(overhead_p99)),
+        (
+            "coordinator_overhead_budget_us".to_string(),
+            serde_json::json!(SHARD_OVERHEAD_BUDGET_US),
+        ),
+    ]);
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    let default_out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let out_path = opts.out.as_deref().map(Path::new).unwrap_or(&default_out);
+    let kept: String = std::fs::read_to_string(out_path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|line| !line.contains("\"bench\":\"serve_loadgen_shard\""))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    std::fs::write(out_path, kept + &json + "\n")
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+
+    println!(
+        "{ok}/{total} ok through the coordinator in {:.2}s ({throughput:.0} req/s)   \
+         p99 {coord_p99}us vs single-node {single_p99}us (overhead {overhead_p99}us)",
+        wall.as_secs_f64()
+    );
+    println!("wrote {}", out_path.display());
+    for (category, detail) in failure_refs.iter().map(|f| (f.0, &f.1)) {
+        eprintln!("FAILED [{category}]: {detail}");
+    }
+    if !failures.is_empty() {
+        return Err(format!("{} of {} requests failed", failures.len(), 2 * total));
+    }
+    if overhead_p99 > SHARD_OVERHEAD_BUDGET_US {
+        return Err(format!(
+            "coordinator p99 overhead {overhead_p99}us exceeds the \
+             {SHARD_OVERHEAD_BUDGET_US}us budget"
+        ));
     }
     Ok(())
 }

@@ -15,13 +15,15 @@ use circlekit::live::{wal_path_for, CrashPoint, LiveSnapshot, Mutation};
 use circlekit::metrics::{DegreeKind, DegreeStats};
 use circlekit::render::render_score_table;
 use circlekit::scoring::{parse_thread_count, Scorer, ScoringFunction};
+use circlekit::shard::{manifest_for, parse_shard_count, shard_graph};
 use circlekit::statfit::analyze_tail;
 use circlekit::store::{
-    file_is_snapshot, file_snapshot_format, save_cks2_snapshot, save_snapshot, section_infos,
-    stream_pack_cks2, Cks2PackOptions, MappedSnapshot, SnapshotFormat, StreamPackOptions,
+    crc32, file_is_snapshot, file_snapshot_format, save_cks2_snapshot, save_shard_snapshot,
+    save_snapshot, section_infos, stream_pack_cks2, write_snapshot, Cks2PackOptions,
+    MappedSnapshot, SnapshotFormat, StreamPackOptions,
 };
 use circlekit::synth::{presets, GroupKind, SynthDataset};
-use circlekit_serve::{Client, ServeConfig, Server, SnapshotRegistry};
+use circlekit_serve::{Client, CoordinatorConfig, ServeConfig, Server, SnapshotRegistry};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
@@ -63,7 +65,8 @@ fn usage() -> String {
      circlekit synth ego-circles <google+|twitter> [--scale F] [--seed N] --edges FILE\n                         \
      [--groups FILE] [--owners FILE]\n  \
      circlekit pack         --edges FILE [--groups FILE] [--undirected] --out FILE.cks [--force]\n                         \
-     [--format cks1|cks2] [--stream] [--memory-budget-mb N]\n  \
+     [--format cks1|cks2] [--stream] [--memory-budget-mb N]\n                         \
+     [--shards N [--shard-index I]]\n  \
      circlekit inspect      --snapshot FILE.cks [--json]\n  \
      circlekit live apply   --snapshot FILE.cks --script FILE\n  \
      circlekit live scores  --snapshot FILE.cks\n  \
@@ -71,6 +74,8 @@ fn usage() -> String {
      circlekit serve        --snapshot FILE.cks [--snapshot FILE2.cks ...] [--listen ADDR]\n                         \
      [--threads N] [--workers N] [--queue N] [--batch N] [--cache N]\n                         \
      [--replica-of HOST:PORT] [--repl-crash-point POINT]\n  \
+     circlekit serve        --coordinator --shards HOST:PORT,HOST:PORT,... [--listen ADDR]\n                         \
+     [--shard-count N] [--shard-deadline-ms MS]\n  \
      circlekit query        --addr HOST:PORT [--timeout-ms N] <health|stats|list-snapshots|repl-status|shutdown>\n  \
      circlekit query        --addr HOST:PORT <list-groups|score-table> --snapshot ID [--all]\n  \
      circlekit query        --addr HOST:PORT score-group --snapshot ID --group N [--all] [--deadline-ms N]\n  \
@@ -87,7 +92,9 @@ fn usage() -> String {
      and, when packed with --groups, their group collections, so score\n  \
      can run from a single .cks file; pack --format cks2 writes the\n  \
      compressed format and --stream packs straight from the edge file\n  \
-     in bounded memory\n\
+     in bounded memory; pack --shards N splits a CKS1 snapshot into N\n  \
+     halo sub-snapshots (FILE.shardI.cks) served by shard processes\n  \
+     behind serve --coordinator\n\
      \n\
      every command that reads text files accepts --on-error fail|skip|report:\n  \
      fail (default) aborts on the first malformed line, skip drops bad\n  \
@@ -603,8 +610,24 @@ fn pack(args: &[String]) -> Result<String, String> {
     if flags.has("stream") && format != SnapshotFormat::Cks2 {
         return Err("--stream requires --format cks2".to_string());
     }
+    let shard_count = flags.get("shards").map(parse_shard_count).transpose()?;
+    if shard_count.is_some() {
+        if format != SnapshotFormat::Cks1 {
+            return Err(
+                "--shards requires --format cks1 (the shard manifest is a CKS1 section)"
+                    .to_string(),
+            );
+        }
+        if flags.has("stream") {
+            return Err("--shards cannot stream; drop --stream".to_string());
+        }
+    } else if flags.get("shard-index").is_some() {
+        return Err("--shard-index needs --shards N".to_string());
+    }
     let out_path = flags.required("out")?;
-    if !flags.has("force") && fs::metadata(out_path).is_ok() {
+    // In shard mode `--out` only names the family; the per-shard paths
+    // derived from it carry their own overwrite checks.
+    if shard_count.is_none() && !flags.has("force") && fs::metadata(out_path).is_ok() {
         return Err(format!(
             "{out_path} already exists; pass --force to overwrite it"
         ));
@@ -668,6 +691,9 @@ fn pack(args: &[String]) -> Result<String, String> {
             groups
         }
     };
+    if let Some(count) = shard_count {
+        return pack_shards(&flags, notes, &loaded.graph, &groups, count, out_path);
+    }
     let bytes = match format {
         SnapshotFormat::Cks1 => save_snapshot(out_path, &loaded.graph, &groups),
         SnapshotFormat::Cks2 => save_cks2_snapshot(
@@ -690,6 +716,77 @@ fn pack(args: &[String]) -> Result<String, String> {
     Ok(out)
 }
 
+/// `pack --shards N [--shard-index I]`: emits halo sub-snapshots
+/// `<out>.shardI.cks`, every group collection included, each carrying a
+/// shard manifest that binds it to the parent (count, index, parent
+/// dimensions and median degree, and the CRC-32 of the parent's own
+/// CKS1 image) so a coordinator refuses mismatched shard sets.
+fn pack_shards(
+    flags: &Flags<'_>,
+    notes: String,
+    graph: &Graph,
+    groups: &[VertexSet],
+    count: usize,
+    out_path: &str,
+) -> Result<String, String> {
+    let count = u32::try_from(count).map_err(|_| format!("--shards {count} is too large"))?;
+    let indices: Vec<u32> = match flags.get("shard-index") {
+        None => (0..count).collect(),
+        Some(value) => {
+            let index: u32 = value
+                .parse()
+                .map_err(|_| format!("bad --shard-index {value:?}"))?;
+            if index >= count {
+                return Err(format!(
+                    "--shard-index {index} is out of range for --shards {count}"
+                ));
+            }
+            vec![index]
+        }
+    };
+    // The parent CRC is taken over the parent's canonical CKS1 image,
+    // so it equals `crc32` of the file a plain `pack` of the same input
+    // would write — shards stay comparable to the parent snapshot.
+    let mut parent_image = Vec::new();
+    write_snapshot(graph, groups, &mut parent_image)
+        .map_err(|e| format!("packing the parent image: {e}"))?;
+    let parent_crc = crc32(&parent_image);
+    let median = Scorer::new(graph).median_degree();
+    let mut out = notes;
+    let _ = writeln!(
+        out,
+        "sharding {} nodes, {} edges, {} groups {count} ways (parent crc32 {parent_crc:#010x})",
+        graph.node_count(),
+        graph.edge_count(),
+        groups.len(),
+    );
+    for index in indices {
+        let path = shard_out_path(out_path, index);
+        if !flags.has("force") && fs::metadata(&path).is_ok() {
+            return Err(format!("{path} already exists; pass --force to overwrite it"));
+        }
+        let manifest = manifest_for(graph, median, parent_crc, count, index);
+        let sub = shard_graph(graph, count, index);
+        let bytes = save_shard_snapshot(&path, &sub, groups, &manifest)
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "shard {index}/{count}: {} halo edges into {path} ({bytes} bytes)",
+            sub.edge_count(),
+        );
+    }
+    Ok(out)
+}
+
+/// `web.cks` → `web.shard3.cks`; extensionless paths get the suffix
+/// appended so the shard id is never lost.
+fn shard_out_path(out_path: &str, index: u32) -> String {
+    match out_path.strip_suffix(".cks") {
+        Some(base) => format!("{base}.shard{index}.cks"),
+        None => format!("{out_path}.shard{index}"),
+    }
+}
+
 fn inspect(args: &[String]) -> Result<String, String> {
     let flags = Flags::parse(args, &["json"])?;
     let path = flags.required("snapshot")?;
@@ -710,6 +807,11 @@ fn inspect(args: &[String]) -> Result<String, String> {
         wide: Option<bool>,
         compressed_adjacency_bytes: Option<u64>,
     }
+    // Only CKS1 snapshots can carry a shard manifest.
+    let shard = match format {
+        SnapshotFormat::Cks1 => mapped.shard_manifest().map_err(|e| format!("{path}: {e}"))?,
+        SnapshotFormat::Cks2 => None,
+    };
     let stats = match format {
         SnapshotFormat::Cks1 => {
             let view = mapped.view().map_err(|e| format!("{path}: {e}"))?;
@@ -765,6 +867,19 @@ fn inspect(args: &[String]) -> Result<String, String> {
         }
         if let Some(compressed) = stats.compressed_adjacency_bytes {
             fields.push(field("compressed_adjacency_bytes", Value::UInt(compressed)));
+        }
+        if let Some(m) = shard {
+            fields.push(field(
+                "shard",
+                Value::Map(vec![
+                    field("count", Value::UInt(u64::from(m.shard_count))),
+                    field("index", Value::UInt(u64::from(m.shard_index))),
+                    field("parent_nodes", Value::UInt(m.parent_node_count)),
+                    field("parent_edges", Value::UInt(m.parent_edge_count)),
+                    field("parent_median_degree", Value::Float(m.parent_median_degree)),
+                    field("parent_crc32", Value::UInt(u64::from(m.parent_crc32))),
+                ]),
+            ));
         }
         fields.push(field("wal", Value::Bool(wal_path_for(path.as_ref()).exists())));
         fields.push(field(
@@ -838,6 +953,14 @@ fn inspect(args: &[String]) -> Result<String, String> {
             "adjacency bytes   {} ({:.3} bytes/arc)",
             compressed,
             if stats.arcs == 0 { 0.0 } else { compressed as f64 / stats.arcs as f64 }
+        );
+    }
+    if let Some(m) = shard {
+        let _ = writeln!(out, "shard             {} of {}", m.shard_index, m.shard_count);
+        let _ = writeln!(
+            out,
+            "parent            {} nodes, {} edges, median degree {}, crc32 {:#010x}",
+            m.parent_node_count, m.parent_edge_count, m.parent_median_degree, m.parent_crc32
         );
     }
     Ok(out)
@@ -927,15 +1050,53 @@ fn live_cmd(args: &[String]) -> Result<String, String> {
 
 /// Starts the scoring daemon and blocks until it drains (SIGINT,
 /// SIGTERM, or a `shutdown` request). With `--replica-of ADDR` the
-/// daemon serves reads only and tails the primary's WAL. The listening
-/// address is printed to stdout immediately so scripts can connect; the
-/// returned string summarises the run after shutdown.
+/// daemon serves reads only and tails the primary's WAL. With
+/// `--coordinator --shards a,b,c` it serves no local snapshots at all:
+/// it scatter-gathers partial statistics from the listed shard daemons
+/// and answers scoring ops with the exact global reduction. The
+/// listening address is printed to stdout immediately so scripts can
+/// connect; the returned string summarises the run after shutdown.
 fn serve(args: &[String]) -> Result<String, String> {
-    let flags = Flags::parse(args, &["debug-ops"])?;
+    let flags = Flags::parse(args, &["debug-ops", "coordinator"])?;
     let snapshots = flags.all("snapshot");
-    if snapshots.is_empty() {
-        return Err("serve needs at least one --snapshot FILE.cks".to_string());
-    }
+    let coordinator = if flags.has("coordinator") {
+        if !snapshots.is_empty() {
+            return Err(
+                "a coordinator serves no local snapshots; drop --snapshot".to_string()
+            );
+        }
+        let entries: Vec<String> = flags
+            .required("shards")?
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .collect();
+        if entries.iter().any(String::is_empty) {
+            return Err("--shards has a blank endpoint entry".to_string());
+        }
+        // `--shard-count` declares the intended topology size so a
+        // truncated endpoint list is refused before connecting at all.
+        if let Some(value) = flags.get("shard-count") {
+            let want = parse_shard_count(value)?;
+            if want != entries.len() {
+                return Err(format!(
+                    "--shard-count {want} but --shards lists {} endpoints",
+                    entries.len()
+                ));
+            }
+        }
+        let mut config = CoordinatorConfig::new(entries);
+        config.shard_deadline_ms =
+            flags.parse_value("shard-deadline-ms", config.shard_deadline_ms)?;
+        Some(config)
+    } else {
+        if snapshots.is_empty() {
+            return Err("serve needs at least one --snapshot FILE.cks".to_string());
+        }
+        if flags.get("shards").is_some() || flags.get("shard-count").is_some() {
+            return Err("--shards needs --coordinator".to_string());
+        }
+        None
+    };
     let mut registry = SnapshotRegistry::new();
     for path in snapshots {
         registry.load(path, None)?;
@@ -962,6 +1123,7 @@ fn serve(args: &[String]) -> Result<String, String> {
         replica_of: flags.get("replica-of").map(str::to_string),
         repl_crash_point,
         fault: circlekit_serve::FaultPlan::default(),
+        coordinator,
     };
     circlekit_serve::signal::install_termination_handlers();
     let listen = flags.get("listen").unwrap_or("127.0.0.1:7450");
@@ -1809,6 +1971,192 @@ mod tests {
         dispatch(&args(&["query", "--addr", &addr, "shutdown"])).expect("shutdown succeeds");
         let summary = server.join().unwrap().expect("serve exits cleanly");
         assert!(summary.contains("served"), "{summary}");
+    }
+
+    #[test]
+    fn pack_shards_emits_inspectable_sub_snapshots() {
+        let edges = tmp("sh.edges");
+        let groups = tmp("sh.circles");
+        let snap = tmp("sh.cks");
+        for i in 0..2u32 {
+            let _ = fs::remove_file(tmp(&format!("sh.shard{i}.cks")));
+        }
+        dispatch(&args(&[
+            "generate", "google+", "--scale", "0.003", "--seed", "11",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        let out = dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap, "--shards", "2",
+        ]))
+        .expect("pack --shards succeeds");
+        assert!(out.contains("sharding"), "{out}");
+        assert!(out.contains("shard 0/2"), "{out}");
+        assert!(out.contains("shard 1/2"), "{out}");
+
+        // The parent CRC in the manifest is the CRC of the parent's own
+        // CKS1 image, so packing the parent reproduces it.
+        dispatch(&args(&["pack", "--edges", &edges, "--groups", &groups, "--out", &snap]))
+            .expect("parent pack succeeds");
+        let parent_crc =
+            circlekit::store::file_crc32(snap.as_ref()).expect("parent snapshot readable");
+
+        let shard0 = snap.replace(".cks", ".shard0.cks");
+        let text = dispatch(&args(&["inspect", "--snapshot", &shard0]))
+            .expect("inspect succeeds");
+        assert!(text.contains("shard             0 of 2"), "{text}");
+        assert!(text.contains(&format!("crc32 {parent_crc:#010x}")), "{text}");
+
+        let json = dispatch(&args(&["inspect", "--snapshot", &shard0, "--json"]))
+            .expect("inspect --json succeeds");
+        let value: serde_json::Value = serde_json::from_str(json.trim()).expect("valid JSON");
+        let Some(shard) = circlekit_serve::protocol::wire::get(&value, "shard") else {
+            panic!("shard manifest missing from {json}");
+        };
+        let get = |k| circlekit_serve::protocol::wire::get(shard, k);
+        assert_eq!(get("count"), Some(&serde_json::Value::UInt(2)));
+        assert_eq!(get("index"), Some(&serde_json::Value::UInt(0)));
+        assert_eq!(
+            get("parent_crc32"),
+            Some(&serde_json::Value::UInt(u64::from(parent_crc)))
+        );
+        assert!(get("parent_nodes").is_some(), "{json}");
+        assert!(get("parent_edges").is_some(), "{json}");
+        assert!(get("parent_median_degree").is_some(), "{json}");
+        // A plain snapshot reports no shard field at all.
+        let json = dispatch(&args(&["inspect", "--snapshot", &snap, "--json"]))
+            .expect("inspect succeeds");
+        assert!(!json.contains("\"shard\""), "{json}");
+
+        // Shard packing is CKS1-only and the index must be in range.
+        let err = dispatch(&args(&[
+            "pack", "--edges", &edges, "--out", &snap, "--shards", "2", "--format", "cks2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("cks1"), "{err}");
+        let err = dispatch(&args(&[
+            "pack", "--edges", &edges, "--out", &snap, "--shards", "2", "--shard-index", "2",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn shard_count_validation_is_uniform_across_commands() {
+        let edges = tmp("sv.edges");
+        fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+        let out = tmp("sv.cks");
+        // Both front ends reject 0 and garbage with the shared parser's
+        // messages (loadgen shares the same parser by construction).
+        let pack_zero = dispatch(&args(&[
+            "pack", "--edges", &edges, "--out", &out, "--shards", "0",
+        ]))
+        .unwrap_err();
+        let serve_zero = dispatch(&args(&[
+            "serve", "--coordinator", "--shards", "127.0.0.1:1", "--shard-count", "0",
+        ]))
+        .unwrap_err();
+        assert!(pack_zero.contains("at least 1"), "{pack_zero}");
+        assert_eq!(pack_zero, serve_zero);
+        let pack_garbage = dispatch(&args(&[
+            "pack", "--edges", &edges, "--out", &out, "--shards", "many",
+        ]))
+        .unwrap_err();
+        let serve_garbage = dispatch(&args(&[
+            "serve", "--coordinator", "--shards", "127.0.0.1:1", "--shard-count", "many",
+        ]))
+        .unwrap_err();
+        assert!(pack_garbage.contains("positive integer"), "{pack_garbage}");
+        assert_eq!(pack_garbage, serve_garbage);
+        // And the count must match the endpoint list before connecting.
+        let err = dispatch(&args(&[
+            "serve", "--coordinator", "--shards", "127.0.0.1:1", "--shard-count", "3",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--shard-count 3 but --shards lists 1"), "{err}");
+    }
+
+    #[test]
+    fn coordinator_score_table_matches_offline_and_reports_shard_rows() {
+        let edges = tmp("co.edges");
+        let groups = tmp("co.circles");
+        let snap = tmp("co.cks");
+        for i in 0..2u32 {
+            let _ = fs::remove_file(tmp(&format!("co.shard{i}.cks")));
+        }
+        dispatch(&args(&[
+            "generate", "google+", "--scale", "0.003", "--seed", "23",
+            "--edges", &edges, "--groups", &groups,
+        ]))
+        .expect("generate succeeds");
+        dispatch(&args(&["pack", "--edges", &edges, "--groups", &groups, "--out", &snap]))
+            .expect("pack succeeds");
+        dispatch(&args(&[
+            "pack", "--edges", &edges, "--groups", &groups, "--out", &snap, "--shards", "2",
+        ]))
+        .expect("pack --shards succeeds");
+        let offline = dispatch(&args(&["score", "--edges", &snap, "--all"]))
+            .expect("offline score succeeds");
+
+        // Reserve three ephemeral ports: two shard daemons + coordinator.
+        let port = |_: usize| {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let shard_addrs: Vec<String> =
+            (0..2).map(|i| format!("127.0.0.1:{}", port(i))).collect();
+        let coord_addr = format!("127.0.0.1:{}", port(2));
+        let shard_servers: Vec<_> = (0..2)
+            .map(|i| {
+                let path = snap.replace(".cks", &format!(".shard{i}.cks"));
+                let addr = shard_addrs[i].clone();
+                std::thread::spawn(move || {
+                    dispatch(&args(&["serve", "--snapshot", &path, "--listen", &addr]))
+                })
+            })
+            .collect();
+        for addr in &shard_addrs {
+            dispatch(&args(&["query", "--addr", addr, "health"])).expect("shard healthy");
+        }
+        let coordinator = {
+            let shards = shard_addrs.join(",");
+            let addr = coord_addr.clone();
+            std::thread::spawn(move || {
+                dispatch(&args(&[
+                    "serve", "--coordinator", "--shards", &shards, "--shard-count", "2",
+                    "--listen", &addr,
+                ]))
+            })
+        };
+        dispatch(&args(&["query", "--addr", &coord_addr, "health"]))
+            .expect("coordinator healthy");
+
+        let served = dispatch(&args(&[
+            "query", "--addr", &coord_addr, "score-table", "--snapshot", "co", "--all",
+        ]))
+        .expect("query succeeds");
+        assert_eq!(
+            offline, served,
+            "coordinator table must match the offline command byte-for-byte"
+        );
+
+        // `query stats` against a coordinator carries per-shard rows.
+        let stats = dispatch(&args(&["query", "--addr", &coord_addr, "stats"]))
+            .expect("stats succeeds");
+        assert!(stats.contains("\"shards\":[{\"shard\":0,"), "{stats}");
+        assert!(stats.contains("\"last_error\":null"), "{stats}");
+        let status = dispatch(&args(&["query", "--addr", &coord_addr, "repl-status"]))
+            .expect("repl-status succeeds");
+        assert!(status.contains("\"role\":\"coordinator\""), "{status}");
+
+        dispatch(&args(&["query", "--addr", &coord_addr, "shutdown"]))
+            .expect("coordinator shutdown");
+        coordinator.join().unwrap().expect("coordinator exits cleanly");
+        for (i, server) in shard_servers.into_iter().enumerate() {
+            dispatch(&args(&["query", "--addr", &shard_addrs[i], "shutdown"]))
+                .expect("shard shutdown");
+            server.join().unwrap().expect("shard exits cleanly");
+        }
     }
 
     #[test]

@@ -43,6 +43,7 @@
 //! | [`discover`] | `circlekit-discover` | Seeded circle discovery over ego networks |
 //! | [`store`] | `circlekit-store` | CKS1 binary snapshots, zero-copy loads |
 //! | [`live`] | `circlekit-live` | WAL-backed mutations, incremental scores |
+//! | [`shard`] | `circlekit-shard` | vertex partitioning, exact partial-stats reduction |
 //! | [`experiments`] | this crate | one driver per table/figure |
 
 #![forbid(unsafe_code)]
@@ -56,6 +57,7 @@ pub use circlekit_metrics as metrics;
 pub use circlekit_nullmodel as nullmodel;
 pub use circlekit_sampling as sampling;
 pub use circlekit_scoring as scoring;
+pub use circlekit_shard as shard;
 pub use circlekit_statfit as statfit;
 pub use circlekit_store as store;
 pub use circlekit_stats as stats;

@@ -36,6 +36,13 @@
 //! * **Failover** ([`failover`]): a multi-endpoint client that health-
 //!   probes, retries with jittered exponential backoff, and fails reads
 //!   over to replicas while writes fail fast without a primary.
+//! * **Sharding** ([`coordinator`]): a stateless coordinator scatter-
+//!   gathers raw partial statistics (`shard_stats`) from a fleet of
+//!   vertex-partitioned shard processes and reduces them to the exact
+//!   global `SetStats`, answering the ordinary scoring ops bit-
+//!   identically to a single-node server; a shard that cannot answer
+//!   turns the request into a typed `shard-unavailable` refusal, never
+//!   a silently partial score.
 //!
 //! [`ParallelScorer`]: circlekit_scoring::ParallelScorer
 
@@ -43,6 +50,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod coordinator;
 pub mod failover;
 pub mod protocol;
 pub mod queue;
@@ -56,6 +64,7 @@ pub mod suggest;
 pub use cache::{CacheKey, CacheStats, ScoreCache};
 pub use circlekit_live::Mutation;
 pub use client::{Client, ClientError, ClientOptions};
+pub use coordinator::{CoordinatorConfig, DEFAULT_SHARD_DEADLINE_MS};
 pub use failover::{FailoverClient, FailoverOptions};
 pub use protocol::{
     error_payload, from_hex, ok_payload, read_frame, read_frame_patiently, set_digest, to_hex,

@@ -47,6 +47,10 @@ pub enum ErrorKind {
     /// history (wrong base CRC, or an offset that is not a committed
     /// frame boundary).
     ReplicationMismatch,
+    /// A coordinator could not gather every shard's partial result; the
+    /// message names the unreachable shard. Scatter-gather answers are
+    /// exact or refused — never silently partial.
+    ShardUnavailable,
     /// Unexpected server-side failure.
     Internal,
 }
@@ -63,6 +67,7 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => "shutting-down",
             ErrorKind::NotPrimary => "not-primary",
             ErrorKind::ReplicationMismatch => "replication-mismatch",
+            ErrorKind::ShardUnavailable => "shard-unavailable",
             ErrorKind::Internal => "internal",
         }
     }
@@ -78,6 +83,7 @@ impl ErrorKind {
             ErrorKind::ShuttingDown,
             ErrorKind::NotPrimary,
             ErrorKind::ReplicationMismatch,
+            ErrorKind::ShardUnavailable,
             ErrorKind::Internal,
         ]
         .into_iter()
@@ -217,6 +223,24 @@ pub enum Request {
     /// Replication status: the server's role, per-snapshot stream
     /// positions and, on a primary, the offsets its subscribers acked.
     ReplStatus,
+    /// The scatter half of coordinator scoring: return this shard's raw
+    /// partial `SetStats` terms for one *global* vertex set (only owned
+    /// members contribute). The set is named either by a group index
+    /// (every shard sub-snapshot carries the full group list) or by
+    /// explicit members — exactly one of the two. The response echoes
+    /// the shard manifest so the gatherer can refuse mismatched
+    /// topologies.
+    ShardStats {
+        /// Snapshot id.
+        snapshot: String,
+        /// Group index naming the set (mutually exclusive with
+        /// `members`).
+        group: Option<usize>,
+        /// The global set's members (mutually exclusive with `group`).
+        members: Option<Vec<u32>>,
+        /// Optional per-request deadline in milliseconds.
+        deadline_ms: Option<u64>,
+    },
     /// Test-only: occupy a worker for `millis`. Rejected unless the
     /// server was started with `debug_ops` (integration tests use it to
     /// fill the queue deterministically).
@@ -617,6 +641,24 @@ impl Request {
                 offset: wire::get_u64(&value, "offset")?,
             }),
             "repl_status" => Ok(Request::ReplStatus),
+            "shard_stats" => {
+                let group = wire::get_u64_opt(&value, "group")?.map(|g| g as usize);
+                let members = match wire::get(&value, "members") {
+                    None | Some(Value::Null) => None,
+                    Some(_) => Some(wire::get_u32_array(&value, "members")?),
+                };
+                if group.is_some() == members.is_some() {
+                    return Err(wire::bad(
+                        "shard_stats takes exactly one of \"group\" or \"members\"".to_string(),
+                    ));
+                }
+                Ok(Request::ShardStats {
+                    snapshot: wire::get_str(&value, "snapshot")?,
+                    group,
+                    members,
+                    deadline_ms: wire::get_u64_opt(&value, "deadline_ms")?,
+                })
+            }
             "debug_sleep" => Ok(Request::DebugSleep {
                 millis: wire::get_u64(&value, "millis")?,
             }),
@@ -863,6 +905,10 @@ mod tests {
             "{\"op\":\"suggest_circles\",\"snapshot\":\"gp\"}",
             "{\"op\":\"suggest_circles\",\"snapshot\":\"gp\",\"ego\":4294967296}",
             "{\"op\":\"suggest_circles\",\"ego\":1}",
+            "{\"op\":\"shard_stats\",\"snapshot\":\"gp\"}",
+            "{\"op\":\"shard_stats\",\"members\":[1]}",
+            "{\"op\":\"shard_stats\",\"snapshot\":\"gp\",\"members\":[\"x\"]}",
+            "{\"op\":\"shard_stats\",\"snapshot\":\"gp\",\"group\":0,\"members\":[1]}",
         ] {
             let (kind, _) = Request::parse(payload).unwrap_err();
             assert_eq!(kind, ErrorKind::BadRequest, "{payload}");
@@ -880,6 +926,7 @@ mod tests {
             ErrorKind::ShuttingDown,
             ErrorKind::NotPrimary,
             ErrorKind::ReplicationMismatch,
+            ErrorKind::ShardUnavailable,
             ErrorKind::Internal,
         ] {
             assert_eq!(ErrorKind::from_name(kind.name()), Some(kind));
@@ -901,6 +948,28 @@ mod tests {
             Request::ReplAck { offset: 128 }
         );
         assert_eq!(Request::parse("{\"op\":\"repl_status\"}").unwrap(), Request::ReplStatus);
+        assert_eq!(
+            Request::parse(
+                "{\"op\":\"shard_stats\",\"snapshot\":\"gp\",\"members\":[3,1],\
+                 \"deadline_ms\":250}"
+            )
+            .unwrap(),
+            Request::ShardStats {
+                snapshot: "gp".to_string(),
+                group: None,
+                members: Some(vec![3, 1]),
+                deadline_ms: Some(250),
+            }
+        );
+        assert_eq!(
+            Request::parse("{\"op\":\"shard_stats\",\"snapshot\":\"gp\",\"group\":2}").unwrap(),
+            Request::ShardStats {
+                snapshot: "gp".to_string(),
+                group: Some(2),
+                members: None,
+                deadline_ms: None,
+            }
+        );
         for payload in [
             "{\"op\":\"replicate\",\"snapshot\":\"gp\"}",
             "{\"op\":\"replicate\",\"snapshot\":\"gp\",\"base_crc\":4294967296,\

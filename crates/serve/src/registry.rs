@@ -17,7 +17,7 @@
 
 use circlekit_graph::{Graph, VertexSet};
 use circlekit_scoring::Scorer;
-use circlekit_store::MappedSnapshot;
+use circlekit_store::{MappedSnapshot, ShardManifest};
 use std::sync::{Arc, RwLock};
 
 /// One resident snapshot: the shared graph, its groups, and the
@@ -32,8 +32,17 @@ pub struct LoadedSnapshot {
     pub graph: Graph,
     /// The snapshot's group collections (possibly empty).
     pub groups: Vec<VertexSet>,
-    /// Graph-wide median total degree, precomputed for FOMD.
+    /// Graph-wide median total degree, precomputed for FOMD. On a shard
+    /// sub-snapshot this is the *parent's* median (from the manifest),
+    /// never the halo's own — partial FOMD terms must use the global
+    /// threshold to reduce exactly.
     pub median_degree: f64,
+    /// The shard manifest when this snapshot is a vertex-partitioned
+    /// sub-snapshot (packed with `--shard`); `None` for ordinary
+    /// snapshots. Its presence enables the `shard_stats` op and makes
+    /// the snapshot immutable (mutating a shard would break its binding
+    /// to the parent).
+    pub shard: Option<ShardManifest>,
     /// Which live-mutation version this materialization reflects: 0 as
     /// loaded, bumped once per committed mutation batch. Cache keys carry
     /// it, so scores computed against a superseded materialization can
@@ -68,8 +77,9 @@ impl SnapshotRegistry {
                 .ok_or_else(|| format!("cannot derive a snapshot id from path {path:?}"))?,
         };
         let mapped = MappedSnapshot::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let shard = mapped.shard_manifest().map_err(|e| format!("{path}: {e}"))?;
         let snap = mapped.load().map_err(|e| format!("{path}: {e}"))?;
-        self.insert_full(id, path.to_string(), snap.graph, snap.groups)
+        self.insert_full(id, path.to_string(), snap.graph, snap.groups, shard)
     }
 
     /// Registers an in-memory graph (tests, `loadgen --synthetic`).
@@ -83,7 +93,7 @@ impl SnapshotRegistry {
         graph: Graph,
         groups: Vec<VertexSet>,
     ) -> Result<(), String> {
-        self.insert_full(id.into(), "<memory>".to_string(), graph, groups)
+        self.insert_full(id.into(), "<memory>".to_string(), graph, groups, None)
     }
 
     fn insert_full(
@@ -92,17 +102,24 @@ impl SnapshotRegistry {
         path: String,
         graph: Graph,
         groups: Vec<VertexSet>,
+        shard: Option<ShardManifest>,
     ) -> Result<(), String> {
         if self.get(&id).is_some() {
             return Err(format!("duplicate snapshot id {id:?}"));
         }
-        let median_degree = Scorer::new(&graph).median_degree();
+        // Shard sub-snapshots score against the parent's global median,
+        // not the halo's own (see the `median_degree` field docs).
+        let median_degree = match shard {
+            Some(manifest) => manifest.parent_median_degree,
+            None => Scorer::new(&graph).median_degree(),
+        };
         self.entries.write().expect("registry lock").push(Arc::new(LoadedSnapshot {
             id,
             path,
             graph,
             groups,
             median_degree,
+            shard,
             version: 0,
         }));
         Ok(())
@@ -211,6 +228,7 @@ mod tests {
             graph: Graph::from_edges(false, [(0u32, 1u32)]),
             groups: Vec::new(),
             median_degree: 1.0,
+            shard: None,
             version: 3,
         });
         reg.replace(Arc::clone(&fresh));

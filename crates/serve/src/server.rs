@@ -25,6 +25,7 @@
 //! snapshot.
 
 use crate::cache::{CacheKey, ScoreCache};
+use crate::coordinator::{Coordinator, CoordinatorConfig};
 use crate::protocol::{
     error_payload, ok_payload, read_frame_patiently, set_digest, wire, write_frame, ErrorKind,
     FrameError, Request, RequestError,
@@ -83,6 +84,10 @@ pub struct ServeConfig {
     /// Injected network faults; inert unless the `fault-inject` feature
     /// is compiled in.
     pub fault: FaultPlan,
+    /// Run as a stateless scatter-gather coordinator over a set of shard
+    /// processes instead of serving local snapshots (see
+    /// [`crate::coordinator`]). Mutually exclusive with `replica_of`.
+    pub coordinator: Option<CoordinatorConfig>,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +103,7 @@ impl Default for ServeConfig {
             replica_of: None,
             repl_crash_point: None,
             fault: FaultPlan::default(),
+            coordinator: None,
         }
     }
 }
@@ -173,6 +179,8 @@ pub(crate) struct Shared {
     pub(crate) live: Mutex<HashMap<String, LiveState>>,
     pub(crate) stats: ServeStats,
     pub(crate) repl: Mutex<ReplRegistry>,
+    /// `Some` when this server is a scatter-gather coordinator.
+    pub(crate) coord: Option<Coordinator>,
     shutdown: AtomicBool,
 }
 
@@ -185,7 +193,7 @@ impl Shared {
         self.shutdown.store(true, Ordering::Release);
     }
 
-    fn stats_snapshot(&self) -> StatsSnapshot {
+    pub(crate) fn stats_snapshot(&self) -> StatsSnapshot {
         let cache = self.cache.lock().expect("cache lock").stats();
         self.stats.snapshot(cache, self.queue.len())
     }
@@ -227,12 +235,29 @@ impl Server {
         config: ServeConfig,
         addr: A,
     ) -> io::Result<Server> {
-        if registry.is_empty() {
+        if config.coordinator.is_some() && config.replica_of.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a coordinator cannot also be a replica (drop --replica-of or --coordinator)",
+            ));
+        }
+        if registry.is_empty() && config.coordinator.is_none() {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidInput,
                 "refusing to serve an empty snapshot registry",
             ));
         }
+        // Connecting to the shard fleet validates the topology (matching
+        // parent CRCs, a complete index cover) before the listener binds:
+        // a mis-assembled cluster is a startup refusal, never a serving
+        // process that answers wrong.
+        let coord = match &config.coordinator {
+            Some(cc) => Some(
+                Coordinator::connect(cc)
+                    .map_err(|why| io::Error::new(io::ErrorKind::InvalidInput, why))?,
+            ),
+            None => None,
+        };
         let live = adopt_write_ahead_logs(&registry)?;
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
@@ -244,6 +269,7 @@ impl Server {
             live: Mutex::new(live),
             stats: ServeStats::default(),
             repl: Mutex::new(ReplRegistry::default()),
+            coord,
             shutdown: AtomicBool::new(false),
             registry,
             config,
@@ -334,6 +360,7 @@ fn adopt_write_ahead_logs(
                 graph,
                 groups,
                 median_degree,
+                shard: snap.shard,
                 version,
             }));
         }
@@ -491,6 +518,15 @@ fn respond(
 }
 
 fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, RequestError> {
+    // A coordinator answers (or refuses) almost every op itself — by
+    // scatter-gathering the shard fleet — so clients speak to it exactly
+    // as they would to a single-node server. The few ops it passes back
+    // (`debug_sleep`) run on the local machinery below.
+    if shared.coord.is_some() {
+        if let Some(answer) = crate::coordinator::handle(shared, &request) {
+            return answer;
+        }
+    }
     match request {
         Request::Health => Ok(ok_payload(vec![
             ("status".to_string(), Value::Str("serving".to_string())),
@@ -597,6 +633,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
             // Resolve first so unknown ids are `not-found`, not queued
             // work; the worker re-resolves the live state under its lock.
             let snap = resolve_snapshot(shared, &snapshot)?;
+            refuse_writes_on_shard(&snap)?;
             let (reply, outcome) = mpsc::channel();
             enqueue(shared, Job::Apply { snapshot_id: snap.id.clone(), mutations, reply })?;
             match wait_for(&outcome)? {
@@ -623,6 +660,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
         Request::Compact { snapshot } => {
             refuse_writes_on_replica(shared)?;
             let snap = resolve_snapshot(shared, &snapshot)?;
+            refuse_writes_on_shard(&snap)?;
             if snap.path == "<memory>" {
                 return Err((
                     ErrorKind::BadRequest,
@@ -691,6 +729,83 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, Requ
             let mut fields = vec![("op".to_string(), Value::Str("repl_status".to_string()))];
             fields.extend(replication::status_fields(shared));
             Ok(ok_payload(fields))
+        }
+        Request::ShardStats { snapshot, group, members, deadline_ms } => {
+            let snap = resolve_snapshot(shared, &snapshot)?;
+            let Some(manifest) = snap.shard else {
+                return Err((
+                    ErrorKind::BadRequest,
+                    format!(
+                        "snapshot {:?} carries no shard manifest; pack it with --shard",
+                        snap.id
+                    ),
+                ));
+            };
+            let control = control_for(deadline_ms);
+            check_deadline(&control)?;
+            let set = match (group, members) {
+                (Some(group), None) => resolve_group(&snap, group)?,
+                (None, Some(members)) => {
+                    // Halo sub-snapshots keep the parent's full node-id
+                    // space, so global member ids validate directly.
+                    if let Some(&bad) = members.iter().find(|&&m| {
+                        u64::from(m) >= manifest.parent_node_count
+                    }) {
+                        return Err((
+                            ErrorKind::BadRequest,
+                            format!(
+                                "member {bad} is out of range for snapshot {:?} ({} nodes)",
+                                snap.id, manifest.parent_node_count
+                            ),
+                        ));
+                    }
+                    VertexSet::from_vec(members)
+                }
+                // The parser enforces exactly-one-of.
+                _ => return Err(internal("shard_stats parsed without a set")),
+            };
+            // Answered inline, like watch_scores: one single-set pass
+            // over owned members, bounded by the halo's size — the
+            // coordinator provides the fan-out, not the shard's queue.
+            let partial = circlekit_shard::compute_partial(&snap.graph, &manifest, &set);
+            check_deadline(&control)?;
+            ServeStats::bump(&shared.stats.shard_partials);
+            let fields = vec![
+                ("shard_count".to_string(), Value::UInt(u64::from(manifest.shard_count))),
+                ("shard_index".to_string(), Value::UInt(u64::from(manifest.shard_index))),
+                ("parent_crc32".to_string(), Value::UInt(u64::from(manifest.parent_crc32))),
+                ("parent_nodes".to_string(), Value::UInt(manifest.parent_node_count)),
+                ("parent_edges".to_string(), Value::UInt(manifest.parent_edge_count)),
+                (
+                    "parent_median_degree".to_string(),
+                    wire::score_value(manifest.parent_median_degree),
+                ),
+                ("directed".to_string(), Value::Bool(snap.graph.is_directed())),
+                ("version".to_string(), Value::UInt(snap.version)),
+                ("set_len".to_string(), Value::UInt(set.len() as u64)),
+                ("internal_arcs".to_string(), Value::UInt(partial.internal_arcs)),
+                ("boundary".to_string(), Value::UInt(partial.boundary)),
+                ("out_degree_sum".to_string(), Value::UInt(partial.out_degree_sum)),
+                ("in_degree_sum".to_string(), Value::UInt(partial.in_degree_sum)),
+                (
+                    "above_median_internal".to_string(),
+                    Value::UInt(partial.above_median_internal),
+                ),
+                ("flake_count".to_string(), Value::UInt(partial.flake_count)),
+                (
+                    "in_internal_triangle".to_string(),
+                    Value::UInt(partial.in_internal_triangle),
+                ),
+                ("max_odf".to_string(), wire::score_value(partial.max_odf)),
+                (
+                    "odf_members".to_string(),
+                    Value::Seq(
+                        partial.odf_members.iter().map(|&v| Value::UInt(u64::from(v))).collect(),
+                    ),
+                ),
+                ("odf_values".to_string(), wire::score_array(&partial.odf_values)),
+            ];
+            Ok(ok_payload(with_op("shard_stats", &snap.id, fields)))
         }
         Request::ReplAck { .. } => Err((
             ErrorKind::BadRequest,
@@ -824,6 +939,25 @@ fn suggest_response(snapshot: &str, version: u64, cached: bool, s: &Suggestion) 
     ok_payload(with_op("suggest_circles", snapshot, fields))
 }
 
+/// Shard sub-snapshots are bound to their parent by the manifest's CRC
+/// and counts; mutating one would silently break the scatter-gather
+/// exactness guarantee, so writes are refused with a typed error.
+fn refuse_writes_on_shard(snap: &LoadedSnapshot) -> Result<(), RequestError> {
+    match snap.shard {
+        Some(manifest) => Err((
+            ErrorKind::BadRequest,
+            format!(
+                "snapshot {:?} is shard {}/{} of an immutable partition; \
+                 mutate the parent snapshot and re-pack",
+                snap.id,
+                manifest.shard_index,
+                manifest.shard_count
+            ),
+        )),
+        None => Ok(()),
+    }
+}
+
 /// Replicas apply writes only through the replication stream; direct
 /// writes are refused with a typed error so clients can fail over.
 fn refuse_writes_on_replica(shared: &Shared) -> Result<(), RequestError> {
@@ -870,7 +1004,7 @@ fn score_request(
     }
 }
 
-fn score_fields(
+pub(crate) fn score_fields(
     size: usize,
     functions: &[ScoringFunction],
     scores: &[f64],
@@ -884,7 +1018,7 @@ fn score_fields(
     ]
 }
 
-fn with_op(op: &str, snapshot: &str, mut rest: Vec<(String, Value)>) -> Vec<(String, Value)> {
+pub(crate) fn with_op(op: &str, snapshot: &str, mut rest: Vec<(String, Value)>) -> Vec<(String, Value)> {
     let mut fields = vec![
         ("op".to_string(), Value::Str(op.to_string())),
         ("snapshot".to_string(), Value::Str(snapshot.to_string())),
@@ -923,6 +1057,7 @@ fn resolve_snapshot(
         graph,
         groups,
         median_degree,
+        shard: snap.shard,
         version: state.version,
     });
     shared.registry.replace(Arc::clone(&fresh));

@@ -45,6 +45,8 @@ pub struct ServeStats {
     pub repl_batches_applied: AtomicU64,
     /// Times the replica tailer (re)connected to its primary.
     pub repl_connects: AtomicU64,
+    /// `shard_stats` partials served (shard side of scatter-gather).
+    pub shard_partials: AtomicU64,
 }
 
 impl ServeStats {
@@ -86,6 +88,7 @@ impl ServeStats {
             repl_bytes_sent: read(&self.repl_bytes_sent),
             repl_batches_applied: read(&self.repl_batches_applied),
             repl_connects: read(&self.repl_connects),
+            shard_partials: read(&self.shard_partials),
             cache,
             queue_depth,
         }
@@ -131,6 +134,8 @@ pub struct StatsSnapshot {
     pub repl_batches_applied: u64,
     /// Replica tailer (re)connects.
     pub repl_connects: u64,
+    /// `shard_stats` partials served.
+    pub shard_partials: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
     /// Queue depth at snapshot time.
@@ -159,6 +164,7 @@ impl StatsSnapshot {
             ("repl_bytes_sent".to_string(), u(self.repl_bytes_sent)),
             ("repl_batches_applied".to_string(), u(self.repl_batches_applied)),
             ("repl_connects".to_string(), u(self.repl_connects)),
+            ("shard_partials".to_string(), u(self.shard_partials)),
             ("cache_hits".to_string(), u(self.cache.hits)),
             ("cache_misses".to_string(), u(self.cache.misses)),
             ("cache_hit_ratio".to_string(), Value::Float(self.cache.hit_ratio())),

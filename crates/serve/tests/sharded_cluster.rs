@@ -1,0 +1,314 @@
+//! End-to-end sharded cluster over real sockets: shard processes serving
+//! halo sub-snapshots, a coordinator scatter-gathering partials, and the
+//! acceptance properties of the subsystem — coordinator answers are
+//! bit-identical to a single-node server over the parent graph, and a
+//! dead shard is a typed `shard-unavailable` refusal, never a silently
+//! partial score.
+
+use circlekit_scoring::{Scorer, ScoringFunction};
+use circlekit_serve::{
+    Client, ClientError, CoordinatorConfig, ErrorKind, Server, ServeConfig, SnapshotRegistry,
+};
+use circlekit_shard::{manifest_for, shard_graph};
+use circlekit_store::save_shard_snapshot;
+use circlekit_synth::SynthDataset;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+
+fn fixture() -> SynthDataset {
+    circlekit_synth::presets::google_plus()
+        .scaled(0.003)
+        .generate(&mut SmallRng::seed_from_u64(9))
+}
+
+fn test_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("circlekit-serve-shard-tests").join(name);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Packs `count` halo sub-snapshots of the fixture under
+/// `<dir>/web.shard<i>.cks` — the library-level equivalent of running
+/// `pack --shard` once per index — and returns their paths.
+fn pack_shards(dir: &Path, data: &SynthDataset, count: u32) -> Vec<String> {
+    let median = Scorer::new(&data.graph).median_degree();
+    (0..count)
+        .map(|index| {
+            let manifest = manifest_for(&data.graph, median, 0xC0FFEE, count, index);
+            let sub = shard_graph(&data.graph, count, index);
+            let path = dir.join(format!("web.shard{index}.cks"));
+            let path = path.to_string_lossy().into_owned();
+            save_shard_snapshot(&path, &sub, &data.groups, &manifest).unwrap();
+            path
+        })
+        .collect()
+}
+
+fn boot_shard(path: &str) -> Server {
+    let mut registry = SnapshotRegistry::new();
+    registry.load(path, None).unwrap();
+    Server::start(registry, ServeConfig::default(), ("127.0.0.1", 0)).unwrap()
+}
+
+fn boot_coordinator(shard_addrs: &[SocketAddr]) -> std::io::Result<Server> {
+    let config = ServeConfig {
+        coordinator: Some(CoordinatorConfig::new(
+            shard_addrs.iter().map(|a| a.to_string()).collect(),
+        )),
+        ..ServeConfig::default()
+    };
+    Server::start(SnapshotRegistry::new(), config, ("127.0.0.1", 0))
+}
+
+/// Shard fleet + coordinator + a single-node server over the parent, so
+/// tests can compare whole response payloads byte for byte.
+struct Cluster {
+    shards: Vec<Server>,
+    shard_paths: Vec<String>,
+    coordinator: Server,
+    single: Server,
+    data: SynthDataset,
+}
+
+fn boot_cluster(name: &str, count: u32) -> Cluster {
+    let dir = test_dir(name);
+    let data = fixture();
+    let shard_paths = pack_shards(&dir, &data, count);
+    let shards: Vec<Server> = shard_paths.iter().map(|p| boot_shard(p)).collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(Server::local_addr).collect();
+    let coordinator = boot_coordinator(&addrs).unwrap();
+    let mut registry = SnapshotRegistry::new();
+    registry.insert("web", data.graph.clone(), data.groups.clone()).unwrap();
+    let single = Server::start(registry, ServeConfig::default(), ("127.0.0.1", 0)).unwrap();
+    Cluster { shards, shard_paths, coordinator, single, data }
+}
+
+impl Cluster {
+    fn stop(self) {
+        for server in self.shards {
+            server.shutdown_handle().trigger();
+            server.join();
+        }
+        self.coordinator.shutdown_handle().trigger();
+        self.coordinator.join();
+        self.single.shutdown_handle().trigger();
+        self.single.join();
+    }
+}
+
+#[test]
+fn coordinator_responses_are_byte_identical_to_a_single_node_server() {
+    let cluster = boot_cluster("byte-identical", 3);
+    let mut via_coord = Client::connect(cluster.coordinator.local_addr()).unwrap();
+    let mut via_single = Client::connect(cluster.single.local_addr()).unwrap();
+    let groups = cluster.data.groups.len().min(10);
+
+    for g in 0..groups {
+        for spec in [Some("all"), Some("paper"), None] {
+            let sharded = via_coord.score_group("web", g, spec, None).unwrap();
+            let single = via_single.score_group("web", g, spec, None).unwrap();
+            assert_eq!(
+                uncached(&sharded),
+                uncached(&single),
+                "score_group response diverged for group {g}, functions {spec:?}"
+            );
+        }
+    }
+
+    // Explicit members, unsorted and with a duplicate: the deduplicated
+    // size and every score must come back identical.
+    let members: Vec<u32> = vec![9, 2, 4, 2, 17, 0];
+    let sharded = via_coord.score_set("web", &members, Some("all"), None).unwrap();
+    let single = via_single.score_set("web", &members, Some("all"), None).unwrap();
+    assert_eq!(uncached(&sharded), uncached(&single));
+
+    // And against the offline scorer, bit for bit.
+    let mut offline = Scorer::new(&cluster.data.graph);
+    for (g, group) in cluster.data.groups.iter().enumerate().take(groups) {
+        let response = via_coord.score_group("web", g, Some("all"), None).unwrap();
+        let served = Client::scores_of(&response).unwrap();
+        for (f, &function) in ScoringFunction::ALL.iter().enumerate() {
+            assert_eq!(
+                served[f].to_bits(),
+                offline.score(function, group).to_bits(),
+                "group {g}, function {}",
+                function.name()
+            );
+        }
+    }
+    cluster.stop();
+}
+
+#[test]
+fn suggest_circles_routes_to_the_owning_shard_and_matches_single_node() {
+    let cluster = boot_cluster("suggest-routing", 3);
+    let mut via_coord = Client::connect(cluster.coordinator.local_addr()).unwrap();
+    let mut via_single = Client::connect(cluster.single.local_addr()).unwrap();
+    for ego in [0u32, 3, 11, 29] {
+        let sharded = via_coord.suggest_circles("web", ego, 7, 3, 4).unwrap();
+        let single = via_single.suggest_circles("web", ego, 7, 3, 4).unwrap();
+        assert_eq!(
+            sharded.to_string(),
+            single.to_string(),
+            "suggest_circles response diverged for ego {ego}"
+        );
+    }
+    // An ego past the parent's node space is refused with the same
+    // message a single-node server renders.
+    let bad = cluster.data.graph.node_count() as u32;
+    let sharded = via_coord.suggest_circles("web", bad, 7, 3, 4).unwrap_err();
+    let single = via_single.suggest_circles("web", bad, 7, 3, 4).unwrap_err();
+    match (&sharded, &single) {
+        (
+            ClientError::Server { kind: a, message: ma },
+            ClientError::Server { kind: b, message: mb },
+        ) => {
+            assert_eq!(a, b);
+            assert_eq!(ma, mb);
+        }
+        other => panic!("expected matching typed refusals, got {other:?}"),
+    }
+    cluster.stop();
+}
+
+#[test]
+fn dead_shard_is_a_typed_refusal_then_recovery_is_exact() {
+    let mut cluster = boot_cluster("dead-shard", 3);
+    let mut client = Client::connect(cluster.coordinator.local_addr()).unwrap();
+    let baseline = client.score_group("web", 0, Some("paper"), None).unwrap().to_string();
+
+    // Kill shard 1. The coordinator must refuse — naming the shard —
+    // rather than reduce the two partials it can still gather.
+    let victim = cluster.shards.remove(1);
+    let victim_addr = victim.local_addr();
+    victim.shutdown_handle().trigger();
+    victim.join();
+    let err = client.score_group("web", 0, Some("paper"), None).unwrap_err();
+    match err {
+        ClientError::Server { kind, message } => {
+            assert_eq!(kind, ErrorKind::ShardUnavailable, "{message}");
+            assert!(message.contains("shard 1"), "message must name the shard: {message}");
+        }
+        other => panic!("expected a typed shard-unavailable refusal, got {other:?}"),
+    }
+
+    // Restore the shard on the same port; the failover client reconnects
+    // and answers are exact again.
+    let mut registry = SnapshotRegistry::new();
+    registry.load(&cluster.shard_paths[1], None).unwrap();
+    let revived = Server::start(registry, ServeConfig::default(), victim_addr).unwrap();
+    cluster.shards.insert(1, revived);
+    let recovered = client.score_group("web", 0, Some("paper"), None).unwrap().to_string();
+    assert_eq!(recovered, baseline, "post-recovery scores must be bit-identical");
+    cluster.stop();
+}
+
+#[test]
+fn mismatched_topology_is_a_startup_refusal() {
+    let dir = test_dir("mismatched-topology");
+    let data = fixture();
+    let paths = pack_shards(&dir, &data, 3);
+    // Only two of the three shards are given to the coordinator.
+    let shards: Vec<Server> = paths.iter().take(2).map(|p| boot_shard(p)).collect();
+    let addrs: Vec<SocketAddr> = shards.iter().map(Server::local_addr).collect();
+    let message = match boot_coordinator(&addrs) {
+        Err(err) => err.to_string(),
+        Ok(_) => panic!("coordinator must refuse an incomplete topology"),
+    };
+    assert!(
+        message.contains("packed for 3 shards") && message.contains("2 endpoints"),
+        "startup refusal must explain the mismatch: {message}"
+    );
+    for server in shards {
+        server.shutdown_handle().trigger();
+        server.join();
+    }
+}
+
+#[test]
+fn writes_and_baseline_are_refused_with_typed_errors() {
+    let cluster = boot_cluster("typed-refusals", 2);
+    let mut via_coord = Client::connect(cluster.coordinator.local_addr()).unwrap();
+    let mutations = [circlekit_serve::Mutation::AddEdge { u: 0, v: 1 }];
+
+    let err = via_coord.apply_mutations("web", &mutations).unwrap_err();
+    assert!(err.is_kind(ErrorKind::NotPrimary), "{err}");
+    let err = via_coord.compact("web").unwrap_err();
+    assert!(err.is_kind(ErrorKind::NotPrimary), "{err}");
+    let err = via_coord.baseline("web", 0, 4, 7).unwrap_err();
+    assert!(err.is_kind(ErrorKind::BadRequest), "{err}");
+
+    // A shard process refuses direct writes too: its sub-snapshot is an
+    // immutable projection of the parent.
+    let mut via_shard = Client::connect(cluster.shards[0].local_addr()).unwrap();
+    let err = via_shard.apply_mutations("web.shard0", &mutations).unwrap_err();
+    match err {
+        ClientError::Server { kind, message } => {
+            assert_eq!(kind, ErrorKind::BadRequest, "{message}");
+            assert!(message.contains("immutable partition"), "{message}");
+        }
+        other => panic!("expected a typed refusal, got {other:?}"),
+    }
+    cluster.stop();
+}
+
+#[test]
+fn coordinator_stats_expose_per_shard_rows() {
+    let cluster = boot_cluster("shard-rows", 2);
+    let mut client = Client::connect(cluster.coordinator.local_addr()).unwrap();
+    client.score_group("web", 0, None, None).unwrap();
+
+    let stats = client.stats().unwrap();
+    let rows = match find(&stats, "shards") {
+        Some(serde_json::Value::Seq(rows)) => rows.clone(),
+        other => panic!("stats must carry a shards array, got {other:?}"),
+    };
+    assert_eq!(rows.len(), 2);
+    for (index, row) in rows.iter().enumerate() {
+        assert_eq!(find(row, "shard"), Some(&serde_json::Value::UInt(index as u64)));
+        for key in ["endpoints", "snapshot", "requests", "failures", "inflight", "last_rtt_us"] {
+            assert!(find(row, key).is_some(), "row {index} lacks {key}");
+        }
+        let requests = match find(row, "requests") {
+            Some(serde_json::Value::UInt(n)) => *n,
+            other => panic!("requests not an integer: {other:?}"),
+        };
+        assert!(requests >= 1, "the gather must have touched shard {index}");
+        assert_eq!(find(row, "last_error"), Some(&serde_json::Value::Null));
+    }
+
+    let status = client.repl_status().unwrap();
+    assert_eq!(
+        find(&status, "role"),
+        Some(&serde_json::Value::Str("coordinator".to_string()))
+    );
+    assert!(matches!(find(&status, "shards"), Some(serde_json::Value::Seq(_))));
+    cluster.stop();
+}
+
+/// Renders a response with its `cached` flag forced to `false`: repeat
+/// queries hit the single-node server's LRU while the coordinator always
+/// recomputes, and that operational flag is the one field allowed to
+/// differ between the two.
+fn uncached(response: &serde_json::Value) -> String {
+    let mut response = response.clone();
+    if let serde_json::Value::Map(entries) = &mut response {
+        for (key, value) in entries.iter_mut() {
+            if key == "cached" {
+                *value = serde_json::Value::Bool(false);
+            }
+        }
+    }
+    response.to_string()
+}
+
+fn find<'a>(value: &'a serde_json::Value, key: &str) -> Option<&'a serde_json::Value> {
+    match value {
+        serde_json::Value::Map(entries) => {
+            entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        }
+        _ => None,
+    }
+}

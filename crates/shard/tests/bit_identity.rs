@@ -1,0 +1,125 @@
+//! The central shard guarantee: for any graph, any vertex set, and any
+//! shard count, the scatter-gather pipeline (halo extraction → per-shard
+//! partials → reduction) reproduces `SetStats::compute` on the
+//! unpartitioned graph **bit-for-bit**, IEEE-754 fields included — and
+//! therefore every scoring function applied to it.
+
+use circlekit_graph::{Graph, GraphBuilder, VertexSet};
+use circlekit_scoring::{Scorer, ScoringFunction, SetStats};
+use circlekit_shard::{compute_partial, manifest_for, reduce_partials, shard_graph,
+    sharded_set_stats};
+use proptest::prelude::*;
+
+const MAX_NODE: u32 = 30;
+const SHARD_COUNTS: [u32; 5] = [1, 2, 3, 5, 8];
+
+fn graph_and_set() -> impl Strategy<Value = (Vec<(u32, u32)>, Vec<u32>, bool)> {
+    (
+        prop::collection::vec((0..MAX_NODE, 0..MAX_NODE), 1..150),
+        prop::collection::vec(0..MAX_NODE, 0..20),
+        any::<bool>(),
+    )
+}
+
+fn build(edges: Vec<(u32, u32)>, directed: bool) -> Graph {
+    let mut b = if directed {
+        GraphBuilder::directed()
+    } else {
+        GraphBuilder::undirected()
+    };
+    b.add_edges(edges).reserve_nodes(MAX_NODE as usize);
+    b.build()
+}
+
+/// Equality down to the f64 bit patterns (derived `PartialEq` would
+/// accept `-0.0 == 0.0`).
+fn assert_bit_identical(got: &SetStats, expected: &SetStats) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got, expected);
+    prop_assert_eq!(got.max_odf.to_bits(), expected.max_odf.to_bits());
+    prop_assert_eq!(got.avg_odf.to_bits(), expected.avg_odf.to_bits());
+    prop_assert_eq!(got.flake_odf.to_bits(), expected.flake_odf.to_bits());
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn sharded_stats_are_bit_identical_at_every_count(
+        (edges, picks, directed) in graph_and_set(),
+    ) {
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let median = Scorer::new(&g).median_degree();
+        let expected = SetStats::compute(&g, &set, median);
+        for count in SHARD_COUNTS {
+            let got = sharded_set_stats(&g, &set, median, count);
+            assert_bit_identical(&got, &expected)?;
+            // And therefore every scoring function agrees bit-for-bit.
+            for f in ScoringFunction::ALL {
+                prop_assert_eq!(
+                    f.score(&got).to_bits(),
+                    f.score(&expected).to_bits(),
+                    "{} diverges at shard count {}", f, count
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_order_independent(
+        (edges, picks, directed) in graph_and_set(),
+        rotate in 0usize..8,
+    ) {
+        // Partials arriving in any gather order reduce to the same bits.
+        let g = build(edges, directed);
+        let set = VertexSet::from_vec(picks);
+        let median = Scorer::new(&g).median_degree();
+        let expected = SetStats::compute(&g, &set, median);
+        let count = 5u32;
+        let mut partials: Vec<_> = (0..count)
+            .map(|i| {
+                let m = manifest_for(&g, median, 0, count, i);
+                compute_partial(&shard_graph(&g, count, i), &m, &set)
+            })
+            .collect();
+        partials.rotate_left(rotate % count as usize);
+        partials.reverse();
+        let manifest = manifest_for(&g, median, 0, count, 0);
+        let got = reduce_partials(&manifest, directed, set.len(), &partials)
+            .expect("complete cover");
+        assert_bit_identical(&got, &expected)?;
+    }
+
+    #[test]
+    fn owned_ego_networks_are_exact(
+        (edges, _, directed) in graph_and_set(),
+        which in 0usize..SHARD_COUNTS.len(),
+    ) {
+        // The routing guarantee behind suggest_circles: an owned
+        // vertex's full adjacency (and its neighbours' mutual edges)
+        // survive in the halo sub-graph.
+        let count = SHARD_COUNTS[which];
+        let g = build(edges, directed);
+        for index in 0..count {
+            let sub = shard_graph(&g, count, index);
+            prop_assert_eq!(sub.node_count(), g.node_count());
+            for v in 0..g.node_count() as u32 {
+                if circlekit_shard::shard_of(v, count) != index {
+                    continue;
+                }
+                prop_assert_eq!(sub.out_neighbors(v), g.out_neighbors(v));
+                if directed {
+                    prop_assert_eq!(sub.in_neighbors(v), g.in_neighbors(v));
+                }
+                // Edges among v's neighbours (the rest of the ego
+                // network) are kept too.
+                for &a in g.out_neighbors(v) {
+                    for &b in g.out_neighbors(a) {
+                        if g.out_neighbors(v).contains(&b) {
+                            prop_assert!(sub.out_neighbors(a).contains(&b));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -133,6 +133,13 @@ pub enum StoreError {
         /// What was wrong.
         why: &'static str,
     },
+    /// The shard-manifest section is malformed or inconsistent with the
+    /// header (wrong length, zero shard count, index outside the count,
+    /// parent node count disagreeing with the header, …).
+    ShardManifest {
+        /// What was wrong.
+        why: String,
+    },
     /// The CSR arrays decoded cleanly but violate a graph invariant.
     Graph(GraphError),
     /// The zero-copy view cannot be built on this host (big-endian
@@ -206,6 +213,9 @@ impl fmt::Display for StoreError {
             }
             StoreError::BadPermutation { entry, why } => {
                 write!(f, "permutation entry {entry}: {why}")
+            }
+            StoreError::ShardManifest { why } => {
+                write!(f, "shard manifest is invalid: {why}")
             }
             StoreError::Graph(e) => write!(f, "snapshot decodes to an invalid graph: {e}"),
             StoreError::NotZeroCopy { why } => {

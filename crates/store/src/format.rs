@@ -48,7 +48,12 @@ pub const SECTION_HEADER_LEN: usize = 16;
 pub const FLAG_DIRECTED: u16 = 1 << 0;
 /// Header flag: group sections present.
 pub const FLAG_GROUPS: u16 = 1 << 1;
-const KNOWN_FLAGS: u16 = FLAG_DIRECTED | FLAG_GROUPS;
+/// Header flag: this file is one shard of a partitioned snapshot (a
+/// shard-manifest section is present). Builds that predate sharding
+/// reject such files with `UnknownFlags` rather than silently scoring a
+/// sub-graph as if it were the whole graph.
+pub const FLAG_SHARD: u16 = 1 << 2;
+const KNOWN_FLAGS: u16 = FLAG_DIRECTED | FLAG_GROUPS | FLAG_SHARD;
 
 /// The framing parameters that vary between snapshot formats. CKS1 and
 /// CKS2 share the 32-byte header layout and 16-byte section framing;
@@ -95,6 +100,9 @@ pub enum SectionId {
     GroupOffsets = 5,
     /// Concatenated group members: one u32 per membership.
     GroupMembers = 6,
+    /// Shard manifest binding this sub-snapshot to its parent (shard
+    /// count/index, parent counts, parent CRC); see [`ShardManifest`].
+    ShardManifest = 7,
 }
 
 impl SectionId {
@@ -107,6 +115,7 @@ impl SectionId {
             SectionId::InTargets => "in-targets",
             SectionId::GroupOffsets => "group-offsets",
             SectionId::GroupMembers => "group-members",
+            SectionId::ShardManifest => "shard-manifest",
         }
     }
 
@@ -118,6 +127,7 @@ impl SectionId {
             4 => Some(SectionId::InTargets),
             5 => Some(SectionId::GroupOffsets),
             6 => Some(SectionId::GroupMembers),
+            7 => Some(SectionId::ShardManifest),
             _ => None,
         }
     }
@@ -145,6 +155,12 @@ impl Header {
     /// Whether group sections are present.
     pub fn has_groups(&self) -> bool {
         self.flags & FLAG_GROUPS != 0
+    }
+
+    /// Whether this file is one shard of a partitioned snapshot (a
+    /// shard-manifest section is required).
+    pub fn is_shard(&self) -> bool {
+        self.flags & FLAG_SHARD != 0
     }
 
     /// Encodes the header, computing its checksum.
@@ -207,6 +223,123 @@ impl Header {
             edge_count: u64::from_le_bytes(bytes[16..24].try_into().expect("length checked")),
             section_count: u32::from_le_bytes(bytes[24..28].try_into().expect("length checked")),
         })
+    }
+}
+
+/// Byte length of an encoded [`ShardManifest`] payload.
+pub const SHARD_MANIFEST_LEN: usize = 40;
+
+/// The shard-manifest section payload: binds a sub-snapshot to the
+/// partitioned parent it was packed from.
+///
+/// Layout (40 bytes, little-endian):
+///
+/// ```text
+///   0   4  shard_count           u32  (>= 1)
+///   4   4  shard_index           u32  (< shard_count)
+///   8   8  parent_node_count     u64  (must equal the header's node_count)
+///  16   8  parent_edge_count     u64  (global m — shards cannot derive it)
+///  24   8  parent_median_degree  f64 bits (global FOMD threshold)
+///  32   4  parent_crc32          u32  (CRC-32 of the parent snapshot file)
+///  36   4  reserved              u32  (must be 0)
+/// ```
+///
+/// A shard keeps the parent's full node-id space, so per-member
+/// statistics computed on a shard line up index-for-index with the
+/// single-node computation; `parent_edge_count` and
+/// `parent_median_degree` carry the two graph-global inputs (`m` and
+/// the FOMD median) that a sub-graph cannot recompute, and
+/// `parent_crc32` lets a coordinator refuse to mix shards packed from
+/// different parents.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardManifest {
+    /// Total number of shards the parent was split into (>= 1).
+    pub shard_count: u32,
+    /// Which shard this file is (`0..shard_count`).
+    pub shard_index: u32,
+    /// The parent snapshot's node count (shards keep the full id space).
+    pub parent_node_count: u64,
+    /// The parent snapshot's edge count (`m`: arcs if directed,
+    /// undirected edges otherwise).
+    pub parent_edge_count: u64,
+    /// The parent graph's median total degree (the FOMD threshold).
+    pub parent_median_degree: f64,
+    /// CRC-32 of the complete parent snapshot file.
+    pub parent_crc32: u32,
+}
+
+impl ShardManifest {
+    /// Encodes the manifest as a section payload.
+    pub fn encode(&self) -> [u8; SHARD_MANIFEST_LEN] {
+        let mut buf = [0u8; SHARD_MANIFEST_LEN];
+        buf[0..4].copy_from_slice(&self.shard_count.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.shard_index.to_le_bytes());
+        buf[8..16].copy_from_slice(&self.parent_node_count.to_le_bytes());
+        buf[16..24].copy_from_slice(&self.parent_edge_count.to_le_bytes());
+        buf[24..32].copy_from_slice(&self.parent_median_degree.to_bits().to_le_bytes());
+        buf[32..36].copy_from_slice(&self.parent_crc32.to_le_bytes());
+        // bytes 36..40 are the reserved word, already zero
+        buf
+    }
+
+    /// Decodes and validates a manifest payload against the snapshot's
+    /// header.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::ShardManifest`] for a wrong payload length, a zero
+    /// shard count, an index outside the count, a nonzero reserved
+    /// word, or a `parent_node_count` that disagrees with the header
+    /// (shards keep the parent's full id space).
+    pub fn decode(header: &Header, payload: &[u8]) -> Result<ShardManifest, StoreError> {
+        let bad = |why: String| Err(StoreError::ShardManifest { why });
+        if payload.len() != SHARD_MANIFEST_LEN {
+            return bad(format!(
+                "payload is {} bytes, expected {SHARD_MANIFEST_LEN}",
+                payload.len()
+            ));
+        }
+        let manifest = ShardManifest {
+            shard_count: u32::from_le_bytes(payload[0..4].try_into().expect("length checked")),
+            shard_index: u32::from_le_bytes(payload[4..8].try_into().expect("length checked")),
+            parent_node_count: u64::from_le_bytes(
+                payload[8..16].try_into().expect("length checked"),
+            ),
+            parent_edge_count: u64::from_le_bytes(
+                payload[16..24].try_into().expect("length checked"),
+            ),
+            parent_median_degree: f64::from_bits(u64::from_le_bytes(
+                payload[24..32].try_into().expect("length checked"),
+            )),
+            parent_crc32: u32::from_le_bytes(payload[32..36].try_into().expect("length checked")),
+        };
+        let reserved = u32::from_le_bytes(payload[36..40].try_into().expect("length checked"));
+        if manifest.shard_count == 0 {
+            return bad("shard count is 0".to_string());
+        }
+        if manifest.shard_index >= manifest.shard_count {
+            return bad(format!(
+                "shard index {} is outside 0..{}",
+                manifest.shard_index, manifest.shard_count
+            ));
+        }
+        if reserved != 0 {
+            return bad(format!("reserved word is {reserved:#010x}, expected 0"));
+        }
+        if manifest.parent_node_count != header.node_count {
+            return bad(format!(
+                "parent node count {} disagrees with the header's {} \
+                 (shards keep the parent's full id space)",
+                manifest.parent_node_count, header.node_count
+            ));
+        }
+        if !manifest.parent_median_degree.is_finite() || manifest.parent_median_degree < 0.0 {
+            return bad(format!(
+                "parent median degree {} is not a finite non-negative value",
+                manifest.parent_median_degree
+            ));
+        }
+        Ok(manifest)
     }
 }
 
@@ -412,6 +545,39 @@ mod tests {
         ));
         h.flags = KNOWN_FLAGS;
         assert!(Header::decode(&h.encode()).is_ok());
+    }
+
+    #[test]
+    fn shard_manifest_roundtrips_and_validates() {
+        let header = Header { flags: FLAG_SHARD, node_count: 100, edge_count: 0, section_count: 1 };
+        let m = ShardManifest {
+            shard_count: 3,
+            shard_index: 2,
+            parent_node_count: 100,
+            parent_edge_count: 2500,
+            parent_median_degree: 7.5,
+            parent_crc32: 0xdead_beef,
+        };
+        let payload = m.encode();
+        assert_eq!(ShardManifest::decode(&header, &payload).unwrap(), m);
+
+        // Every validated invariant is a typed refusal.
+        let short = &payload[..SHARD_MANIFEST_LEN - 1];
+        assert!(matches!(
+            ShardManifest::decode(&header, short),
+            Err(StoreError::ShardManifest { .. })
+        ));
+        let zero_count = ShardManifest { shard_count: 0, ..m }.encode();
+        assert!(ShardManifest::decode(&header, &zero_count).is_err());
+        let bad_index = ShardManifest { shard_index: 3, ..m }.encode();
+        assert!(ShardManifest::decode(&header, &bad_index).is_err());
+        let bad_nodes = ShardManifest { parent_node_count: 99, ..m }.encode();
+        assert!(ShardManifest::decode(&header, &bad_nodes).is_err());
+        let bad_median = ShardManifest { parent_median_degree: f64::NAN, ..m }.encode();
+        assert!(ShardManifest::decode(&header, &bad_median).is_err());
+        let mut bad_reserved = payload;
+        bad_reserved[36] = 1;
+        assert!(ShardManifest::decode(&header, &bad_reserved).is_err());
     }
 
     #[test]

@@ -86,14 +86,17 @@ mod writer2;
 pub use cks2::{is_cks2, Cks2Paged, Cks2View, FLAG_WIDE, MAGIC2, VERSION2};
 pub use crc32::{crc32, file_crc32, Crc32};
 pub use error::StoreError;
-pub use format::{Header, SectionId, HEADER_LEN, MAGIC, SECTION_HEADER_LEN, VERSION};
+pub use format::{
+    Header, SectionId, ShardManifest, FLAG_SHARD, HEADER_LEN, MAGIC, SECTION_HEADER_LEN,
+    SHARD_MANIFEST_LEN, VERSION,
+};
 pub use mmap::MappedSnapshot;
 pub use reader::{
     decode_snapshot, file_is_snapshot, file_snapshot_format, is_snapshot, load_snapshot,
-    snapshot_format, Snapshot, SnapshotFormat,
+    read_shard_manifest, snapshot_format, Snapshot, SnapshotFormat,
 };
 pub use view::{section_infos, SectionInfo, SnapshotView};
-pub use writer::{save_snapshot, write_snapshot};
+pub use writer::{save_shard_snapshot, save_snapshot, write_shard_snapshot, write_snapshot};
 pub use writer2::{
     save_cks2_snapshot, stream_pack_cks2, write_cks2_snapshot, Cks2PackOptions, StreamPackOptions,
     StreamPackReport,

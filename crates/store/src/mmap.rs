@@ -221,4 +221,15 @@ impl MappedSnapshot {
             _ => self.view()?.to_snapshot(),
         }
     }
+
+    /// The shard manifest of the mapped file: `Some` (validated) for a
+    /// CKS1 shard sub-snapshot, `None` for ordinary snapshots of either
+    /// format.
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::read_shard_manifest`].
+    pub fn shard_manifest(&self) -> Result<Option<crate::ShardManifest>, StoreError> {
+        crate::reader::read_shard_manifest(self.bytes())
+    }
 }

@@ -10,7 +10,7 @@
 //! [`Graph::try_from_csr_parts`].
 
 use crate::error::StoreError;
-use crate::format::{find_section, parse_sections, Header, Section, SectionId};
+use crate::format::{find_section, parse_sections, Header, Section, SectionId, ShardManifest};
 use circlekit_graph::{Graph, NodeId, VertexSet};
 use std::fs;
 use std::io::Read;
@@ -188,7 +188,41 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, StoreError> {
         }
         _ => Vec::new(),
     };
+    decode_manifest(&header, &sections)?;
     Ok(Snapshot { graph, groups })
+}
+
+/// Looks up and validates the shard-manifest section under the header's
+/// presence rules: required when [`Header::is_shard`], refused otherwise.
+fn decode_manifest(
+    header: &Header,
+    sections: &[Section<'_>],
+) -> Result<Option<ShardManifest>, StoreError> {
+    let shard = header.is_shard();
+    find_section(sections, SectionId::ShardManifest, shard, shard)?
+        .map(|s| ShardManifest::decode(header, s.payload))
+        .transpose()
+}
+
+/// The shard manifest of an in-memory snapshot byte stream: `Some` for
+/// a shard sub-snapshot (fully validated), `None` for an ordinary CKS1
+/// or CKS2 snapshot.
+///
+/// # Errors
+///
+/// Any framing error from [`parse_sections`](crate::format::parse_sections),
+/// plus [`StoreError::ShardManifest`] when the section is present but
+/// invalid, [`StoreError::MissingSection`] when the header's shard flag
+/// is set without the section, or [`StoreError::UnexpectedSection`] for
+/// the converse.
+pub fn read_shard_manifest(bytes: &[u8]) -> Result<Option<ShardManifest>, StoreError> {
+    if crate::cks2::is_cks2(bytes) {
+        // CKS2 has its own flag namespace and no shard sections; a CKS2
+        // file is never a shard.
+        return Ok(None);
+    }
+    let (header, sections) = parse_sections(bytes)?;
+    decode_manifest(&header, &sections)
 }
 
 /// Loads a snapshot file through the portable buffered path (one

@@ -18,7 +18,10 @@
 //! [`Graph`], exactly like the buffered loader.
 
 use crate::error::StoreError;
-use crate::format::{find_section, parse_frames, parse_sections, Header, Section, SectionId, CKS1_SPEC};
+use crate::format::{
+    find_section, parse_frames, parse_sections, Header, Section, SectionId, ShardManifest,
+    CKS1_SPEC,
+};
 use crate::reader::{build_groups, Snapshot};
 use circlekit_graph::{AdjacencyAccess, Graph, NodeId, VertexSet};
 use std::convert::Infallible;
@@ -44,6 +47,7 @@ pub struct SnapshotView<'a> {
     in_targets: Option<&'a [NodeId]>,
     group_offsets: Option<&'a [u64]>,
     group_members: Option<&'a [NodeId]>,
+    shard: Option<ShardManifest>,
 }
 
 /// Reinterprets a payload as a little-endian integer slice without
@@ -181,6 +185,11 @@ impl<'a> SnapshotView<'a> {
             _ => (None, None),
         };
 
+        let is_shard = header.is_shard();
+        let shard = find_section(&sections, SectionId::ShardManifest, is_shard, is_shard)?
+            .map(|s| ShardManifest::decode(&header, s.payload))
+            .transpose()?;
+
         Ok(SnapshotView {
             header,
             out_offsets,
@@ -189,6 +198,7 @@ impl<'a> SnapshotView<'a> {
             in_targets,
             group_offsets,
             group_members,
+            shard,
         })
     }
 
@@ -220,6 +230,13 @@ impl<'a> SnapshotView<'a> {
     /// Total stored memberships across all groups.
     pub fn member_count(&self) -> usize {
         self.group_members.map_or(0, <[NodeId]>::len)
+    }
+
+    /// The shard manifest: `Some` for a shard sub-snapshot (already
+    /// validated against the header by [`SnapshotView::parse`]), `None`
+    /// for an ordinary snapshot.
+    pub fn shard_manifest(&self) -> Option<&ShardManifest> {
+        self.shard.as_ref()
     }
 
     /// Out-neighbours of `v`, borrowed from the snapshot buffer.

@@ -1,7 +1,10 @@
 //! Packing a graph (and optional group collections) into a CKS1 stream.
 
 use crate::error::StoreError;
-use crate::format::{padded_len, Header, SectionId, FLAG_DIRECTED, FLAG_GROUPS, SECTION_HEADER_LEN};
+use crate::format::{
+    padded_len, Header, SectionId, ShardManifest, FLAG_DIRECTED, FLAG_GROUPS, FLAG_SHARD,
+    SECTION_HEADER_LEN,
+};
 use crate::{crc32::crc32, HEADER_LEN};
 use circlekit_graph::{Graph, GraphError, NodeId, VertexSet};
 use std::fs::File;
@@ -53,6 +56,34 @@ pub fn write_snapshot<W: Write>(
     groups: &[VertexSet],
     writer: &mut W,
 ) -> Result<u64, StoreError> {
+    write_snapshot_with_manifest(graph, groups, None, writer)
+}
+
+/// [`write_snapshot`] for a shard sub-snapshot: sets [`FLAG_SHARD`] and
+/// appends the shard-manifest section binding this file to its parent.
+/// The graph must keep the parent's full node-id space (the manifest's
+/// `parent_node_count` is validated against the header on every load).
+///
+/// # Errors
+///
+/// As [`write_snapshot`], plus [`StoreError::ShardManifest`] when the
+/// manifest would not decode (zero count, index outside the count, or a
+/// `parent_node_count` that disagrees with the graph).
+pub fn write_shard_snapshot<W: Write>(
+    graph: &Graph,
+    groups: &[VertexSet],
+    manifest: &ShardManifest,
+    writer: &mut W,
+) -> Result<u64, StoreError> {
+    write_snapshot_with_manifest(graph, groups, Some(manifest), writer)
+}
+
+fn write_snapshot_with_manifest<W: Write>(
+    graph: &Graph,
+    groups: &[VertexSet],
+    manifest: Option<&ShardManifest>,
+    writer: &mut W,
+) -> Result<u64, StoreError> {
     let n = graph.node_count();
     for set in groups {
         for v in set.iter() {
@@ -72,14 +103,24 @@ pub fn write_snapshot<W: Write>(
     if !groups.is_empty() {
         flags |= FLAG_GROUPS;
     }
-    let section_count =
-        2 + if graph.is_directed() { 2 } else { 0 } + if groups.is_empty() { 0 } else { 2 };
+    if manifest.is_some() {
+        flags |= FLAG_SHARD;
+    }
+    let section_count = 2
+        + if graph.is_directed() { 2 } else { 0 }
+        + if groups.is_empty() { 0 } else { 2 }
+        + if manifest.is_some() { 1 } else { 0 };
     let header = Header {
         flags,
         node_count: n as u64,
         edge_count: graph.edge_count() as u64,
         section_count,
     };
+    if let Some(manifest) = manifest {
+        // Validate before writing anything: a manifest that would not
+        // decode must not produce a file.
+        ShardManifest::decode(&header, &manifest.encode())?;
+    }
     writer.write_all(&header.encode())?;
     let mut written = HEADER_LEN as u64;
 
@@ -109,6 +150,9 @@ pub fn write_snapshot<W: Write>(
         written += write_section(writer, SectionId::GroupOffsets, &u64_bytes(offsets.into_iter()))?;
         written += write_section(writer, SectionId::GroupMembers, &u32_bytes(&members))?;
     }
+    if let Some(manifest) = manifest {
+        written += write_section(writer, SectionId::ShardManifest, &manifest.encode())?;
+    }
     writer.flush()?;
     Ok(written)
 }
@@ -126,4 +170,20 @@ pub fn save_snapshot(
 ) -> Result<u64, StoreError> {
     let mut writer = BufWriter::new(File::create(path)?);
     write_snapshot(graph, groups, &mut writer)
+}
+
+/// Packs a shard sub-snapshot into the file at `path`; see
+/// [`write_shard_snapshot`].
+///
+/// # Errors
+///
+/// As [`write_shard_snapshot`].
+pub fn save_shard_snapshot(
+    path: impl AsRef<Path>,
+    graph: &Graph,
+    groups: &[VertexSet],
+    manifest: &ShardManifest,
+) -> Result<u64, StoreError> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    write_shard_snapshot(graph, groups, manifest, &mut writer)
 }

@@ -4,8 +4,9 @@
 
 use circlekit_graph::{Graph, VertexSet};
 use circlekit_store::{
-    decode_snapshot, load_snapshot, write_cks2_snapshot, write_snapshot, Cks2PackOptions, Cks2View,
-    MappedSnapshot, SnapshotView, StoreError, HEADER_LEN, SECTION_HEADER_LEN,
+    decode_snapshot, load_snapshot, read_shard_manifest, write_cks2_snapshot, write_shard_snapshot,
+    write_snapshot, Cks2PackOptions, Cks2View, MappedSnapshot, ShardManifest, SnapshotView,
+    StoreError, HEADER_LEN, SECTION_HEADER_LEN,
 };
 use std::io::Cursor;
 
@@ -502,6 +503,175 @@ fn cks2_in_adjacency_in_undirected_snapshot_is_rejected() {
         ),
         "{err}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Shard sub-snapshots: the shard-manifest section is covered by the same
+// guarantees — truncation, bit flips, and semantic field corruption all
+// surface as typed `StoreError`s, never panics or silently wrong manifests.
+// ---------------------------------------------------------------------------
+
+const SHARD_MANIFEST_ID: u32 = 7;
+
+/// A small directed shard sub-snapshot: same graph/groups as
+/// [`sample_bytes`], plus a manifest binding it to a 4-node parent.
+fn sample_shard_bytes() -> Vec<u8> {
+    let graph = Graph::from_edges(true, [(0u32, 1u32), (1, 2), (2, 0), (0, 2), (3, 1)]);
+    let groups = vec![VertexSet::from_iter([0u32, 1, 2]), VertexSet::from_iter([1u32, 3])];
+    let manifest = ShardManifest {
+        shard_count: 3,
+        shard_index: 1,
+        parent_node_count: graph.node_count() as u64,
+        parent_edge_count: 12,
+        parent_median_degree: 2.5,
+        parent_crc32: 0xDEAD_BEEF,
+    };
+    let mut bytes = Vec::new();
+    write_shard_snapshot(&graph, &groups, &manifest, &mut bytes).expect("pack shard");
+    bytes
+}
+
+#[test]
+fn shard_truncated_at_every_prefix_never_panics() {
+    let bytes = sample_shard_bytes();
+    for len in 0..bytes.len() {
+        let err = decode_snapshot(&bytes[..len]).expect_err("truncated shard must fail");
+        match err {
+            StoreError::TooShort { .. }
+            | StoreError::Truncated { .. }
+            | StoreError::SectionOversize { .. }
+            | StoreError::HeaderChecksum { .. } => {}
+            other => panic!("unexpected error for prefix {len}: {other}"),
+        }
+        assert!(read_shard_manifest(&bytes[..len]).is_err());
+    }
+}
+
+#[test]
+fn shard_every_single_bit_flip_is_detected_or_harmless() {
+    let bytes = sample_shard_bytes();
+    let original = decode_snapshot(&bytes).expect("clean shard decodes");
+    let manifest = read_shard_manifest(&bytes).expect("clean manifest").expect("is a shard");
+    for i in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut mangled = bytes.clone();
+            mangled[i] ^= 1 << bit;
+            match decode_snapshot(&mangled) {
+                Err(_) => {
+                    assert!(
+                        read_shard_manifest(&mangled).is_err(),
+                        "byte {i} bit {bit}: decode rejects but manifest read does not"
+                    );
+                }
+                Ok(snap) => {
+                    assert_eq!(
+                        snap, original,
+                        "byte {i} bit {bit}: undetected flip changed the decoded snapshot"
+                    );
+                    let m = read_shard_manifest(&mangled)
+                        .expect("accepted flip keeps the manifest readable")
+                        .expect("still a shard");
+                    assert_eq!(m, manifest, "byte {i} bit {bit}: manifest changed");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_manifest_field_corruption_is_structured() {
+    // Each semantic defect, with the section CRC re-sealed so the
+    // manifest validation itself must fire (not the checksum).
+    type Mutation = Box<dyn Fn(&mut [u8])>;
+    let cases: Vec<(&str, Mutation)> = vec![
+        ("zero shard count", Box::new(|p: &mut [u8]| p[0..4].copy_from_slice(&0u32.to_le_bytes()))),
+        ("index >= count", Box::new(|p: &mut [u8]| p[4..8].copy_from_slice(&3u32.to_le_bytes()))),
+        (
+            "parent node count disagrees with header",
+            Box::new(|p: &mut [u8]| p[8..16].copy_from_slice(&99u64.to_le_bytes())),
+        ),
+        (
+            "NaN median degree",
+            Box::new(|p: &mut [u8]| {
+                p[24..32].copy_from_slice(&f64::NAN.to_bits().to_le_bytes())
+            }),
+        ),
+        (
+            "nonzero reserved word",
+            Box::new(|p: &mut [u8]| p[36..40].copy_from_slice(&1u32.to_le_bytes())),
+        ),
+    ];
+    for (what, mutate) in cases {
+        let mut bytes = sample_shard_bytes();
+        patch_section(&mut bytes, SHARD_MANIFEST_ID, mutate);
+        let err = decode_snapshot(&bytes).expect_err(what);
+        assert!(matches!(err, StoreError::ShardManifest { .. }), "{what}: {err}");
+        let err = read_shard_manifest(&bytes).expect_err(what);
+        assert!(matches!(err, StoreError::ShardManifest { .. }), "{what}: {err}");
+    }
+}
+
+#[test]
+fn shard_manifest_wrong_length_is_structured() {
+    // Shrink the recorded payload length (and the actual payload) to 32
+    // bytes — framing stays valid, but the manifest decode must reject.
+    let bytes = sample_shard_bytes();
+    let (_, start, len) = *sections_of(&bytes)
+        .iter()
+        .find(|(id, _, _)| *id == SHARD_MANIFEST_ID)
+        .expect("manifest present");
+    assert_eq!(len, 40);
+    // Manifest is the last section and 40 is already 8-aligned; cutting
+    // the final 8 bytes keeps alignment.
+    let mut short = bytes[..start + 32].to_vec();
+    short[start - SECTION_HEADER_LEN + 8..start - SECTION_HEADER_LEN + 16]
+        .copy_from_slice(&32u64.to_le_bytes());
+    let crc = circlekit_store::crc32(&short[start..start + 32]);
+    short[start - SECTION_HEADER_LEN + 4..start - SECTION_HEADER_LEN + 8]
+        .copy_from_slice(&crc.to_le_bytes());
+    let err = decode_snapshot(&short).expect_err("short manifest must fail");
+    assert!(matches!(err, StoreError::ShardManifest { .. }), "{err}");
+}
+
+#[test]
+fn shard_flag_and_section_must_agree() {
+    // Shard flag set but no manifest section: required section missing.
+    let mut bytes = sample_bytes();
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    patch_flags(&mut bytes, flags | circlekit_store::FLAG_SHARD);
+    let err = decode_snapshot(&bytes).expect_err("flag without section must fail");
+    assert!(matches!(err, StoreError::MissingSection { section: "shard-manifest" }), "{err}");
+
+    // Manifest section present but flag clear: section not permitted.
+    let mut bytes = sample_shard_bytes();
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
+    patch_flags(&mut bytes, flags & !circlekit_store::FLAG_SHARD);
+    let err = decode_snapshot(&bytes).expect_err("section without flag must fail");
+    assert!(
+        matches!(err, StoreError::UnexpectedSection { section: "shard-manifest" }),
+        "{err}"
+    );
+}
+
+#[test]
+fn shard_mmap_and_reader_paths_agree() {
+    let dir = std::env::temp_dir().join("circlekit-store-tests");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("shard.cks");
+    let bytes = sample_shard_bytes();
+    std::fs::write(&path, &bytes).expect("write shard snapshot");
+
+    let mapped = MappedSnapshot::open(&path).expect("open");
+    let from_mmap = mapped.shard_manifest().expect("read").expect("is a shard");
+    let from_bytes = read_shard_manifest(&bytes).expect("read").expect("is a shard");
+    assert_eq!(from_mmap, from_bytes);
+    assert_eq!(from_mmap.shard_count, 3);
+    assert_eq!(from_mmap.shard_index, 1);
+
+    // An ordinary snapshot is simply not a shard — Ok(None), no error.
+    assert_eq!(read_shard_manifest(&sample_bytes()).expect("read"), None);
+    // And a CKS2 snapshot is never a shard either.
+    assert_eq!(read_shard_manifest(&sample2_bytes()).expect("read"), None);
 }
 
 #[test]
