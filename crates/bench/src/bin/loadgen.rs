@@ -3,7 +3,7 @@
 //! ```text
 //! loadgen [--connections N] [--requests N] [--scale F] [--workers N]
 //!         [--addr HOST:PORT] [--snapshot FILE.cks] [--out FILE.json]
-//!         [--kill-replica] [--mix] [--shards N]
+//!         [--kill-replica] [--mix] [--shards N] [--rate R]
 //! ```
 //!
 //! Drives `--connections` concurrent clients, each issuing `--requests`
@@ -24,6 +24,16 @@
 //! interleaved — so cache invalidation and re-discovery run under
 //! concurrent load. The resulting `serve_loadgen_mix` row replaces only
 //! itself in the report file, leaving the plain row in place.
+//!
+//! `--rate R` switches to the open-loop drill: `--connections` (up to
+//! 10k) nonblocking CKP1 connections multiplexed on one epoll poller,
+//! with arrivals drawn from a Poisson process at `R` requests/second
+//! aggregate. Open loop means arrivals never wait for responses, so
+//! queueing delay is charged to latency — each sample runs from the
+//! *scheduled* arrival instant to response receipt, making coordinated
+//! omission impossible. The `serve_loadgen_async` row is appended
+//! alongside the closed-loop row (replacing only itself); the gates are
+//! zero failed requests and p99 ≤ 10 ms.
 //!
 //! `--kill-replica` runs the availability drill instead: an in-process
 //! primary plus one read replica, failover clients preferring the
@@ -66,6 +76,7 @@ struct Options {
     kill_replica: bool,
     mix: bool,
     shards: Option<usize>,
+    rate: Option<f64>,
 }
 
 fn parse_options() -> Result<Options, String> {
@@ -80,6 +91,7 @@ fn parse_options() -> Result<Options, String> {
         kill_replica: false,
         mix: false,
         shards: None,
+        rate: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -108,6 +120,14 @@ fn parse_options() -> Result<Options, String> {
             "--mix" => opts.mix = true,
             "--shards" => {
                 opts.shards = Some(circlekit::shard::parse_shard_count(&value("--shards")?)?)
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                let rate: f64 = v.parse().map_err(|_| format!("bad --rate {v:?}"))?;
+                if !rate.is_finite() || rate <= 0.0 {
+                    return Err(format!("--rate must be a positive finite number, got {v:?}"));
+                }
+                opts.rate = Some(rate);
             }
             other => return Err(format!("unknown argument {other:?}")),
         }
@@ -322,6 +342,9 @@ fn discover_target(addr: &str) -> Result<(String, usize), String> {
 
 fn run() -> Result<(), String> {
     let opts = parse_options()?;
+    if opts.rate.is_some() {
+        return run_async(&opts);
+    }
     if opts.kill_replica {
         return run_kill_replica(&opts);
     }
@@ -462,6 +485,392 @@ fn run() -> Result<(), String> {
     }
     if !failures.is_empty() {
         return Err(format!("{} of {total} requests failed", failures.len()));
+    }
+    Ok(())
+}
+
+/// The `--rate` drill: open-loop Poisson arrivals over `--connections`
+/// nonblocking CKP1 connections multiplexed on one [`Poller`]. Arrivals
+/// fire on schedule whether or not earlier responses have landed, and
+/// each latency sample runs from the *scheduled* arrival instant to
+/// response receipt, so server queueing is charged to the tail instead
+/// of being silently absorbed (no coordinated omission). Gates: zero
+/// failed requests and p99 at or under 10 ms. Appends a
+/// `serve_loadgen_async` row that replaces only itself.
+fn run_async(opts: &Options) -> Result<(), String> {
+    use circlekit::scoring::ScoringFunction;
+    use circlekit_net::{Event, Interest, Poller};
+    use circlekit_serve::{binary, Request};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::VecDeque;
+    use std::io::{ErrorKind, Read, Write};
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+
+    const P99_BUDGET_US: u64 = 10_000;
+
+    let rate = opts.rate.expect("mode guard");
+    if opts.kill_replica || opts.mix || opts.shards.is_some() {
+        return Err("--rate does not combine with --kill-replica/--mix/--shards".to_string());
+    }
+
+    // Host or attach, exactly as the closed-loop mode does.
+    let mut local_server = None;
+    let (addr, snapshot_id, group_count) = match &opts.addr {
+        Some(addr) => {
+            let (id, groups) = discover_target(addr)?;
+            (addr.clone(), id, groups)
+        }
+        None => {
+            let mut registry = SnapshotRegistry::new();
+            let groups = match &opts.snapshot {
+                Some(path) => {
+                    registry.load(path, Some("loadgen"))?;
+                    registry.get("loadgen").expect("just loaded").groups.len()
+                }
+                None => {
+                    let data = gplus(opts.scale);
+                    let groups = data.groups.len();
+                    registry.insert("loadgen", data.graph, data.groups)?;
+                    groups
+                }
+            };
+            let config = ServeConfig { workers: opts.workers, ..ServeConfig::default() };
+            let server = Server::start(registry, config, ("127.0.0.1", 0))
+                .map_err(|e| format!("starting server: {e}"))?;
+            let addr = server.local_addr().to_string();
+            local_server = Some(server);
+            (addr, "loadgen".to_string(), groups)
+        }
+    };
+    if group_count == 0 {
+        return Err("the served snapshot has no groups to score".to_string());
+    }
+
+    let total = opts.connections * opts.requests;
+    println!(
+        "loadgen --rate {rate}: open loop, {} connections, {total} Poisson arrivals \
+         over {group_count} groups at {addr}",
+        opts.connections
+    );
+
+    struct AsyncConn {
+        stream: TcpStream,
+        outbuf: Vec<u8>,
+        inbuf: Vec<u8>,
+        /// Scheduled arrival instants of in-flight requests. CKP1
+        /// responses come back in request order, so the front is always
+        /// the next response's arrival time.
+        pending: VecDeque<Instant>,
+        writable_interest: bool,
+        dead: bool,
+    }
+
+    /// Takes a connection out of the run, charging every unanswered
+    /// request on it as a `reset` failure.
+    fn kill(
+        poller: &Poller,
+        index: usize,
+        conn: &mut AsyncConn,
+        failures: &mut Vec<(&'static str, String)>,
+        why: &str,
+    ) {
+        if conn.dead {
+            return;
+        }
+        conn.dead = true;
+        let _ = poller.deregister(conn.stream.as_raw_fd());
+        for _ in conn.pending.drain(..) {
+            failures.push(("reset", format!("connection {index}: {why}")));
+        }
+    }
+
+    /// Drains as much of the write buffer as the socket accepts, then
+    /// keeps poller interest in sync with whether bytes remain.
+    fn pump_writes(
+        poller: &Poller,
+        index: usize,
+        conn: &mut AsyncConn,
+        failures: &mut Vec<(&'static str, String)>,
+    ) {
+        if conn.dead {
+            return;
+        }
+        while !conn.outbuf.is_empty() {
+            match conn.stream.write(&conn.outbuf) {
+                Ok(0) => {
+                    kill(poller, index, conn, failures, "write returned 0");
+                    return;
+                }
+                Ok(n) => {
+                    conn.outbuf.drain(..n);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    kill(poller, index, conn, failures, &format!("write: {e}"));
+                    return;
+                }
+            }
+        }
+        let want_write = !conn.outbuf.is_empty();
+        if want_write != conn.writable_interest {
+            let interest = if want_write { Interest::BOTH } else { Interest::READ };
+            if poller.reregister(conn.stream.as_raw_fd(), index as u64, interest).is_ok() {
+                conn.writable_interest = want_write;
+            }
+        }
+    }
+
+    let poller = Poller::new().map_err(|e| format!("epoll: {e}"))?;
+    let mut conns: Vec<AsyncConn> = Vec::with_capacity(opts.connections);
+    for index in 0..opts.connections {
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| format!("connection {index}: connect: {e}"))?;
+        circlekit_net::tune_stream(&stream)
+            .map_err(|e| format!("connection {index}: nodelay: {e}"))?;
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("connection {index}: nonblocking: {e}"))?;
+        poller
+            .register(stream.as_raw_fd(), index as u64, Interest::READ)
+            .map_err(|e| format!("connection {index}: register: {e}"))?;
+        conns.push(AsyncConn {
+            stream,
+            outbuf: Vec::new(),
+            inbuf: Vec::new(),
+            pending: VecDeque::new(),
+            writable_interest: false,
+            dead: false,
+        });
+    }
+
+    let wire = circlekit_serve::protocol::wire::get;
+    let mut failures: Vec<(&'static str, String)> = Vec::new();
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut rng = SmallRng::seed_from_u64(2014);
+    let mut events: Vec<Event> = Vec::new();
+    let started = Instant::now();
+    let mut next_due = started;
+    let mut issued = 0usize;
+    // The schedule's own length plus a generous drain window; anything
+    // unanswered past this is a timeout failure, not a hang.
+    let drain_deadline =
+        started + Duration::from_secs_f64(total as f64 / rate) + Duration::from_secs(30);
+
+    loop {
+        let now = Instant::now();
+        let inflight: usize = conns.iter().map(|c| c.pending.len()).sum();
+        if issued >= total && inflight == 0 {
+            break;
+        }
+        if now >= drain_deadline {
+            for (index, conn) in conns.iter_mut().enumerate() {
+                for _ in conn.pending.drain(..) {
+                    failures.push((
+                        "timeout",
+                        format!("connection {index}: unanswered at the drain deadline"),
+                    ));
+                }
+            }
+            break;
+        }
+
+        // Fire every due arrival; the open loop never waits for
+        // responses, that is the point.
+        while issued < total && now >= next_due {
+            let preferred = issued % conns.len();
+            let live = (0..conns.len())
+                .map(|probe| (preferred + probe) % conns.len())
+                .find(|&i| !conns[i].dead);
+            let Some(index) = live else {
+                return Err("every connection died mid-run".to_string());
+            };
+            let request = Request::ScoreGroup {
+                snapshot: snapshot_id.clone(),
+                group: issued % group_count,
+                functions: ScoringFunction::PAPER.to_vec(),
+                deadline_ms: None,
+            };
+            let (op, payload) = binary::encode_request(&request);
+            let conn = &mut conns[index];
+            conn.pending.push_back(next_due);
+            conn.outbuf
+                .extend_from_slice(&binary::encode_frame(binary::KIND_REQUEST, op, &payload));
+            pump_writes(&poller, index, conn, &mut failures);
+            issued += 1;
+            // Exponential inter-arrival gap: a Poisson process at `rate`.
+            let uniform: f64 = rng.gen();
+            next_due += Duration::from_secs_f64(-(1.0 - uniform).ln() / rate);
+        }
+
+        let timeout = if issued < total {
+            next_due.saturating_duration_since(Instant::now()).min(Duration::from_millis(100))
+        } else {
+            Duration::from_millis(100)
+        };
+        poller.wait(&mut events, Some(timeout)).map_err(|e| format!("epoll wait: {e}"))?;
+        for event in &events {
+            let index = event.token as usize;
+            let Some(conn) = conns.get_mut(index) else { continue };
+            if conn.dead {
+                continue;
+            }
+            if event.error {
+                kill(&poller, index, conn, &mut failures, "socket error");
+                continue;
+            }
+            if event.writable {
+                pump_writes(&poller, index, conn, &mut failures);
+            }
+            if !(event.readable || event.hangup) || conn.dead {
+                continue;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        kill(&poller, index, conn, &mut failures, "peer closed");
+                        break;
+                    }
+                    Ok(n) => conn.inbuf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        kill(&poller, index, conn, &mut failures, &format!("read: {e}"));
+                        break;
+                    }
+                }
+            }
+            while !conn.dead {
+                match binary::try_parse(&conn.inbuf) {
+                    Ok(None) => break,
+                    Ok(Some((frame, consumed))) => {
+                        conn.inbuf.drain(..consumed);
+                        let Some(scheduled) = conn.pending.pop_front() else {
+                            kill(&poller, index, conn, &mut failures, "unsolicited response");
+                            break;
+                        };
+                        let ok = binary::decode_response_payload(&frame.payload)
+                            .ok()
+                            .and_then(|value| match wire(&value, "ok") {
+                                Some(serde_json::Value::Bool(ok)) => Some(*ok),
+                                _ => None,
+                            })
+                            .unwrap_or(false);
+                        if ok {
+                            let waited = Instant::now().saturating_duration_since(scheduled);
+                            latencies.push(waited.as_micros() as u64);
+                        } else {
+                            failures.push((
+                                "typed_error",
+                                format!("connection {index}: server refusal"),
+                            ));
+                        }
+                    }
+                    Err(defect) => {
+                        kill(
+                            &poller,
+                            index,
+                            conn,
+                            &mut failures,
+                            &format!("malformed response: {defect}"),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let wall = started.elapsed();
+
+    // Close every client socket before asking the server to drain.
+    drop(conns);
+    drop(poller);
+    let server_stats = match local_server {
+        Some(server) => {
+            let mut client =
+                Client::connect(&addr).map_err(|e| format!("stats connection: {e}"))?;
+            client.shutdown().map_err(|e| format!("shutdown request: {e}"))?;
+            Some(server.join())
+        }
+        None => None,
+    };
+
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    let throughput = ok as f64 / wall.as_secs_f64();
+    let failure_refs: Vec<&(&'static str, String)> = failures.iter().collect();
+    let (p50, p90, p99) = (
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+    );
+
+    let mut fields = vec![
+        ("bench".to_string(), serde_json::json!("serve_loadgen_async")),
+        ("open_loop".to_string(), serde_json::json!(true)),
+        ("connections".to_string(), serde_json::json!(opts.connections)),
+        ("rate_rps".to_string(), serde_json::json!(rate)),
+        ("total_requests".to_string(), serde_json::json!(total)),
+        ("failed_requests".to_string(), serde_json::json!(failures.len())),
+        ("failures".to_string(), failure_fields(&failure_refs)),
+        ("availability".to_string(), serde_json::json!(ok as f64 / total as f64)),
+        ("wall_ms".to_string(), serde_json::json!(wall.as_millis() as u64)),
+        ("throughput_rps".to_string(), serde_json::json!(throughput)),
+        (
+            "latency_us".to_string(),
+            serde_json::json!({
+                "p50": p50,
+                "p90": p90,
+                "p99": p99,
+                "max": latencies.last().copied().unwrap_or(0),
+            }),
+        ),
+        ("p99_budget_us".to_string(), serde_json::json!(P99_BUDGET_US)),
+    ];
+    if let Some(stats) = server_stats {
+        fields.push((
+            "server".to_string(),
+            serde_json::json!({
+                "binary_connections": stats.binary_connections,
+                "pipelined_peak": stats.pipelined_peak,
+                "batches": stats.batches,
+                "batched_jobs": stats.batched_jobs,
+                "cache_hits": stats.cache.hits,
+                "cache_misses": stats.cache.misses,
+                "overloaded": stats.overloaded,
+            }),
+        ));
+    }
+    let report = serde_json::Value::Map(fields);
+    let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+    let default_out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    let out_path = opts.out.as_deref().map(Path::new).unwrap_or(&default_out);
+    let kept: String = std::fs::read_to_string(out_path)
+        .unwrap_or_default()
+        .lines()
+        .filter(|line| !line.contains("\"bench\":\"serve_loadgen_async\""))
+        .map(|line| format!("{line}\n"))
+        .collect();
+    std::fs::write(out_path, kept + &json + "\n")
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+
+    println!(
+        "{ok}/{total} ok in {:.2}s ({throughput:.0} req/s achieved vs {rate:.0} offered)   \
+         p50 {p50}us  p90 {p90}us  p99 {p99}us",
+        wall.as_secs_f64()
+    );
+    println!("wrote {}", out_path.display());
+    for (category, detail) in failures.iter().map(|f| (f.0, &f.1)) {
+        eprintln!("FAILED [{category}]: {detail}");
+    }
+    if !failures.is_empty() {
+        return Err(format!("{} of {total} requests failed", failures.len()));
+    }
+    if p99 > P99_BUDGET_US {
+        return Err(format!("open-loop p99 {p99}us exceeds the {P99_BUDGET_US}us budget"));
     }
     Ok(())
 }

@@ -73,10 +73,12 @@ fn usage() -> String {
      circlekit live compact --snapshot FILE.cks [--crash-point tmp-written|renamed]\n  \
      circlekit serve        --snapshot FILE.cks [--snapshot FILE2.cks ...] [--listen ADDR]\n                         \
      [--threads N] [--workers N] [--queue N] [--batch N] [--cache N]\n                         \
+     [--event-loop on|off] [--dispatchers N]\n                         \
      [--replica-of HOST:PORT] [--repl-crash-point POINT]\n  \
      circlekit serve        --coordinator --shards HOST:PORT,HOST:PORT,... [--listen ADDR]\n                         \
      [--shard-count N] [--shard-deadline-ms MS]\n  \
-     circlekit query        --addr HOST:PORT [--timeout-ms N] <health|stats|list-snapshots|repl-status|shutdown>\n  \
+     circlekit query        --addr HOST:PORT [--timeout-ms N] [--binary]\n                         \
+     <health|stats|list-snapshots|repl-status|shutdown>\n  \
      circlekit query        --addr HOST:PORT <list-groups|score-table> --snapshot ID [--all]\n  \
      circlekit query        --addr HOST:PORT score-group --snapshot ID --group N [--all] [--deadline-ms N]\n  \
      circlekit query        --addr HOST:PORT score-set   --snapshot ID --members 0,1,2 [--all]\n  \
@@ -1112,6 +1114,11 @@ fn serve(args: &[String]) -> Result<String, String> {
             })
         })
         .transpose()?;
+    let event_loop = match flags.get("event-loop").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("bad --event-loop {other:?} (on|off)")),
+    };
     let config = ServeConfig {
         threads: threads_flag(&flags)?,
         workers: flags.parse_value("workers", 1)?,
@@ -1124,6 +1131,8 @@ fn serve(args: &[String]) -> Result<String, String> {
         repl_crash_point,
         fault: circlekit_serve::FaultPlan::default(),
         coordinator,
+        event_loop,
+        dispatchers: flags.parse_value("dispatchers", 0)?,
     };
     circlekit_serve::signal::install_termination_handlers();
     let listen = flags.get("listen").unwrap_or("127.0.0.1:7450");
@@ -1145,11 +1154,12 @@ fn serve(args: &[String]) -> Result<String, String> {
 
 /// One-shot client for a running `serve` daemon.
 fn query(args: &[String]) -> Result<String, String> {
-    let flags = Flags::parse(args, &["all"])?;
+    let flags = Flags::parse(args, &["all", "binary"])?;
     let op = *flags.positional.first().ok_or("query needs an op")?;
     let addr = flags.required("addr")?;
     let mut client = Client::connect_with_patience(addr, std::time::Duration::from_secs(5))
         .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    client.set_binary(flags.has("binary"));
     if let Some(ms) = flags
         .get("timeout-ms")
         .map(|v| v.parse::<u64>().map_err(|_| format!("bad --timeout-ms {v:?}")))

@@ -1,0 +1,93 @@
+//! Socket tuning applied consistently on every accept and connect path.
+//!
+//! Two knobs matter for the 10k-connection target:
+//!
+//! * **Listen backlog.** The default backlog the daemon inherited
+//!   (std's 128) overflows under a burst of simultaneous connects and
+//!   the kernel silently drops or resets the excess SYNs. [`tune_listener`]
+//!   re-issues `listen(2)` with [`LISTEN_BACKLOG`] — on Linux, calling
+//!   `listen` again on a listening socket just resizes the queue.
+//! * **`TCP_NODELAY`.** Request/response frames are small; Nagle's
+//!   algorithm would stall the tail of a frame behind an unacked
+//!   segment. [`tune_stream`] disables it on every accepted and every
+//!   dialed connection.
+//!
+//! `SO_REUSEADDR` is also (re)asserted on listeners so restarts never
+//! fight TIME_WAIT — std sets it at bind on Unix, but the explicit call
+//! keeps the guarantee local and covers listeners adopted from raw fds.
+
+use crate::sys;
+use std::io;
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+
+/// The listen queue depth requested for every circlekit listener.
+pub const LISTEN_BACKLOG: i32 = 1024;
+
+fn set_int_opt(fd: i32, level: sys::c_int, opt: sys::c_int, value: sys::c_int) -> io::Result<()> {
+    let rc = unsafe {
+        sys::setsockopt(fd, level, opt, &value, std::mem::size_of::<sys::c_int>() as u32)
+    };
+    if rc < 0 {
+        return Err(sys::last_error());
+    }
+    Ok(())
+}
+
+/// Asserts `SO_REUSEADDR` and raises the backlog to [`LISTEN_BACKLOG`].
+///
+/// # Errors
+///
+/// The `setsockopt(2)`/`listen(2)` errno.
+pub fn tune_listener(listener: &TcpListener) -> io::Result<()> {
+    let fd = listener.as_raw_fd();
+    set_int_opt(fd, sys::SOL_SOCKET, sys::SO_REUSEADDR, 1)?;
+    let rc = unsafe { sys::listen(fd, LISTEN_BACKLOG) };
+    if rc < 0 {
+        return Err(sys::last_error());
+    }
+    Ok(())
+}
+
+/// Disables Nagle (`TCP_NODELAY`) on a connection.
+///
+/// # Errors
+///
+/// The `setsockopt(2)` errno.
+pub fn tune_stream(stream: &TcpStream) -> io::Result<()> {
+    set_int_opt(stream.as_raw_fd(), sys::IPPROTO_TCP, sys::TCP_NODELAY, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuned_listener_still_accepts() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        tune_listener(&listener).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        tune_stream(&client).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        tune_stream(&accepted).unwrap();
+        assert!(accepted.nodelay().unwrap());
+    }
+
+    #[test]
+    fn backlog_absorbs_a_connect_burst() {
+        // With the raised backlog, a burst of simultaneous connects all
+        // land in the accept queue even though nothing accepts yet.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        tune_listener(&listener).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let burst: Vec<TcpStream> = (0..200)
+            .map(|i| {
+                TcpStream::connect(addr).unwrap_or_else(|e| panic!("connect {i} refused: {e}"))
+            })
+            .collect();
+        for _ in 0..burst.len() {
+            listener.accept().expect("queued connection");
+        }
+    }
+}

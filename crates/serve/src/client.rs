@@ -7,7 +7,8 @@
 //! [`ErrorKind`] so callers can react to `overloaded` or
 //! `deadline-exceeded` distinctly from transport failures.
 
-use crate::protocol::{read_frame_patiently, wire, write_frame, ErrorKind, FrameError};
+use crate::binary;
+use crate::protocol::{read_frame_patiently, wire, write_frame, ErrorKind, FrameError, Request};
 use circlekit_live::Mutation;
 use serde_json::Value;
 use std::io::Write as _;
@@ -94,12 +95,18 @@ pub struct ClientOptions {
     pub connect_timeout: Option<Duration>,
     /// Per-call response deadline, as in [`Client::set_timeout`].
     pub read_timeout: Option<Duration>,
+    /// Speak CKP1 binary frames ([`crate::binary`]) instead of
+    /// length-prefixed JSON. Responses decode to the exact same
+    /// [`Value`] tree either way, so everything downstream of a call is
+    /// unaffected by the wire mode.
+    pub binary: bool,
 }
 
 /// A blocking protocol client over one TCP connection.
 pub struct Client {
     stream: TcpStream,
     read_timeout: Option<Duration>,
+    binary: bool,
 }
 
 impl Client {
@@ -147,7 +154,7 @@ impl Client {
             }
         };
         stream.set_nodelay(true)?;
-        let mut client = Client { stream, read_timeout: None };
+        let mut client = Client { stream, read_timeout: None, binary: options.binary };
         client.set_timeout(options.read_timeout)?;
         Ok(client)
     }
@@ -189,14 +196,33 @@ impl Client {
         Ok(())
     }
 
+    /// Switches this connection's wire mode. Only safe between calls —
+    /// the server fixes a connection's protocol at its first byte, so
+    /// flip this before the first request (connections made by
+    /// [`Client::connect_with_patience`] start in JSON mode).
+    pub fn set_binary(&mut self, on: bool) {
+        self.binary = on;
+    }
+
+    /// Whether calls are sent as CKP1 binary frames.
+    pub fn is_binary(&self) -> bool {
+        self.binary
+    }
+
     /// Sends one already-rendered JSON request and returns the parsed
     /// response object. `ok:false` responses become
-    /// [`ClientError::Server`].
+    /// [`ClientError::Server`]. In binary mode the request is re-encoded
+    /// as a CKP1 frame (the JSON text is the lingua franca of every
+    /// caller); the response decodes to the same [`Value`] tree a JSON
+    /// response parses to.
     ///
     /// # Errors
     ///
     /// Transport, framing, or typed server errors.
     pub fn call_raw(&mut self, request: &str) -> Result<Value, ClientError> {
+        if self.binary {
+            return self.call_raw_binary(request);
+        }
         write_frame(&mut self.stream, request)?;
         self.stream.flush()?;
         let deadline = self.read_timeout.map(|t| (t, Instant::now() + t));
@@ -215,28 +241,44 @@ impl Client {
         };
         let value: Value = serde_json::from_str(&payload)
             .map_err(|e| ClientError::Malformed(format!("response is not JSON: {e}")))?;
-        match wire::get(&value, "ok") {
-            Some(Value::Bool(true)) => Ok(value),
-            Some(Value::Bool(false)) => {
-                let error = wire::get(&value, "error");
-                let kind = error
-                    .and_then(|e| match wire::get(e, "kind") {
-                        Some(Value::Str(name)) => ErrorKind::from_name(name),
-                        _ => None,
-                    })
-                    .unwrap_or(ErrorKind::Internal);
-                let message = error
-                    .and_then(|e| match wire::get(e, "message") {
-                        Some(Value::Str(m)) => Some(m.clone()),
-                        _ => None,
-                    })
-                    .unwrap_or_default();
-                Err(ClientError::Server { kind, message })
+        interpret_envelope(value)
+    }
+
+    fn call_raw_binary(&mut self, request: &str) -> Result<Value, ClientError> {
+        // Validate through the same parser the server uses, then encode:
+        // a request the server would refuse is refused here with the
+        // identical typed error, before it touches the wire.
+        let parsed = Request::parse(request)
+            .map_err(|(kind, message)| ClientError::Server { kind, message })?;
+        let (op, payload) = binary::encode_request(&parsed);
+        binary::write_frame(&mut self.stream, binary::KIND_REQUEST, op, &payload)?;
+        self.stream.flush()?;
+        let deadline = self.read_timeout.map(|t| (t, Instant::now() + t));
+        let read = binary::read_frame_patiently(&mut self.stream, |_| match deadline {
+            Some((_, at)) => Instant::now() < at,
+            None => true,
+        });
+        let frame = match read {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                let (after, _) = deadline.expect("only a deadline abandons the read");
+                return Err(ClientError::Timeout { after });
             }
-            _ => Err(ClientError::Malformed(
-                "response lacks a boolean \"ok\" field".to_string(),
-            )),
+            Err(binary::ReadError::Frame(FrameError::Io(e))) => return Err(ClientError::Io(e)),
+            Err(binary::ReadError::Frame(other)) => return Err(ClientError::Frame(other)),
+            Err(binary::ReadError::Malformed(defect)) => {
+                return Err(ClientError::Malformed(defect.to_string()))
+            }
+        };
+        if frame.kind != binary::KIND_RESPONSE {
+            return Err(ClientError::Malformed(format!(
+                "expected a response frame, got kind {}",
+                frame.kind
+            )));
         }
+        let value = binary::decode_response_payload(&frame.payload)
+            .map_err(ClientError::Malformed)?;
+        interpret_envelope(value)
     }
 
     /// Sends an op with extra fields.
@@ -477,5 +519,33 @@ impl Client {
     pub fn scores_of(response: &Value) -> Result<Vec<f64>, ClientError> {
         wire::get_scores(response, "scores")
             .map_err(|(_, message)| ClientError::Malformed(message))
+    }
+}
+
+/// Turns a decoded response envelope into `Ok(tree)` or a typed
+/// [`ClientError::Server`] — shared by the JSON and binary read paths so
+/// both modes refuse and succeed identically.
+fn interpret_envelope(value: Value) -> Result<Value, ClientError> {
+    match wire::get(&value, "ok") {
+        Some(Value::Bool(true)) => Ok(value),
+        Some(Value::Bool(false)) => {
+            let error = wire::get(&value, "error");
+            let kind = error
+                .and_then(|e| match wire::get(e, "kind") {
+                    Some(Value::Str(name)) => ErrorKind::from_name(name),
+                    _ => None,
+                })
+                .unwrap_or(ErrorKind::Internal);
+            let message = error
+                .and_then(|e| match wire::get(e, "message") {
+                    Some(Value::Str(m)) => Some(m.clone()),
+                    _ => None,
+                })
+                .unwrap_or_default();
+            Err(ClientError::Server { kind, message })
+        }
+        _ => Err(ClientError::Malformed(
+            "response lacks a boolean \"ok\" field".to_string(),
+        )),
     }
 }

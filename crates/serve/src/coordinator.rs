@@ -21,6 +21,14 @@
 //!   replica endpoints with jittered backoff — turns the whole request
 //!   into a typed `shard-unavailable` error naming the shard; a partial
 //!   gather is never silently reduced.
+//! * **Caching**: reduced scores are remembered in the server's
+//!   ordinary [`crate::ScoreCache`], keyed by the *shard version
+//!   vector* — the per-shard materialization versions every
+//!   `shard_stats` response reports. Any shard's version advancing
+//!   changes the composite key (and purges the stale generation), so a
+//!   repeated query skips the scatter entirely while a mutated shard
+//!   can never be answered from memory. Hits and misses show up in the
+//!   usual `cache_*` rows of the `stats` op.
 //! * **Topology safety**: at startup the coordinator probes every shard
 //!   and refuses to serve unless the manifests agree (same shard count,
 //!   same parent CRC/counts/median) and the shard indices form a
@@ -33,9 +41,10 @@
 //! `baseline` is refused with `bad-request` because random walks cannot
 //! be confined to one shard's halo.
 
+use crate::cache::CacheKey;
 use crate::client::ClientError;
 use crate::failover::{FailoverClient, FailoverOptions};
-use crate::protocol::{ok_payload, wire, ErrorKind, Request, RequestError};
+use crate::protocol::{ok_payload, set_digest, wire, ErrorKind, Request, RequestError};
 use crate::server::{score_fields, with_op, Shared};
 use circlekit_scoring::{ScoringFunction, SetStats};
 use circlekit_shard::{reduce_partials, shard_of, ShardPartial};
@@ -123,6 +132,36 @@ pub(crate) struct Coordinator {
     deadline_ms: u64,
     /// Indexed by shard index (validated to be a complete cover).
     shards: Vec<ShardLink>,
+    /// Per-shard materialization versions, indexed like `shards`, as
+    /// last observed in gathered `shard_stats` responses. The fold of
+    /// this vector keys every cached reduction, so a shard advancing
+    /// makes older cache entries unreachable; see
+    /// [`Coordinator::observe_versions`].
+    versions: Mutex<Vec<u64>>,
+}
+
+/// Tag words separating the two gather-set namings inside
+/// [`coord_digest`], so a group index can never collide with a member
+/// digest.
+const DIGEST_GROUP: u64 = 1;
+const DIGEST_MEMBERS: u64 = 2;
+
+/// FNV-1a fold of a gather set's identity and the full shard version
+/// vector — the `digest` half of a coordinator cache key. The key's
+/// `version` half is the (per-shard monotone, hence monotone) version
+/// *sum*, which is what lets [`crate::ScoreCache::invalidate_stale`]
+/// purge superseded generations; folding the raw vector in here keeps
+/// two distinct vectors that happen to share a sum from ever sharing a
+/// key.
+fn coord_digest(tag: u64, set: u64, versions: &[u64]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for word in [tag, set].into_iter().chain(versions.iter().copied()) {
+        for byte in word.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
 }
 
 /// What a gathered set is named by: a group index (resolved shard-side
@@ -143,7 +182,7 @@ impl Coordinator {
             return Err("a coordinator needs at least one shard endpoint".to_string());
         }
         let want = config.shards.len() as u32;
-        let mut probed: Vec<(ShardLink, ShardManifest, bool)> = Vec::new();
+        let mut probed: Vec<(ShardLink, ShardManifest, bool, u64)> = Vec::new();
         for entry in &config.shards {
             let endpoints: Vec<String> = entry
                 .split('|')
@@ -179,6 +218,8 @@ impl Coordinator {
                 .map_err(|e| format!("shard {entry:?}: shard_stats probe failed: {e}"))?;
             let (manifest, directed) = manifest_from_response(&probe)
                 .map_err(|why| format!("shard {entry:?}: {why}"))?;
+            let version = require_u64(&probe, "version")
+                .map_err(|why| format!("shard {entry:?}: {why}"))?;
             if manifest.shard_count != want {
                 return Err(format!(
                     "shard {entry:?} was packed for {} shards but {want} endpoints were given",
@@ -199,12 +240,13 @@ impl Coordinator {
                 },
                 manifest,
                 directed,
+                version,
             ));
         }
-        let (_, reference, ref_directed) = &probed[0];
+        let (_, reference, ref_directed, _) = &probed[0];
         let reference = *reference;
         let ref_directed = *ref_directed;
-        for (link, manifest, directed) in &probed {
+        for (link, manifest, directed, _) in &probed {
             if !same_parent(manifest, &reference) || *directed != ref_directed {
                 return Err(format!(
                     "shard {:?} belongs to a different partition (parent CRC {:#010x} vs \
@@ -213,8 +255,8 @@ impl Coordinator {
                 ));
             }
         }
-        probed.sort_by_key(|(link, _, _)| link.index);
-        for (at, (link, _, _)) in probed.iter().enumerate() {
+        probed.sort_by_key(|(link, _, _, _)| link.index);
+        for (at, (link, _, _, _)) in probed.iter().enumerate() {
             if link.index as usize != at {
                 return Err(format!(
                     "shard indices do not cover 0..{want}: {} (endpoint {:?}) is {}",
@@ -228,7 +270,8 @@ impl Coordinator {
                 ));
             }
         }
-        let shards: Vec<ShardLink> = probed.into_iter().map(|(link, _, _)| link).collect();
+        let versions: Vec<u64> = probed.iter().map(|(_, _, _, version)| *version).collect();
+        let shards: Vec<ShardLink> = probed.into_iter().map(|(link, _, _, _)| link).collect();
         let logical_id = logical_id_of(&shards[0].snapshot_id);
         let shard0 = &shards[0];
         let groups = shard0
@@ -243,6 +286,7 @@ impl Coordinator {
             group_sizes,
             deadline_ms: config.shard_deadline_ms,
             shards,
+            versions: Mutex::new(versions),
         })
     }
 
@@ -262,14 +306,17 @@ impl Coordinator {
 
     /// Scatter `set` to every shard and reduce the gathered partials to
     /// exact global statistics. Exact or refused: the first shard that
-    /// cannot answer fails the whole gather.
+    /// cannot answer fails the whole gather. Also returns the shard
+    /// version vector this gather observed, for keying the cached
+    /// reduction.
     fn gather(
         &self,
+        shared: &Shared,
         set: &GatherSet<'_>,
         deadline_ms: Option<u64>,
-    ) -> Result<(SetStats, usize), RequestError> {
+    ) -> Result<(SetStats, usize, Vec<u64>), RequestError> {
         let deadline = deadline_ms.unwrap_or(self.deadline_ms);
-        let outcomes: Vec<Result<(ShardPartial, u64), RequestError>> =
+        let outcomes: Vec<Result<(ShardPartial, u64, u64), RequestError>> =
             std::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
@@ -282,9 +329,10 @@ impl Coordinator {
                     .collect()
             });
         let mut partials = Vec::with_capacity(outcomes.len());
+        let mut versions = Vec::with_capacity(outcomes.len());
         let mut set_len: Option<u64> = None;
         for outcome in outcomes {
-            let (partial, len) = outcome?;
+            let (partial, len, version) = outcome?;
             match set_len {
                 None => set_len = Some(len),
                 Some(have) if have != len => {
@@ -299,20 +347,102 @@ impl Coordinator {
                 Some(_) => {}
             }
             partials.push(partial);
+            versions.push(version);
         }
         let set_len = set_len.unwrap_or(0) as usize;
         let stats = reduce_partials(&self.manifest, self.directed, set_len, &partials)
             .map_err(|e| (ErrorKind::Internal, format!("shard reduction failed: {e}")))?;
-        Ok((stats, set_len))
+        self.observe_versions(shared, &versions);
+        Ok((stats, set_len, versions))
     }
 
-    /// One shard's half of [`Coordinator::gather`].
+    /// Folds the version vector a gather observed into the tracked one
+    /// (component-wise max — versions only advance shard-side). When
+    /// any shard has moved, every cached reduction keyed below the new
+    /// version sum is purged: the composite digest already makes the
+    /// old generation unreachable, but the purge keeps the LRU from
+    /// carrying dead entries and ticks the `cache_invalidations` row.
+    fn observe_versions(&self, shared: &Shared, observed: &[u64]) {
+        let mut tracked = self.versions.lock().expect("shard versions lock");
+        let mut advanced = false;
+        for (have, &saw) in tracked.iter_mut().zip(observed) {
+            if saw > *have {
+                *have = saw;
+                advanced = true;
+            }
+        }
+        if advanced {
+            let sum: u64 = tracked.iter().sum();
+            drop(tracked);
+            shared
+                .cache
+                .lock()
+                .expect("cache lock")
+                .invalidate_stale(&self.logical_id, sum);
+        }
+    }
+
+    /// Probes the server's ordinary score LRU for every requested
+    /// function's reduced score under the tracked version vector.
+    /// All-or-nothing: a single absent entry falls the whole request
+    /// back to a full scatter-gather.
+    fn cached_scores(
+        &self,
+        shared: &Shared,
+        tag: u64,
+        set: u64,
+        functions: &[ScoringFunction],
+    ) -> Option<Vec<f64>> {
+        let (digest, version) = {
+            let versions = self.versions.lock().expect("shard versions lock");
+            (coord_digest(tag, set, &versions), versions.iter().sum())
+        };
+        let mut cache = shared.cache.lock().expect("cache lock");
+        functions
+            .iter()
+            .map(|&function| {
+                cache.get(&CacheKey {
+                    snapshot: self.logical_id.clone(),
+                    version,
+                    function,
+                    digest,
+                })
+            })
+            .collect()
+    }
+
+    /// Remembers one gather's reduced scores, keyed by the version
+    /// vector that gather actually observed (not the tracked one, which
+    /// a racing gather may have advanced past).
+    fn store_scores(
+        &self,
+        shared: &Shared,
+        tag: u64,
+        set: u64,
+        observed: &[u64],
+        functions: &[ScoringFunction],
+        scores: &[f64],
+    ) {
+        let digest = coord_digest(tag, set, observed);
+        let version = observed.iter().sum();
+        let mut cache = shared.cache.lock().expect("cache lock");
+        for (&function, &score) in functions.iter().zip(scores) {
+            cache.insert(
+                CacheKey { snapshot: self.logical_id.clone(), version, function, digest },
+                score,
+            );
+        }
+    }
+
+    /// One shard's half of [`Coordinator::gather`]: the partial terms,
+    /// the shard's view of the set size, and the shard's snapshot
+    /// version.
     fn gather_one(
         &self,
         link: &ShardLink,
         set: &GatherSet<'_>,
         deadline_ms: u64,
-    ) -> Result<(ShardPartial, u64), RequestError> {
+    ) -> Result<(ShardPartial, u64, u64), RequestError> {
         let mut fields = vec![(
             "snapshot".to_string(),
             Value::Str(link.snapshot_id.clone()),
@@ -353,12 +483,16 @@ impl Coordinator {
                 ),
             ));
         }
-        partial_from_response(&response, manifest.shard_index)
-            .map_err(|why| (ErrorKind::Internal, format!("shard {}: {why}", link.index)))
+        let version = require_u64(&response, "version")
+            .map_err(|why| (ErrorKind::Internal, format!("shard {}: {why}", link.index)))?;
+        let (partial, set_len) = partial_from_response(&response, manifest.shard_index)
+            .map_err(|why| (ErrorKind::Internal, format!("shard {}: {why}", link.index)))?;
+        Ok((partial, set_len, version))
     }
 
     fn score_group(
         &self,
+        shared: &Shared,
         snapshot: &str,
         group: usize,
         functions: &[ScoringFunction],
@@ -375,15 +509,26 @@ impl Coordinator {
                 ),
             ));
         }
-        let (stats, set_len) = self.gather(&GatherSet::Group(group), deadline_ms)?;
-        let scores: Vec<f64> = functions.iter().map(|f| f.score(&stats)).collect();
         let mut fields = vec![("group".to_string(), Value::UInt(group as u64))];
+        if let Some(scores) = self.cached_scores(shared, DIGEST_GROUP, group as u64, functions)
+        {
+            // The shards were validated to share one group list, so the
+            // advertised size is the size every gather would re-agree on.
+            let set_len = self.group_sizes[group] as usize;
+            fields.extend(score_fields(set_len, functions, &scores, true));
+            return Ok(ok_payload(with_op("score_group", &self.logical_id, fields)));
+        }
+        let (stats, set_len, observed) =
+            self.gather(shared, &GatherSet::Group(group), deadline_ms)?;
+        let scores: Vec<f64> = functions.iter().map(|f| f.score(&stats)).collect();
+        self.store_scores(shared, DIGEST_GROUP, group as u64, &observed, functions, &scores);
         fields.extend(score_fields(set_len, functions, &scores, false));
         Ok(ok_payload(with_op("score_group", &self.logical_id, fields)))
     }
 
     fn score_set(
         &self,
+        shared: &Shared,
         snapshot: &str,
         members: &[u32],
         functions: &[ScoringFunction],
@@ -401,13 +546,33 @@ impl Coordinator {
                 ),
             ));
         }
-        let (stats, set_len) = self.gather(&GatherSet::Members(members), deadline_ms)?;
+        // Normalize exactly like the shard-side `VertexSet::from_vec`,
+        // so the digest (and the cached `size`) name the de-duplicated
+        // set the shards actually score.
+        let mut normalized = members.to_vec();
+        normalized.sort_unstable();
+        normalized.dedup();
+        let member_digest = set_digest(&normalized);
+        if let Some(scores) =
+            self.cached_scores(shared, DIGEST_MEMBERS, member_digest, functions)
+        {
+            let fields = score_fields(normalized.len(), functions, &scores, true);
+            return Ok(ok_payload(with_op("score_set", &self.logical_id, fields)));
+        }
+        let (stats, set_len, observed) =
+            self.gather(shared, &GatherSet::Members(members), deadline_ms)?;
         let scores: Vec<f64> = functions.iter().map(|f| f.score(&stats)).collect();
+        self.store_scores(shared, DIGEST_MEMBERS, member_digest, &observed, functions, &scores);
         let fields = score_fields(set_len, functions, &scores, false);
         Ok(ok_payload(with_op("score_set", &self.logical_id, fields)))
     }
 
-    fn watch_scores(&self, snapshot: &str, group: usize) -> Result<String, RequestError> {
+    fn watch_scores(
+        &self,
+        shared: &Shared,
+        snapshot: &str,
+        group: usize,
+    ) -> Result<String, RequestError> {
         self.check_snapshot(snapshot)?;
         if group >= self.group_sizes.len() {
             return Err((
@@ -420,10 +585,32 @@ impl Coordinator {
             ));
         }
         let functions = ScoringFunction::PAPER;
-        let (stats, set_len) = self.gather(&GatherSet::Group(group), None)?;
+        // Shares the score_group key space: watch_scores is the PAPER
+        // function set over the same gathered group.
+        let (scores, set_len) = match self.cached_scores(
+            shared,
+            DIGEST_GROUP,
+            group as u64,
+            &functions,
+        ) {
+            Some(scores) => (scores, self.group_sizes[group] as usize),
+            None => {
+                let (stats, set_len, observed) =
+                    self.gather(shared, &GatherSet::Group(group), None)?;
+                let scores: Vec<f64> = functions.iter().map(|f| f.score(&stats)).collect();
+                self.store_scores(
+                    shared,
+                    DIGEST_GROUP,
+                    group as u64,
+                    &observed,
+                    &functions,
+                    &scores,
+                );
+                (scores, set_len)
+            }
+        };
         let names: Vec<Value> =
             functions.iter().map(|f| Value::Str(f.name().to_string())).collect();
-        let scores: Vec<f64> = functions.iter().map(|f| f.score(&stats)).collect();
         let fields = vec![
             ("group".to_string(), Value::UInt(group as u64)),
             ("size".to_string(), Value::UInt(set_len as u64)),
@@ -561,12 +748,14 @@ pub(crate) fn handle(
             ])
         }),
         Request::ScoreGroup { snapshot, group, functions, deadline_ms } => {
-            coord.score_group(snapshot, *group, functions, *deadline_ms)
+            coord.score_group(shared, snapshot, *group, functions, *deadline_ms)
         }
         Request::ScoreSet { snapshot, members, functions, deadline_ms } => {
-            coord.score_set(snapshot, members, functions, *deadline_ms)
+            coord.score_set(shared, snapshot, members, functions, *deadline_ms)
         }
-        Request::WatchScores { snapshot, group } => coord.watch_scores(snapshot, *group),
+        Request::WatchScores { snapshot, group } => {
+            coord.watch_scores(shared, snapshot, *group)
+        }
         Request::SuggestCircles { snapshot, ego, seed, min_size, top } => {
             coord.suggest(snapshot, *ego, *seed, *min_size, *top)
         }
@@ -727,6 +916,28 @@ fn partial_from_response(value: &Value, shard_index: u32) -> Result<(ShardPartia
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn coord_digest_separates_sets_tags_and_version_vectors() {
+        // A group index and a member digest of the same value must not
+        // collide, and two version vectors sharing a sum must not
+        // either — the sum is only the monotone purge axis.
+        let vv = [0u64, 0];
+        assert_ne!(
+            coord_digest(DIGEST_GROUP, 7, &vv),
+            coord_digest(DIGEST_MEMBERS, 7, &vv)
+        );
+        assert_ne!(coord_digest(DIGEST_GROUP, 7, &vv), coord_digest(DIGEST_GROUP, 8, &vv));
+        assert_ne!(
+            coord_digest(DIGEST_GROUP, 7, &[1, 0]),
+            coord_digest(DIGEST_GROUP, 7, &[0, 1])
+        );
+        // Deterministic across calls: the same key always re-forms.
+        assert_eq!(
+            coord_digest(DIGEST_MEMBERS, 42, &[3, 5]),
+            coord_digest(DIGEST_MEMBERS, 42, &[3, 5])
+        );
+    }
 
     #[test]
     fn logical_id_strips_only_a_numeric_shard_suffix() {

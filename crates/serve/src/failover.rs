@@ -40,6 +40,9 @@ pub struct FailoverOptions {
     pub max_backoff: Duration,
     /// Seed of the jitter stream (same seed → same retry schedule).
     pub seed: u64,
+    /// Speak CKP1 binary frames on every endpoint connection (see
+    /// [`ClientOptions::binary`]).
+    pub binary: bool,
 }
 
 impl Default for FailoverOptions {
@@ -51,6 +54,7 @@ impl Default for FailoverOptions {
             base_backoff: Duration::from_millis(25),
             max_backoff: Duration::from_millis(500),
             seed: 0x5EED_FA17_04E2,
+            binary: false,
         }
     }
 }
@@ -124,6 +128,7 @@ impl FailoverClient {
         let options = ClientOptions {
             connect_timeout: Some(self.options.connect_timeout),
             read_timeout: Some(self.options.read_timeout),
+            binary: self.options.binary,
         };
         let endpoint = &mut self.endpoints[idx];
         if endpoint.conn.is_none() {

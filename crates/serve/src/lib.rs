@@ -48,9 +48,11 @@
 
 #![warn(missing_docs)]
 
+pub mod binary;
 pub mod cache;
 pub mod client;
 pub mod coordinator;
+pub(crate) mod event_loop;
 pub mod failover;
 pub mod protocol;
 pub mod queue;

@@ -567,85 +567,97 @@ impl Request {
     pub fn parse(payload: &str) -> Result<Request, RequestError> {
         let value: Value = serde_json::from_str(payload)
             .map_err(|e| wire::bad(format!("invalid JSON: {e}")))?;
+        Request::parse_value(&value)
+    }
+
+    /// Parses a request from an already-decoded [`Value`] tree — the
+    /// shared back half of [`Request::parse`], also reached by the CKP1
+    /// binary decoder ([`crate::binary::decode_request`]) so both wire
+    /// encodings accept exactly the same requests.
+    ///
+    /// # Errors
+    ///
+    /// As [`Request::parse`].
+    pub fn parse_value(value: &Value) -> Result<Request, RequestError> {
         if !matches!(value, Value::Map(_)) {
             return Err(wire::bad("request must be a JSON object".to_string()));
         }
-        let op = wire::get_str(&value, "op")?;
+        let op = wire::get_str(value, "op")?;
         match op.as_str() {
             "health" => Ok(Request::Health),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             "list_snapshots" => Ok(Request::ListSnapshots),
             "list_groups" => Ok(Request::ListGroups {
-                snapshot: wire::get_str(&value, "snapshot")?,
+                snapshot: wire::get_str(value, "snapshot")?,
             }),
             "score_group" => Ok(Request::ScoreGroup {
-                snapshot: wire::get_str(&value, "snapshot")?,
-                group: wire::get_u64(&value, "group")? as usize,
-                functions: parse_functions(&value)?,
-                deadline_ms: wire::get_u64_opt(&value, "deadline_ms")?,
+                snapshot: wire::get_str(value, "snapshot")?,
+                group: wire::get_u64(value, "group")? as usize,
+                functions: parse_functions(value)?,
+                deadline_ms: wire::get_u64_opt(value, "deadline_ms")?,
             }),
             "score_set" => Ok(Request::ScoreSet {
-                snapshot: wire::get_str(&value, "snapshot")?,
-                members: wire::get_u32_array(&value, "members")?,
-                functions: parse_functions(&value)?,
-                deadline_ms: wire::get_u64_opt(&value, "deadline_ms")?,
+                snapshot: wire::get_str(value, "snapshot")?,
+                members: wire::get_u32_array(value, "members")?,
+                functions: parse_functions(value)?,
+                deadline_ms: wire::get_u64_opt(value, "deadline_ms")?,
             }),
             "baseline" => Ok(Request::Baseline {
-                snapshot: wire::get_str(&value, "snapshot")?,
-                group: wire::get_u64(&value, "group")? as usize,
-                functions: parse_functions(&value)?,
-                samples: wire::get_u64_opt(&value, "samples")?
+                snapshot: wire::get_str(value, "snapshot")?,
+                group: wire::get_u64(value, "group")? as usize,
+                functions: parse_functions(value)?,
+                samples: wire::get_u64_opt(value, "samples")?
                     .map_or(DEFAULT_BASELINE_SAMPLES, |s| s as usize),
-                seed: wire::get_u64_opt(&value, "seed")?.unwrap_or(2014),
-                deadline_ms: wire::get_u64_opt(&value, "deadline_ms")?,
+                seed: wire::get_u64_opt(value, "seed")?.unwrap_or(2014),
+                deadline_ms: wire::get_u64_opt(value, "deadline_ms")?,
             }),
             "apply_mutations" => Ok(Request::ApplyMutations {
-                snapshot: wire::get_str(&value, "snapshot")?,
-                mutations: parse_mutations(&value)?,
+                snapshot: wire::get_str(value, "snapshot")?,
+                mutations: parse_mutations(value)?,
             }),
             "compact" => Ok(Request::Compact {
-                snapshot: wire::get_str(&value, "snapshot")?,
+                snapshot: wire::get_str(value, "snapshot")?,
             }),
             "watch_scores" => Ok(Request::WatchScores {
-                snapshot: wire::get_str(&value, "snapshot")?,
-                group: wire::get_u64(&value, "group")? as usize,
+                snapshot: wire::get_str(value, "snapshot")?,
+                group: wire::get_u64(value, "group")? as usize,
             }),
             "suggest_circles" => {
-                let ego = wire::get_u64(&value, "ego")?;
+                let ego = wire::get_u64(value, "ego")?;
                 let ego = u32::try_from(ego)
                     .map_err(|_| wire::bad(format!("field \"ego\" {ego} exceeds u32 range")))?;
                 Ok(Request::SuggestCircles {
-                    snapshot: wire::get_str(&value, "snapshot")?,
+                    snapshot: wire::get_str(value, "snapshot")?,
                     ego,
-                    seed: wire::get_u64_opt(&value, "seed")?
+                    seed: wire::get_u64_opt(value, "seed")?
                         .unwrap_or(circlekit_discover::DEFAULT_SEED),
-                    min_size: wire::get_u64_opt(&value, "min_size")?
+                    min_size: wire::get_u64_opt(value, "min_size")?
                         .map_or(circlekit_discover::DEFAULT_MIN_SIZE, |v| v as usize),
-                    top: wire::get_u64_opt(&value, "top")?
+                    top: wire::get_u64_opt(value, "top")?
                         .map_or(circlekit_discover::DEFAULT_TOP, |v| v as usize),
                 })
             }
             "replicate" => {
-                let crc = wire::get_u64(&value, "base_crc")?;
+                let crc = wire::get_u64(value, "base_crc")?;
                 let base_crc = u32::try_from(crc).map_err(|_| {
                     wire::bad(format!("field \"base_crc\" {crc} exceeds u32 range"))
                 })?;
                 Ok(Request::Replicate {
-                    snapshot: wire::get_str(&value, "snapshot")?,
+                    snapshot: wire::get_str(value, "snapshot")?,
                     base_crc,
-                    wal_offset: wire::get_u64(&value, "wal_offset")?,
+                    wal_offset: wire::get_u64(value, "wal_offset")?,
                 })
             }
             "repl_ack" => Ok(Request::ReplAck {
-                offset: wire::get_u64(&value, "offset")?,
+                offset: wire::get_u64(value, "offset")?,
             }),
             "repl_status" => Ok(Request::ReplStatus),
             "shard_stats" => {
-                let group = wire::get_u64_opt(&value, "group")?.map(|g| g as usize);
-                let members = match wire::get(&value, "members") {
+                let group = wire::get_u64_opt(value, "group")?.map(|g| g as usize);
+                let members = match wire::get(value, "members") {
                     None | Some(Value::Null) => None,
-                    Some(_) => Some(wire::get_u32_array(&value, "members")?),
+                    Some(_) => Some(wire::get_u32_array(value, "members")?),
                 };
                 if group.is_some() == members.is_some() {
                     return Err(wire::bad(
@@ -653,14 +665,14 @@ impl Request {
                     ));
                 }
                 Ok(Request::ShardStats {
-                    snapshot: wire::get_str(&value, "snapshot")?,
+                    snapshot: wire::get_str(value, "snapshot")?,
                     group,
                     members,
-                    deadline_ms: wire::get_u64_opt(&value, "deadline_ms")?,
+                    deadline_ms: wire::get_u64_opt(value, "deadline_ms")?,
                 })
             }
             "debug_sleep" => Ok(Request::DebugSleep {
-                millis: wire::get_u64(&value, "millis")?,
+                millis: wire::get_u64(value, "millis")?,
             }),
             other => Err(wire::bad(format!("unknown op {other:?}"))),
         }

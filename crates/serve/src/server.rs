@@ -24,6 +24,7 @@
 //! [`Server::join`] sequences those steps and returns the final counter
 //! snapshot.
 
+use crate::binary;
 use crate::cache::{CacheKey, ScoreCache};
 use crate::coordinator::{Coordinator, CoordinatorConfig};
 use crate::protocol::{
@@ -42,7 +43,7 @@ use circlekit_sampling::size_matched_random_walk_sets_parallel_with_control;
 use circlekit_scoring::{ParallelScorer, Scorer, ScoringFunction};
 use serde_json::Value;
 use std::collections::HashMap;
-use std::io::{self, Write as _};
+use std::io::{self, Read as _, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -54,7 +55,7 @@ use std::time::Duration;
 pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// Mid-frame polls tolerated after shutdown before a stalled connection
 /// is dropped (~2 s at [`POLL_INTERVAL`]).
-const SHUTDOWN_GRACE_POLLS: u32 = 40;
+pub(crate) const SHUTDOWN_GRACE_POLLS: u32 = 40;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -88,6 +89,26 @@ pub struct ServeConfig {
     /// processes instead of serving local snapshots (see
     /// [`crate::coordinator`]). Mutually exclusive with `replica_of`.
     pub coordinator: Option<CoordinatorConfig>,
+    /// Serve connections from the epoll event loop
+    /// ([`crate::event_loop`]) instead of a thread per connection.
+    pub event_loop: bool,
+    /// Dispatcher threads bridging the event loop to [`handle_request`]
+    /// (0 = auto: `max(8, workers * 4)`). Ignored without `event_loop`.
+    pub dispatchers: usize,
+}
+
+impl ServeConfig {
+    /// The effective dispatcher-pool size for the event loop. The floor
+    /// of 8 keeps enough dispatchers idle that a request arriving while
+    /// the scoring queue is saturated is still *refused* synchronously
+    /// (`overloaded`) rather than parked behind the blocked ones.
+    pub fn dispatcher_count(&self) -> usize {
+        if self.dispatchers > 0 {
+            self.dispatchers
+        } else {
+            (self.workers * 4).max(8)
+        }
+    }
 }
 
 impl Default for ServeConfig {
@@ -104,6 +125,8 @@ impl Default for ServeConfig {
             repl_crash_point: None,
             fault: FaultPlan::default(),
             coordinator: None,
+            event_loop: true,
+            dispatchers: 0,
         }
     }
 }
@@ -189,7 +212,7 @@ impl Shared {
         self.shutdown.load(Ordering::Acquire)
     }
 
-    fn trigger_shutdown(&self) {
+    pub(crate) fn trigger_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
     }
 
@@ -260,6 +283,9 @@ impl Server {
         };
         let live = adopt_write_ahead_logs(&registry)?;
         let listener = TcpListener::bind(addr)?;
+        // A deep accept backlog + SO_REUSEADDR: a 10k-connection burst
+        // must queue in the kernel, not be refused.
+        let _ = circlekit_net::tune_listener(&listener);
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
@@ -287,10 +313,17 @@ impl Server {
         let acceptor = {
             let shared = Arc::clone(&shared);
             let handlers = Arc::clone(&handlers);
-            std::thread::Builder::new()
-                .name("ck-serve-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &shared, &handlers))
-                .expect("spawn acceptor thread")
+            if shared.config.event_loop {
+                std::thread::Builder::new()
+                    .name("ck-serve-loop".to_string())
+                    .spawn(move || crate::event_loop::run(listener, &shared, &handlers))
+                    .expect("spawn event-loop thread")
+            } else {
+                std::thread::Builder::new()
+                    .name("ck-serve-acceptor".to_string())
+                    .spawn(move || accept_loop(&listener, &shared, &handlers))
+                    .expect("spawn acceptor thread")
+            }
         };
         let tails = match shared.config.replica_of.clone() {
             Some(primary) => replication::spawn_replica_tails(&shared, &primary),
@@ -436,6 +469,25 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
         return;
     }
+    // The first byte picks the protocol for the connection's lifetime:
+    // CKP1 frames open with the magic, JSON length prefixes never do.
+    let mut first = [0u8; 1];
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        match stream.peek(&mut first) {
+            Ok(0) => return,
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {}
+            Err(_) => return,
+        }
+    }
+    if binary::sniff_binary(first[0]) {
+        return handle_binary_connection(&mut stream, shared);
+    }
     loop {
         // Between requests, shutdown closes idle connections immediately.
         if shared.shutting_down() {
@@ -489,6 +541,144 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
     }
 }
 
+/// Like [`read_frame_polled`], for CKP1 frames: `Ok(None)` means "close
+/// without an error", a `Malformed` error means the peer's framing is
+/// broken (answer once, then close).
+fn read_binary_frame_polled(
+    stream: &mut TcpStream,
+    shared: &Shared,
+) -> Result<Option<binary::Frame>, binary::ReadError> {
+    let mut shutdown_polls = 0u32;
+    let result = binary::read_frame_patiently(stream, |mid_frame| {
+        if !shared.shutting_down() {
+            return true;
+        }
+        if !mid_frame {
+            return false;
+        }
+        shutdown_polls += 1;
+        shutdown_polls <= SHUTDOWN_GRACE_POLLS
+    });
+    match result {
+        Err(binary::ReadError::Frame(FrameError::Closed)) => Ok(None),
+        other => other,
+    }
+}
+
+/// The CKP1 counterpart of the JSON request loop: same dispatch, same
+/// failure matrix as the event-loop front end. A framing defect draws
+/// one typed error and closes (nothing past a broken header is
+/// trustworthy); a response-kind frame draws a typed error echoing its
+/// op and the connection survives.
+fn handle_binary_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    ServeStats::bump(&shared.stats.binary_connections);
+    loop {
+        if shared.shutting_down() {
+            return;
+        }
+        let frame = match read_binary_frame_polled(stream, shared) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return,
+            Err(binary::ReadError::Malformed(defect)) => {
+                ServeStats::bump(&shared.stats.requests);
+                let kind = match defect {
+                    binary::BinaryError::TooLarge(_) => ErrorKind::FrameTooLarge,
+                    _ => ErrorKind::BadRequest,
+                };
+                let _ = respond_binary(
+                    stream,
+                    shared,
+                    binary::OP_UNKNOWN,
+                    Err((kind, defect.to_string())),
+                );
+                // Unread bytes past the defect would turn the close into
+                // a reset that destroys the error frame in flight: say
+                // we are done writing, drain briefly, then close.
+                let _ = stream.shutdown(std::net::Shutdown::Write);
+                let mut scratch = [0u8; 4096];
+                for _ in 0..SHUTDOWN_GRACE_POLLS {
+                    match stream.read(&mut scratch) {
+                        Ok(0) => break,
+                        Ok(_) => {}
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e)
+                            if matches!(
+                                e.kind(),
+                                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                            ) => {}
+                        Err(_) => break,
+                    }
+                }
+                return;
+            }
+            // Truncated or hard I/O: the stream is desynchronised —
+            // close cleanly, as the JSON path does.
+            Err(binary::ReadError::Frame(_)) => return,
+        };
+        ServeStats::bump(&shared.stats.requests);
+        if frame.kind != binary::KIND_REQUEST {
+            let err = (
+                ErrorKind::BadRequest,
+                "only request frames may be sent to a server".to_string(),
+            );
+            if respond_binary(stream, shared, frame.op, Err(err)).is_err() {
+                return;
+            }
+            continue;
+        }
+        let mut close_after = false;
+        let outcome = match binary::decode_request(frame.op, &frame.payload) {
+            Err(err) => Err(err),
+            Ok(Request::Shutdown) => {
+                close_after = true;
+                shared.trigger_shutdown();
+                Ok(ok_payload(vec![(
+                    "message".to_string(),
+                    Value::Str("draining".to_string()),
+                )]))
+            }
+            Ok(Request::Replicate { .. }) => Err((
+                ErrorKind::BadRequest,
+                "replicate requires the JSON protocol (the WAL stream is JSON-framed)"
+                    .to_string(),
+            )),
+            Ok(request) => handle_request(request, shared),
+        };
+        if respond_binary(stream, shared, frame.op, outcome).is_err() || close_after {
+            return;
+        }
+    }
+}
+
+/// [`respond`] in CKP1 framing, echoing the request's op.
+fn respond_binary(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    op: u16,
+    outcome: Result<String, RequestError>,
+) -> io::Result<()> {
+    let payload = match outcome {
+        Ok(payload) => {
+            ServeStats::bump(&shared.stats.ok_responses);
+            payload
+        }
+        Err((kind, message)) => {
+            ServeStats::bump(&shared.stats.error_responses);
+            match kind {
+                ErrorKind::Overloaded => ServeStats::bump(&shared.stats.overloaded),
+                ErrorKind::DeadlineExceeded => {
+                    ServeStats::bump(&shared.stats.deadline_expired)
+                }
+                _ => {}
+            }
+            error_payload(kind, &message)
+        }
+    };
+    let body =
+        binary::encode_response_payload(&payload).expect("server responses are valid JSON");
+    binary::write_frame(stream, binary::KIND_RESPONSE, op, &body)
+}
+
 /// Writes the response (success payload or rendered error), keeping the
 /// ok/error counters honest.
 fn respond(
@@ -517,7 +707,7 @@ fn respond(
     stream.flush()
 }
 
-fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, RequestError> {
+pub(crate) fn handle_request(request: Request, shared: &Arc<Shared>) -> Result<String, RequestError> {
     // A coordinator answers (or refuses) almost every op itself — by
     // scatter-gathering the shard fleet — so clients speak to it exactly
     // as they would to a single-node server. The few ops it passes back

@@ -47,6 +47,11 @@ pub struct ServeStats {
     pub repl_connects: AtomicU64,
     /// `shard_stats` partials served (shard side of scatter-gather).
     pub shard_partials: AtomicU64,
+    /// Connections negotiated to the CKP1 binary protocol.
+    pub binary_connections: AtomicU64,
+    /// Most requests one connection has had undelivered at once
+    /// (event-loop front end only; the threaded path is serial).
+    pub pipelined_peak: AtomicU64,
 }
 
 impl ServeStats {
@@ -89,6 +94,8 @@ impl ServeStats {
             repl_batches_applied: read(&self.repl_batches_applied),
             repl_connects: read(&self.repl_connects),
             shard_partials: read(&self.shard_partials),
+            binary_connections: read(&self.binary_connections),
+            pipelined_peak: read(&self.pipelined_peak),
             cache,
             queue_depth,
         }
@@ -136,6 +143,10 @@ pub struct StatsSnapshot {
     pub repl_connects: u64,
     /// `shard_stats` partials served.
     pub shard_partials: u64,
+    /// Connections negotiated to the CKP1 binary protocol.
+    pub binary_connections: u64,
+    /// Most requests one connection has had undelivered at once.
+    pub pipelined_peak: u64,
     /// Cache counters at snapshot time.
     pub cache: CacheStats,
     /// Queue depth at snapshot time.
@@ -165,6 +176,8 @@ impl StatsSnapshot {
             ("repl_batches_applied".to_string(), u(self.repl_batches_applied)),
             ("repl_connects".to_string(), u(self.repl_connects)),
             ("shard_partials".to_string(), u(self.shard_partials)),
+            ("binary_connections".to_string(), u(self.binary_connections)),
+            ("pipelined_peak".to_string(), u(self.pipelined_peak)),
             ("cache_hits".to_string(), u(self.cache.hits)),
             ("cache_misses".to_string(), u(self.cache.misses)),
             ("cache_hit_ratio".to_string(), Value::Float(self.cache.hit_ratio())),

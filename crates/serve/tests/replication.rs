@@ -289,6 +289,7 @@ fn client_timeout_fires_against_a_silent_peer() {
         ClientOptions {
             connect_timeout: Some(Duration::from_secs(1)),
             read_timeout: Some(Duration::from_millis(150)),
+            binary: false,
         },
     )
     .unwrap();

@@ -179,13 +179,14 @@ fn dead_shard_is_a_typed_refusal_then_recovery_is_exact() {
     let mut client = Client::connect(cluster.coordinator.local_addr()).unwrap();
     let baseline = client.score_group("web", 0, Some("paper"), None).unwrap().to_string();
 
-    // Kill shard 1. The coordinator must refuse — naming the shard —
-    // rather than reduce the two partials it can still gather.
+    // Kill shard 1. A set that was never gathered must be refused —
+    // naming the shard — rather than reduced from the two partials the
+    // coordinator can still gather.
     let victim = cluster.shards.remove(1);
     let victim_addr = victim.local_addr();
     victim.shutdown_handle().trigger();
     victim.join();
-    let err = client.score_group("web", 0, Some("paper"), None).unwrap_err();
+    let err = client.score_group("web", 1, Some("paper"), None).unwrap_err();
     match err {
         ClientError::Server { kind, message } => {
             assert_eq!(kind, ErrorKind::ShardUnavailable, "{message}");
@@ -194,14 +195,27 @@ fn dead_shard_is_a_typed_refusal_then_recovery_is_exact() {
         other => panic!("expected a typed shard-unavailable refusal, got {other:?}"),
     }
 
+    // The baseline group, by contrast, was cached under the shard
+    // version vector at the first gather; the shards are immutable, so
+    // replaying it needs no scatter and stays exact through the outage
+    // (only the `cached` marker differs).
+    let replay = client.score_group("web", 0, Some("paper"), None).unwrap().to_string();
+    assert_eq!(
+        replay,
+        baseline.replace("\"cached\":false", "\"cached\":true"),
+        "a cached group must replay exactly while a shard is down"
+    );
+
     // Restore the shard on the same port; the failover client reconnects
-    // and answers are exact again.
+    // and uncached answers are exact again.
     let mut registry = SnapshotRegistry::new();
     registry.load(&cluster.shard_paths[1], None).unwrap();
     let revived = Server::start(registry, ServeConfig::default(), victim_addr).unwrap();
     cluster.shards.insert(1, revived);
-    let recovered = client.score_group("web", 0, Some("paper"), None).unwrap().to_string();
-    assert_eq!(recovered, baseline, "post-recovery scores must be bit-identical");
+    let mut single = Client::connect(cluster.single.local_addr()).unwrap();
+    let recovered = client.score_group("web", 1, Some("paper"), None).unwrap().to_string();
+    let expected = single.score_group("web", 1, Some("paper"), None).unwrap().to_string();
+    assert_eq!(recovered, expected, "post-recovery scores must be bit-identical");
     cluster.stop();
 }
 
@@ -251,6 +265,55 @@ fn writes_and_baseline_are_refused_with_typed_errors() {
         }
         other => panic!("expected a typed refusal, got {other:?}"),
     }
+    cluster.stop();
+}
+
+#[test]
+fn repeated_gathers_replay_from_the_version_keyed_cache() {
+    let cluster = boot_cluster("coord-cache", 2);
+    let mut client = Client::connect(cluster.coordinator.local_addr()).unwrap();
+
+    let first = client.score_group("web", 0, Some("paper"), None).unwrap().to_string();
+    let shard_requests = |client: &mut Client| -> u64 {
+        let stats = client.stats().unwrap();
+        let rows = match find(&stats, "shards") {
+            Some(serde_json::Value::Seq(rows)) => rows.clone(),
+            other => panic!("stats must carry a shards array, got {other:?}"),
+        };
+        rows.iter()
+            .map(|row| match find(row, "requests") {
+                Some(serde_json::Value::UInt(n)) => *n,
+                other => panic!("requests not an integer: {other:?}"),
+            })
+            .sum()
+    };
+    let gathered = shard_requests(&mut client);
+
+    // The replay must not touch any shard, and must render the same
+    // payload with only the cached marker flipped.
+    let replay = client.score_group("web", 0, Some("paper"), None).unwrap().to_string();
+    assert_eq!(replay, first.replace("\"cached\":false", "\"cached\":true"));
+    assert_ne!(replay, first, "the replay must be marked cached");
+    assert_eq!(shard_requests(&mut client), gathered, "a cache hit must skip the scatter");
+
+    // watch_scores shares the PAPER-function key space with score_group,
+    // so it replays from the same entries — and renders identically to
+    // its own uncached form (it carries no cached marker).
+    let watched = client.watch_scores("web", 0).unwrap().to_string();
+    assert_eq!(shard_requests(&mut client), gathered);
+
+    // The hit/miss accounting lands in the ordinary cache_* stats rows.
+    let stats = client.stats().unwrap();
+    let row = |key: &str| match find(&stats, key) {
+        Some(serde_json::Value::UInt(n)) => *n,
+        other => panic!("stats row {key} not an integer: {other:?}"),
+    };
+    assert!(row("cache_hits") >= 8, "two replays of four functions: {}", row("cache_hits"));
+    // The all-or-nothing probe short-circuits on its first absence, so
+    // an empty cache records one miss per probed request.
+    assert!(row("cache_misses") >= 1, "the first gather missed: {}", row("cache_misses"));
+    assert!(row("cache_entries") >= 4);
+    assert!(watched.contains("\"op\":\"watch_scores\""));
     cluster.stop();
 }
 

@@ -2,8 +2,10 @@
 //!
 //! Implements the strategy/`proptest!` API subset the workspace's
 //! property tests use: range and `any::<T>()` strategies, tuples,
-//! `prop::collection::vec`, `.prop_map`, `prop_assert!`/`prop_assert_eq!`/
-//! `prop_assume!`, and `#![proptest_config(ProptestConfig::with_cases(n))]`.
+//! `prop::collection::vec`, `prop::sample::select`, `prop::option::of`,
+//! `.prop_map`, `.boxed()`/`prop_oneof!` unions,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assume!`, and
+//! `#![proptest_config(ProptestConfig::with_cases(n))]`.
 //!
 //! Differences from real proptest: cases are generated from a fixed
 //! seeded [`test_runner::TestRng`] (fully deterministic run-to-run) and
@@ -12,6 +14,8 @@
 
 pub mod arbitrary;
 pub mod collection;
+pub mod option;
+pub mod sample;
 pub mod strategy;
 pub mod test_runner;
 
@@ -19,10 +23,12 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate as prop;
     pub use crate::arbitrary::any;
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 use std::fmt::Debug;
@@ -109,6 +115,18 @@ macro_rules! __proptest_items {
             );
         }
         $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// Builds a [`strategy::Union`] over heterogeneous strategy arms, all
+/// generating the same value type. Unlike real proptest the arms are
+/// unweighted (uniform); the workspace's tests don't weight them.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
     };
 }
 

@@ -1,0 +1,46 @@
+//! `prop::option::of` — maybe-a-value strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Yields `None` for about a quarter of cases, `Some` of the inner
+/// strategy otherwise (real proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Clone, Copy, Debug)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_range(0u8..4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn of_yields_both_variants() {
+        let mut rng = TestRng::seed_from_u64(4);
+        let strat = of(0u32..10);
+        let values: Vec<Option<u32>> = (0..200).map(|_| strat.new_value(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().flatten().all(|&v| v < 10));
+    }
+}

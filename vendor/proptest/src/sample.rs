@@ -1,0 +1,41 @@
+//! `prop::sample::select` — pick one of a fixed set of options.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+
+/// Picks uniformly from `options`.
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select needs at least one option");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn select_only_yields_listed_options() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let strat = select(vec![2u8, 4, 6]);
+        for _ in 0..100 {
+            assert!([2, 4, 6].contains(&strat.new_value(&mut rng)));
+        }
+    }
+}
